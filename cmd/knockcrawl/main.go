@@ -1,0 +1,100 @@
+// Command knockcrawl runs a crawl campaign against the synthetic web
+// and writes the telemetry store as JSONL.
+//
+// Usage:
+//
+//	knockcrawl -crawl top100k-2020 -os all -scale 0.1 -out crawl.jsonl
+//
+// A full-study reproduction (scale 1, every OS, all three campaigns):
+//
+//	knockcrawl -crawl top100k-2020 -os all -out 2020.jsonl
+//	knockcrawl -crawl top100k-2021 -os all -out 2021.jsonl
+//	knockcrawl -crawl malicious    -os all -out mal.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/knockandtalk/knockandtalk/internal/crawler"
+	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+	"github.com/knockandtalk/knockandtalk/internal/hostenv"
+	"github.com/knockandtalk/knockandtalk/internal/store"
+)
+
+func main() {
+	var (
+		crawlName = flag.String("crawl", "top100k-2020", "campaign: top100k-2020, top100k-2021, or malicious")
+		osName    = flag.String("os", "all", "OS to crawl: Windows, Linux, Mac, or all")
+		scale     = flag.Float64("scale", 1.0, "population scale in (0, 1]")
+		seed      = flag.Uint64("seed", 1, "deterministic seed")
+		workers   = flag.Int("workers", 0, "concurrent browser instances (0 = GOMAXPROCS)")
+		window    = flag.Duration("window", 20*time.Second, "per-page observation window")
+		out       = flag.String("out", "", "output JSONL path (empty = no persistence)")
+		page      = flag.String("page", "/", "page to visit on each site (/ = landing, /login = internal-pages extension)")
+		retain    = flag.Bool("retain", false, "retain raw NetLog captures for visits with local-network activity")
+		parseHTML = flag.Bool("parsehtml", false, "crawl through the real HTML pipeline instead of the precompiled fast path")
+	)
+	flag.Parse()
+
+	crawl := groundtruth.CrawlID(*crawlName)
+	switch crawl {
+	case groundtruth.CrawlTop2020, groundtruth.CrawlTop2021, groundtruth.CrawlMalicious:
+	default:
+		fatalf("unknown crawl %q", *crawlName)
+	}
+	cfg := crawler.Config{
+		Crawl: crawl, Scale: *scale, Seed: *seed, Workers: *workers,
+		Window: *window, PagePath: *page, RetainLogs: *retain, ParseHTML: *parseHTML,
+	}
+
+	st := store.New()
+	var sums []*crawler.Summary
+	if *osName == "all" {
+		var err error
+		sums, err = crawler.RunAll(cfg, st)
+		if err != nil {
+			fatalf("crawl failed: %v", err)
+		}
+	} else {
+		osv, err := hostenv.ParseOS(*osName)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cfg.OS = osv
+		sum, err := crawler.Run(cfg, st)
+		if err != nil {
+			fatalf("crawl failed: %v", err)
+		}
+		sums = []*crawler.Summary{sum}
+	}
+
+	for _, s := range sums {
+		fmt.Printf("%s on %s: %d attempted, %d ok (%.1f%%), %d failed, %d local requests, %v\n",
+			s.Crawl, s.OS, s.Attempted, s.Successful,
+			100*float64(s.Successful)/float64(s.Attempted), s.Failed, s.LocalRequests, s.Elapsed.Round(time.Millisecond))
+		for err, n := range s.Errors {
+			fmt.Printf("    %-32s %d\n", err, n)
+		}
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("creating %s: %v", *out, err)
+		}
+		defer f.Close()
+		if err := st.Save(f); err != nil {
+			fatalf("saving store: %v", err)
+		}
+		fmt.Printf("wrote %d page records, %d local requests, %d retained captures to %s\n",
+			st.NumPages(), st.NumLocals(), st.NumNetLogs(), *out)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "knockcrawl: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,63 @@
+// Command knockdiff prints the reproduction scorecard: every published
+// aggregate of the paper next to the value measured from a telemetry
+// store, with a pass/fail verdict per metric.
+//
+// Usage:
+//
+//	knockdiff -in 2020.jsonl,2021.jsonl,mal.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"github.com/knockandtalk/knockandtalk/internal/paperdiff"
+	"github.com/knockandtalk/knockandtalk/internal/store"
+)
+
+func main() {
+	in := flag.String("in", "", "comma-separated JSONL store paths")
+	failOnly := flag.Bool("failures", false, "print only failing metrics")
+	flag.Parse()
+	if *in == "" {
+		fatalf("-in is required")
+	}
+	st := store.New()
+	for _, path := range strings.Split(*in, ",") {
+		f, err := os.Open(strings.TrimSpace(path))
+		if err != nil {
+			fatalf("opening %s: %v", path, err)
+		}
+		if err := st.Load(f); err != nil {
+			fatalf("loading %s: %v", path, err)
+		}
+		f.Close()
+	}
+
+	sc := paperdiff.Compare(st)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "STATUS\tFIDELITY\tMETRIC\tPAPER\tMEASURED")
+	for _, r := range sc.Rows {
+		if *failOnly && r.OK {
+			continue
+		}
+		status := "ok"
+		if !r.OK {
+			status = "FAIL"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\n", status, r.Metric, r.Name, r.Paper, r.Measured)
+	}
+	tw.Flush()
+	fmt.Printf("\n%d metrics: %d ok, %d failing\n", len(sc.Rows), sc.Passed(), sc.Failed())
+	if sc.Failed() > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "knockdiff: "+format+"\n", args...)
+	os.Exit(1)
+}

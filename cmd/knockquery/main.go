@@ -1,0 +1,121 @@
+// Command knockquery runs ad-hoc queries over stored crawl telemetry.
+//
+// Usage:
+//
+//	knockquery -in crawl.jsonl -domain ebay.com
+//	knockquery -in crawl.jsonl -dest lan -os Linux
+//	knockquery -in crawl.jsonl -pages -err ERR_NAME_NOT_RESOLVED -limit 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/knockandtalk/knockandtalk/internal/store"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "", "comma-separated JSONL store paths")
+		domain = flag.String("domain", "", "filter by domain")
+		dest   = flag.String("dest", "", "filter local requests by destination (localhost or lan)")
+		osName = flag.String("os", "", "filter by OS (Windows, Linux, Mac)")
+		crawl  = flag.String("crawl", "", "filter by crawl id")
+		errStr = flag.String("err", "", "filter pages by net error")
+		pages  = flag.Bool("pages", false, "query page records instead of local requests")
+		dumpNL = flag.Bool("netlog", false, "dump the retained NetLog flows for -domain (requires -domain, -os, -crawl)")
+		limit  = flag.Int("limit", 50, "maximum rows printed (0 = unlimited)")
+	)
+	flag.Parse()
+	if *in == "" {
+		fatalf("-in is required")
+	}
+	st := store.New()
+	for _, path := range strings.Split(*in, ",") {
+		f, err := os.Open(strings.TrimSpace(path))
+		if err != nil {
+			fatalf("opening %s: %v", path, err)
+		}
+		if err := st.Load(f); err != nil {
+			fatalf("loading %s: %v", path, err)
+		}
+		f.Close()
+	}
+
+	printed := 0
+	room := func() bool { return *limit == 0 || printed < *limit }
+
+	if *dumpNL {
+		if *domain == "" || *osName == "" || *crawl == "" {
+			fatalf("-netlog requires -domain, -os, and -crawl")
+		}
+		log, ok, err := st.NetLog(*crawl, *osName, *domain)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if !ok {
+			fatalf("no retained capture for %s on %s in %s (crawl with -retain)", *domain, *osName, *crawl)
+		}
+		for _, f := range log.Flows() {
+			outcome := fmt.Sprint(f.StatusCode)
+			if f.NetError != "" {
+				outcome = f.NetError
+			}
+			fmt.Printf("+%-10v %-60s %-24s %s\n", f.Start.Round(time.Millisecond), f.URL, f.Initiator, outcome)
+			for _, loc := range f.RedirectedTo {
+				fmt.Printf("    -> redirect to %s\n", loc)
+			}
+		}
+		return
+	}
+
+	if *pages {
+		rows := st.Pages(func(p *store.PageRecord) bool {
+			return (*domain == "" || p.Domain == *domain) &&
+				(*osName == "" || p.OS == *osName) &&
+				(*crawl == "" || p.Crawl == *crawl) &&
+				(*errStr == "" || p.Err == *errStr)
+		})
+		for _, p := range rows {
+			if !room() {
+				break
+			}
+			printed++
+			status := "OK"
+			if p.Err != "" {
+				status = p.Err
+			}
+			fmt.Printf("%-14s %-8s rank=%-6d %-40s %s\n", p.Crawl, p.OS, p.Rank, p.Domain, status)
+		}
+		fmt.Printf("-- %d of %d matching page records\n", printed, len(rows))
+		return
+	}
+
+	rows := st.Locals(func(l *store.LocalRequest) bool {
+		return (*domain == "" || l.Domain == *domain) &&
+			(*dest == "" || l.Dest == *dest) &&
+			(*osName == "" || l.OS == *osName) &&
+			(*crawl == "" || l.Crawl == *crawl)
+	})
+	for _, l := range rows {
+		if !room() {
+			break
+		}
+		printed++
+		outcome := fmt.Sprint(l.StatusCode)
+		if l.NetError != "" {
+			outcome = l.NetError
+		}
+		fmt.Printf("%-14s %-8s %-30s %-6s %-44s delay=%-8s %s\n",
+			l.Crawl, l.OS, l.Domain, l.Dest, l.URL, l.Delay.Round(1e6), outcome)
+	}
+	fmt.Printf("-- %d of %d matching local requests\n", printed, len(rows))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "knockquery: "+format+"\n", args...)
+	os.Exit(1)
+}

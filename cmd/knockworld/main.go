@@ -1,0 +1,130 @@
+// Command knockworld inspects the synthetic web populations: overall
+// shape, a single site's served document, or a Tranco snapshot export.
+//
+// Usage:
+//
+//	knockworld -crawl top100k-2020 -os Windows -scale 0.01
+//	knockworld -crawl top100k-2020 -os Windows -domain ebay.com
+//	knockworld -tranco 2020 -size 1000 > tranco-2020.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+	"github.com/knockandtalk/knockandtalk/internal/hostenv"
+	"github.com/knockandtalk/knockandtalk/internal/simnet"
+	"github.com/knockandtalk/knockandtalk/internal/tranco"
+	"github.com/knockandtalk/knockandtalk/internal/webdoc"
+	"github.com/knockandtalk/knockandtalk/internal/websim"
+)
+
+func main() {
+	var (
+		crawlName = flag.String("crawl", "top100k-2020", "campaign to build")
+		osName    = flag.String("os", "Windows", "OS variant of the world")
+		scale     = flag.Float64("scale", 0.01, "population scale in (0, 1]")
+		seed      = flag.Uint64("seed", 1, "deterministic seed")
+		domain    = flag.String("domain", "", "dump one site's served document")
+		asHTML    = flag.Bool("html", false, "with -domain: emit the page as rendered HTML instead of steps")
+		trancoYr  = flag.String("tranco", "", "export a Tranco snapshot (2020 or 2021) as CSV and exit")
+		size      = flag.Int("size", tranco.DefaultSize, "snapshot size for -tranco")
+	)
+	flag.Parse()
+
+	if *trancoYr != "" {
+		var snap *tranco.Snapshot
+		var err error
+		switch *trancoYr {
+		case "2020":
+			snap, err = tranco.Snapshot2020(*size)
+		case "2021":
+			snap, err = tranco.Snapshot2021(*size)
+		default:
+			fatalf("unknown snapshot year %q", *trancoYr)
+		}
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := snap.WriteCSV(os.Stdout); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+
+	osv, err := hostenv.ParseOS(*osName)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	world, err := websim.Build(groundtruth.CrawlID(*crawlName), osv, *scale, *seed)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if *domain != "" {
+		dump(world, *domain, *asHTML)
+		return
+	}
+	fmt.Printf("world: crawl=%s os=%s scale=%.3f\n", world.Crawl, world.OS, world.Scale)
+	fmt.Printf("targets: %d\n", len(world.Targets))
+	fmt.Printf("registered DNS names: %d\n", world.Net.Resolver.Len())
+	fmt.Printf("hosts: %d\n", world.Net.NumHosts())
+	byCat := map[string]int{}
+	for _, t := range world.Targets {
+		byCat[string(t.Category)]++
+	}
+	for cat, n := range byCat {
+		if cat == "" {
+			cat = "(top list)"
+		}
+		fmt.Printf("  %-12s %d\n", cat, n)
+	}
+}
+
+func dump(world *websim.World, domain string, asHTML bool) {
+	addrs, nerr := world.Net.Resolver.Resolve(domain)
+	if nerr.IsFailure() {
+		fmt.Printf("%s: %s\n", domain, nerr)
+		return
+	}
+	fmt.Printf("%s → %v\n", domain, addrs)
+	for _, port := range []uint16{443, 80} {
+		ep := world.Net.Locate(addrs[0], port)
+		fmt.Printf("  port %d: %s\n", port, ep.Outcome)
+		if ep.Service == nil {
+			continue
+		}
+		resp := ep.Service.Serve(&simnet.Request{
+			Scheme: schemeFor(port), Host: domain, Port: port, Path: "/",
+			UserAgent: world.OS.UserAgent(),
+		})
+		fmt.Printf("    status %d", resp.Status)
+		if resp.Location != "" {
+			fmt.Printf(" → %s", resp.Location)
+		}
+		fmt.Println()
+		if page, ok := resp.Document.(*webdoc.Page); ok {
+			if asHTML {
+				os.Stdout.Write(websim.RenderHTML(page))
+				return
+			}
+			for _, s := range page.SortedSteps() {
+				fmt.Printf("    +%-8s %-60s %s\n", s.At.Round(1e6), s.URL, s.Initiator)
+			}
+		}
+	}
+}
+
+func schemeFor(port uint16) simnet.Scheme {
+	if port == 443 {
+		return simnet.SchemeHTTPS
+	}
+	return simnet.SchemeHTTP
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "knockworld: "+format+"\n", args...)
+	os.Exit(1)
+}

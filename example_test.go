@@ -1,0 +1,50 @@
+package knockandtalk_test
+
+import (
+	"fmt"
+
+	knockandtalk "github.com/knockandtalk/knockandtalk"
+)
+
+// ExampleClassifySite classifies a ThreatMetrix-shaped probe set.
+func ExampleClassifySite() {
+	var reqs []knockandtalk.LocalRequest
+	for _, port := range []uint16{3389, 5279, 5900, 5901, 5902, 5903, 5931, 5939, 5944, 5950, 6039, 6040, 7070, 63333} {
+		reqs = append(reqs, knockandtalk.LocalRequest{
+			Domain: "ebay.com", Scheme: "wss", Host: "localhost",
+			Port: port, Path: "/", Dest: "localhost",
+		})
+	}
+	v := knockandtalk.ClassifySite(reqs)
+	fmt.Println(v.Class, "via", v.Signature)
+	// Output: Fraud Detection via threatmetrix
+}
+
+// ExampleRun crawls a deterministic slice of the 2020 population and
+// lists the sites knocking on localhost.
+func ExampleRun() {
+	st := knockandtalk.NewStore()
+	_, err := knockandtalk.Run(knockandtalk.Config{
+		Crawl:   knockandtalk.CrawlTop2020,
+		OS:      knockandtalk.Windows,
+		Scale:   0.01, // top 1,000 domains
+		Seed:    42,
+		Workers: 2,
+	}, st)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, site := range knockandtalk.LocalSites(st, knockandtalk.CrawlTop2020, "localhost") {
+		fmt.Printf("%d %s: %s\n", site.Rank, site.Domain, site.Verdict.Class)
+	}
+	// walmart.com (rank 131) stays quiet here: it scans only on its
+	// login page (crawl with PagePath: "/login" to see it).
+	//
+	// Output:
+	// 104 ebay.com: Fraud Detection
+	// 244 hola.org: Unknown
+	// 429 ebay.de: Fraud Detection
+	// 536 ebay.co.uk: Fraud Detection
+	// 932 ebay.com.au: Fraud Detection
+}

@@ -1,0 +1,76 @@
+// Evasion experiment (§5.1): the paper argues that web-based localhost
+// scanning for anti-abuse is easy to evade — "attackers could configure
+// a remote control server on a bot to run on a non-standard port" —
+// because the scan's port list is visible to anyone who loads the page.
+//
+// This example builds two Windows machines: one running a remote-desktop
+// server on its standard port (5939, TeamViewer) and one running the
+// same software moved to a non-standard port (40113). The ThreatMetrix
+// scan fires on both; only the first machine produces a distinguishing
+// signal. The information imbalance is concrete: the defender's port
+// list is public, the attacker's choice is not.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/knockandtalk/knockandtalk/internal/browser"
+	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+	"github.com/knockandtalk/knockandtalk/internal/hostenv"
+	"github.com/knockandtalk/knockandtalk/internal/probeinfer"
+	"github.com/knockandtalk/knockandtalk/internal/simnet"
+	"github.com/knockandtalk/knockandtalk/internal/websim"
+)
+
+// remoteControlService is what a remote-access tool looks like to a
+// probe: it accepts TCP but speaks its own protocol.
+func remoteControlService() simnet.Service {
+	return simnet.ServiceFunc(func(req *simnet.Request) *simnet.Response {
+		return &simnet.Response{Status: 0} // not HTTP
+	})
+}
+
+func main() {
+	world, err := websim.Build(groundtruth.CrawlTop2020, hostenv.Windows, 0.01, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	machines := []struct {
+		label string
+		port  uint16
+	}{
+		{"victim A: remote control on the standard port (5939)", 5939},
+		{"victim B: same software moved to port 40113 (evasion)", 40113},
+	}
+	for _, m := range machines {
+		// A clean Windows machine (no stock listeners) plus the
+		// attacker-controlled remote-access tool.
+		profile := hostenv.NewProfile(hostenv.Windows, "10", simnet.VantageCampus)
+		profile.ListenLocal(m.port, simnet.Endpoint{
+			Outcome: simnet.DialAccepted, Service: remoteControlService(),
+		})
+		b := browser.New(profile, world.Net, browser.DefaultOptions())
+		res := b.Visit("https://ebay.com/") // a ThreatMetrix deployer
+
+		// What the scanner learns, via the §4.3.2 timing/handshake side
+		// channel: refused ports answer instantly with RST, listening
+		// ones fail at the TLS/WS layer — a distinguishable signal.
+		infs := probeinfer.FromLog(res.Log)
+		for _, inf := range infs {
+			if inf.State == probeinfer.StateOpen {
+				fmt.Printf("  scanner sees port %-6d: %s → host flagged\n", inf.Port, inf.Evidence)
+			}
+		}
+		profile2 := probeinfer.Summarize(infs)
+		verdict := "host profiled as remote-controlled"
+		if !profile2.Suspicious() {
+			verdict = "scan sees only refused ports — evasion succeeded"
+		}
+		fmt.Printf("%s\n  → %d of %d probed ports answering: %s\n\n", m.label, len(profile2.Open), len(infs), verdict)
+	}
+
+	fmt.Println("The scan's port list ships to every visitor in the page source;")
+	fmt.Println("moving the service off-list costs the attacker one config line (§5.1).")
+}

@@ -1,0 +1,105 @@
+// Live detector: the study's detection pipeline on REAL network
+// traffic.
+//
+// The example stands up two genuine HTTP servers on 127.0.0.1 — one
+// playing a native application's local API, one a forgotten WordPress
+// dev server — then drives real requests through an instrumented
+// net/http transport and a raw TCP port scan, exactly the traffic
+// shapes the paper observed. The same localnet detector and classifier
+// used on the simulated crawls run unchanged over the recorded NetLog.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"github.com/knockandtalk/knockandtalk/internal/classify"
+	"github.com/knockandtalk/knockandtalk/internal/localnet"
+	"github.com/knockandtalk/knockandtalk/internal/netlog"
+	"github.com/knockandtalk/knockandtalk/internal/realnet"
+	"github.com/knockandtalk/knockandtalk/internal/store"
+)
+
+func main() {
+	// A native application's localhost API (it would answer a PNA
+	// preflight in a post-§5.3 world).
+	app := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"client":"installed","version":"2.1"}`)
+	}))
+	defer app.Close()
+
+	// A development remnant: files that only existed on the developer's
+	// machine.
+	devServer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.NotFound(w, r)
+	}))
+	defer devServer.Close()
+
+	rec := netlog.NewRecorder()
+	client := &http.Client{Transport: realnet.NewTransport(rec), Timeout: 3 * time.Second}
+
+	// "Page" behavior 1: probe the native app.
+	get(client, app.URL+"/socket.io/?EIO=4")
+	// "Page" behavior 2: fetch a leftover wp-content asset.
+	get(client, devServer.URL+"/wp-content/uploads/2020/04/banner.jpg")
+	// "Page" behavior 3: a short ThreatMetrix-style port scan of
+	// remote-desktop ports, raw TCP.
+	for i, port := range []uint16{5900, 5901, 5939} {
+		res := realnet.ProbePort(rec, time.Duration(i)*10*time.Millisecond, "127.0.0.1", port, 500*time.Millisecond)
+		fmt.Printf("probe 127.0.0.1:%-5d open=%-5v err=%-24s elapsed=%v\n", port, res.Open, orDash(string(res.Err)), res.Elapsed.Round(time.Microsecond))
+	}
+	fmt.Println()
+
+	// Detection: the recorded NetLog is analyzed by the same code that
+	// processes simulated crawls.
+	findings := localnet.FromLog(rec.Log())
+	fmt.Printf("detected %d local-network requests in real traffic:\n", len(findings))
+	byDomain := map[string][]store.LocalRequest{}
+	for _, f := range findings {
+		outcome := f.NetError
+		if outcome == "" {
+			outcome = fmt.Sprintf("status %d", f.StatusCode)
+		}
+		fmt.Printf("  %-8s %-52s %s\n", f.Dest, f.URL, outcome)
+		key := fmt.Sprintf("%s:%d", f.Host, f.Port)
+		byDomain[key] = append(byDomain[key], store.LocalRequest{
+			Domain: key, URL: f.URL, Scheme: string(f.Scheme), Host: f.Host,
+			Port: f.Port, Path: f.Path, Dest: f.Dest.String(),
+		})
+	}
+	fmt.Println()
+	for key, reqs := range byDomain {
+		v := classify.Site(reqs)
+		fmt.Printf("classification %-22s → %-20s (signature %q)\n", key, v.Class, v.Signature)
+	}
+
+	// Persist like the crawler would.
+	st := store.New()
+	for key, reqs := range byDomain {
+		for _, r := range reqs {
+			r.Crawl, r.OS = "live", "Linux"
+			r.Domain = key
+			st.AddLocal(r)
+		}
+	}
+	fmt.Printf("\nstored %d local request records\n", st.NumLocals())
+}
+
+func get(c *http.Client, url string) {
+	resp, err := c.Get(url)
+	if err != nil {
+		log.Printf("GET %s: %v", url, err)
+		return
+	}
+	resp.Body.Close()
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

@@ -1,0 +1,55 @@
+// PNA defense evaluation (§5.3): crawl a slice of the 2020 population,
+// then replay every observed local-network request under three policy
+// variants of the WICG Private Network Access proposal — no policy, the
+// secure-context requirement alone, and the full draft (secure context
+// plus preflight opt-in).
+//
+// The outcome mirrors the paper's argument: the full draft blocks the
+// host-profiling scans and developer-error traffic while the legitimate
+// native-application use case (whose servers would ship the opt-in
+// header) survives.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	knockandtalk "github.com/knockandtalk/knockandtalk"
+)
+
+func main() {
+	st := knockandtalk.NewStore()
+	for _, os := range []knockandtalk.OS{knockandtalk.Windows, knockandtalk.Linux, knockandtalk.MacOSX} {
+		if _, err := knockandtalk.Run(knockandtalk.Config{
+			Crawl: knockandtalk.CrawlTop2020,
+			OS:    os,
+			Scale: 0.25, // top 25K: includes anti-abuse, native-app, and dev-error sites
+			Seed:  42,
+		}, st); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	policies := []struct {
+		name   string
+		policy knockandtalk.PNAPolicy
+	}{
+		{"no policy (status quo)", knockandtalk.PNAPolicy{}},
+		{"secure context only", knockandtalk.PNAPolicy{RequireSecureContext: true}},
+		{"full WICG draft", knockandtalk.PNAWICGDraft},
+	}
+	for _, p := range policies {
+		fmt.Printf("=== %s ===\n", p.name)
+		total, blocked := 0, 0
+		for _, row := range knockandtalk.AuditPNA(st, knockandtalk.CrawlTop2020, p.policy) {
+			total += row.Requests
+			blocked += row.Blocked()
+			fmt.Printf("  %-20s sites=%-3d requests=%-4d allowed=%-4d blocked=%-4d (insecure=%d, no-opt-in=%d)\n",
+				row.Class, row.Sites, row.Requests, row.Allowed, row.Blocked(),
+				row.BlockedInsecure, row.BlockedNoOptIn)
+		}
+		if total > 0 {
+			fmt.Printf("  overall: %d/%d requests blocked (%.0f%%)\n\n", blocked, total, 100*float64(blocked)/float64(total))
+		}
+	}
+}

@@ -1,0 +1,37 @@
+// Quickstart: crawl a slice of the 2020 top-list population on Windows,
+// detect local-network activity, and print the headline results — the
+// whole pipeline in about twenty lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	knockandtalk "github.com/knockandtalk/knockandtalk"
+)
+
+func main() {
+	st := knockandtalk.NewStore()
+
+	// Crawl the top 1,000 domains of the 2020 snapshot (scale 0.01) on
+	// Windows. Scale 1 reproduces the full 100K-domain study.
+	sum, err := knockandtalk.Run(knockandtalk.Config{
+		Crawl: knockandtalk.CrawlTop2020,
+		OS:    knockandtalk.Windows,
+		Scale: 0.01,
+		Seed:  42,
+	}, st)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("crawled %d pages: %d ok, %d failed, %d local-network requests\n\n",
+		sum.Attempted, sum.Successful, sum.Failed, sum.LocalRequests)
+
+	// Which sites knocked on the local network, and why?
+	for _, site := range knockandtalk.LocalSites(st, knockandtalk.CrawlTop2020, "localhost") {
+		fmt.Printf("rank %-6d %-24s %-20s via %q on %s\n",
+			site.Rank, site.Domain, site.Verdict.Class, site.Verdict.Signature, site.OS)
+	}
+	fmt.Println()
+	fmt.Print(knockandtalk.ReportHeadline(st, knockandtalk.CrawlTop2020))
+}

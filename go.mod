@@ -1,0 +1,3 @@
+module github.com/knockandtalk/knockandtalk
+
+go 1.22

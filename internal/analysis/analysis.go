@@ -1,0 +1,398 @@
+// Package analysis computes the paper's aggregate results from stored
+// crawl telemetry: crawl statistics (Table 1), the malicious-category
+// summary (Table 2), per-OS site sets and their overlap (Figure 2), rank
+// CDFs (Figures 3 and 9), protocol/port rollups (Figures 4 and 8),
+// request-timing CDFs (Figures 5–7), and the per-class site breakdowns
+// behind Tables 3, 5–11.
+package analysis
+
+import (
+	"sort"
+	"time"
+
+	"github.com/knockandtalk/knockandtalk/internal/classify"
+	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+	"github.com/knockandtalk/knockandtalk/internal/store"
+)
+
+// OSSetFromName maps a store OS label to its groundtruth bit.
+func OSSetFromName(name string) groundtruth.OSSet {
+	switch name {
+	case "Windows":
+		return groundtruth.OSWindows
+	case "Linux":
+		return groundtruth.OSLinux
+	case "Mac":
+		return groundtruth.OSMac
+	default:
+		return groundtruth.OSNone
+	}
+}
+
+// SiteActivity aggregates one site's local-network behavior across the
+// OSes of a crawl.
+type SiteActivity struct {
+	Domain   string
+	Rank     int
+	Category string
+	// OS is the set of OSes on which local traffic was observed.
+	OS groundtruth.OSSet
+	// FirstDelay maps each active OS to the delay between page fetch
+	// and the first local request (the Figure 5 observable).
+	FirstDelay map[groundtruth.OSSet]time.Duration
+	// Requests are all local requests across OSes.
+	Requests []store.LocalRequest
+	// Verdict is the classified behavior.
+	Verdict classify.Verdict
+}
+
+// LocalSites groups a crawl's local requests by site for one destination
+// class ("localhost" or "lan"), classifies each site, and returns the
+// sites sorted by rank then domain.
+func LocalSites(st *store.Store, crawl groundtruth.CrawlID, dest string) []SiteActivity {
+	reqs := st.Locals(func(l *store.LocalRequest) bool {
+		return l.Crawl == string(crawl) && l.Dest == dest
+	})
+	byDomain := map[string]*SiteActivity{}
+	for _, r := range reqs {
+		sa := byDomain[r.Domain]
+		if sa == nil {
+			sa = &SiteActivity{
+				Domain:     r.Domain,
+				Rank:       r.Rank,
+				Category:   r.Category,
+				FirstDelay: map[groundtruth.OSSet]time.Duration{},
+			}
+			byDomain[r.Domain] = sa
+		}
+		bit := OSSetFromName(r.OS)
+		sa.OS |= bit
+		if cur, ok := sa.FirstDelay[bit]; !ok || r.Delay < cur {
+			sa.FirstDelay[bit] = r.Delay
+		}
+		sa.Requests = append(sa.Requests, r)
+	}
+	out := make([]SiteActivity, 0, len(byDomain))
+	for _, sa := range byDomain {
+		if dest == "lan" {
+			sa.Verdict = classify.LANSite(sa.Requests)
+		} else {
+			sa.Verdict = classify.Site(sa.Requests)
+		}
+		out = append(out, *sa)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank < out[j].Rank
+		}
+		return out[i].Domain < out[j].Domain
+	})
+	return out
+}
+
+// Venn computes the OS-overlap regions of Figure 2: how many sites were
+// active on exactly each OS combination.
+func Venn(sites []SiteActivity) map[groundtruth.OSSet]int {
+	out := map[groundtruth.OSSet]int{}
+	for _, s := range sites {
+		out[s.OS]++
+	}
+	return out
+}
+
+// OSTotals counts sites active on each single OS (a site active on
+// several OSes counts toward each).
+func OSTotals(sites []SiteActivity) map[groundtruth.OSSet]int {
+	out := map[groundtruth.OSSet]int{}
+	for _, s := range sites {
+		for _, bit := range []groundtruth.OSSet{groundtruth.OSWindows, groundtruth.OSLinux, groundtruth.OSMac} {
+			if s.OS.Has(bit) {
+				out[bit]++
+			}
+		}
+	}
+	return out
+}
+
+// ClassCounts tallies sites per behavior class.
+func ClassCounts(sites []SiteActivity) map[groundtruth.Class]int {
+	out := map[groundtruth.Class]int{}
+	for _, s := range sites {
+		out[s.Verdict.Class]++
+	}
+	return out
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	X float64
+	Y float64
+}
+
+// CDF builds the empirical CDF of the values.
+func CDF(values []float64) []CDFPoint {
+	if len(values) == 0 {
+		return nil
+	}
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	sort.Float64s(sorted)
+	out := make([]CDFPoint, len(sorted))
+	for i, v := range sorted {
+		out[i] = CDFPoint{X: v, Y: float64(i+1) / float64(len(sorted))}
+	}
+	return out
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the values, using the
+// nearest-rank method. It returns 0 for empty input.
+func Quantile(values []float64, q float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// RankCDF is Figure 3/9: the CDF of Tranco ranks for sites active on one
+// OS.
+func RankCDF(sites []SiteActivity, os groundtruth.OSSet) []CDFPoint {
+	var ranks []float64
+	for _, s := range sites {
+		if s.OS.Has(os) && s.Rank > 0 {
+			ranks = append(ranks, float64(s.Rank))
+		}
+	}
+	return CDF(ranks)
+}
+
+// DelayCDF is Figure 5/6/7: the CDF of per-site first-request delays in
+// seconds, for sites active on one OS.
+func DelayCDF(sites []SiteActivity, os groundtruth.OSSet) []CDFPoint {
+	return CDF(DelaySeconds(sites, os))
+}
+
+// DelaySeconds extracts the per-site first-request delays in seconds for
+// one OS.
+func DelaySeconds(sites []SiteActivity, os groundtruth.OSSet) []float64 {
+	var out []float64
+	for _, s := range sites {
+		if d, ok := s.FirstDelay[os]; ok {
+			out = append(out, d.Seconds())
+		}
+	}
+	return out
+}
+
+// Rollup is the Figure 4/8 protocol/port breakdown for one OS.
+type Rollup struct {
+	OS    groundtruth.OSSet
+	Total int
+	// ByScheme counts requests per scheme; Ports lists the distinct
+	// ports seen per scheme, sorted.
+	ByScheme map[string]int
+	Ports    map[string][]uint16
+}
+
+// SchemeRollup aggregates a crawl's local requests on one OS by scheme
+// and port.
+func SchemeRollup(st *store.Store, crawl groundtruth.CrawlID, osName string, dest string) Rollup {
+	reqs := st.Locals(func(l *store.LocalRequest) bool {
+		return l.Crawl == string(crawl) && l.OS == osName && l.Dest == dest
+	})
+	r := Rollup{OS: OSSetFromName(osName), ByScheme: map[string]int{}, Ports: map[string][]uint16{}}
+	portSet := map[string]map[uint16]bool{}
+	for _, q := range reqs {
+		r.Total++
+		r.ByScheme[q.Scheme]++
+		if portSet[q.Scheme] == nil {
+			portSet[q.Scheme] = map[uint16]bool{}
+		}
+		portSet[q.Scheme][q.Port] = true
+	}
+	for scheme, ports := range portSet {
+		for p := range ports {
+			r.Ports[scheme] = append(r.Ports[scheme], p)
+		}
+		sort.Slice(r.Ports[scheme], func(i, j int) bool { return r.Ports[scheme][i] < r.Ports[scheme][j] })
+	}
+	return r
+}
+
+// CrawlRow is one measured row of Table 1.
+type CrawlRow struct {
+	Crawl           groundtruth.CrawlID
+	OS              string
+	Successful      int
+	Failed          int
+	NameNotResolved int
+	ConnRefused     int
+	ConnReset       int
+	CertCNInvalid   int
+	Others          int
+}
+
+// Total returns attempted loads.
+func (r CrawlRow) Total() int { return r.Successful + r.Failed }
+
+// CrawlTable computes Table 1 from stored page records, in the paper's
+// row order (by crawl, then OS as W/M/L where present).
+func CrawlTable(st *store.Store) []CrawlRow {
+	type key struct {
+		crawl string
+		os    string
+	}
+	rows := map[key]*CrawlRow{}
+	for _, p := range st.Pages(nil) {
+		k := key{p.Crawl, p.OS}
+		r := rows[k]
+		if r == nil {
+			r = &CrawlRow{Crawl: groundtruth.CrawlID(p.Crawl), OS: p.OS}
+			rows[k] = r
+		}
+		if p.OK() {
+			r.Successful++
+			continue
+		}
+		r.Failed++
+		switch p.Err {
+		case "ERR_NAME_NOT_RESOLVED":
+			r.NameNotResolved++
+		case "ERR_CONNECTION_REFUSED":
+			r.ConnRefused++
+		case "ERR_CONNECTION_RESET":
+			r.ConnReset++
+		case "ERR_CERT_COMMON_NAME_INVALID":
+			r.CertCNInvalid++
+		default:
+			r.Others++
+		}
+	}
+	out := make([]CrawlRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Crawl != out[j].Crawl {
+			return out[i].Crawl < out[j].Crawl
+		}
+		return osOrder(out[i].OS) < osOrder(out[j].OS)
+	})
+	return out
+}
+
+func osOrder(os string) int {
+	switch os {
+	case "Windows":
+		return 0
+	case "Linux":
+		return 1
+	default:
+		return 2
+	}
+}
+
+// CategoryRow is one measured row of Table 2.
+type CategoryRow struct {
+	Category    string
+	Sites       int
+	SuccessRate map[string]float64 // by OS name
+	Localhost   map[string]int     // localhost-active sites by OS name
+	LAN         map[string]int
+}
+
+// MaliciousSummary computes Table 2 from stored records.
+func MaliciousSummary(st *store.Store) []CategoryRow {
+	byCat := map[string]*CategoryRow{}
+	attempted := map[[2]string]int{} // (category, os) → attempts
+	succeeded := map[[2]string]int{}
+	for _, p := range st.Pages(func(p *store.PageRecord) bool { return p.Crawl == string(groundtruth.CrawlMalicious) }) {
+		r := byCat[p.Category]
+		if r == nil {
+			r = &CategoryRow{
+				Category:    p.Category,
+				SuccessRate: map[string]float64{},
+				Localhost:   map[string]int{},
+				LAN:         map[string]int{},
+			}
+			byCat[p.Category] = r
+		}
+		attempted[[2]string{p.Category, p.OS}]++
+		if p.OK() {
+			succeeded[[2]string{p.Category, p.OS}]++
+		}
+	}
+	// Distinct sites per category (attempts divided across OSes).
+	siteSet := map[string]map[string]bool{}
+	for _, p := range st.Pages(func(p *store.PageRecord) bool { return p.Crawl == string(groundtruth.CrawlMalicious) }) {
+		if siteSet[p.Category] == nil {
+			siteSet[p.Category] = map[string]bool{}
+		}
+		siteSet[p.Category][p.Domain] = true
+	}
+	for cat, r := range byCat {
+		r.Sites = len(siteSet[cat])
+		for _, os := range []string{"Windows", "Linux", "Mac"} {
+			if n := attempted[[2]string{cat, os}]; n > 0 {
+				r.SuccessRate[os] = float64(succeeded[[2]string{cat, os}]) / float64(n)
+			}
+		}
+	}
+	for _, dest := range []string{"localhost", "lan"} {
+		for _, s := range LocalSites(st, groundtruth.CrawlMalicious, dest) {
+			r := byCat[s.Category]
+			if r == nil {
+				continue
+			}
+			for osName, bit := range map[string]groundtruth.OSSet{
+				"Windows": groundtruth.OSWindows, "Linux": groundtruth.OSLinux, "Mac": groundtruth.OSMac,
+			} {
+				if s.OS.Has(bit) {
+					if dest == "lan" {
+						r.LAN[osName]++
+					} else {
+						r.Localhost[osName]++
+					}
+				}
+			}
+		}
+	}
+	out := make([]CategoryRow, 0, len(byCat))
+	for _, cat := range []string{"malware", "abuse", "phishing"} {
+		if r := byCat[cat]; r != nil {
+			out = append(out, *r)
+		}
+	}
+	return out
+}
+
+// TopN returns the N highest-ranked sites active on the given OS
+// (Table 3).
+func TopN(sites []SiteActivity, os groundtruth.OSSet, n int) []SiteActivity {
+	var filtered []SiteActivity
+	for _, s := range sites {
+		if s.OS.Has(os) && s.Rank > 0 {
+			filtered = append(filtered, s)
+		}
+	}
+	sort.Slice(filtered, func(i, j int) bool { return filtered[i].Rank < filtered[j].Rank })
+	if len(filtered) > n {
+		filtered = filtered[:n]
+	}
+	return filtered
+}

@@ -1,0 +1,257 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/knockandtalk/knockandtalk/internal/crawler"
+	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+	"github.com/knockandtalk/knockandtalk/internal/hostenv"
+	"github.com/knockandtalk/knockandtalk/internal/store"
+)
+
+// crawl2020Small runs a 1K-domain crawl of the 2020 population on all
+// three OSes, once per test binary.
+var small2020 = func() *store.Store {
+	st := store.New()
+	for _, os := range hostenv.AllOS {
+		_, err := crawler.Run(crawler.Config{
+			Crawl: groundtruth.CrawlTop2020, OS: os, Scale: 0.01, Seed: 0xA11CE, Workers: 4,
+		}, st)
+		if err != nil {
+			panic(err)
+		}
+	}
+	return st
+}()
+
+func TestLocalSitesFromSmallCrawl(t *testing.T) {
+	sites := LocalSites(small2020, groundtruth.CrawlTop2020, "localhost")
+	// Ground truth within the top 1000: ebay.com (104, W), hola.org
+	// (244, WLM), ebay.de (429, W), ebay.co.uk (536, W),
+	// ebay.com.au (932, W).
+	if len(sites) != 5 {
+		t.Fatalf("localhost sites = %d, want 5", len(sites))
+	}
+	if sites[0].Domain != "ebay.com" || sites[0].Rank != 104 {
+		t.Errorf("sites not rank-sorted: %+v", sites[0])
+	}
+	totals := OSTotals(sites)
+	if totals[groundtruth.OSWindows] != 5 || totals[groundtruth.OSLinux] != 1 || totals[groundtruth.OSMac] != 1 {
+		t.Errorf("OS totals = %v, want W5 L1 M1", totals)
+	}
+	venn := Venn(sites)
+	if venn[groundtruth.OSWindows] != 4 || venn[groundtruth.OSAll] != 1 {
+		t.Errorf("venn = %v, want W-only 4, all-three 1", venn)
+	}
+	// Classification: the eBay sites are fraud detection, hola unknown.
+	counts := ClassCounts(sites)
+	if counts[groundtruth.ClassFraudDetection] != 4 || counts[groundtruth.ClassUnknown] != 1 {
+		t.Errorf("class counts = %v", counts)
+	}
+}
+
+func TestDelaysWithinWindow(t *testing.T) {
+	sites := LocalSites(small2020, groundtruth.CrawlTop2020, "localhost")
+	for _, os := range []groundtruth.OSSet{groundtruth.OSWindows, groundtruth.OSLinux, groundtruth.OSMac} {
+		for _, d := range DelaySeconds(sites, os) {
+			if d < 0 || d > 20 {
+				t.Errorf("delay %v outside the 20s observation window", d)
+			}
+		}
+	}
+	// Fraud detection fires late on Windows.
+	win := DelaySeconds(sites, groundtruth.OSWindows)
+	if med := Quantile(win, 0.5); med < 8 {
+		t.Errorf("Windows median delay = %.1fs; fraud-detection sites should dominate and fire late", med)
+	}
+}
+
+func TestCrawlTableFromStore(t *testing.T) {
+	rows := CrawlTable(small2020)
+	if len(rows) != 3 {
+		t.Fatalf("crawl rows = %d, want 3 (one per OS)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Total() != 1000 {
+			t.Errorf("%s: total = %d", r.OS, r.Total())
+		}
+		if sum := r.NameNotResolved + r.ConnRefused + r.ConnReset + r.CertCNInvalid + r.Others; sum != r.Failed {
+			t.Errorf("%s: error sum %d != failed %d", r.OS, sum, r.Failed)
+		}
+		rate := float64(r.Successful) / float64(r.Total())
+		if rate < 0.85 || rate > 0.95 {
+			t.Errorf("%s: success rate %.3f", r.OS, rate)
+		}
+	}
+	if rows[0].OS != "Windows" || rows[1].OS != "Linux" || rows[2].OS != "Mac" {
+		t.Errorf("row order: %v %v %v", rows[0].OS, rows[1].OS, rows[2].OS)
+	}
+}
+
+func TestSchemeRollupWindows(t *testing.T) {
+	r := SchemeRollup(small2020, groundtruth.CrawlTop2020, "Windows", "localhost")
+	// 4 TM sites × 14 WSS probes + hola's 10 HTTP fetches.
+	if r.ByScheme["wss"] != 56 {
+		t.Errorf("wss requests = %d, want 56", r.ByScheme["wss"])
+	}
+	if r.ByScheme["http"] != 10 {
+		t.Errorf("http requests = %d, want 10", r.ByScheme["http"])
+	}
+	if r.Total != 66 {
+		t.Errorf("total = %d, want 66", r.Total)
+	}
+	if len(r.Ports["wss"]) != 14 {
+		t.Errorf("distinct wss ports = %d, want 14", len(r.Ports["wss"]))
+	}
+}
+
+func TestRankCDFMonotone(t *testing.T) {
+	sites := LocalSites(small2020, groundtruth.CrawlTop2020, "localhost")
+	cdf := RankCDF(sites, groundtruth.OSWindows)
+	if len(cdf) != 5 {
+		t.Fatalf("CDF points = %d", len(cdf))
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].X < cdf[i-1].X || cdf[i].Y <= cdf[i-1].Y {
+			t.Errorf("CDF not monotone at %d: %+v %+v", i, cdf[i-1], cdf[i])
+		}
+	}
+	if last := cdf[len(cdf)-1]; last.Y != 1 {
+		t.Errorf("CDF must end at 1, got %f", last.Y)
+	}
+}
+
+func TestCDFAndQuantileBasics(t *testing.T) {
+	if CDF(nil) != nil {
+		t.Error("empty CDF should be nil")
+	}
+	vals := []float64{3, 1, 2}
+	cdf := CDF(vals)
+	if cdf[0].X != 1 || cdf[2].X != 3 || math.Abs(cdf[1].Y-2.0/3) > 1e-9 {
+		t.Errorf("CDF = %+v", cdf)
+	}
+	// CDF must not mutate its input.
+	if vals[0] != 3 {
+		t.Error("CDF mutated input")
+	}
+	if q := Quantile([]float64{5, 1, 3}, 0.5); q != 3 {
+		t.Errorf("median = %v", q)
+	}
+	if q := Quantile([]float64{5, 1, 3}, 0); q != 1 {
+		t.Errorf("q0 = %v", q)
+	}
+	if q := Quantile([]float64{5, 1, 3}, 1); q != 5 {
+		t.Errorf("q1 = %v", q)
+	}
+	if q := Quantile(nil, 0.5); q != 0 {
+		t.Errorf("empty quantile = %v", q)
+	}
+}
+
+func TestTopN(t *testing.T) {
+	sites := LocalSites(small2020, groundtruth.CrawlTop2020, "localhost")
+	top3 := TopN(sites, groundtruth.OSWindows, 3)
+	if len(top3) != 3 || top3[0].Domain != "ebay.com" || top3[1].Domain != "hola.org" {
+		t.Errorf("top3 = %+v", top3)
+	}
+	all := TopN(sites, groundtruth.OSLinux, 10)
+	if len(all) != 1 || all[0].Domain != "hola.org" {
+		t.Errorf("Linux top = %+v", all)
+	}
+}
+
+func TestMaliciousSummarySmall(t *testing.T) {
+	st := store.New()
+	for _, os := range hostenv.AllOS {
+		if _, err := crawler.Run(crawler.Config{
+			Crawl: groundtruth.CrawlMalicious, OS: os, Scale: 0.002, Seed: 0xA11CE, Workers: 4,
+		}, st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows := MaliciousSummary(st)
+	if len(rows) != 3 {
+		t.Fatalf("categories = %d", len(rows))
+	}
+	if rows[0].Category != "malware" || rows[1].Category != "abuse" || rows[2].Category != "phishing" {
+		t.Errorf("category order wrong: %+v", rows)
+	}
+	for _, r := range rows {
+		if r.Sites == 0 {
+			t.Errorf("%s: zero sites", r.Category)
+		}
+	}
+	// All ground-truth phishing sites are in even a scaled population;
+	// the 13 ThreatMetrix cloners are Windows-only.
+	ph := rows[2]
+	if ph.Localhost["Windows"] < 13 {
+		t.Errorf("phishing localhost on Windows = %d, want ≥ 13", ph.Localhost["Windows"])
+	}
+	// Abuse succeeds far more often than malware (Table 2).
+	if rows[1].SuccessRate["Linux"] <= rows[0].SuccessRate["Linux"] {
+		t.Errorf("abuse success (%f) should exceed malware success (%f)",
+			rows[1].SuccessRate["Linux"], rows[0].SuccessRate["Linux"])
+	}
+}
+
+func TestOSSetFromName(t *testing.T) {
+	if OSSetFromName("Windows") != groundtruth.OSWindows ||
+		OSSetFromName("Linux") != groundtruth.OSLinux ||
+		OSSetFromName("Mac") != groundtruth.OSMac ||
+		OSSetFromName("BeOS") != groundtruth.OSNone {
+		t.Error("OSSetFromName mapping wrong")
+	}
+}
+
+func TestFirstDelayIsMinimum(t *testing.T) {
+	st := store.New()
+	add := func(delay time.Duration) {
+		st.AddLocal(store.LocalRequest{
+			Crawl: string(groundtruth.CrawlTop2020), OS: "Windows", Domain: "x.example",
+			URL: "wss://localhost:5939/", Scheme: "wss", Host: "localhost", Port: 5939,
+			Path: "/", Dest: "localhost", Delay: delay,
+		})
+	}
+	add(10 * time.Second)
+	add(9 * time.Second)
+	add(12 * time.Second)
+	sites := LocalSites(st, groundtruth.CrawlTop2020, "localhost")
+	if len(sites) != 1 {
+		t.Fatal("grouping failed")
+	}
+	if d := sites[0].FirstDelay[groundtruth.OSWindows]; d != 9*time.Second {
+		t.Errorf("first delay = %v, want 9s", d)
+	}
+}
+
+func TestComputeOSSkew(t *testing.T) {
+	sites := LocalSites(small2020, groundtruth.CrawlTop2020, "localhost")
+	skew := ComputeOSSkew(sites, groundtruth.OSAll)
+	// Top-1000 slice: 4 eBay sites Windows-only, hola.org uniform.
+	if skew.Sites != 5 || skew.ExclusiveCounts[groundtruth.OSWindows] != 4 || skew.UniformCount != 1 {
+		t.Errorf("skew = %+v", skew)
+	}
+	if share := skew.ExclusiveShare[groundtruth.OSWindows]; share < 0.79 || share > 0.81 {
+		t.Errorf("Windows-exclusive share = %.2f", share)
+	}
+	if got := ComputeOSSkew(nil, groundtruth.OSAll); got.Sites != 0 || len(got.ExclusiveShare) != 0 {
+		t.Errorf("empty skew = %+v", got)
+	}
+}
+
+func TestComputeSOPUsage(t *testing.T) {
+	u := ComputeSOPUsage(small2020, groundtruth.CrawlTop2020, "localhost")
+	// 4 TM sites × 14 WSS probes per OS crawl (Windows only) = 56
+	// exempt requests; hola's 30 HTTP fetches (3 OSes × 10) are bound.
+	if u.ExemptRequests != 56 || u.WSSRequests != 56 {
+		t.Errorf("usage = %+v", u)
+	}
+	if u.Sites != 5 || u.ExemptSites != 4 {
+		t.Errorf("site counts = %+v", u)
+	}
+	if u.Requests <= u.ExemptRequests {
+		t.Errorf("HTTP traffic missing: %+v", u)
+	}
+}

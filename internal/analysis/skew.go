@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+	"github.com/knockandtalk/knockandtalk/internal/store"
+)
+
+// OSSkew quantifies the §4.1 targeting observation: localhost activity
+// is not uniform across OSes, skewing heavily toward Windows-only
+// behavior ("48 sites (45%) did so [exclusively] on Windows 10, which
+// suggests a degree of targeting towards Windows users").
+type OSSkew struct {
+	Sites int
+	// ExclusiveCounts maps each single OS to the number of sites active
+	// on it alone.
+	ExclusiveCounts map[groundtruth.OSSet]int
+	// ExclusiveShare is ExclusiveCounts normalized by Sites.
+	ExclusiveShare map[groundtruth.OSSet]float64
+	// UniformCount is the number of sites behaving identically on every
+	// OS the crawl covered.
+	UniformCount int
+}
+
+// ComputeOSSkew summarizes per-OS exclusivity for a set of local-active
+// sites. allOS is the OS set the crawl covered (OSAll for 2020 and
+// malicious, OSWL for 2021).
+func ComputeOSSkew(sites []SiteActivity, allOS groundtruth.OSSet) OSSkew {
+	skew := OSSkew{
+		Sites:           len(sites),
+		ExclusiveCounts: map[groundtruth.OSSet]int{},
+		ExclusiveShare:  map[groundtruth.OSSet]float64{},
+	}
+	for _, s := range sites {
+		if s.OS == allOS {
+			skew.UniformCount++
+		}
+		for _, bit := range []groundtruth.OSSet{groundtruth.OSWindows, groundtruth.OSLinux, groundtruth.OSMac} {
+			if s.OS == bit {
+				skew.ExclusiveCounts[bit]++
+			}
+		}
+	}
+	if skew.Sites > 0 {
+		for bit, n := range skew.ExclusiveCounts {
+			skew.ExclusiveShare[bit] = float64(n) / float64(skew.Sites)
+		}
+	}
+	return skew
+}
+
+// SOPUsage quantifies the §4.2 WebSocket observation: WS/WSS traffic is
+// exempt from the Same-Origin Policy, and the paper found it used
+// extensively for localhost scanning.
+type SOPUsage struct {
+	Requests       int
+	ExemptRequests int
+	Sites          int
+	ExemptSites    int
+	// WSSRequests counts the secured-WebSocket subset.
+	WSSRequests int
+}
+
+// ComputeSOPUsage summarizes Same-Origin-Policy exemption across a
+// crawl's local requests on one destination class.
+func ComputeSOPUsage(st *store.Store, crawl groundtruth.CrawlID, dest string) SOPUsage {
+	var u SOPUsage
+	siteExempt := map[string]bool{}
+	siteSeen := map[string]bool{}
+	for _, r := range st.Locals(func(l *store.LocalRequest) bool {
+		return l.Crawl == string(crawl) && l.Dest == dest
+	}) {
+		u.Requests++
+		siteSeen[r.Domain] = true
+		if r.SOPExempt {
+			u.ExemptRequests++
+			siteExempt[r.Domain] = true
+		}
+		if r.Scheme == "wss" {
+			u.WSSRequests++
+		}
+	}
+	u.Sites = len(siteSeen)
+	u.ExemptSites = len(siteExempt)
+	return u
+}

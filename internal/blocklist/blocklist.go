@@ -1,0 +1,210 @@
+// Package blocklist models the malicious-URL feeds the study crawled:
+// SURBL (abuse, malware, and phishing sites), Abuse.ch URLhaus (malware),
+// and PhishTank (phishing). It generates the deterministic ~145K-domain
+// population of Table 2, including the blocklists' habit of listing many
+// URLs per domain, and implements the study's one-URL-per-domain
+// deduplication (§3.1).
+package blocklist
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+)
+
+// Category is a malicious-site category from Table 2.
+type Category string
+
+// Categories.
+const (
+	CategoryMalware  Category = "malware"
+	CategoryAbuse    Category = "abuse"
+	CategoryPhishing Category = "phishing"
+)
+
+// Categories lists all categories in Table 2 order.
+var Categories = []Category{CategoryMalware, CategoryAbuse, CategoryPhishing}
+
+// Source is a blocklist feed.
+type Source string
+
+// Feeds.
+const (
+	SourceURLhaus   Source = "urlhaus"
+	SourceSURBL     Source = "surbl"
+	SourcePhishTank Source = "phishtank"
+)
+
+// Entry is one blocklist listing: a malicious URL with its category and
+// originating feed.
+type Entry struct {
+	URL      string
+	Domain   string
+	Category Category
+	Source   Source
+}
+
+// sizes per Table 2.
+const (
+	MalwareDomains  = 103541
+	AbuseDomains    = 24958
+	PhishingDomains = 16426
+	TotalDomains    = MalwareDomains + AbuseDomains + PhishingDomains
+)
+
+// sourceFor assigns the feed for a synthetic domain, matching Table 2's
+// contribution percentages (malware: URLhaus 99% / SURBL 1%; abuse:
+// SURBL; phishing: PhishTank 85% / SURBL 15%).
+func sourceFor(cat Category, domain string) Source {
+	h := fnv.New32a()
+	h.Write([]byte(domain))
+	pct := h.Sum32() % 100
+	switch cat {
+	case CategoryMalware:
+		if pct < 99 {
+			return SourceURLhaus
+		}
+		return SourceSURBL
+	case CategoryAbuse:
+		return SourceSURBL
+	case CategoryPhishing:
+		if pct < 85 {
+			return SourcePhishTank
+		}
+		return SourceSURBL
+	default:
+		return SourceSURBL
+	}
+}
+
+// Domains returns the full deduplicated malicious-domain population for a
+// category, scaled by the given factor in (0, 1]. Ground-truth domains
+// (the sites the paper observed generating local traffic) always appear,
+// followed by deterministic filler up to the scaled category size.
+func Domains(cat Category, scale float64) []Entry {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	var size int
+	switch cat {
+	case CategoryMalware:
+		size = MalwareDomains
+	case CategoryAbuse:
+		size = AbuseDomains
+	case CategoryPhishing:
+		size = PhishingDomains
+	}
+	size = int(float64(size) * scale)
+
+	var out []Entry
+	seen := make(map[string]bool)
+	addDomain := func(domain string) {
+		if seen[domain] || len(out) >= size {
+			return
+		}
+		seen[domain] = true
+		out = append(out, Entry{
+			URL:      "http://" + domain + "/",
+			Domain:   domain,
+			Category: cat,
+			Source:   sourceFor(cat, domain),
+		})
+	}
+	for _, r := range groundtruth.MaliciousLocalhost() {
+		if Category(r.Category) == cat {
+			addDomain(r.Domain)
+		}
+	}
+	for _, r := range groundtruth.MaliciousLAN() {
+		if Category(r.Category) == cat {
+			addDomain(r.Domain)
+		}
+	}
+	for i := 0; len(out) < size; i++ {
+		addDomain(fmt.Sprintf("%s%06d.bad.example", cat, i))
+	}
+	return out
+}
+
+// Population returns the entire deduplicated malicious population across
+// all categories, deterministic and sorted by category then insertion
+// order. scale in (0, 1] shrinks each category proportionally.
+func Population(scale float64) []Entry {
+	var out []Entry
+	for _, cat := range Categories {
+		out = append(out, Domains(cat, scale)...)
+	}
+	return out
+}
+
+// RawListing expands a deduplicated population back into feed-shaped raw
+// listings: blocklists often list several URLs per domain, and the study
+// kept only one per domain. urlsPerDomain controls the expansion factor
+// (hash-varied between 1 and the maximum).
+func RawListing(pop []Entry, maxURLsPerDomain int) []Entry {
+	if maxURLsPerDomain < 1 {
+		maxURLsPerDomain = 1
+	}
+	var out []Entry
+	for _, e := range pop {
+		h := fnv.New32a()
+		h.Write([]byte("rawcount:" + e.Domain))
+		n := int(h.Sum32())%maxURLsPerDomain + 1
+		for i := 0; i < n; i++ {
+			u := e
+			if i > 0 {
+				u.URL = fmt.Sprintf("http://%s/payload/%d", e.Domain, i)
+			}
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// DedupOnePerDomain selects one URL per domain from a raw listing,
+// keeping the first listing seen for each domain (§3.1: "we only select
+// one malicious URL per domain to increase our measurement's coverage of
+// malicious domains").
+func DedupOnePerDomain(raw []Entry) []Entry {
+	seen := make(map[string]bool, len(raw))
+	var out []Entry
+	for _, e := range raw {
+		if seen[e.Domain] {
+			continue
+		}
+		seen[e.Domain] = true
+		out = append(out, e)
+	}
+	return out
+}
+
+// SourceShare reports, for a category's population, the fraction of
+// domains contributed by each feed — the "Data Sources (% Contribution)"
+// column of Table 2.
+func SourceShare(pop []Entry, cat Category) map[Source]float64 {
+	counts := make(map[Source]int)
+	total := 0
+	for _, e := range pop {
+		if e.Category != cat {
+			continue
+		}
+		counts[e.Source]++
+		total++
+	}
+	out := make(map[Source]float64, len(counts))
+	if total == 0 {
+		return out
+	}
+	for s, n := range counts {
+		out[s] = float64(n) / float64(total)
+	}
+	return out
+}
+
+// SortByDomain orders entries lexicographically by domain, for stable
+// output in reports.
+func SortByDomain(entries []Entry) {
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Domain < entries[j].Domain })
+}

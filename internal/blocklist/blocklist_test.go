@@ -1,0 +1,134 @@
+package blocklist
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+)
+
+func TestPopulationSizes(t *testing.T) {
+	pop := Population(1)
+	if len(pop) != TotalDomains {
+		t.Fatalf("population = %d, want %d (~145K, Table 2)", len(pop), TotalDomains)
+	}
+	counts := map[Category]int{}
+	for _, e := range pop {
+		counts[e.Category]++
+	}
+	if counts[CategoryMalware] != MalwareDomains || counts[CategoryAbuse] != AbuseDomains || counts[CategoryPhishing] != PhishingDomains {
+		t.Errorf("category sizes = %v", counts)
+	}
+}
+
+func TestPopulationIncludesGroundTruth(t *testing.T) {
+	pop := Population(1)
+	have := make(map[string]Category, len(pop))
+	for _, e := range pop {
+		have[e.Domain] = e.Category
+	}
+	for _, r := range groundtruth.MaliciousLocalhost() {
+		if cat, ok := have[r.Domain]; !ok || cat != Category(r.Category) {
+			t.Errorf("%s: in population as %q, want %q", r.Domain, cat, r.Category)
+		}
+	}
+	for _, r := range groundtruth.MaliciousLAN() {
+		if cat, ok := have[r.Domain]; !ok || cat != Category(r.Category) {
+			t.Errorf("%s (LAN): in population as %q, want %q", r.Domain, cat, r.Category)
+		}
+	}
+}
+
+func TestPopulationNoDuplicates(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Population(0.1) {
+		if seen[e.Domain] {
+			t.Fatalf("duplicate domain %q", e.Domain)
+		}
+		seen[e.Domain] = true
+	}
+}
+
+func TestScaledPopulationKeepsGroundTruth(t *testing.T) {
+	pop := Population(0.01) // ~1.45K domains
+	have := map[string]bool{}
+	for _, e := range pop {
+		have[e.Domain] = true
+	}
+	for _, r := range groundtruth.MaliciousLocalhost() {
+		if !have[r.Domain] {
+			t.Errorf("%s lost at scale 0.01", r.Domain)
+		}
+	}
+}
+
+func TestSourceSharesMatchTable2(t *testing.T) {
+	pop := Population(1)
+	mal := SourceShare(pop, CategoryMalware)
+	if mal[SourceURLhaus] < 0.97 || mal[SourceURLhaus] > 1.0 {
+		t.Errorf("malware URLhaus share = %.3f, want ~0.99", mal[SourceURLhaus])
+	}
+	ab := SourceShare(pop, CategoryAbuse)
+	if ab[SourceSURBL] != 1.0 {
+		t.Errorf("abuse SURBL share = %.3f, want 1.0", ab[SourceSURBL])
+	}
+	ph := SourceShare(pop, CategoryPhishing)
+	if ph[SourcePhishTank] < 0.82 || ph[SourcePhishTank] > 0.88 {
+		t.Errorf("phishing PhishTank share = %.3f, want ~0.85", ph[SourcePhishTank])
+	}
+}
+
+func TestRawListingAndDedup(t *testing.T) {
+	pop := Domains(CategoryPhishing, 0.05)
+	raw := RawListing(pop, 5)
+	if len(raw) <= len(pop) {
+		t.Errorf("raw listing should exceed deduplicated population: %d <= %d", len(raw), len(pop))
+	}
+	dedup := DedupOnePerDomain(raw)
+	if len(dedup) != len(pop) {
+		t.Errorf("dedup returned %d entries, want %d", len(dedup), len(pop))
+	}
+	seen := map[string]bool{}
+	for _, e := range dedup {
+		if seen[e.Domain] {
+			t.Fatalf("dedup kept two URLs for %q", e.Domain)
+		}
+		seen[e.Domain] = true
+	}
+}
+
+func TestRawListingDeterministic(t *testing.T) {
+	pop := Domains(CategoryAbuse, 0.01)
+	a := RawListing(pop, 4)
+	b := RawListing(pop, 4)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+}
+
+func TestSortByDomain(t *testing.T) {
+	entries := []Entry{{Domain: "zzz.example"}, {Domain: "aaa.example"}, {Domain: "mmm.example"}}
+	SortByDomain(entries)
+	if entries[0].Domain != "aaa.example" || entries[2].Domain != "zzz.example" {
+		t.Errorf("sort order wrong: %v", entries)
+	}
+}
+
+// Property: dedup is idempotent and never grows.
+func TestQuickDedupIdempotent(t *testing.T) {
+	f := func(n uint8) bool {
+		pop := Domains(CategoryMalware, float64(n%50+1)/5000)
+		raw := RawListing(pop, int(n%7)+1)
+		once := DedupOnePerDomain(raw)
+		twice := DedupOnePerDomain(once)
+		return len(once) == len(twice) && len(once) <= len(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,268 @@
+// Package browser simulates the measurement browser: a Google Chrome v84
+// instance with a clean incognito profile, driven for one 20-second page
+// visit at a time, recording every network event on its (virtual)
+// network stack in NetLog form.
+//
+// The browser runs on a machine (hostenv.Profile) attached to the public
+// synthetic web (simnet.Network). Requests to loopback and RFC1918
+// destinations route to the machine's own localhost table and LAN
+// inventory — the mechanism that makes a website's local probes succeed
+// or fail depending on what the visitor's host is running.
+//
+// Fidelity notes, mirroring §3.1 of the paper:
+//   - Safe Browsing is a toggle and is disabled during crawls so that
+//     malicious pages load.
+//   - Cross-origin HTTP(S) requests are sent regardless of the
+//     Same-Origin Policy (the response is merely opaque to the page);
+//     WebSocket requests are exempt from SOP entirely. Both facts are
+//     recorded as flow parameters.
+//   - The browser itself generates background traffic (update checks,
+//     variations fetches) under a BROWSER source, which the analysis
+//     layer must filter out by source type.
+package browser
+
+import (
+	"fmt"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/knockandtalk/knockandtalk/internal/hostenv"
+	"github.com/knockandtalk/knockandtalk/internal/netlog"
+	"github.com/knockandtalk/knockandtalk/internal/simnet"
+	"github.com/knockandtalk/knockandtalk/internal/webdoc"
+)
+
+// Options configures a browser instance.
+type Options struct {
+	// Window is how long a page visit is monitored after navigation
+	// starts. The study used 20 seconds (§3.1).
+	Window time.Duration
+	// MaxRedirects bounds redirect chains, as Chrome does (20).
+	MaxRedirects int
+	// SafeBrowsing enables the Safe Browsing interstitial. The study
+	// disables it so malicious pages are reachable.
+	SafeBrowsing bool
+	// SafeBrowsingList is the blocked-domain set consulted when
+	// SafeBrowsing is on.
+	SafeBrowsingList map[string]bool
+	// Background enables browser-internal traffic emission.
+	Background bool
+	// MaxLogEvents bounds the per-visit NetLog capture (0 = unbounded),
+	// mirroring Chrome's bounded capture modes.
+	MaxLogEvents int
+	// ParseHTML requests real markup from the synthetic web and runs
+	// the full tokenize→extract→interpret pipeline instead of the
+	// precompiled fast path. Slower; equivalence-tested.
+	ParseHTML bool
+}
+
+// DefaultOptions returns the crawl configuration of §3.1.
+func DefaultOptions() Options {
+	return Options{
+		Window:       20 * time.Second,
+		MaxRedirects: 20,
+		SafeBrowsing: false,
+		Background:   true,
+	}
+}
+
+// Browser is one Chrome instance bound to a machine and a network.
+type Browser struct {
+	Profile *hostenv.Profile
+	Net     *simnet.Network
+	Opts    Options
+}
+
+// New returns a browser on the given machine, attached to the given
+// public network.
+func New(profile *hostenv.Profile, net *simnet.Network, opts Options) *Browser {
+	if opts.Window <= 0 {
+		opts.Window = 20 * time.Second
+	}
+	if opts.MaxRedirects <= 0 {
+		opts.MaxRedirects = 20
+	}
+	return &Browser{Profile: profile, Net: net, Opts: opts}
+}
+
+// VisitResult is the outcome of one page visit.
+type VisitResult struct {
+	// URL is the requested URL; FinalURL the post-redirect destination.
+	URL      string
+	FinalURL string
+	// Err is the page-level load error, or OK.
+	Err simnet.NetError
+	// CommittedAt is when the landing document finished loading on the
+	// visit clock; zero if the load failed.
+	CommittedAt time.Duration
+	// Log is the complete NetLog capture for the visit.
+	Log *netlog.Log
+}
+
+// OK reports whether the landing page loaded successfully.
+func (v *VisitResult) OK() bool { return !v.Err.IsFailure() }
+
+// Visit loads a URL with a fresh profile and returns the telemetry
+// captured over the observation window. Each visit runs on its own
+// virtual clock starting at zero.
+func (b *Browser) Visit(rawURL string) *VisitResult {
+	res := &VisitResult{URL: rawURL, FinalURL: rawURL, Err: simnet.OK}
+	rec := netlog.NewRecorder()
+	if b.Opts.MaxLogEvents > 0 {
+		rec = netlog.NewBoundedRecorder(b.Opts.MaxLogEvents)
+	}
+	sched := simnet.NewScheduler()
+
+	v := &visit{b: b, rec: rec, sched: sched, res: res}
+	if b.Opts.Background {
+		v.emitBackground()
+	}
+
+	if b.Opts.SafeBrowsing && b.Opts.SafeBrowsingList != nil {
+		if host := hostOf(rawURL); b.Opts.SafeBrowsingList[host] {
+			res.Err = simnet.ErrBlockedByClient
+			src := rec.NewSource(netlog.SourceURLRequest)
+			rec.Point(0, netlog.TypeURLRequestError, src, map[string]any{
+				"url": rawURL, "net_error": string(simnet.ErrBlockedByClient),
+			})
+			res.Log = rec.Log()
+			return res
+		}
+	}
+
+	v.fetch(request{rawURL: rawURL, initiator: "navigation", navigation: true}, func(out fetchOutcome) {
+		res.Err = out.err
+		res.FinalURL = out.finalURL
+		if out.err.IsFailure() {
+			return
+		}
+		res.CommittedAt = sched.Now()
+		var page *webdoc.Page
+		switch doc := out.document.(type) {
+		case *webdoc.Page:
+			page = doc
+		case []byte:
+			// Raw HTML: the real pipeline — tokenize, extract, run
+			// inline page scripts.
+			page = compileHTML(doc, out.finalURL, b.Profile.OS.String())
+		}
+		if page != nil {
+			base := res.CommittedAt
+			for _, step := range page.SortedSteps() {
+				step := step
+				sched.At(base+step.At, func() {
+					v.fetch(request{rawURL: step.URL, initiator: step.Initiator}, func(fetchOutcome) {})
+				})
+			}
+		}
+	})
+	sched.RunUntil(b.Opts.Window)
+	res.Log = rec.Log()
+	return res
+}
+
+// visit carries the per-visit state shared by the fetch pipeline.
+type visit struct {
+	b     *Browser
+	rec   *netlog.Recorder
+	sched *simnet.Scheduler
+	res   *VisitResult
+	// pool tracks established connections per host:port for keep-alive
+	// reuse, keyed by scheme to keep TLS and cleartext sockets apart.
+	pool map[string]netlog.Source
+}
+
+// poolKey identifies a reusable connection.
+func poolKey(scheme simnet.Scheme, hostport string) string {
+	tls := "tcp"
+	if scheme.Secure() {
+		tls = "tls"
+	}
+	return tls + "/" + hostport
+}
+
+// emitBackground produces the browser-internal traffic every Chrome
+// instance generates regardless of the page: an update check and a field
+// trials fetch, attributed to BROWSER sources so analysis can filter
+// them. One of them targets a loopback-looking URL on purpose — Chrome's
+// own crash handler endpoint — exercising the pipeline's source filter.
+func (v *visit) emitBackground() {
+	internal := []struct {
+		at  time.Duration
+		url string
+	}{
+		{120 * time.Millisecond, "https://update.googleapis.chrome.internal/service/update2"},
+		{340 * time.Millisecond, "https://clientservices.googleapis.chrome.internal/chrome-variations/seed"},
+		{500 * time.Millisecond, "http://127.0.0.1:49152/crashpad/ping"},
+	}
+	for _, bg := range internal {
+		src := v.rec.NewSource(netlog.SourceBrowser)
+		v.rec.Begin(bg.at, netlog.TypeBrowserBackgroundRequest, src, map[string]any{"url": bg.url})
+		v.rec.End(bg.at+25*time.Millisecond, netlog.TypeBrowserBackgroundRequest, src, nil)
+	}
+}
+
+// request is a fetch pipeline input.
+type request struct {
+	rawURL     string
+	initiator  string
+	navigation bool
+	redirects  int
+	source     netlog.Source // reused across a redirect chain; zero for new
+}
+
+// fetchOutcome is the pipeline result delivered to the continuation.
+type fetchOutcome struct {
+	err      simnet.NetError
+	status   int
+	finalURL string
+	document any
+}
+
+// parsedURL holds the destructured request target.
+type parsedURL struct {
+	scheme simnet.Scheme
+	host   string
+	port   uint16
+	path   string
+}
+
+func parseURL(raw string) (parsedURL, error) {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return parsedURL{}, err
+	}
+	scheme := simnet.Scheme(strings.ToLower(u.Scheme))
+	switch scheme {
+	case simnet.SchemeHTTP, simnet.SchemeHTTPS, simnet.SchemeWS, simnet.SchemeWSS:
+	default:
+		return parsedURL{}, fmt.Errorf("browser: unsupported scheme %q", u.Scheme)
+	}
+	host := u.Hostname()
+	if host == "" {
+		return parsedURL{}, fmt.Errorf("browser: no host in %q", raw)
+	}
+	port := scheme.DefaultPort()
+	if p := u.Port(); p != "" {
+		n, err := strconv.ParseUint(p, 10, 16)
+		if err != nil {
+			return parsedURL{}, fmt.Errorf("browser: bad port %q", p)
+		}
+		port = uint16(n)
+	}
+	path := u.RequestURI()
+	if path == "" {
+		path = "/"
+	}
+	return parsedURL{scheme: scheme, host: host, port: port, path: path}, nil
+}
+
+func hostOf(raw string) string {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return ""
+	}
+	return u.Hostname()
+}

@@ -1,0 +1,47 @@
+package browser
+
+import (
+	"strings"
+	"time"
+
+	"github.com/knockandtalk/knockandtalk/internal/html"
+	"github.com/knockandtalk/knockandtalk/internal/script"
+	"github.com/knockandtalk/knockandtalk/internal/webdoc"
+)
+
+// The browser consumes documents in two forms: the pre-compiled
+// webdoc.Page the synthetic web's fast path serves, or raw HTML bytes.
+// Raw HTML goes through the real pipeline — tokenize, extract resource
+// tags, run inline page scripts — and compiles to the same step model.
+// The two paths are equivalence-tested (static tag fetches schedule at
+// parse order, as in a real browser; script-driven behavior keeps its
+// exact offsets).
+
+// staticStagger is the parse-order pacing for tag-declared resources.
+const staticStagger = 75 * time.Millisecond
+
+// compileHTML parses a raw document into the browser's page model.
+// Script parse failures are tolerated the way a browser tolerates a
+// throwing script: the rest of the page still loads.
+func compileHTML(body []byte, baseURL string, osName string) *webdoc.Page {
+	doc := html.Parse(body, baseURL)
+	page := &webdoc.Page{URL: baseURL, BodySize: len(body)}
+	at := 40 * time.Millisecond
+	for _, res := range doc.Resources {
+		initiator := "parser"
+		if res.Kind == html.KindIframe {
+			initiator = "iframe"
+		}
+		page.Steps = append(page.Steps, webdoc.Step{At: at, URL: res.URL, Initiator: initiator})
+		at += staticStagger
+	}
+	env := script.Env{OS: strings.ToLower(osName)}
+	for _, inline := range doc.Scripts {
+		prog, err := script.Parse(inline.Body)
+		if err != nil {
+			continue
+		}
+		page.Steps = append(page.Steps, prog.Run(env)...)
+	}
+	return page
+}

@@ -1,0 +1,155 @@
+package browser
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+	"github.com/knockandtalk/knockandtalk/internal/hostenv"
+	"github.com/knockandtalk/knockandtalk/internal/localnet"
+	"github.com/knockandtalk/knockandtalk/internal/simnet"
+	"github.com/knockandtalk/knockandtalk/internal/webdoc"
+	"github.com/knockandtalk/knockandtalk/internal/websim"
+)
+
+// buildEbayWorlds returns the same Windows world twice: once served via
+// the fast path (compiled webdoc.Page) and once as rendered HTML bytes
+// pushed through the tokenizer and page-script interpreter.
+func fetchEbayBothWays(t *testing.T) (fast, parsed *VisitResult) {
+	t.Helper()
+	world, err := websim.Build(groundtruth.CrawlTop2020, hostenv.Windows, 0.01, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Background = false
+	b := New(hostenv.DefaultProfile(hostenv.Windows), world.Net, opts)
+	fast = b.Visit("https://ebay.com/")
+	if !fast.OK() {
+		t.Fatalf("fast path failed: %v", fast.Err)
+	}
+
+	// Grab the compiled page, render it to HTML, and serve the bytes
+	// from a fresh endpoint.
+	addrs, _ := world.Net.Resolver.Resolve("ebay.com")
+	resp := world.Net.Locate(addrs[0], 443).Service.Serve(&simnet.Request{
+		Scheme: simnet.SchemeHTTPS, Host: "ebay.com", Port: 443, Path: "/",
+		UserAgent: hostenv.Windows.UserAgent(),
+	})
+	page := resp.Document.(*webdoc.Page)
+	raw := websim.RenderHTML(page)
+
+	htmlAddr := netip.MustParseAddr("203.0.113.77")
+	world.Net.Resolver.Add("ebay-html.test", htmlAddr)
+	world.Net.BindService(htmlAddr, 443, &simnet.TLSInfo{CommonName: "ebay-html.test"}, simnet.ServiceFunc(func(*simnet.Request) *simnet.Response {
+		return &simnet.Response{Status: 200, ContentType: "text/html", BodySize: len(raw), Document: raw}
+	}))
+	parsed = b.Visit("https://ebay-html.test/")
+	if !parsed.OK() {
+		t.Fatalf("HTML path failed: %v", parsed.Err)
+	}
+	return fast, parsed
+}
+
+type probeKey struct {
+	url       string
+	initiator string
+	netError  string
+}
+
+func localProbes(res *VisitResult) []probeKey {
+	var out []probeKey
+	for _, f := range localnet.FromLog(res.Log) {
+		out = append(out, probeKey{url: f.URL, initiator: f.Initiator, netError: f.NetError})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].url < out[j].url })
+	return out
+}
+
+// TestHTMLPathEquivalence is the two-pipeline equivalence check: the
+// precompiled fast path and the tokenize-extract-interpret path must
+// produce identical local-network detections (URLs, provenance,
+// outcomes) and identical behavior timing.
+func TestHTMLPathEquivalence(t *testing.T) {
+	fast, parsed := fetchEbayBothWays(t)
+	a, b := localProbes(fast), localProbes(parsed)
+	if len(a) == 0 {
+		t.Fatal("fast path detected nothing")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("probe counts differ: fast %d, parsed %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("probe %d differs:\n fast   %+v\n parsed %+v", i, a[i], b[i])
+		}
+	}
+	// Behavior timing is exact: the script carries the same offsets the
+	// compiled page had (relative to each page's own commit).
+	fastFinds, parsedFinds := localnet.FromLog(fast.Log), localnet.FromLog(parsed.Log)
+	sort.Slice(fastFinds, func(i, j int) bool { return fastFinds[i].URL < fastFinds[j].URL })
+	sort.Slice(parsedFinds, func(i, j int) bool { return parsedFinds[i].URL < parsedFinds[j].URL })
+	for i := range fastFinds {
+		da := fastFinds[i].At - fast.CommittedAt
+		db := parsedFinds[i].At - parsed.CommittedAt
+		diff := da - db
+		if diff < 0 {
+			diff = -diff
+		}
+		// Script offsets are serialized in milliseconds.
+		if diff > time.Millisecond {
+			t.Errorf("%s: behavior offset differs: fast %v, parsed %v", fastFinds[i].URL, da, db)
+		}
+	}
+}
+
+func TestCompileHTMLStaticsAndScripts(t *testing.T) {
+	body := []byte(fmt.Sprintf(`<html><head>
+		<script src="https://cdn0.webstatic.example/a.js"></script>
+		<link rel="stylesheet" href="/style.css">
+	</head><body>
+		<img src="/banner.png">
+		<iframe src="http://10.10.34.35/"></iframe>
+		<script type="text/x-knockscript">
+after 2s
+if os == windows
+  ws ws://localhost:28337/ as script:native-app
+endif
+		</script>
+	</body></html>`))
+	page := compileHTML(body, "https://site.test/", "Windows")
+	if len(page.Steps) != 5 {
+		t.Fatalf("steps = %+v", page.Steps)
+	}
+	byURL := map[string]webdoc.Step{}
+	for _, s := range page.Steps {
+		byURL[s.URL] = s
+	}
+	if s, ok := byURL["http://10.10.34.35/"]; !ok || s.Initiator != "iframe" {
+		t.Errorf("iframe step = %+v", s)
+	}
+	if s, ok := byURL["ws://localhost:28337/"]; !ok || s.At != 2*time.Second || s.Initiator != "script:native-app" {
+		t.Errorf("script step = %+v", s)
+	}
+	if s, ok := byURL["https://site.test/style.css"]; !ok || s.Initiator != "parser" {
+		t.Errorf("stylesheet step = %+v", s)
+	}
+	// On Linux the gated WebSocket disappears.
+	if linux := compileHTML(body, "https://site.test/", "Linux"); len(linux.Steps) != 4 {
+		t.Errorf("linux steps = %d, want 4", len(linux.Steps))
+	}
+}
+
+func TestCompileHTMLToleratesBrokenScript(t *testing.T) {
+	body := []byte(`<html><body>
+		<script>this is not knockscript at all { } ;</script>
+		<img src="/ok.png">
+	</body></html>`)
+	page := compileHTML(body, "http://site.test/", "Linux")
+	if len(page.Steps) != 1 || page.Steps[0].URL != "http://site.test/ok.png" {
+		t.Errorf("steps = %+v", page.Steps)
+	}
+}

@@ -1,0 +1,323 @@
+package browser
+
+import (
+	"net/netip"
+	"time"
+
+	"github.com/knockandtalk/knockandtalk/internal/hostenv"
+	"github.com/knockandtalk/knockandtalk/internal/netlog"
+	"github.com/knockandtalk/knockandtalk/internal/simnet"
+)
+
+// The fetch pipeline mirrors Chrome's request lifecycle — resolve,
+// connect, TLS, transaction (or WebSocket handshake), redirect — in
+// continuation-passing style over the visit scheduler, so that virtual
+// time advances through each stage and every event lands on the NetLog
+// with a realistic timestamp.
+
+// fetch runs one request and calls done exactly once with the outcome.
+// A redirect chain reuses the same URL_REQUEST source, as Chrome does.
+func (v *visit) fetch(req request, done func(fetchOutcome)) {
+	fail := func(src netlog.Source, u string, err simnet.NetError) {
+		v.rec.Point(v.sched.Now(), netlog.TypeURLRequestError, src, map[string]any{
+			"url": u, "net_error": string(err),
+		})
+		v.rec.End(v.sched.Now(), netlog.TypeRequestAlive, src, nil)
+		done(fetchOutcome{err: err, finalURL: u})
+	}
+
+	target, err := parseURL(req.rawURL)
+	if err != nil {
+		src := req.source
+		if src == (netlog.Source{}) {
+			src = v.rec.NewSource(netlog.SourceURLRequest)
+			v.rec.Begin(v.sched.Now(), netlog.TypeRequestAlive, src, map[string]any{
+				"url": req.rawURL, "initiator": req.initiator,
+			})
+		}
+		fail(src, req.rawURL, simnet.ErrAborted)
+		return
+	}
+
+	src := req.source
+	if src == (netlog.Source{}) {
+		srcType := netlog.SourceURLRequest
+		if target.scheme.WebSocket() {
+			srcType = netlog.SourceWebSocket
+		}
+		src = v.rec.NewSource(srcType)
+		v.rec.Begin(v.sched.Now(), netlog.TypeRequestAlive, src, map[string]any{
+			"url":        req.rawURL,
+			"initiator":  req.initiator,
+			"method":     "GET",
+			"sop_exempt": target.scheme.WebSocket(),
+		})
+	}
+
+	if PortRestricted(target.port) {
+		// Chrome rejects unsafe ports before touching the network; the
+		// attempt is still visible in the log (and to the detector).
+		fail(src, req.rawURL, simnet.ErrUnsafePort)
+		return
+	}
+
+	v.resolve(target, func(addr netip.Addr, resErr simnet.NetError) {
+		if resErr.IsFailure() {
+			fail(src, req.rawURL, resErr)
+			return
+		}
+		v.connect(src, target, addr, func(ep simnet.Endpoint, connErr simnet.NetError) {
+			if connErr.IsFailure() {
+				fail(src, req.rawURL, connErr)
+				return
+			}
+			v.transact(src, req, target, addr, ep, func(resp *simnet.Response, txErr simnet.NetError) {
+				if txErr.IsFailure() {
+					fail(src, req.rawURL, txErr)
+					return
+				}
+				if resp.Status >= 300 && resp.Status < 400 && resp.Location != "" {
+					if req.redirects >= v.b.Opts.MaxRedirects {
+						fail(src, req.rawURL, simnet.ErrTooManyRedirects)
+						return
+					}
+					v.rec.Point(v.sched.Now(), netlog.TypeURLRequestRedirect, src, map[string]any{
+						"url": req.rawURL, "location": resp.Location,
+					})
+					v.fetch(request{
+						rawURL:     resp.Location,
+						initiator:  req.initiator,
+						navigation: req.navigation,
+						redirects:  req.redirects + 1,
+						source:     src,
+					}, done)
+					return
+				}
+				v.rec.End(v.sched.Now(), netlog.TypeRequestAlive, src, map[string]any{
+					"status_code": resp.Status,
+				})
+				done(fetchOutcome{
+					status:   resp.Status,
+					finalURL: req.rawURL,
+					document: resp.Document,
+				})
+			})
+		})
+	})
+}
+
+// resolve performs name resolution. Loopback names and IP literals
+// resolve synchronously (Chrome special-cases localhost); everything
+// else goes through the stub resolver with its lookup latency.
+func (v *visit) resolve(target parsedURL, done func(netip.Addr, simnet.NetError)) {
+	if ip, err := netip.ParseAddr(target.host); err == nil {
+		done(ip, simnet.OK)
+		return
+	}
+	if target.host == "localhost" {
+		done(netip.MustParseAddr("127.0.0.1"), simnet.OK)
+		return
+	}
+	dnsSrc := v.rec.NewSource(netlog.SourceHostResolver)
+	v.rec.Begin(v.sched.Now(), netlog.TypeHostResolverJob, dnsSrc, map[string]any{"host": target.host})
+	addrs, nerr := v.b.Net.Resolver.Resolve(target.host)
+	delay := simnet.ResolutionDelay
+	if nerr.IsFailure() {
+		delay = simnet.FailureDelay
+	}
+	v.sched.After(delay, func() {
+		params := map[string]any{"host": target.host}
+		if nerr.IsFailure() {
+			params["net_error"] = string(nerr)
+			v.rec.End(v.sched.Now(), netlog.TypeHostResolverJob, dnsSrc, params)
+			done(netip.Addr{}, nerr)
+			return
+		}
+		params["address"] = addrs[0].String()
+		v.rec.End(v.sched.Now(), netlog.TypeHostResolverJob, dnsSrc, params)
+		done(addrs[0], simnet.OK)
+	})
+}
+
+// locate routes the destination: loopback and RFC1918 addresses are
+// answered by the visiting machine's own environment, everything else by
+// the public network.
+func (v *visit) locate(addr netip.Addr, port uint16) simnet.Endpoint {
+	if hostenv.IsLocalDestination(addr) {
+		return v.b.Profile.Locate(addr, port)
+	}
+	return v.b.Net.Locate(addr, port)
+}
+
+// connect establishes the transport (TCP, then TLS for secure schemes),
+// reusing a kept-alive connection to the same origin when one exists —
+// WebSockets always open a fresh socket, as Chrome does.
+func (v *visit) connect(src netlog.Source, target parsedURL, addr netip.Addr, done func(simnet.Endpoint, simnet.NetError)) {
+	ep := v.locate(addr, target.port)
+	hostport := netip.AddrPortFrom(addr, target.port).String()
+	key := poolKey(target.scheme, hostport)
+	if !target.scheme.WebSocket() && ep.Outcome == simnet.DialAccepted {
+		if v.pool == nil {
+			v.pool = map[string]netlog.Source{}
+		}
+		if sock, ok := v.pool[key]; ok {
+			v.rec.Point(v.sched.Now(), netlog.TypeSocketInUse, sock, map[string]any{"address": hostport})
+			done(ep, simnet.OK)
+			return
+		}
+	}
+	rtt := v.b.Net.Latency.RTT(v.b.Profile.Vantage, addr)
+	sockSrc := v.rec.NewSource(netlog.SourceSocket)
+	v.rec.Begin(v.sched.Now(), netlog.TypeTCPConnect, sockSrc, map[string]any{
+		"address": netip.AddrPortFrom(addr, target.port).String(),
+	})
+	var wait time.Duration
+	switch ep.Outcome {
+	case simnet.DialAccepted, simnet.DialRefused:
+		wait = rtt // SYN → SYN-ACK or RST
+	case simnet.DialReset:
+		wait = rtt + rtt/2
+	default: // timeout
+		wait = simnet.ConnectTimeout
+	}
+	v.sched.After(wait, func() {
+		if nerr := ep.Outcome.NetError(); nerr.IsFailure() {
+			v.rec.Point(v.sched.Now(), netlog.TypeSocketError, sockSrc, map[string]any{"net_error": string(nerr)})
+			done(ep, nerr)
+			return
+		}
+		v.rec.End(v.sched.Now(), netlog.TypeTCPConnect, sockSrc, nil)
+		if !target.scheme.Secure() {
+			if !target.scheme.WebSocket() && v.pool != nil {
+				v.pool[key] = sockSrc
+			}
+			done(ep, simnet.OK)
+			return
+		}
+		v.rec.Begin(v.sched.Now(), netlog.TypeSSLConnect, sockSrc, nil)
+		var tlsErr simnet.NetError
+		switch {
+		case ep.TLS == nil || ep.TLS.Broken:
+			tlsErr = simnet.ErrSSLProtocolError
+		case !ep.TLS.ValidFor(target.host) && !addrIsLocal(addr):
+			// Chrome still flags bad local certs, but the localhost
+			// services the study saw use self-signed certs users have
+			// trusted; the simulation accepts them so that the probe
+			// traffic (the observable we measure) proceeds as observed.
+			tlsErr = simnet.ErrCertCommonNameBad
+		}
+		v.sched.After(2*rtt, func() {
+			if tlsErr.IsFailure() {
+				v.rec.Point(v.sched.Now(), netlog.TypeSocketError, sockSrc, map[string]any{"net_error": string(tlsErr)})
+				done(ep, tlsErr)
+				return
+			}
+			v.rec.End(v.sched.Now(), netlog.TypeSSLConnect, sockSrc, nil)
+			if !target.scheme.WebSocket() && v.pool != nil {
+				v.pool[key] = sockSrc
+			}
+			done(ep, simnet.OK)
+		})
+	})
+}
+
+func addrIsLocal(addr netip.Addr) bool { return hostenv.IsLocalDestination(addr) }
+
+// transact performs the HTTP exchange or WebSocket handshake on an
+// established connection.
+func (v *visit) transact(src netlog.Source, req request, target parsedURL, addr netip.Addr, ep simnet.Endpoint, done func(*simnet.Response, simnet.NetError)) {
+	rtt := v.b.Net.Latency.RTT(v.b.Profile.Vantage, addr)
+	sreq := &simnet.Request{
+		Method:    "GET",
+		Scheme:    target.scheme,
+		Host:      target.host,
+		Addr:      addr,
+		Port:      target.port,
+		Path:      target.path,
+		UserAgent: v.b.Profile.OS.UserAgent(),
+		Origin:    v.res.URL,
+	}
+	if req.navigation && v.b.Opts.ParseHTML {
+		sreq.Header = map[string]string{rawHTMLHeader: "1"}
+	}
+	ws := target.scheme.WebSocket()
+	if ws {
+		v.rec.Begin(v.sched.Now(), netlog.TypeWebSocketSendHandshakeRequest, src, map[string]any{"url": req.rawURL})
+	} else {
+		v.rec.Begin(v.sched.Now(), netlog.TypeHTTPTransactionSendRequest, src, nil)
+		v.rec.Point(v.sched.Now(), netlog.TypeHTTPTransactionSendRequestHeaders, src, map[string]any{
+			"method": "GET", "path": target.path, "user_agent": sreq.UserAgent,
+		})
+	}
+	resp := serve(ep.Service, sreq)
+	wait := rtt
+	if resp != nil {
+		wait += resp.ServeDelay
+	}
+	v.sched.After(wait, func() {
+		if resp == nil || resp.Status == 0 {
+			if ws {
+				v.rec.Point(v.sched.Now(), netlog.TypeWebSocketInvalidHandshake, src, nil)
+				done(nil, simnet.ErrInvalidHTTPResponse)
+				return
+			}
+			done(nil, simnet.ErrEmptyResponse)
+			return
+		}
+		if resp.ResetAfterHeaders {
+			done(nil, simnet.ErrConnectionReset)
+			return
+		}
+		if ws {
+			// A WebSocket upgrade succeeds only if the service accepted
+			// it; an HTTP service answering 200 is an invalid handshake.
+			if resp.WebSocketAccept || resp.Status == 101 {
+				v.rec.Point(v.sched.Now(), netlog.TypeWebSocketReadHandshakeResponse, src, map[string]any{"status_code": 101})
+				v.rec.Point(v.sched.Now(), netlog.TypeWebSocketSendFrame, src, map[string]any{"op": "text"})
+				done(fetchOK(101), simnet.OK)
+				return
+			}
+			v.rec.Point(v.sched.Now(), netlog.TypeWebSocketInvalidHandshake, src, map[string]any{"status_code": resp.Status})
+			done(fetchOK(resp.Status), simnet.OK)
+			return
+		}
+		v.rec.Point(v.sched.Now(), netlog.TypeHTTPTransactionReadHeaders, src, map[string]any{
+			"status_code": resp.Status,
+		})
+		if resp.Status >= 300 && resp.Status < 400 && resp.Location != "" {
+			done(resp, simnet.OK)
+			return
+		}
+		// Body read time scales with size.
+		bodyWait := rtt/2 + time.Duration(resp.BodySize/1200)*rtt/10
+		if bodyWait > 3*time.Second {
+			bodyWait = 3 * time.Second
+		}
+		v.sched.After(bodyWait, func() {
+			v.rec.Point(v.sched.Now(), netlog.TypeHTTPTransactionReadBody, src, map[string]any{"bytes": resp.BodySize})
+			done(resp, simnet.OK)
+		})
+	})
+}
+
+// rawHTMLHeader mirrors websim.RawHTMLHeader without importing websim
+// (the browser must not depend on the content layer).
+const rawHTMLHeader = "X-Knockandtalk-Raw-HTML"
+
+// fetchOK wraps a bare status into a response for WebSocket outcomes.
+func fetchOK(status int) *simnet.Response { return &simnet.Response{Status: status} }
+
+// serve invokes a service defensively: a panicking endpoint behaves
+// like a crashed server (connection torn down), not a crashed crawl —
+// one misbehaving site must never take down the measurement.
+func serve(svc simnet.Service, req *simnet.Request) (resp *simnet.Response) {
+	if svc == nil {
+		return nil
+	}
+	defer func() {
+		if recover() != nil {
+			resp = nil
+		}
+	}()
+	return svc.Serve(req)
+}

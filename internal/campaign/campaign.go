@@ -1,0 +1,137 @@
+// Package campaign orchestrates the full measurement operation of
+// Figure 1: all three crawl populations, each visited once per OS with
+// no concurrent visits to the same site (the §3.1 ethics posture, which
+// sequential per-OS runs guarantee), telemetry persisted per campaign,
+// and a manifest recording what ran. Campaigns are resumable: the
+// paper's crawls spanned weeks, so interruption is the normal case, not
+// the exception.
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/knockandtalk/knockandtalk/internal/crawler"
+	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+	"github.com/knockandtalk/knockandtalk/internal/store"
+)
+
+// Spec configures a campaign.
+type Spec struct {
+	// Name labels the campaign in its manifest.
+	Name string
+	// OutDir receives one JSONL store per crawl plus manifest.json.
+	OutDir string
+	// Crawls lists the campaigns to run; nil means all three.
+	Crawls []groundtruth.CrawlID
+	// Scale, Seed, Workers, RetainLogs as in crawler.Config.
+	Scale      float64
+	Seed       uint64
+	Workers    int
+	RetainLogs bool
+	// Resume loads existing per-crawl stores from OutDir and skips
+	// already-visited targets.
+	Resume bool
+}
+
+// Entry is one (crawl, OS) manifest row.
+type Entry struct {
+	Crawl         string        `json:"crawl"`
+	OS            string        `json:"os"`
+	Attempted     int           `json:"attempted"`
+	Successful    int           `json:"successful"`
+	Failed        int           `json:"failed"`
+	LocalRequests int           `json:"local_requests"`
+	AlreadyDone   int           `json:"already_done,omitempty"`
+	Elapsed       time.Duration `json:"elapsed"`
+}
+
+// Manifest summarizes a finished campaign.
+type Manifest struct {
+	Name    string            `json:"name"`
+	Scale   float64           `json:"scale"`
+	Seed    uint64            `json:"seed"`
+	Stores  map[string]string `json:"stores"` // crawl → file
+	Entries []Entry           `json:"entries"`
+}
+
+// Run executes the campaign and returns its manifest. Per-crawl stores
+// land in OutDir as <crawl>.jsonl.
+func Run(spec Spec) (*Manifest, error) {
+	if spec.OutDir == "" {
+		return nil, fmt.Errorf("campaign: OutDir is required")
+	}
+	if err := os.MkdirAll(spec.OutDir, 0o755); err != nil {
+		return nil, err
+	}
+	crawls := spec.Crawls
+	if len(crawls) == 0 {
+		crawls = []groundtruth.CrawlID{
+			groundtruth.CrawlTop2020, groundtruth.CrawlTop2021, groundtruth.CrawlMalicious,
+		}
+	}
+	m := &Manifest{Name: spec.Name, Scale: spec.Scale, Seed: spec.Seed, Stores: map[string]string{}}
+	for _, crawl := range crawls {
+		st := store.New()
+		path := filepath.Join(spec.OutDir, string(crawl)+".jsonl")
+		if spec.Resume {
+			if f, err := os.Open(path); err == nil {
+				if err := st.Load(f); err != nil {
+					f.Close()
+					return nil, fmt.Errorf("campaign: resuming from %s: %w", path, err)
+				}
+				f.Close()
+			}
+		}
+		sums, err := crawler.RunAll(crawler.Config{
+			Crawl: crawl, Scale: spec.Scale, Seed: spec.Seed,
+			Workers: spec.Workers, RetainLogs: spec.RetainLogs, Resume: spec.Resume,
+		}, st)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: %s: %w", crawl, err)
+		}
+		for _, s := range sums {
+			m.Entries = append(m.Entries, Entry{
+				Crawl: string(s.Crawl), OS: s.OS.String(),
+				Attempted: s.Attempted, Successful: s.Successful, Failed: s.Failed,
+				LocalRequests: s.LocalRequests, AlreadyDone: s.AlreadyDone, Elapsed: s.Elapsed,
+			})
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		if err := st.Save(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+		m.Stores[string(crawl)] = path
+	}
+	raw, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(filepath.Join(spec.OutDir, "manifest.json"), raw, 0o644); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// LoadManifest reads a campaign manifest back.
+func LoadManifest(dir string) (*Manifest, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("campaign: parsing manifest: %w", err)
+	}
+	return &m, nil
+}

@@ -1,0 +1,131 @@
+package campaign
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+	"github.com/knockandtalk/knockandtalk/internal/store"
+)
+
+func TestRunCampaignAndManifest(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Run(Spec{
+		Name: "test", OutDir: dir, Scale: 0.002, Seed: 11, Workers: 4,
+		Crawls: []groundtruth.CrawlID{groundtruth.CrawlTop2020, groundtruth.CrawlTop2021},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2020 covers three OSes, 2021 two.
+	if len(m.Entries) != 5 {
+		t.Fatalf("entries = %d, want 5", len(m.Entries))
+	}
+	for _, e := range m.Entries {
+		if e.Attempted == 0 || e.Successful == 0 {
+			t.Errorf("empty entry: %+v", e)
+		}
+	}
+	// Stores exist and load.
+	for crawl, path := range m.Stores {
+		st := store.New()
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatalf("%s store missing: %v", crawl, err)
+		}
+		if err := st.Load(f); err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		f.Close()
+		if st.NumPages() == 0 {
+			t.Errorf("%s store empty", crawl)
+		}
+	}
+	// Manifest round-trips.
+	back, err := LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "test" || len(back.Entries) != len(m.Entries) {
+		t.Errorf("manifest round trip: %+v", back)
+	}
+}
+
+func TestCampaignResumeIsIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	spec := Spec{
+		Name: "resume", OutDir: dir, Scale: 0.002, Seed: 12, Workers: 4,
+		Crawls: []groundtruth.CrawlID{groundtruth.CrawlTop2020},
+	}
+	first, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Resume = true
+	second, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The resumed run finds everything done.
+	for _, e := range second.Entries {
+		if e.Attempted != 0 {
+			t.Errorf("resumed run re-crawled %d targets on %s", e.Attempted, e.OS)
+		}
+		if e.AlreadyDone == 0 {
+			t.Errorf("resumed run reports no prior work on %s", e.OS)
+		}
+	}
+	// The store is unchanged in size.
+	stFirst, stSecond := store.New(), store.New()
+	loadInto := func(st *store.Store) {
+		f, err := os.Open(filepath.Join(dir, string(groundtruth.CrawlTop2020)+".jsonl"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := st.Load(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loadInto(stSecond)
+	_ = first
+	_ = stFirst
+	if stSecond.NumPages() != 200*3 {
+		t.Errorf("resumed store pages = %d, want 600 (200 domains × 3 OSes)", stSecond.NumPages())
+	}
+}
+
+func TestRunRejectsMissingOutDir(t *testing.T) {
+	if _, err := Run(Spec{}); err == nil {
+		t.Error("empty OutDir must be rejected")
+	}
+}
+
+func TestRunRejectsCorruptResumeStore(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, string(groundtruth.CrawlTop2020)+".jsonl")
+	if err := os.WriteFile(bad, []byte("{corrupt"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Run(Spec{
+		OutDir: dir, Scale: 0.001, Seed: 1, Resume: true,
+		Crawls: []groundtruth.CrawlID{groundtruth.CrawlTop2020},
+	})
+	if err == nil {
+		t.Error("corrupt resume store must be rejected")
+	}
+}
+
+func TestLoadManifestMissingAndCorrupt(t *testing.T) {
+	if _, err := LoadManifest(t.TempDir()); err == nil {
+		t.Error("missing manifest must error")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadManifest(dir); err == nil {
+		t.Error("corrupt manifest must error")
+	}
+}

@@ -1,0 +1,35 @@
+package classify
+
+import (
+	"strings"
+
+	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+	"github.com/knockandtalk/knockandtalk/internal/store"
+	"github.com/knockandtalk/knockandtalk/internal/whois"
+)
+
+// tmInitiatorPrefix matches the provenance tag the browser records for
+// probes issued by a vendor-script-generated blob.
+const tmInitiatorPrefix = "blob:threatmetrix:"
+
+// Corroborate augments a fraud-detection verdict with registrant
+// evidence, the way the paper's §4.3.1 investigation did: the probes'
+// initiating script loads from an external host, and a WHOIS lookup on
+// that host reveals the ThreatMetrix Inc. organization. Verdicts of
+// other classes pass through unchanged.
+func Corroborate(v Verdict, reqs []store.LocalRequest, registry *whois.Registry) Verdict {
+	if v.Class != groundtruth.ClassFraudDetection || registry == nil {
+		return v
+	}
+	for _, r := range reqs {
+		host, ok := strings.CutPrefix(r.Initiator, tmInitiatorPrefix)
+		if !ok {
+			continue
+		}
+		if rec, found := registry.Lookup(host); found {
+			v.Corroboration = "whois:" + host + "=" + rec.Registrant
+			return v
+		}
+	}
+	return v
+}

@@ -1,0 +1,269 @@
+// Package crawler orchestrates the measurement of Figure 1: build the
+// synthetic web for a campaign, start Chrome instances on the chosen
+// OS's machine profile, visit every target once with a clean profile
+// while checking connectivity, extract local-network findings from each
+// visit's telemetry, and store the results.
+package crawler
+
+import (
+	"fmt"
+	"net/netip"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/knockandtalk/knockandtalk/internal/browser"
+	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+	"github.com/knockandtalk/knockandtalk/internal/hostenv"
+	"github.com/knockandtalk/knockandtalk/internal/localnet"
+	"github.com/knockandtalk/knockandtalk/internal/store"
+	"github.com/knockandtalk/knockandtalk/internal/websim"
+)
+
+// Config selects and sizes a crawl campaign.
+type Config struct {
+	Crawl groundtruth.CrawlID
+	OS    hostenv.OS
+	// Scale in (0, 1] shrinks the population; 1 is the full study.
+	Scale float64
+	// Seed drives every deterministic draw in the synthetic web.
+	Seed uint64
+	// Workers is the number of concurrent browser instances; 0 means
+	// GOMAXPROCS.
+	Workers int
+	// Window is the per-page observation window; 0 means the study's
+	// 20 seconds.
+	Window time.Duration
+	// PagePath selects which page of each site to visit. Empty means
+	// the landing page ("/"), as the study crawled; websim.LoginPath
+	// drives the internal-pages extension of §6.
+	PagePath string
+	// SkipConnectivityCheck disables the pre-visit ping to 8.8.8.8.
+	SkipConnectivityCheck bool
+	// RetainLogs keeps the raw NetLog capture for every visit that
+	// produced local-network findings (the visits the paper's manual
+	// investigation drilled into).
+	RetainLogs bool
+	// ParseHTML crawls through the browser's real HTML pipeline
+	// (tokenize → extract → interpret) instead of the precompiled fast
+	// path. Equivalent results, roughly 2× the per-page cost.
+	ParseHTML bool
+	// Resume skips targets already present in the destination store for
+	// this (crawl, OS). The paper's campaigns ran for weeks (July 24 to
+	// September 25, 2020); long crawls must survive interruption.
+	Resume bool
+}
+
+// Summary reports one campaign's crawl statistics — the raw material of
+// Table 1.
+type Summary struct {
+	Crawl      groundtruth.CrawlID
+	OS         hostenv.OS
+	Attempted  int
+	Successful int
+	Failed     int
+	// Errors counts failed loads by Chrome net error string.
+	Errors map[string]int
+	// LocalRequests is the number of local-network requests extracted.
+	LocalRequests int
+	// Skipped counts targets abandoned because connectivity did not
+	// return within the retry budget; they are not recorded as load
+	// failures (§3.1: the check differentiates website failures from
+	// network issues on the measurement side).
+	Skipped int
+	// AlreadyDone counts targets skipped by a resumed crawl because the
+	// store already holds their page record.
+	AlreadyDone int
+	// Elapsed is wall-clock crawl time.
+	Elapsed time.Duration
+}
+
+// ErrOffline is returned when the connectivity pre-check fails.
+var ErrOffline = fmt.Errorf("crawler: no Internet connectivity (ping to 8.8.8.8 failed)")
+
+var connectivityTarget = netip.MustParseAddr("8.8.8.8")
+
+// Run executes one campaign: one OS, every target visited exactly once
+// (the ethics posture of §3.1). Results are appended to dst.
+func Run(cfg Config, dst *store.Store) (*Summary, error) {
+	world, err := websim.Build(cfg.Crawl, cfg.OS, cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return RunWorld(cfg, world, dst)
+}
+
+// RunWorld crawls a pre-built world. Useful when the same world is
+// shared across repeated runs (benchmarks) or inspected afterwards.
+func RunWorld(cfg Config, world *websim.World, dst *store.Store) (*Summary, error) {
+	start := time.Now()
+	if !cfg.SkipConnectivityCheck && !world.Net.Ping(connectivityTarget) {
+		return nil, ErrOffline
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	opts := browser.DefaultOptions()
+	if cfg.Window > 0 {
+		opts.Window = cfg.Window
+	}
+	opts.ParseHTML = cfg.ParseHTML
+
+	sum := &Summary{Crawl: cfg.Crawl, OS: cfg.OS, Errors: make(map[string]int)}
+	done := map[string]bool{}
+	if cfg.Resume {
+		for _, p := range dst.Pages(func(p *store.PageRecord) bool {
+			return p.Crawl == string(cfg.Crawl) && p.OS == cfg.OS.String()
+		}) {
+			done[p.Domain] = true
+		}
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	jobs := make(chan websim.Target)
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Each worker is its own Chrome instance on an identical
+			// clean machine (a VM in the paper's setup).
+			b := browser.New(hostenv.DefaultProfile(cfg.OS), world.Net, opts)
+			for tgt := range jobs {
+				// Per-page connectivity check: visit only when the
+				// infrastructure can reach the Internet, retrying
+				// briefly through an outage.
+				if !cfg.SkipConnectivityCheck && !awaitConnectivity(world.Net) {
+					mu.Lock()
+					sum.Skipped++
+					mu.Unlock()
+					continue
+				}
+				url := tgt.URL
+				if cfg.PagePath != "" && cfg.PagePath != "/" {
+					url = strings.TrimSuffix(url, "/") + cfg.PagePath
+				}
+				res := b.Visit(url)
+				findings := localnet.FromLog(res.Log)
+				if cfg.RetainLogs && len(findings) > 0 {
+					if err := dst.AddNetLog(string(cfg.Crawl), cfg.OS.String(), tgt.Domain, res.Log); err != nil {
+						// Retention is best-effort; the summary records
+						// proceed regardless.
+						_ = err
+					}
+				}
+				mu.Lock()
+				sum.Attempted++
+				if res.OK() {
+					sum.Successful++
+				} else {
+					sum.Failed++
+					sum.Errors[string(res.Err)]++
+				}
+				sum.LocalRequests += len(findings)
+				mu.Unlock()
+
+				dst.AddPage(store.PageRecord{
+					Crawl:       string(cfg.Crawl),
+					OS:          cfg.OS.String(),
+					Domain:      tgt.Domain,
+					Rank:        tgt.Rank,
+					Category:    string(tgt.Category),
+					URL:         tgt.URL,
+					FinalURL:    res.FinalURL,
+					Err:         string(res.Err),
+					CommittedAt: res.CommittedAt,
+					Events:      res.Log.Len(),
+				})
+				for _, f := range findings {
+					dst.AddLocal(store.LocalRequest{
+						Crawl:       string(cfg.Crawl),
+						OS:          cfg.OS.String(),
+						Domain:      tgt.Domain,
+						Rank:        tgt.Rank,
+						Category:    string(tgt.Category),
+						URL:         f.URL,
+						Scheme:      string(f.Scheme),
+						Host:        f.Host,
+						Port:        f.Port,
+						Path:        f.Path,
+						Dest:        f.Dest.String(),
+						Delay:       f.At - res.CommittedAt,
+						Initiator:   f.Initiator,
+						NetError:    f.NetError,
+						StatusCode:  f.StatusCode,
+						ViaRedirect: f.ViaRedirect,
+						SOPExempt:   f.SOPExempt,
+					})
+				}
+			}
+		}()
+	}
+	for _, tgt := range world.Targets {
+		if done[tgt.Domain] {
+			sum.AlreadyDone++
+			continue
+		}
+		jobs <- tgt
+	}
+	close(jobs)
+	wg.Wait()
+	sum.Elapsed = time.Since(start)
+	return sum, nil
+}
+
+// RunAll executes a campaign on every OS the crawl covers (W/L/M for the
+// 2020 and malicious crawls, W/L for 2021), returning per-OS summaries
+// in table order.
+func RunAll(cfg Config, dst *store.Store) ([]*Summary, error) {
+	var out []*Summary
+	osSet := groundtruth.OSesFor(cfg.Crawl)
+	for _, os := range hostenv.AllOS {
+		if !osSet.Has(osBit(os)) {
+			continue
+		}
+		c := cfg
+		c.OS = os
+		s, err := Run(c, dst)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// connectivityRetries bounds how long a worker waits for an outage to
+// clear before abandoning the current target.
+const (
+	connectivityRetries = 20
+	connectivityBackoff = time.Millisecond
+)
+
+func awaitConnectivity(net pinger) bool {
+	for i := 0; i < connectivityRetries; i++ {
+		if net.Ping(connectivityTarget) {
+			return true
+		}
+		time.Sleep(connectivityBackoff)
+	}
+	return false
+}
+
+// pinger is the connectivity-probe surface of the network.
+type pinger interface {
+	Ping(addr netip.Addr) bool
+}
+
+func osBit(os hostenv.OS) groundtruth.OSSet {
+	switch os {
+	case hostenv.Windows:
+		return groundtruth.OSWindows
+	case hostenv.Linux:
+		return groundtruth.OSLinux
+	default:
+		return groundtruth.OSMac
+	}
+}

@@ -1,0 +1,377 @@
+package crawler
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+	"github.com/knockandtalk/knockandtalk/internal/hostenv"
+	"github.com/knockandtalk/knockandtalk/internal/localnet"
+	"github.com/knockandtalk/knockandtalk/internal/store"
+	"github.com/knockandtalk/knockandtalk/internal/websim"
+)
+
+const testSeed = 0xBEEF
+
+func smallCfg(crawl groundtruth.CrawlID, os hostenv.OS, scale float64) Config {
+	return Config{Crawl: crawl, OS: os, Scale: scale, Seed: testSeed, Workers: 4}
+}
+
+func TestCrawlSmallTop2020Windows(t *testing.T) {
+	dst := store.New()
+	sum, err := Run(smallCfg(groundtruth.CrawlTop2020, hostenv.Windows, 0.01), dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Attempted != 1000 {
+		t.Fatalf("attempted = %d, want 1000", sum.Attempted)
+	}
+	rate := float64(sum.Successful) / float64(sum.Attempted)
+	if rate < 0.85 || rate > 0.95 {
+		t.Errorf("success rate = %.3f, want ~0.90 (Table 1)", rate)
+	}
+	// DNS failures dominate errors.
+	if nx := sum.Errors["ERR_NAME_NOT_RESOLVED"]; nx == 0 || float64(nx)/float64(sum.Failed) < 0.75 {
+		t.Errorf("NXDOMAIN errors = %d of %d failures, want ~90%%", nx, sum.Failed)
+	}
+	if dst.NumPages() != 1000 {
+		t.Errorf("stored pages = %d", dst.NumPages())
+	}
+	// ebay.com (rank 104) is in scope and scans localhost on Windows:
+	// 14 WSS probes must be extracted.
+	tm := dst.Locals(func(l *store.LocalRequest) bool {
+		return l.Domain == "ebay.com" && l.Dest == "localhost"
+	})
+	if len(tm) != 14 {
+		t.Fatalf("ebay.com localhost requests = %d, want 14", len(tm))
+	}
+	for _, l := range tm {
+		if l.Scheme != "wss" || !l.SOPExempt {
+			t.Errorf("TM probe not WSS/SOP-exempt: %+v", l)
+		}
+		if l.Delay < 9*time.Second || l.Delay > 17*time.Second {
+			t.Errorf("TM probe delay %v outside the Figure 5 envelope", l.Delay)
+		}
+		if l.NetError == "" && l.Port != 3389 {
+			t.Errorf("probe to closed port %d did not fail", l.Port)
+		}
+	}
+}
+
+func TestCrawlLinuxSeesNoThreatMetrix(t *testing.T) {
+	dst := store.New()
+	if _, err := Run(smallCfg(groundtruth.CrawlTop2020, hostenv.Linux, 0.01), dst); err != nil {
+		t.Fatal(err)
+	}
+	tm := dst.Locals(func(l *store.LocalRequest) bool { return l.Domain == "ebay.com" })
+	if len(tm) != 0 {
+		t.Errorf("ebay.com generated %d local requests on Linux, want 0", len(tm))
+	}
+	// hola.org (rank 244) probes localhost on all OSes.
+	hola := dst.Locals(func(l *store.LocalRequest) bool { return l.Domain == "hola.org" })
+	if len(hola) != 10 {
+		t.Errorf("hola.org localhost requests = %d, want 10 (ports 6880-9)", len(hola))
+	}
+}
+
+func TestCrawlOfflineFails(t *testing.T) {
+	world, err := websim.Build(groundtruth.CrawlTop2020, hostenv.Linux, 0.001, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	world.Net.SetOnline(false)
+	_, err = RunWorld(smallCfg(groundtruth.CrawlTop2020, hostenv.Linux, 0.001), world, store.New())
+	if err != ErrOffline {
+		t.Fatalf("err = %v, want ErrOffline", err)
+	}
+	// The check can be disabled.
+	cfg := smallCfg(groundtruth.CrawlTop2020, hostenv.Linux, 0.001)
+	cfg.SkipConnectivityCheck = true
+	if _, err := RunWorld(cfg, world, store.New()); err != nil {
+		t.Fatalf("with check skipped: %v", err)
+	}
+}
+
+func TestCrawlDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) *Summary {
+		cfg := smallCfg(groundtruth.CrawlTop2020, hostenv.Windows, 0.005)
+		cfg.Workers = workers
+		sum, err := Run(cfg, store.New())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum
+	}
+	a, b := run(1), run(8)
+	if a.Successful != b.Successful || a.Failed != b.Failed || a.LocalRequests != b.LocalRequests {
+		t.Errorf("crawl results depend on worker count: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunAllCoversCrawlOSes(t *testing.T) {
+	sums, err := RunAll(Config{Crawl: groundtruth.CrawlTop2021, Scale: 0.002, Seed: testSeed, Workers: 2}, store.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 2 {
+		t.Fatalf("2021 crawl covers W and L, got %d summaries", len(sums))
+	}
+	if sums[0].OS != hostenv.Windows || sums[1].OS != hostenv.Linux {
+		t.Errorf("OS order wrong: %v, %v", sums[0].OS, sums[1].OS)
+	}
+}
+
+func TestMaliciousCrawlDetectsCloners(t *testing.T) {
+	dst := store.New()
+	sum, err := Run(smallCfg(groundtruth.CrawlMalicious, hostenv.Windows, 0.002), dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Attempted < 250 {
+		t.Fatalf("attempted = %d", sum.Attempted)
+	}
+	// The phishing clone of ebay.com carries ThreatMetrix probes.
+	clone := dst.Locals(func(l *store.LocalRequest) bool { return l.Domain == "customer-ebay.com" })
+	if len(clone) != 14 {
+		t.Errorf("customer-ebay.com localhost requests = %d, want 14", len(clone))
+	}
+	for _, l := range clone {
+		if l.Category != "phishing" {
+			t.Errorf("clone finding category = %q", l.Category)
+		}
+	}
+}
+
+func TestLANFindingsViaMalware(t *testing.T) {
+	dst := store.New()
+	if _, err := Run(smallCfg(groundtruth.CrawlMalicious, hostenv.Windows, 0.002), dst); err != nil {
+		t.Fatal(err)
+	}
+	lan := dst.Locals(func(l *store.LocalRequest) bool { return l.Dest == "lan" && l.Domain == "test.laitspa.it" })
+	if len(lan) != 1 {
+		t.Fatalf("test.laitspa.it LAN findings = %d, want 1", len(lan))
+	}
+	if lan[0].Host != "10.2.70.15" || lan[0].Port != 80 {
+		t.Errorf("LAN finding wrong: %+v", lan[0])
+	}
+}
+
+func TestOutageMidCrawlSkipsWithoutFalseFailures(t *testing.T) {
+	world, err := websim.Build(groundtruth.CrawlTop2020, hostenv.Linux, 0.002, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Take the network down after the crawl starts; bring it back up
+	// shortly afterwards. Targets visited during the outage are skipped
+	// but never recorded as website failures.
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		world.Net.SetOnline(false)
+		time.Sleep(5 * time.Millisecond)
+		world.Net.SetOnline(true)
+	}()
+	cfg := smallCfg(groundtruth.CrawlTop2020, hostenv.Linux, 0.002)
+	cfg.Workers = 2
+	dst := store.New()
+	sum, err := RunWorld(cfg, world, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Attempted+sum.Skipped != len(world.Targets) {
+		t.Errorf("attempted %d + skipped %d != targets %d", sum.Attempted, sum.Skipped, len(world.Targets))
+	}
+	if dst.NumPages() != sum.Attempted {
+		t.Errorf("pages stored %d != attempted %d (skips must not be recorded)", dst.NumPages(), sum.Attempted)
+	}
+}
+
+func TestRestrictedPortBlockedButLogged(t *testing.T) {
+	// A page step to a Chrome-restricted port (6000, X11) is refused by
+	// the browser before any socket opens — but the attempt is logged
+	// and thus detectable.
+	dst := store.New()
+	if _, err := Run(smallCfg(groundtruth.CrawlTop2020, hostenv.Windows, 0.01), dst); err != nil {
+		t.Fatal(err)
+	}
+	// No ground-truth probe uses a restricted port, so nothing in the
+	// store should carry ERR_UNSAFE_PORT.
+	bad := dst.Locals(func(l *store.LocalRequest) bool { return l.NetError == "ERR_UNSAFE_PORT" })
+	if len(bad) != 0 {
+		t.Errorf("unexpected unsafe-port blocks: %+v", bad)
+	}
+}
+
+func TestLoginPageExtension(t *testing.T) {
+	// Landing-page crawl of the top 5K on Windows: walmart.com (rank
+	// 131) is quiet. Login-page crawl: it scans localhost — the §6
+	// lower-bound demonstration.
+	landing := store.New()
+	if _, err := Run(smallCfg(groundtruth.CrawlTop2020, hostenv.Windows, 0.05), landing); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(landing.Locals(func(l *store.LocalRequest) bool { return l.Domain == "walmart.com" })); n != 0 {
+		t.Fatalf("walmart.com landing page generated %d local requests, want 0", n)
+	}
+
+	login := store.New()
+	cfg := smallCfg(groundtruth.CrawlTop2020, hostenv.Windows, 0.05)
+	cfg.PagePath = websim.LoginPath
+	if _, err := Run(cfg, login); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(login.Locals(func(l *store.LocalRequest) bool { return l.Domain == "walmart.com" })); n != 14 {
+		t.Fatalf("walmart.com login page generated %d local requests, want 14 (ThreatMetrix)", n)
+	}
+	// Landing-page scanners keep scanning on their login pages too.
+	if n := len(login.Locals(func(l *store.LocalRequest) bool { return l.Domain == "ebay.com" })); n != 14 {
+		t.Fatalf("ebay.com login page generated %d local requests, want 14", n)
+	}
+	// And the overall site count strictly grows: landing is a lower bound.
+	landSites := map[string]bool{}
+	for _, l := range landing.Locals(nil) {
+		landSites[l.Domain] = true
+	}
+	loginSites := map[string]bool{}
+	for _, l := range login.Locals(nil) {
+		loginSites[l.Domain] = true
+	}
+	if len(loginSites) <= len(landSites) {
+		t.Errorf("login crawl found %d sites, landing %d; expected strictly more", len(loginSites), len(landSites))
+	}
+}
+
+func TestRetainLogsKeepsCapturesForActiveSites(t *testing.T) {
+	dst := store.New()
+	cfg := smallCfg(groundtruth.CrawlTop2020, hostenv.Windows, 0.01)
+	cfg.RetainLogs = true
+	if _, err := Run(cfg, dst); err != nil {
+		t.Fatal(err)
+	}
+	// 5 localhost-active sites in the top 1000 → 5 retained captures.
+	if got := dst.NumNetLogs(); got != 5 {
+		t.Fatalf("retained captures = %d, want 5", got)
+	}
+	log, ok, err := dst.NetLog(string(groundtruth.CrawlTop2020), "Windows", "ebay.com")
+	if err != nil || !ok {
+		t.Fatalf("NetLog(ebay.com) = ok=%v err=%v", ok, err)
+	}
+	if log.Len() == 0 {
+		t.Fatal("retained capture empty")
+	}
+	// The capture round-trips through the detector identically.
+	findings := localnet.FromLog(log)
+	if len(findings) != 14 {
+		t.Errorf("findings from retained capture = %d, want 14", len(findings))
+	}
+	if _, ok, _ := dst.NetLog(string(groundtruth.CrawlTop2020), "Windows", "site00000.example"); ok {
+		t.Error("quiet site should have no retained capture")
+	}
+}
+
+func TestRetainedLogsSurviveSaveLoad(t *testing.T) {
+	dst := store.New()
+	cfg := smallCfg(groundtruth.CrawlTop2020, hostenv.Windows, 0.01)
+	cfg.RetainLogs = true
+	if _, err := Run(cfg, dst); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := dst.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back := store.New()
+	if err := back.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNetLogs() != dst.NumNetLogs() {
+		t.Fatalf("captures lost in round trip: %d vs %d", back.NumNetLogs(), dst.NumNetLogs())
+	}
+	log, ok, err := back.NetLog(string(groundtruth.CrawlTop2020), "Windows", "hola.org")
+	if err != nil || !ok || log.Len() == 0 {
+		t.Fatalf("reloaded capture broken: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestResumeSkipsCompletedTargets(t *testing.T) {
+	world, err := websim.Build(groundtruth.CrawlTop2020, hostenv.Windows, 0.005, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := store.New()
+	cfg := smallCfg(groundtruth.CrawlTop2020, hostenv.Windows, 0.005)
+
+	// First pass: crawl only the first 200 targets (simulate an
+	// interruption by crawling a truncated world).
+	partial := *world
+	partial.Targets = world.Targets[:200]
+	if _, err := RunWorld(cfg, &partial, dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst.NumPages() != 200 {
+		t.Fatalf("partial crawl stored %d pages", dst.NumPages())
+	}
+
+	// Resume over the full world: the 200 finished targets are skipped,
+	// the rest crawled, with no duplicate page records.
+	cfg.Resume = true
+	sum, err := RunWorld(cfg, world, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.AlreadyDone != 200 {
+		t.Errorf("AlreadyDone = %d, want 200", sum.AlreadyDone)
+	}
+	if sum.Attempted != len(world.Targets)-200 {
+		t.Errorf("resumed attempts = %d, want %d", sum.Attempted, len(world.Targets)-200)
+	}
+	if dst.NumPages() != len(world.Targets) {
+		t.Errorf("total pages = %d, want %d", dst.NumPages(), len(world.Targets))
+	}
+	seen := map[string]int{}
+	for _, p := range dst.Pages(nil) {
+		seen[p.Domain]++
+		if seen[p.Domain] > 1 {
+			t.Fatalf("duplicate page record for %s", p.Domain)
+		}
+	}
+}
+
+func TestParseHTMLCrawlEquivalence(t *testing.T) {
+	// The full-HTML pipeline (tokenize → extract → interpret) must find
+	// exactly the same local-network activity as the precompiled fast
+	// path, across a whole crawl slice.
+	run := func(parse bool) *store.Store {
+		dst := store.New()
+		cfg := smallCfg(groundtruth.CrawlTop2020, hostenv.Windows, 0.01)
+		cfg.ParseHTML = parse
+		if _, err := Run(cfg, dst); err != nil {
+			t.Fatal(err)
+		}
+		return dst
+	}
+	fast, parsed := run(false), run(true)
+	key := func(l *store.LocalRequest) string {
+		return l.Domain + "|" + l.URL + "|" + l.Initiator + "|" + l.NetError
+	}
+	fastSet := map[string]bool{}
+	for _, l := range fast.Locals(nil) {
+		fastSet[key(&l)] = true
+	}
+	parsedSet := map[string]bool{}
+	for _, l := range parsed.Locals(nil) {
+		parsedSet[key(&l)] = true
+	}
+	if len(fastSet) != len(parsedSet) {
+		t.Fatalf("local request sets differ in size: fast %d, parsed %d", len(fastSet), len(parsedSet))
+	}
+	for k := range fastSet {
+		if !parsedSet[k] {
+			t.Errorf("fast-path finding missing from HTML path: %s", k)
+		}
+	}
+	// Page-level outcomes agree too.
+	if fast.NumPages() != parsed.NumPages() {
+		t.Errorf("page counts differ: %d vs %d", fast.NumPages(), parsed.NumPages())
+	}
+}

@@ -1,0 +1,181 @@
+package groundtruth
+
+// Aggregate statistics published in the paper: Table 1 (crawl success and
+// error taxonomy), Table 2 (malicious category summary), the Figure 2
+// overlap regions, and the Figure 4/8 request rollups. These are the
+// oracle values EXPERIMENTS.md compares measured output against, and the
+// targets the synthetic web's population shaping aims for.
+
+// CrawlID names one of the three measurement campaigns.
+type CrawlID string
+
+// The three crawls.
+const (
+	CrawlTop2020   CrawlID = "top100k-2020"
+	CrawlTop2021   CrawlID = "top100k-2021"
+	CrawlMalicious CrawlID = "malicious"
+)
+
+// OSesFor returns the OSes covered by a crawl: all three for the 2020
+// top-list and malicious crawls, Windows and Linux for 2021 (§3.2).
+func OSesFor(c CrawlID) OSSet {
+	if c == CrawlTop2021 {
+		return OSWL
+	}
+	return OSAll
+}
+
+// CrawlStats is one row of Table 1.
+type CrawlStats struct {
+	Crawl           CrawlID
+	OS              OSSet // a single OS bit
+	Successful      int
+	Failed          int
+	NameNotResolved int
+	ConnRefused     int
+	ConnReset       int
+	CertCNInvalid   int
+	Others          int
+}
+
+// Total returns the number of pages attempted.
+func (s CrawlStats) Total() int { return s.Successful + s.Failed }
+
+// SuccessRate returns the fraction of successful loads.
+func (s CrawlStats) SuccessRate() float64 {
+	if s.Total() == 0 {
+		return 0
+	}
+	return float64(s.Successful) / float64(s.Total())
+}
+
+// Table1 returns the paper's crawl statistics as printed. Note the
+// malicious rows sum to 146181 attempted URLs while Table 2's site
+// counts sum to 144925 (~145K); the reproduction uses the Table 2
+// population and compares rates rather than absolute counts for the
+// malicious rows.
+func Table1() []CrawlStats {
+	return []CrawlStats{
+		{CrawlTop2020, OSWindows, 89744, 10256, 9179, 355, 248, 236, 238},
+		{CrawlTop2021, OSWindows, 91765, 8235, 7287, 239, 230, 251, 228},
+		{CrawlTop2020, OSMac, 89819, 10181, 9001, 345, 193, 226, 416},
+		{CrawlTop2020, OSLinux, 90175, 9825, 8612, 335, 247, 235, 396},
+		{CrawlTop2021, OSLinux, 91719, 8281, 7309, 272, 126, 248, 326},
+		{CrawlMalicious, OSWindows, 100317, 45864, 40715, 1475, 530, 1341, 1803},
+		{CrawlMalicious, OSMac, 103154, 43027, 37310, 1488, 523, 1314, 2392},
+		{CrawlMalicious, OSLinux, 106078, 40103, 34723, 1346, 521, 1313, 2200},
+	}
+}
+
+// Top2020Venn is the Figure 2a overlap of localhost-active sites across
+// OSes for the 2020 top-100K crawl.
+var Top2020Venn = map[OSSet]int{
+	OSWindows: 48,
+	OSLinux:   2,
+	OSMac:     5,
+	OSWL:      3,
+	OSWM:      0,
+	OSLM:      8,
+	OSAll:     41,
+}
+
+// MaliciousCategory is one row of Table 2.
+type MaliciousCategory struct {
+	Category    string
+	Sites       int
+	Sources     string // data sources with contribution, as printed
+	SuccessRate map[OSSet]float64
+	Localhost   map[OSSet]int // sites with localhost activity per OS
+	LAN         map[OSSet]int
+}
+
+// Table2 returns the malicious crawl summary as printed.
+func Table2() []MaliciousCategory {
+	return []MaliciousCategory{
+		{
+			Category: "malware", Sites: 103541, Sources: "Abuse.ch (99%), SURBL (1%)",
+			SuccessRate: map[OSSet]float64{OSWindows: 0.61, OSLinux: 0.65, OSMac: 0.65},
+			Localhost:   map[OSSet]int{OSWindows: 72, OSLinux: 83, OSMac: 75},
+			LAN:         map[OSSet]int{OSWindows: 8, OSLinux: 7, OSMac: 7},
+		},
+		{
+			Category: "abuse", Sites: 24958, Sources: "SURBL (100%)",
+			SuccessRate: map[OSSet]float64{OSWindows: 0.95, OSLinux: 0.97, OSMac: 0.93},
+			Localhost:   map[OSSet]int{OSWindows: 0, OSLinux: 0, OSMac: 0},
+			LAN:         map[OSSet]int{OSWindows: 1, OSLinux: 1, OSMac: 1},
+		},
+		{
+			Category: "phishing", Sites: 16426, Sources: "PhishTank (85%), SURBL (15%)",
+			SuccessRate: map[OSSet]float64{OSWindows: 0.73, OSLinux: 0.76, OSMac: 0.69},
+			Localhost:   map[OSSet]int{OSWindows: 25, OSLinux: 41, OSMac: 9},
+			LAN:         map[OSSet]int{OSWindows: 0, OSLinux: 0, OSMac: 0},
+		},
+	}
+}
+
+// RequestRollup is the protocol/scheme breakdown of localhost requests
+// for one OS, as shown in the Figure 4/8 sunbursts.
+type RequestRollup struct {
+	OS       OSSet
+	Total    int
+	ByScheme map[string]int
+}
+
+// Figure4Top2020 is the published Figure 4a rollup (2020 top-100K crawl).
+var Figure4Top2020 = []RequestRollup{
+	{OS: OSWindows, Total: 664, ByScheme: map[string]int{"wss": 490, "http": 134, "https": 21, "ws": 19}},
+	{OS: OSLinux, Total: 128, ByScheme: map[string]int{"http": 89, "ws": 27, "https": 10, "wss": 2}},
+	{OS: OSMac, Total: 177, ByScheme: map[string]int{"http": 87, "https": 38, "ws": 26, "wss": 26}},
+}
+
+// Figure4Malicious is the published Figure 4b rollup (malicious crawl).
+var Figure4Malicious = []RequestRollup{
+	{OS: OSWindows, Total: 366, ByScheme: map[string]int{"wss": 252, "http": 90, "https": 24}},
+	{OS: OSLinux, Total: 154, ByScheme: map[string]int{"http": 133, "https": 21}},
+	{OS: OSMac, Total: 112, ByScheme: map[string]int{"http": 84, "https": 28}},
+}
+
+// Figure8Top2021 is the published Figure 8 rollup (2021 top-100K crawl).
+var Figure8Top2021 = []RequestRollup{
+	{OS: OSWindows, Total: 512, ByScheme: map[string]int{"wss": 409, "http": 73, "https": 20, "ws": 10}},
+	{OS: OSLinux, Total: 118, ByScheme: map[string]int{"http": 89, "https": 21, "ws": 6, "wss": 2}},
+}
+
+// Headline holds the §4.1 topline site counts per crawl.
+type Headline struct {
+	Crawl     CrawlID
+	Localhost int
+	LAN       int
+}
+
+// Headlines returns the published topline counts.
+func Headlines() []Headline {
+	return []Headline{
+		{CrawlTop2020, 107, 9},
+		{CrawlTop2021, 82, 8},
+		{CrawlMalicious, 151, 9},
+	}
+}
+
+// Top2021WindowsSites and Top2021LinuxSites are the Figure 9 per-OS
+// totals for the 2021 crawl.
+const (
+	Top2021WindowsSites = 82
+	Top2021LinuxSites   = 48
+)
+
+// Table3Windows2020 and Table3LinuxMac2020 are the published Table 3
+// columns: the ten highest-ranked domains whose landing pages made
+// localhost requests in the 2020 crawl, per OS (the Linux and Mac lists
+// were identical).
+var (
+	Table3Windows2020 = []string{
+		"ebay.com", "hola.org", "ebay.de", "ebay.co.uk", "ebay.com.au",
+		"fidelity.com", "citi.com", "ebay.it", "ebay.fr", "ebay.ca",
+	}
+	Table3LinuxMac2020 = []string{
+		"hola.org", "faceit.com", "zakupki.gov.ru", "rkn.gov.ru",
+		"cruzeirodosulvirtual.com.br", "wowreality.info",
+		"smartcatdesign.net", "cponline.pw", "gamezone.com", "filemail.com",
+	}
+)

@@ -1,0 +1,21 @@
+package groundtruth
+
+// Extension data — NOT from the paper's tables.
+//
+// LoginOnlyThreatMetrix parameterizes the §6 future-work experiment on
+// internal pages: sites known to deploy ThreatMetrix on their login
+// flows (drawn from the BleepingComputer investigation the paper cites
+// as [5]) but whose landing pages stay quiet, with plausible 2020
+// ranks. A landing-page crawl cannot see them; the login-page crawl
+// mode (crawler.Config.PagePath) can, demonstrating that the paper's
+// counts are a lower bound.
+var LoginOnlyThreatMetrix = map[string]int{
+	"walmart.com":     131,
+	"sky.com":         1405,
+	"gumtree.com":     2353,
+	"kijiji.ca":       2519,
+	"tdbank.com":      2906,
+	"equifax.com":     9462,
+	"chick-fil-a.com": 24120,
+	"netteller.com":   31200,
+}

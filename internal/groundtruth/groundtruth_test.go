@@ -1,0 +1,454 @@
+package groundtruth
+
+import (
+	"net/netip"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func vennOf(rows []LocalhostRow) map[OSSet]int {
+	v := make(map[OSSet]int)
+	for _, r := range rows {
+		v[r.OS]++
+	}
+	return v
+}
+
+func osTotals(rows []LocalhostRow) (w, l, m int) {
+	for _, r := range rows {
+		if r.OS.Has(OSWindows) {
+			w++
+		}
+		if r.OS.Has(OSLinux) {
+			l++
+		}
+		if r.OS.Has(OSMac) {
+			m++
+		}
+	}
+	return
+}
+
+func TestTop2020LocalhostHeadline(t *testing.T) {
+	rows := Top2020Localhost()
+	if len(rows) != 107 {
+		t.Fatalf("2020 localhost sites = %d, want 107 (§4.1)", len(rows))
+	}
+	w, l, m := osTotals(rows)
+	if w != 92 || l != 54 || m != 54 {
+		t.Errorf("per-OS totals = W%d L%d M%d, want W92 L54 M54 (Figure 2a)", w, l, m)
+	}
+	venn := vennOf(rows)
+	for region, want := range Top2020Venn {
+		if venn[region] != want {
+			t.Errorf("region %v = %d, want %d", region, venn[region], want)
+		}
+	}
+}
+
+func TestTop2020ClassCounts(t *testing.T) {
+	counts := map[Class]int{}
+	for _, r := range Top2020Localhost() {
+		counts[r.Class]++
+	}
+	// Table row counts (the section text's 36/10/12/44/5 disagrees with
+	// its own tables; the tables sum to exactly 107 as 34/10/13/45/5).
+	want := map[Class]int{
+		ClassFraudDetection: 34,
+		ClassBotDetection:   10,
+		ClassNativeApp:      13,
+		ClassDevError:       45,
+		ClassUnknown:        5,
+	}
+	for c, n := range want {
+		if counts[c] != n {
+			t.Errorf("%v = %d rows, want %d", c, counts[c], n)
+		}
+	}
+}
+
+func TestTop2020NoDuplicateDomains(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range Top2020Localhost() {
+		if seen[r.Domain] {
+			t.Errorf("duplicate domain %q", r.Domain)
+		}
+		seen[r.Domain] = true
+	}
+}
+
+func TestTop2020RanksInRange(t *testing.T) {
+	for _, r := range Top2020Localhost() {
+		if r.Rank < 1 || r.Rank > 100000 {
+			t.Errorf("%s rank %d outside top 100K", r.Domain, r.Rank)
+		}
+	}
+}
+
+func TestFraudRowsShape(t *testing.T) {
+	for _, r := range Top2020Localhost() {
+		if r.Class != ClassFraudDetection {
+			continue
+		}
+		if r.OS != OSWindows {
+			t.Errorf("%s: fraud detection observed beyond Windows: %v", r.Domain, r.OS)
+		}
+		if len(r.Probes) != 1 || r.Probes[0].Scheme != "wss" || len(r.Probes[0].Ports) != 14 || r.Probes[0].Path != "/" {
+			t.Errorf("%s: fraud probe shape wrong: %+v", r.Domain, r.Probes)
+		}
+	}
+}
+
+func TestBotRowsShape(t *testing.T) {
+	for _, r := range Top2020Localhost() {
+		if r.Class != ClassBotDetection {
+			continue
+		}
+		if r.OS != OSWindows || !r.Gone2021 {
+			t.Errorf("%s: bot rows are Windows-only and all stopped by 2021", r.Domain)
+		}
+		if len(r.Probes) != 1 || r.Probes[0].Scheme != "http" || len(r.Probes[0].Ports) != 7 {
+			t.Errorf("%s: bot probe shape wrong: %+v", r.Domain, r.Probes)
+		}
+	}
+}
+
+func TestTop2020LAN(t *testing.T) {
+	rows := Top2020LAN()
+	if len(rows) != 9 {
+		t.Fatalf("2020 LAN sites = %d, want 9 (Table 6)", len(rows))
+	}
+	dev := 0
+	for _, r := range rows {
+		addr := netip.MustParseAddr(r.Addr)
+		if !addr.IsPrivate() {
+			t.Errorf("%s: %s is not RFC1918", r.Domain, r.Addr)
+		}
+		if r.DevError {
+			dev++
+		}
+	}
+	if dev != 6 {
+		t.Errorf("LAN dev errors = %d, want 6 (§4.3)", dev)
+	}
+}
+
+func TestTop2021Headline(t *testing.T) {
+	rows := Top2021Localhost()
+	if len(rows) != 82 {
+		t.Fatalf("2021 localhost sites = %d, want 82 (§4.1)", len(rows))
+	}
+	if n := len(Top2021NewLocalhost()); n != 40 {
+		t.Errorf("new 2021 sites = %d, want 40 (19 + 21, §4.1)", n)
+	}
+	if n := len(Top2021ContinuingLocalhost()); n != 42 {
+		t.Errorf("continuing sites = %d, want 42", n)
+	}
+	w, l, m := osTotals(rows)
+	if w != Top2021WindowsSites || l != Top2021LinuxSites {
+		t.Errorf("per-OS totals = W%d L%d, want W%d L%d (Figure 9)", w, l, Top2021WindowsSites, Top2021LinuxSites)
+	}
+	if m != 0 {
+		t.Errorf("2021 crawl had no Mac vantage but %d rows have Mac activity", m)
+	}
+}
+
+func TestTop2021NoBotDetection(t *testing.T) {
+	// "we do not observe sites making bot detection requests during our
+	// 2021 top 100K crawl" (§4.3.2).
+	for _, r := range Top2021Localhost() {
+		if r.Class == ClassBotDetection {
+			t.Errorf("%s: bot detection should be absent in 2021", r.Domain)
+		}
+	}
+}
+
+func TestTop2021LAN(t *testing.T) {
+	rows := Top2021LAN()
+	if len(rows) != 8 {
+		t.Fatalf("2021 LAN sites = %d, want 8 (Table 10)", len(rows))
+	}
+	// Exactly one site continues from 2020 (§4.1): unib.ac.id.
+	continuing := 0
+	names2020 := map[string]bool{}
+	for _, r := range Top2020LAN() {
+		if !r.Gone2021 {
+			names2020[r.Domain] = true
+		}
+	}
+	for _, r := range rows {
+		if names2020[r.Domain] {
+			continuing++
+			if r.Domain != "unib.ac.id" {
+				t.Errorf("unexpected continuing LAN site %s", r.Domain)
+			}
+		}
+		if r.OS.Has(OSMac) {
+			t.Errorf("%s: Mac activity impossible in 2021", r.Domain)
+		}
+	}
+	if continuing != 1 {
+		t.Errorf("continuing LAN sites = %d, want 1", continuing)
+	}
+}
+
+func TestMaliciousLocalhostHeadline(t *testing.T) {
+	rows := MaliciousLocalhost()
+	if len(rows) != 151 {
+		t.Fatalf("malicious localhost sites = %d, want 151 (§4.1)", len(rows))
+	}
+	venn := vennOf(rows)
+	for region, want := range MaliciousVenn {
+		if venn[region] != want {
+			t.Errorf("region %v = %d, want %d (Figure 2b)", region, venn[region], want)
+		}
+	}
+	w, l, m := osTotals(rows)
+	if w != 98 || l != 125 || m != 86 {
+		t.Errorf("per-OS totals = W%d L%d M%d, want W98 L125 M86", w, l, m)
+	}
+}
+
+func TestMaliciousCategoriesAndClasses(t *testing.T) {
+	byCat := map[string]int{}
+	tmCloners := 0
+	devErr := 0
+	for _, r := range MaliciousLocalhost() {
+		if r.Category == "" {
+			t.Errorf("%s: malicious row missing category", r.Domain)
+		}
+		byCat[r.Category]++
+		if r.Class == ClassFraudDetection {
+			tmCloners++
+			if r.Category != "phishing" {
+				t.Errorf("%s: ThreatMetrix traffic on malicious sites comes from phishing clones", r.Domain)
+			}
+		}
+		if r.Class == ClassDevError {
+			devErr++
+		}
+	}
+	if tmCloners != 13 {
+		t.Errorf("ThreatMetrix-cloning phishing sites = %d, want 13 (Table 8)", tmCloners)
+	}
+	if byCat["abuse"] != 4 {
+		t.Errorf("abuse rows = %d, want 4 (Table 8)", byCat["abuse"])
+	}
+	// "we attribute more than 90% of the localhost activity on malicious
+	// webpages to this [developer error] behavior class" (§4.3.4).
+	if frac := float64(devErr) / 151; frac <= 0.9 {
+		t.Errorf("dev-error fraction = %.2f, want > 0.90", frac)
+	}
+	// No internal network attacks were found (§6).
+	for _, r := range MaliciousLocalhost() {
+		if r.Class == ClassBotDetection {
+			t.Errorf("%s: no bot detection was observed on malicious pages", r.Domain)
+		}
+	}
+}
+
+func TestMaliciousLAN(t *testing.T) {
+	rows := MaliciousLAN()
+	if len(rows) != 9 {
+		t.Fatalf("malicious LAN sites = %d, want 9 (Table 9)", len(rows))
+	}
+	var w, l, m int
+	for _, r := range rows {
+		if r.OS.Has(OSWindows) {
+			w++
+		}
+		if r.OS.Has(OSLinux) {
+			l++
+		}
+		if r.OS.Has(OSMac) {
+			m++
+		}
+	}
+	// Table 2 LAN row: malware 8/7/7 plus abuse 1/1/1.
+	if w != 9 || l != 8 || m != 8 {
+		t.Errorf("LAN per-OS = W%d L%d M%d, want W9 L8 M8 (Table 2)", w, l, m)
+	}
+}
+
+func TestTable1RowsInternallyConsistent(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 8 {
+		t.Fatalf("Table 1 has 8 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		errSum := r.NameNotResolved + r.ConnRefused + r.ConnReset + r.CertCNInvalid + r.Others
+		if errSum != r.Failed {
+			t.Errorf("%s/%v: error breakdown sums to %d, failed = %d", r.Crawl, r.OS, errSum, r.Failed)
+		}
+		if r.Crawl != CrawlMalicious && r.Total() != 100000 {
+			t.Errorf("%s/%v: total = %d, want 100000", r.Crawl, r.OS, r.Total())
+		}
+		if frac := float64(r.NameNotResolved) / float64(r.Failed); frac < 0.85 {
+			t.Errorf("%s/%v: DNS failures are ~90%% of errors, got %.2f", r.Crawl, r.OS, frac)
+		}
+	}
+}
+
+func TestTable2Population(t *testing.T) {
+	total := 0
+	for _, c := range Table2() {
+		total += c.Sites
+	}
+	if total != 144925 {
+		t.Errorf("malicious population = %d, want 144925 (~145K)", total)
+	}
+}
+
+func TestHeadlinesMatchRowData(t *testing.T) {
+	for _, h := range Headlines() {
+		var gotLH, gotLAN int
+		switch h.Crawl {
+		case CrawlTop2020:
+			gotLH, gotLAN = len(Top2020Localhost()), len(Top2020LAN())
+		case CrawlTop2021:
+			gotLH, gotLAN = len(Top2021Localhost()), len(Top2021LAN())
+		case CrawlMalicious:
+			gotLH, gotLAN = len(MaliciousLocalhost()), len(MaliciousLAN())
+		}
+		if gotLH != h.Localhost || gotLAN != h.LAN {
+			t.Errorf("%s: rows (%d, %d) disagree with headline (%d, %d)", h.Crawl, gotLH, gotLAN, h.Localhost, h.LAN)
+		}
+	}
+}
+
+func TestOSSetBasics(t *testing.T) {
+	if OSAll.Count() != 3 || OSWL.Count() != 2 || OSNone.Count() != 0 {
+		t.Error("OSSet.Count wrong")
+	}
+	if OSWL.String() != "W L" || OSMac.String() != "M" || OSNone.String() != "-" {
+		t.Error("OSSet.String wrong")
+	}
+	if !OSAll.Has(OSWM) || OSWL.Has(OSMac) {
+		t.Error("OSSet.Has wrong")
+	}
+}
+
+func TestPortRange(t *testing.T) {
+	ps := PortRange(6463, 6472)
+	if len(ps) != 10 || ps[0] != 6463 || ps[9] != 6472 {
+		t.Errorf("PortRange = %v", ps)
+	}
+	if got := PortRange(5, 5); len(got) != 1 || got[0] != 5 {
+		t.Errorf("single-port range = %v", got)
+	}
+	if got := PortRange(9, 7); len(got) != 3 {
+		t.Errorf("reversed range = %v", got)
+	}
+}
+
+func TestLocalhostRowPorts(t *testing.T) {
+	r := LocalhostRow{Probes: []Probe{
+		{Scheme: "wss", Ports: []uint16{31029, 10531, 31027}},
+		{Scheme: "https", Ports: []uint16{10531, 14440}},
+	}}
+	ports := r.Ports()
+	want := []uint16{10531, 14440, 31027, 31029}
+	if len(ports) != len(want) {
+		t.Fatalf("Ports() = %v", ports)
+	}
+	for i := range want {
+		if ports[i] != want[i] {
+			t.Fatalf("Ports() = %v, want %v", ports, want)
+		}
+	}
+}
+
+func TestProbePortsWithinTable4ForAntiAbuse(t *testing.T) {
+	for _, r := range Top2020Localhost() {
+		if r.Class != ClassFraudDetection && r.Class != ClassBotDetection {
+			continue
+		}
+		for _, port := range r.Ports() {
+			found := false
+			for _, p := range append(append([]uint16{}, threatMetrixPorts...), bigIPPorts...) {
+				if p == port {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%s: anti-abuse probe port %d not in Table 4 sets", r.Domain, port)
+			}
+		}
+	}
+}
+
+func TestSyntheticFillerNamesAreMarked(t *testing.T) {
+	synthetic := 0
+	for _, r := range MaliciousLocalhost() {
+		if strings.HasSuffix(r.Domain, ".example") && strings.HasPrefix(r.Domain, "wp") {
+			synthetic++
+			if r.Class != ClassDevError || r.Category != "malware" {
+				t.Errorf("%s: synthetic filler must be malware dev-error", r.Domain)
+			}
+		}
+	}
+	if synthetic != 92 {
+		t.Errorf("synthetic filler rows = %d, want 92 (151 - 59 named)", synthetic)
+	}
+}
+
+func TestTable3ListsDeriveFromRows(t *testing.T) {
+	// The published Table 3 columns must be exactly the ten
+	// lowest-ranked rows active on the respective OS.
+	type ranked struct {
+		rank   int
+		domain string
+	}
+	var win, lin []ranked
+	for _, r := range Top2020Localhost() {
+		if r.OS.Has(OSWindows) {
+			win = append(win, ranked{r.Rank, r.Domain})
+		}
+		if r.OS.Has(OSLinux) {
+			lin = append(lin, ranked{r.Rank, r.Domain})
+		}
+	}
+	sortRanked := func(rs []ranked) {
+		sort.Slice(rs, func(i, j int) bool { return rs[i].rank < rs[j].rank })
+	}
+	sortRanked(win)
+	sortRanked(lin)
+	for i, want := range Table3Windows2020 {
+		if win[i].domain != want {
+			t.Errorf("Table 3 Windows[%d] = %s, want %s", i, win[i].domain, want)
+		}
+	}
+	for i, want := range Table3LinuxMac2020 {
+		if lin[i].domain != want {
+			t.Errorf("Table 3 Linux/Mac[%d] = %s, want %s", i, lin[i].domain, want)
+		}
+	}
+}
+
+func TestLoginExtensionDomainsDisjointFromPaperRows(t *testing.T) {
+	// The §6 extension sites must never collide with the paper's own
+	// ground truth: they exist precisely because the paper's
+	// landing-page crawl could not see them.
+	paper := map[string]bool{}
+	for _, r := range Top2020Localhost() {
+		paper[r.Domain] = true
+	}
+	for _, r := range Top2021Localhost() {
+		paper[r.Domain] = true
+	}
+	ranks := map[int]bool{}
+	for domain, rank := range LoginOnlyThreatMetrix {
+		if paper[domain] {
+			t.Errorf("%s: extension domain collides with paper ground truth", domain)
+		}
+		if rank < 1 || rank > 100000 {
+			t.Errorf("%s: rank %d outside top 100K", domain, rank)
+		}
+		if ranks[rank] {
+			t.Errorf("duplicate extension rank %d", rank)
+		}
+		ranks[rank] = true
+	}
+}

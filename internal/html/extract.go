@@ -1,0 +1,121 @@
+package html
+
+import (
+	"net/url"
+	"strings"
+)
+
+// ResourceKind labels what a reference loads.
+type ResourceKind string
+
+// Resource kinds the extractor recognizes.
+const (
+	KindImage      ResourceKind = "img"
+	KindScript     ResourceKind = "script"
+	KindStylesheet ResourceKind = "stylesheet"
+	KindIframe     ResourceKind = "iframe"
+	KindMedia      ResourceKind = "media"
+)
+
+// Resource is one external reference found in a document.
+type Resource struct {
+	Kind ResourceKind
+	// URL is the absolute URL after resolution against the document
+	// base.
+	URL string
+}
+
+// InlineScript is the body of a <script> element without a src.
+type InlineScript struct {
+	// Type is the script element's type attribute ("" for default).
+	Type string
+	Body string
+}
+
+// Document is the parsed view the browser consumes.
+type Document struct {
+	BaseURL   string
+	Title     string
+	Resources []Resource
+	Scripts   []InlineScript
+}
+
+// Parse extracts resources and inline scripts from an HTML document.
+// Unresolvable or non-network references (data:, javascript:, fragments)
+// are dropped.
+func Parse(src []byte, baseURL string) *Document {
+	doc := &Document{BaseURL: baseURL}
+	base, err := url.Parse(baseURL)
+	if err != nil {
+		base = nil
+	}
+	toks := Tokens(src)
+	for i := 0; i < len(toks); i++ {
+		t := toks[i]
+		switch t.Type {
+		case TokenStartTag, TokenSelfClosing:
+			switch t.Name {
+			case "img", "source", "video", "audio", "embed":
+				if src, ok := t.Get("src"); ok {
+					kind := KindImage
+					if t.Name != "img" {
+						kind = KindMedia
+					}
+					doc.addResource(base, kind, src)
+				}
+			case "script":
+				if srcAttr, ok := t.Get("src"); ok {
+					doc.addResource(base, KindScript, srcAttr)
+					break
+				}
+				// Inline script: the body arrives as the next raw-text
+				// token (only for non-self-closing tags).
+				if t.Type == TokenStartTag && i+1 < len(toks) && toks[i+1].Type == TokenText && toks[i+1].Name == "script" {
+					typ, _ := t.Get("type")
+					body := strings.TrimSpace(toks[i+1].Data)
+					if body != "" {
+						doc.Scripts = append(doc.Scripts, InlineScript{Type: typ, Body: body})
+					}
+					i++
+				}
+			case "link":
+				rel, _ := t.Get("rel")
+				if strings.EqualFold(rel, "stylesheet") {
+					if href, ok := t.Get("href"); ok {
+						doc.addResource(base, KindStylesheet, href)
+					}
+				}
+			case "iframe", "frame":
+				if src, ok := t.Get("src"); ok {
+					doc.addResource(base, KindIframe, src)
+				}
+			case "title":
+				if t.Type == TokenStartTag && i+1 < len(toks) && toks[i+1].Type == TokenText && toks[i+1].Name == "title" {
+					doc.Title = strings.TrimSpace(toks[i+1].Data)
+					i++
+				}
+			}
+		}
+	}
+	return doc
+}
+
+func (d *Document) addResource(base *url.URL, kind ResourceKind, ref string) {
+	ref = strings.TrimSpace(ref)
+	if ref == "" || strings.HasPrefix(ref, "#") ||
+		strings.HasPrefix(strings.ToLower(ref), "data:") ||
+		strings.HasPrefix(strings.ToLower(ref), "javascript:") {
+		return
+	}
+	u, err := url.Parse(ref)
+	if err != nil {
+		return
+	}
+	if base != nil {
+		u = base.ResolveReference(u)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return
+	}
+	d.Resources = append(d.Resources, Resource{Kind: kind, URL: u.String()})
+}

@@ -1,0 +1,25 @@
+package html
+
+import "testing"
+
+// FuzzParse hardens the tokenizer and extractor: arbitrary bytes must
+// never panic or hang, and extracted resources must have absolute URLs.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(`<html><img src="/a.png"><script>x</script></html>`))
+	f.Add([]byte(`<script src=//cdn/x.js>`))
+	f.Add([]byte(`<<<<>>>>`))
+	f.Add([]byte(`<iframe src='http://10.10.34.35/'>`))
+	f.Add([]byte(`<img src="data:;base64,x"><a href="#f">`))
+	f.Add([]byte("<script>never closed"))
+	f.Fuzz(func(t *testing.T, src []byte) {
+		if len(src) > 1<<16 {
+			src = src[:1<<16]
+		}
+		doc := Parse(src, "https://base.test/dir/")
+		for _, r := range doc.Resources {
+			if r.URL == "" {
+				t.Fatal("empty resource URL extracted")
+			}
+		}
+	})
+}

@@ -1,0 +1,170 @@
+package html
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizerBasics(t *testing.T) {
+	src := []byte(`<!DOCTYPE html><html><head><title>Hi</title></head>` +
+		`<body class="main" data-x='1' async>text<!-- note --><img src="/a.png"/></body></html>`)
+	toks := Tokens(src)
+	// Doctype, start html, start head, start title, raw title text
+	// (which consumes its own end tag), end head, start body, text,
+	// comment, self-closing img, end body, end html.
+	if len(toks) != 12 {
+		t.Fatalf("token count = %d: %+v", len(toks), toks)
+	}
+	if toks[0].Type != TokenDoctype {
+		t.Error("missing doctype")
+	}
+	body := toks[6]
+	if body.Type != TokenStartTag || body.Name != "body" {
+		t.Fatalf("body token = %+v", body)
+	}
+	if v, ok := body.Get("class"); !ok || v != "main" {
+		t.Errorf("class attr = %q, %v", v, ok)
+	}
+	if v, ok := body.Get("data-x"); !ok || v != "1" {
+		t.Errorf("single-quoted attr = %q, %v", v, ok)
+	}
+	if _, ok := body.Get("async"); !ok {
+		t.Error("bare attribute lost")
+	}
+	if toks[8].Type != TokenComment || strings.TrimSpace(toks[8].Data) != "note" {
+		t.Errorf("comment = %+v", toks[8])
+	}
+	if toks[9].Type != TokenSelfClosing || toks[9].Name != "img" {
+		t.Errorf("img = %+v", toks[9])
+	}
+}
+
+func TestTokenizerRawScript(t *testing.T) {
+	src := []byte(`<script>if (a < b) { x = "</div>"; }</script>`)
+	// Note: a real raw-text scanner stops at the first "</script"; the
+	// inner string above contains "</div>", which must NOT end it.
+	toks := Tokens(src)
+	if len(toks) < 2 || toks[0].Name != "script" || toks[1].Type != TokenText {
+		t.Fatalf("tokens = %+v", toks)
+	}
+	if !strings.Contains(toks[1].Data, `if (a < b)`) {
+		t.Errorf("script body mangled: %q", toks[1].Data)
+	}
+}
+
+func TestTokenizerMalformedTolerance(t *testing.T) {
+	cases := []string{
+		"<unclosed",
+		"text < not a tag",
+		"<>",
+		"<img src=>",
+		"<a href='unterminated>",
+		"<!-- unterminated",
+		"<script>never closed",
+	}
+	for _, c := range cases {
+		// Must not panic or loop forever.
+		_ = Tokens([]byte(c))
+	}
+}
+
+func TestParseExtractsResources(t *testing.T) {
+	src := []byte(`<html><head>
+		<title>T</title>
+		<link rel="stylesheet" href="/main.css">
+		<link rel="icon" href="/fav.ico">
+		<script src="https://cdn0.webstatic.example/lib.js"></script>
+		<script>after 100ms</script>
+	</head><body>
+		<img src="img/banner.jpg">
+		<img src="data:image/png;base64,xyz">
+		<iframe src="http://10.10.34.35/"></iframe>
+		<video><source src="/clip.mp4"></video>
+		<a href="#frag">x</a>
+	</body></html>`)
+	doc := Parse(src, "https://site.test/sub/")
+	if doc.Title != "T" {
+		t.Errorf("title = %q", doc.Title)
+	}
+	want := map[string]ResourceKind{
+		"https://site.test/main.css":            KindStylesheet,
+		"https://cdn0.webstatic.example/lib.js": KindScript,
+		"https://site.test/sub/img/banner.jpg":  KindImage,
+		"http://10.10.34.35/":                   KindIframe,
+		"https://site.test/clip.mp4":            KindMedia,
+	}
+	if len(doc.Resources) != len(want) {
+		t.Fatalf("resources = %+v", doc.Resources)
+	}
+	for _, r := range doc.Resources {
+		if want[r.URL] != r.Kind {
+			t.Errorf("resource %q kind %q unexpected", r.URL, r.Kind)
+		}
+	}
+	if len(doc.Scripts) != 1 || doc.Scripts[0].Body != "after 100ms" {
+		t.Errorf("inline scripts = %+v", doc.Scripts)
+	}
+	// rel=icon, data: URI, and fragments are all excluded.
+}
+
+func TestParseRelativeResolution(t *testing.T) {
+	doc := Parse([]byte(`<img src="../up.png"><img src="//cdn.example/x.png">`), "https://a.test/d/e/")
+	if len(doc.Resources) != 2 {
+		t.Fatalf("resources = %+v", doc.Resources)
+	}
+	if doc.Resources[0].URL != "https://a.test/d/up.png" {
+		t.Errorf("relative = %q", doc.Resources[0].URL)
+	}
+	if doc.Resources[1].URL != "https://cdn.example/x.png" {
+		t.Errorf("protocol-relative = %q", doc.Resources[1].URL)
+	}
+}
+
+// Property: the tokenizer terminates and consumes all input for any
+// byte string.
+func TestQuickTokenizerTotal(t *testing.T) {
+	f := func(src []byte) bool {
+		if len(src) > 4096 {
+			src = src[:4096]
+		}
+		toks := Tokens(src)
+		return len(toks) <= len(src)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEntityDecodingInAttributes(t *testing.T) {
+	doc := Parse([]byte(`<img src="/x?a=1&amp;b=2"><img src="/y&#47;z.png">`), "http://h.test/")
+	if len(doc.Resources) != 2 {
+		t.Fatalf("resources = %+v", doc.Resources)
+	}
+	if doc.Resources[0].URL != "http://h.test/x?a=1&b=2" {
+		t.Errorf("named entity: %q", doc.Resources[0].URL)
+	}
+	if doc.Resources[1].URL != "http://h.test/y/z.png" {
+		t.Errorf("numeric entity: %q", doc.Resources[1].URL)
+	}
+}
+
+func TestDecodeEntities(t *testing.T) {
+	cases := map[string]string{
+		"plain":         "plain",
+		"a&amp;b":       "a&b",
+		"&lt;x&gt;":     "<x>",
+		"&quot;q&quot;": `"q"`,
+		"&#65;&#x42;":   "AB",
+		"&unknown;":     "&unknown;",
+		"&amp":          "&amp", // unterminated
+		"&#xZZ;":        "&#xZZ;",
+		"tail&":         "tail&",
+		"&#0;":          "&#0;", // NUL rejected
+	}
+	for in, want := range cases {
+		if got := decodeEntities(in); got != want {
+			t.Errorf("decodeEntities(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,333 @@
+// Package html is a minimal HTML tokenizer and resource extractor for
+// the simulated browser: enough of the language to parse the synthetic
+// web's documents — tags, attributes, text, comments, raw-text elements
+// (script/style) — and to pull out the resource-bearing references
+// (img/src, script/src, link/href, iframe/src, source/src) that drive
+// sub-resource fetches, plus inline script bodies for the behavior
+// interpreter.
+//
+// It is not a spec-complete HTML5 parser; it covers the constructs the
+// synthetic web emits and the error tolerance a crawler needs (unclosed
+// tags, attribute quoting variants, case-insensitive names).
+package html
+
+import (
+	"strings"
+)
+
+// TokenType discriminates tokenizer output.
+type TokenType int
+
+// Token types.
+const (
+	TokenText TokenType = iota
+	TokenStartTag
+	TokenEndTag
+	TokenSelfClosing
+	TokenComment
+	TokenDoctype
+)
+
+// Token is one lexical unit.
+type Token struct {
+	Type TokenType
+	// Name is the lower-cased tag name for tag tokens.
+	Name string
+	// Attrs holds tag attributes, keys lower-cased, in document order.
+	Attrs []Attr
+	// Data is the text content for text/comment tokens, or the raw
+	// body for raw-text elements delivered with their start tag.
+	Data string
+}
+
+// Attr is one tag attribute.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// Get returns the first value of the named attribute (case-insensitive
+// key, already lower-cased by the tokenizer).
+func (t *Token) Get(key string) (string, bool) {
+	for _, a := range t.Attrs {
+		if a.Key == key {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// rawTextElements capture their content verbatim until the matching end
+// tag.
+var rawTextElements = map[string]bool{"script": true, "style": true, "title": true, "textarea": true}
+
+// Tokenizer walks an HTML document.
+type Tokenizer struct {
+	src []byte
+	pos int
+	// pendingRaw is set after a raw-text start tag was returned; the
+	// next token is its body.
+	pendingRaw string
+}
+
+// NewTokenizer returns a tokenizer over src.
+func NewTokenizer(src []byte) *Tokenizer { return &Tokenizer{src: src} }
+
+// Next returns the next token, or false at end of input.
+func (z *Tokenizer) Next() (Token, bool) {
+	if z.pendingRaw != "" {
+		name := z.pendingRaw
+		z.pendingRaw = ""
+		body := z.readRawText(name)
+		return Token{Type: TokenText, Name: name, Data: body}, true
+	}
+	if z.pos >= len(z.src) {
+		return Token{}, false
+	}
+	if z.src[z.pos] == '<' {
+		return z.readTag()
+	}
+	start := z.pos
+	for z.pos < len(z.src) && z.src[z.pos] != '<' {
+		z.pos++
+	}
+	return Token{Type: TokenText, Data: string(z.src[start:z.pos])}, true
+}
+
+// readRawText consumes until </name> (case-insensitive), returning the
+// body. The closing tag itself is consumed.
+func (z *Tokenizer) readRawText(name string) string {
+	lower := strings.ToLower(string(z.src[z.pos:]))
+	end := strings.Index(lower, "</"+name)
+	if end < 0 {
+		body := string(z.src[z.pos:])
+		z.pos = len(z.src)
+		return body
+	}
+	body := string(z.src[z.pos : z.pos+end])
+	z.pos += end
+	// Consume through the '>' of the end tag.
+	for z.pos < len(z.src) && z.src[z.pos] != '>' {
+		z.pos++
+	}
+	if z.pos < len(z.src) {
+		z.pos++
+	}
+	return body
+}
+
+func (z *Tokenizer) readTag() (Token, bool) {
+	// z.src[z.pos] == '<'
+	if strings.HasPrefix(string(z.src[z.pos:]), "<!--") {
+		end := strings.Index(string(z.src[z.pos+4:]), "-->")
+		if end < 0 {
+			data := string(z.src[z.pos+4:])
+			z.pos = len(z.src)
+			return Token{Type: TokenComment, Data: data}, true
+		}
+		data := string(z.src[z.pos+4 : z.pos+4+end])
+		z.pos += 4 + end + 3
+		return Token{Type: TokenComment, Data: data}, true
+	}
+	if z.pos+1 < len(z.src) && z.src[z.pos+1] == '!' {
+		end := z.indexByteFrom('>', z.pos)
+		if end < 0 {
+			z.pos = len(z.src)
+			return Token{Type: TokenDoctype}, true
+		}
+		data := string(z.src[z.pos+2 : end])
+		z.pos = end + 1
+		return Token{Type: TokenDoctype, Data: data}, true
+	}
+	end := z.indexByteFrom('>', z.pos)
+	if end < 0 {
+		// Malformed trailing '<...': treat as text.
+		data := string(z.src[z.pos:])
+		z.pos = len(z.src)
+		return Token{Type: TokenText, Data: data}, true
+	}
+	inner := strings.TrimSpace(string(z.src[z.pos+1 : end]))
+	z.pos = end + 1
+	if inner == "" {
+		return Token{Type: TokenText, Data: "<>"}, true
+	}
+	if inner[0] == '/' {
+		return Token{Type: TokenEndTag, Name: strings.ToLower(strings.TrimSpace(inner[1:]))}, true
+	}
+	selfClosing := strings.HasSuffix(inner, "/")
+	if selfClosing {
+		inner = strings.TrimSpace(inner[:len(inner)-1])
+	}
+	name, attrs := parseTagBody(inner)
+	tok := Token{Name: name, Attrs: attrs}
+	if selfClosing {
+		tok.Type = TokenSelfClosing
+	} else {
+		tok.Type = TokenStartTag
+		if rawTextElements[name] {
+			z.pendingRaw = name
+		}
+	}
+	return tok, true
+}
+
+func (z *Tokenizer) indexByteFrom(c byte, from int) int {
+	for i := from; i < len(z.src); i++ {
+		if z.src[i] == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// parseTagBody splits "img src='x' async" into name and attributes.
+func parseTagBody(s string) (string, []Attr) {
+	i := 0
+	for i < len(s) && !isSpace(s[i]) {
+		i++
+	}
+	name := strings.ToLower(s[:i])
+	var attrs []Attr
+	for i < len(s) {
+		for i < len(s) && isSpace(s[i]) {
+			i++
+		}
+		if i >= len(s) {
+			break
+		}
+		// Key.
+		ks := i
+		for i < len(s) && s[i] != '=' && !isSpace(s[i]) {
+			i++
+		}
+		key := strings.ToLower(s[ks:i])
+		for i < len(s) && isSpace(s[i]) {
+			i++
+		}
+		if i >= len(s) || s[i] != '=' {
+			if key != "" {
+				attrs = append(attrs, Attr{Key: key}) // bare attribute
+			}
+			continue
+		}
+		i++ // skip '='
+		for i < len(s) && isSpace(s[i]) {
+			i++
+		}
+		var val string
+		if i < len(s) && (s[i] == '"' || s[i] == '\'') {
+			q := s[i]
+			i++
+			vs := i
+			for i < len(s) && s[i] != q {
+				i++
+			}
+			val = s[vs:i]
+			if i < len(s) {
+				i++ // closing quote
+			}
+		} else {
+			vs := i
+			for i < len(s) && !isSpace(s[i]) {
+				i++
+			}
+			val = s[vs:i]
+		}
+		attrs = append(attrs, Attr{Key: key, Value: decodeEntities(val)})
+	}
+	return name, attrs
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f'
+}
+
+// decodeEntities resolves the handful of named character references that
+// appear in attribute values in the wild, plus numeric references. It is
+// deliberately small: unknown entities pass through verbatim, as
+// browsers' forgiving parsers effectively do for unterminated ones.
+func decodeEntities(s string) string {
+	if !strings.Contains(s, "&") {
+		return s
+	}
+	named := map[string]string{
+		"amp": "&", "lt": "<", "gt": ">", "quot": `"`, "apos": "'", "nbsp": " ",
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); {
+		if s[i] != '&' {
+			b.WriteByte(s[i])
+			i++
+			continue
+		}
+		end := strings.IndexByte(s[i:], ';')
+		if end < 0 || end > 10 {
+			b.WriteByte(s[i])
+			i++
+			continue
+		}
+		name := s[i+1 : i+end]
+		if rep, ok := named[name]; ok {
+			b.WriteString(rep)
+			i += end + 1
+			continue
+		}
+		if len(name) > 1 && name[0] == '#' {
+			digits := name[1:]
+			baseVal := 0
+			ok := true
+			if digits[0] == 'x' || digits[0] == 'X' {
+				for _, c := range digits[1:] {
+					v := hexVal(byte(c))
+					if v < 0 {
+						ok = false
+						break
+					}
+					baseVal = baseVal*16 + v
+				}
+			} else {
+				for _, c := range digits {
+					if c < '0' || c > '9' {
+						ok = false
+						break
+					}
+					baseVal = baseVal*10 + int(c-'0')
+				}
+			}
+			if ok && baseVal > 0 && baseVal <= 0x10FFFF {
+				b.WriteRune(rune(baseVal))
+				i += end + 1
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+		i++
+	}
+	return b.String()
+}
+
+func hexVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	default:
+		return -1
+	}
+}
+
+// Tokens tokenizes the whole document.
+func Tokens(src []byte) []Token {
+	z := NewTokenizer(src)
+	var out []Token
+	for {
+		t, ok := z.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, t)
+	}
+}

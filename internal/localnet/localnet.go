@@ -1,0 +1,183 @@
+// Package localnet is the study's core detector: given the NetLog
+// telemetry of a page visit, it identifies every request destined for
+// the visitor's localhost (the localhost domain or loopback addresses,
+// 127.0.0.0/8 and ::1) or LAN (the IANA-reserved private ranges of
+// RFC1918 for IPv4 and their IPv6 analogues), including requests that
+// only appear as redirect targets, while filtering out traffic the
+// browser itself generates.
+package localnet
+
+import (
+	"net/netip"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/knockandtalk/knockandtalk/internal/netlog"
+	"github.com/knockandtalk/knockandtalk/internal/simnet"
+)
+
+// Dest classifies a request destination.
+type Dest int
+
+// Destination classes.
+const (
+	DestPublic Dest = iota
+	DestLocalhost
+	DestLAN
+)
+
+// String returns the class label used in reports.
+func (d Dest) String() string {
+	switch d {
+	case DestLocalhost:
+		return "localhost"
+	case DestLAN:
+		return "lan"
+	default:
+		return "public"
+	}
+}
+
+// ClassifyHost classifies a URL host component (a name or an IP
+// literal).
+func ClassifyHost(host string) Dest {
+	if host == "localhost" || strings.HasSuffix(host, ".localhost") {
+		return DestLocalhost
+	}
+	ip, err := netip.ParseAddr(strings.Trim(host, "[]"))
+	if err != nil {
+		return DestPublic
+	}
+	switch {
+	case ip.IsLoopback():
+		return DestLocalhost
+	case ip.Is4() && ip.IsPrivate():
+		return DestLAN
+	case ip.Is6() && (ip.IsPrivate() || ip.IsLinkLocalUnicast()):
+		// Unique-local (fc00::/7) and link-local (fe80::/10) are the
+		// IPv6 LAN analogues. The paper observed no IPv6 local traffic,
+		// but the detector covers it.
+		return DestLAN
+	default:
+		return DestPublic
+	}
+}
+
+// Finding is one local-network request extracted from a visit's
+// telemetry.
+type Finding struct {
+	// URL is the full local request URL.
+	URL string
+	// Scheme, Host, Port, Path are its components.
+	Scheme simnet.Scheme
+	Host   string
+	Port   uint16
+	Path   string
+	// Dest is localhost or LAN.
+	Dest Dest
+	// At is the absolute visit time at which the request began.
+	At time.Duration
+	// Initiator is the page element that issued the request.
+	Initiator string
+	// NetError is the transport failure, if any.
+	NetError string
+	// StatusCode is the response status, if one arrived.
+	StatusCode int
+	// ViaRedirect marks findings detected as a redirect target rather
+	// than a direct request ("websites can send a request to a local
+	// resource, even if they can never receive the response", §3.1).
+	ViaRedirect bool
+	// SOPExempt marks WebSocket traffic, which the Same-Origin Policy
+	// does not bind.
+	SOPExempt bool
+}
+
+// parseTarget destructures a URL into finding components; ok is false
+// for unparseable or schemeless URLs.
+func parseTarget(raw string) (scheme simnet.Scheme, host string, port uint16, path string, ok bool) {
+	u, err := url.Parse(raw)
+	if err != nil || u.Scheme == "" || u.Hostname() == "" {
+		return "", "", 0, "", false
+	}
+	scheme = simnet.Scheme(strings.ToLower(u.Scheme))
+	host = u.Hostname()
+	port = scheme.DefaultPort()
+	if p := u.Port(); p != "" {
+		if n, err := strconv.ParseUint(p, 10, 16); err == nil {
+			port = uint16(n)
+		}
+	}
+	path = u.RequestURI()
+	if path == "" {
+		path = "/"
+	}
+	return scheme, host, port, path, true
+}
+
+// Options tune the detector, primarily for ablation studies; the zero
+// value disables nothing.
+type Options struct {
+	// IgnoreRedirectTargets drops findings that appear only as redirect
+	// destinations. The paper deliberately includes them (§3.1).
+	IgnoreRedirectTargets bool
+	// KeepBrowserTraffic retains requests from BROWSER sources. The
+	// paper filters them out by event source; keeping them shows the
+	// false positives that filter prevents.
+	KeepBrowserTraffic bool
+}
+
+// FromLog extracts all local-network findings from one visit's NetLog
+// with the paper's configuration: browser-generated traffic (BROWSER
+// sources) excluded, redirect targets included.
+func FromLog(log *netlog.Log) []Finding {
+	return FromLogOpts(log, Options{})
+}
+
+// FromLogOpts extracts findings under explicit detector options.
+func FromLogOpts(log *netlog.Log, opts Options) []Finding {
+	var out []Finding
+	for _, flow := range log.Flows() {
+		if flow.Source.Type == netlog.SourceBrowser && !opts.KeepBrowserTraffic {
+			continue
+		}
+		if f, ok := findingFromURL(flow.URL, &flow, false); ok {
+			out = append(out, f)
+		}
+		if opts.IgnoreRedirectTargets {
+			continue
+		}
+		for _, loc := range flow.RedirectedTo {
+			if f, ok := findingFromURL(loc, &flow, true); ok {
+				out = append(out, f)
+			}
+		}
+	}
+	return out
+}
+
+func findingFromURL(raw string, flow *netlog.Flow, viaRedirect bool) (Finding, bool) {
+	scheme, host, port, path, ok := parseTarget(raw)
+	if !ok {
+		return Finding{}, false
+	}
+	dest := ClassifyHost(host)
+	if dest == DestPublic {
+		return Finding{}, false
+	}
+	return Finding{
+		URL:         raw,
+		Scheme:      scheme,
+		Host:        host,
+		Port:        port,
+		Path:        path,
+		Dest:        dest,
+		At:          flow.Start,
+		Initiator:   flow.Initiator,
+		NetError:    flow.NetError,
+		StatusCode:  flow.StatusCode,
+		ViaRedirect: viaRedirect,
+		SOPExempt:   scheme.WebSocket(),
+	}, true
+}

@@ -1,0 +1,145 @@
+// Package longitudinal compares the two top-list measurements taken
+// half a year apart, reproducing the §4.1 churn analysis: which sites
+// kept generating local traffic, which stopped, which started, and
+// which could not be compared because they entered or left the Tranco
+// list between snapshots.
+package longitudinal
+
+import (
+	"sort"
+
+	"github.com/knockandtalk/knockandtalk/internal/analysis"
+	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+	"github.com/knockandtalk/knockandtalk/internal/store"
+)
+
+// Transition labels one site's trajectory between the crawls.
+type Transition int
+
+// Transitions.
+const (
+	// Continued: active in both measurements.
+	Continued Transition = iota
+	// Stopped: active in 2020, crawled in 2021, quiet in 2021.
+	Stopped
+	// Started: crawled in 2020 without activity, active in 2021.
+	Started
+	// EnteredList: active in 2021 but absent from the 2020 snapshot.
+	EnteredList
+	// LeftList: active in 2020 but absent from the 2021 snapshot.
+	LeftList
+)
+
+// String names the transition.
+func (t Transition) String() string {
+	switch t {
+	case Continued:
+		return "continued"
+	case Stopped:
+		return "stopped"
+	case Started:
+		return "started"
+	case EnteredList:
+		return "entered-list"
+	case LeftList:
+		return "left-list"
+	default:
+		return "unknown"
+	}
+}
+
+// SiteChurn is one site's longitudinal record.
+type SiteChurn struct {
+	Domain     string
+	Transition Transition
+	// Rank2020 and Rank2021 are the Tranco ranks where crawled (0 when
+	// the domain was not in that snapshot).
+	Rank2020 int
+	Rank2021 int
+	// Class2020 and Class2021 are the behavior classifications where
+	// active.
+	Class2020 groundtruth.Class
+	Class2021 groundtruth.Class
+	has2020   bool
+	has2021   bool
+}
+
+// Report is the full churn summary for one destination class.
+type Report struct {
+	Dest  string
+	Sites []SiteChurn
+	// Counts indexes sites by transition.
+	Counts map[Transition]int
+}
+
+// Compare builds the longitudinal report for one destination
+// ("localhost" or "lan") from a store containing both top-list crawls.
+func Compare(st *store.Store, dest string) *Report {
+	active2020 := analysis.LocalSites(st, groundtruth.CrawlTop2020, dest)
+	active2021 := analysis.LocalSites(st, groundtruth.CrawlTop2021, dest)
+	crawled2020 := crawledDomains(st, groundtruth.CrawlTop2020)
+	crawled2021 := crawledDomains(st, groundtruth.CrawlTop2021)
+
+	churn := map[string]*SiteChurn{}
+	for _, s := range active2020 {
+		churn[s.Domain] = &SiteChurn{
+			Domain: s.Domain, Rank2020: s.Rank, Class2020: s.Verdict.Class, has2020: true,
+		}
+	}
+	for _, s := range active2021 {
+		c := churn[s.Domain]
+		if c == nil {
+			c = &SiteChurn{Domain: s.Domain}
+			churn[s.Domain] = c
+		}
+		c.Rank2021 = s.Rank
+		c.Class2021 = s.Verdict.Class
+		c.has2021 = true
+	}
+
+	rep := &Report{Dest: dest, Counts: map[Transition]int{}}
+	for _, c := range churn {
+		switch {
+		case c.has2020 && c.has2021:
+			c.Transition = Continued
+		case c.has2020 && !crawled2021[c.Domain]:
+			c.Transition = LeftList
+		case c.has2020:
+			c.Transition = Stopped
+		case c.has2021 && !crawled2020[c.Domain]:
+			c.Transition = EnteredList
+		default:
+			c.Transition = Started
+		}
+		rep.Counts[c.Transition]++
+		rep.Sites = append(rep.Sites, *c)
+	}
+	sort.Slice(rep.Sites, func(i, j int) bool {
+		if rep.Sites[i].Transition != rep.Sites[j].Transition {
+			return rep.Sites[i].Transition < rep.Sites[j].Transition
+		}
+		return rep.Sites[i].Domain < rep.Sites[j].Domain
+	})
+	return rep
+}
+
+func crawledDomains(st *store.Store, crawl groundtruth.CrawlID) map[string]bool {
+	out := map[string]bool{}
+	for _, p := range st.Pages(func(p *store.PageRecord) bool { return p.Crawl == string(crawl) }) {
+		out[p.Domain] = true
+	}
+	return out
+}
+
+// ClassShift tallies class changes among continued sites — e.g. the
+// paper's observation that bot detection disappeared entirely between
+// the crawls would appear as zero continued bot-detection sites.
+func (r *Report) ClassShift() map[[2]groundtruth.Class]int {
+	out := map[[2]groundtruth.Class]int{}
+	for _, s := range r.Sites {
+		if s.Transition == Continued {
+			out[[2]groundtruth.Class{s.Class2020, s.Class2021}]++
+		}
+	}
+	return out
+}

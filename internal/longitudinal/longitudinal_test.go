@@ -1,0 +1,123 @@
+package longitudinal
+
+import (
+	"testing"
+
+	"github.com/knockandtalk/knockandtalk/internal/crawler"
+	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+	"github.com/knockandtalk/knockandtalk/internal/store"
+)
+
+// bothCrawls holds a 10K-domain crawl of both top-list snapshots on the
+// OSes each covers.
+var bothCrawls = func() *store.Store {
+	st := store.New()
+	for _, crawl := range []groundtruth.CrawlID{groundtruth.CrawlTop2020, groundtruth.CrawlTop2021} {
+		if _, err := crawler.RunAll(crawler.Config{
+			Crawl: crawl, Scale: 0.1, Seed: 0xD1CE, Workers: 4,
+		}, st); err != nil {
+			panic(err)
+		}
+	}
+	return st
+}()
+
+func TestCompareLocalhostChurn(t *testing.T) {
+	rep := Compare(bothCrawls, "localhost")
+	if len(rep.Sites) == 0 {
+		t.Fatal("no churn records")
+	}
+	byDomain := map[string]SiteChurn{}
+	for _, s := range rep.Sites {
+		byDomain[s.Domain] = s
+	}
+
+	// ebay.com scans in both years.
+	if c, ok := byDomain["ebay.com"]; !ok || c.Transition != Continued {
+		t.Errorf("ebay.com churn = %+v, want continued", byDomain["ebay.com"])
+	}
+	// sbi.co.in (rank 8608, bot detection) stopped by 2021 (§4.3.2).
+	if c, ok := byDomain["sbi.co.in"]; !ok || c.Transition != Stopped {
+		t.Errorf("sbi.co.in churn = %+v, want stopped", byDomain["sbi.co.in"])
+	}
+	if c := byDomain["sbi.co.in"]; c.Class2020 != groundtruth.ClassBotDetection {
+		t.Errorf("sbi.co.in 2020 class = %v", c.Class2020)
+	}
+	// cibc.com (rank 2912) started in 2021 after being crawled quietly
+	// in 2020 (Table 7, no plus marker).
+	if c, ok := byDomain["cibc.com"]; !ok || c.Transition != Started {
+		t.Errorf("cibc.com churn = %+v, want started", byDomain["cibc.com"])
+	}
+	// ppsimg.com was not in the 2020 snapshot but is active in 2021
+	// within the top 10K? (rank 34989 — outside this scale; pick
+	// soliqservis.uz rank 44280 — also outside.) iqiyi.com (rank 592)
+	// was in both lists; qy.net (7664) too. Within the top 10K the
+	// entered-list case needs a (+) domain: betfair.com is modeled as
+	// re-ranked (8173), so it appears continued here.
+	if c, ok := byDomain["betfair.com"]; !ok || c.Transition != Continued {
+		t.Errorf("betfair.com churn = %+v, want continued", byDomain["betfair.com"])
+	}
+	// rkn.gov.ru (rank 17827) left the list... outside 10% top-10K
+	// scale. zakupki.gov.ru (rank 7700) is marked not-in-2021-list.
+	if c, ok := byDomain["zakupki.gov.ru"]; !ok || c.Transition != LeftList {
+		t.Errorf("zakupki.gov.ru churn = %+v, want left-list", byDomain["zakupki.gov.ru"])
+	}
+
+	// No bot detection survives into 2021.
+	for pair, n := range rep.ClassShift() {
+		if pair[1] == groundtruth.ClassBotDetection && n > 0 {
+			t.Errorf("bot detection must not continue into 2021: %v × %d", pair, n)
+		}
+	}
+}
+
+func TestCompareCountsConsistent(t *testing.T) {
+	rep := Compare(bothCrawls, "localhost")
+	total := 0
+	for _, n := range rep.Counts {
+		total += n
+	}
+	if total != len(rep.Sites) {
+		t.Errorf("counts sum %d != %d sites", total, len(rep.Sites))
+	}
+	if rep.Counts[Continued] == 0 || rep.Counts[Stopped] == 0 {
+		t.Errorf("expected both continued and stopped sites: %v", rep.Counts)
+	}
+}
+
+func TestTransitionStrings(t *testing.T) {
+	want := map[Transition]string{
+		Continued: "continued", Stopped: "stopped", Started: "started",
+		EnteredList: "entered-list", LeftList: "left-list", Transition(99): "unknown",
+	}
+	for tr, s := range want {
+		if tr.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(tr), tr.String(), s)
+		}
+	}
+}
+
+func TestCompareEmptyStore(t *testing.T) {
+	rep := Compare(store.New(), "localhost")
+	if len(rep.Sites) != 0 {
+		t.Errorf("empty store produced %d records", len(rep.Sites))
+	}
+}
+
+func TestLANChurnSingleContinuing(t *testing.T) {
+	rep := Compare(bothCrawls, "lan")
+	continuing := []string{}
+	for _, s := range rep.Sites {
+		if s.Transition == Continued {
+			continuing = append(continuing, s.Domain)
+		}
+	}
+	// §4.1: only unib.ac.id performed LAN requests in both crawls —
+	// but at 10% scale its rank (56325/47356) is out of range, so no
+	// LAN site should continue here.
+	for _, d := range continuing {
+		if d != "unib.ac.id" {
+			t.Errorf("unexpected continuing LAN site %s", d)
+		}
+	}
+}

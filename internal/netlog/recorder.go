@@ -1,0 +1,99 @@
+package netlog
+
+import (
+	"sync"
+	"time"
+)
+
+// Recorder accumulates NetLog events for one page visit. It allocates
+// serial source IDs (as Chrome does: "when a new network request is
+// initiated, it is assigned a new source ID (in serial order)") and is
+// safe for concurrent use by the browser's fetch workers.
+type Recorder struct {
+	mu     sync.Mutex
+	nextID uint32
+	events []Event
+	// limit bounds the capture, as Chrome's bounded NetLog modes do;
+	// 0 means unbounded. Events beyond the limit are counted, not kept.
+	limit   int
+	dropped int
+}
+
+// NewRecorder returns an empty, unbounded recorder. Source IDs start at
+// 1; ID 0 is reserved for the unattributed source.
+func NewRecorder() *Recorder {
+	return &Recorder{nextID: 1}
+}
+
+// NewBoundedRecorder returns a recorder that retains at most limit
+// events, mirroring Chrome's bounded capture modes. Further events are
+// dropped and counted (Dropped).
+func NewBoundedRecorder(limit int) *Recorder {
+	return &Recorder{nextID: 1, limit: limit}
+}
+
+// Dropped reports how many events were discarded by the bound.
+func (r *Recorder) Dropped() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// NewSource allocates the next serial source ID for the given type.
+func (r *Recorder) NewSource(t SourceType) Source {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Source{Type: t, ID: r.nextID}
+	r.nextID++
+	return s
+}
+
+// Add appends a fully formed event, unless the capture bound is
+// reached.
+func (r *Recorder) Add(e Event) {
+	r.mu.Lock()
+	if r.limit > 0 && len(r.events) >= r.limit {
+		r.dropped++
+	} else {
+		r.events = append(r.events, e)
+	}
+	r.mu.Unlock()
+}
+
+// Emit appends an event assembled from its parts. A nil params map is
+// permitted.
+func (r *Recorder) Emit(at time.Duration, t EventType, src Source, phase Phase, params map[string]any) {
+	r.Add(Event{Time: at, Type: t, Source: src, Phase: phase, Params: params})
+}
+
+// Begin emits a PHASE_BEGIN event.
+func (r *Recorder) Begin(at time.Duration, t EventType, src Source, params map[string]any) {
+	r.Emit(at, t, src, PhaseBegin, params)
+}
+
+// End emits a PHASE_END event.
+func (r *Recorder) End(at time.Duration, t EventType, src Source, params map[string]any) {
+	r.Emit(at, t, src, PhaseEnd, params)
+}
+
+// Point emits a PHASE_NONE (instantaneous) event.
+func (r *Recorder) Point(at time.Duration, t EventType, src Source, params map[string]any) {
+	r.Emit(at, t, src, PhaseNone, params)
+}
+
+// Len reports the number of events recorded so far.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Log snapshots the recorded events into a Log. The returned log shares no
+// state with the recorder and further recording does not affect it.
+func (r *Recorder) Log() *Log {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	events := make([]Event, len(r.events))
+	copy(events, r.events)
+	return &Log{Events: events}
+}

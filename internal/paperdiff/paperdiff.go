@@ -1,0 +1,320 @@
+// Package paperdiff is the reproduction scorecard: it compares a
+// measured telemetry store against every aggregate the paper published
+// — headline counts, Table 1 rates, Table 2 categories, the Figure 2
+// overlap regions, Figure 4/8 protocol totals, Figure 5 timing medians
+// — and reports, per metric, the paper's value, the measured value, and
+// whether the reproduction holds within its fidelity class.
+//
+// EXPERIMENTS.md is the narrative form of this package's output;
+// cmd/knockdiff prints it from any store.
+package paperdiff
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/knockandtalk/knockandtalk/internal/analysis"
+	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+	"github.com/knockandtalk/knockandtalk/internal/store"
+)
+
+// Fidelity classes, from DESIGN.md: exact values, statistical rates, or
+// distribution shape.
+type Fidelity string
+
+// Fidelity levels.
+const (
+	Exact Fidelity = "exact"
+	Rate  Fidelity = "rate"
+	Shape Fidelity = "shape"
+)
+
+// Row is one scorecard entry.
+type Row struct {
+	Metric   Fidelity
+	Name     string
+	Paper    string
+	Measured string
+	OK       bool
+}
+
+// Scorecard is the full comparison.
+type Scorecard struct {
+	Rows []Row
+}
+
+// Passed and Failed count rows by outcome.
+func (s *Scorecard) Passed() int { return s.count(true) }
+
+// Failed counts failing rows.
+func (s *Scorecard) Failed() int { return s.count(false) }
+
+func (s *Scorecard) count(ok bool) int {
+	n := 0
+	for _, r := range s.Rows {
+		if r.OK == ok {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Scorecard) add(f Fidelity, name, paper, measured string, ok bool) {
+	s.Rows = append(s.Rows, Row{Metric: f, Name: name, Paper: paper, Measured: measured, OK: ok})
+}
+
+// within reports |a-b| <= tol.
+func within(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// Compare builds the scorecard from a store holding any subset of the
+// three crawls; metrics whose crawl is absent are skipped.
+func Compare(st *store.Store) *Scorecard {
+	sc := &Scorecard{}
+	crawled := map[groundtruth.CrawlID]bool{}
+	for _, p := range st.Pages(nil) {
+		crawled[groundtruth.CrawlID(p.Crawl)] = true
+	}
+
+	// Headline counts (§4.1) — exact.
+	for _, h := range groundtruth.Headlines() {
+		if !crawled[h.Crawl] {
+			continue
+		}
+		lh := len(analysis.LocalSites(st, h.Crawl, "localhost"))
+		lan := len(analysis.LocalSites(st, h.Crawl, "lan"))
+		sc.add(Exact, fmt.Sprintf("%s localhost sites", h.Crawl),
+			fmt.Sprint(h.Localhost), fmt.Sprint(lh), lh == h.Localhost)
+		sc.add(Exact, fmt.Sprintf("%s LAN sites", h.Crawl),
+			fmt.Sprint(h.LAN), fmt.Sprint(lan), lan == h.LAN)
+	}
+
+	compareVenn(sc, st, groundtruth.CrawlTop2020, groundtruth.Top2020Venn, crawled)
+	compareVenn(sc, st, groundtruth.CrawlMalicious, groundtruth.MaliciousVenn, crawled)
+	compareTable1(sc, st, crawled)
+	compareRollups(sc, st, crawled)
+	compareTimings(sc, st, crawled)
+	compareTable3(sc, st, crawled)
+	compareClassCounts(sc, st, crawled)
+	compare2021Totals(sc, st, crawled)
+	comparePortRings(sc, st, crawled)
+	return sc
+}
+
+// comparePortRings checks the Figure 4a Windows WSS port ring: the
+// paper's sunburst shows exactly the ThreatMetrix remote-desktop set
+// plus the AnySign ports (10531, 31027, 31029) on that arc.
+func comparePortRings(sc *Scorecard, st *store.Store, crawled map[groundtruth.CrawlID]bool) {
+	if !crawled[groundtruth.CrawlTop2020] {
+		return
+	}
+	want := map[uint16]bool{10531: true, 31027: true, 31029: true}
+	for _, p := range []uint16{3389, 5279, 5900, 5901, 5902, 5903, 5931, 5939, 5944, 5950, 6039, 6040, 7070, 63333} {
+		want[p] = true
+	}
+	m := analysis.SchemeRollup(st, groundtruth.CrawlTop2020, "Windows", "localhost")
+	got := map[uint16]bool{}
+	for _, p := range m.Ports["wss"] {
+		got[p] = true
+	}
+	ok := len(got) == len(want)
+	for p := range want {
+		if !got[p] {
+			ok = false
+		}
+	}
+	sc.add(Exact, "2020 Windows WSS port ring (Figure 4a)",
+		fmt.Sprintf("%d ports (TM set + AnySign)", len(want)),
+		fmt.Sprintf("%d ports", len(got)), ok)
+}
+
+// compareClassCounts checks the 2020 behavior-class breakdown against
+// the table-derived counts (34/10/13/45/5; see EXPERIMENTS.md on the
+// text/table discrepancy).
+func compareClassCounts(sc *Scorecard, st *store.Store, crawled map[groundtruth.CrawlID]bool) {
+	if !crawled[groundtruth.CrawlTop2020] {
+		return
+	}
+	counts := analysis.ClassCounts(analysis.LocalSites(st, groundtruth.CrawlTop2020, "localhost"))
+	want := map[groundtruth.Class]int{
+		groundtruth.ClassFraudDetection: 34,
+		groundtruth.ClassBotDetection:   10,
+		groundtruth.ClassNativeApp:      13,
+		groundtruth.ClassDevError:       45,
+		groundtruth.ClassUnknown:        5,
+	}
+	for _, class := range []groundtruth.Class{
+		groundtruth.ClassFraudDetection, groundtruth.ClassBotDetection,
+		groundtruth.ClassNativeApp, groundtruth.ClassDevError, groundtruth.ClassUnknown,
+	} {
+		sc.add(Exact, fmt.Sprintf("2020 class: %s", class),
+			fmt.Sprint(want[class]), fmt.Sprint(counts[class]), counts[class] == want[class])
+	}
+}
+
+// compare2021Totals checks the Figure 9 per-OS site totals.
+func compare2021Totals(sc *Scorecard, st *store.Store, crawled map[groundtruth.CrawlID]bool) {
+	if !crawled[groundtruth.CrawlTop2021] {
+		return
+	}
+	totals := analysis.OSTotals(analysis.LocalSites(st, groundtruth.CrawlTop2021, "localhost"))
+	sc.add(Exact, "2021 Windows localhost sites (Figure 9)",
+		fmt.Sprint(groundtruth.Top2021WindowsSites), fmt.Sprint(totals[groundtruth.OSWindows]),
+		totals[groundtruth.OSWindows] == groundtruth.Top2021WindowsSites)
+	sc.add(Exact, "2021 Linux localhost sites (Figure 9)",
+		fmt.Sprint(groundtruth.Top2021LinuxSites), fmt.Sprint(totals[groundtruth.OSLinux]),
+		totals[groundtruth.OSLinux] == groundtruth.Top2021LinuxSites)
+}
+
+func compareVenn(sc *Scorecard, st *store.Store, crawl groundtruth.CrawlID, want map[groundtruth.OSSet]int, crawled map[groundtruth.CrawlID]bool) {
+	if !crawled[crawl] {
+		return
+	}
+	got := analysis.Venn(analysis.LocalSites(st, crawl, "localhost"))
+	regions := make([]groundtruth.OSSet, 0, len(want))
+	for r := range want {
+		regions = append(regions, r)
+	}
+	sort.Slice(regions, func(i, j int) bool { return regions[i] < regions[j] })
+	for _, region := range regions {
+		sc.add(Exact, fmt.Sprintf("%s overlap region %s", crawl, region),
+			fmt.Sprint(want[region]), fmt.Sprint(got[region]), got[region] == want[region])
+	}
+}
+
+func compareTable1(sc *Scorecard, st *store.Store, crawled map[groundtruth.CrawlID]bool) {
+	measured := analysis.CrawlTable(st)
+	for _, paper := range groundtruth.Table1() {
+		if !crawled[paper.Crawl] {
+			continue
+		}
+		for _, m := range measured {
+			if m.Crawl != paper.Crawl || analysis.OSSetFromName(m.OS) != paper.OS {
+				continue
+			}
+			pRate := paper.SuccessRate()
+			mRate := float64(m.Successful) / float64(m.Total())
+			sc.add(Rate, fmt.Sprintf("%s/%s success rate", paper.Crawl, paper.OS),
+				fmt.Sprintf("%.1f%%", 100*pRate), fmt.Sprintf("%.1f%%", 100*mRate),
+				within(pRate, mRate, 0.02))
+			pNX := float64(paper.NameNotResolved) / float64(paper.Failed)
+			mNX := float64(m.NameNotResolved) / float64(max(1, m.Failed))
+			sc.add(Rate, fmt.Sprintf("%s/%s NXDOMAIN share of failures", paper.Crawl, paper.OS),
+				fmt.Sprintf("%.1f%%", 100*pNX), fmt.Sprintf("%.1f%%", 100*mNX),
+				within(pNX, mNX, 0.06))
+		}
+	}
+}
+
+func compareRollups(sc *Scorecard, st *store.Store, crawled map[groundtruth.CrawlID]bool) {
+	type rollup struct {
+		crawl groundtruth.CrawlID
+		rows  []groundtruth.RequestRollup
+	}
+	for _, r := range []rollup{
+		{groundtruth.CrawlTop2020, groundtruth.Figure4Top2020},
+		{groundtruth.CrawlMalicious, groundtruth.Figure4Malicious},
+		{groundtruth.CrawlTop2021, groundtruth.Figure8Top2021},
+	} {
+		if !crawled[r.crawl] {
+			continue
+		}
+		for _, paper := range r.rows {
+			osName := osNameOf(paper.OS)
+			m := analysis.SchemeRollup(st, r.crawl, osName, "localhost")
+			// Shape: the dominant scheme must match, and its share must
+			// be within 15 points.
+			pTop, pShare := dominant(paper.ByScheme, paper.Total)
+			mTop, mShare := dominant(m.ByScheme, m.Total)
+			sc.add(Shape, fmt.Sprintf("%s/%s dominant localhost scheme", r.crawl, osName),
+				fmt.Sprintf("%s (%.0f%%)", pTop, 100*pShare),
+				fmt.Sprintf("%s (%.0f%%)", mTop, 100*mShare),
+				pTop == mTop && within(pShare, mShare, 0.15))
+		}
+	}
+}
+
+func compareTimings(sc *Scorecard, st *store.Store, crawled map[groundtruth.CrawlID]bool) {
+	if !crawled[groundtruth.CrawlTop2020] {
+		return
+	}
+	sites := analysis.LocalSites(st, groundtruth.CrawlTop2020, "localhost")
+	for _, c := range []struct {
+		os     groundtruth.OSSet
+		median float64
+		tol    float64
+	}{
+		{groundtruth.OSWindows, 10, 2.5},
+		{groundtruth.OSLinux, 5, 2.5},
+		{groundtruth.OSMac, 5, 2.5},
+	} {
+		m := analysis.Quantile(analysis.DelaySeconds(sites, c.os), 0.5)
+		sc.add(Shape, fmt.Sprintf("2020 %s median localhost delay", osNameOf(c.os)),
+			fmt.Sprintf("~%.0fs", c.median), fmt.Sprintf("%.1fs", m), within(c.median, m, c.tol))
+	}
+}
+
+func compareTable3(sc *Scorecard, st *store.Store, crawled map[groundtruth.CrawlID]bool) {
+	if !crawled[groundtruth.CrawlTop2020] {
+		return
+	}
+	sites := analysis.LocalSites(st, groundtruth.CrawlTop2020, "localhost")
+	win := analysis.TopN(sites, groundtruth.OSWindows, 10)
+	ok := len(win) == len(groundtruth.Table3Windows2020)
+	for i := range win {
+		if ok && win[i].Domain != groundtruth.Table3Windows2020[i] {
+			ok = false
+		}
+	}
+	sc.add(Exact, "Table 3 Windows top-10",
+		fmt.Sprint(groundtruth.Table3Windows2020[:3])+"...",
+		topDomains(win), ok)
+}
+
+func topDomains(sites []analysis.SiteActivity) string {
+	var names []string
+	for i, s := range sites {
+		if i == 3 {
+			names = append(names, "...")
+			break
+		}
+		names = append(names, s.Domain)
+	}
+	return fmt.Sprint(names)
+}
+
+func dominant(byScheme map[string]int, total int) (string, float64) {
+	top, n := "", 0
+	keys := make([]string, 0, len(byScheme))
+	for k := range byScheme {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if byScheme[k] > n {
+			top, n = k, byScheme[k]
+		}
+	}
+	if total == 0 {
+		return top, 0
+	}
+	return top, float64(n) / float64(total)
+}
+
+func osNameOf(os groundtruth.OSSet) string {
+	switch os {
+	case groundtruth.OSWindows:
+		return "Windows"
+	case groundtruth.OSLinux:
+		return "Linux"
+	default:
+		return "Mac"
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

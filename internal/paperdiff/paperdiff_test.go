@@ -1,0 +1,82 @@
+package paperdiff
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/knockandtalk/knockandtalk/internal/crawler"
+	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+	"github.com/knockandtalk/knockandtalk/internal/hostenv"
+	"github.com/knockandtalk/knockandtalk/internal/store"
+)
+
+func TestCompareEmptyStoreSkipsEverything(t *testing.T) {
+	sc := Compare(store.New())
+	if len(sc.Rows) != 0 {
+		t.Errorf("empty store produced %d rows: %+v", len(sc.Rows), sc.Rows)
+	}
+}
+
+func TestCompareScaledCrawlReportsFailuresHonestly(t *testing.T) {
+	// A 1% crawl cannot reproduce the full-population aggregates: the
+	// scorecard must run, cover the crawled campaign only, and fail the
+	// absolute-count metrics rather than masking them.
+	st := store.New()
+	for _, os := range hostenv.AllOS {
+		if _, err := crawler.Run(crawler.Config{
+			Crawl: groundtruth.CrawlTop2020, OS: os, Scale: 0.01, Seed: 3, Workers: 4,
+		}, st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sc := Compare(st)
+	if len(sc.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range sc.Rows {
+		if !strings.HasPrefix(r.Name, "top100k-2020") && !strings.HasPrefix(r.Name, "2020") && !strings.HasPrefix(r.Name, "Table 3") {
+			t.Errorf("row for uncrawled campaign: %+v", r)
+		}
+	}
+	var headline *Row
+	for i := range sc.Rows {
+		if sc.Rows[i].Name == "top100k-2020 localhost sites" {
+			headline = &sc.Rows[i]
+		}
+	}
+	if headline == nil {
+		t.Fatal("headline row missing")
+	}
+	if headline.OK || headline.Measured != "5" {
+		t.Errorf("1%% crawl headline should fail with 5 sites: %+v", headline)
+	}
+	// Rates, by contrast, hold at any scale.
+	rateOK := 0
+	for _, r := range sc.Rows {
+		if r.Metric == Rate && r.OK {
+			rateOK++
+		}
+	}
+	if rateOK == 0 {
+		t.Error("rate metrics should pass even at 1% scale")
+	}
+	if sc.Passed()+sc.Failed() != len(sc.Rows) {
+		t.Error("pass/fail counts inconsistent")
+	}
+}
+
+func TestDominant(t *testing.T) {
+	top, share := dominant(map[string]int{"wss": 490, "http": 134, "https": 21, "ws": 19}, 664)
+	if top != "wss" || share < 0.73 || share > 0.75 {
+		t.Errorf("dominant = %s, %.3f", top, share)
+	}
+	if top, share := dominant(nil, 0); top != "" || share != 0 {
+		t.Errorf("empty dominant = %q, %f", top, share)
+	}
+}
+
+func TestWithin(t *testing.T) {
+	if !within(0.897, 0.898, 0.02) || within(0.5, 0.6, 0.05) {
+		t.Error("within logic wrong")
+	}
+}

@@ -1,0 +1,127 @@
+package pna
+
+import (
+	"testing"
+
+	"github.com/knockandtalk/knockandtalk/internal/crawler"
+	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+	"github.com/knockandtalk/knockandtalk/internal/hostenv"
+	"github.com/knockandtalk/knockandtalk/internal/simnet"
+	"github.com/knockandtalk/knockandtalk/internal/store"
+)
+
+func TestPolicyEvaluate(t *testing.T) {
+	cases := []struct {
+		policy      Policy
+		secure, opt bool
+		wantAllowed bool
+		wantReason  string
+	}{
+		{WICGDraft, true, true, true, ""},
+		{WICGDraft, false, true, false, "insecure-context"},
+		{WICGDraft, true, false, false, "no-opt-in"},
+		{WICGDraft, false, false, false, "insecure-context"},
+		{Policy{}, false, false, true, ""},
+		{Policy{RequireSecureContext: true}, true, false, true, ""},
+		{Policy{RequirePreflight: true}, false, true, true, ""},
+	}
+	for i, c := range cases {
+		d := c.policy.Evaluate(c.secure, c.opt)
+		if d.Allowed != c.wantAllowed || d.Reason != c.wantReason {
+			t.Errorf("case %d: %+v, want allowed=%v reason=%q", i, d, c.wantAllowed, c.wantReason)
+		}
+	}
+}
+
+func TestPreflightExchange(t *testing.T) {
+	plain := simnet.ServiceFunc(func(req *simnet.Request) *simnet.Response {
+		return &simnet.Response{Status: 200}
+	})
+	req := &simnet.Request{Scheme: simnet.SchemeHTTP, Host: "127.0.0.1", Port: 28337, Path: "/"}
+	if Preflight(plain, req) {
+		t.Error("plain service must not pass the preflight")
+	}
+	if Preflight(nil, req) {
+		t.Error("nil service must not pass the preflight")
+	}
+	opted := OptIn(plain)
+	if !Preflight(opted, req) {
+		t.Error("opted-in service must pass the preflight")
+	}
+	// Non-preflight traffic still reaches the wrapped service.
+	if resp := opted.Serve(req); resp.Status != 200 {
+		t.Errorf("wrapped service response = %+v", resp)
+	}
+	// The preflight request carries the draft's request header.
+	inspect := simnet.ServiceFunc(func(req *simnet.Request) *simnet.Response {
+		if req.Method != "OPTIONS" || req.Header[RequestHeader] != "true" {
+			t.Errorf("malformed preflight: %+v", req)
+		}
+		return &simnet.Response{Status: 204, Header: map[string]string{AllowHeader: "true"}}
+	})
+	if !Preflight(inspect, req) {
+		t.Error("inspecting service should opt in")
+	}
+}
+
+func TestAuditSmallCrawl(t *testing.T) {
+	st := store.New()
+	if _, err := crawler.Run(crawler.Config{
+		Crawl: groundtruth.CrawlTop2020, OS: hostenv.Windows, Scale: 0.01, Seed: 7, Workers: 4,
+	}, st); err != nil {
+		t.Fatal(err)
+	}
+	rows := Audit(st, groundtruth.CrawlTop2020, WICGDraft)
+	if len(rows) == 0 {
+		t.Fatal("audit produced no rows")
+	}
+	var fraud, unknown *AuditRow
+	for i := range rows {
+		switch rows[i].Class {
+		case groundtruth.ClassFraudDetection:
+			fraud = &rows[i]
+		case groundtruth.ClassUnknown:
+			unknown = &rows[i]
+		}
+	}
+	// The top-1000 slice contains 4 eBay TM sites and hola.org.
+	if fraud == nil || fraud.Sites != 4 {
+		t.Fatalf("fraud rows = %+v", fraud)
+	}
+	// ThreatMetrix pages are HTTPS, so the block reason is the missing
+	// opt-in, not the context — host profiling dies under the draft.
+	if fraud.Allowed != 0 || fraud.BlockedNoOptIn != fraud.Requests {
+		t.Errorf("fraud audit = %+v; the draft should block all scans via no-opt-in", fraud)
+	}
+	if unknown == nil || unknown.Blocked() != unknown.Requests {
+		t.Errorf("unknown audit = %+v", unknown)
+	}
+}
+
+func TestAuditPreservesNativeApps(t *testing.T) {
+	// Build a store by hand: one native-app site on a secure page.
+	st := store.New()
+	st.AddPage(store.PageRecord{Crawl: string(groundtruth.CrawlTop2020), OS: "Windows", Domain: "faceit.com", URL: "https://faceit.com/"})
+	st.AddLocal(store.LocalRequest{
+		Crawl: string(groundtruth.CrawlTop2020), OS: "Windows", Domain: "faceit.com",
+		URL: "ws://localhost:28337/", Scheme: "ws", Host: "localhost", Port: 28337, Path: "/", Dest: "localhost",
+	})
+	rows := Audit(st, groundtruth.CrawlTop2020, WICGDraft)
+	if len(rows) != 1 || rows[0].Class != groundtruth.ClassNativeApp {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[0].Allowed != 1 {
+		t.Errorf("native-app traffic should survive the draft with opt-in: %+v", rows[0])
+	}
+	// Under an insecure page it is still blocked.
+	st2 := store.New()
+	st2.AddPage(store.PageRecord{Crawl: string(groundtruth.CrawlTop2020), OS: "Windows", Domain: "faceit.com", URL: "http://faceit.com/"})
+	st2.AddLocal(store.LocalRequest{
+		Crawl: string(groundtruth.CrawlTop2020), OS: "Windows", Domain: "faceit.com",
+		URL: "ws://localhost:28337/", Scheme: "ws", Host: "localhost", Port: 28337, Path: "/", Dest: "localhost",
+	})
+	rows = Audit(st2, groundtruth.CrawlTop2020, WICGDraft)
+	if rows[0].BlockedInsecure != 1 {
+		t.Errorf("insecure-context block missing: %+v", rows[0])
+	}
+}

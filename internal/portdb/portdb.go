@@ -1,0 +1,111 @@
+// Package portdb is the port-to-service registry behind Table 4 of the
+// paper: the common services and malware that operate on the localhost
+// ports scanned for fraud and bot detection. The mappings follow IANA's
+// Service Name and Transport Protocol Port Number Registry and the SANS
+// ISC port activity database, as the paper's analysis did.
+package portdb
+
+import "sort"
+
+// UseCase is the anti-abuse purpose a scanned port serves.
+type UseCase int
+
+// Use cases from Table 4.
+const (
+	UseUnknown UseCase = iota
+	UseFraudDetection
+	UseBotDetection
+)
+
+// String returns the Table 4 label.
+func (u UseCase) String() string {
+	switch u {
+	case UseFraudDetection:
+		return "Fraud Detection"
+	case UseBotDetection:
+		return "Bot Detection"
+	default:
+		return "Unknown"
+	}
+}
+
+// Entry is one row of the registry.
+type Entry struct {
+	Port    uint16
+	Service string // service or malware family name
+	Malware bool   // true when the port is a known-malware listener
+	UseCase UseCase
+}
+
+// table reproduces Table 4 of the paper.
+var table = []Entry{
+	{3389, "Windows Remote Desktop", false, UseFraudDetection},
+	{4444, "Malware: CrackDown, Prosiak, Swift Remote", true, UseBotDetection},
+	{4653, "Malware: Cero", true, UseBotDetection},
+	{5555, "Malware: ServeMe", true, UseBotDetection},
+	{5279, "Unknown", false, UseFraudDetection},
+	{5900, "Remote Framebuffer (e.g., VNC)", false, UseFraudDetection},
+	{5901, "Remote Framebuffer (e.g., VNC)", false, UseFraudDetection},
+	{5902, "Remote Framebuffer (e.g., VNC)", false, UseFraudDetection},
+	{5903, "Remote Framebuffer (e.g., VNC)", false, UseFraudDetection},
+	{5931, "AMMYY Remote Control", false, UseFraudDetection},
+	{5939, "TeamViewer", false, UseFraudDetection},
+	{5944, "Unknown (likely VNC)", false, UseFraudDetection},
+	{5950, "Cisco Remote Expert Manager", false, UseFraudDetection},
+	{6039, "X Window System", false, UseFraudDetection},
+	{6040, "X Window System", false, UseFraudDetection},
+	{63333, "Tripp Lite PowerAlert UPS", false, UseFraudDetection},
+	{7054, "QuickTime Streaming Server", false, UseBotDetection},
+	{7055, "QuickTime Streaming Server", false, UseBotDetection},
+	{7070, "AnyDesk Remote Desktop", false, UseFraudDetection},
+	{9515, "Malware: W32.Loxbot.A", true, UseBotDetection},
+	{17556, "Microsoft Edge WebDriver", false, UseBotDetection},
+}
+
+var byPort = func() map[uint16]Entry {
+	m := make(map[uint16]Entry, len(table))
+	for _, e := range table {
+		m[e.Port] = e
+	}
+	return m
+}()
+
+// Lookup returns the registry entry for a port.
+func Lookup(port uint16) (Entry, bool) {
+	e, ok := byPort[port]
+	return e, ok
+}
+
+// All returns every entry sorted by port.
+func All() []Entry {
+	out := make([]Entry, len(table))
+	copy(out, table)
+	sort.Slice(out, func(i, j int) bool { return out[i].Port < out[j].Port })
+	return out
+}
+
+// ByUseCase returns the ports associated with a use case, sorted.
+func ByUseCase(u UseCase) []uint16 {
+	var out []uint16
+	for _, e := range table {
+		if e.UseCase == u {
+			out = append(out, e.Port)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ThreatMetrixPorts returns the 14 localhost ports probed over WSS by the
+// ThreatMetrix fraud-detection script (§4.3.1): the standard ports for
+// remote desktop software on Windows.
+func ThreatMetrixPorts() []uint16 {
+	return []uint16{3389, 5279, 5900, 5901, 5902, 5903, 5931, 5939, 5944, 5950, 6039, 6040, 7070, 63333}
+}
+
+// BigIPPorts returns the 7 localhost ports probed over HTTP by BIG-IP ASM
+// Bot Defense (§4.3.2): malware listeners plus browser-automation and
+// historically exploited services.
+func BigIPPorts() []uint16 {
+	return []uint16{4444, 4653, 5555, 7054, 7055, 9515, 17556}
+}

@@ -1,0 +1,103 @@
+package portdb
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestThreatMetrixPortCount(t *testing.T) {
+	ports := ThreatMetrixPorts()
+	if len(ports) != 14 {
+		t.Fatalf("ThreatMetrix scans 14 distinct localhost ports (§4.3.1); got %d", len(ports))
+	}
+	for _, p := range ports {
+		e, ok := Lookup(p)
+		if !ok {
+			t.Errorf("port %d missing from Table 4 registry", p)
+			continue
+		}
+		if e.UseCase != UseFraudDetection {
+			t.Errorf("port %d (%s) classed as %v, want Fraud Detection", p, e.Service, e.UseCase)
+		}
+	}
+}
+
+func TestBigIPPortCount(t *testing.T) {
+	ports := BigIPPorts()
+	if len(ports) != 7 {
+		t.Fatalf("BIG-IP probes 7 localhost ports (§4.3.2); got %d", len(ports))
+	}
+	malware := 0
+	for _, p := range ports {
+		e, ok := Lookup(p)
+		if !ok {
+			t.Errorf("port %d missing from Table 4 registry", p)
+			continue
+		}
+		if e.UseCase != UseBotDetection {
+			t.Errorf("port %d (%s) classed as %v, want Bot Detection", p, e.Service, e.UseCase)
+		}
+		if e.Malware {
+			malware++
+		}
+	}
+	// "4 out of the 7 ports scanned are notably used by well-known malware."
+	if malware != 4 {
+		t.Errorf("malware ports among BIG-IP set = %d, want 4", malware)
+	}
+}
+
+func TestKnownEntries(t *testing.T) {
+	cases := map[uint16]string{
+		3389:  "Windows Remote Desktop",
+		5939:  "TeamViewer",
+		7070:  "AnyDesk Remote Desktop",
+		17556: "Microsoft Edge WebDriver",
+		9515:  "Malware: W32.Loxbot.A",
+	}
+	for port, svc := range cases {
+		e, ok := Lookup(port)
+		if !ok || e.Service != svc {
+			t.Errorf("Lookup(%d) = %+v, %v; want service %q", port, e, ok, svc)
+		}
+	}
+	if _, ok := Lookup(1); ok {
+		t.Error("Lookup(1) should miss")
+	}
+}
+
+func TestAllSortedAndComplete(t *testing.T) {
+	all := All()
+	if len(all) != 21 {
+		t.Errorf("Table 4 expands to 21 port rows, got %d", len(all))
+	}
+	if !sort.SliceIsSorted(all, func(i, j int) bool { return all[i].Port < all[j].Port }) {
+		t.Error("All() not sorted by port")
+	}
+	// All() must return a copy.
+	all[0].Service = "tampered"
+	if e, _ := Lookup(all[0].Port); e.Service == "tampered" {
+		t.Error("All() aliases internal storage")
+	}
+}
+
+func TestByUseCasePartition(t *testing.T) {
+	fraud := ByUseCase(UseFraudDetection)
+	bot := ByUseCase(UseBotDetection)
+	if len(fraud)+len(bot) != len(All()) {
+		t.Errorf("use cases do not partition the table: %d + %d != %d", len(fraud), len(bot), len(All()))
+	}
+	seen := map[uint16]bool{}
+	for _, p := range append(fraud, bot...) {
+		if seen[p] {
+			t.Errorf("port %d in both use cases", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestUseCaseString(t *testing.T) {
+	if UseFraudDetection.String() != "Fraud Detection" || UseBotDetection.String() != "Bot Detection" || UseUnknown.String() != "Unknown" {
+		t.Error("use case labels wrong")
+	}
+}

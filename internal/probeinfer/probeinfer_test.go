@@ -1,0 +1,111 @@
+package probeinfer
+
+import (
+	"testing"
+	"time"
+
+	"github.com/knockandtalk/knockandtalk/internal/browser"
+	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+	"github.com/knockandtalk/knockandtalk/internal/hostenv"
+	"github.com/knockandtalk/knockandtalk/internal/localnet"
+	"github.com/knockandtalk/knockandtalk/internal/simnet"
+	"github.com/knockandtalk/knockandtalk/internal/websim"
+)
+
+func TestInferenceFromRealProbeRun(t *testing.T) {
+	// A Windows machine with RDP on 3389 (the default profile) visited
+	// by a ThreatMetrix deployer: 3389 must infer open, the other 13
+	// scanned ports closed.
+	world, err := websim.Build(groundtruth.CrawlTop2020, hostenv.Windows, 0.01, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := browser.New(hostenv.DefaultProfile(hostenv.Windows), world.Net, browser.DefaultOptions())
+	res := b.Visit("https://ebay.com/")
+	infs := FromLog(res.Log)
+	if len(infs) != 14 {
+		t.Fatalf("inferences = %d, want 14", len(infs))
+	}
+	byPort := map[uint16]Inference{}
+	for _, inf := range infs {
+		byPort[inf.Port] = inf
+	}
+	if got := byPort[3389]; got.State != StateOpen {
+		t.Errorf("port 3389 = %v (%s), want open", got.State, got.Evidence)
+	}
+	for _, port := range []uint16{5279, 5900, 5939, 7070, 63333} {
+		if got := byPort[port]; got.State != StateClosed {
+			t.Errorf("port %d = %v (%s), want closed", port, got.State, got.Evidence)
+		}
+	}
+	profile := Summarize(infs)
+	if !profile.Suspicious() {
+		t.Error("an answering remote-desktop port must flag the host")
+	}
+	if len(profile.Open) != 1 || len(profile.Closed) != 13 {
+		t.Errorf("profile = open %v closed %v", profile.Open, profile.Closed)
+	}
+}
+
+func TestCleanHostIsNotSuspicious(t *testing.T) {
+	world, err := websim.Build(groundtruth.CrawlTop2020, hostenv.Windows, 0.01, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := hostenv.NewProfile(hostenv.Windows, "10", simnet.VantageCampus)
+	b := browser.New(clean, world.Net, browser.DefaultOptions())
+	res := b.Visit("https://ebay.com/")
+	profile := Summarize(FromLog(res.Log))
+	if profile.Suspicious() {
+		t.Errorf("clean host flagged: open = %v", profile.Open)
+	}
+	if len(profile.Closed) != 14 {
+		t.Errorf("closed = %v, want all 14", profile.Closed)
+	}
+}
+
+func TestInferenceRules(t *testing.T) {
+	cases := []struct {
+		finding localnet.Finding
+		elapsed time.Duration
+		want    State
+	}{
+		{localnet.Finding{Host: "localhost", Port: 1, StatusCode: 200}, 0, StateOpen},
+		{localnet.Finding{Host: "localhost", Port: 2, StatusCode: 101}, 0, StateOpen},
+		{localnet.Finding{Host: "localhost", Port: 3, NetError: "ERR_SSL_PROTOCOL_ERROR"}, 0, StateOpen},
+		{localnet.Finding{Host: "localhost", Port: 4, NetError: "ERR_INVALID_HTTP_RESPONSE"}, 0, StateOpen},
+		{localnet.Finding{Host: "localhost", Port: 5, NetError: "ERR_CONNECTION_REFUSED"}, time.Millisecond, StateClosed},
+		{localnet.Finding{Host: "10.0.0.9", Port: 6, NetError: "ERR_CONNECTION_TIMED_OUT"}, 9 * time.Second, StateFiltered},
+		{localnet.Finding{Host: "localhost", Port: 7}, 3 * time.Millisecond, StateOpen}, // fast, no error
+		{localnet.Finding{Host: "localhost", Port: 8, NetError: "ERR_ABORTED"}, 0, StateUnknown},
+	}
+	for _, c := range cases {
+		c := c
+		infs := FromFindings([]localnet.Finding{c.finding}, func(localnet.Finding) time.Duration { return c.elapsed })
+		if infs[0].State != c.want {
+			t.Errorf("port %d: state = %v (%s), want %v", c.finding.Port, infs[0].State, infs[0].Evidence, c.want)
+		}
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	for s, want := range map[State]string{StateOpen: "open", StateClosed: "closed", StateFiltered: "filtered", StateUnknown: "unknown"} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", int(s), s.String())
+		}
+	}
+}
+
+func TestInferenceSortedAndKeyed(t *testing.T) {
+	infs := FromFindings([]localnet.Finding{
+		{Host: "localhost", Port: 9000, NetError: "ERR_CONNECTION_REFUSED"},
+		{Host: "127.0.0.1", Port: 80, NetError: "ERR_CONNECTION_REFUSED"},
+		{Host: "localhost", Port: 80, NetError: "ERR_CONNECTION_REFUSED"},
+	}, nil)
+	if infs[0].Host != "127.0.0.1" || infs[1].Port != 80 || infs[2].Port != 9000 {
+		t.Errorf("order wrong: %+v", infs)
+	}
+	if infs[0].Key() != "127.0.0.1:80" {
+		t.Errorf("Key = %q", infs[0].Key())
+	}
+}

@@ -1,0 +1,136 @@
+package realnet
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/knockandtalk/knockandtalk/internal/localnet"
+	"github.com/knockandtalk/knockandtalk/internal/netlog"
+)
+
+func TestTransportRecordsRealLoopbackTraffic(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "hello")
+	}))
+	defer srv.Close()
+
+	rec := netlog.NewRecorder()
+	client := &http.Client{Transport: NewTransport(rec)}
+	resp, err := client.Get(srv.URL + "/wp-content/uploads/x.jpg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	findings := localnet.FromLog(rec.Log())
+	if len(findings) != 1 {
+		t.Fatalf("findings = %d, want 1 (httptest binds 127.0.0.1)", len(findings))
+	}
+	f := findings[0]
+	if f.Dest != localnet.DestLocalhost || f.StatusCode != 200 || f.Path != "/wp-content/uploads/x.jpg" {
+		t.Errorf("finding = %+v", f)
+	}
+}
+
+func TestTransportRecordsRefusedConnection(t *testing.T) {
+	// Find a port that is certainly closed: bind then release it.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := l.Addr().(*net.TCPAddr).Port
+	l.Close()
+
+	rec := netlog.NewRecorder()
+	client := &http.Client{Transport: NewTransport(rec), Timeout: 2 * time.Second}
+	_, err = client.Get(fmt.Sprintf("http://127.0.0.1:%d/", port))
+	if err == nil {
+		t.Fatal("expected connection failure")
+	}
+	findings := localnet.FromLog(rec.Log())
+	if len(findings) != 1 {
+		t.Fatalf("findings = %d", len(findings))
+	}
+	if findings[0].NetError != "ERR_CONNECTION_REFUSED" {
+		t.Errorf("net error = %q, want ERR_CONNECTION_REFUSED", findings[0].NetError)
+	}
+}
+
+func TestTransportRecordsRedirect(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/" {
+			http.Redirect(w, r, "/target", http.StatusFound)
+			return
+		}
+		fmt.Fprint(w, "ok")
+	}))
+	defer srv.Close()
+
+	rec := netlog.NewRecorder()
+	client := &http.Client{Transport: NewTransport(rec)}
+	resp, err := client.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	sawRedirect := false
+	for _, e := range rec.Log().Events {
+		if e.Type == netlog.TypeURLRequestRedirect && e.ParamString("location") == "/target" {
+			sawRedirect = true
+		}
+	}
+	if !sawRedirect {
+		t.Error("redirect event not recorded")
+	}
+	// Both hops are localhost findings.
+	if got := len(localnet.FromLog(rec.Log())); got != 2 {
+		t.Errorf("findings = %d, want 2 hops", got)
+	}
+}
+
+func TestProbePortOpenAndClosed(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+	openPort := uint16(l.Addr().(*net.TCPAddr).Port)
+
+	rec := netlog.NewRecorder()
+	open := ProbePort(rec, 0, "127.0.0.1", openPort, time.Second)
+	if !open.Open || open.Err != "" {
+		t.Errorf("open probe = %+v", open)
+	}
+
+	l2, _ := net.Listen("tcp", "127.0.0.1:0")
+	closedPort := uint16(l2.Addr().(*net.TCPAddr).Port)
+	l2.Close()
+	closed := ProbePort(rec, time.Second, "127.0.0.1", closedPort, time.Second)
+	if closed.Open || closed.Err != "ERR_CONNECTION_REFUSED" {
+		t.Errorf("closed probe = %+v", closed)
+	}
+	// The timing side channel: both answers arrive quickly on loopback
+	// (no filtering), far below the timeout.
+	if closed.Elapsed > 500*time.Millisecond {
+		t.Errorf("refused probe took %v", closed.Elapsed)
+	}
+	// Telemetry captured both attempts.
+	events := rec.Log().Events
+	if len(events) < 4 {
+		t.Errorf("probe telemetry too thin: %d events", len(events))
+	}
+}

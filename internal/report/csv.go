@@ -1,0 +1,73 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/knockandtalk/knockandtalk/internal/analysis"
+	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+	"github.com/knockandtalk/knockandtalk/internal/store"
+)
+
+// CSV exports of the figure series, for replotting with external tools.
+
+// RankCDFCSV emits "os,rank,cdf" rows for Figure 3/9.
+func RankCDFCSV(st *store.Store, crawl groundtruth.CrawlID) string {
+	sites := analysis.LocalSites(st, crawl, "localhost")
+	var b strings.Builder
+	b.WriteString("os,rank,cdf\n")
+	for _, os := range osRows(crawl) {
+		for _, p := range analysis.RankCDF(sites, os.set) {
+			fmt.Fprintf(&b, "%s,%.0f,%.6f\n", os.name, p.X, p.Y)
+		}
+	}
+	return b.String()
+}
+
+// DelayCDFCSV emits "os,delay_seconds,cdf" rows for Figures 5-7.
+func DelayCDFCSV(st *store.Store, crawl groundtruth.CrawlID, dest string) string {
+	sites := analysis.LocalSites(st, crawl, dest)
+	var b strings.Builder
+	b.WriteString("os,delay_seconds,cdf\n")
+	for _, os := range osRows(crawl) {
+		for _, p := range analysis.DelayCDF(sites, os.set) {
+			fmt.Fprintf(&b, "%s,%.3f,%.6f\n", os.name, p.X, p.Y)
+		}
+	}
+	return b.String()
+}
+
+// RollupCSV emits "os,scheme,requests,ports" rows for Figures 4/8.
+func RollupCSV(st *store.Store, crawl groundtruth.CrawlID) string {
+	var b strings.Builder
+	b.WriteString("os,scheme,requests,ports\n")
+	for _, os := range osRows(crawl) {
+		r := analysis.SchemeRollup(st, crawl, os.name, "localhost")
+		for scheme, n := range r.ByScheme {
+			fmt.Fprintf(&b, "%s,%s,%d,%s\n", os.name, scheme, n, strings.ReplaceAll(portsCompact(r.Ports[scheme]), ",", ";"))
+		}
+	}
+	return b.String()
+}
+
+// VennCSV emits "region,sites" rows for Figure 2.
+func VennCSV(st *store.Store, crawl groundtruth.CrawlID) string {
+	venn := analysis.Venn(analysis.LocalSites(st, crawl, "localhost"))
+	var b strings.Builder
+	b.WriteString("region,sites\n")
+	for _, r := range []struct {
+		label string
+		set   groundtruth.OSSet
+	}{
+		{"windows-only", groundtruth.OSWindows},
+		{"linux-only", groundtruth.OSLinux},
+		{"mac-only", groundtruth.OSMac},
+		{"windows-linux", groundtruth.OSWL},
+		{"windows-mac", groundtruth.OSWM},
+		{"linux-mac", groundtruth.OSLM},
+		{"all", groundtruth.OSAll},
+	} {
+		fmt.Fprintf(&b, "%s,%d\n", r.label, venn[r.set])
+	}
+	return b.String()
+}

@@ -1,0 +1,87 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+)
+
+func TestRankCDFCSV(t *testing.T) {
+	out := RankCDFCSV(reportStore, groundtruth.CrawlTop2020)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "os,rank,cdf" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	// 5 Windows sites + 1 Linux + 1 Mac in the top-1000 slice.
+	if len(lines) != 1+5+1+1 {
+		t.Fatalf("rows = %d: %v", len(lines)-1, lines)
+	}
+	if !strings.HasPrefix(lines[1], "Windows,104,") {
+		t.Errorf("first row = %q", lines[1])
+	}
+	last := lines[len(lines)-1]
+	if !strings.HasSuffix(last, "1.000000") {
+		t.Errorf("per-OS CDF must end at 1: %q", last)
+	}
+}
+
+func TestDelayCDFCSV(t *testing.T) {
+	out := DelayCDFCSV(reportStore, groundtruth.CrawlTop2020, "localhost")
+	if !strings.HasPrefix(out, "os,delay_seconds,cdf\n") {
+		t.Fatalf("header wrong: %q", out[:40])
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n")[1:] {
+		cols := strings.Split(line, ",")
+		if len(cols) != 3 {
+			t.Fatalf("malformed row %q", line)
+		}
+	}
+}
+
+func TestRollupCSVEscapesPorts(t *testing.T) {
+	out := RollupCSV(reportStore, groundtruth.CrawlTop2020)
+	for i, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if i == 0 {
+			continue
+		}
+		if strings.Count(line, ",") != 3 {
+			t.Errorf("port lists must not introduce extra commas: %q", line)
+		}
+	}
+	if !strings.Contains(out, "Windows,wss,56,") {
+		t.Errorf("wss rollup missing:\n%s", out)
+	}
+}
+
+func TestVennCSV(t *testing.T) {
+	out := VennCSV(reportStore, groundtruth.CrawlTop2020)
+	if !strings.Contains(out, "windows-only,4\n") || !strings.Contains(out, "all,1\n") {
+		t.Errorf("venn csv wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 8 { // header + 7 regions
+		t.Errorf("rows = %d", len(lines))
+	}
+}
+
+func TestOSSkewAndSOPRendering(t *testing.T) {
+	out := OSSkewAndSOP(reportStore, groundtruth.CrawlTop2020)
+	for _, want := range []string{"Windows-exclusive", "4 (80%)", "SOP-exempt", "56"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("skew report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLongitudinalRendering(t *testing.T) {
+	// reportStore only holds the 2020 crawl: everything is "left-list"
+	// or "stopped" relative to an empty 2021 crawl — rendering must not
+	// fail, and the summary header must be present.
+	out := Longitudinal(reportStore, "localhost")
+	for _, want := range []string{"Longitudinal churn", "continued", "ebay.com"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("longitudinal report missing %q", want)
+		}
+	}
+}

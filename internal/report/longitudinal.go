@@ -1,0 +1,48 @@
+package report
+
+import (
+	"fmt"
+
+	"github.com/knockandtalk/knockandtalk/internal/longitudinal"
+	"github.com/knockandtalk/knockandtalk/internal/store"
+)
+
+// Longitudinal renders the §4.1 churn analysis between the 2020 and
+// 2021 top-list crawls for one destination class.
+func Longitudinal(st *store.Store, dest string) string {
+	rep := longitudinal.Compare(st, dest)
+	t := newTable(fmt.Sprintf("Longitudinal churn 2020→2021 (%s)", dest))
+	t.row("Transition", "# Sites")
+	for _, tr := range []longitudinal.Transition{
+		longitudinal.Continued, longitudinal.Stopped, longitudinal.Started,
+		longitudinal.EnteredList, longitudinal.LeftList,
+	} {
+		t.row(tr.String(), fmt.Sprint(rep.Counts[tr]))
+	}
+	t.row("", "")
+	t.row("Domain", "Transition", "Rank 20→21", "Class 20→21")
+	for _, s := range rep.Sites {
+		classes := "-"
+		switch s.Transition {
+		case longitudinal.Continued:
+			classes = s.Class2020.String()
+			if s.Class2021 != s.Class2020 {
+				classes += " → " + s.Class2021.String()
+			}
+		case longitudinal.Stopped, longitudinal.LeftList:
+			classes = s.Class2020.String()
+		case longitudinal.Started, longitudinal.EnteredList:
+			classes = s.Class2021.String()
+		}
+		t.row(s.Domain, s.Transition.String(),
+			fmt.Sprintf("%s→%s", rankStr(s.Rank2020), rankStr(s.Rank2021)), classes)
+	}
+	return t.String()
+}
+
+func rankStr(r int) string {
+	if r == 0 {
+		return "-"
+	}
+	return fmt.Sprint(r)
+}

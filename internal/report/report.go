@@ -1,0 +1,378 @@
+// Package report renders the reproduced tables and figures as text, one
+// function per table/figure of the paper. Figures (overlap diagrams,
+// CDFs, protocol/port sunbursts) are rendered as the data series behind
+// them: region counts, quantile grids, and scheme/port rollups.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"github.com/knockandtalk/knockandtalk/internal/analysis"
+	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+	"github.com/knockandtalk/knockandtalk/internal/portdb"
+	"github.com/knockandtalk/knockandtalk/internal/store"
+)
+
+// table is a small helper around tabwriter.
+type table struct {
+	b  strings.Builder
+	tw *tabwriter.Writer
+}
+
+func newTable(title string) *table {
+	t := &table{}
+	fmt.Fprintf(&t.b, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	t.tw = tabwriter.NewWriter(&t.b, 2, 4, 2, ' ', 0)
+	return t
+}
+
+func (t *table) row(cells ...string) {
+	fmt.Fprintln(t.tw, strings.Join(cells, "\t"))
+}
+
+func (t *table) String() string {
+	t.tw.Flush()
+	return t.b.String()
+}
+
+func pct(num, den int) string {
+	if den == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(num)/float64(den))
+}
+
+// Table1 renders the crawl statistics.
+func Table1(st *store.Store) string {
+	t := newTable("Table 1: Web crawl statistics")
+	t.row("Crawl", "OS", "# success", "# failed", "NAME_NOT_RESOLVED", "CONN_REFUSED", "CONN_RESET", "CERT_CN_INVALID", "Others")
+	for _, r := range analysis.CrawlTable(st) {
+		t.row(string(r.Crawl), r.OS,
+			fmt.Sprintf("%d (%s)", r.Successful, pct(r.Successful, r.Total())),
+			fmt.Sprintf("%d (%s)", r.Failed, pct(r.Failed, r.Total())),
+			fmt.Sprintf("%d (%s)", r.NameNotResolved, pct(r.NameNotResolved, r.Failed)),
+			fmt.Sprintf("%d (%s)", r.ConnRefused, pct(r.ConnRefused, r.Failed)),
+			fmt.Sprintf("%d (%s)", r.ConnReset, pct(r.ConnReset, r.Failed)),
+			fmt.Sprintf("%d (%s)", r.CertCNInvalid, pct(r.CertCNInvalid, r.Failed)),
+			fmt.Sprintf("%d (%s)", r.Others, pct(r.Others, r.Failed)),
+		)
+	}
+	return t.String()
+}
+
+// Table2 renders the malicious category summary.
+func Table2(st *store.Store) string {
+	t := newTable("Table 2: Localhost and LAN requests for malicious webpages")
+	t.row("Category", "# Sites", "Success W/L/M", "Localhost W/L/M", "LAN W/L/M")
+	for _, r := range analysis.MaliciousSummary(st) {
+		t.row(r.Category,
+			fmt.Sprint(r.Sites),
+			fmt.Sprintf("%.0f%%/%.0f%%/%.0f%%", 100*r.SuccessRate["Windows"], 100*r.SuccessRate["Linux"], 100*r.SuccessRate["Mac"]),
+			fmt.Sprintf("%d/%d/%d", r.Localhost["Windows"], r.Localhost["Linux"], r.Localhost["Mac"]),
+			fmt.Sprintf("%d/%d/%d", r.LAN["Windows"], r.LAN["Linux"], r.LAN["Mac"]),
+		)
+	}
+	return t.String()
+}
+
+// Table3 renders the top-10 localhost-active domains per OS for a crawl.
+func Table3(st *store.Store, crawl groundtruth.CrawlID) string {
+	sites := analysis.LocalSites(st, crawl, "localhost")
+	t := newTable(fmt.Sprintf("Table 3: Top domains making localhost requests (%s)", crawl))
+	t.row("Rank (W)", "Windows", "Rank (L/M)", "Linux and Mac")
+	win := analysis.TopN(sites, groundtruth.OSWindows, 10)
+	lin := analysis.TopN(sites, groundtruth.OSLinux, 10)
+	for i := 0; i < 10; i++ {
+		var c [4]string
+		if i < len(win) {
+			c[0], c[1] = fmt.Sprint(win[i].Rank), win[i].Domain
+		}
+		if i < len(lin) {
+			c[2], c[3] = fmt.Sprint(lin[i].Rank), lin[i].Domain
+		}
+		t.row(c[0], c[1], c[2], c[3])
+	}
+	return t.String()
+}
+
+// Table4 renders the port-to-service registry.
+func Table4() string {
+	t := newTable("Table 4: Services on localhost ports scanned for fraud and bot detection")
+	t.row("Port", "Service/App", "Use Case")
+	for _, e := range portdb.All() {
+		t.row(fmt.Sprint(e.Port), e.Service, e.UseCase.String())
+	}
+	return t.String()
+}
+
+func osCols(os groundtruth.OSSet) string { return os.String() }
+
+func portsCompact(ports []uint16) string {
+	if len(ports) == 0 {
+		return "-"
+	}
+	sorted := make([]uint16, len(ports))
+	copy(sorted, ports)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var parts []string
+	lo, hi := sorted[0], sorted[0]
+	flush := func() {
+		if lo == hi {
+			parts = append(parts, fmt.Sprint(lo))
+		} else {
+			parts = append(parts, fmt.Sprintf("%d-%d", lo, hi))
+		}
+	}
+	for _, p := range sorted[1:] {
+		if p == hi || p == hi+1 {
+			hi = p
+			continue
+		}
+		flush()
+		lo, hi = p, p
+	}
+	flush()
+	return strings.Join(parts, ",")
+}
+
+// siteSummary compacts one site's request set for a table row.
+func siteSummary(s analysis.SiteActivity) (schemes, ports, paths string) {
+	schemeSet := map[string]bool{}
+	portSet := map[uint16]bool{}
+	pathSet := map[string]bool{}
+	for _, r := range s.Requests {
+		schemeSet[r.Scheme] = true
+		portSet[r.Port] = true
+		pathSet[r.Path] = true
+	}
+	var ss []string
+	for k := range schemeSet {
+		ss = append(ss, k)
+	}
+	sort.Strings(ss)
+	var pl []uint16
+	for p := range portSet {
+		pl = append(pl, p)
+	}
+	var ps []string
+	for p := range pathSet {
+		ps = append(ps, p)
+	}
+	sort.Strings(ps)
+	if len(ps) > 2 {
+		ps = append(ps[:2], "...")
+	}
+	return strings.Join(ss, ","), portsCompact(pl), strings.Join(ps, " ")
+}
+
+// LocalhostTable renders a Table 5/7/8-style per-site listing for a
+// crawl, grouped by behavior class. For the malicious crawl the group
+// label is the blocklist category column instead of a rank.
+func LocalhostTable(st *store.Store, crawl groundtruth.CrawlID, title string) string {
+	sites := analysis.LocalSites(st, crawl, "localhost")
+	t := newTable(title)
+	t.row("Reason", "Rank", "Domain", "Protocol", "Ports", "Paths", "OS")
+	classes := []groundtruth.Class{
+		groundtruth.ClassFraudDetection, groundtruth.ClassBotDetection,
+		groundtruth.ClassNativeApp, groundtruth.ClassDevError, groundtruth.ClassUnknown,
+	}
+	for _, class := range classes {
+		for _, s := range sites {
+			if s.Verdict.Class != class {
+				continue
+			}
+			rank := "-"
+			if s.Rank > 0 {
+				rank = fmt.Sprint(s.Rank)
+			} else if s.Category != "" {
+				rank = s.Category
+			}
+			schemes, ports, paths := siteSummary(s)
+			t.row(class.String(), rank, s.Domain, schemes, ports, paths, osCols(s.OS))
+		}
+	}
+	return t.String()
+}
+
+// LANTable renders a Table 6/9/10-style LAN listing.
+func LANTable(st *store.Store, crawl groundtruth.CrawlID, title string) string {
+	sites := analysis.LocalSites(st, crawl, "lan")
+	t := newTable(title)
+	t.row("Rank", "Domain", "Protocol", "Local IP", "Port", "Paths", "OS", "Class")
+	for _, s := range sites {
+		rank := "-"
+		if s.Rank > 0 {
+			rank = fmt.Sprint(s.Rank)
+		} else if s.Category != "" {
+			rank = s.Category
+		}
+		host := "-"
+		var port uint16
+		if len(s.Requests) > 0 {
+			host = s.Requests[0].Host
+			port = s.Requests[0].Port
+		}
+		schemes, _, paths := siteSummary(s)
+		t.row(rank, s.Domain, schemes, host, fmt.Sprint(port), paths, osCols(s.OS), s.Verdict.Class.String())
+	}
+	return t.String()
+}
+
+// Figure2 renders the OS-overlap regions.
+func Figure2(st *store.Store, crawl groundtruth.CrawlID) string {
+	sites := analysis.LocalSites(st, crawl, "localhost")
+	venn := analysis.Venn(sites)
+	totals := analysis.OSTotals(sites)
+	t := newTable(fmt.Sprintf("Figure 2: OS overlap of localhost-active sites (%s)", crawl))
+	t.row("Region", "# Sites")
+	for _, r := range []struct {
+		label string
+		set   groundtruth.OSSet
+	}{
+		{"Windows only", groundtruth.OSWindows},
+		{"Linux only", groundtruth.OSLinux},
+		{"Mac only", groundtruth.OSMac},
+		{"Windows+Linux", groundtruth.OSWL},
+		{"Windows+Mac", groundtruth.OSWM},
+		{"Linux+Mac", groundtruth.OSLM},
+		{"All three", groundtruth.OSAll},
+	} {
+		t.row(r.label, fmt.Sprint(venn[r.set]))
+	}
+	t.row("", "")
+	t.row("Total Windows", fmt.Sprint(totals[groundtruth.OSWindows]))
+	t.row("Total Linux", fmt.Sprint(totals[groundtruth.OSLinux]))
+	t.row("Total Mac", fmt.Sprint(totals[groundtruth.OSMac]))
+	t.row("Total sites", fmt.Sprint(len(sites)))
+	return t.String()
+}
+
+// cdfGrid samples a CDF at fixed fractions for compact textual output.
+func cdfGrid(points []analysis.CDFPoint, xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		y := 0.0
+		for _, p := range points {
+			if p.X <= x {
+				y = p.Y
+			} else {
+				break
+			}
+		}
+		out[i] = y
+	}
+	return out
+}
+
+// RankCDFFigure renders Figure 3/9: rank CDFs per OS.
+func RankCDFFigure(st *store.Store, crawl groundtruth.CrawlID, title string) string {
+	sites := analysis.LocalSites(st, crawl, "localhost")
+	t := newTable(title)
+	grid := []float64{10000, 20000, 30000, 40000, 50000, 60000, 70000, 80000, 90000, 100000}
+	header := []string{"OS (total)"}
+	for _, x := range grid {
+		header = append(header, fmt.Sprintf("≤%dk", int(x/1000)))
+	}
+	t.row(header...)
+	for _, os := range osRows(crawl) {
+		cdf := analysis.RankCDF(sites, os.set)
+		cells := []string{fmt.Sprintf("%s (%d)", os.name, len(cdf))}
+		for _, y := range cdfGrid(cdf, grid) {
+			cells = append(cells, fmt.Sprintf("%.2f", y))
+		}
+		t.row(cells...)
+	}
+	return t.String()
+}
+
+// DelayCDFFigure renders Figure 5/6/7: first-local-request delay CDFs.
+func DelayCDFFigure(st *store.Store, crawl groundtruth.CrawlID, dest, title string) string {
+	sites := analysis.LocalSites(st, crawl, dest)
+	t := newTable(title)
+	grid := []float64{2.5, 5, 7.5, 10, 12.5, 15, 17.5, 20}
+	header := []string{"OS", "median", "max"}
+	for _, x := range grid {
+		header = append(header, fmt.Sprintf("≤%.1fs", x))
+	}
+	t.row(header...)
+	for _, os := range osRows(crawl) {
+		delays := analysis.DelaySeconds(sites, os.set)
+		if len(delays) == 0 {
+			continue
+		}
+		cdf := analysis.CDF(delays)
+		cells := []string{
+			os.name,
+			fmt.Sprintf("%.1fs", analysis.Quantile(delays, 0.5)),
+			fmt.Sprintf("%.1fs", analysis.Quantile(delays, 1)),
+		}
+		for _, y := range cdfGrid(cdf, grid) {
+			cells = append(cells, fmt.Sprintf("%.2f", y))
+		}
+		t.row(cells...)
+	}
+	return t.String()
+}
+
+// SchemeRollupFigure renders Figure 4/8: the protocol/port breakdown.
+func SchemeRollupFigure(st *store.Store, crawl groundtruth.CrawlID, title string) string {
+	t := newTable(title)
+	t.row("OS (total)", "Scheme", "# Requests", "Ports")
+	for _, os := range osRows(crawl) {
+		r := analysis.SchemeRollup(st, crawl, os.name, "localhost")
+		if r.Total == 0 {
+			continue
+		}
+		schemes := make([]string, 0, len(r.ByScheme))
+		for s := range r.ByScheme {
+			schemes = append(schemes, s)
+		}
+		sort.Slice(schemes, func(i, j int) bool { return r.ByScheme[schemes[i]] > r.ByScheme[schemes[j]] })
+		for i, s := range schemes {
+			label := ""
+			if i == 0 {
+				label = fmt.Sprintf("%s (%d)", os.name, r.Total)
+			}
+			t.row(label, s, fmt.Sprint(r.ByScheme[s]), portsCompact(r.Ports[s]))
+		}
+	}
+	return t.String()
+}
+
+type osRow struct {
+	name string
+	set  groundtruth.OSSet
+}
+
+func osRows(crawl groundtruth.CrawlID) []osRow {
+	rows := []osRow{
+		{"Windows", groundtruth.OSWindows},
+		{"Linux", groundtruth.OSLinux},
+		{"Mac", groundtruth.OSMac},
+	}
+	if crawl == groundtruth.CrawlTop2021 {
+		return rows[:2]
+	}
+	return rows
+}
+
+// Headline renders the §4.1 topline counts for a crawl.
+func Headline(st *store.Store, crawl groundtruth.CrawlID) string {
+	lh := analysis.LocalSites(st, crawl, "localhost")
+	lan := analysis.LocalSites(st, crawl, "lan")
+	counts := analysis.ClassCounts(lh)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d sites making localhost requests, %d sites making LAN requests\n", crawl, len(lh), len(lan))
+	for _, c := range []groundtruth.Class{
+		groundtruth.ClassFraudDetection, groundtruth.ClassBotDetection,
+		groundtruth.ClassNativeApp, groundtruth.ClassDevError, groundtruth.ClassUnknown,
+	} {
+		if counts[c] > 0 {
+			fmt.Fprintf(&b, "  %-20s %d\n", c.String()+":", counts[c])
+		}
+	}
+	return b.String()
+}

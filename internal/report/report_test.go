@@ -1,0 +1,136 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/knockandtalk/knockandtalk/internal/analysis"
+	"github.com/knockandtalk/knockandtalk/internal/crawler"
+	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+	"github.com/knockandtalk/knockandtalk/internal/hostenv"
+	"github.com/knockandtalk/knockandtalk/internal/store"
+)
+
+var reportStore = func() *store.Store {
+	st := store.New()
+	for _, os := range hostenv.AllOS {
+		if _, err := crawler.Run(crawler.Config{
+			Crawl: groundtruth.CrawlTop2020, OS: os, Scale: 0.01, Seed: 5, Workers: 4,
+		}, st); err != nil {
+			panic(err)
+		}
+	}
+	return st
+}()
+
+func TestTable1Rendering(t *testing.T) {
+	out := Table1(reportStore)
+	for _, want := range []string{"Table 1", "NAME_NOT_RESOLVED", "Windows", "Linux", "Mac"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable3Rendering(t *testing.T) {
+	out := Table3(reportStore, groundtruth.CrawlTop2020)
+	if !strings.Contains(out, "ebay.com") || !strings.Contains(out, "hola.org") {
+		t.Errorf("Table 3 missing expected leaders:\n%s", out)
+	}
+}
+
+func TestTable4Rendering(t *testing.T) {
+	out := Table4()
+	for _, want := range []string{"3389", "Windows Remote Desktop", "Fraud Detection", "17556", "Bot Detection"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 4 missing %q", want)
+		}
+	}
+}
+
+func TestLocalhostTableRendering(t *testing.T) {
+	out := LocalhostTable(reportStore, groundtruth.CrawlTop2020, "Table 5 test")
+	if !strings.Contains(out, "Fraud Detection") || !strings.Contains(out, "ebay.com") {
+		t.Errorf("localhost table missing fraud rows:\n%s", out)
+	}
+	if !strings.Contains(out, "wss") {
+		t.Error("localhost table missing protocol column content")
+	}
+	// Compact port ranges: the TM set includes 5900-5903.
+	if !strings.Contains(out, "5900-5903") {
+		t.Errorf("ports not compacted:\n%s", out)
+	}
+}
+
+func TestFigure2Rendering(t *testing.T) {
+	out := Figure2(reportStore, groundtruth.CrawlTop2020)
+	if !strings.Contains(out, "Windows only") || !strings.Contains(out, "Total sites") {
+		t.Errorf("Figure 2 incomplete:\n%s", out)
+	}
+}
+
+func TestDelayCDFRendering(t *testing.T) {
+	out := DelayCDFFigure(reportStore, groundtruth.CrawlTop2020, "localhost", "Figure 5 test")
+	if !strings.Contains(out, "median") || !strings.Contains(out, "Windows") {
+		t.Errorf("delay CDF incomplete:\n%s", out)
+	}
+	// The final grid column covers the full window, so it must read 1.00
+	// for any OS with data.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "Windows") && !strings.Contains(line, "1.00") {
+			t.Errorf("CDF does not reach 1.0 within the window: %s", line)
+		}
+	}
+}
+
+func TestSchemeRollupRendering(t *testing.T) {
+	out := SchemeRollupFigure(reportStore, groundtruth.CrawlTop2020, "Figure 4 test")
+	if !strings.Contains(out, "wss") || !strings.Contains(out, "Windows") {
+		t.Errorf("rollup incomplete:\n%s", out)
+	}
+}
+
+func TestHeadlineRendering(t *testing.T) {
+	out := Headline(reportStore, groundtruth.CrawlTop2020)
+	if !strings.Contains(out, "localhost requests") || !strings.Contains(out, "Fraud Detection") {
+		t.Errorf("headline incomplete:\n%s", out)
+	}
+}
+
+func TestPortsCompact(t *testing.T) {
+	cases := []struct {
+		in   []uint16
+		want string
+	}{
+		{nil, "-"},
+		{[]uint16{80}, "80"},
+		{[]uint16{5900, 5901, 5902, 5903}, "5900-5903"},
+		{[]uint16{3389, 5900, 5901, 7070}, "3389,5900-5901,7070"},
+		{[]uint16{9, 7, 8, 1}, "1,7-9"},
+		{[]uint16{5, 5, 6}, "5-6"},
+	}
+	for _, c := range cases {
+		if got := portsCompact(c.in); got != c.want {
+			t.Errorf("portsCompact(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCDFGridSampling(t *testing.T) {
+	cdf := []analysis.CDFPoint{{X: 1, Y: 0.25}, {X: 2, Y: 0.5}, {X: 3, Y: 0.75}, {X: 4, Y: 1}}
+	got := cdfGrid(cdf, []float64{0.5, 2.5, 10})
+	want := []float64{0, 0.5, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("cdfGrid[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLANTableEmpty(t *testing.T) {
+	// The top-1000 slice has no LAN sites; the table must still render.
+	out := LANTable(reportStore, groundtruth.CrawlTop2020, "Table 6 test")
+	if !strings.Contains(out, "Table 6 test") {
+		t.Errorf("empty LAN table broken:\n%s", out)
+	}
+}

@@ -1,0 +1,40 @@
+package report
+
+import (
+	"fmt"
+
+	"github.com/knockandtalk/knockandtalk/internal/analysis"
+	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+	"github.com/knockandtalk/knockandtalk/internal/store"
+)
+
+// OSSkewAndSOP renders the §4.1/§4.2 textual findings as a table:
+// per-OS exclusivity of localhost-active sites and Same-Origin-Policy
+// exemption of their traffic.
+func OSSkewAndSOP(st *store.Store, crawl groundtruth.CrawlID) string {
+	sites := analysis.LocalSites(st, crawl, "localhost")
+	skew := analysis.ComputeOSSkew(sites, groundtruth.OSesFor(crawl))
+	usage := analysis.ComputeSOPUsage(st, crawl, "localhost")
+
+	t := newTable(fmt.Sprintf("OS targeting and SOP exemption (%s)", crawl))
+	t.row("Metric", "Value")
+	t.row("Localhost-active sites", fmt.Sprint(skew.Sites))
+	for _, r := range []struct {
+		label string
+		bit   groundtruth.OSSet
+	}{
+		{"Windows-exclusive", groundtruth.OSWindows},
+		{"Linux-exclusive", groundtruth.OSLinux},
+		{"Mac-exclusive", groundtruth.OSMac},
+	} {
+		n := skew.ExclusiveCounts[r.bit]
+		t.row(r.label, fmt.Sprintf("%d (%.0f%%)", n, 100*skew.ExclusiveShare[r.bit]))
+	}
+	t.row("Uniform across crawl OSes", fmt.Sprint(skew.UniformCount))
+	t.row("", "")
+	t.row("Local requests", fmt.Sprint(usage.Requests))
+	t.row("SOP-exempt (WebSocket)", fmt.Sprintf("%d (%s)", usage.ExemptRequests, pct(usage.ExemptRequests, usage.Requests)))
+	t.row("Secured WebSocket (WSS)", fmt.Sprint(usage.WSSRequests))
+	t.row("Sites using WebSockets", fmt.Sprintf("%d of %d", usage.ExemptSites, usage.Sites))
+	return t.String()
+}

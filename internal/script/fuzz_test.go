@@ -1,0 +1,38 @@
+package script
+
+import "testing"
+
+// FuzzParse hardens the page-script parser: arbitrary text must never
+// panic, and any accepted program must evaluate deterministically on
+// every platform without emitting malformed steps.
+func FuzzParse(f *testing.F) {
+	f.Add("after 1s\nget http://localhost:80/\n")
+	f.Add("if os == windows\nscan wss localhost 1-10 gap 5ms as x\nendif")
+	f.Add("wait 10ms\nws ws://127.0.0.1:6463/?v=1 as blob")
+	f.Add("if os != linux\nendif\n# comment")
+	f.Add("garbage in")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<14 {
+			src = src[:1<<14]
+		}
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		for _, os := range []string{"windows", "linux", "mac", "beos"} {
+			a := prog.Run(Env{OS: os})
+			b := prog.Run(Env{OS: os})
+			if len(a) != len(b) {
+				t.Fatal("nondeterministic evaluation")
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatal("nondeterministic step")
+				}
+				if a[i].URL == "" || a[i].At < 0 {
+					t.Fatalf("malformed step: %+v", a[i])
+				}
+			}
+		}
+	})
+}

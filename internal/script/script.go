@@ -1,0 +1,291 @@
+// Package script implements the page-behavior language the synthetic
+// web embeds in its documents' inline <script> elements. It is the
+// JS-analogue of the code the paper observed: programs that wait for
+// page load, branch on the visitor's platform, fetch resources, open
+// WebSockets, and run port scans against local addresses.
+//
+// The language is line-oriented and deterministic:
+//
+//	# ThreatMetrix profiling blob
+//	after 10200ms
+//	if os == windows
+//	  scan wss localhost 3389,5279,5900-5903,7070 path / gap 60ms as blob:threatmetrix:ebay-us.com
+//	endif
+//	get https://cdn1.webstatic.example/a.js as parser
+//	ws ws://localhost:28337/ as script:native-app
+//
+// A Program compiles once and evaluates against an environment (the
+// visitor's OS) into the scheduled requests (webdoc.Step) the browser
+// executes — the same compiled form the fast path uses, which is what
+// makes the HTML path's equivalence testable.
+package script
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/knockandtalk/knockandtalk/internal/webdoc"
+)
+
+// Env is the evaluation environment.
+type Env struct {
+	// OS is the lower-cased platform name: "windows", "linux", "mac".
+	OS string
+}
+
+// stmtKind discriminates statements.
+type stmtKind int
+
+const (
+	stmtAfter stmtKind = iota
+	stmtWait
+	stmtGet
+	stmtWS
+	stmtScan
+	stmtIf
+	stmtEndif
+)
+
+type stmt struct {
+	kind stmtKind
+	line int
+
+	dur       time.Duration // after/wait
+	url       string        // get/ws
+	initiator string
+
+	// scan fields
+	scheme string
+	host   string
+	ports  []uint16
+	path   string
+	gap    time.Duration
+
+	// if fields
+	negate bool
+	osName string
+}
+
+// Program is a compiled behavior script.
+type Program struct {
+	stmts []stmt
+}
+
+// Parse compiles source text. Errors carry 1-based line numbers.
+func Parse(src string) (*Program, error) {
+	p := &Program{}
+	depth := 0
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		s := stmt{line: lineNo + 1}
+		var err error
+		switch fields[0] {
+		case "after", "wait":
+			if len(fields) != 2 {
+				return nil, errAt(lineNo, "%s needs a duration", fields[0])
+			}
+			s.kind = stmtAfter
+			if fields[0] == "wait" {
+				s.kind = stmtWait
+			}
+			s.dur, err = time.ParseDuration(fields[1])
+			if err != nil || s.dur < 0 {
+				return nil, errAt(lineNo, "bad duration %q", fields[1])
+			}
+		case "get", "ws":
+			if len(fields) < 2 {
+				return nil, errAt(lineNo, "%s needs a URL", fields[0])
+			}
+			s.kind = stmtGet
+			if fields[0] == "ws" {
+				s.kind = stmtWS
+			}
+			s.url = fields[1]
+			if s.initiator, err = parseAs(fields[2:]); err != nil {
+				return nil, errAt(lineNo, "%v", err)
+			}
+		case "scan":
+			if err := parseScan(fields[1:], &s); err != nil {
+				return nil, errAt(lineNo, "%v", err)
+			}
+		case "if":
+			// if os == windows | if os != mac
+			if len(fields) != 4 || fields[1] != "os" || (fields[2] != "==" && fields[2] != "!=") {
+				return nil, errAt(lineNo, "if syntax: if os ==|!= <windows|linux|mac>")
+			}
+			s.kind = stmtIf
+			s.negate = fields[2] == "!="
+			s.osName = strings.ToLower(fields[3])
+			depth++
+		case "endif":
+			if depth == 0 {
+				return nil, errAt(lineNo, "endif without if")
+			}
+			s.kind = stmtEndif
+			depth--
+		default:
+			return nil, errAt(lineNo, "unknown statement %q", fields[0])
+		}
+		p.stmts = append(p.stmts, s)
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("script: unclosed if")
+	}
+	return p, nil
+}
+
+func errAt(lineNo int, format string, args ...any) error {
+	return fmt.Errorf("script: line %d: %s", lineNo+1, fmt.Sprintf(format, args...))
+}
+
+// parseAs handles the optional trailing "as <initiator>".
+func parseAs(rest []string) (string, error) {
+	if len(rest) == 0 {
+		return "", nil
+	}
+	if rest[0] != "as" || len(rest) != 2 {
+		return "", fmt.Errorf("trailing tokens: %v (want `as <initiator>`)", rest)
+	}
+	return rest[1], nil
+}
+
+// parseScan handles: <scheme> <host> <ports> [path <p>] [gap <d>] [as <i>]
+func parseScan(fields []string, s *stmt) error {
+	if len(fields) < 3 {
+		return fmt.Errorf("scan syntax: scan <scheme> <host> <ports> [path /] [gap 50ms] [as x]")
+	}
+	s.kind = stmtScan
+	s.scheme = fields[0]
+	switch s.scheme {
+	case "http", "https", "ws", "wss":
+	default:
+		return fmt.Errorf("bad scan scheme %q", s.scheme)
+	}
+	s.host = fields[1]
+	ports, err := ParsePorts(fields[2])
+	if err != nil {
+		return err
+	}
+	s.ports = ports
+	s.path = "/"
+	rest := fields[3:]
+	for len(rest) > 0 {
+		switch rest[0] {
+		case "path":
+			if len(rest) < 2 {
+				return fmt.Errorf("path needs a value")
+			}
+			s.path = rest[1]
+			rest = rest[2:]
+		case "gap":
+			if len(rest) < 2 {
+				return fmt.Errorf("gap needs a duration")
+			}
+			d, err := time.ParseDuration(rest[1])
+			if err != nil || d < 0 {
+				return fmt.Errorf("bad gap %q", rest[1])
+			}
+			s.gap = d
+			rest = rest[2:]
+		case "as":
+			if len(rest) != 2 {
+				return fmt.Errorf("as must be last and take one value")
+			}
+			s.initiator = rest[1]
+			rest = nil
+		default:
+			return fmt.Errorf("unknown scan option %q", rest[0])
+		}
+	}
+	return nil
+}
+
+// ParsePorts parses "3389,5900-5903,7070" into an expanded list.
+func ParsePorts(spec string) ([]uint16, error) {
+	var out []uint16
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if lo, hi, ok := strings.Cut(part, "-"); ok {
+			a, err1 := strconv.ParseUint(lo, 10, 16)
+			b, err2 := strconv.ParseUint(hi, 10, 16)
+			if err1 != nil || err2 != nil || b < a {
+				return nil, fmt.Errorf("bad port range %q", part)
+			}
+			for p := a; p <= b; p++ {
+				out = append(out, uint16(p))
+			}
+			continue
+		}
+		p, err := strconv.ParseUint(part, 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("bad port %q", part)
+		}
+		out = append(out, uint16(p))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty port list")
+	}
+	return out, nil
+}
+
+// Run evaluates the program, returning the requests it schedules.
+func (p *Program) Run(env Env) []webdoc.Step {
+	var out []webdoc.Step
+	var clock time.Duration
+	skipDepth := 0 // >0 while inside a false branch
+	osName := strings.ToLower(env.OS)
+	for _, s := range p.stmts {
+		switch s.kind {
+		case stmtIf:
+			if skipDepth > 0 {
+				skipDepth++
+				continue
+			}
+			match := osName == s.osName
+			if s.negate {
+				match = !match
+			}
+			if !match {
+				skipDepth = 1
+			}
+		case stmtEndif:
+			if skipDepth > 0 {
+				skipDepth--
+			}
+		case stmtAfter:
+			if skipDepth == 0 {
+				clock = s.dur
+			}
+		case stmtWait:
+			if skipDepth == 0 {
+				clock += s.dur
+			}
+		case stmtGet, stmtWS:
+			if skipDepth == 0 {
+				out = append(out, webdoc.Step{At: clock, URL: s.url, Initiator: s.initiator})
+			}
+		case stmtScan:
+			if skipDepth == 0 {
+				at := clock
+				for _, port := range s.ports {
+					out = append(out, webdoc.Step{
+						At:        at,
+						URL:       fmt.Sprintf("%s://%s:%d%s", s.scheme, s.host, port, s.path),
+						Initiator: s.initiator,
+					})
+					at += s.gap
+				}
+			}
+		}
+	}
+	return out
+}

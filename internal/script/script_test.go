@@ -1,0 +1,189 @@
+package script
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestParseAndRunThreatMetrixProgram(t *testing.T) {
+	src := `
+# ThreatMetrix profiling blob
+after 10200ms
+if os == windows
+  scan wss localhost 3389,5900-5903,7070 path / gap 60ms as blob:threatmetrix:ebay-us.com
+endif
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := prog.Run(Env{OS: "windows"})
+	if len(win) != 6 {
+		t.Fatalf("windows steps = %d, want 6", len(win))
+	}
+	if win[0].URL != "wss://localhost:3389/" || win[0].At != 10200*time.Millisecond {
+		t.Errorf("first step = %+v", win[0])
+	}
+	if win[1].At != 10260*time.Millisecond {
+		t.Errorf("gap pacing wrong: %+v", win[1])
+	}
+	if win[5].URL != "wss://localhost:7070/" {
+		t.Errorf("last step = %+v", win[5])
+	}
+	for _, s := range win {
+		if s.Initiator != "blob:threatmetrix:ebay-us.com" {
+			t.Errorf("initiator = %q", s.Initiator)
+		}
+	}
+	if lin := prog.Run(Env{OS: "linux"}); len(lin) != 0 {
+		t.Errorf("linux steps = %d, want 0 (if-gated)", len(lin))
+	}
+}
+
+func TestRunConditionals(t *testing.T) {
+	src := `
+if os != mac
+  get http://localhost:8000/setuid
+endif
+if os == mac
+  get https://127.0.0.1:9000/sockjs-node/info
+endif
+wait 500ms
+ws ws://localhost:28337/ as script:native-app
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mac := prog.Run(Env{OS: "Mac"})
+	if len(mac) != 2 || !strings.Contains(mac[0].URL, "sockjs-node") {
+		t.Fatalf("mac steps = %+v", mac)
+	}
+	win := prog.Run(Env{OS: "windows"})
+	if len(win) != 2 || !strings.Contains(win[0].URL, "setuid") {
+		t.Fatalf("windows steps = %+v", win)
+	}
+	// wait accumulates from the (unset) base.
+	if win[1].At != 500*time.Millisecond || win[1].Initiator != "script:native-app" {
+		t.Errorf("ws step = %+v", win[1])
+	}
+}
+
+func TestNestedIfSkipping(t *testing.T) {
+	src := `
+if os == windows
+  if os == windows
+    get http://localhost:1/a
+  endif
+endif
+if os == linux
+  if os == windows
+    get http://localhost:1/never
+  endif
+  get http://localhost:1/linux
+endif
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prog.Run(Env{OS: "windows"}); len(got) != 1 || !strings.HasSuffix(got[0].URL, "/a") {
+		t.Errorf("windows = %+v", got)
+	}
+	if got := prog.Run(Env{OS: "linux"}); len(got) != 1 || !strings.HasSuffix(got[0].URL, "/linux") {
+		t.Errorf("linux = %+v", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"after",                        // missing duration
+		"after xyz",                    // bad duration
+		"after -5ms",                   // negative
+		"get",                          // missing URL
+		"get http://x extra tokens",    // trailing garbage
+		"scan",                         // missing everything
+		"scan ftp localhost 80",        // bad scheme
+		"scan http localhost nope",     // bad ports
+		"scan http localhost 80 path",  // dangling option
+		"scan http localhost 80 gap x", // bad gap
+		"if os > windows",              // bad operator
+		"endif",                        // unbalanced
+		"if os == windows",             // unclosed
+		"launch missiles",              // unknown statement
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted invalid input", src)
+		}
+	}
+}
+
+func TestParsePorts(t *testing.T) {
+	got, err := ParsePorts("3389,5900-5903,7070")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint16{3389, 5900, 5901, 5902, 5903, 7070}
+	if len(got) != len(want) {
+		t.Fatalf("ports = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ports = %v, want %v", got, want)
+		}
+	}
+	for _, bad := range []string{"", "x", "5-3", "70000", "1-99999"} {
+		if _, err := ParsePorts(bad); err == nil {
+			t.Errorf("ParsePorts(%q) accepted invalid input", bad)
+		}
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	prog, err := Parse("\n# only comments\n\n   \n# more\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prog.Run(Env{OS: "linux"}); len(got) != 0 {
+		t.Errorf("comment-only program produced steps: %+v", got)
+	}
+}
+
+// Property: Run is deterministic and never emits steps before the
+// current clock offset implied by the program text.
+func TestQuickRunDeterministic(t *testing.T) {
+	src := `
+after 1s
+get http://localhost:8080/a
+wait 250ms
+get http://localhost:8080/b
+scan http 127.0.0.1 80,443 gap 10ms
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(osPick uint8) bool {
+		env := Env{OS: []string{"windows", "linux", "mac"}[int(osPick)%3]}
+		a := prog.Run(env)
+		b := prog.Run(env)
+		if len(a) != len(b) || len(a) != 4 {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+			if a[i].At < time.Second {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

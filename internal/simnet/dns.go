@@ -1,0 +1,54 @@
+package simnet
+
+import (
+	"net/netip"
+	"time"
+)
+
+// Resolver is a virtual DNS resolver. Names are registered into a flat
+// zone; unregistered names fail with ERR_NAME_NOT_RESOLVED, the dominant
+// failure class in the paper's crawls (~90% of load failures).
+type Resolver struct {
+	zone map[string][]netip.Addr
+}
+
+// NewResolver returns an empty resolver.
+func NewResolver() *Resolver {
+	return &Resolver{zone: make(map[string][]netip.Addr)}
+}
+
+// Add registers addresses for a name, appending to any existing records.
+func (r *Resolver) Add(name string, addrs ...netip.Addr) {
+	r.zone[name] = append(r.zone[name], addrs...)
+}
+
+// Remove deletes all records for a name.
+func (r *Resolver) Remove(name string) { delete(r.zone, name) }
+
+// Len reports the number of registered names.
+func (r *Resolver) Len() int { return len(r.zone) }
+
+// Resolve looks up a name. Following Chrome's behavior, "localhost"
+// always resolves to the loopback addresses without consulting DNS, and
+// IP literals resolve to themselves.
+func (r *Resolver) Resolve(name string) ([]netip.Addr, NetError) {
+	if name == "localhost" {
+		return []netip.Addr{netip.MustParseAddr("127.0.0.1"), netip.IPv6Loopback()}, OK
+	}
+	if ip, err := netip.ParseAddr(name); err == nil {
+		return []netip.Addr{ip}, OK
+	}
+	if addrs, ok := r.zone[name]; ok && len(addrs) > 0 {
+		out := make([]netip.Addr, len(addrs))
+		copy(out, addrs)
+		return out, OK
+	}
+	return nil, ErrNameNotResolved
+}
+
+// ResolutionDelay is the virtual time a successful lookup takes; failures
+// take FailureDelay (a full search through the configured servers).
+const (
+	ResolutionDelay = 18 * time.Millisecond
+	FailureDelay    = 120 * time.Millisecond
+)

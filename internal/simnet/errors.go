@@ -1,0 +1,30 @@
+package simnet
+
+// NetError mirrors Chrome's net error taxonomy for the failure modes that
+// appear in the paper's crawl statistics (Table 1) and telemetry.
+type NetError string
+
+// Net errors, named as Chrome names them.
+const (
+	OK                      NetError = ""
+	ErrNameNotResolved      NetError = "ERR_NAME_NOT_RESOLVED"
+	ErrConnectionRefused    NetError = "ERR_CONNECTION_REFUSED"
+	ErrConnectionReset      NetError = "ERR_CONNECTION_RESET"
+	ErrConnectionTimedOut   NetError = "ERR_CONNECTION_TIMED_OUT"
+	ErrCertCommonNameBad    NetError = "ERR_CERT_COMMON_NAME_INVALID"
+	ErrSSLProtocolError     NetError = "ERR_SSL_PROTOCOL_ERROR"
+	ErrEmptyResponse        NetError = "ERR_EMPTY_RESPONSE"
+	ErrAborted              NetError = "ERR_ABORTED"
+	ErrInternetDisconnected NetError = "ERR_INTERNET_DISCONNECTED"
+	ErrBlockedByClient      NetError = "ERR_BLOCKED_BY_CLIENT"
+	ErrTooManyRedirects     NetError = "ERR_TOO_MANY_REDIRECTS"
+	ErrInvalidHTTPResponse  NetError = "ERR_INVALID_HTTP_RESPONSE"
+	ErrUnsafePort           NetError = "ERR_UNSAFE_PORT"
+)
+
+// Error implements the error interface; OK must not be treated as an
+// error value (IsFailure reports usability).
+func (e NetError) Error() string { return string(e) }
+
+// IsFailure reports whether the value denotes a failure.
+func (e NetError) IsFailure() bool { return e != OK }

@@ -1,0 +1,42 @@
+package store
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoad hardens the JSONL reader: arbitrary input must never panic,
+// and anything accepted must survive a Save/Load round trip with counts
+// intact.
+func FuzzLoad(f *testing.F) {
+	good := New()
+	good.AddPage(samplePage("ebay.com", 104))
+	good.AddLocal(sampleLocal("ebay.com"))
+	var buf bytes.Buffer
+	if err := good.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"t":"page","page":{"crawl":"x","os":"Windows","domain":"a","url":"http://a/"}}`)
+	f.Add(`{"t":"alien"}`)
+	f.Add(`{`)
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		s := New()
+		if err := s.Load(strings.NewReader(input)); err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := s.Save(&out); err != nil {
+			t.Fatalf("saving accepted store: %v", err)
+		}
+		back := New()
+		if err := back.Load(&out); err != nil {
+			t.Fatalf("reloading saved store: %v", err)
+		}
+		if back.NumPages() != s.NumPages() || back.NumLocals() != s.NumLocals() || back.NumNetLogs() != s.NumNetLogs() {
+			t.Fatal("round trip changed record counts")
+		}
+	})
+}

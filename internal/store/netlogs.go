@@ -1,0 +1,77 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"github.com/knockandtalk/knockandtalk/internal/netlog"
+)
+
+// NetLogRecord retains a visit's raw NetLog capture. The paper kept 11
+// TB of raw telemetry; this store keeps captures only where the crawler
+// chose to retain them (visits with local-network activity), in the
+// NetLog JSON export form.
+type NetLogRecord struct {
+	Crawl  string          `json:"crawl"`
+	OS     string          `json:"os"`
+	Domain string          `json:"domain"`
+	Log    json.RawMessage `json:"log"`
+}
+
+// AddNetLog retains a raw capture for one visit.
+func (s *Store) AddNetLog(crawl, os, domain string, log *netlog.Log) error {
+	var buf bytes.Buffer
+	if err := log.WriteJSON(&buf); err != nil {
+		return fmt.Errorf("store: serializing netlog for %s: %w", domain, err)
+	}
+	s.mu.Lock()
+	s.netlogs = append(s.netlogs, NetLogRecord{
+		Crawl: crawl, OS: os, Domain: domain, Log: json.RawMessage(buf.Bytes()),
+	})
+	s.mu.Unlock()
+	return nil
+}
+
+// NumNetLogs reports the number of retained captures.
+func (s *Store) NumNetLogs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.netlogs)
+}
+
+// NetLog retrieves and parses a retained capture.
+func (s *Store) NetLog(crawl, os, domain string) (*netlog.Log, bool, error) {
+	s.mu.Lock()
+	var raw json.RawMessage
+	for i := range s.netlogs {
+		r := &s.netlogs[i]
+		if r.Crawl == crawl && r.OS == os && r.Domain == domain {
+			raw = r.Log
+			break
+		}
+	}
+	s.mu.Unlock()
+	if raw == nil {
+		return nil, false, nil
+	}
+	log, err := netlog.ParseJSON(bytes.NewReader(raw))
+	if err != nil {
+		return nil, true, fmt.Errorf("store: parsing retained netlog for %s: %w", domain, err)
+	}
+	return log, true, nil
+}
+
+// NetLogDomains lists (os, domain) pairs with retained captures for a
+// crawl.
+func (s *Store) NetLogDomains(crawl string) [][2]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out [][2]string
+	for i := range s.netlogs {
+		if s.netlogs[i].Crawl == crawl {
+			out = append(out, [2]string{s.netlogs[i].OS, s.netlogs[i].Domain})
+		}
+	}
+	return out
+}

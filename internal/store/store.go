@@ -1,0 +1,237 @@
+// Package store is the telemetry database of the pipeline's step 4
+// ("parsing the logs and storing the network events"). It holds one
+// PageRecord per page visit and one LocalRequest per extracted local
+// finding, offers the query surface the analysis layer needs, and
+// persists to a line-delimited JSON format.
+//
+// The paper retained 11 TB of raw NetLogs; this store keeps the full
+// event stream only where it matters (visits with local activity can be
+// retained verbatim) and compact summaries everywhere else.
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// PageRecord summarizes one page visit.
+type PageRecord struct {
+	Crawl    string `json:"crawl"`
+	OS       string `json:"os"`
+	Domain   string `json:"domain"`
+	Rank     int    `json:"rank,omitempty"`
+	Category string `json:"category,omitempty"`
+	URL      string `json:"url"`
+	FinalURL string `json:"final_url,omitempty"`
+	// Err is the Chrome net error for failed loads, "" for successes.
+	Err string `json:"err,omitempty"`
+	// CommittedAt is when the landing document finished loading.
+	CommittedAt time.Duration `json:"committed_at,omitempty"`
+	// Events is the telemetry volume of the visit.
+	Events int `json:"events,omitempty"`
+}
+
+// OK reports whether the page loaded.
+func (p *PageRecord) OK() bool { return p.Err == "" }
+
+// LocalRequest is one local-network request observed during a visit.
+type LocalRequest struct {
+	Crawl    string `json:"crawl"`
+	OS       string `json:"os"`
+	Domain   string `json:"domain"`
+	Rank     int    `json:"rank,omitempty"`
+	Category string `json:"category,omitempty"`
+
+	URL    string `json:"url"`
+	Scheme string `json:"scheme"`
+	Host   string `json:"host"`
+	Port   uint16 `json:"port"`
+	Path   string `json:"path"`
+	// Dest is "localhost" or "lan".
+	Dest string `json:"dest"`
+	// Delay is the time from page commit to the request (the Figure 5
+	// observable). Negative values are clamped to zero.
+	Delay       time.Duration `json:"delay"`
+	Initiator   string        `json:"initiator,omitempty"`
+	NetError    string        `json:"net_error,omitempty"`
+	StatusCode  int           `json:"status_code,omitempty"`
+	ViaRedirect bool          `json:"via_redirect,omitempty"`
+	SOPExempt   bool          `json:"sop_exempt,omitempty"`
+}
+
+// Store accumulates crawl output. It is safe for concurrent use.
+type Store struct {
+	mu      sync.Mutex
+	pages   []PageRecord
+	locals  []LocalRequest
+	netlogs []NetLogRecord
+}
+
+// New returns an empty store.
+func New() *Store { return &Store{} }
+
+// AddPage records a page visit.
+func (s *Store) AddPage(p PageRecord) {
+	s.mu.Lock()
+	s.pages = append(s.pages, p)
+	s.mu.Unlock()
+}
+
+// AddLocal records a local-network request.
+func (s *Store) AddLocal(l LocalRequest) {
+	if l.Delay < 0 {
+		l.Delay = 0
+	}
+	s.mu.Lock()
+	s.locals = append(s.locals, l)
+	s.mu.Unlock()
+}
+
+// Pages returns a filtered snapshot of page records; a nil filter keeps
+// everything.
+func (s *Store) Pages(keep func(*PageRecord) bool) []PageRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []PageRecord
+	for i := range s.pages {
+		if keep == nil || keep(&s.pages[i]) {
+			out = append(out, s.pages[i])
+		}
+	}
+	return out
+}
+
+// Locals returns a filtered snapshot of local requests; a nil filter
+// keeps everything.
+func (s *Store) Locals(keep func(*LocalRequest) bool) []LocalRequest {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []LocalRequest
+	for i := range s.locals {
+		if keep == nil || keep(&s.locals[i]) {
+			out = append(out, s.locals[i])
+		}
+	}
+	return out
+}
+
+// NumPages and NumLocals report record counts.
+func (s *Store) NumPages() int  { s.mu.Lock(); defer s.mu.Unlock(); return len(s.pages) }
+func (s *Store) NumLocals() int { s.mu.Lock(); defer s.mu.Unlock(); return len(s.locals) }
+
+// sortAll brings records into a canonical order for deterministic
+// serialization regardless of crawl worker interleaving.
+func (s *Store) sortAll() {
+	sort.Slice(s.pages, func(i, j int) bool {
+		a, b := &s.pages[i], &s.pages[j]
+		if a.Crawl != b.Crawl {
+			return a.Crawl < b.Crawl
+		}
+		if a.OS != b.OS {
+			return a.OS < b.OS
+		}
+		if a.Rank != b.Rank {
+			return a.Rank < b.Rank
+		}
+		return a.Domain < b.Domain
+	})
+	sort.Slice(s.netlogs, func(i, j int) bool {
+		a, b := &s.netlogs[i], &s.netlogs[j]
+		if a.Crawl != b.Crawl {
+			return a.Crawl < b.Crawl
+		}
+		if a.OS != b.OS {
+			return a.OS < b.OS
+		}
+		return a.Domain < b.Domain
+	})
+	sort.Slice(s.locals, func(i, j int) bool {
+		a, b := &s.locals[i], &s.locals[j]
+		if a.Crawl != b.Crawl {
+			return a.Crawl < b.Crawl
+		}
+		if a.OS != b.OS {
+			return a.OS < b.OS
+		}
+		if a.Domain != b.Domain {
+			return a.Domain < b.Domain
+		}
+		if a.Delay != b.Delay {
+			return a.Delay < b.Delay
+		}
+		return a.URL < b.URL
+	})
+}
+
+// envelope is the JSONL line format: a type tag plus one payload.
+type envelope struct {
+	T      string        `json:"t"`
+	Page   *PageRecord   `json:"page,omitempty"`
+	Local  *LocalRequest `json:"local,omitempty"`
+	NetLog *NetLogRecord `json:"netlog,omitempty"`
+}
+
+// Save writes the store as deterministic JSONL.
+func (s *Store) Save(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sortAll()
+	bw := bufio.NewWriterSize(w, 1<<20)
+	enc := json.NewEncoder(bw)
+	for i := range s.pages {
+		if err := enc.Encode(envelope{T: "page", Page: &s.pages[i]}); err != nil {
+			return err
+		}
+	}
+	for i := range s.locals {
+		if err := enc.Encode(envelope{T: "local", Local: &s.locals[i]}); err != nil {
+			return err
+		}
+	}
+	for i := range s.netlogs {
+		if err := enc.Encode(envelope{T: "netlog", NetLog: &s.netlogs[i]}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads JSONL previously written by Save, appending to the store.
+func (s *Store) Load(r io.Reader) error {
+	dec := json.NewDecoder(bufio.NewReaderSize(r, 1<<20))
+	line := 0
+	for dec.More() {
+		line++
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			return fmt.Errorf("store: record %d: %w", line, err)
+		}
+		switch env.T {
+		case "page":
+			if env.Page == nil {
+				return fmt.Errorf("store: record %d: page tag without payload", line)
+			}
+			s.AddPage(*env.Page)
+		case "local":
+			if env.Local == nil {
+				return fmt.Errorf("store: record %d: local tag without payload", line)
+			}
+			s.AddLocal(*env.Local)
+		case "netlog":
+			if env.NetLog == nil {
+				return fmt.Errorf("store: record %d: netlog tag without payload", line)
+			}
+			s.mu.Lock()
+			s.netlogs = append(s.netlogs, *env.NetLog)
+			s.mu.Unlock()
+		default:
+			return fmt.Errorf("store: record %d: unknown tag %q", line, env.T)
+		}
+	}
+	return nil
+}

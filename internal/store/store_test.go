@@ -1,0 +1,209 @@
+package store
+
+import (
+	"bytes"
+
+	"github.com/knockandtalk/knockandtalk/internal/netlog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func samplePage(domain string, rank int) PageRecord {
+	return PageRecord{
+		Crawl: "top100k-2020", OS: "Windows", Domain: domain, Rank: rank,
+		URL: "https://" + domain + "/", FinalURL: "https://" + domain + "/",
+		CommittedAt: 900 * time.Millisecond, Events: 25,
+	}
+}
+
+func sampleLocal(domain string) LocalRequest {
+	return LocalRequest{
+		Crawl: "top100k-2020", OS: "Windows", Domain: domain, Rank: 104,
+		URL: "wss://localhost:5939/", Scheme: "wss", Host: "localhost",
+		Port: 5939, Path: "/", Dest: "localhost", Delay: 10 * time.Second,
+		Initiator: "blob:threatmetrix", NetError: "ERR_CONNECTION_REFUSED", SOPExempt: true,
+	}
+}
+
+func TestAddAndQuery(t *testing.T) {
+	s := New()
+	s.AddPage(samplePage("ebay.com", 104))
+	s.AddPage(PageRecord{Crawl: "top100k-2020", OS: "Windows", Domain: "dead.example", Err: "ERR_NAME_NOT_RESOLVED"})
+	s.AddLocal(sampleLocal("ebay.com"))
+
+	if s.NumPages() != 2 || s.NumLocals() != 1 {
+		t.Fatalf("counts = %d pages, %d locals", s.NumPages(), s.NumLocals())
+	}
+	ok := s.Pages(func(p *PageRecord) bool { return p.OK() })
+	if len(ok) != 1 || ok[0].Domain != "ebay.com" {
+		t.Errorf("OK filter = %v", ok)
+	}
+	wss := s.Locals(func(l *LocalRequest) bool { return l.Scheme == "wss" })
+	if len(wss) != 1 {
+		t.Errorf("wss filter = %v", wss)
+	}
+	if all := s.Locals(nil); len(all) != 1 {
+		t.Errorf("nil filter should keep everything")
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	s := New()
+	l := sampleLocal("x.example")
+	l.Delay = -5 * time.Second
+	s.AddLocal(l)
+	if got := s.Locals(nil)[0].Delay; got != 0 {
+		t.Errorf("Delay = %v, want clamped to 0", got)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := New()
+	s.AddPage(samplePage("ebay.com", 104))
+	s.AddPage(samplePage("hola.org", 244))
+	s.AddLocal(sampleLocal("ebay.com"))
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back := New()
+	if err := back.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if back.NumPages() != 2 || back.NumLocals() != 1 {
+		t.Fatalf("round trip lost records: %d pages, %d locals", back.NumPages(), back.NumLocals())
+	}
+	got := back.Locals(nil)[0]
+	want := sampleLocal("ebay.com")
+	if got != want {
+		t.Errorf("local changed in round trip:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestSaveDeterministicAcrossInsertOrder(t *testing.T) {
+	a, b := New(), New()
+	pages := []PageRecord{samplePage("b.example", 2), samplePage("a.example", 1), samplePage("c.example", 3)}
+	for _, p := range pages {
+		a.AddPage(p)
+	}
+	for i := len(pages) - 1; i >= 0; i-- {
+		b.AddPage(pages[i])
+	}
+	var ba, bb bytes.Buffer
+	if err := a.Save(&ba); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Save(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if ba.String() != bb.String() {
+		t.Error("serialization depends on insert order")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		`{"t":"alien"}`,
+		`{"t":"page"}`,
+		`{"t":"local"}`,
+		`{nonsense`,
+	}
+	for i, in := range cases {
+		if err := New().Load(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: Load accepted malformed input", i)
+		}
+	}
+	if err := New().Load(strings.NewReader("")); err != nil {
+		t.Errorf("empty input should be fine: %v", err)
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.AddPage(samplePage("x.example", w*1000+i))
+				s.AddLocal(sampleLocal("x.example"))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.NumPages() != 1600 || s.NumLocals() != 1600 {
+		t.Errorf("lost records under concurrency: %d/%d", s.NumPages(), s.NumLocals())
+	}
+}
+
+func sampleNetLog(t testing.TB) *netlog.Log {
+	t.Helper()
+	r := netlog.NewRecorder()
+	src := r.NewSource(netlog.SourceURLRequest)
+	r.Begin(0, netlog.TypeRequestAlive, src, map[string]any{"url": "wss://localhost:5939/"})
+	r.Point(2*time.Millisecond, netlog.TypeURLRequestError, src, map[string]any{"net_error": "ERR_CONNECTION_REFUSED"})
+	return r.Log()
+}
+
+func TestNetLogRetention(t *testing.T) {
+	s := New()
+	if err := s.AddNetLog("top100k-2020", "Windows", "ebay.com", sampleNetLog(t)); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumNetLogs() != 1 {
+		t.Fatalf("NumNetLogs = %d", s.NumNetLogs())
+	}
+	log, ok, err := s.NetLog("top100k-2020", "Windows", "ebay.com")
+	if err != nil || !ok || log.Len() != 2 {
+		t.Fatalf("NetLog = ok=%v err=%v len=%d", ok, err, log.Len())
+	}
+	if _, ok, _ := s.NetLog("top100k-2020", "Linux", "ebay.com"); ok {
+		t.Error("wrong-OS lookup should miss")
+	}
+	doms := s.NetLogDomains("top100k-2020")
+	if len(doms) != 1 || doms[0] != [2]string{"Windows", "ebay.com"} {
+		t.Errorf("NetLogDomains = %v", doms)
+	}
+	if got := s.NetLogDomains("malicious"); got != nil {
+		t.Errorf("other-crawl domains = %v", got)
+	}
+}
+
+func TestNetLogRecordsSortedInSave(t *testing.T) {
+	s := New()
+	for _, d := range []string{"zeta.example", "alpha.example"} {
+		if err := s.AddNetLog("c", "Windows", d, sampleNetLog(t)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Index(out, "alpha.example") > strings.Index(out, "zeta.example") {
+		t.Error("netlog records not canonically sorted")
+	}
+	// And the reloaded capture parses.
+	back := New()
+	if err := back.Load(strings.NewReader(out)); err != nil {
+		t.Fatal(err)
+	}
+	if log, ok, err := back.NetLog("c", "Windows", "alpha.example"); err != nil || !ok || log.Len() != 2 {
+		t.Fatalf("reload: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestNetLogCorruptPayload(t *testing.T) {
+	s := New()
+	if err := s.Load(strings.NewReader(`{"t":"netlog","netlog":{"crawl":"c","os":"Windows","domain":"d","log":["not","a","netlog"]}}`)); err != nil {
+		t.Fatal(err) // the envelope itself is well-formed JSON
+	}
+	if _, ok, err := s.NetLog("c", "Windows", "d"); !ok || err == nil {
+		t.Errorf("corrupt capture should surface a parse error: ok=%v err=%v", ok, err)
+	}
+}

@@ -1,0 +1,34 @@
+package tranco
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseCSV hardens the list reader: arbitrary input must never
+// panic, and any accepted snapshot must round-trip through WriteCSV.
+func FuzzParseCSV(f *testing.F) {
+	f.Add("1,ebay.com\n2,hola.org\n")
+	f.Add("1,a\n\n2,b\n")
+	f.Add("x,y")
+	f.Add("1,a\n1,a")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := ParseCSV("fuzz", strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := s.WriteCSV(&buf); err != nil {
+			t.Fatalf("writing accepted snapshot: %v", err)
+		}
+		back, err := ParseCSV("fuzz2", &buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.Size() != s.Size() {
+			t.Fatal("round trip changed size")
+		}
+	})
+}

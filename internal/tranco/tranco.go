@@ -1,0 +1,263 @@
+// Package tranco models the Tranco research-oriented top-sites ranking
+// used to select the study's popular-site population. It generates the
+// two deterministic 100K snapshots the crawls used (June 3, 2020 and
+// March 11, 2021, with the ~75% domain overlap the paper reports),
+// parses and serializes the standard "rank,domain" CSV form, and answers
+// rank lookups.
+package tranco
+
+import (
+	"bufio"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+)
+
+// Snapshot is one dated top-list: an ordered list of domains, rank 1
+// first.
+type Snapshot struct {
+	Label   string
+	domains []string
+	rank    map[string]int
+}
+
+// Size returns the number of ranked domains.
+func (s *Snapshot) Size() int { return len(s.domains) }
+
+// Domain returns the domain at the given 1-based rank.
+func (s *Snapshot) Domain(rank int) (string, bool) {
+	if rank < 1 || rank > len(s.domains) {
+		return "", false
+	}
+	return s.domains[rank-1], true
+}
+
+// Rank returns the 1-based rank of a domain.
+func (s *Snapshot) Rank(domain string) (int, bool) {
+	r, ok := s.rank[domain]
+	return r, ok
+}
+
+// Contains reports whether the domain is ranked.
+func (s *Snapshot) Contains(domain string) bool {
+	_, ok := s.rank[domain]
+	return ok
+}
+
+// Domains returns the ranked domains in rank order. The caller must not
+// modify the returned slice.
+func (s *Snapshot) Domains() []string { return s.domains }
+
+// Overlap returns the fraction of this snapshot's domains also present
+// in other.
+func (s *Snapshot) Overlap(other *Snapshot) float64 {
+	if len(s.domains) == 0 {
+		return 0
+	}
+	n := 0
+	for _, d := range s.domains {
+		if other.Contains(d) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(s.domains))
+}
+
+// fromDomains builds a snapshot, verifying uniqueness.
+func fromDomains(label string, domains []string) (*Snapshot, error) {
+	s := &Snapshot{Label: label, domains: domains, rank: make(map[string]int, len(domains))}
+	for i, d := range domains {
+		if d == "" {
+			return nil, fmt.Errorf("tranco: empty domain at rank %d", i+1)
+		}
+		if _, dup := s.rank[d]; dup {
+			return nil, fmt.Errorf("tranco: duplicate domain %q", d)
+		}
+		s.rank[d] = i + 1
+	}
+	return s, nil
+}
+
+// pinned is a domain that must appear at a specific rank.
+type pinned struct {
+	rank   int
+	domain string
+}
+
+// build places pinned domains at their ranks and fills the remaining
+// slots from the filler naming function, in order.
+func build(label string, size int, pins []pinned, filler func(i int) string) (*Snapshot, error) {
+	domains := make([]string, size)
+	used := make(map[string]bool, size)
+	sort.Slice(pins, func(i, j int) bool { return pins[i].rank < pins[j].rank })
+	for _, p := range pins {
+		if p.rank < 1 || p.rank > size {
+			return nil, fmt.Errorf("tranco: pinned rank %d out of range for %q", p.rank, p.domain)
+		}
+		if used[p.domain] {
+			return nil, fmt.Errorf("tranco: domain %q pinned twice", p.domain)
+		}
+		if domains[p.rank-1] != "" {
+			return nil, fmt.Errorf("tranco: rank %d pinned twice (%q, %q)", p.rank, domains[p.rank-1], p.domain)
+		}
+		domains[p.rank-1] = p.domain
+		used[p.domain] = true
+	}
+	next := 0
+	for i := range domains {
+		if domains[i] != "" {
+			continue
+		}
+		for {
+			d := filler(next)
+			next++
+			if !used[d] {
+				domains[i] = d
+				used[d] = true
+				break
+			}
+		}
+	}
+	return fromDomains(label, domains)
+}
+
+// DefaultSize is the population size of the paper's top-list crawls.
+const DefaultSize = 100000
+
+// keep2021 deterministically selects the ~75% of filler indices retained
+// between the 2020 and 2021 snapshots.
+func keep2021(i int) bool {
+	h := fnv.New32a()
+	fmt.Fprintf(h, "tranco-churn-%d", i)
+	return h.Sum32()%4 != 0
+}
+
+func filler2020(i int) string { return fmt.Sprintf("site%05d.example", i) }
+
+func filler2021(i int) string {
+	if keep2021(i) {
+		return filler2020(i)
+	}
+	return fmt.Sprintf("new2021-%05d.example", i)
+}
+
+// Snapshot2020 generates the June 3, 2020 snapshot at the given size: the
+// paper's 2020 ground-truth domains pinned at their published ranks, the
+// rest deterministic filler. Sizes below DefaultSize drop pins beyond the
+// horizon (useful for scaled-down experiments).
+func Snapshot2020(size int) (*Snapshot, error) {
+	var pins []pinned
+	pinnedSet := make(map[string]bool)
+	add := func(rank int, domain string) {
+		if rank >= 1 && rank <= size && !pinnedSet[domain] {
+			pins = append(pins, pinned{rank, domain})
+			pinnedSet[domain] = true
+		}
+	}
+	for _, r := range groundtruth.Top2020Localhost() {
+		add(r.Rank, r.Domain)
+	}
+	for _, r := range groundtruth.Top2020LAN() {
+		add(r.Rank, r.Domain)
+	}
+	// Sites that first showed localhost activity in 2021 without a "(+)
+	// not previously crawled" marker were ranked (and quiet) in 2020;
+	// their 2021 rank stands in for the unpublished 2020 one.
+	for _, r := range groundtruth.Top2021NewLocalhost() {
+		if !r.New2021 {
+			add(r.Rank, r.Domain)
+		}
+	}
+	for _, r := range groundtruth.Top2021LAN() {
+		if !r.New2021 {
+			add(r.Rank, r.Domain)
+		}
+	}
+	for domain, rank := range groundtruth.LoginOnlyThreatMetrix {
+		add(rank, domain)
+	}
+	return build("2020-06-03", size, pins, filler2020)
+}
+
+// Snapshot2021 generates the March 11, 2021 snapshot: 2021 ground-truth
+// domains pinned at their 2021 ranks, 2020 domains absent from the 2021
+// list excluded, ~75% filler overlap with the 2020 snapshot.
+func Snapshot2021(size int) (*Snapshot, error) {
+	var pins []pinned
+	pinnedSet := make(map[string]bool)
+	add := func(rank int, domain string) {
+		if rank >= 1 && rank <= size && !pinnedSet[domain] {
+			pins = append(pins, pinned{rank, domain})
+			pinnedSet[domain] = true
+		}
+	}
+	for _, r := range groundtruth.Top2021NewLocalhost() {
+		add(r.Rank, r.Domain)
+	}
+	for _, r := range groundtruth.Top2021LAN() {
+		add(r.Rank, r.Domain)
+	}
+	// Continuing 2020 domains stay listed at their 2020 ranks unless
+	// re-ranked by a 2021 table above; domains marked "not in the 2021
+	// list" are simply never pinned and thus excluded.
+	for _, r := range groundtruth.Top2020Localhost() {
+		if r.NotInList2021 {
+			continue
+		}
+		add(r.Rank, r.Domain)
+	}
+	for _, r := range groundtruth.Top2020LAN() {
+		add(r.Rank, r.Domain)
+	}
+	for domain, rank := range groundtruth.LoginOnlyThreatMetrix {
+		add(rank, domain)
+	}
+	return build("2021-03-11", size, pins, filler2021)
+}
+
+// WriteCSV serializes the snapshot in the Tranco "rank,domain" form.
+func (s *Snapshot) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for i, d := range s.domains {
+		if _, err := fmt.Fprintf(bw, "%d,%s\n", i+1, d); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseCSV reads a "rank,domain" list. Ranks must be contiguous from 1.
+func ParseCSV(label string, r io.Reader) (*Snapshot, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var domains []string
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		rank, domain, ok := strings.Cut(text, ",")
+		if !ok {
+			return nil, fmt.Errorf("tranco: line %d: missing comma", line)
+		}
+		n, err := strconv.Atoi(rank)
+		if err != nil {
+			return nil, fmt.Errorf("tranco: line %d: bad rank %q", line, rank)
+		}
+		if n != len(domains)+1 {
+			return nil, fmt.Errorf("tranco: line %d: rank %d out of sequence", line, n)
+		}
+		domains = append(domains, strings.TrimSpace(domain))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return fromDomains(label, domains)
+}

@@ -1,0 +1,155 @@
+package tranco
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+)
+
+func mustSnap(t *testing.T, gen func(int) (*Snapshot, error), size int) *Snapshot {
+	t.Helper()
+	s, err := gen(size)
+	if err != nil {
+		t.Fatalf("snapshot generation failed: %v", err)
+	}
+	return s
+}
+
+func TestSnapshot2020PinsGroundTruth(t *testing.T) {
+	s := mustSnap(t, Snapshot2020, DefaultSize)
+	if s.Size() != DefaultSize {
+		t.Fatalf("size = %d", s.Size())
+	}
+	for _, r := range groundtruth.Top2020Localhost() {
+		rank, ok := s.Rank(r.Domain)
+		if !ok || rank != r.Rank {
+			t.Errorf("%s: rank = %d, %v; want %d", r.Domain, rank, ok, r.Rank)
+		}
+	}
+	for _, r := range groundtruth.Top2020LAN() {
+		if rank, ok := s.Rank(r.Domain); !ok || rank != r.Rank {
+			t.Errorf("%s: LAN rank = %d, %v; want %d", r.Domain, rank, ok, r.Rank)
+		}
+	}
+	if d, _ := s.Domain(104); d != "ebay.com" {
+		t.Errorf("rank 104 = %q, want ebay.com", d)
+	}
+}
+
+func TestSnapshot2021Membership(t *testing.T) {
+	s := mustSnap(t, Snapshot2021, DefaultSize)
+	// New 2021 sites are ranked.
+	for _, r := range groundtruth.Top2021NewLocalhost() {
+		if rank, ok := s.Rank(r.Domain); !ok || rank != r.Rank {
+			t.Errorf("%s: rank = %d, %v; want %d", r.Domain, rank, ok, r.Rank)
+		}
+	}
+	// Sites marked "not in 2021 list" are absent.
+	for _, r := range groundtruth.Top2020Localhost() {
+		if r.NotInList2021 && s.Contains(r.Domain) {
+			t.Errorf("%s: present in 2021 snapshot despite (-) marker", r.Domain)
+		}
+		if !r.NotInList2021 && !s.Contains(r.Domain) {
+			t.Errorf("%s: missing from 2021 snapshot", r.Domain)
+		}
+	}
+}
+
+func TestSnapshotOverlapRoughly75Percent(t *testing.T) {
+	a := mustSnap(t, Snapshot2020, DefaultSize)
+	b := mustSnap(t, Snapshot2021, DefaultSize)
+	ov := a.Overlap(b)
+	if ov < 0.72 || ov > 0.78 {
+		t.Errorf("2020∩2021 overlap = %.3f, want ~0.75 (§3.2)", ov)
+	}
+}
+
+func TestSnapshotsDeterministic(t *testing.T) {
+	a := mustSnap(t, Snapshot2020, 5000)
+	b := mustSnap(t, Snapshot2020, 5000)
+	for i := 1; i <= 5000; i += 777 {
+		da, _ := a.Domain(i)
+		db, _ := b.Domain(i)
+		if da != db {
+			t.Fatalf("rank %d differs across generations: %q vs %q", i, da, db)
+		}
+	}
+}
+
+func TestScaledSnapshotDropsDeepPins(t *testing.T) {
+	s := mustSnap(t, Snapshot2020, 1000)
+	if s.Size() != 1000 {
+		t.Fatalf("size = %d", s.Size())
+	}
+	if !s.Contains("ebay.com") { // rank 104
+		t.Error("ebay.com should survive a 1000-domain scale-down")
+	}
+	if s.Contains("metagenics.com") { // rank 97182
+		t.Error("metagenics.com should be beyond a 1000-domain horizon")
+	}
+}
+
+func TestDomainRankInverses(t *testing.T) {
+	s := mustSnap(t, Snapshot2020, 2000)
+	for i := 1; i <= 2000; i += 97 {
+		d, ok := s.Domain(i)
+		if !ok {
+			t.Fatalf("Domain(%d) missing", i)
+		}
+		if r, ok := s.Rank(d); !ok || r != i {
+			t.Fatalf("Rank(Domain(%d)) = %d, %v", i, r, ok)
+		}
+	}
+	if _, ok := s.Domain(0); ok {
+		t.Error("Domain(0) should miss")
+	}
+	if _, ok := s.Domain(2001); ok {
+		t.Error("Domain(size+1) should miss")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	s := mustSnap(t, Snapshot2020, 500)
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseCSV("rt", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Size() != s.Size() {
+		t.Fatalf("round trip size %d != %d", back.Size(), s.Size())
+	}
+	for i := 1; i <= s.Size(); i += 41 {
+		a, _ := s.Domain(i)
+		b, _ := back.Domain(i)
+		if a != b {
+			t.Fatalf("rank %d: %q != %q", i, a, b)
+		}
+	}
+}
+
+func TestParseCSVRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"1 example.com",    // no comma
+		"x,example.com",    // bad rank
+		"2,example.com",    // out of sequence
+		"1,a.com\n3,b.com", // gap
+		"1,a.com\n2,a.com", // duplicate domain
+	}
+	for i, in := range cases {
+		if _, err := ParseCSV("bad", strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: accepted malformed CSV", i)
+		}
+	}
+}
+
+func TestParseCSVSkipsBlankLines(t *testing.T) {
+	s, err := ParseCSV("ok", strings.NewReader("1,a.com\n\n2,b.com\n"))
+	if err != nil || s.Size() != 2 {
+		t.Fatalf("got %v, size %d", err, s.Size())
+	}
+}

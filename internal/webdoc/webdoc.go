@@ -1,0 +1,60 @@
+// Package webdoc is the document model exchanged between the synthetic
+// web (websim) and the browser: a loaded page is a set of scheduled
+// requests — static sub-resources fetched while rendering, plus the
+// requests issued later by the page's scripts (the JS-analogue of
+// dynamically generated fetch/WebSocket/XHR calls).
+//
+// The model is deliberately request-centric: the Knock and Talk pipeline
+// observes pages through Chrome's network log, so the document's only
+// observable behavior is the requests it generates and when.
+package webdoc
+
+import (
+	"sort"
+	"time"
+)
+
+// Step is one request a page will issue after it commits.
+type Step struct {
+	// At is the offset from page commit at which the request starts.
+	At time.Duration
+	// URL is the absolute request URL. WebSocket requests use ws/wss
+	// schemes.
+	URL string
+	// Initiator names the element or script issuing the request, as a
+	// NetLog-visible provenance hint (e.g. "blob:threatmetrix",
+	// "script:/TSPD", "img").
+	Initiator string
+}
+
+// Page is a loaded document.
+type Page struct {
+	// URL is the page's final URL.
+	URL string
+	// BodySize is the approximate HTML size in bytes.
+	BodySize int
+	// Steps are the requests the page will issue, in any order; the
+	// browser executes them by ascending At.
+	Steps []Step
+}
+
+// SortedSteps returns the steps ordered by At (stable). The page itself
+// is not modified.
+func (p *Page) SortedSteps() []Step {
+	out := make([]Step, len(p.Steps))
+	copy(out, p.Steps)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// MaxStepAt returns the latest step offset, or zero for a page with no
+// steps.
+func (p *Page) MaxStepAt() time.Duration {
+	var max time.Duration
+	for _, s := range p.Steps {
+		if s.At > max {
+			max = s.At
+		}
+	}
+	return max
+}

@@ -1,0 +1,59 @@
+package webdoc
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSortedStepsStableAndNonMutating(t *testing.T) {
+	p := &Page{Steps: []Step{
+		{At: 3 * time.Second, URL: "c"},
+		{At: 1 * time.Second, URL: "a1"},
+		{At: 1 * time.Second, URL: "a2"},
+		{At: 2 * time.Second, URL: "b"},
+	}}
+	got := p.SortedSteps()
+	wantOrder := []string{"a1", "a2", "b", "c"}
+	for i, w := range wantOrder {
+		if got[i].URL != w {
+			t.Fatalf("order[%d] = %q, want %q (ties must be stable)", i, got[i].URL, w)
+		}
+	}
+	if p.Steps[0].URL != "c" {
+		t.Error("SortedSteps mutated the page")
+	}
+}
+
+func TestMaxStepAt(t *testing.T) {
+	if (&Page{}).MaxStepAt() != 0 {
+		t.Error("empty page MaxStepAt != 0")
+	}
+	p := &Page{Steps: []Step{{At: 5 * time.Second}, {At: 15 * time.Second}, {At: time.Second}}}
+	if p.MaxStepAt() != 15*time.Second {
+		t.Errorf("MaxStepAt = %v", p.MaxStepAt())
+	}
+}
+
+// Property: SortedSteps returns a permutation of Steps in ascending At.
+func TestQuickSortedSteps(t *testing.T) {
+	f := func(ats []uint16) bool {
+		p := &Page{}
+		for _, a := range ats {
+			p.Steps = append(p.Steps, Step{At: time.Duration(a) * time.Millisecond})
+		}
+		got := p.SortedSteps()
+		if len(got) != len(p.Steps) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].At < got[i-1].At {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,129 @@
+package websim
+
+import (
+	"github.com/knockandtalk/knockandtalk/internal/blocklist"
+	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+	"github.com/knockandtalk/knockandtalk/internal/hostenv"
+	"github.com/knockandtalk/knockandtalk/internal/simnet"
+)
+
+// Fate is the load outcome assigned to a site for one crawl on one OS.
+// The distribution of fates reproduces Table 1's success rates and error
+// taxonomy.
+type Fate int
+
+// Fates.
+const (
+	FateOK Fate = iota
+	FateNXDomain
+	FateRefused
+	FateReset
+	FateBadCert
+	FateEmptyResponse
+	FateSSLError
+)
+
+// NetError maps the fate to the Chrome error the crawl records.
+func (f Fate) NetError() simnet.NetError {
+	switch f {
+	case FateNXDomain:
+		return simnet.ErrNameNotResolved
+	case FateRefused:
+		return simnet.ErrConnectionRefused
+	case FateReset:
+		return simnet.ErrConnectionReset
+	case FateBadCert:
+		return simnet.ErrCertCommonNameBad
+	case FateEmptyResponse:
+		return simnet.ErrEmptyResponse
+	case FateSSLError:
+		return simnet.ErrSSLProtocolError
+	default:
+		return simnet.OK
+	}
+}
+
+// fateRates holds per-outcome probabilities.
+type fateRates struct {
+	nx, refused, reset, cert, other float64
+}
+
+// ratesFor derives fate probabilities for a (crawl, OS, category) from
+// the paper's published statistics: Table 1 for top-list crawls, and the
+// Table 2 per-category success rates combined with the Table 1 error mix
+// for the malicious crawl (whose absolute counts are internally
+// inconsistent with Table 2's population; see groundtruth.Table1).
+func ratesFor(crawl groundtruth.CrawlID, os hostenv.OS, category blocklist.Category) fateRates {
+	var row groundtruth.CrawlStats
+	for _, r := range groundtruth.Table1() {
+		if r.Crawl == crawl && r.OS == osBit(os) {
+			row = r
+			break
+		}
+	}
+	if row.Total() == 0 {
+		return fateRates{}
+	}
+	failRate := float64(row.Failed) / float64(row.Total())
+	if crawl == groundtruth.CrawlMalicious {
+		// Per-category success rates from Table 2.
+		for _, c := range groundtruth.Table2() {
+			if c.Category == string(category) {
+				failRate = 1 - c.SuccessRate[osBit(os)]
+				break
+			}
+		}
+	}
+	failed := float64(row.Failed)
+	return fateRates{
+		nx:      failRate * float64(row.NameNotResolved) / failed,
+		refused: failRate * float64(row.ConnRefused) / failed,
+		reset:   failRate * float64(row.ConnReset) / failed,
+		cert:    failRate * float64(row.CertCNInvalid) / failed,
+		other:   failRate * float64(row.Others) / failed,
+	}
+}
+
+func osBit(os hostenv.OS) groundtruth.OSSet {
+	switch os {
+	case hostenv.Windows:
+		return groundtruth.OSWindows
+	case hostenv.Linux:
+		return groundtruth.OSLinux
+	default:
+		return groundtruth.OSMac
+	}
+}
+
+// fateFor assigns a deterministic fate to a domain. DNS fate is drawn
+// from a domain-level hash (a dead name is dead for every OS, modulo the
+// small per-OS threshold difference reflecting the crawls' different
+// dates); connection-level fates are drawn per OS. Ground-truth domains
+// (observed active by the paper) always load.
+func fateFor(seed uint64, crawl groundtruth.CrawlID, os hostenv.OS, domain string, category blocklist.Category, groundTruth bool) Fate {
+	if groundTruth {
+		return FateOK
+	}
+	r := ratesFor(crawl, os, category)
+	// DNS draw: OS-independent hash compared against the per-OS rate, so
+	// the failing sets on different OSes nest rather than scatter.
+	if hash01(seed, "dns", string(crawl), domain) < r.nx {
+		return FateNXDomain
+	}
+	conn := hash01(seed, "conn", string(crawl), os.String(), domain)
+	switch {
+	case conn < r.refused:
+		return FateRefused
+	case conn < r.refused+r.reset:
+		return FateReset
+	case conn < r.refused+r.reset+r.cert:
+		return FateBadCert
+	case conn < r.refused+r.reset+r.cert+r.other:
+		if hashN(seed, 2, "other", domain) == 0 {
+			return FateEmptyResponse
+		}
+		return FateSSLError
+	default:
+		return FateOK
+	}
+}

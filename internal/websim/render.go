@@ -1,0 +1,91 @@
+package websim
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/knockandtalk/knockandtalk/internal/webdoc"
+)
+
+// RenderHTML serializes a page into real markup: static sub-resources
+// become resource-bearing tags (script/link/img/iframe) and scheduled
+// behaviors become an inline program in the page-script language
+// (internal/script), with exact `after` offsets. A browser in
+// HTML-parsing mode recovers the same behavior steps the fast path uses
+// (see browser.compileHTML); static tag fetches are scheduled at parse
+// order rather than the fast path's synthetic offsets, as in a real
+// browser.
+func RenderHTML(page *webdoc.Page) []byte {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html>\n<head>\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", page.URL)
+	var script strings.Builder
+	for _, s := range page.SortedSteps() {
+		switch s.Initiator {
+		case "parser":
+			switch {
+			case strings.HasSuffix(pathOf(s.URL), ".js"):
+				fmt.Fprintf(&b, "<script src=\"%s\"></script>\n", s.URL)
+			case strings.HasSuffix(pathOf(s.URL), ".css"):
+				fmt.Fprintf(&b, "<link rel=\"stylesheet\" href=\"%s\">\n", s.URL)
+			default:
+				fmt.Fprintf(&b, "<img src=\"%s\">\n", s.URL)
+			}
+		case "iframe":
+			fmt.Fprintf(&b, "<iframe src=\"%s\"></iframe>\n", s.URL)
+		default:
+			fmt.Fprintf(&script, "after %dms\n", s.At.Milliseconds())
+			cmd := "get"
+			if strings.HasPrefix(s.URL, "ws://") || strings.HasPrefix(s.URL, "wss://") {
+				cmd = "ws"
+			}
+			if s.Initiator != "" {
+				fmt.Fprintf(&script, "%s %s as %s\n", cmd, s.URL, sanitizeInitiator(s.Initiator))
+			} else {
+				fmt.Fprintf(&script, "%s %s\n", cmd, s.URL)
+			}
+		}
+	}
+	b.WriteString("</head>\n<body>\n")
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", page.URL)
+	if script.Len() > 0 {
+		b.WriteString("<script type=\"text/x-knockscript\">\n")
+		b.WriteString(script.String())
+		b.WriteString("</script>\n")
+	}
+	// Pad the body to the page's nominal size.
+	if pad := page.BodySize - b.Len(); pad > 0 {
+		b.WriteString("<p>")
+		b.WriteString(strings.Repeat("x", min(pad, 1<<20)))
+		b.WriteString("</p>\n")
+	}
+	b.WriteString("</body>\n</html>\n")
+	return []byte(b.String())
+}
+
+func pathOf(raw string) string {
+	rest := raw
+	if i := strings.Index(rest, "://"); i >= 0 {
+		rest = rest[i+3:]
+	}
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		rest = rest[i:]
+	} else {
+		rest = "/"
+	}
+	if i := strings.IndexAny(rest, "?#"); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest
+}
+
+// sanitizeInitiator keeps initiators single-token for the line-oriented
+// script syntax.
+func sanitizeInitiator(s string) string {
+	return strings.Map(func(r rune) rune {
+		if r == ' ' || r == '\t' || r == '\n' {
+			return '_'
+		}
+		return r
+	}, s)
+}

@@ -1,0 +1,108 @@
+package websim
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+	"time"
+
+	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+	"github.com/knockandtalk/knockandtalk/internal/simnet"
+	"github.com/knockandtalk/knockandtalk/internal/webdoc"
+	"github.com/knockandtalk/knockandtalk/internal/whois"
+)
+
+// ThreatMetrix script hosting (§4.3.1). On each protected site, the
+// localhost probes are issued by a dynamically generated JavaScript
+// blob, which in turn is created by an external script loaded from
+// either a vendor-operated subdomain (regstat.betfair.com) or a
+// similar-appearing domain (ebay-us.com for ebay.com) — all registered
+// to ThreatMetrix Inc. The synthetic web reproduces the whole chain:
+// the page fetches the profiling script from the vendor host, the blob
+// it generates issues the WSS probes, the probe initiators carry the
+// script's provenance, and the WHOIS registry holds the registrant
+// evidence the paper's attribution relied on.
+
+// tmScriptHost names the vendor host serving a protected site's
+// profiling script.
+func tmScriptHost(domain string) string {
+	if domain == "ebay.com" || strings.HasPrefix(domain, "ebay.") {
+		return "ebay-us.com"
+	}
+	// Phishing pages cloned the target's interface wholesale, so their
+	// script still points at the host for the impersonated site; for
+	// everyone else the vendor provisions a first-party-looking
+	// subdomain.
+	if strings.Contains(domain, "ebay") {
+		return "ebay-us.com"
+	}
+	return "regstat." + domain
+}
+
+// tmInitiator labels probe steps with the script's provenance.
+func tmInitiator(scriptHost string) string { return "blob:threatmetrix:" + scriptHost }
+
+// tmHostAddrs allocates addresses for vendor hosts in a dedicated
+// range, one per distinct host.
+func (w *World) tmHostAddr() netip.Addr {
+	w.tmHosts++
+	if w.tmHosts > 0xFFFF {
+		panic("websim: too many vendor hosts")
+	}
+	return netip.AddrFrom4([4]byte{51, 0, byte(w.tmHosts >> 8), byte(w.tmHosts)})
+}
+
+// registerTMHost binds the vendor host (DNS, HTTPS service, WHOIS
+// record) once per world.
+func (w *World) registerTMHost(host string, seed uint64) {
+	if w.tmRegistered == nil {
+		w.tmRegistered = map[string]bool{}
+	}
+	if w.tmRegistered[host] {
+		return
+	}
+	w.tmRegistered[host] = true
+	addr := w.tmHostAddr()
+	w.Net.Resolver.Add(host, addr)
+	w.Net.BindService(addr, 443, &simnet.TLSInfo{CommonName: host}, simnet.ServiceFunc(func(req *simnet.Request) *simnet.Response {
+		return &simnet.Response{Status: 200, ContentType: "application/javascript", BodySize: 48 * 1024}
+	}))
+	w.Whois.Add(whois.Record{
+		Domain:     host,
+		Registrant: whois.ThreatMetrixOrg,
+		Registrar:  "MarkMonitor Inc.",
+		Country:    "US",
+		Created:    "2012-07-19",
+		NameServer: fmt.Sprintf("ns%d.threatmetrix.example", 1+hashN(seed, 2, "ns", host)),
+	}, addr)
+}
+
+// attachThreatMetrix decorates a page's fraud-detection probes with the
+// script-loading chain: a public fetch of the vendor script shortly
+// before the probes, and provenance-carrying initiators.
+func (w *World) attachThreatMetrix(page *webdoc.Page, row groundtruth.LocalhostRow, probes []webdoc.Step, seed uint64) []webdoc.Step {
+	if row.Class != groundtruth.ClassFraudDetection || len(probes) == 0 {
+		return probes
+	}
+	host := tmScriptHost(row.Domain)
+	w.registerTMHost(host, seed)
+	first := probes[0].At
+	for _, s := range probes {
+		if s.At < first {
+			first = s.At
+		}
+	}
+	scriptAt := first - 1500*time.Millisecond
+	if scriptAt < 0 {
+		scriptAt = 0
+	}
+	page.Steps = append(page.Steps, webdoc.Step{
+		At:        scriptAt,
+		URL:       fmt.Sprintf("https://%s/fp/tags.js?org_id=%04x", host, hashN(seed, 1<<16, "tmorg", row.Domain)),
+		Initiator: "script",
+	})
+	for i := range probes {
+		probes[i].Initiator = tmInitiator(host)
+	}
+	return probes
+}

@@ -1,0 +1,103 @@
+// Package whois models the WHOIS evidence the paper used to attribute
+// localhost scanning to LexisNexis ThreatMetrix (§4.3.1): "Conducting
+// WHOIS lookups on these domains and their IP addresses, we find that
+// these domains all belong to the ThreatMetrix Inc. organization."
+//
+// The registry is the offline substitution for the live WHOIS system:
+// the synthetic web registers a record for every profiling-script host
+// it binds, and the classifier corroborates its network-signature
+// verdicts against the registrant organization.
+package whois
+
+import (
+	"net/netip"
+	"strings"
+	"sync"
+)
+
+// Record is a simplified WHOIS registration record.
+type Record struct {
+	Domain     string
+	Registrant string // organization
+	Registrar  string
+	Country    string
+	Created    string // registration date, YYYY-MM-DD
+	NameServer string
+}
+
+// ThreatMetrixOrg is the registrant organization of the fraud-detection
+// vendor's script-hosting domains.
+const ThreatMetrixOrg = "ThreatMetrix Inc."
+
+// Registry answers WHOIS queries for domains and IP addresses.
+type Registry struct {
+	mu       sync.RWMutex
+	byDomain map[string]Record
+	byIP     map[netip.Addr]Record
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		byDomain: make(map[string]Record),
+		byIP:     make(map[netip.Addr]Record),
+	}
+}
+
+// Add registers a record for a domain, optionally binding addresses to
+// the same registrant.
+func (r *Registry) Add(rec Record, addrs ...netip.Addr) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.byDomain[strings.ToLower(rec.Domain)] = rec
+	for _, a := range addrs {
+		r.byIP[a] = rec
+	}
+}
+
+// Lookup finds the record for a domain, walking up parent labels the
+// way a WHOIS client resolves subdomains to their registered domain
+// (regstat.betfair.com → betfair.com unless the subdomain itself is
+// registered, as ThreatMetrix's dedicated hosts are).
+func (r *Registry) Lookup(domain string) (Record, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d := strings.ToLower(domain)
+	for {
+		if rec, ok := r.byDomain[d]; ok {
+			return rec, true
+		}
+		i := strings.IndexByte(d, '.')
+		if i < 0 {
+			return Record{}, false
+		}
+		rest := d[i+1:]
+		if !strings.Contains(rest, ".") {
+			// Bare TLD: stop.
+			return Record{}, false
+		}
+		d = rest
+	}
+}
+
+// LookupIP finds the record bound to an address.
+func (r *Registry) LookupIP(addr netip.Addr) (Record, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	rec, ok := r.byIP[addr]
+	return rec, ok
+}
+
+// Len reports the number of registered domains.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.byDomain)
+}
+
+// OwnedBy reports whether the domain (or its registered parent) belongs
+// to the given organization.
+func (r *Registry) OwnedBy(domain, org string) bool {
+	rec, ok := r.Lookup(domain)
+	return ok && rec.Registrant == org
+}

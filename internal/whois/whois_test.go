@@ -1,0 +1,64 @@
+package whois
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func TestLookupExactAndParentWalk(t *testing.T) {
+	r := NewRegistry()
+	r.Add(Record{Domain: "ebay-us.com", Registrant: ThreatMetrixOrg})
+	r.Add(Record{Domain: "betfair.com", Registrant: "Betfair Group"})
+	r.Add(Record{Domain: "regstat.betfair.com", Registrant: ThreatMetrixOrg})
+
+	// Exact match.
+	if rec, ok := r.Lookup("ebay-us.com"); !ok || rec.Registrant != ThreatMetrixOrg {
+		t.Errorf("ebay-us.com = %+v, %v", rec, ok)
+	}
+	// A registered subdomain wins over its parent — the ThreatMetrix
+	// pattern the paper observed.
+	if rec, ok := r.Lookup("regstat.betfair.com"); !ok || rec.Registrant != ThreatMetrixOrg {
+		t.Errorf("regstat.betfair.com = %+v, %v", rec, ok)
+	}
+	// Unregistered subdomains resolve to the parent's record.
+	if rec, ok := r.Lookup("www.betfair.com"); !ok || rec.Registrant != "Betfair Group" {
+		t.Errorf("www.betfair.com = %+v, %v", rec, ok)
+	}
+	// Case-insensitive.
+	if _, ok := r.Lookup("EBAY-US.COM"); !ok {
+		t.Error("lookup must be case-insensitive")
+	}
+	// Misses.
+	if _, ok := r.Lookup("unknown.example"); ok {
+		t.Error("unknown domain should miss")
+	}
+	if _, ok := r.Lookup("com"); ok {
+		t.Error("bare TLD should miss")
+	}
+}
+
+func TestLookupIP(t *testing.T) {
+	r := NewRegistry()
+	addr := netip.MustParseAddr("51.0.0.1")
+	r.Add(Record{Domain: "ebay-us.com", Registrant: ThreatMetrixOrg}, addr)
+	if rec, ok := r.LookupIP(addr); !ok || rec.Registrant != ThreatMetrixOrg {
+		t.Errorf("LookupIP = %+v, %v", rec, ok)
+	}
+	if _, ok := r.LookupIP(netip.MustParseAddr("51.0.0.9")); ok {
+		t.Error("unbound address should miss")
+	}
+}
+
+func TestOwnedBy(t *testing.T) {
+	r := NewRegistry()
+	r.Add(Record{Domain: "ebay-us.com", Registrant: ThreatMetrixOrg})
+	if !r.OwnedBy("ebay-us.com", ThreatMetrixOrg) {
+		t.Error("OwnedBy must confirm the registrant")
+	}
+	if r.OwnedBy("ebay-us.com", "Someone Else") {
+		t.Error("OwnedBy must reject a different org")
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}

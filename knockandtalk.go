@@ -1,0 +1,226 @@
+// Package knockandtalk is a reproduction of "Knock and Talk:
+// Investigating Local Network Communications on Websites" (Kuchhal &
+// Li, ACM IMC 2021): a measurement pipeline that crawls website
+// populations with simulated Chrome instances on Windows, Linux, and
+// Mac machines, records NetLog telemetry, detects every request bound
+// for the visitor's localhost or LAN, classifies why each site makes
+// such requests, and regenerates the paper's tables and figures.
+//
+// The package is a façade over the implementation packages:
+//
+//   - Crawling: Run / RunAll execute a campaign against the synthetic
+//     web (the offline substitution for the live Internet, seeded from
+//     the paper's published per-site ground truth).
+//   - Detection: Detect extracts localhost/LAN findings from a NetLog.
+//   - Classification: ClassifySite mechanizes the §4.3 taxonomy.
+//   - Analysis and reporting: the Report* functions regenerate each
+//     table and figure from stored telemetry.
+//   - Defense: AuditPNA evaluates the WICG Private Network Access
+//     proposal (§5.3) against observed traffic.
+//
+// A minimal end-to-end use:
+//
+//	st := knockandtalk.NewStore()
+//	sum, err := knockandtalk.Run(knockandtalk.Config{
+//		Crawl: knockandtalk.CrawlTop2020,
+//		OS:    knockandtalk.Windows,
+//		Scale: 0.01, Seed: 42,
+//	}, st)
+//	fmt.Println(knockandtalk.ReportHeadline(st, knockandtalk.CrawlTop2020))
+package knockandtalk
+
+import (
+	"github.com/knockandtalk/knockandtalk/internal/analysis"
+	"github.com/knockandtalk/knockandtalk/internal/classify"
+	"github.com/knockandtalk/knockandtalk/internal/crawler"
+	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+	"github.com/knockandtalk/knockandtalk/internal/hostenv"
+	"github.com/knockandtalk/knockandtalk/internal/localnet"
+	"github.com/knockandtalk/knockandtalk/internal/longitudinal"
+	"github.com/knockandtalk/knockandtalk/internal/netlog"
+	"github.com/knockandtalk/knockandtalk/internal/pna"
+	"github.com/knockandtalk/knockandtalk/internal/probeinfer"
+	"github.com/knockandtalk/knockandtalk/internal/report"
+	"github.com/knockandtalk/knockandtalk/internal/store"
+)
+
+// Crawl campaigns.
+type Crawl = groundtruth.CrawlID
+
+// The three measurement campaigns of the study.
+const (
+	CrawlTop2020   = groundtruth.CrawlTop2020
+	CrawlTop2021   = groundtruth.CrawlTop2021
+	CrawlMalicious = groundtruth.CrawlMalicious
+)
+
+// OS identifies a crawling platform.
+type OS = hostenv.OS
+
+// The three measured OSes.
+const (
+	Windows = hostenv.Windows
+	Linux   = hostenv.Linux
+	MacOSX  = hostenv.MacOSX
+)
+
+// Config selects and sizes a crawl campaign; see crawler.Config.
+type Config = crawler.Config
+
+// Summary reports one campaign's crawl statistics.
+type Summary = crawler.Summary
+
+// Store holds crawl telemetry: page records and extracted local
+// requests.
+type Store = store.Store
+
+// PageRecord and LocalRequest are the store's record types.
+type (
+	PageRecord   = store.PageRecord
+	LocalRequest = store.LocalRequest
+)
+
+// NewStore returns an empty telemetry store.
+func NewStore() *Store { return store.New() }
+
+// Run executes one crawl campaign (one OS) into dst.
+func Run(cfg Config, dst *Store) (*Summary, error) { return crawler.Run(cfg, dst) }
+
+// RunAll executes a campaign on every OS it covers.
+func RunAll(cfg Config, dst *Store) ([]*Summary, error) { return crawler.RunAll(cfg, dst) }
+
+// NetLog is a browser telemetry capture.
+type NetLog = netlog.Log
+
+// Finding is one detected local-network request.
+type Finding = localnet.Finding
+
+// Detect extracts localhost/LAN findings from a NetLog capture,
+// filtering browser-internal traffic.
+func Detect(log *NetLog) []Finding { return localnet.FromLog(log) }
+
+// PortInference is the timing-side-channel verdict for one probed local
+// port (§4.3.2).
+type PortInference = probeinfer.Inference
+
+// InferProbes runs detection plus the timing/handshake side channel
+// over a visit's NetLog, returning what the probing script could learn
+// about each local port.
+func InferProbes(log *NetLog) []PortInference { return probeinfer.FromLog(log) }
+
+// Class is the §4.3 behavior taxonomy.
+type Class = groundtruth.Class
+
+// Behavior classes.
+const (
+	ClassFraudDetection = groundtruth.ClassFraudDetection
+	ClassBotDetection   = groundtruth.ClassBotDetection
+	ClassNativeApp      = groundtruth.ClassNativeApp
+	ClassDevError       = groundtruth.ClassDevError
+	ClassUnknown        = groundtruth.ClassUnknown
+)
+
+// Verdict is a site classification.
+type Verdict = classify.Verdict
+
+// ClassifySite classifies one site's localhost requests.
+func ClassifySite(reqs []LocalRequest) Verdict { return classify.Site(reqs) }
+
+// ClassifyLANSite classifies one site's LAN requests.
+func ClassifyLANSite(reqs []LocalRequest) Verdict { return classify.LANSite(reqs) }
+
+// SiteActivity aggregates one site's local behavior across OSes.
+type SiteActivity = analysis.SiteActivity
+
+// LocalSites groups and classifies a crawl's local traffic by site for
+// one destination class ("localhost" or "lan").
+func LocalSites(st *Store, crawl Crawl, dest string) []SiteActivity {
+	return analysis.LocalSites(st, crawl, dest)
+}
+
+// Report functions regenerate the paper's tables and figures from
+// stored telemetry.
+func ReportTable1(st *Store) string { return report.Table1(st) }
+
+// ReportTable2 renders the malicious-category summary.
+func ReportTable2(st *Store) string { return report.Table2(st) }
+
+// ReportTable3 renders the top localhost-active domains per OS.
+func ReportTable3(st *Store, crawl Crawl) string { return report.Table3(st, crawl) }
+
+// ReportTable4 renders the port-to-service registry.
+func ReportTable4() string { return report.Table4() }
+
+// ReportLocalhostSites renders a Table 5/7/8-style per-site listing.
+func ReportLocalhostSites(st *Store, crawl Crawl, title string) string {
+	return report.LocalhostTable(st, crawl, title)
+}
+
+// ReportLANSites renders a Table 6/9/10-style listing.
+func ReportLANSites(st *Store, crawl Crawl, title string) string {
+	return report.LANTable(st, crawl, title)
+}
+
+// ReportFigure2 renders the OS-overlap regions.
+func ReportFigure2(st *Store, crawl Crawl) string { return report.Figure2(st, crawl) }
+
+// ReportRankCDF renders a Figure 3/9-style rank CDF.
+func ReportRankCDF(st *Store, crawl Crawl, title string) string {
+	return report.RankCDFFigure(st, crawl, title)
+}
+
+// ReportDelayCDF renders a Figure 5/6/7-style timing CDF.
+func ReportDelayCDF(st *Store, crawl Crawl, dest, title string) string {
+	return report.DelayCDFFigure(st, crawl, dest, title)
+}
+
+// ReportSchemeRollup renders a Figure 4/8-style protocol/port rollup.
+func ReportSchemeRollup(st *Store, crawl Crawl, title string) string {
+	return report.SchemeRollupFigure(st, crawl, title)
+}
+
+// ReportHeadline renders the §4.1 topline counts.
+func ReportHeadline(st *Store, crawl Crawl) string { return report.Headline(st, crawl) }
+
+// ChurnReport is the §4.1 longitudinal comparison between the 2020 and
+// 2021 top-list crawls.
+type ChurnReport = longitudinal.Report
+
+// CompareCrawls builds the churn report for one destination class
+// ("localhost" or "lan") from a store holding both top-list crawls.
+func CompareCrawls(st *Store, dest string) *ChurnReport {
+	return longitudinal.Compare(st, dest)
+}
+
+// ReportLongitudinal renders the churn analysis.
+func ReportLongitudinal(st *Store, dest string) string { return report.Longitudinal(st, dest) }
+
+// ReportOSSkew renders the §4.1/§4.2 OS-targeting and SOP-exemption
+// summary.
+func ReportOSSkew(st *Store, crawl Crawl) string { return report.OSSkewAndSOP(st, crawl) }
+
+// CSV exports of the figure series.
+func CSVRankCDF(st *Store, crawl Crawl) string { return report.RankCDFCSV(st, crawl) }
+
+// CSVDelayCDF exports a Figure 5/6/7 series.
+func CSVDelayCDF(st *Store, crawl Crawl, dest string) string {
+	return report.DelayCDFCSV(st, crawl, dest)
+}
+
+// CSVRollup exports a Figure 4/8 series.
+func CSVRollup(st *Store, crawl Crawl) string { return report.RollupCSV(st, crawl) }
+
+// PNAPolicy configures the Private Network Access defense evaluation.
+type PNAPolicy = pna.Policy
+
+// PNAWICGDraft is the full WICG proposal of §5.3.
+var PNAWICGDraft = pna.WICGDraft
+
+// PNAAuditRow is one class's outcome under a policy.
+type PNAAuditRow = pna.AuditRow
+
+// AuditPNA replays a crawl's local traffic under a Private Network
+// Access policy.
+func AuditPNA(st *Store, crawl Crawl, policy PNAPolicy) []PNAAuditRow {
+	return pna.Audit(st, crawl, policy)
+}

@@ -1,0 +1,108 @@
+package knockandtalk_test
+
+import (
+	"strings"
+	"testing"
+
+	knockandtalk "github.com/knockandtalk/knockandtalk"
+)
+
+// TestPublicAPIEndToEnd drives the façade the way a downstream user
+// would: crawl, inspect, classify, report, audit.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	st := knockandtalk.NewStore()
+	sum, err := knockandtalk.Run(knockandtalk.Config{
+		Crawl: knockandtalk.CrawlTop2020,
+		OS:    knockandtalk.Windows,
+		Scale: 0.01,
+		Seed:  99,
+	}, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Attempted != 1000 || sum.LocalRequests == 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+
+	sites := knockandtalk.LocalSites(st, knockandtalk.CrawlTop2020, "localhost")
+	if len(sites) != 5 {
+		t.Fatalf("sites = %d, want 5 in the top 1000", len(sites))
+	}
+	fraud := 0
+	for _, s := range sites {
+		if s.Verdict.Class == knockandtalk.ClassFraudDetection {
+			fraud++
+		}
+	}
+	if fraud != 4 {
+		t.Errorf("fraud sites = %d, want 4 (the eBay properties)", fraud)
+	}
+
+	headline := knockandtalk.ReportHeadline(st, knockandtalk.CrawlTop2020)
+	if !strings.Contains(headline, "5 sites making localhost requests") {
+		t.Errorf("headline = %q", headline)
+	}
+	if out := knockandtalk.ReportTable1(st); !strings.Contains(out, "NAME_NOT_RESOLVED") {
+		t.Error("Table 1 rendering broken")
+	}
+	if out := knockandtalk.ReportTable4(); !strings.Contains(out, "TeamViewer") {
+		t.Error("Table 4 rendering broken")
+	}
+
+	rows := knockandtalk.AuditPNA(st, knockandtalk.CrawlTop2020, knockandtalk.PNAWICGDraft)
+	blocked, total := 0, 0
+	for _, r := range rows {
+		total += r.Requests
+		blocked += r.Blocked()
+	}
+	if total == 0 || blocked != total {
+		t.Errorf("PNA audit on this slice should block everything (no native apps in top 1000): %d/%d", blocked, total)
+	}
+}
+
+func TestClassifyViaFacade(t *testing.T) {
+	v := knockandtalk.ClassifySite([]knockandtalk.LocalRequest{{
+		Domain: "x.example", Scheme: "http", Host: "127.0.0.1", Port: 8888,
+		Path: "/wp-content/uploads/x.png", Dest: "localhost",
+	}})
+	if v.Class != knockandtalk.ClassDevError {
+		t.Errorf("verdict = %+v", v)
+	}
+	lan := knockandtalk.ClassifyLANSite([]knockandtalk.LocalRequest{{
+		Domain: "y.example", Scheme: "http", Host: "10.10.34.35", Port: 80,
+		Path: "/", Dest: "lan",
+	}})
+	if lan.Class != knockandtalk.ClassUnknown {
+		t.Errorf("LAN verdict = %+v", lan)
+	}
+}
+
+func TestFacadeCSVAndChurn(t *testing.T) {
+	st := knockandtalk.NewStore()
+	for _, crawl := range []knockandtalk.Crawl{knockandtalk.CrawlTop2020, knockandtalk.CrawlTop2021} {
+		if _, err := knockandtalk.RunAll(knockandtalk.Config{
+			Crawl: crawl, Scale: 0.01, Seed: 5, Workers: 4,
+		}, st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if csv := knockandtalk.CSVRankCDF(st, knockandtalk.CrawlTop2020); !strings.HasPrefix(csv, "os,rank,cdf\n") {
+		t.Error("rank CDF CSV malformed")
+	}
+	if csv := knockandtalk.CSVDelayCDF(st, knockandtalk.CrawlTop2020, "localhost"); !strings.Contains(csv, "Windows") {
+		t.Error("delay CDF CSV missing Windows series")
+	}
+	if csv := knockandtalk.CSVRollup(st, knockandtalk.CrawlTop2020); !strings.Contains(csv, "wss") {
+		t.Error("rollup CSV missing wss")
+	}
+	churn := knockandtalk.CompareCrawls(st, "localhost")
+	if len(churn.Sites) == 0 {
+		t.Fatal("churn empty")
+	}
+	if out := knockandtalk.ReportLongitudinal(st, "localhost"); !strings.Contains(out, "continued") {
+		t.Error("longitudinal report malformed")
+	}
+	if out := knockandtalk.ReportOSSkew(st, knockandtalk.CrawlTop2020); !strings.Contains(out, "Windows-exclusive") {
+		t.Error("skew report malformed")
+	}
+}

@@ -78,6 +78,9 @@ func main() {
 		for err, n := range s.Errors {
 			fmt.Printf("    %-32s %d\n", err, n)
 		}
+		if s.RetentionErrors > 0 {
+			fmt.Printf("    WARNING: %d NetLog captures could not be retained\n", s.RetentionErrors)
+		}
 	}
 
 	if *out != "" {

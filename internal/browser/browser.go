@@ -127,7 +127,7 @@ func (b *Browser) Visit(rawURL string) *VisitResult {
 			rec.Point(0, netlog.TypeURLRequestError, src, map[string]any{
 				"url": rawURL, "net_error": string(simnet.ErrBlockedByClient),
 			})
-			res.Log = rec.Log()
+			res.Log = rec.TakeLog()
 			return res
 		}
 	}
@@ -159,7 +159,7 @@ func (b *Browser) Visit(rawURL string) *VisitResult {
 		}
 	})
 	sched.RunUntil(b.Opts.Window)
-	res.Log = rec.Log()
+	res.Log = rec.TakeLog()
 	return res
 }
 

@@ -39,14 +39,17 @@ type Spec struct {
 
 // Entry is one (crawl, OS) manifest row.
 type Entry struct {
-	Crawl         string        `json:"crawl"`
-	OS            string        `json:"os"`
-	Attempted     int           `json:"attempted"`
-	Successful    int           `json:"successful"`
-	Failed        int           `json:"failed"`
-	LocalRequests int           `json:"local_requests"`
-	AlreadyDone   int           `json:"already_done,omitempty"`
-	Elapsed       time.Duration `json:"elapsed"`
+	Crawl         string `json:"crawl"`
+	OS            string `json:"os"`
+	Attempted     int    `json:"attempted"`
+	Successful    int    `json:"successful"`
+	Failed        int    `json:"failed"`
+	LocalRequests int    `json:"local_requests"`
+	AlreadyDone   int    `json:"already_done,omitempty"`
+	// RetentionErrors counts visits whose NetLog capture failed to
+	// retain (see crawler.Summary.RetentionErrors).
+	RetentionErrors int           `json:"retention_errors,omitempty"`
+	Elapsed         time.Duration `json:"elapsed"`
 }
 
 // Manifest summarizes a finished campaign.
@@ -97,7 +100,8 @@ func Run(spec Spec) (*Manifest, error) {
 			m.Entries = append(m.Entries, Entry{
 				Crawl: string(s.Crawl), OS: s.OS.String(),
 				Attempted: s.Attempted, Successful: s.Successful, Failed: s.Failed,
-				LocalRequests: s.LocalRequests, AlreadyDone: s.AlreadyDone, Elapsed: s.Elapsed,
+				LocalRequests: s.LocalRequests, AlreadyDone: s.AlreadyDone,
+				RetentionErrors: s.RetentionErrors, Elapsed: s.Elapsed,
 			})
 		}
 		f, err := os.Create(path)

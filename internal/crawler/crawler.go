@@ -75,6 +75,11 @@ type Summary struct {
 	// AlreadyDone counts targets skipped by a resumed crawl because the
 	// store already holds their page record.
 	AlreadyDone int
+	// RetentionErrors counts visits whose raw NetLog capture could not be
+	// retained (RetainLogs). The page and local-request records for those
+	// visits are stored regardless; the count surfaces the telemetry gap
+	// instead of silently dropping it.
+	RetentionErrors int
 	// Elapsed is wall-clock crawl time.
 	Elapsed time.Duration
 }
@@ -114,71 +119,71 @@ func RunWorld(cfg Config, world *websim.World, dst *store.Store) (*Summary, erro
 	sum := &Summary{Crawl: cfg.Crawl, OS: cfg.OS, Errors: make(map[string]int)}
 	done := map[string]bool{}
 	if cfg.Resume {
+		// Keyed on the visited URL, not the domain: a landing-page crawl
+		// and a login-page crawl (PagePath) of the same domain are
+		// distinct visits, and only the one actually stored may be
+		// skipped on resume.
 		for _, p := range dst.Pages(func(p *store.PageRecord) bool {
 			return p.Crawl == string(cfg.Crawl) && p.OS == cfg.OS.String()
 		}) {
-			done[p.Domain] = true
+			done[p.URL] = true
 		}
 	}
-	var mu sync.Mutex
+	dst.Reserve(len(world.Targets))
 	var wg sync.WaitGroup
-	jobs := make(chan websim.Target)
+	jobs := make(chan websim.Target, workers*4)
+	tallies := make([]tally, workers)
 
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(tl *tally) {
 			defer wg.Done()
+			tl.errors = make(map[string]int)
 			// Each worker is its own Chrome instance on an identical
 			// clean machine (a VM in the paper's setup).
 			b := browser.New(hostenv.DefaultProfile(cfg.OS), world.Net, opts)
+			var batch store.Batch
 			for tgt := range jobs {
 				// Per-page connectivity check: visit only when the
 				// infrastructure can reach the Internet, retrying
 				// briefly through an outage.
 				if !cfg.SkipConnectivityCheck && !awaitConnectivity(world.Net) {
-					mu.Lock()
-					sum.Skipped++
-					mu.Unlock()
+					tl.skipped++
 					continue
 				}
-				url := tgt.URL
-				if cfg.PagePath != "" && cfg.PagePath != "/" {
-					url = strings.TrimSuffix(url, "/") + cfg.PagePath
-				}
+				url := visitURL(tgt.URL, cfg.PagePath)
 				res := b.Visit(url)
 				findings := localnet.FromLog(res.Log)
 				if cfg.RetainLogs && len(findings) > 0 {
 					if err := dst.AddNetLog(string(cfg.Crawl), cfg.OS.String(), tgt.Domain, res.Log); err != nil {
-						// Retention is best-effort; the summary records
-						// proceed regardless.
-						_ = err
+						// Retention is best-effort — the summary records
+						// proceed regardless — but the gap is counted.
+						tl.retentionErrors++
 					}
 				}
-				mu.Lock()
-				sum.Attempted++
+				tl.attempted++
 				if res.OK() {
-					sum.Successful++
+					tl.successful++
 				} else {
-					sum.Failed++
-					sum.Errors[string(res.Err)]++
+					tl.failed++
+					tl.errors[string(res.Err)]++
 				}
-				sum.LocalRequests += len(findings)
-				mu.Unlock()
+				tl.localRequests += len(findings)
 
-				dst.AddPage(store.PageRecord{
+				batch.AddPage(store.PageRecord{
 					Crawl:       string(cfg.Crawl),
 					OS:          cfg.OS.String(),
 					Domain:      tgt.Domain,
 					Rank:        tgt.Rank,
 					Category:    string(tgt.Category),
-					URL:         tgt.URL,
+					URL:         url,
 					FinalURL:    res.FinalURL,
 					Err:         string(res.Err),
 					CommittedAt: res.CommittedAt,
 					Events:      res.Log.Len(),
 				})
 				for _, f := range findings {
-					dst.AddLocal(store.LocalRequest{
+					batch.AddLocal(store.LocalRequest{
 						Crawl:       string(cfg.Crawl),
 						OS:          cfg.OS.String(),
 						Domain:      tgt.Domain,
@@ -198,11 +203,18 @@ func RunWorld(cfg Config, world *websim.World, dst *store.Store) (*Summary, erro
 						SOPExempt:   f.SOPExempt,
 					})
 				}
+				// One visit = one domain = one store shard, so the whole
+				// visit commits under a single shard lock.
+				dst.AddBatch(&batch)
+				batch.Reset()
+				// Extraction and retention are done with the capture;
+				// recycle its event buffer for the worker's next visit.
+				res.Log.Recycle()
 			}
-		}()
+		}(&tallies[w])
 	}
 	for _, tgt := range world.Targets {
-		if done[tgt.Domain] {
+		if done[visitURL(tgt.URL, cfg.PagePath)] {
 			sum.AlreadyDone++
 			continue
 		}
@@ -210,8 +222,43 @@ func RunWorld(cfg Config, world *websim.World, dst *store.Store) (*Summary, erro
 	}
 	close(jobs)
 	wg.Wait()
+	for i := range tallies {
+		tallies[i].mergeInto(sum)
+	}
 	sum.Elapsed = time.Since(start)
 	return sum, nil
+}
+
+// visitURL derives the URL a crawl visits for a target: the landing page,
+// or the target's page at cfg.PagePath.
+func visitURL(target, pagePath string) string {
+	if pagePath == "" || pagePath == "/" {
+		return target
+	}
+	return strings.TrimSuffix(target, "/") + pagePath
+}
+
+// tally is one worker's private counters; workers never share counter
+// state mid-crawl and the per-worker tallies merge into the Summary once
+// after the pool drains.
+type tally struct {
+	attempted, successful, failed int
+	localRequests                 int
+	skipped                       int
+	retentionErrors               int
+	errors                        map[string]int
+}
+
+func (t *tally) mergeInto(sum *Summary) {
+	sum.Attempted += t.attempted
+	sum.Successful += t.successful
+	sum.Failed += t.failed
+	sum.LocalRequests += t.localRequests
+	sum.Skipped += t.skipped
+	sum.RetentionErrors += t.retentionErrors
+	for k, v := range t.errors {
+		sum.Errors[k] += v
+	}
 }
 
 // RunAll executes a campaign on every OS the crawl covers (W/L/M for the

@@ -2,6 +2,7 @@ package crawler
 
 import (
 	"bytes"
+	"os"
 	"testing"
 	"time"
 
@@ -303,11 +304,12 @@ func TestResumeSkipsCompletedTargets(t *testing.T) {
 
 	// First pass: crawl only the first 200 targets (simulate an
 	// interruption by crawling a truncated world).
-	partial := *world
-	partial.Targets = world.Targets[:200]
-	if _, err := RunWorld(cfg, &partial, dst); err != nil {
+	full := world.Targets
+	world.Targets = full[:200]
+	if _, err := RunWorld(cfg, world, dst); err != nil {
 		t.Fatal(err)
 	}
+	world.Targets = full
 	if dst.NumPages() != 200 {
 		t.Fatalf("partial crawl stored %d pages", dst.NumPages())
 	}
@@ -373,5 +375,107 @@ func TestParseHTMLCrawlEquivalence(t *testing.T) {
 	// Page-level outcomes agree too.
 	if fast.NumPages() != parsed.NumPages() {
 		t.Errorf("page counts differ: %d vs %d", fast.NumPages(), parsed.NumPages())
+	}
+}
+
+func TestSaveBytesMatchGolden(t *testing.T) {
+	// The golden file was produced by gen_golden.go against the
+	// pre-sharding store: the sharded store and the batched crawl path
+	// must reproduce its Save output byte for byte.
+	want, err := os.ReadFile("testdata/golden-top2020-windows-s005.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := store.New()
+	if _, err := Run(smallCfg(groundtruth.CrawlTop2020, hostenv.Windows, 0.005), dst); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := dst.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		got := buf.Bytes()
+		line := 1
+		for i := 0; i < len(got) && i < len(want); i++ {
+			if got[i] != want[i] {
+				lo := i - 60
+				if lo < 0 {
+					lo = 0
+				}
+				hi := i + 60
+				if hi > len(got) {
+					hi = len(got)
+				}
+				t.Fatalf("Save output diverges from golden at byte %d (line %d):\n got …%s…\nwant …%s…",
+					i, line, got[lo:hi], want[lo:min(hi, len(want))])
+			}
+			if got[i] == '\n' {
+				line++
+			}
+		}
+		t.Fatalf("Save output length %d, golden %d (common prefix identical)", len(got), len(want))
+	}
+}
+
+func TestResumeRespectsPagePath(t *testing.T) {
+	// Regression: the resume done-set used to key on domain alone, so a
+	// completed landing-page crawl made a login-page crawl (PagePath) of
+	// the same store skip every site as already done.
+	world, err := websim.Build(groundtruth.CrawlTop2020, hostenv.Windows, 0.002, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := store.New()
+	landing := smallCfg(groundtruth.CrawlTop2020, hostenv.Windows, 0.002)
+	if _, err := RunWorld(landing, world, dst); err != nil {
+		t.Fatal(err)
+	}
+
+	login := landing
+	login.PagePath = websim.LoginPath
+	login.Resume = true
+	sum, err := RunWorld(login, world, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.AlreadyDone != 0 {
+		t.Errorf("login crawl skipped %d targets on landing-page records", sum.AlreadyDone)
+	}
+	if sum.Attempted != len(world.Targets) {
+		t.Errorf("login crawl attempted %d of %d targets", sum.Attempted, len(world.Targets))
+	}
+
+	// A second resumed login crawl finds its own records and skips all.
+	sum2, err := RunWorld(login, world, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum2.AlreadyDone != len(world.Targets) || sum2.Attempted != 0 {
+		t.Errorf("resumed login crawl: AlreadyDone=%d Attempted=%d, want %d/0",
+			sum2.AlreadyDone, sum2.Attempted, len(world.Targets))
+	}
+}
+
+func TestCrawlManyWorkersSharedStore(t *testing.T) {
+	// Exercises the sharded store and per-worker tallies under heavy
+	// worker concurrency; run with -race in CI.
+	world, err := websim.Build(groundtruth.CrawlTop2020, hostenv.Windows, 0.005, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallCfg(groundtruth.CrawlTop2020, hostenv.Windows, 0.005)
+	cfg.Workers = 8
+	cfg.RetainLogs = true
+	dst := store.New()
+	sum, err := RunWorld(cfg, world, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Attempted != len(world.Targets) {
+		t.Errorf("attempted %d of %d", sum.Attempted, len(world.Targets))
+	}
+	if dst.NumPages() != sum.Attempted {
+		t.Errorf("pages stored %d != attempted %d", dst.NumPages(), sum.Attempted)
 	}
 }

@@ -1,0 +1,41 @@
+//go:build ignore
+
+// Generates testdata/golden-top2020-windows-s005.jsonl, the canonical
+// Store.Save output for a small reference crawl. The golden file pins
+// the store's serialization byte-for-byte: any change to record layout,
+// canonical sort order, or crawl determinism shows up as a diff.
+//
+// Regenerate (only when an output change is intentional) with:
+//
+//	go run gen_golden.go
+package main
+
+import (
+	"log"
+	"os"
+
+	"github.com/knockandtalk/knockandtalk/internal/crawler"
+	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+	"github.com/knockandtalk/knockandtalk/internal/hostenv"
+	"github.com/knockandtalk/knockandtalk/internal/store"
+)
+
+func main() {
+	dst := store.New()
+	cfg := crawler.Config{
+		Crawl: groundtruth.CrawlTop2020, OS: hostenv.Windows,
+		Scale: 0.005, Seed: 0xBEEF, Workers: 4,
+	}
+	if _, err := crawler.Run(cfg, dst); err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create("testdata/golden-top2020-windows-s005.jsonl")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := dst.Save(f); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %d pages, %d locals", dst.NumPages(), dst.NumLocals())
+}

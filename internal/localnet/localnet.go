@@ -138,7 +138,7 @@ func FromLog(log *netlog.Log) []Finding {
 // FromLogOpts extracts findings under explicit detector options.
 func FromLogOpts(log *netlog.Log, opts Options) []Finding {
 	var out []Finding
-	for _, flow := range log.Flows() {
+	for _, flow := range log.FlowStats() {
 		if flow.Source.Type == netlog.SourceBrowser && !opts.KeepBrowserTraffic {
 			continue
 		}

@@ -36,59 +36,193 @@ type Flow struct {
 // SourceBrowser are included (callers that need webpage-only traffic
 // filter on Source.Type; see localnet.FromLog).
 func (l *Log) Flows() []Flow {
-	grouped := l.BySource()
-	flows := make([]Flow, 0, len(grouped))
-	for src, events := range grouped {
-		f := Flow{Source: src, Events: events}
-		first := true
-		for i := range events {
-			e := &events[i]
-			if first || e.Time < f.Start {
-				f.Start = e.Time
-			}
-			if first || e.Time > f.End {
-				f.End = e.Time
-			}
-			first = false
-			if f.URL == "" {
-				if u := e.ParamString("url"); u != "" {
-					f.URL = u
-				}
-			}
-			if f.Initiator == "" {
-				if in := e.ParamString("initiator"); in != "" {
-					f.Initiator = in
-				}
-			}
-			switch e.Type {
-			case TypeURLRequestRedirect:
-				if loc := e.ParamString("location"); loc != "" {
-					f.RedirectedTo = append(f.RedirectedTo, loc)
-				}
-			case TypeURLRequestError, TypeSocketError:
-				if ne := e.ParamString("net_error"); ne != "" {
-					f.NetError = ne
-				}
-			case TypeHTTPTransactionReadHeaders, TypeWebSocketReadHandshakeResponse:
-				if sc, ok := e.ParamInt("status_code"); ok {
-					f.StatusCode = sc
-				}
-			}
+	n := len(l.Events)
+	if n == 0 {
+		return nil
+	}
+	// Recorder source IDs are serial, so grouping can index by ID into a
+	// single backing array instead of growing a map of per-source slices
+	// (the detector runs Flows on every retained visit, and that map
+	// churn dominated its allocations). Logs with sparse IDs or an ID
+	// shared across source types — never produced by a Recorder, but
+	// representable in hand-built or parsed logs — fall back to the
+	// map-based grouping.
+	maxID := uint32(0)
+	for i := range l.Events {
+		if id := l.Events[i].Source.ID; id > maxID {
+			maxID = id
 		}
-		if f.URL == "" && src.Type != SourceBrowser {
-			// Sources with no request URL (bare sockets, resolver jobs)
-			// are transport detail, not logical requests.
+	}
+	if uint64(maxID) >= uint64(4*n+64) {
+		return flowsFromGroups(l.BySource())
+	}
+	counts := make([]int32, maxID+1)
+	types := make([]SourceType, maxID+1)
+	for i := range l.Events {
+		e := &l.Events[i]
+		id := e.Source.ID
+		if counts[id] == 0 {
+			types[id] = e.Source.Type
+		} else if types[id] != e.Source.Type {
+			return flowsFromGroups(l.BySource())
+		}
+		counts[id]++
+	}
+	backing := make([]Event, n)
+	fill := make([]int32, maxID+1)
+	next := int32(0)
+	for id := range counts {
+		fill[id] = next
+		next += counts[id]
+	}
+	for i := range l.Events {
+		id := l.Events[i].Source.ID
+		backing[fill[id]] = l.Events[i]
+		fill[id]++
+	}
+	flows := make([]Flow, 0, maxID+1)
+	start := int32(0)
+	for id := uint32(0); id <= maxID; id++ {
+		c := counts[id]
+		if c == 0 {
 			continue
 		}
-		flows = append(flows, f)
+		src := Source{Type: types[id], ID: id}
+		if f, ok := buildFlow(src, backing[start:start+c:start+c]); ok {
+			flows = append(flows, f)
+		}
+		start += c
 	}
+	sortFlows(flows)
+	return flows
+}
+
+// FlowStats reconstructs the same flows as Flows but leaves Flow.Events
+// nil, folding each source's aggregates in a single pass over the log
+// with no per-flow event copies. The detector runs on every visit and
+// needs only the aggregate fields, so this is its path; use Flows when
+// the underlying events matter.
+func (l *Log) FlowStats() []Flow {
+	n := len(l.Events)
+	if n == 0 {
+		return nil
+	}
+	maxID := uint32(0)
+	for i := range l.Events {
+		if id := l.Events[i].Source.ID; id > maxID {
+			maxID = id
+		}
+	}
+	if uint64(maxID) >= uint64(4*n+64) {
+		return stripEvents(flowsFromGroups(l.BySource()))
+	}
+	acc := make([]Flow, maxID+1)
+	seen := make([]bool, maxID+1)
+	for i := range l.Events {
+		e := &l.Events[i]
+		id := e.Source.ID
+		f := &acc[id]
+		if !seen[id] {
+			seen[id] = true
+			f.Source = e.Source
+			f.Start, f.End = e.Time, e.Time
+		} else if f.Source.Type != e.Source.Type {
+			return stripEvents(flowsFromGroups(l.BySource()))
+		}
+		foldEvent(f, e)
+	}
+	// Compact the kept flows to the front of acc: the write index never
+	// passes the read index, so no extra output slice is needed.
+	flows := acc[:0]
+	for id := uint32(0); id <= maxID; id++ {
+		if !seen[id] {
+			continue
+		}
+		if f := &acc[id]; f.URL != "" || f.Source.Type == SourceBrowser {
+			flows = append(flows, *f)
+		}
+	}
+	sortFlows(flows)
+	return flows
+}
+
+func stripEvents(flows []Flow) []Flow {
+	for i := range flows {
+		flows[i].Events = nil
+	}
+	return flows
+}
+
+// flowsFromGroups is the map-based grouping path.
+func flowsFromGroups(grouped map[Source][]Event) []Flow {
+	flows := make([]Flow, 0, len(grouped))
+	for src, events := range grouped {
+		if f, ok := buildFlow(src, events); ok {
+			flows = append(flows, f)
+		}
+	}
+	sortFlows(flows)
+	return flows
+}
+
+// buildFlow folds one source's events into a Flow. It reports false for
+// sources that are transport detail rather than logical requests.
+func buildFlow(src Source, events []Event) (Flow, bool) {
+	f := Flow{Source: src, Events: events}
+	f.Start, f.End = events[0].Time, events[0].Time
+	for i := range events {
+		foldEvent(&f, &events[i])
+	}
+	if f.URL == "" && src.Type != SourceBrowser {
+		// Sources with no request URL (bare sockets, resolver jobs)
+		// are transport detail, not logical requests.
+		return Flow{}, false
+	}
+	return f, true
+}
+
+// foldEvent accumulates one event into its flow's aggregate fields.
+// f.Start and f.End must be initialized from the flow's first event.
+func foldEvent(f *Flow, e *Event) {
+	if e.Time < f.Start {
+		f.Start = e.Time
+	}
+	if e.Time > f.End {
+		f.End = e.Time
+	}
+	if f.URL == "" {
+		if u := e.ParamString("url"); u != "" {
+			f.URL = u
+		}
+	}
+	if f.Initiator == "" {
+		if in := e.ParamString("initiator"); in != "" {
+			f.Initiator = in
+		}
+	}
+	switch e.Type {
+	case TypeURLRequestRedirect:
+		if loc := e.ParamString("location"); loc != "" {
+			f.RedirectedTo = append(f.RedirectedTo, loc)
+		}
+	case TypeURLRequestError, TypeSocketError:
+		if ne := e.ParamString("net_error"); ne != "" {
+			f.NetError = ne
+		}
+	case TypeHTTPTransactionReadHeaders, TypeWebSocketReadHandshakeResponse:
+		if sc, ok := e.ParamInt("status_code"); ok {
+			f.StatusCode = sc
+		}
+	}
+}
+
+func sortFlows(flows []Flow) {
 	sort.Slice(flows, func(i, j int) bool {
 		if flows[i].Start != flows[j].Start {
 			return flows[i].Start < flows[j].Start
 		}
 		return flows[i].Source.ID < flows[j].Source.ID
 	})
-	return flows
 }
 
 // Duration is the elapsed time between the first and last event of the flow.

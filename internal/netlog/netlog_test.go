@@ -344,3 +344,73 @@ func TestBoundedRecorder(t *testing.T) {
 		t.Errorf("unbounded recorder dropped events: %d/%d", u.Dropped(), u.Len())
 	}
 }
+
+func TestFlowStatsMatchesFlows(t *testing.T) {
+	// FlowStats must produce exactly the flows of Flows, aggregate field
+	// for aggregate field, with only Events left nil.
+	r := NewRecorder()
+	for i := 0; i < 40; i++ {
+		src := r.NewSource(SourceURLRequest)
+		url := "http://site" + string(rune('a'+i%7)) + ".example/"
+		r.Begin(time.Duration(40-i)*time.Millisecond, TypeRequestAlive, src, map[string]any{"url": url, "initiator": "nav"})
+		switch i % 4 {
+		case 0:
+			r.Point(time.Duration(41-i)*time.Millisecond, TypeURLRequestRedirect, src, map[string]any{"location": "http://127.0.0.1/"})
+		case 1:
+			r.Point(time.Duration(41-i)*time.Millisecond, TypeURLRequestError, src, map[string]any{"net_error": "ERR_CONNECTION_REFUSED"})
+		case 2:
+			r.Point(time.Duration(41-i)*time.Millisecond, TypeHTTPTransactionReadHeaders, src, map[string]any{"status_code": 200})
+		}
+		r.End(time.Duration(42-i)*time.Millisecond, TypeRequestAlive, src, nil)
+	}
+	bare := r.NewSource(SourceSocket)
+	r.Begin(0, TypeTCPConnect, bare, nil)
+	br := r.NewSource(SourceBrowser)
+	r.Begin(time.Millisecond, TypeRequestAlive, br, nil)
+
+	log := r.Log()
+	full, lite := log.Flows(), log.FlowStats()
+	if len(full) != len(lite) {
+		t.Fatalf("flow counts differ: Flows %d, FlowStats %d", len(full), len(lite))
+	}
+	for i := range full {
+		a, b := full[i], lite[i]
+		if b.Events != nil {
+			t.Fatalf("FlowStats[%d].Events not nil", i)
+		}
+		a.Events = nil
+		if a.Source != b.Source || a.URL != b.URL || a.Start != b.Start || a.End != b.End ||
+			a.NetError != b.NetError || a.StatusCode != b.StatusCode || a.Initiator != b.Initiator ||
+			len(a.RedirectedTo) != len(b.RedirectedTo) {
+			t.Errorf("flow %d differs:\nFlows:     %+v\nFlowStats: %+v", i, a, b)
+		}
+		for j := range a.RedirectedTo {
+			if a.RedirectedTo[j] != b.RedirectedTo[j] {
+				t.Errorf("flow %d redirect %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestRecycleReturnsBufferWithoutCorruption(t *testing.T) {
+	r := NewRecorder()
+	src := r.NewSource(SourceURLRequest)
+	r.Begin(0, TypeRequestAlive, src, map[string]any{"url": "http://a/"})
+	log := r.TakeLog()
+	if log.Len() != 1 {
+		t.Fatalf("log has %d events", log.Len())
+	}
+	log.Recycle()
+	if log.Events != nil {
+		t.Error("Recycle must empty the log")
+	}
+	// A fresh recorder (possibly reusing the buffer) starts clean.
+	r2 := NewRecorder()
+	if r2.Len() != 0 {
+		t.Errorf("recycled recorder starts with %d events", r2.Len())
+	}
+	r2.Begin(0, TypeRequestAlive, r2.NewSource(SourceURLRequest), map[string]any{"url": "http://b/"})
+	if got := r2.Log().Events[0].ParamString("url"); got != "http://b/" {
+		t.Errorf("event corrupted after recycle: %q", got)
+	}
+}

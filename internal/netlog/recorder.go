@@ -19,10 +19,21 @@ type Recorder struct {
 	dropped int
 }
 
+// eventBufPool recycles event backing arrays between visits: a crawl
+// allocates one capture per page, and recycling the buffers (see
+// Log.Recycle) keeps that churn out of the garbage collector.
+var eventBufPool = sync.Pool{
+	New: func() any {
+		s := make([]Event, 0, 128) // pre-sized for a typical page visit
+		return &s
+	},
+}
+
 // NewRecorder returns an empty, unbounded recorder. Source IDs start at
 // 1; ID 0 is reserved for the unattributed source.
 func NewRecorder() *Recorder {
-	return &Recorder{nextID: 1}
+	buf := eventBufPool.Get().(*[]Event)
+	return &Recorder{nextID: 1, events: (*buf)[:0]}
 }
 
 // NewBoundedRecorder returns a recorder that retains at most limit
@@ -96,4 +107,28 @@ func (r *Recorder) Log() *Log {
 	events := make([]Event, len(r.events))
 	copy(events, r.events)
 	return &Log{Events: events}
+}
+
+// TakeLog moves the recorded events into a Log without copying, leaving
+// the recorder empty. Use it when the recorder is done for (the end of a
+// visit): it avoids duplicating the capture, which for a crawl means one
+// less full event-stream allocation per page.
+func (r *Recorder) TakeLog() *Log {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	events := r.events
+	r.events = nil
+	return &Log{Events: events}
+}
+
+// Recycle returns the log's event buffer to the recorder pool and empties
+// the log. Call it only when nothing else references the log or slices of
+// its events (e.g. at the end of a crawl visit, after extraction and
+// retention are done); the buffer is reused by later recorders.
+func (l *Log) Recycle() {
+	if cap(l.Events) > 0 {
+		buf := l.Events[:0]
+		eventBufPool.Put(&buf)
+	}
+	l.Events = nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/netip"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -189,6 +190,15 @@ type endpointKey struct {
 // Network is the public Internet: a set of bound endpoints plus DNS and
 // latency models. Dialing a known host on an unbound port is refused;
 // dialing an unknown address times out (unroutable).
+//
+// Binding (Bind/BindService/AddHost) is mutex-guarded so world
+// construction can register sites from a worker pool. Locate is
+// lock-free by the same freeze contract as Resolver.Resolve: the
+// endpoint tables are immutable once the world is built, and the
+// per-request dial path stays free of synchronization (measured faster
+// than read-locking on every dial, and cheaper than merging per-worker
+// endpoint shards at 100K-site scale). Do not Locate concurrently with
+// binding.
 type Network struct {
 	Resolver *Resolver
 	Latency  *LatencyModel
@@ -197,6 +207,7 @@ type Network struct {
 	// It is atomic so tests can inject outages mid-crawl.
 	online atomic.Bool
 
+	mu        sync.Mutex // guards writes to endpoints/hosts during build
 	endpoints map[endpointKey]Endpoint
 	hosts     map[netip.Addr]bool
 }
@@ -214,10 +225,13 @@ func NewNetwork(seed uint64) *Network {
 	return n
 }
 
-// Bind attaches an endpoint at addr:port, implicitly registering the host.
+// Bind attaches an endpoint at addr:port, implicitly registering the
+// host. Safe for concurrent use during world construction.
 func (n *Network) Bind(addr netip.Addr, port uint16, ep Endpoint) {
+	n.mu.Lock()
 	n.hosts[addr] = true
 	n.endpoints[endpointKey{addr, port}] = ep
+	n.mu.Unlock()
 }
 
 // BindService is shorthand for binding an accepting endpoint.
@@ -226,10 +240,18 @@ func (n *Network) BindService(addr netip.Addr, port uint16, tls *TLSInfo, svc Se
 }
 
 // AddHost registers a routable host with no listeners (all ports refuse).
-func (n *Network) AddHost(addr netip.Addr) { n.hosts[addr] = true }
+func (n *Network) AddHost(addr netip.Addr) {
+	n.mu.Lock()
+	n.hosts[addr] = true
+	n.mu.Unlock()
+}
 
 // NumHosts reports the number of registered hosts.
-func (n *Network) NumHosts() int { return len(n.hosts) }
+func (n *Network) NumHosts() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.hosts)
+}
 
 // Locate implements Locator for public destinations.
 func (n *Network) Locate(addr netip.Addr, port uint16) Endpoint {

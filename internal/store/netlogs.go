@@ -25,24 +25,24 @@ func (s *Store) AddNetLog(crawl, os, domain string, log *netlog.Log) error {
 	if err := log.WriteJSON(&buf); err != nil {
 		return fmt.Errorf("store: serializing netlog for %s: %w", domain, err)
 	}
-	s.mu.Lock()
+	s.nmu.Lock()
 	s.netlogs = append(s.netlogs, NetLogRecord{
 		Crawl: crawl, OS: os, Domain: domain, Log: json.RawMessage(buf.Bytes()),
 	})
-	s.mu.Unlock()
+	s.nmu.Unlock()
 	return nil
 }
 
 // NumNetLogs reports the number of retained captures.
 func (s *Store) NumNetLogs() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.nmu.Lock()
+	defer s.nmu.Unlock()
 	return len(s.netlogs)
 }
 
 // NetLog retrieves and parses a retained capture.
 func (s *Store) NetLog(crawl, os, domain string) (*netlog.Log, bool, error) {
-	s.mu.Lock()
+	s.nmu.Lock()
 	var raw json.RawMessage
 	for i := range s.netlogs {
 		r := &s.netlogs[i]
@@ -51,7 +51,7 @@ func (s *Store) NetLog(crawl, os, domain string) (*netlog.Log, bool, error) {
 			break
 		}
 	}
-	s.mu.Unlock()
+	s.nmu.Unlock()
 	if raw == nil {
 		return nil, false, nil
 	}
@@ -65,8 +65,8 @@ func (s *Store) NetLog(crawl, os, domain string) (*netlog.Log, bool, error) {
 // NetLogDomains lists (os, domain) pairs with retained captures for a
 // crawl.
 func (s *Store) NetLogDomains(crawl string) [][2]string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.nmu.Lock()
+	defer s.nmu.Unlock()
 	var out [][2]string
 	for i := range s.netlogs {
 		if s.netlogs[i].Crawl == crawl {

@@ -7,12 +7,21 @@
 // The paper retained 11 TB of raw NetLogs; this store keeps the full
 // event stream only where it matters (visits with local activity can be
 // retained verbatim) and compact summaries everywhere else.
+//
+// Writes are sharded: records land in one of several append buffers
+// selected by a hash of the record's domain, each behind its own mutex,
+// so concurrent crawl workers do not serialize on a single lock. Shard
+// assignment is an internal detail — queries see every record, and Save
+// merges the shards into a canonical order (by crawl, OS, rank, domain,
+// then record-specific tie-breaks) that is byte-for-byte independent of
+// worker interleaving and shard count.
 package store
 
 import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"hash/maphash"
 	"io"
 	"sort"
 	"sync"
@@ -64,22 +73,66 @@ type LocalRequest struct {
 	SOPExempt   bool          `json:"sop_exempt,omitempty"`
 }
 
+// numShards is the write-side fan-out. Sharding is by domain hash, so
+// one visit's records (always a single domain) land in one shard and a
+// batch commit takes exactly one lock.
+const numShards = 64
+
+// shardSeed makes the domain→shard assignment stable for the lifetime
+// of the process (it does not need to be stable across processes:
+// shard layout is never serialized).
+var shardSeed = maphash.MakeSeed()
+
+func shardIndex(domain string) int {
+	return int(maphash.String(shardSeed, domain) % numShards)
+}
+
+// shard is one append buffer with its own lock.
+type shard struct {
+	mu     sync.Mutex
+	pages  []PageRecord
+	locals []LocalRequest
+}
+
 // Store accumulates crawl output. It is safe for concurrent use.
 type Store struct {
-	mu      sync.Mutex
-	pages   []PageRecord
-	locals  []LocalRequest
+	shards [numShards]shard
+
+	// netlogs are low-volume (only visits with local findings retain a
+	// capture) and stay behind a single lock.
+	nmu     sync.Mutex
 	netlogs []NetLogRecord
 }
 
 // New returns an empty store.
 func New() *Store { return &Store{} }
 
+// Reserve pre-sizes the shard buffers for a crawl expected to append
+// about nPages page records, so the append path does not repeatedly
+// regrow slices mid-crawl.
+func (s *Store) Reserve(nPages int) {
+	if nPages <= 0 {
+		return
+	}
+	perShard := nPages/numShards + 1
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		if cap(sh.pages)-len(sh.pages) < perShard {
+			grown := make([]PageRecord, len(sh.pages), len(sh.pages)+perShard)
+			copy(grown, sh.pages)
+			sh.pages = grown
+		}
+		sh.mu.Unlock()
+	}
+}
+
 // AddPage records a page visit.
 func (s *Store) AddPage(p PageRecord) {
-	s.mu.Lock()
-	s.pages = append(s.pages, p)
-	s.mu.Unlock()
+	sh := &s.shards[shardIndex(p.Domain)]
+	sh.mu.Lock()
+	sh.pages = append(sh.pages, p)
+	sh.mu.Unlock()
 }
 
 // AddLocal records a local-network request.
@@ -87,48 +140,161 @@ func (s *Store) AddLocal(l LocalRequest) {
 	if l.Delay < 0 {
 		l.Delay = 0
 	}
-	s.mu.Lock()
-	s.locals = append(s.locals, l)
-	s.mu.Unlock()
+	sh := &s.shards[shardIndex(l.Domain)]
+	sh.mu.Lock()
+	sh.locals = append(sh.locals, l)
+	sh.mu.Unlock()
+}
+
+// AddPages bulk-appends page records, acquiring each touched shard's
+// lock once per consecutive same-shard run rather than once per record.
+func (s *Store) AddPages(ps []PageRecord) {
+	for i := 0; i < len(ps); {
+		idx := shardIndex(ps[i].Domain)
+		j := i + 1
+		for j < len(ps) && shardIndex(ps[j].Domain) == idx {
+			j++
+		}
+		sh := &s.shards[idx]
+		sh.mu.Lock()
+		sh.pages = append(sh.pages, ps[i:j]...)
+		sh.mu.Unlock()
+		i = j
+	}
+}
+
+// AddLocals bulk-appends local requests with the same lock batching as
+// AddPages. Negative delays are clamped to zero.
+func (s *Store) AddLocals(ls []LocalRequest) {
+	for i := range ls {
+		if ls[i].Delay < 0 {
+			ls[i].Delay = 0
+		}
+	}
+	for i := 0; i < len(ls); {
+		idx := shardIndex(ls[i].Domain)
+		j := i + 1
+		for j < len(ls) && shardIndex(ls[j].Domain) == idx {
+			j++
+		}
+		sh := &s.shards[idx]
+		sh.mu.Lock()
+		sh.locals = append(sh.locals, ls[i:j]...)
+		sh.mu.Unlock()
+		i = j
+	}
+}
+
+// Batch accumulates one worker's records locally so a whole visit can be
+// committed to the store in a single lock acquisition (all records of a
+// visit share the visited domain and therefore a shard). A Batch is not
+// safe for concurrent use; give each worker its own and Reset between
+// visits.
+type Batch struct {
+	pages  []PageRecord
+	locals []LocalRequest
+}
+
+// AddPage stages a page record.
+func (b *Batch) AddPage(p PageRecord) { b.pages = append(b.pages, p) }
+
+// AddLocal stages a local request.
+func (b *Batch) AddLocal(l LocalRequest) { b.locals = append(b.locals, l) }
+
+// Len reports the number of staged records.
+func (b *Batch) Len() int { return len(b.pages) + len(b.locals) }
+
+// Reset empties the batch, retaining capacity for reuse.
+func (b *Batch) Reset() { b.pages = b.pages[:0]; b.locals = b.locals[:0] }
+
+// AddBatch commits the staged records. The batch may be Reset and
+// reused afterwards; the store keeps copies.
+func (s *Store) AddBatch(b *Batch) {
+	s.AddPages(b.pages)
+	s.AddLocals(b.locals)
 }
 
 // Pages returns a filtered snapshot of page records; a nil filter keeps
-// everything.
+// everything. Order is unspecified (crawl workers interleave anyway);
+// records of one domain appear in insertion order relative to each
+// other.
 func (s *Store) Pages(keep func(*PageRecord) bool) []PageRecord {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var out []PageRecord
-	for i := range s.pages {
-		if keep == nil || keep(&s.pages[i]) {
-			out = append(out, s.pages[i])
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for j := range sh.pages {
+			if keep == nil || keep(&sh.pages[j]) {
+				out = append(out, sh.pages[j])
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return out
 }
 
 // Locals returns a filtered snapshot of local requests; a nil filter
-// keeps everything.
+// keeps everything. Ordering follows the same rules as Pages.
 func (s *Store) Locals(keep func(*LocalRequest) bool) []LocalRequest {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var out []LocalRequest
-	for i := range s.locals {
-		if keep == nil || keep(&s.locals[i]) {
-			out = append(out, s.locals[i])
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for j := range sh.locals {
+			if keep == nil || keep(&sh.locals[j]) {
+				out = append(out, sh.locals[j])
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return out
 }
 
 // NumPages and NumLocals report record counts.
-func (s *Store) NumPages() int  { s.mu.Lock(); defer s.mu.Unlock(); return len(s.pages) }
-func (s *Store) NumLocals() int { s.mu.Lock(); defer s.mu.Unlock(); return len(s.locals) }
+func (s *Store) NumPages() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.pages)
+		sh.mu.Unlock()
+	}
+	return n
+}
 
-// sortAll brings records into a canonical order for deterministic
-// serialization regardless of crawl worker interleaving.
-func (s *Store) sortAll() {
-	sort.Slice(s.pages, func(i, j int) bool {
-		a, b := &s.pages[i], &s.pages[j]
+func (s *Store) NumLocals() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.locals)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// snapshotAll gathers merged copies of every shard's buffers.
+func (s *Store) snapshotAll() (pages []PageRecord, locals []LocalRequest) {
+	pages = make([]PageRecord, 0, s.NumPages())
+	locals = make([]LocalRequest, 0, s.NumLocals())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		pages = append(pages, sh.pages...)
+		locals = append(locals, sh.locals...)
+		sh.mu.Unlock()
+	}
+	return pages, locals
+}
+
+// sortAll brings records into the canonical serialization order: pages
+// and netlogs by (crawl, OS, rank, domain), locals additionally by
+// delay then URL. The order is a total one for any single crawl (one
+// record per domain per visit URL), making Save deterministic
+// regardless of crawl worker interleaving or shard assignment.
+func sortAll(pages []PageRecord, locals []LocalRequest, netlogs []NetLogRecord) {
+	sort.Slice(pages, func(i, j int) bool {
+		a, b := &pages[i], &pages[j]
 		if a.Crawl != b.Crawl {
 			return a.Crawl < b.Crawl
 		}
@@ -138,10 +304,15 @@ func (s *Store) sortAll() {
 		if a.Rank != b.Rank {
 			return a.Rank < b.Rank
 		}
-		return a.Domain < b.Domain
+		if a.Domain != b.Domain {
+			return a.Domain < b.Domain
+		}
+		// Same site visited at different paths (the login-page
+		// extension appends to the same store).
+		return a.URL < b.URL
 	})
-	sort.Slice(s.netlogs, func(i, j int) bool {
-		a, b := &s.netlogs[i], &s.netlogs[j]
+	sort.Slice(netlogs, func(i, j int) bool {
+		a, b := &netlogs[i], &netlogs[j]
 		if a.Crawl != b.Crawl {
 			return a.Crawl < b.Crawl
 		}
@@ -150,8 +321,8 @@ func (s *Store) sortAll() {
 		}
 		return a.Domain < b.Domain
 	})
-	sort.Slice(s.locals, func(i, j int) bool {
-		a, b := &s.locals[i], &s.locals[j]
+	sort.Slice(locals, func(i, j int) bool {
+		a, b := &locals[i], &locals[j]
 		if a.Crawl != b.Crawl {
 			return a.Crawl < b.Crawl
 		}
@@ -176,25 +347,28 @@ type envelope struct {
 	NetLog *NetLogRecord `json:"netlog,omitempty"`
 }
 
-// Save writes the store as deterministic JSONL.
+// Save writes the store as deterministic JSONL in canonical order.
 func (s *Store) Save(w io.Writer) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.sortAll()
+	pages, locals := s.snapshotAll()
+	s.nmu.Lock()
+	netlogs := make([]NetLogRecord, len(s.netlogs))
+	copy(netlogs, s.netlogs)
+	s.nmu.Unlock()
+	sortAll(pages, locals, netlogs)
 	bw := bufio.NewWriterSize(w, 1<<20)
 	enc := json.NewEncoder(bw)
-	for i := range s.pages {
-		if err := enc.Encode(envelope{T: "page", Page: &s.pages[i]}); err != nil {
+	for i := range pages {
+		if err := enc.Encode(envelope{T: "page", Page: &pages[i]}); err != nil {
 			return err
 		}
 	}
-	for i := range s.locals {
-		if err := enc.Encode(envelope{T: "local", Local: &s.locals[i]}); err != nil {
+	for i := range locals {
+		if err := enc.Encode(envelope{T: "local", Local: &locals[i]}); err != nil {
 			return err
 		}
 	}
-	for i := range s.netlogs {
-		if err := enc.Encode(envelope{T: "netlog", NetLog: &s.netlogs[i]}); err != nil {
+	for i := range netlogs {
+		if err := enc.Encode(envelope{T: "netlog", NetLog: &netlogs[i]}); err != nil {
 			return err
 		}
 	}
@@ -226,9 +400,9 @@ func (s *Store) Load(r io.Reader) error {
 			if env.NetLog == nil {
 				return fmt.Errorf("store: record %d: netlog tag without payload", line)
 			}
-			s.mu.Lock()
+			s.nmu.Lock()
 			s.netlogs = append(s.netlogs, *env.NetLog)
-			s.mu.Unlock()
+			s.nmu.Unlock()
 		default:
 			return fmt.Errorf("store: record %d: unknown tag %q", line, env.T)
 		}

@@ -207,3 +207,64 @@ func TestNetLogCorruptPayload(t *testing.T) {
 		t.Errorf("corrupt capture should surface a parse error: ok=%v err=%v", ok, err)
 	}
 }
+
+func TestConcurrentBatchesAndReads(t *testing.T) {
+	// Hammers the sharded write path (AddPage/AddLocal/AddBatch/bulk
+	// appends) while readers snapshot concurrently; run with -race in CI.
+	s := New()
+	s.Reserve(4096)
+	const writers, perWriter = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var b Batch
+			for i := 0; i < perWriter; i++ {
+				d := "w" + strings.Repeat("x", w) + "-" + strings.Repeat("i", i%17) + ".example"
+				switch i % 3 {
+				case 0:
+					s.AddPage(samplePage(d, i))
+					s.AddLocal(sampleLocal(d))
+				case 1:
+					s.AddPages([]PageRecord{samplePage(d, i)})
+					s.AddLocals([]LocalRequest{sampleLocal(d)})
+				default:
+					b.Reset()
+					b.AddPage(samplePage(d, i))
+					b.AddLocal(sampleLocal(d))
+					s.AddBatch(&b)
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s.Pages(func(p *PageRecord) bool { return p.Rank%2 == 0 })
+				s.Locals(nil)
+				s.NumPages()
+				s.NumLocals()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.NumPages(); got != writers*perWriter {
+		t.Errorf("pages = %d, want %d", got, writers*perWriter)
+	}
+	if got := s.NumLocals(); got != writers*perWriter {
+		t.Errorf("locals = %d, want %d", got, writers*perWriter)
+	}
+	var a, b bytes.Buffer
+	if err := s.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("Save is not deterministic over a concurrently filled store")
+	}
+}

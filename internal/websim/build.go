@@ -3,6 +3,8 @@ package websim
 import (
 	"fmt"
 	"net/netip"
+	"runtime"
+	"sync"
 
 	"github.com/knockandtalk/knockandtalk/internal/blocklist"
 	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
@@ -29,17 +31,36 @@ type siteSpec struct {
 	lanRows   []groundtruth.LANRow
 }
 
-// Build constructs the synthetic web for a crawl campaign on one OS.
-// scale in (0, 1] shrinks the population proportionally while always
-// retaining the ground-truth sites reachable at that scale (top-list
-// scaling drops domains ranked beyond the horizon). The 2021 crawl had
-// no Mac vantage; requesting it is an error.
-func Build(crawl groundtruth.CrawlID, os hostenv.OS, scale float64, seed uint64) (*World, error) {
-	if scale <= 0 || scale > 1 {
-		scale = 1
-	}
-	if crawl == groundtruth.CrawlTop2021 && os == hostenv.MacOSX {
-		return nil, fmt.Errorf("websim: the 2021 crawl has no Mac vantage (§3.2)")
+// World construction is split into two phases:
+//
+//   - The spec phase assembles the crawl population (Tranco snapshot or
+//     blocklist) joined with the ground-truth row maps. It depends only
+//     on (crawl, scale) — not on OS or seed — so it is computed once
+//     per process and shared: a tri-OS campaign used to re-parse the
+//     100K-domain snapshot and rebuild the row maps once per OS.
+//   - The bind phase places each spec into a fresh World (DNS,
+//     endpoints, pages, fates), which does depend on OS and seed. It
+//     runs across a worker pool; every per-site value derives from
+//     (seed, domain, index), so the result is independent of worker
+//     interleaving.
+type specKey struct {
+	crawl groundtruth.CrawlID
+	scale float64
+}
+
+var specCache sync.Map // specKey → []siteSpec (shared, read-only)
+
+// bindWorkers overrides the bind pool size; 0 means GOMAXPROCS. Tests
+// force it up to exercise the parallel path on single-CPU machines.
+var bindWorkers int
+
+// specsFor returns the cached crawl-level site specs, computing them on
+// first use. The returned slice and its row slices are shared across
+// worlds and must not be mutated.
+func specsFor(crawl groundtruth.CrawlID, scale float64) ([]siteSpec, error) {
+	key := specKey{crawl, scale}
+	if v, ok := specCache.Load(key); ok {
+		return v.([]siteSpec), nil
 	}
 	var specs []siteSpec
 	switch crawl {
@@ -60,12 +81,76 @@ func Build(crawl groundtruth.CrawlID, os hostenv.OS, scale float64, seed uint64)
 	default:
 		return nil, fmt.Errorf("websim: unknown crawl %q", crawl)
 	}
+	v, _ := specCache.LoadOrStore(key, specs)
+	return v.([]siteSpec), nil
+}
 
-	w := &World{Crawl: crawl, OS: os, Scale: scale, Net: simnet.NewNetwork(seed), Whois: whois.NewRegistry()}
-	bindCDNs(w.Net)
-	for i, spec := range specs {
-		w.bind(i, spec, seed)
+// Build constructs the synthetic web for a crawl campaign on one OS.
+// scale in (0, 1] shrinks the population proportionally while always
+// retaining the ground-truth sites reachable at that scale (top-list
+// scaling drops domains ranked beyond the horizon). The 2021 crawl had
+// no Mac vantage; requesting it is an error.
+func Build(crawl groundtruth.CrawlID, os hostenv.OS, scale float64, seed uint64) (*World, error) {
+	if scale <= 0 || scale > 1 {
+		scale = 1
 	}
+	if crawl == groundtruth.CrawlTop2021 && os == hostenv.MacOSX {
+		return nil, fmt.Errorf("websim: the 2021 crawl has no Mac vantage (§3.2)")
+	}
+	specs, err := specsFor(crawl, scale)
+	if err != nil {
+		return nil, err
+	}
+
+	w := &World{
+		Crawl: crawl, OS: os, Scale: scale,
+		Net:   simnet.NewNetwork(seed),
+		Whois: whois.NewRegistry(),
+		fates: newFateTable(seed, crawl, os),
+	}
+	bindCDNs(w.Net)
+	w.Targets = make([]Target, len(specs))
+
+	workers := bindWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers <= 1 {
+		for i, spec := range specs {
+			w.bind(i, spec, seed)
+		}
+		return w, nil
+	}
+	var wg sync.WaitGroup
+	var next int64
+	const chunk = 256 // amortize the shared-counter hit without skewing tail latency
+	var mu sync.Mutex
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				lo := int(next)
+				next += chunk
+				mu.Unlock()
+				if lo >= len(specs) {
+					return
+				}
+				hi := lo + chunk
+				if hi > len(specs) {
+					hi = len(specs)
+				}
+				for i := lo; i < hi; i++ {
+					w.bind(i, specs[i], seed)
+				}
+			}
+		}()
+	}
+	wg.Wait()
 	return w, nil
 }
 
@@ -123,10 +208,13 @@ func bindCDNs(net *simnet.Network) {
 }
 
 // bind places one site into the world: DNS, transport endpoint, and the
-// page it serves (or its failure fate).
+// page it serves (or its failure fate). Safe to call from concurrent
+// bind workers: every drawn value depends only on (seed, domain, i),
+// registration targets are lock-protected, and each call writes its own
+// Targets slot.
 func (w *World) bind(i int, spec siteSpec, seed uint64) {
 	isGT := len(spec.localRows) > 0 || len(spec.lanRows) > 0
-	fate := fateFor(seed, w.Crawl, w.OS, spec.domain, spec.category, isGT)
+	fate := w.fates.fateFor(spec.domain, spec.category, isGT)
 
 	// Landing scheme: anti-abuse deployers serve over HTTPS (a PNA
 	// secure-context prerequisite); otherwise hash-assigned, with top
@@ -148,12 +236,12 @@ func (w *World) bind(i int, spec siteSpec, seed uint64) {
 	if https {
 		scheme, port = "https", 443
 	}
-	w.Targets = append(w.Targets, Target{
+	w.Targets[i] = Target{
 		Domain:   spec.domain,
 		URL:      fmt.Sprintf("%s://%s/", scheme, spec.domain),
 		Rank:     spec.rank,
 		Category: spec.category,
-	})
+	}
 
 	if fate == FateNXDomain {
 		return // never registered in DNS

@@ -1,6 +1,8 @@
 package websim
 
 import (
+	"sync"
+
 	"github.com/knockandtalk/knockandtalk/internal/blocklist"
 	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
 	"github.com/knockandtalk/knockandtalk/internal/hostenv"
@@ -95,16 +97,55 @@ func osBit(os hostenv.OS) groundtruth.OSSet {
 	}
 }
 
+// fateTable precomputes the per-category fate rates for one (crawl,
+// OS). ratesFor walks the groundtruth tables — which are rebuilt on
+// every call — so drawing rates once per site bind dominated world
+// construction; the table folds that to one computation per category
+// per Build.
+type fateTable struct {
+	seed    uint64
+	crawl   groundtruth.CrawlID
+	os      hostenv.OS
+	byCat   map[blocklist.Category]fateRates
+	catMu   sync.Mutex
+	topRate fateRates // the "" (top-list) category, kept off the map path
+}
+
+func newFateTable(seed uint64, crawl groundtruth.CrawlID, os hostenv.OS) *fateTable {
+	return &fateTable{
+		seed: seed, crawl: crawl, os: os,
+		byCat:   make(map[blocklist.Category]fateRates),
+		topRate: ratesFor(crawl, os, ""),
+	}
+}
+
+// rates returns the cached fate rates for a category, computing them on
+// first use. Safe for concurrent use by bind workers.
+func (t *fateTable) rates(category blocklist.Category) fateRates {
+	if category == "" {
+		return t.topRate
+	}
+	t.catMu.Lock()
+	defer t.catMu.Unlock()
+	r, ok := t.byCat[category]
+	if !ok {
+		r = ratesFor(t.crawl, t.os, category)
+		t.byCat[category] = r
+	}
+	return r
+}
+
 // fateFor assigns a deterministic fate to a domain. DNS fate is drawn
 // from a domain-level hash (a dead name is dead for every OS, modulo the
 // small per-OS threshold difference reflecting the crawls' different
 // dates); connection-level fates are drawn per OS. Ground-truth domains
 // (observed active by the paper) always load.
-func fateFor(seed uint64, crawl groundtruth.CrawlID, os hostenv.OS, domain string, category blocklist.Category, groundTruth bool) Fate {
+func (t *fateTable) fateFor(domain string, category blocklist.Category, groundTruth bool) Fate {
 	if groundTruth {
 		return FateOK
 	}
-	r := ratesFor(crawl, os, category)
+	seed, crawl, os := t.seed, t.crawl, t.os
+	r := t.rates(category)
 	// DNS draw: OS-independent hash compared against the per-OS rate, so
 	// the failing sets on different OSes nest rather than scatter.
 	if hash01(seed, "dns", string(crawl), domain) < r.nx {

@@ -42,27 +42,29 @@ func tmScriptHost(domain string) string {
 // tmInitiator labels probe steps with the script's provenance.
 func tmInitiator(scriptHost string) string { return "blob:threatmetrix:" + scriptHost }
 
-// tmHostAddrs allocates addresses for vendor hosts in a dedicated
-// range, one per distinct host.
-func (w *World) tmHostAddr() netip.Addr {
-	w.tmHosts++
-	if w.tmHosts > 0xFFFF {
-		panic("websim: too many vendor hosts")
-	}
-	return netip.AddrFrom4([4]byte{51, 0, byte(w.tmHosts >> 8), byte(w.tmHosts)})
+// tmHostAddr allocates an address for a vendor host inside a dedicated
+// /8-ish range. The address is a hash of the host name — not an
+// allocation counter — so it is identical no matter which bind worker
+// registers the host first.
+func tmHostAddr(seed uint64, host string) netip.Addr {
+	v := hashN(seed, 1<<24, "tmaddr", host)
+	return netip.AddrFrom4([4]byte{51, byte(v >> 16), byte(v >> 8), byte(v)})
 }
 
 // registerTMHost binds the vendor host (DNS, HTTPS service, WHOIS
-// record) once per world.
+// record) once per world. Safe for concurrent use by bind workers.
 func (w *World) registerTMHost(host string, seed uint64) {
+	w.tmMu.Lock()
 	if w.tmRegistered == nil {
 		w.tmRegistered = map[string]bool{}
 	}
 	if w.tmRegistered[host] {
+		w.tmMu.Unlock()
 		return
 	}
 	w.tmRegistered[host] = true
-	addr := w.tmHostAddr()
+	w.tmMu.Unlock()
+	addr := tmHostAddr(seed, host)
 	w.Net.Resolver.Add(host, addr)
 	w.Net.BindService(addr, 443, &simnet.TLSInfo{CommonName: host}, simnet.ServiceFunc(func(req *simnet.Request) *simnet.Response {
 		return &simnet.Response{Status: 200, ContentType: "application/javascript", BodySize: 48 * 1024}

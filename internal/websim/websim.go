@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"net/netip"
+	"sync"
 
 	"github.com/knockandtalk/knockandtalk/internal/blocklist"
 	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
@@ -47,7 +48,9 @@ type World struct {
 	// profiling scripts (the §4.3.1 attribution evidence).
 	Whois *whois.Registry
 
-	tmHosts      int
+	fates *fateTable
+
+	tmMu         sync.Mutex // guards tmRegistered across bind workers
 	tmRegistered map[string]bool
 }
 

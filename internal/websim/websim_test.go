@@ -28,9 +28,10 @@ func TestAddrForDisjointFromLocalRanges(t *testing.T) {
 
 func TestFateDistributionTop2020(t *testing.T) {
 	counts := map[Fate]int{}
+	ft := newFateTable(testSeed, groundtruth.CrawlTop2020, hostenv.Windows)
 	const n = 50000
 	for i := 0; i < n; i++ {
-		f := fateFor(testSeed, groundtruth.CrawlTop2020, hostenv.Windows, "site"+string(rune(i))+strings.Repeat("x", i%5)+".example", "", false)
+		f := ft.fateFor("site"+string(rune(i))+strings.Repeat("x", i%5)+".example", "", false)
 		counts[f]++
 	}
 	failRate := float64(n-counts[FateOK]) / n
@@ -45,7 +46,7 @@ func TestFateDistributionTop2020(t *testing.T) {
 
 func TestFateGroundTruthAlwaysLoads(t *testing.T) {
 	for _, os := range hostenv.AllOS {
-		if f := fateFor(testSeed, groundtruth.CrawlTop2020, os, "ebay.com", "", true); f != FateOK {
+		if f := newFateTable(testSeed, groundtruth.CrawlTop2020, os).fateFor("ebay.com", "", true); f != FateOK {
 			t.Errorf("%v: ground-truth site got fate %v", os, f)
 		}
 	}
@@ -55,10 +56,12 @@ func TestFateDNSNestsAcrossOSes(t *testing.T) {
 	// A domain NXDOMAIN on the OS with the lowest DNS-failure rate must
 	// be NXDOMAIN on every OS with a higher rate (the draws share a
 	// domain-level hash).
+	macFT := newFateTable(testSeed, groundtruth.CrawlTop2020, hostenv.MacOSX)
+	winFT := newFateTable(testSeed, groundtruth.CrawlTop2020, hostenv.Windows)
 	for i := 0; i < 5000; i++ {
 		d := strings.Repeat("q", i%7+1) + string(rune('a'+i%26)) + ".example"
-		mac := fateFor(testSeed, groundtruth.CrawlTop2020, hostenv.MacOSX, d, "", false)
-		win := fateFor(testSeed, groundtruth.CrawlTop2020, hostenv.Windows, d, "", false)
+		mac := macFT.fateFor(d, "", false)
+		win := winFT.fateFor(d, "", false)
 		// 2020 NX rates: Windows 9179/100000 > Mac 9001/100000.
 		if mac == FateNXDomain && win != FateNXDomain {
 			t.Fatalf("%s: NXDOMAIN on Mac but not on Windows (higher rate)", d)
@@ -430,5 +433,70 @@ func TestRenderHTMLRoundTripShape(t *testing.T) {
 	}
 	if len(raw) < page.BodySize {
 		t.Errorf("rendered page smaller than nominal body size: %d < %d", len(raw), page.BodySize)
+	}
+}
+
+func TestParallelBuildMatchesSequential(t *testing.T) {
+	// World construction must not depend on the bind pool size: every
+	// per-site draw derives from (seed, domain, index), vendor-host
+	// addresses are hashes of the host name, and registration targets
+	// are lock-protected. Run with -race in CI.
+	build := func(workers int) *World {
+		t.Helper()
+		defer func(old int) { bindWorkers = old }(bindWorkers)
+		bindWorkers = workers
+		w, err := Build(groundtruth.CrawlTop2020, hostenv.Windows, 0.01, testSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	seq, par := build(1), build(8)
+	if len(seq.Targets) != len(par.Targets) {
+		t.Fatalf("target counts differ: %d vs %d", len(seq.Targets), len(par.Targets))
+	}
+	for i := range seq.Targets {
+		if seq.Targets[i] != par.Targets[i] {
+			t.Fatalf("target %d differs: %+v vs %+v", i, seq.Targets[i], par.Targets[i])
+		}
+	}
+	if a, b := seq.Net.Resolver.Len(), par.Net.Resolver.Len(); a != b {
+		t.Errorf("resolver sizes differ: %d vs %d", a, b)
+	}
+	if a, b := seq.Net.NumHosts(), par.Net.NumHosts(); a != b {
+		t.Errorf("host counts differ: %d vs %d", a, b)
+	}
+	// Vendor hosts resolve to the same hash-derived address either way.
+	for _, host := range []string{"ebay-us.com", "regstat.betfair.com"} {
+		a, errA := seq.Net.Resolver.Resolve(host)
+		b, errB := par.Net.Resolver.Resolve(host)
+		if errA != errB || len(a) != len(b) || (len(a) > 0 && a[0] != b[0]) {
+			t.Errorf("%s resolves differently: %v/%v vs %v/%v", host, a, errA, b, errB)
+		}
+	}
+}
+
+func TestSpecCacheSharedAcrossOSes(t *testing.T) {
+	// The crawl-level spec phase is OS-independent and must be computed
+	// once: Build for two OSes at the same (crawl, scale) shares the
+	// cached specs.
+	key := specKey{groundtruth.CrawlTop2020, 0.004}
+	specCache.Delete(key)
+	if _, err := Build(groundtruth.CrawlTop2020, hostenv.Windows, 0.004, testSeed); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := specCache.Load(key)
+	if !ok {
+		t.Fatal("Build did not populate the spec cache")
+	}
+	if _, err := Build(groundtruth.CrawlTop2020, hostenv.Linux, 0.004, testSeed+1); err != nil {
+		t.Fatal(err)
+	}
+	v2, ok := specCache.Load(key)
+	if !ok {
+		t.Fatal("spec cache entry evicted")
+	}
+	if &v.([]siteSpec)[0] != &v2.([]siteSpec)[0] {
+		t.Error("second Build rebuilt the specs instead of sharing the cache")
 	}
 }

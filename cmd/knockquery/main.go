@@ -1,4 +1,6 @@
 // Command knockquery runs ad-hoc queries over stored crawl telemetry.
+// It is a thin CLI over the same query engine the knockserved HTTP
+// service uses, so the two interrogation paths cannot drift.
 //
 // Usage:
 //
@@ -10,12 +12,27 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
+	"github.com/knockandtalk/knockandtalk/internal/serve/queryengine"
 	"github.com/knockandtalk/knockandtalk/internal/store"
 )
+
+// options carries the parsed flags; separated from main so the query
+// paths are testable end to end.
+type options struct {
+	domain string
+	dest   string
+	osName string
+	crawl  string
+	errStr string
+	pages  bool
+	dumpNL bool
+	limit  int
+}
 
 func main() {
 	var (
@@ -34,85 +51,79 @@ func main() {
 		fatalf("-in is required")
 	}
 	st := store.New()
+	var paths []string
 	for _, path := range strings.Split(*in, ",") {
-		f, err := os.Open(strings.TrimSpace(path))
-		if err != nil {
-			fatalf("opening %s: %v", path, err)
-		}
-		if err := st.Load(f); err != nil {
-			fatalf("loading %s: %v", path, err)
-		}
-		f.Close()
+		paths = append(paths, strings.TrimSpace(path))
 	}
+	if err := st.LoadFiles(paths...); err != nil {
+		fatalf("%v", err)
+	}
+	opts := options{
+		domain: *domain, dest: *dest, osName: *osName, crawl: *crawl,
+		errStr: *errStr, pages: *pages, dumpNL: *dumpNL, limit: *limit,
+	}
+	if err := run(queryengine.New(st), opts, os.Stdout); err != nil {
+		fatalf("%v", err)
+	}
+}
 
-	printed := 0
-	room := func() bool { return *limit == 0 || printed < *limit }
-
-	if *dumpNL {
-		if *domain == "" || *osName == "" || *crawl == "" {
-			fatalf("-netlog requires -domain, -os, and -crawl")
+// run executes one query against the engine and prints the rows.
+func run(eng *queryengine.Engine, opts options, w io.Writer) error {
+	if opts.dumpNL {
+		if opts.domain == "" || opts.osName == "" || opts.crawl == "" {
+			return fmt.Errorf("-netlog requires -domain, -os, and -crawl")
 		}
-		log, ok, err := st.NetLog(*crawl, *osName, *domain)
+		log, ok, err := eng.NetLog(opts.crawl, opts.osName, opts.domain)
 		if err != nil {
-			fatalf("%v", err)
+			return err
 		}
 		if !ok {
-			fatalf("no retained capture for %s on %s in %s (crawl with -retain)", *domain, *osName, *crawl)
+			return fmt.Errorf("no retained capture for %s on %s in %s (crawl with -retain)",
+				opts.domain, opts.osName, opts.crawl)
 		}
 		for _, f := range log.Flows() {
 			outcome := fmt.Sprint(f.StatusCode)
 			if f.NetError != "" {
 				outcome = f.NetError
 			}
-			fmt.Printf("+%-10v %-60s %-24s %s\n", f.Start.Round(time.Millisecond), f.URL, f.Initiator, outcome)
+			fmt.Fprintf(w, "+%-10v %-60s %-24s %s\n", f.Start.Round(time.Millisecond), f.URL, f.Initiator, outcome)
 			for _, loc := range f.RedirectedTo {
-				fmt.Printf("    -> redirect to %s\n", loc)
+				fmt.Fprintf(w, "    -> redirect to %s\n", loc)
 			}
 		}
-		return
+		return nil
 	}
 
-	if *pages {
-		rows := st.Pages(func(p *store.PageRecord) bool {
-			return (*domain == "" || p.Domain == *domain) &&
-				(*osName == "" || p.OS == *osName) &&
-				(*crawl == "" || p.Crawl == *crawl) &&
-				(*errStr == "" || p.Err == *errStr)
+	if opts.pages {
+		rows, total := eng.Pages(queryengine.PagesFilter{
+			Domain: opts.domain, OS: opts.osName, Crawl: opts.crawl,
+			Err: opts.errStr, Limit: opts.limit,
 		})
 		for _, p := range rows {
-			if !room() {
-				break
-			}
-			printed++
 			status := "OK"
 			if p.Err != "" {
 				status = p.Err
 			}
-			fmt.Printf("%-14s %-8s rank=%-6d %-40s %s\n", p.Crawl, p.OS, p.Rank, p.Domain, status)
+			fmt.Fprintf(w, "%-14s %-8s rank=%-6d %-40s %s\n", p.Crawl, p.OS, p.Rank, p.Domain, status)
 		}
-		fmt.Printf("-- %d of %d matching page records\n", printed, len(rows))
-		return
+		fmt.Fprintf(w, "-- %d of %d matching page records\n", len(rows), total)
+		return nil
 	}
 
-	rows := st.Locals(func(l *store.LocalRequest) bool {
-		return (*domain == "" || l.Domain == *domain) &&
-			(*dest == "" || l.Dest == *dest) &&
-			(*osName == "" || l.OS == *osName) &&
-			(*crawl == "" || l.Crawl == *crawl)
+	rows, total := eng.Locals(queryengine.LocalsFilter{
+		Domain: opts.domain, Dest: opts.dest, OS: opts.osName,
+		Crawl: opts.crawl, Limit: opts.limit,
 	})
 	for _, l := range rows {
-		if !room() {
-			break
-		}
-		printed++
 		outcome := fmt.Sprint(l.StatusCode)
 		if l.NetError != "" {
 			outcome = l.NetError
 		}
-		fmt.Printf("%-14s %-8s %-30s %-6s %-44s delay=%-8s %s\n",
+		fmt.Fprintf(w, "%-14s %-8s %-30s %-6s %-44s delay=%-8s %s\n",
 			l.Crawl, l.OS, l.Domain, l.Dest, l.URL, l.Delay.Round(1e6), outcome)
 	}
-	fmt.Printf("-- %d of %d matching local requests\n", printed, len(rows))
+	fmt.Fprintf(w, "-- %d of %d matching local requests\n", len(rows), total)
+	return nil
 }
 
 func fatalf(format string, args ...any) {

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/knockandtalk/knockandtalk/internal/serve/queryengine"
+	"github.com/knockandtalk/knockandtalk/internal/store"
+)
+
+// querySt builds a small deterministic store covering both record kinds,
+// several crawls/OSes, and more rows than the smallest limit under test.
+func querySt(t *testing.T) *store.Store {
+	t.Helper()
+	st := store.New()
+	var b store.Batch
+	for i, d := range []string{"alpha.example", "beta.example", "gamma.example"} {
+		b.AddPage(store.PageRecord{
+			Crawl: "top100k-2020", OS: "Windows", Domain: d, Rank: i + 1,
+			URL: "https://" + d + "/", CommittedAt: time.Second,
+		})
+		b.AddPage(store.PageRecord{
+			Crawl: "top100k-2021", OS: "Linux", Domain: d, Rank: i + 1,
+			URL: "https://" + d + "/", Err: "ERR_NAME_NOT_RESOLVED",
+		})
+		for port := 5900; port < 5904; port++ {
+			b.AddLocal(store.LocalRequest{
+				Crawl: "top100k-2020", OS: "Windows", Domain: d, Rank: i + 1,
+				URL:    fmt.Sprintf("wss://localhost:%d/", port),
+				Scheme: "wss", Host: "localhost", Port: uint16(port), Path: "/",
+				Dest: "localhost", Delay: 1500 * time.Millisecond,
+				Initiator: "blob:threatmetrix", NetError: "ERR_CONNECTION_REFUSED",
+			})
+		}
+		b.AddLocal(store.LocalRequest{
+			Crawl: "top100k-2021", OS: "Linux", Domain: d, Rank: i + 1,
+			URL: "http://192.168.0.10/wp-content/x.png", Scheme: "http",
+			Host: "192.168.0.10", Port: 80, Path: "/wp-content/x.png",
+			Dest: "lan", Delay: 2 * time.Second, StatusCode: 200,
+		})
+	}
+	st.AddBatch(&b)
+	return st
+}
+
+// legacyRun reproduces the pre-refactor knockquery query loops verbatim
+// (inline store filters, manual limit counting) so the refactor onto the
+// shared query engine is pinned: for every flag combination the engine
+// path must print byte-identical output.
+func legacyRun(st *store.Store, opts options, w *bytes.Buffer) {
+	printed := 0
+	room := func() bool { return opts.limit == 0 || printed < opts.limit }
+	if opts.pages {
+		rows := st.Pages(func(p *store.PageRecord) bool {
+			return (opts.domain == "" || p.Domain == opts.domain) &&
+				(opts.osName == "" || p.OS == opts.osName) &&
+				(opts.crawl == "" || p.Crawl == opts.crawl) &&
+				(opts.errStr == "" || p.Err == opts.errStr)
+		})
+		for _, p := range rows {
+			if !room() {
+				break
+			}
+			printed++
+			status := "OK"
+			if p.Err != "" {
+				status = p.Err
+			}
+			fmt.Fprintf(w, "%-14s %-8s rank=%-6d %-40s %s\n", p.Crawl, p.OS, p.Rank, p.Domain, status)
+		}
+		fmt.Fprintf(w, "-- %d of %d matching page records\n", printed, len(rows))
+		return
+	}
+	rows := st.Locals(func(l *store.LocalRequest) bool {
+		return (opts.domain == "" || l.Domain == opts.domain) &&
+			(opts.dest == "" || l.Dest == opts.dest) &&
+			(opts.osName == "" || l.OS == opts.osName) &&
+			(opts.crawl == "" || l.Crawl == opts.crawl)
+	})
+	for _, l := range rows {
+		if !room() {
+			break
+		}
+		printed++
+		outcome := fmt.Sprint(l.StatusCode)
+		if l.NetError != "" {
+			outcome = l.NetError
+		}
+		fmt.Fprintf(w, "%-14s %-8s %-30s %-6s %-44s delay=%-8s %s\n",
+			l.Crawl, l.OS, l.Domain, l.Dest, l.URL, l.Delay.Round(1e6), outcome)
+	}
+	fmt.Fprintf(w, "-- %d of %d matching local requests\n", printed, len(rows))
+}
+
+func TestRunMatchesLegacyOutput(t *testing.T) {
+	st := querySt(t)
+	eng := queryengine.New(st)
+	cases := []options{
+		{limit: 50},
+		{limit: 0}, // 0 = unlimited
+		{limit: 2},
+		{domain: "beta.example", limit: 50},
+		{dest: "lan", limit: 50},
+		{dest: "localhost", osName: "Windows", limit: 3},
+		{crawl: "top100k-2021", limit: 50},
+		{pages: true, limit: 50},
+		{pages: true, limit: 1},
+		{pages: true, errStr: "ERR_NAME_NOT_RESOLVED", limit: 50},
+		{pages: true, domain: "gamma.example", osName: "Windows", limit: 50},
+		{domain: "nosuch.example", limit: 50},
+	}
+	for _, opts := range cases {
+		var got, want bytes.Buffer
+		if err := run(eng, opts, &got); err != nil {
+			t.Fatalf("run(%+v): %v", opts, err)
+		}
+		legacyRun(st, opts, &want)
+		if got.String() != want.String() {
+			t.Errorf("output drift for %+v:\nengine path:\n%slegacy path:\n%s", opts, got.String(), want.String())
+		}
+	}
+}
+
+func TestRunNetLogRequiresSelectors(t *testing.T) {
+	eng := queryengine.New(querySt(t))
+	var buf bytes.Buffer
+	err := run(eng, options{dumpNL: true, domain: "alpha.example"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "-netlog requires") {
+		t.Fatalf("err = %v, want missing-selector error", err)
+	}
+	err = run(eng, options{dumpNL: true, domain: "alpha.example", osName: "Windows", crawl: "top100k-2020"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "no retained capture") {
+		t.Fatalf("err = %v, want no-retained-capture error", err)
+	}
+}

@@ -1,0 +1,114 @@
+// Command knockserved serves crawl telemetry over HTTP: concurrent
+// JSON queries over mounted stores plus live ingestion of NetLog event
+// streams through the same detection pipeline the offline crawler
+// runs.
+//
+// Usage:
+//
+//	knockserved -in run/top100k-2020.jsonl,run/top100k-2021.jsonl
+//	knockserved -in crawl.jsonl -addr :8080 -save live.jsonl
+//
+// Endpoints:
+//
+//	GET  /v1/locals?domain=&dest=&os=&crawl=&limit=   local-request records
+//	GET  /v1/pages?domain=&os=&crawl=&err=&limit=     page records
+//	GET  /v1/site/{domain}                            per-site report + verdicts
+//	GET  /v1/summary                                  corpus summary
+//	POST /v1/ingest?domain=&os=&crawl=&...            NetLog JSONL stream in, detections out
+//	GET  /metrics                                     operational counters
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/knockandtalk/knockandtalk/internal/serve"
+	"github.com/knockandtalk/knockandtalk/internal/serve/queryengine"
+	"github.com/knockandtalk/knockandtalk/internal/store"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
+		in        = flag.String("in", "", "comma-separated JSONL store paths to mount (optional)")
+		save      = flag.String("save", "", "write the store (including ingested telemetry) to this path on shutdown")
+		queryConc = flag.Int("query-concurrency", 64, "max simultaneous query requests before 429")
+		ingConc   = flag.Int("ingest-concurrency", 4, "max simultaneous ingest uploads before 429")
+		queryTO   = flag.Duration("query-timeout", 10*time.Second, "per-query deadline")
+		ingTO     = flag.Duration("ingest-timeout", 60*time.Second, "per-upload deadline")
+		cacheN    = flag.Int("cache", 512, "response cache entries (negative disables)")
+		drainTO   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	)
+	flag.Parse()
+
+	st := store.New()
+	if *in != "" {
+		var paths []string
+		for _, p := range strings.Split(*in, ",") {
+			paths = append(paths, strings.TrimSpace(p))
+		}
+		if err := st.LoadFiles(paths...); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	eng := queryengine.New(st)
+	srv := serve.New(eng, serve.Options{
+		QueryConcurrency:  *queryConc,
+		IngestConcurrency: *ingConc,
+		QueryTimeout:      *queryTO,
+		IngestTimeout:     *ingTO,
+		CacheEntries:      *cacheN,
+	})
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Printf("knockserved: listening on %s (%d pages, %d locals, %d netlogs mounted)\n",
+		*addr, st.NumPages(), st.NumLocals(), st.NumNetLogs())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fatalf("%v", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, drain in-flight requests
+	// (ingest uploads included) within the drain budget.
+	fmt.Println("knockserved: draining")
+	shCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	if err := hs.Shutdown(shCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "knockserved: drain incomplete: %v\n", err)
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fatalf("saving store: %v", err)
+		}
+		if err := st.Save(f); err != nil {
+			fatalf("saving store: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("saving store: %v", err)
+		}
+		fmt.Printf("knockserved: store saved to %s\n", *save)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "knockserved: "+format+"\n", args...)
+	os.Exit(1)
+}

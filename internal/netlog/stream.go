@@ -1,0 +1,178 @@
+package netlog
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// The JSONL encoding is the streaming sibling of the export format in
+// json.go: one event per line, self-describing (type and source names
+// instead of the export's constants-relative integer codes), so a
+// consumer can parse a capture as it arrives over a socket without
+// waiting for — or buffering — the whole document. Times stay
+// microsecond strings as in the export.
+
+// jsonlSource mirrors Source with the type spelled by name.
+type jsonlSource struct {
+	Type string `json:"type"`
+	ID   uint32 `json:"id"`
+}
+
+// jsonlEvent is the one-line wire form of an Event.
+type jsonlEvent struct {
+	Time   string         `json:"time"`
+	Type   string         `json:"type"`
+	Source jsonlSource    `json:"source"`
+	Phase  int            `json:"phase"`
+	Params map[string]any `json:"params,omitempty"`
+}
+
+// WriteJSONL serializes the log as JSONL, one event per line in log
+// order. The output round-trips through JSONLReader and ReadJSONL.
+func (l *Log) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	enc := json.NewEncoder(bw)
+	for i := range l.Events {
+		e := &l.Events[i]
+		if _, ok := eventTypeCodes[e.Type]; !ok {
+			return fmt.Errorf("netlog: unregistered event type %q", e.Type)
+		}
+		je := jsonlEvent{
+			Time:   strconv.FormatInt(e.Time.Microseconds(), 10),
+			Type:   string(e.Type),
+			Source: jsonlSource{Type: e.Source.Type.String(), ID: e.Source.ID},
+			Phase:  int(e.Phase),
+			Params: e.Params,
+		}
+		if err := enc.Encode(&je); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// maxJSONLLine bounds a single event line. Params are request metadata
+// (URLs, error strings), not payloads; a line beyond this is corrupt
+// input, not telemetry.
+const maxJSONLLine = 1 << 20
+
+// JSONLReader parses a JSONL event stream incrementally: each Next call
+// decodes exactly one line, so arbitrarily long captures are consumed
+// in constant memory and a malformed line is reported with its line
+// number without discarding the events before it.
+type JSONLReader struct {
+	sc   *bufio.Scanner
+	line int
+	err  error
+}
+
+// NewJSONLReader returns a reader over r.
+func NewJSONLReader(r io.Reader) *JSONLReader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxJSONLLine)
+	return &JSONLReader{sc: sc}
+}
+
+// Line reports the line number of the most recently returned event or
+// error (1-based; 0 before the first Next).
+func (d *JSONLReader) Line() int { return d.line }
+
+// Next returns the next event. It returns io.EOF once the stream is
+// exhausted and a descriptive error (carrying the line number) for
+// malformed, unregistered, or out-of-range lines; after any non-EOF
+// error the reader is poisoned and keeps returning it.
+func (d *JSONLReader) Next() (Event, error) {
+	if d.err != nil {
+		return Event{}, d.err
+	}
+	for {
+		if !d.sc.Scan() {
+			if err := d.sc.Err(); err != nil {
+				d.err = fmt.Errorf("netlog: line %d: %w", d.line+1, err)
+				return Event{}, d.err
+			}
+			d.err = io.EOF
+			return Event{}, io.EOF
+		}
+		d.line++
+		raw := d.sc.Bytes()
+		if len(trimSpace(raw)) == 0 {
+			continue // blank lines separate uploads harmlessly
+		}
+		ev, err := decodeJSONLEvent(raw)
+		if err != nil {
+			// A truncated stream (read error mid-line) surfaces as a
+			// decode failure of the partial final token; report the
+			// transport error, which is the actual cause.
+			if rerr := d.sc.Err(); rerr != nil {
+				err = rerr
+			}
+			d.err = fmt.Errorf("netlog: line %d: %w", d.line, err)
+			return Event{}, d.err
+		}
+		return ev, nil
+	}
+}
+
+func trimSpace(b []byte) []byte {
+	for len(b) > 0 && (b[0] == ' ' || b[0] == '\t' || b[0] == '\r') {
+		b = b[1:]
+	}
+	for len(b) > 0 && (b[len(b)-1] == ' ' || b[len(b)-1] == '\t' || b[len(b)-1] == '\r') {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+func decodeJSONLEvent(raw []byte) (Event, error) {
+	var je jsonlEvent
+	if err := json.Unmarshal(raw, &je); err != nil {
+		return Event{}, err
+	}
+	// Names are validated against the registries so corrupt captures
+	// surface loudly rather than silently dropping telemetry, matching
+	// ParseJSON's posture.
+	t := EventType(je.Type)
+	if _, ok := eventTypeCodes[t]; !ok {
+		return Event{}, fmt.Errorf("unknown event type %q", je.Type)
+	}
+	st, ok := SourceTypeFromString(je.Source.Type)
+	if !ok {
+		return Event{}, fmt.Errorf("unknown source type %q", je.Source.Type)
+	}
+	if je.Phase < int(PhaseNone) || je.Phase > int(PhaseEnd) {
+		return Event{}, fmt.Errorf("bad phase %d", je.Phase)
+	}
+	us, err := strconv.ParseInt(je.Time, 10, 64)
+	if err != nil {
+		return Event{}, fmt.Errorf("bad time %q: %w", je.Time, err)
+	}
+	return Event{
+		Time:   microseconds(us),
+		Type:   t,
+		Source: Source{Type: st, ID: je.Source.ID},
+		Phase:  Phase(je.Phase),
+		Params: je.Params,
+	}, nil
+}
+
+// ReadJSONL consumes an entire JSONL stream into a Log. The serving
+// ingest path uses JSONLReader directly; this convenience is for tests
+// and tools that want the whole capture.
+func ReadJSONL(r io.Reader) (*Log, error) {
+	d := NewJSONLReader(r)
+	log := &Log{}
+	for {
+		ev, err := d.Next()
+		if err == io.EOF {
+			return log, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		log.Events = append(log.Events, ev)
+	}
+}

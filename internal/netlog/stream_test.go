@@ -1,0 +1,175 @@
+package netlog
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func jsonlSampleLog(t testing.TB) *Log {
+	t.Helper()
+	r := NewRecorder()
+	ws := r.NewSource(SourceWebSocket)
+	r.Begin(5*time.Second, TypeWebSocketSendHandshakeRequest, ws, map[string]any{
+		"url": "wss://localhost:5900/", "initiator": "blob:threatmetrix:regstat.example.com",
+	})
+	r.Point(5*time.Second+40*time.Millisecond, TypeSocketError, ws, map[string]any{"net_error": "ERR_CONNECTION_REFUSED"})
+	req := r.NewSource(SourceURLRequest)
+	r.Begin(6*time.Second, TypeURLRequestStartJob, req, map[string]any{"url": "http://127.0.0.1:8080/status"})
+	r.Point(6*time.Second+10*time.Millisecond, TypeHTTPTransactionReadHeaders, req, map[string]any{"status_code": 200})
+	return r.Log()
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	log := jsonlSampleLog(t)
+	var buf bytes.Buffer
+	if err := log.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if n := bytes.Count(buf.Bytes(), []byte("\n")); n != log.Len() {
+		t.Fatalf("JSONL has %d lines, want one per event (%d)", n, log.Len())
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != log.Len() {
+		t.Fatalf("round trip changed event count: %d != %d", back.Len(), log.Len())
+	}
+	for i := range log.Events {
+		a, b := log.Events[i], back.Events[i]
+		// Params survive as generic JSON values (ints come back float64),
+		// so compare them through a JSON-normalizing detour.
+		if a.Time != b.Time || a.Type != b.Type || a.Source != b.Source || a.Phase != b.Phase {
+			t.Fatalf("event %d changed: %+v != %+v", i, a, b)
+		}
+		if fmt.Sprint(normalizeParams(a.Params)) != fmt.Sprint(normalizeParams(b.Params)) {
+			t.Fatalf("event %d params changed: %v != %v", i, a.Params, b.Params)
+		}
+	}
+}
+
+func normalizeParams(p map[string]any) map[string]any {
+	out := make(map[string]any, len(p))
+	for k, v := range p {
+		switch n := v.(type) {
+		case int:
+			out[k] = float64(n)
+		default:
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// TestJSONLReaderStreams verifies the reader yields events one at a time
+// from a partially consumed stream (the ingest plane's contract) and
+// tolerates blank separator lines.
+func TestJSONLReaderStreams(t *testing.T) {
+	log := jsonlSampleLog(t)
+	var buf bytes.Buffer
+	if err := log.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := strings.Replace(buf.String(), "\n", "\n\n", 1) // inject a blank line
+	d := NewJSONLReader(strings.NewReader(text))
+	var got []Event
+	for {
+		ev, err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next after %d events: %v", len(got), err)
+		}
+		got = append(got, ev)
+	}
+	if len(got) != log.Len() {
+		t.Fatalf("streamed %d events, want %d", len(got), log.Len())
+	}
+	if !reflect.DeepEqual(got[0].Source, log.Events[0].Source) {
+		t.Fatalf("first event source changed: %+v != %+v", got[0].Source, log.Events[0].Source)
+	}
+}
+
+func TestJSONLReaderMalformedLine(t *testing.T) {
+	good := `{"time":"1000","type":"REQUEST_ALIVE","source":{"type":"URL_REQUEST","id":1},"phase":1}`
+	cases := []struct {
+		name string
+		bad  string
+		want string
+	}{
+		{"broken json", `{"time":`, "line 2"},
+		{"unknown type", `{"time":"1","type":"NOPE","source":{"type":"URL_REQUEST","id":1},"phase":0}`, `unknown event type "NOPE"`},
+		{"unknown source", `{"time":"1","type":"REQUEST_ALIVE","source":{"type":"NOPE","id":1},"phase":0}`, `unknown source type "NOPE"`},
+		{"bad phase", `{"time":"1","type":"REQUEST_ALIVE","source":{"type":"URL_REQUEST","id":1},"phase":7}`, "bad phase 7"},
+		{"bad time", `{"time":"soon","type":"REQUEST_ALIVE","source":{"type":"URL_REQUEST","id":1},"phase":0}`, `bad time "soon"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := NewJSONLReader(strings.NewReader(good + "\n" + tc.bad + "\n" + good + "\n"))
+			if _, err := d.Next(); err != nil {
+				t.Fatalf("first good line rejected: %v", err)
+			}
+			_, err := d.Next()
+			if err == nil {
+				t.Fatal("malformed line accepted")
+			}
+			if !strings.Contains(err.Error(), "line 2") || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not carry line number and cause %q", err, tc.want)
+			}
+			// The reader stays poisoned: corrupt captures must not be
+			// partially ingested past the first bad line.
+			if _, err2 := d.Next(); err2 == nil || err2 == io.EOF {
+				t.Fatalf("reader resumed after malformed line: %v", err2)
+			}
+		})
+	}
+}
+
+func TestJSONLLineTooLong(t *testing.T) {
+	huge := `{"time":"1","type":"REQUEST_ALIVE","source":{"type":"URL_REQUEST","id":1},"phase":0,"params":{"url":"` +
+		strings.Repeat("a", maxJSONLLine) + `"}}`
+	d := NewJSONLReader(strings.NewReader(huge))
+	if _, err := d.Next(); err == nil || err == io.EOF {
+		t.Fatalf("oversized line accepted: %v", err)
+	}
+}
+
+// FuzzReadJSONL hardens the streaming reader: arbitrary input must never
+// panic, and anything accepted must round-trip through WriteJSONL.
+func FuzzReadJSONL(f *testing.F) {
+	var buf bytes.Buffer
+	log := jsonlSampleLog(f)
+	if err := log.WriteJSONL(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"time":"1000","type":"REQUEST_ALIVE","source":{"type":"URL_REQUEST","id":1},"phase":1}`)
+	f.Add("\n\n")
+	f.Add(`{"time":`)
+	f.Add(`{"time":"99999999999999999999","type":"REQUEST_ALIVE","source":{"type":"URL_REQUEST","id":0},"phase":0}`)
+	f.Add(`not json at all`)
+
+	f.Fuzz(func(t *testing.T, input string) {
+		log, err := ReadJSONL(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := log.WriteJSONL(&out); err != nil {
+			t.Fatalf("re-serialize of accepted input failed: %v", err)
+		}
+		back, err := ReadJSONL(&out)
+		if err != nil {
+			t.Fatalf("round trip re-parse failed: %v", err)
+		}
+		if back.Len() != log.Len() {
+			t.Fatalf("round trip changed event count: %d != %d", back.Len(), log.Len())
+		}
+	})
+}

@@ -1,0 +1,73 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"github.com/knockandtalk/knockandtalk/internal/classify"
+	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+	"github.com/knockandtalk/knockandtalk/internal/portdb"
+	"github.com/knockandtalk/knockandtalk/internal/store"
+)
+
+func TestSummaryJSON(t *testing.T) {
+	st := store.New()
+	st.AddPage(store.PageRecord{Crawl: "top100k-2020", OS: "Windows", Domain: "ebay.com", Rank: 104, URL: "https://ebay.com/"})
+	st.AddPage(store.PageRecord{Crawl: "top100k-2020", OS: "Windows", Domain: "dead.example", Err: "ERR_NAME_NOT_RESOLVED", URL: "https://dead.example/"})
+	for _, p := range portdb.ThreatMetrixPorts() {
+		st.AddLocal(store.LocalRequest{
+			Crawl: "top100k-2020", OS: "Windows", Domain: "ebay.com", Rank: 104,
+			URL: fmt.Sprintf("wss://localhost:%d/", p), Scheme: "wss", Host: "localhost",
+			Port: p, Path: "/", Dest: "localhost",
+		})
+	}
+	// A crawl that exists only as local requests (a live-ingest store).
+	st.AddLocal(store.LocalRequest{
+		Crawl: "live", OS: "Linux", Domain: "shop.example",
+		URL: "http://192.168.1.5/", Scheme: "http", Host: "192.168.1.5",
+		Port: 80, Path: "/", Dest: "lan",
+	})
+
+	s := SummaryJSON(st)
+	if s.Pages != 2 || s.Locals != len(portdb.ThreatMetrixPorts())+1 {
+		t.Fatalf("totals = %d pages, %d locals", s.Pages, s.Locals)
+	}
+	if len(s.Crawls) != 2 || s.Crawls[0].Crawl != "live" || s.Crawls[1].Crawl != "top100k-2020" {
+		t.Fatalf("crawl rows = %+v, want sorted [live top100k-2020]", s.Crawls)
+	}
+	top := s.Crawls[1]
+	if top.LocalhostSites != 1 || top.Classes["Fraud Detection"] != 1 {
+		t.Fatalf("2020 summary = %+v, want one fraud-detection localhost site", top)
+	}
+	if len(top.Stats) != 1 || top.Stats[0].Successful != 1 || top.Stats[0].NameNotResolved != 1 {
+		t.Fatalf("2020 stats = %+v", top.Stats)
+	}
+	if live := s.Crawls[0]; live.LANSites != 1 || len(live.Stats) != 0 {
+		t.Fatalf("live summary = %+v, want one LAN site and no page stats", live)
+	}
+
+	// Renders deterministically (map keys sorted by encoding/json).
+	a, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := json.Marshal(SummaryJSON(st))
+	if string(a) != string(b) {
+		t.Error("summary JSON is not deterministic")
+	}
+}
+
+func TestVerdictJSON(t *testing.T) {
+	v := VerdictJSON(classify.Verdict{Class: groundtruth.ClassFraudDetection, Signature: "threatmetrix"})
+	if v.Class != "Fraud Detection" || v.Signature != "threatmetrix" || v.Corroboration != "" {
+		t.Fatalf("VerdictJSON = %+v", v)
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != `{"class":"Fraud Detection","signature":"threatmetrix"}` {
+		t.Errorf("wire form = %s", raw)
+	}
+}

@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/knockandtalk/knockandtalk/internal/classify"
+	"github.com/knockandtalk/knockandtalk/internal/localnet"
+	"github.com/knockandtalk/knockandtalk/internal/netlog"
+	"github.com/knockandtalk/knockandtalk/internal/report"
+	"github.com/knockandtalk/knockandtalk/internal/store"
+)
+
+// IngestResponse is the wire form of POST /v1/ingest: what the offline
+// pipeline would have stored for this visit, returned to the uploader.
+type IngestResponse struct {
+	Crawl  string `json:"crawl"`
+	OS     string `json:"os"`
+	Domain string `json:"domain"`
+	// Events is the number of NetLog events parsed from the stream.
+	Events int `json:"events"`
+	// Detections are the extracted local-network requests, in the same
+	// record form the crawler stores.
+	Detections []store.LocalRequest `json:"detections"`
+	// LocalhostVerdict and LANVerdict carry the behavior classification
+	// of this upload's detections, when any exist in that class.
+	LocalhostVerdict *report.JSONVerdict `json:"localhost_verdict,omitempty"`
+	LANVerdict       *report.JSONVerdict `json:"lan_verdict,omitempty"`
+}
+
+// handleIngest runs the detection pipeline online over one uploaded
+// visit: NetLog JSONL events stream in, the localnet detector and the
+// classifier run exactly as in the offline crawl, and the resulting
+// records are committed to the live store in one sharded batch. The
+// upload is all-or-nothing: a malformed line rejects the whole stream
+// with its line number and commits nothing.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	s.metrics.request(r.URL.Path)
+	select {
+	case s.ingests <- struct{}{}:
+		defer func() { <-s.ingests }()
+	default:
+		s.metrics.ingestFailed()
+		s.reject(w, "ingest")
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.IngestTimeout)
+	defer cancel()
+	start := time.Now()
+
+	q := r.URL.Query()
+	domain := q.Get("domain")
+	if domain == "" {
+		s.metrics.ingestFailed()
+		httpError(w, http.StatusBadRequest, "domain query parameter is required")
+		return
+	}
+	crawl := q.Get("crawl")
+	if crawl == "" {
+		crawl = "live"
+	}
+	osName := q.Get("os")
+	if osName == "" {
+		osName = "Linux"
+	}
+	rank := 0
+	if raw := q.Get("rank"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			s.metrics.ingestFailed()
+			httpError(w, http.StatusBadRequest, "bad rank "+strconv.Quote(raw))
+			return
+		}
+		rank = n
+	}
+	url := q.Get("url")
+	if url == "" {
+		url = "https://" + domain + "/"
+	}
+	var committedAt time.Duration
+	if raw := q.Get("committed_at"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil || d < 0 {
+			s.metrics.ingestFailed()
+			httpError(w, http.StatusBadRequest, "bad committed_at "+strconv.Quote(raw))
+			return
+		}
+		committedAt = d
+	}
+
+	// Parse the stream incrementally: one event per Next call, bounded
+	// body, periodic deadline checks. Only the decoded events are held;
+	// the raw JSONL is never buffered.
+	dec := netlog.NewJSONLReader(http.MaxBytesReader(w, r.Body, s.opts.MaxIngestBytes))
+	log := &netlog.Log{}
+	for {
+		ev, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			s.metrics.ingestFailed()
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				httpError(w, http.StatusRequestEntityTooLarge, err.Error())
+				return
+			}
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		log.Events = append(log.Events, ev)
+		if len(log.Events)%1024 == 0 && ctx.Err() != nil {
+			s.metrics.ingestFailed()
+			httpError(w, http.StatusServiceUnavailable, "ingest timed out")
+			return
+		}
+	}
+
+	// The offline pipeline, online: detect, record, classify.
+	findings := localnet.FromLog(log)
+	var batch store.Batch
+	batch.AddPage(store.PageRecord{
+		Crawl: crawl, OS: osName, Domain: domain, Rank: rank,
+		Category: q.Get("category"), URL: url,
+		CommittedAt: committedAt, Events: log.Len(),
+	})
+	resp := IngestResponse{Crawl: crawl, OS: osName, Domain: domain, Events: log.Len()}
+	var localhost, lan []store.LocalRequest
+	for _, f := range findings {
+		rec := store.LocalRequest{
+			Crawl: crawl, OS: osName, Domain: domain, Rank: rank,
+			Category: q.Get("category"),
+			URL:      f.URL, Scheme: string(f.Scheme), Host: f.Host,
+			Port: f.Port, Path: f.Path, Dest: f.Dest.String(),
+			Delay: f.At - committedAt, Initiator: f.Initiator,
+			NetError: f.NetError, StatusCode: f.StatusCode,
+			ViaRedirect: f.ViaRedirect, SOPExempt: f.SOPExempt,
+		}
+		if rec.Delay < 0 {
+			rec.Delay = 0
+		}
+		batch.AddLocal(rec)
+		resp.Detections = append(resp.Detections, rec)
+		if rec.Dest == "lan" {
+			lan = append(lan, rec)
+		} else {
+			localhost = append(localhost, rec)
+		}
+	}
+	if resp.Detections == nil {
+		resp.Detections = []store.LocalRequest{}
+	}
+
+	classCounts := map[string]int{}
+	if len(localhost) > 0 {
+		v := report.VerdictJSON(classify.Site(localhost))
+		resp.LocalhostVerdict = &v
+		classCounts[v.Class] += len(localhost)
+	}
+	if len(lan) > 0 {
+		v := report.VerdictJSON(classify.LANSite(lan))
+		resp.LANVerdict = &v
+		classCounts[v.Class] += len(lan)
+	}
+
+	// Commit the visit in one sharded batch (all records share the
+	// domain, hence the shard), retain the capture if asked, and bump
+	// the generation so cached query responses go stale.
+	st := s.eng.Store()
+	st.AddBatch(&batch)
+	if q.Get("retain") == "1" && len(findings) > 0 {
+		if err := st.AddNetLog(crawl, osName, domain, log); err != nil {
+			// Retention is best-effort, as in the crawler; the records
+			// are committed regardless.
+			s.metrics.ingestFailed()
+		}
+	}
+	s.eng.BumpGeneration()
+	s.metrics.ingested(log.Len(), len(resp.Detections), time.Since(start), classCounts)
+	writeJSON(w, resp)
+}

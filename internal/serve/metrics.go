@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metrics holds the service's operational counters. Hot-path counters
+// are atomics; the low-rate maps (per-endpoint requests, detections by
+// class) sit behind a mutex.
+type metrics struct {
+	start time.Time
+
+	mu        sync.Mutex
+	requests  map[string]uint64 // by endpoint path
+	rejects   map[string]uint64 // by plane
+	byClass   map[string]uint64 // ingest detections by verdict class
+	hits      atomic.Uint64     // cache hits (also mirrored from cache)
+	misses    atomic.Uint64
+	uploads   atomic.Uint64 // completed ingest uploads
+	events    atomic.Uint64 // ingested NetLog events
+	found     atomic.Uint64 // local-network detections
+	ingestNS  atomic.Uint64 // cumulative ingest wall time
+	ingestErr atomic.Uint64 // rejected/failed uploads
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		start:    time.Now(),
+		requests: make(map[string]uint64),
+		rejects:  make(map[string]uint64),
+		byClass:  make(map[string]uint64),
+	}
+}
+
+func (m *metrics) request(path string) {
+	m.mu.Lock()
+	m.requests[path]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) rejected(plane string) {
+	m.mu.Lock()
+	m.rejects[plane]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) cacheHit()  { m.hits.Add(1) }
+func (m *metrics) cacheMiss() { m.misses.Add(1) }
+
+func (m *metrics) ingested(events, detections int, elapsed time.Duration, classes map[string]int) {
+	m.uploads.Add(1)
+	m.events.Add(uint64(events))
+	m.found.Add(uint64(detections))
+	m.ingestNS.Add(uint64(elapsed))
+	if len(classes) > 0 {
+		m.mu.Lock()
+		for class, n := range classes {
+			m.byClass[class] += uint64(n)
+		}
+		m.mu.Unlock()
+	}
+}
+
+func (m *metrics) ingestFailed() { m.ingestErr.Add(1) }
+
+// MetricsSnapshot is the wire form of /metrics.
+type MetricsSnapshot struct {
+	UptimeSeconds float64           `json:"uptime_seconds"`
+	Requests      map[string]uint64 `json:"requests"`
+	Rejected      map[string]uint64 `json:"rejected_429,omitempty"`
+	Cache         CacheMetrics      `json:"cache"`
+	Ingest        IngestMetrics     `json:"ingest"`
+}
+
+// CacheMetrics reports query-cache effectiveness.
+type CacheMetrics struct {
+	Hits    uint64  `json:"hits"`
+	Misses  uint64  `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+// IngestMetrics reports ingest-plane throughput.
+type IngestMetrics struct {
+	Uploads      uint64            `json:"uploads"`
+	Failed       uint64            `json:"failed,omitempty"`
+	Events       uint64            `json:"events"`
+	Detections   uint64            `json:"detections"`
+	EventsPerSec float64           `json:"events_per_sec"`
+	ByClass      map[string]uint64 `json:"detections_by_class,omitempty"`
+	BusySeconds  float64           `json:"busy_seconds"`
+}
+
+// snapshot renders the counters. Cache hit/miss totals come from the
+// response cache itself so the rate reflects every lookup.
+func (m *metrics) snapshot(cacheHits, cacheMisses uint64) MetricsSnapshot {
+	snap := MetricsSnapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Requests:      map[string]uint64{},
+		Rejected:      map[string]uint64{},
+		Cache:         CacheMetrics{Hits: cacheHits, Misses: cacheMisses},
+	}
+	if total := cacheHits + cacheMisses; total > 0 {
+		snap.Cache.HitRate = float64(cacheHits) / float64(total)
+	}
+	m.mu.Lock()
+	for k, v := range m.requests {
+		snap.Requests[k] = v
+	}
+	for k, v := range m.rejects {
+		snap.Rejected[k] = v
+	}
+	byClass := make(map[string]uint64, len(m.byClass))
+	for k, v := range m.byClass {
+		byClass[k] = v
+	}
+	m.mu.Unlock()
+	busy := time.Duration(m.ingestNS.Load()).Seconds()
+	snap.Ingest = IngestMetrics{
+		Uploads:     m.uploads.Load(),
+		Failed:      m.ingestErr.Load(),
+		Events:      m.events.Load(),
+		Detections:  m.found.Load(),
+		ByClass:     byClass,
+		BusySeconds: busy,
+	}
+	if busy > 0 {
+		snap.Ingest.EventsPerSec = float64(snap.Ingest.Events) / busy
+	}
+	return snap
+}

@@ -1,0 +1,81 @@
+package queryengine
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a bounded LRU for rendered query responses, keyed on the
+// canonical query key prefixed with the engine generation (the serving
+// layer composes keys as "g<generation>|<filter.Key()>"). Entries
+// written under an old generation are never read again — their keys no
+// longer match — and age out of the LRU naturally, so invalidation
+// needs no coordination with the ingest plane.
+type Cache struct {
+	mu           sync.Mutex
+	max          int
+	ll           *list.List // front = most recently used
+	items        map[string]*list.Element
+	hits, misses uint64
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+// NewCache returns a cache bounded to max entries; max <= 0 disables
+// caching (every Get misses, Put is a no-op).
+func NewCache(max int) *Cache {
+	return &Cache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the cached response for key and whether it was present.
+// The returned slice is shared — callers must not modify it.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put stores a response, evicting the least recently used entry when
+// the bound is exceeded.
+func (c *Cache) Put(key string, val []byte) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len reports the number of resident entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats reports cumulative hits and misses.
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

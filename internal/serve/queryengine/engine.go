@@ -1,0 +1,159 @@
+// Package queryengine is the shared query core over crawl telemetry:
+// one implementation of the filter/aggregate surface that both the
+// knockquery CLI and the knockserved HTTP service call, so the two
+// interrogation paths cannot drift. An Engine wraps a store.Store
+// (itself safe for concurrent use) and answers filtered record
+// queries, per-site classification reports, and corpus summaries.
+//
+// Every filter renders to a canonical key (Key methods) that, combined
+// with the engine's generation counter, identifies a result uniquely —
+// the contract the serving layer's response cache is built on: live
+// ingest bumps the generation, implicitly invalidating every cached
+// response without coordination.
+package queryengine
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/knockandtalk/knockandtalk/internal/classify"
+	"github.com/knockandtalk/knockandtalk/internal/netlog"
+	"github.com/knockandtalk/knockandtalk/internal/store"
+)
+
+// Engine answers queries over one mounted store. Safe for concurrent
+// use; writers that append to the underlying store must call
+// BumpGeneration afterwards so cached results are invalidated.
+type Engine struct {
+	st  *store.Store
+	gen atomic.Uint64
+}
+
+// New wraps a store (typically populated via store.LoadFiles, possibly
+// merging several crawls) in an engine.
+func New(st *store.Store) *Engine { return &Engine{st: st} }
+
+// Store exposes the underlying store for writers (the ingest plane)
+// and for reports that consume a *store.Store directly.
+func (e *Engine) Store() *store.Store { return e.st }
+
+// Generation returns the engine's mutation epoch. It changes every
+// time BumpGeneration records a store mutation; results computed at
+// different generations must not be conflated.
+func (e *Engine) Generation() uint64 { return e.gen.Load() }
+
+// BumpGeneration records that the underlying store changed.
+func (e *Engine) BumpGeneration() { e.gen.Add(1) }
+
+// LocalsFilter selects local-request records. Zero-valued fields match
+// everything; Limit 0 means unlimited.
+type LocalsFilter struct {
+	Domain string
+	Dest   string
+	OS     string
+	Crawl  string
+	Limit  int
+}
+
+// Key renders the filter canonically: fixed field order, so two
+// equivalent filters always share a cache entry.
+func (f LocalsFilter) Key() string {
+	return fmt.Sprintf("locals|crawl=%s|dest=%s|domain=%s|os=%s|limit=%d",
+		f.Crawl, f.Dest, f.Domain, f.OS, f.Limit)
+}
+
+// Locals returns the matching local requests, truncated to Limit, plus
+// the total match count before truncation.
+func (e *Engine) Locals(f LocalsFilter) ([]store.LocalRequest, int) {
+	rows := e.st.Locals(func(l *store.LocalRequest) bool {
+		return (f.Domain == "" || l.Domain == f.Domain) &&
+			(f.Dest == "" || l.Dest == f.Dest) &&
+			(f.OS == "" || l.OS == f.OS) &&
+			(f.Crawl == "" || l.Crawl == f.Crawl)
+	})
+	total := len(rows)
+	if f.Limit > 0 && total > f.Limit {
+		rows = rows[:f.Limit]
+	}
+	return rows, total
+}
+
+// PagesFilter selects page records. Zero-valued fields match
+// everything; Limit 0 means unlimited.
+type PagesFilter struct {
+	Domain string
+	OS     string
+	Crawl  string
+	Err    string
+	Limit  int
+}
+
+// Key renders the filter canonically.
+func (f PagesFilter) Key() string {
+	return fmt.Sprintf("pages|crawl=%s|domain=%s|err=%s|os=%s|limit=%d",
+		f.Crawl, f.Domain, f.Err, f.OS, f.Limit)
+}
+
+// Pages returns the matching page records, truncated to Limit, plus
+// the total match count before truncation.
+func (e *Engine) Pages(f PagesFilter) ([]store.PageRecord, int) {
+	rows := e.st.Pages(func(p *store.PageRecord) bool {
+		return (f.Domain == "" || p.Domain == f.Domain) &&
+			(f.OS == "" || p.OS == f.OS) &&
+			(f.Crawl == "" || p.Crawl == f.Crawl) &&
+			(f.Err == "" || p.Err == f.Err)
+	})
+	total := len(rows)
+	if f.Limit > 0 && total > f.Limit {
+		rows = rows[:f.Limit]
+	}
+	return rows, total
+}
+
+// SiteReport is one domain's full telemetry: its page visits, its
+// local-network requests, and the behavior verdicts the offline
+// pipeline assigns to its localhost and LAN traffic.
+type SiteReport struct {
+	Domain string
+	Pages  []store.PageRecord
+	Locals []store.LocalRequest
+	// LocalhostVerdict and LANVerdict are nil when the site produced no
+	// traffic in that destination class.
+	LocalhostVerdict *classify.Verdict
+	LANVerdict       *classify.Verdict
+}
+
+// SiteKey is the canonical cache key for a Site query.
+func SiteKey(domain string) string { return "site|domain=" + domain }
+
+// Site assembles one domain's report across all mounted crawls and
+// OSes, running the same classifier the offline pipeline uses.
+func (e *Engine) Site(domain string) SiteReport {
+	rep := SiteReport{Domain: domain}
+	rep.Pages, _ = e.Pages(PagesFilter{Domain: domain})
+	rep.Locals, _ = e.Locals(LocalsFilter{Domain: domain})
+	var localhost, lan []store.LocalRequest
+	for _, r := range rep.Locals {
+		if r.Dest == "lan" {
+			lan = append(lan, r)
+		} else {
+			localhost = append(localhost, r)
+		}
+	}
+	if len(localhost) > 0 {
+		v := classify.Site(localhost)
+		rep.LocalhostVerdict = &v
+	}
+	if len(lan) > 0 {
+		v := classify.LANSite(lan)
+		rep.LANVerdict = &v
+	}
+	return rep
+}
+
+// NetLog retrieves a retained capture, delegating to the store. It
+// completes the engine surface so knockquery needs no direct store
+// access.
+func (e *Engine) NetLog(crawl, os, domain string) (*netlog.Log, bool, error) {
+	return e.st.NetLog(crawl, os, domain)
+}

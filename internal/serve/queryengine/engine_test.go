@@ -1,0 +1,142 @@
+package queryengine
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+	"github.com/knockandtalk/knockandtalk/internal/portdb"
+	"github.com/knockandtalk/knockandtalk/internal/store"
+)
+
+// testStore builds a small two-crawl store: one ThreatMetrix-probing
+// site, one LAN dev remnant, one failed page.
+func testStore() *store.Store {
+	st := store.New()
+	st.AddPage(store.PageRecord{Crawl: "top100k-2020", OS: "Windows", Domain: "ebay.com", Rank: 104, URL: "https://ebay.com/"})
+	st.AddPage(store.PageRecord{Crawl: "top100k-2020", OS: "Linux", Domain: "ebay.com", Rank: 104, URL: "https://ebay.com/"})
+	st.AddPage(store.PageRecord{Crawl: "top100k-2021", OS: "Windows", Domain: "dead.example", Err: "ERR_NAME_NOT_RESOLVED", URL: "https://dead.example/"})
+	for i, p := range portdb.ThreatMetrixPorts() {
+		st.AddLocal(store.LocalRequest{
+			Crawl: "top100k-2020", OS: "Windows", Domain: "ebay.com", Rank: 104,
+			URL: fmt.Sprintf("wss://localhost:%d/", p), Scheme: "wss", Host: "localhost",
+			Port: p, Path: "/", Dest: "localhost", Delay: time.Duration(10+i) * time.Second,
+			NetError: "ERR_CONNECTION_REFUSED", SOPExempt: true,
+		})
+	}
+	st.AddLocal(store.LocalRequest{
+		Crawl: "top100k-2021", OS: "Linux", Domain: "shop.example", Rank: 7001,
+		URL: "http://192.168.1.5/wp-content/logo.png", Scheme: "http", Host: "192.168.1.5",
+		Port: 80, Path: "/wp-content/logo.png", Dest: "lan", Delay: 2 * time.Second,
+	})
+	return st
+}
+
+func TestLocalsFilterAndLimit(t *testing.T) {
+	e := New(testStore())
+	all, total := e.Locals(LocalsFilter{})
+	if want := len(portdb.ThreatMetrixPorts()) + 1; total != want || len(all) != want {
+		t.Fatalf("unfiltered = %d rows, total %d, want %d", len(all), total, want)
+	}
+	rows, total := e.Locals(LocalsFilter{Dest: "localhost", Limit: 3})
+	if len(rows) != 3 || total != len(portdb.ThreatMetrixPorts()) {
+		t.Fatalf("limited = %d rows of %d", len(rows), total)
+	}
+	rows, _ = e.Locals(LocalsFilter{Crawl: "top100k-2021", OS: "Linux"})
+	if len(rows) != 1 || rows[0].Domain != "shop.example" {
+		t.Fatalf("crawl+os filter = %v", rows)
+	}
+	if rows, _ := e.Locals(LocalsFilter{Domain: "nosuch.example"}); len(rows) != 0 {
+		t.Fatalf("miss returned %v", rows)
+	}
+}
+
+func TestPagesFilter(t *testing.T) {
+	e := New(testStore())
+	rows, total := e.Pages(PagesFilter{Err: "ERR_NAME_NOT_RESOLVED"})
+	if total != 1 || rows[0].Domain != "dead.example" {
+		t.Fatalf("err filter = %v (total %d)", rows, total)
+	}
+	if _, total := e.Pages(PagesFilter{Domain: "ebay.com"}); total != 2 {
+		t.Fatalf("domain filter total = %d, want 2 (one per OS)", total)
+	}
+}
+
+func TestSiteReportMatchesOfflineClassifier(t *testing.T) {
+	e := New(testStore())
+	rep := e.Site("ebay.com")
+	if rep.LocalhostVerdict == nil {
+		t.Fatal("no localhost verdict for a ThreatMetrix-probing site")
+	}
+	if rep.LocalhostVerdict.Class != groundtruth.ClassFraudDetection || rep.LocalhostVerdict.Signature != "threatmetrix" {
+		t.Fatalf("verdict = %+v, want fraud-detection/threatmetrix", rep.LocalhostVerdict)
+	}
+	if rep.LANVerdict != nil {
+		t.Fatalf("spurious LAN verdict: %+v", rep.LANVerdict)
+	}
+	lan := e.Site("shop.example")
+	if lan.LANVerdict == nil || lan.LANVerdict.Class != groundtruth.ClassDevError {
+		t.Fatalf("LAN verdict = %+v, want developer error", lan.LANVerdict)
+	}
+	if empty := e.Site("nosuch.example"); empty.LocalhostVerdict != nil || len(empty.Pages) != 0 {
+		t.Fatalf("empty site report not empty: %+v", empty)
+	}
+}
+
+func TestCanonicalKeys(t *testing.T) {
+	a := LocalsFilter{Domain: "ebay.com", Dest: "localhost", Limit: 10}
+	b := LocalsFilter{Dest: "localhost", Domain: "ebay.com", Limit: 10}
+	if a.Key() != b.Key() {
+		t.Errorf("equivalent filters render different keys: %q vs %q", a.Key(), b.Key())
+	}
+	if a.Key() == (LocalsFilter{Domain: "ebay.com", Dest: "lan", Limit: 10}).Key() {
+		t.Error("distinct filters share a key")
+	}
+	if (PagesFilter{Domain: "x"}).Key() == (LocalsFilter{Domain: "x"}).Key() {
+		t.Error("pages and locals keys collide")
+	}
+}
+
+func TestGeneration(t *testing.T) {
+	e := New(testStore())
+	g := e.Generation()
+	e.BumpGeneration()
+	if e.Generation() != g+1 {
+		t.Errorf("generation did not advance: %d -> %d", g, e.Generation())
+	}
+}
+
+func TestCacheLRU(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	if v, ok := c.Get("a"); !ok || string(v) != "A" {
+		t.Fatalf("Get(a) = %q, %v", v, ok)
+	}
+	c.Put("c", []byte("C")) // evicts b (a was just used)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction; LRU order wrong")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a evicted although recently used")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 1 {
+		t.Errorf("stats = %d hits, %d misses; want 2, 1", hits, misses)
+	}
+	// Overwrite keeps a single entry.
+	c.Put("a", []byte("A2"))
+	if v, _ := c.Get("a"); string(v) != "A2" {
+		t.Errorf("overwrite lost: %q", v)
+	}
+	// A disabled cache never stores.
+	d := NewCache(0)
+	d.Put("x", []byte("X"))
+	if _, ok := d.Get("x"); ok {
+		t.Error("disabled cache returned a hit")
+	}
+}

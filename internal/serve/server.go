@@ -1,0 +1,308 @@
+// Package serve is the serving side of the architecture: a stdlib-only
+// HTTP service exposing crawl telemetry with two planes.
+//
+// The query plane serves concurrent JSON reads over one or more
+// mounted stores — filtered record listings (/v1/locals, /v1/pages),
+// per-site classification reports (/v1/site/{domain}), and the corpus
+// summary (/v1/summary) — through the shared queryengine, with a
+// bounded LRU response cache keyed on the canonical query and the
+// engine generation.
+//
+// The ingest plane (/v1/ingest) accepts NetLog event streams as JSONL,
+// parses them incrementally (no whole-body buffering), runs the same
+// localnet detect → classify pipeline the offline crawler uses, commits
+// the results to the live store via the sharded Batch API, and returns
+// the detections.
+//
+// Production posture: per-plane concurrency limits answering 429 when
+// saturated, per-plane request timeouts, graceful shutdown that drains
+// in-flight ingests, and a /metrics endpoint.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"github.com/knockandtalk/knockandtalk/internal/report"
+	"github.com/knockandtalk/knockandtalk/internal/serve/queryengine"
+	"github.com/knockandtalk/knockandtalk/internal/store"
+)
+
+// Options tune the service; the zero value picks production defaults.
+type Options struct {
+	// QueryConcurrency caps simultaneous query-plane requests
+	// (default 64). Excess requests receive 429.
+	QueryConcurrency int
+	// IngestConcurrency caps simultaneous ingest uploads (default 4).
+	IngestConcurrency int
+	// QueryTimeout bounds one query request (default 10s).
+	QueryTimeout time.Duration
+	// IngestTimeout bounds one ingest upload (default 60s).
+	IngestTimeout time.Duration
+	// CacheEntries bounds the query response cache (default 512 entries;
+	// negative disables caching).
+	CacheEntries int
+	// MaxIngestBytes bounds one upload body (default 64 MiB).
+	MaxIngestBytes int64
+	// MaxRows caps rows returned by a single listing query regardless of
+	// the requested limit (default 10000; the total match count is
+	// always reported).
+	MaxRows int
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueryConcurrency <= 0 {
+		o.QueryConcurrency = 64
+	}
+	if o.IngestConcurrency <= 0 {
+		o.IngestConcurrency = 4
+	}
+	if o.QueryTimeout <= 0 {
+		o.QueryTimeout = 10 * time.Second
+	}
+	if o.IngestTimeout <= 0 {
+		o.IngestTimeout = 60 * time.Second
+	}
+	if o.CacheEntries == 0 {
+		o.CacheEntries = 512
+	}
+	if o.MaxIngestBytes <= 0 {
+		o.MaxIngestBytes = 64 << 20
+	}
+	if o.MaxRows <= 0 {
+		o.MaxRows = 10000
+	}
+	return o
+}
+
+// Server is the knockserved HTTP service.
+type Server struct {
+	eng     *queryengine.Engine
+	opts    Options
+	cache   *queryengine.Cache
+	metrics *metrics
+	queries chan struct{} // query-plane semaphore
+	ingests chan struct{} // ingest-plane semaphore
+	mux     *http.ServeMux
+}
+
+// New builds a server over an engine. Ingested telemetry is committed
+// to the engine's store, so queries observe uploads immediately.
+func New(eng *queryengine.Engine, opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		eng:     eng,
+		opts:    opts,
+		cache:   queryengine.NewCache(opts.CacheEntries),
+		metrics: newMetrics(),
+		queries: make(chan struct{}, opts.QueryConcurrency),
+		ingests: make(chan struct{}, opts.IngestConcurrency),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/locals", s.query(s.handleLocals))
+	mux.HandleFunc("GET /v1/pages", s.query(s.handlePages))
+	mux.HandleFunc("GET /v1/site/{domain}", s.query(s.handleSite))
+	mux.HandleFunc("GET /v1/summary", s.query(s.handleSummary))
+	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Engine returns the underlying query engine.
+func (s *Server) Engine() *queryengine.Engine { return s.eng }
+
+// query wraps a query-plane endpoint with the plane's backpressure,
+// timeout, caching, and metrics. Handlers parse the request and return
+// the canonical cache key plus a render closure; a nil render means
+// the handler already answered (bad request).
+func (s *Server) query(h func(w http.ResponseWriter, r *http.Request) (key string, render func() (any, error))) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.request(r.URL.Path)
+		select {
+		case s.queries <- struct{}{}:
+			defer func() { <-s.queries }()
+		default:
+			s.reject(w, "query")
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.opts.QueryTimeout)
+		defer cancel()
+		key, render := h(w, r.WithContext(ctx))
+		if render == nil { // handler already answered (bad request)
+			return
+		}
+		// Response cache: canonical query key under the current store
+		// generation. Ingests bump the generation, so stale entries are
+		// simply never referenced again.
+		cacheKey := fmt.Sprintf("g%d|%s", s.eng.Generation(), key)
+		if body, ok := s.cache.Get(cacheKey); ok {
+			s.metrics.cacheHit()
+			writeJSONBytes(w, body)
+			return
+		}
+		s.metrics.cacheMiss()
+		v, err := render()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if ctx.Err() != nil {
+			httpError(w, http.StatusServiceUnavailable, "query timed out")
+			return
+		}
+		body, err := json.Marshal(v)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		s.cache.Put(cacheKey, body)
+		writeJSONBytes(w, body)
+	}
+}
+
+// reject answers a saturated plane: 429 with a retry hint.
+func (s *Server) reject(w http.ResponseWriter, plane string) {
+	s.metrics.rejected(plane)
+	w.Header().Set("Retry-After", "1")
+	httpError(w, http.StatusTooManyRequests, plane+" plane saturated")
+}
+
+// ListResponse is the wire envelope of /v1/locals and /v1/pages: the
+// (possibly truncated) rows plus the total match count.
+type ListResponse struct {
+	Total int `json:"total"`
+	Rows  any `json:"rows"`
+}
+
+func (s *Server) handleLocals(w http.ResponseWriter, r *http.Request) (string, func() (any, error)) {
+	q := r.URL.Query()
+	f := queryengine.LocalsFilter{
+		Domain: q.Get("domain"),
+		Dest:   q.Get("dest"),
+		OS:     q.Get("os"),
+		Crawl:  q.Get("crawl"),
+	}
+	limit, err := parseLimit(q.Get("limit"), s.opts.MaxRows)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return "", nil
+	}
+	f.Limit = limit
+	return f.Key(), func() (any, error) {
+		rows, total := s.eng.Locals(f)
+		if rows == nil {
+			rows = []store.LocalRequest{}
+		}
+		return ListResponse{Total: total, Rows: rows}, nil
+	}
+}
+
+func (s *Server) handlePages(w http.ResponseWriter, r *http.Request) (string, func() (any, error)) {
+	q := r.URL.Query()
+	f := queryengine.PagesFilter{
+		Domain: q.Get("domain"),
+		OS:     q.Get("os"),
+		Crawl:  q.Get("crawl"),
+		Err:    q.Get("err"),
+	}
+	limit, err := parseLimit(q.Get("limit"), s.opts.MaxRows)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return "", nil
+	}
+	f.Limit = limit
+	return f.Key(), func() (any, error) {
+		rows, total := s.eng.Pages(f)
+		if rows == nil {
+			rows = []store.PageRecord{}
+		}
+		return ListResponse{Total: total, Rows: rows}, nil
+	}
+}
+
+// SiteResponse is the wire form of /v1/site/{domain}.
+type SiteResponse struct {
+	Domain           string               `json:"domain"`
+	Pages            []store.PageRecord   `json:"pages"`
+	Locals           []store.LocalRequest `json:"locals"`
+	LocalhostVerdict *report.JSONVerdict  `json:"localhost_verdict,omitempty"`
+	LANVerdict       *report.JSONVerdict  `json:"lan_verdict,omitempty"`
+}
+
+func (s *Server) handleSite(_ http.ResponseWriter, r *http.Request) (string, func() (any, error)) {
+	domain := r.PathValue("domain")
+	return queryengine.SiteKey(domain), func() (any, error) {
+		rep := s.eng.Site(domain)
+		resp := SiteResponse{Domain: rep.Domain, Pages: rep.Pages, Locals: rep.Locals}
+		if resp.Pages == nil {
+			resp.Pages = []store.PageRecord{}
+		}
+		if resp.Locals == nil {
+			resp.Locals = []store.LocalRequest{}
+		}
+		if rep.LocalhostVerdict != nil {
+			v := report.VerdictJSON(*rep.LocalhostVerdict)
+			resp.LocalhostVerdict = &v
+		}
+		if rep.LANVerdict != nil {
+			v := report.VerdictJSON(*rep.LANVerdict)
+			resp.LANVerdict = &v
+		}
+		return resp, nil
+	}
+}
+
+func (s *Server) handleSummary(_ http.ResponseWriter, r *http.Request) (string, func() (any, error)) {
+	return "summary", func() (any, error) {
+		return report.SummaryJSON(s.eng.Store()), nil
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	hits, misses := s.cache.Stats()
+	writeJSON(w, s.metrics.snapshot(hits, misses))
+}
+
+// parseLimit parses a ?limit= value, clamping to the server row cap.
+// Absent means the cap; 0 would mean unlimited and is clamped too.
+func parseLimit(raw string, max int) (int, error) {
+	if raw == "" {
+		return max, nil
+	}
+	var n int
+	if _, err := fmt.Sscanf(raw, "%d", &n); err != nil || n < 0 {
+		return 0, fmt.Errorf("bad limit %q", raw)
+	}
+	if n == 0 || n > max {
+		return max, nil
+	}
+	return n, nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSONBytes(w, body)
+}
+
+func writeJSONBytes(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+	w.Write([]byte("\n"))
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

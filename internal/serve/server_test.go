@@ -1,0 +1,589 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/knockandtalk/knockandtalk/internal/localnet"
+	"github.com/knockandtalk/knockandtalk/internal/netlog"
+	"github.com/knockandtalk/knockandtalk/internal/serve/queryengine"
+	"github.com/knockandtalk/knockandtalk/internal/store"
+)
+
+// serveStore builds a small corpus: a ThreatMetrix-style localhost
+// scanner on Windows/2020 and a LAN prober on Linux/2021.
+func serveStore(t testing.TB) *store.Store {
+	t.Helper()
+	st := store.New()
+	var b store.Batch
+	b.AddPage(store.PageRecord{
+		Crawl: "top100k-2020", OS: "Windows", Domain: "scanner.example", Rank: 7,
+		URL: "https://scanner.example/", CommittedAt: time.Second, Events: 40,
+	})
+	for _, port := range []uint16{3389, 5279, 5900, 5901, 5902, 5903, 5931, 5939, 5944, 5950} {
+		b.AddLocal(store.LocalRequest{
+			Crawl: "top100k-2020", OS: "Windows", Domain: "scanner.example", Rank: 7,
+			URL:    fmt.Sprintf("wss://localhost:%d/", port),
+			Scheme: "wss", Host: "localhost", Port: port, Path: "/",
+			Dest: "localhost", Delay: 1500 * time.Millisecond,
+			Initiator: "blob:threatmetrix", NetError: "ERR_CONNECTION_REFUSED",
+			SOPExempt: true,
+		})
+	}
+	b.AddPage(store.PageRecord{
+		Crawl: "top100k-2021", OS: "Linux", Domain: "lanprobe.example", Rank: 19,
+		URL: "https://lanprobe.example/", CommittedAt: 800 * time.Millisecond, Events: 12,
+	})
+	b.AddLocal(store.LocalRequest{
+		Crawl: "top100k-2021", OS: "Linux", Domain: "lanprobe.example", Rank: 19,
+		URL: "http://192.168.1.1/wp-content/t.gif", Scheme: "http",
+		Host: "192.168.1.1", Port: 80, Path: "/wp-content/t.gif",
+		Dest: "lan", Delay: 2 * time.Second, NetError: "ERR_CONNECTION_TIMED_OUT",
+	})
+	b.AddPage(store.PageRecord{
+		Crawl: "top100k-2021", OS: "Linux", Domain: "dead.example", Rank: 23,
+		URL: "https://dead.example/", Err: "ERR_NAME_NOT_RESOLVED",
+	})
+	st.AddBatch(&b)
+	return st
+}
+
+func newTestServer(t testing.TB, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(queryengine.New(serveStore(t)), opts)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func getJSON(t testing.TB, url string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("GET %s: decoding: %v", url, err)
+	}
+	return resp
+}
+
+func TestLocalsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	var resp struct {
+		Total int                  `json:"total"`
+		Rows  []store.LocalRequest `json:"rows"`
+	}
+	getJSON(t, ts.URL+"/v1/locals?domain=scanner.example&dest=localhost", &resp)
+	if resp.Total != 10 || len(resp.Rows) != 10 {
+		t.Fatalf("total=%d rows=%d, want 10/10", resp.Total, len(resp.Rows))
+	}
+	getJSON(t, ts.URL+"/v1/locals?domain=scanner.example&limit=3", &resp)
+	if resp.Total != 10 || len(resp.Rows) != 3 {
+		t.Fatalf("limited: total=%d rows=%d, want 10/3", resp.Total, len(resp.Rows))
+	}
+	getJSON(t, ts.URL+"/v1/locals?dest=lan", &resp)
+	if resp.Total != 1 || resp.Rows[0].Host != "192.168.1.1" {
+		t.Fatalf("lan filter: %+v", resp)
+	}
+	getJSON(t, ts.URL+"/v1/locals?domain=nosuch.example", &resp)
+	if resp.Total != 0 || resp.Rows == nil || len(resp.Rows) != 0 {
+		t.Fatalf("empty result must be [] with total 0: %+v", resp)
+	}
+	r, err := http.Get(ts.URL + "/v1/locals?limit=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad limit: status %d, want 400", r.StatusCode)
+	}
+}
+
+func TestPagesEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	var resp struct {
+		Total int                `json:"total"`
+		Rows  []store.PageRecord `json:"rows"`
+	}
+	getJSON(t, ts.URL+"/v1/pages", &resp)
+	if resp.Total != 3 {
+		t.Fatalf("total=%d, want 3", resp.Total)
+	}
+	getJSON(t, ts.URL+"/v1/pages?err=ERR_NAME_NOT_RESOLVED", &resp)
+	if resp.Total != 1 || resp.Rows[0].Domain != "dead.example" {
+		t.Fatalf("err filter: %+v", resp)
+	}
+	getJSON(t, ts.URL+"/v1/pages?os=Windows&crawl=top100k-2020", &resp)
+	if resp.Total != 1 || resp.Rows[0].Domain != "scanner.example" {
+		t.Fatalf("os+crawl filter: %+v", resp)
+	}
+}
+
+func TestSiteEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	var resp SiteResponse
+	getJSON(t, ts.URL+"/v1/site/scanner.example", &resp)
+	if len(resp.Pages) != 1 || len(resp.Locals) != 10 {
+		t.Fatalf("pages=%d locals=%d, want 1/10", len(resp.Pages), len(resp.Locals))
+	}
+	if resp.LocalhostVerdict == nil || resp.LocalhostVerdict.Class != "Fraud Detection" ||
+		resp.LocalhostVerdict.Signature != "threatmetrix" {
+		t.Fatalf("localhost verdict = %+v, want Fraud Detection/threatmetrix", resp.LocalhostVerdict)
+	}
+	if resp.LANVerdict != nil {
+		t.Fatalf("scanner.example has no LAN traffic, got %+v", resp.LANVerdict)
+	}
+	var lan SiteResponse
+	getJSON(t, ts.URL+"/v1/site/lanprobe.example", &lan)
+	if lan.LANVerdict == nil {
+		t.Fatal("lanprobe.example should carry a LAN verdict")
+	}
+	var none SiteResponse
+	getJSON(t, ts.URL+"/v1/site/unknown.example", &none)
+	if len(none.Pages) != 0 || len(none.Locals) != 0 || none.LocalhostVerdict != nil {
+		t.Fatalf("unknown site should be empty: %+v", none)
+	}
+}
+
+func TestSummaryEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	var resp struct {
+		Pages  int `json:"pages"`
+		Locals int `json:"locals"`
+		Crawls []struct {
+			Crawl   string         `json:"crawl"`
+			Classes map[string]int `json:"classes,omitempty"`
+		} `json:"crawls"`
+	}
+	getJSON(t, ts.URL+"/v1/summary", &resp)
+	if resp.Pages != 3 || resp.Locals != 11 {
+		t.Fatalf("pages=%d locals=%d, want 3/11", resp.Pages, resp.Locals)
+	}
+	if len(resp.Crawls) != 2 || resp.Crawls[0].Crawl != "top100k-2020" {
+		t.Fatalf("crawls: %+v", resp.Crawls)
+	}
+	if resp.Crawls[0].Classes["Fraud Detection"] != 1 {
+		t.Fatalf("2020 classes: %+v, want one Fraud Detection site", resp.Crawls[0].Classes)
+	}
+}
+
+func TestResponseCacheHitMiss(t *testing.T) {
+	srv, ts := newTestServer(t, Options{})
+	var resp any
+	getJSON(t, ts.URL+"/v1/locals?domain=scanner.example", &resp)  // miss
+	getJSON(t, ts.URL+"/v1/locals?domain=scanner.example", &resp)  // hit
+	getJSON(t, ts.URL+"/v1/locals?domain=lanprobe.example", &resp) // miss
+	hits, misses := srv.cache.Stats()
+	if hits != 1 || misses != 2 {
+		t.Fatalf("cache stats = %d hits / %d misses, want 1/2", hits, misses)
+	}
+	var m MetricsSnapshot
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m.Cache.Hits != 1 || m.Cache.Misses != 2 {
+		t.Fatalf("/metrics cache = %+v, want 1 hit / 2 misses", m.Cache)
+	}
+	if m.Requests["/v1/locals"] != 3 {
+		t.Fatalf("/metrics requests = %+v, want 3 locals hits", m.Requests)
+	}
+}
+
+func TestCacheInvalidatedByIngest(t *testing.T) {
+	srv, ts := newTestServer(t, Options{})
+	var before, after struct {
+		Total int `json:"total"`
+	}
+	url := ts.URL + "/v1/locals?domain=smoke.example"
+	getJSON(t, url, &before)
+	if before.Total != 0 {
+		t.Fatalf("pre-ingest total = %d, want 0", before.Total)
+	}
+	postTestdata(t, ts, "domain=smoke.example&os=Windows")
+	getJSON(t, url, &after)
+	if after.Total != 14 {
+		t.Fatalf("post-ingest total = %d, want 14 (cached empty answer must not survive ingest)", after.Total)
+	}
+	if srv.eng.Generation() == 0 {
+		t.Fatal("ingest must bump the engine generation")
+	}
+}
+
+func postTestdata(t testing.TB, ts *httptest.Server, params string) IngestResponse {
+	t.Helper()
+	body, err := os.ReadFile("testdata/threatmetrix.netlog.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/ingest?"+params, "application/jsonl", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("ingest: status %d: %s", resp.StatusCode, b)
+	}
+	var ir IngestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+		t.Fatal(err)
+	}
+	return ir
+}
+
+// TestIngestMatchesOfflinePipeline is the acceptance check: uploading a
+// capture with the ThreatMetrix probe signature must yield exactly the
+// records and verdict the offline crawl pipeline produces for the same
+// events.
+func TestIngestMatchesOfflinePipeline(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	ir := postTestdata(t, ts, "domain=smoke.example&os=Windows&crawl=live-test&rank=3&committed_at=1s")
+
+	f, err := os.Open("testdata/threatmetrix.netlog.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	log, err := netlog.ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline := localnet.FromLog(log)
+
+	if ir.Events != log.Len() {
+		t.Fatalf("events = %d, want %d", ir.Events, log.Len())
+	}
+	if len(ir.Detections) != len(offline) {
+		t.Fatalf("detections = %d, want %d (offline pipeline)", len(ir.Detections), len(offline))
+	}
+	for i, want := range offline {
+		got := ir.Detections[i]
+		if got.URL != want.URL || got.Host != want.Host || got.Port != want.Port ||
+			got.Scheme != string(want.Scheme) || got.Dest != want.Dest.String() ||
+			got.NetError != want.NetError || got.Initiator != want.Initiator ||
+			got.SOPExempt != want.SOPExempt {
+			t.Fatalf("detection %d drifted from offline pipeline:\n got %+v\nwant %+v", i, got, want)
+		}
+		if wantDelay := want.At - time.Second; got.Delay != wantDelay {
+			t.Fatalf("detection %d delay = %v, want %v (At - committed_at)", i, got.Delay, wantDelay)
+		}
+		if got.Crawl != "live-test" || got.OS != "Windows" || got.Domain != "smoke.example" || got.Rank != 3 {
+			t.Fatalf("detection %d visit fields: %+v", i, got)
+		}
+	}
+	if ir.LocalhostVerdict == nil || ir.LocalhostVerdict.Class != "Fraud Detection" ||
+		ir.LocalhostVerdict.Signature != "threatmetrix" {
+		t.Fatalf("verdict = %+v, want Fraud Detection/threatmetrix", ir.LocalhostVerdict)
+	}
+
+	// The committed records serve identical verdicts through the query plane.
+	var site SiteResponse
+	getJSON(t, ts.URL+"/v1/site/smoke.example", &site)
+	if site.LocalhostVerdict == nil || *site.LocalhostVerdict != *ir.LocalhostVerdict {
+		t.Fatalf("query-plane verdict %+v != ingest verdict %+v", site.LocalhostVerdict, ir.LocalhostVerdict)
+	}
+	if len(site.Pages) != 1 || site.Pages[0].CommittedAt != time.Second || site.Pages[0].Events != log.Len() {
+		t.Fatalf("committed page record: %+v", site.Pages)
+	}
+}
+
+func TestIngestMalformedAndBadParams(t *testing.T) {
+	srv, ts := newTestServer(t, Options{})
+
+	post := func(params, body string) *http.Response {
+		resp, err := http.Post(ts.URL+"/v1/ingest?"+params, "application/jsonl", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	good := `{"time":"1000","type":"URL_REQUEST_START_JOB","source":{"type":"URL_REQUEST","id":1},"phase":1,"params":{"url":"http://localhost:8000/x"}}`
+
+	cases := []struct {
+		name, params, body, wantErr string
+	}{
+		{"missing domain", "", good, "domain query parameter is required"},
+		{"bad rank", "domain=x.example&rank=-2", good, "bad rank"},
+		{"bad committed_at", "domain=x.example&committed_at=soon", good, "bad committed_at"},
+		{"malformed line", "domain=x.example", good + "\n{broken", "line 2"},
+		{"unknown event type", "domain=x.example", `{"time":"1","type":"NO_SUCH","source":{"type":"URL_REQUEST","id":1},"phase":0}`, "unknown event type"},
+	}
+	for _, tc := range cases {
+		resp := post(tc.params, tc.body)
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), tc.wantErr) {
+			t.Errorf("%s: body %q, want it to mention %q", tc.name, body, tc.wantErr)
+		}
+	}
+	// All-or-nothing: none of the rejected uploads committed anything.
+	if n := srv.eng.Store().NumPages(); n != 3 {
+		t.Fatalf("rejected uploads committed pages: %d, want the 3 seeded", n)
+	}
+	if srv.eng.Generation() != 0 {
+		t.Fatal("rejected uploads must not bump the generation")
+	}
+}
+
+func TestIngestBodyTooLarge(t *testing.T) {
+	_, ts := newTestServer(t, Options{MaxIngestBytes: 256})
+	long := `{"time":"1000","type":"URL_REQUEST_START_JOB","source":{"type":"URL_REQUEST","id":1},"phase":1,"params":{"url":"http://localhost:8000/` + strings.Repeat("x", 400) + `"}}`
+	resp, err := http.Post(ts.URL+"/v1/ingest?domain=x.example", "application/jsonl", strings.NewReader(long))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestQueryPlaneSaturationReturns429(t *testing.T) {
+	srv, ts := newTestServer(t, Options{QueryConcurrency: 1})
+	srv.queries <- struct{}{} // occupy the only query slot
+	defer func() { <-srv.queries }()
+	resp, err := http.Get(ts.URL + "/v1/summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 must carry Retry-After")
+	}
+	// Ingest rides its own semaphore: still available.
+	ir := postTestdata(t, ts, "domain=smoke.example")
+	if len(ir.Detections) == 0 {
+		t.Fatal("ingest plane must not share the query limiter")
+	}
+	m := srv.metrics.snapshot(srv.cache.Stats())
+	if m.Rejected["query"] != 1 {
+		t.Fatalf("rejected_429 = %+v, want query:1", m.Rejected)
+	}
+}
+
+func TestIngestPlaneSaturationReturns429(t *testing.T) {
+	srv, ts := newTestServer(t, Options{IngestConcurrency: 1})
+	srv.ingests <- struct{}{}
+	defer func() { <-srv.ingests }()
+	resp, err := http.Post(ts.URL+"/v1/ingest?domain=x.example", "application/jsonl", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	// The query plane is unaffected.
+	var v any
+	getJSON(t, ts.URL+"/v1/summary", &v)
+}
+
+// TestGracefulDrain verifies Shutdown waits for an in-flight ingest: the
+// upload's body arrives slowly through a pipe while the server drains,
+// and the upload must still complete and commit.
+func TestGracefulDrain(t *testing.T) {
+	srv := New(queryengine.New(serveStore(t)), Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+
+	data, err := os.ReadFile("testdata/threatmetrix.netlog.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	pr, pw := io.Pipe()
+	started := make(chan struct{})
+	go func() {
+		for i, line := range lines {
+			if i == 1 {
+				close(started) // body is mid-flight
+			}
+			pw.Write(line)
+			time.Sleep(2 * time.Millisecond)
+		}
+		pw.Close()
+	}()
+
+	type result struct {
+		ir  IngestResponse
+		err error
+	}
+	resc := make(chan result, 1)
+	go func() {
+		req, _ := http.NewRequest("POST", "http://"+ln.Addr().String()+"/v1/ingest?domain=smoke.example&os=Windows", pr)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			resc <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		var ir IngestResponse
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(resp.Body)
+			resc <- result{err: fmt.Errorf("status %d: %s", resp.StatusCode, b)}
+			return
+		}
+		err = json.NewDecoder(resp.Body).Decode(&ir)
+		resc <- result{ir: ir, err: err}
+	}()
+
+	<-started
+	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shCtx); err != nil {
+		t.Fatalf("Shutdown: %v (drain must outlast the in-flight ingest)", err)
+	}
+	res := <-resc
+	if res.err != nil {
+		t.Fatalf("in-flight ingest failed during drain: %v", res.err)
+	}
+	if len(res.ir.Detections) != 14 {
+		t.Fatalf("drained ingest detections = %d, want 14", len(res.ir.Detections))
+	}
+	if rows, _ := srv.eng.Locals(queryengine.LocalsFilter{Domain: "smoke.example"}); len(rows) != 14 {
+		t.Fatalf("drained ingest committed %d locals, want 14", len(rows))
+	}
+}
+
+// TestConcurrentQueryIngest exercises both planes at once; run with
+// -race this is the subsystem's data-race check.
+func TestConcurrentQueryIngest(t *testing.T) {
+	_, ts := newTestServer(t, Options{QueryConcurrency: 32, IngestConcurrency: 4})
+	body, err := os.ReadFile("testdata/threatmetrix.netlog.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	paths := []string{"/v1/locals?dest=localhost", "/v1/pages", "/v1/site/scanner.example", "/v1/summary", "/metrics"}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				resp, err := http.Get(ts.URL + paths[(n+j)%len(paths)])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(i)
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				resp, err := http.Post(
+					fmt.Sprintf("%s/v1/ingest?domain=live%d-%d.example&os=Windows", ts.URL, n, j),
+					"application/jsonl", bytes.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests {
+					t.Errorf("ingest status %d", resp.StatusCode)
+				}
+				resp.Body.Close()
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// BenchmarkServeQuery measures query-plane throughput; the hit variant
+// repeats one query (cache-served), the miss variant cycles distinct
+// queries through a cache too small to hold them.
+func BenchmarkServeQuery(b *testing.B) {
+	b.Run("cache-hit", func(b *testing.B) {
+		_, ts := newTestServer(b, Options{})
+		url := ts.URL + "/v1/locals?domain=scanner.example"
+		warm(b, url)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			warm(b, url)
+		}
+	})
+	b.Run("cache-miss", func(b *testing.B) {
+		_, ts := newTestServer(b, Options{CacheEntries: -1})
+		url := ts.URL + "/v1/locals?domain=scanner.example"
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			warm(b, url)
+		}
+	})
+	b.Run("site", func(b *testing.B) {
+		_, ts := newTestServer(b, Options{CacheEntries: -1})
+		url := ts.URL + "/v1/site/scanner.example"
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			warm(b, url)
+		}
+	})
+}
+
+func warm(b *testing.B, url string) {
+	resp, err := http.Get(url)
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+// BenchmarkServeIngest measures end-to-end upload throughput: parse,
+// detect, classify, commit. events/sec is the headline number.
+func BenchmarkServeIngest(b *testing.B) {
+	_, ts := newTestServer(b, Options{})
+	body, err := os.ReadFile("testdata/threatmetrix.netlog.jsonl")
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := bytes.Count(body, []byte("\n"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(
+			fmt.Sprintf("%s/v1/ingest?domain=bench%d.example&os=Windows", ts.URL, i),
+			"application/jsonl", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"hash/maphash"
 	"io"
+	"os"
 	"sort"
 	"sync"
 	"time"
@@ -376,6 +377,19 @@ func (s *Store) Save(w io.Writer) error {
 }
 
 // Load reads JSONL previously written by Save, appending to the store.
+//
+// Loading into an already-populated store is append-merge: the incoming
+// records join the resident ones, so several saved crawls (as in
+// `knockquery -in a.jsonl,b.jsonl` or a server mounting multiple
+// stores) become one queryable snapshot. Records are facts about
+// individual visits — no deduplication is attempted, and loading the
+// same file twice doubles its records. Saving the merged store yields
+// the same canonical bytes regardless of load order, because Save sorts
+// into the canonical (crawl, OS, rank, domain, ...) order.
+//
+// A decode error aborts the load mid-file: records before the corrupt
+// line are already appended. Callers that need all-or-nothing mounting
+// should load into a scratch store first.
 func (s *Store) Load(r io.Reader) error {
 	dec := json.NewDecoder(bufio.NewReaderSize(r, 1<<20))
 	line := 0
@@ -405,6 +419,24 @@ func (s *Store) Load(r io.Reader) error {
 			s.nmu.Unlock()
 		default:
 			return fmt.Errorf("store: record %d: unknown tag %q", line, env.T)
+		}
+	}
+	return nil
+}
+
+// LoadFiles append-merges the stores saved at the given paths, in
+// order, with Load's semantics. It is the shared mount path of the CLI
+// tools and the serving layer.
+func (s *Store) LoadFiles(paths ...string) error {
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		err = s.Load(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("store: loading %s: %w", path, err)
 		}
 	}
 	return nil

@@ -4,6 +4,7 @@ import (
 	"bytes"
 
 	"github.com/knockandtalk/knockandtalk/internal/netlog"
+	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -101,6 +102,94 @@ func TestSaveDeterministicAcrossInsertOrder(t *testing.T) {
 	}
 	if ba.String() != bb.String() {
 		t.Error("serialization depends on insert order")
+	}
+}
+
+// TestLoadAppendMerge pins the semantics of loading into a populated
+// store: records from every file join one snapshot, duplicates are
+// kept, netlogs merge too, and the merged store saves to the same
+// canonical bytes no matter the load order.
+func TestLoadAppendMerge(t *testing.T) {
+	a, b := New(), New()
+	a.AddPage(samplePage("ebay.com", 104))
+	a.AddLocal(sampleLocal("ebay.com"))
+	if err := a.AddNetLog("top100k-2020", "Windows", "ebay.com", sampleNetLog(t)); err != nil {
+		t.Fatal(err)
+	}
+	p21 := samplePage("hola.org", 244)
+	p21.Crawl = "top100k-2021"
+	b.AddPage(p21)
+	b.AddLocal(sampleLocal("ebay.com")) // same record as in a: kept, not deduped
+
+	var fa, fb bytes.Buffer
+	if err := a.Save(&fa); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Save(&fb); err != nil {
+		t.Fatal(err)
+	}
+
+	merged := New()
+	if err := merged.Load(bytes.NewReader(fa.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.Load(bytes.NewReader(fb.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if merged.NumPages() != 2 || merged.NumLocals() != 2 || merged.NumNetLogs() != 1 {
+		t.Fatalf("merge = %d pages, %d locals, %d netlogs; want 2/2/1",
+			merged.NumPages(), merged.NumLocals(), merged.NumNetLogs())
+	}
+	if got := merged.Pages(func(p *PageRecord) bool { return p.Crawl == "top100k-2021" }); len(got) != 1 {
+		t.Fatalf("merged store lost the second crawl: %v", got)
+	}
+
+	reversed := New()
+	if err := reversed.Load(bytes.NewReader(fb.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if err := reversed.Load(bytes.NewReader(fa.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	var sm, sr bytes.Buffer
+	if err := merged.Save(&sm); err != nil {
+		t.Fatal(err)
+	}
+	if err := reversed.Save(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if sm.String() != sr.String() {
+		t.Error("canonical serialization depends on load order")
+	}
+}
+
+func TestLoadFiles(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, fill func(*Store)) string {
+		s := New()
+		fill(s)
+		var buf bytes.Buffer
+		if err := s.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		path := dir + "/" + name
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	pa := write("a.jsonl", func(s *Store) { s.AddPage(samplePage("ebay.com", 104)) })
+	pb := write("b.jsonl", func(s *Store) { s.AddLocal(sampleLocal("ebay.com")) })
+
+	st := New()
+	if err := st.LoadFiles(pa, pb); err != nil {
+		t.Fatal(err)
+	}
+	if st.NumPages() != 1 || st.NumLocals() != 1 {
+		t.Fatalf("LoadFiles = %d pages, %d locals", st.NumPages(), st.NumLocals())
+	}
+	if err := New().LoadFiles(dir + "/missing.jsonl"); err == nil {
+		t.Error("missing file not reported")
 	}
 }
 

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/knockandtalk/knockandtalk/internal/goldencampaign"
+	"github.com/knockandtalk/knockandtalk/internal/serve/queryengine"
+)
+
+// TestGoldenQueries replays the pinned query battery against the seeded
+// golden campaign and requires byte-identical output. The goldens were
+// captured before the pipeline/SiteIndex refactor, so any drift here
+// means the interrogation path changed behaviour, not just internals.
+func TestGoldenQueries(t *testing.T) {
+	st, err := goldencampaign.Merged()
+	if err != nil {
+		t.Fatalf("golden campaign: %v", err)
+	}
+	eng := queryengine.New(st)
+
+	cases := []struct {
+		golden string
+		opts   options
+	}{
+		{"locals-default.txt", options{limit: 50}},
+		{"locals-limit2.txt", options{limit: 2}},
+		{"locals-unlimited.txt", options{limit: 0}},
+		{"locals-dest-lan.txt", options{dest: "lan", limit: 50}},
+		{"locals-os-windows.txt", options{osName: "Windows", dest: "localhost", limit: 50}},
+		{"locals-crawl-2020.txt", options{crawl: "top100k-2020", limit: 50}},
+		{"locals-domain.txt", options{domain: "mihanpajooh.com", limit: 50}},
+		{"pages-limit10.txt", options{pages: true, limit: 10}},
+		{"pages-err.txt", options{pages: true, errStr: "ERR_NAME_NOT_RESOLVED", limit: 5}},
+		{"netlog-hola-linux.txt", options{dumpNL: true, domain: "hola.org", osName: "Linux", crawl: "top100k-2020"}},
+	}
+	for _, tc := range cases {
+		t.Run(strings.TrimSuffix(tc.golden, ".txt"), func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("testdata", "golden", tc.golden))
+			if err != nil {
+				t.Fatalf("read golden: %v", err)
+			}
+			var buf bytes.Buffer
+			if err := run(eng, tc.opts, &buf); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("output differs from %s:\ngot:\n%s\nwant:\n%s",
+					tc.golden, clipOut(buf.String()), clipOut(string(want)))
+			}
+		})
+	}
+}
+
+// TestSiteQuery exercises the -site report, which postdates the goldens:
+// the summary counts must agree with the filtered listings and a classified
+// localhost knocker must print a verdict line.
+func TestSiteQuery(t *testing.T) {
+	st, err := goldencampaign.Merged()
+	if err != nil {
+		t.Fatalf("golden campaign: %v", err)
+	}
+	eng := queryengine.New(st)
+
+	if err := run(eng, options{site: true}, &bytes.Buffer{}); err == nil {
+		t.Fatal("-site without -domain should fail")
+	}
+
+	const domain = "ebay.com"
+	var buf bytes.Buffer
+	if err := run(eng, options{site: true, domain: domain}, &buf); err != nil {
+		t.Fatalf("run -site: %v", err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "site "+domain+": ") {
+		t.Fatalf("missing site summary line:\n%s", clipOut(out))
+	}
+	_, locTotal := eng.Locals(queryengine.LocalsFilter{Domain: domain})
+	_, pagTotal := eng.Pages(queryengine.PagesFilter{Domain: domain})
+	if locTotal == 0 || pagTotal == 0 {
+		t.Fatalf("golden campaign should have activity for %s (pages=%d locals=%d)", domain, pagTotal, locTotal)
+	}
+	rep := eng.Site(domain)
+	if len(rep.Pages) != pagTotal || len(rep.Locals) != locTotal {
+		t.Fatalf("site report counts (pages=%d locals=%d) disagree with filtered listings (pages=%d locals=%d)",
+			len(rep.Pages), len(rep.Locals), pagTotal, locTotal)
+	}
+	if rep.LocalhostVerdict == nil {
+		t.Fatalf("%s probes localhost in the campaign; expected a verdict", domain)
+	}
+	if !strings.Contains(out, "verdict localhost") {
+		t.Fatalf("missing localhost verdict line:\n%s", clipOut(out))
+	}
+	// Every row printed once: summary + verdict lines + pages + locals.
+	lines := strings.Count(strings.TrimRight(out, "\n"), "\n") + 1
+	verdicts := 1
+	if rep.LANVerdict != nil {
+		verdicts++
+	}
+	if want := 1 + verdicts + pagTotal + locTotal; lines != want {
+		t.Fatalf("expected %d output lines, got %d:\n%s", want, lines, clipOut(out))
+	}
+}
+
+func clipOut(s string) string {
+	const max = 2000
+	if len(s) > max {
+		return s[:max] + "…(clipped)"
+	}
+	return s
+}

@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/knockandtalk/knockandtalk/internal/classify"
 	"github.com/knockandtalk/knockandtalk/internal/serve/queryengine"
 	"github.com/knockandtalk/knockandtalk/internal/store"
 )
@@ -30,6 +31,7 @@ type options struct {
 	crawl  string
 	errStr string
 	pages  bool
+	site   bool
 	dumpNL bool
 	limit  int
 }
@@ -43,6 +45,7 @@ func main() {
 		crawl  = flag.String("crawl", "", "filter by crawl id")
 		errStr = flag.String("err", "", "filter pages by net error")
 		pages  = flag.Bool("pages", false, "query page records instead of local requests")
+		site   = flag.Bool("site", false, "print -domain's full site report: visits, local requests, verdicts")
 		dumpNL = flag.Bool("netlog", false, "dump the retained NetLog flows for -domain (requires -domain, -os, -crawl)")
 		limit  = flag.Int("limit", 50, "maximum rows printed (0 = unlimited)")
 	)
@@ -60,7 +63,7 @@ func main() {
 	}
 	opts := options{
 		domain: *domain, dest: *dest, osName: *osName, crawl: *crawl,
-		errStr: *errStr, pages: *pages, dumpNL: *dumpNL, limit: *limit,
+		errStr: *errStr, pages: *pages, site: *site, dumpNL: *dumpNL, limit: *limit,
 	}
 	if err := run(queryengine.New(st), opts, os.Stdout); err != nil {
 		fatalf("%v", err)
@@ -90,6 +93,47 @@ func run(eng *queryengine.Engine, opts options, w io.Writer) error {
 			for _, loc := range f.RedirectedTo {
 				fmt.Fprintf(w, "    -> redirect to %s\n", loc)
 			}
+		}
+		return nil
+	}
+
+	if opts.site {
+		if opts.domain == "" {
+			return fmt.Errorf("-site requires -domain")
+		}
+		rep := eng.Site(opts.domain)
+		fmt.Fprintf(w, "site %s: %d page visits, %d local requests\n",
+			rep.Domain, len(rep.Pages), len(rep.Locals))
+		for _, v := range []struct {
+			dest    string
+			verdict *classify.Verdict
+		}{
+			{"localhost", rep.LocalhostVerdict},
+			{"lan", rep.LANVerdict},
+		} {
+			if v.verdict == nil {
+				continue
+			}
+			line := fmt.Sprintf("verdict %-10s %s (signature %q", v.dest, v.verdict.Class, v.verdict.Signature)
+			if v.verdict.Corroboration != "" {
+				line += ", corroborated by " + v.verdict.Corroboration
+			}
+			fmt.Fprintln(w, line+")")
+		}
+		for _, p := range rep.Pages {
+			status := "OK"
+			if p.Err != "" {
+				status = p.Err
+			}
+			fmt.Fprintf(w, "%-14s %-8s rank=%-6d %-40s %s\n", p.Crawl, p.OS, p.Rank, p.Domain, status)
+		}
+		for _, l := range rep.Locals {
+			outcome := fmt.Sprint(l.StatusCode)
+			if l.NetError != "" {
+				outcome = l.NetError
+			}
+			fmt.Fprintf(w, "%-14s %-8s %-30s %-6s %-44s delay=%-8s %s\n",
+				l.Crawl, l.OS, l.Domain, l.Dest, l.URL, l.Delay.Round(1e6), outcome)
 		}
 		return nil
 	}

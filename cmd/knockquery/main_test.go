@@ -46,10 +46,13 @@ func querySt(t *testing.T) *store.Store {
 	return st
 }
 
-// legacyRun reproduces the pre-refactor knockquery query loops verbatim
-// (inline store filters, manual limit counting) so the refactor onto the
-// shared query engine is pinned: for every flag combination the engine
-// path must print byte-identical output.
+// legacyRun reproduces the pre-refactor knockquery query loops (inline
+// store filters, manual limit counting) so the refactor onto the shared
+// query engine is pinned: for every flag combination the engine path
+// must print byte-identical output. One deliberate difference from the
+// verbatim original: rows are brought into canonical store order before
+// printing, because raw shard iteration order depends on a per-process
+// hash seed — the engine now sorts, and this pin sorts the same way.
 func legacyRun(st *store.Store, opts options, w *bytes.Buffer) {
 	printed := 0
 	room := func() bool { return opts.limit == 0 || printed < opts.limit }
@@ -60,6 +63,7 @@ func legacyRun(st *store.Store, opts options, w *bytes.Buffer) {
 				(opts.crawl == "" || p.Crawl == opts.crawl) &&
 				(opts.errStr == "" || p.Err == opts.errStr)
 		})
+		store.SortPages(rows)
 		for _, p := range rows {
 			if !room() {
 				break
@@ -80,6 +84,7 @@ func legacyRun(st *store.Store, opts options, w *bytes.Buffer) {
 			(opts.osName == "" || l.OS == opts.osName) &&
 			(opts.crawl == "" || l.Crawl == opts.crawl)
 	})
+	store.SortLocals(rows)
 	for _, l := range rows {
 		if !room() {
 			break

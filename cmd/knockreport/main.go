@@ -8,13 +8,12 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
-	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
-	"github.com/knockandtalk/knockandtalk/internal/pna"
 	"github.com/knockandtalk/knockandtalk/internal/report"
 	"github.com/knockandtalk/knockandtalk/internal/store"
 )
@@ -30,87 +29,20 @@ func main() {
 		fatalf("-in is required")
 	}
 	st := store.New()
+	var paths []string
 	for _, path := range strings.Split(*in, ",") {
-		f, err := os.Open(strings.TrimSpace(path))
-		if err != nil {
-			fatalf("opening %s: %v", path, err)
-		}
-		if err := st.Load(f); err != nil {
-			fatalf("loading %s: %v", path, err)
-		}
-		f.Close()
+		paths = append(paths, strings.TrimSpace(path))
+	}
+	if err := st.LoadFiles(paths...); err != nil {
+		fatalf("%v", err)
 	}
 
-	want := map[string]bool{}
-	for _, k := range strings.Split(*only, ",") {
-		if k = strings.TrimSpace(k); k != "" {
-			want[k] = true
-		}
-	}
-	show := func(key string) bool { return len(want) == 0 || want[key] }
-	section := func(key, body string) {
-		if show(key) && body != "" {
-			fmt.Println(body)
-		}
-	}
+	w := bufio.NewWriter(os.Stdout)
+	report.WriteAll(w, st, report.ParseSections(*only))
+	w.Flush()
 
-	t2020, t2021, mal := groundtruth.CrawlTop2020, groundtruth.CrawlTop2021, groundtruth.CrawlMalicious
-
-	if show("headline") {
-		for _, crawl := range []groundtruth.CrawlID{t2020, t2021, mal} {
-			fmt.Print(report.Headline(st, crawl))
-		}
-		fmt.Println()
-	}
-	section("table1", report.Table1(st))
-	section("table2", report.Table2(st))
-	section("table3", report.Table3(st, t2020))
-	section("table4", report.Table4())
-	section("table5", report.LocalhostTable(st, t2020, "Table 5+11: Website localhost requests, 2020 top-100K crawl"))
-	section("table6", report.LANTable(st, t2020, "Table 6: Website LAN requests, 2020 top-100K crawl"))
-	section("table7", report.LocalhostTable(st, t2021, "Table 7: Website localhost requests, 2021 top-100K crawl"))
-	section("table8", report.LocalhostTable(st, mal, "Table 8: Localhost requests, malicious webpages"))
-	section("table9", report.LANTable(st, mal, "Table 9: LAN requests, malicious webpages"))
-	section("table10", report.LANTable(st, t2021, "Table 10: Website LAN requests, 2021 top-100K crawl"))
-	section("figure2", report.Figure2(st, t2020)+"\n"+report.Figure2(st, mal))
-	section("figure3", report.RankCDFFigure(st, t2020, "Figure 3: Rank CDF of localhost-active domains (2020)"))
-	section("figure4", report.SchemeRollupFigure(st, t2020, "Figure 4a: Localhost protocols/ports (2020 top-100K)")+
-		"\n"+report.SchemeRollupFigure(st, mal, "Figure 4b: Localhost protocols/ports (malicious)"))
-	section("figure5", report.DelayCDFFigure(st, t2020, "localhost", "Figure 5a: Delay to first localhost request (2020)")+
-		"\n"+report.DelayCDFFigure(st, t2020, "lan", "Figure 5b: Delay to first LAN request (2020)"))
-	section("figure6", report.DelayCDFFigure(st, t2021, "localhost", "Figure 6a: Delay to first localhost request (2021)")+
-		"\n"+report.DelayCDFFigure(st, t2021, "lan", "Figure 6b: Delay to first LAN request (2021)"))
-	section("figure7", report.DelayCDFFigure(st, mal, "localhost", "Figure 7a: Delay to first localhost request (malicious)")+
-		"\n"+report.DelayCDFFigure(st, mal, "lan", "Figure 7b: Delay to first LAN request (malicious)"))
-	section("figure8", report.SchemeRollupFigure(st, t2021, "Figure 8: Localhost protocols/ports (2021 top-100K)"))
-	section("figure9", report.RankCDFFigure(st, t2021, "Figure 9: Rank CDF of localhost-active domains (2021)"))
-
-	if show("skew") {
-		for _, crawl := range []groundtruth.CrawlID{t2020, t2021, mal} {
-			fmt.Println(report.OSSkewAndSOP(st, crawl))
-		}
-	}
-	if show("longitudinal") {
-		fmt.Println(report.Longitudinal(st, "localhost"))
-		fmt.Println(report.Longitudinal(st, "lan"))
-	}
 	if *csvDir != "" {
 		writeCSVs(st, *csvDir)
-	}
-	if show("pna") {
-		fmt.Println("PNA defense audit (§5.3, WICG draft)")
-		fmt.Println("====================================")
-		for _, crawl := range []groundtruth.CrawlID{t2020, t2021, mal} {
-			rows := pna.Audit(st, crawl, pna.WICGDraft)
-			if len(rows) == 0 {
-				continue
-			}
-			fmt.Printf("%s:\n", crawl)
-			for _, r := range rows {
-				fmt.Printf("  %-20s sites=%-4d requests=%-5d allowed=%-5d blocked(insecure)=%-4d blocked(no-opt-in)=%d\n",
-					r.Class, r.Sites, r.Requests, r.Allowed, r.BlockedInsecure, r.BlockedNoOptIn)
-			}
-		}
 	}
 }
 
@@ -118,21 +50,7 @@ func writeCSVs(st *store.Store, dir string) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		fatalf("creating %s: %v", dir, err)
 	}
-	files := map[string]string{
-		"figure2-2020-venn.csv":             report.VennCSV(st, groundtruth.CrawlTop2020),
-		"figure2-malicious-venn.csv":        report.VennCSV(st, groundtruth.CrawlMalicious),
-		"figure3-rank-cdf-2020.csv":         report.RankCDFCSV(st, groundtruth.CrawlTop2020),
-		"figure9-rank-cdf-2021.csv":         report.RankCDFCSV(st, groundtruth.CrawlTop2021),
-		"figure4-rollup-2020.csv":           report.RollupCSV(st, groundtruth.CrawlTop2020),
-		"figure4-rollup-malicious.csv":      report.RollupCSV(st, groundtruth.CrawlMalicious),
-		"figure8-rollup-2021.csv":           report.RollupCSV(st, groundtruth.CrawlTop2021),
-		"figure5-delay-2020-local.csv":      report.DelayCDFCSV(st, groundtruth.CrawlTop2020, "localhost"),
-		"figure5-delay-2020-lan.csv":        report.DelayCDFCSV(st, groundtruth.CrawlTop2020, "lan"),
-		"figure6-delay-2021-local.csv":      report.DelayCDFCSV(st, groundtruth.CrawlTop2021, "localhost"),
-		"figure6-delay-2021-lan.csv":        report.DelayCDFCSV(st, groundtruth.CrawlTop2021, "lan"),
-		"figure7-delay-malicious-local.csv": report.DelayCDFCSV(st, groundtruth.CrawlMalicious, "localhost"),
-		"figure7-delay-malicious-lan.csv":   report.DelayCDFCSV(st, groundtruth.CrawlMalicious, "lan"),
-	}
+	files := report.CSVSeries(st)
 	for name, body := range files {
 		if err := os.WriteFile(dir+"/"+name, []byte(body), 0o644); err != nil {
 			fatalf("writing %s: %v", name, err)

@@ -15,12 +15,10 @@ import (
 	"sort"
 
 	"github.com/knockandtalk/knockandtalk/internal/browser"
-	"github.com/knockandtalk/knockandtalk/internal/classify"
 	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
 	"github.com/knockandtalk/knockandtalk/internal/hostenv"
-	"github.com/knockandtalk/knockandtalk/internal/localnet"
+	"github.com/knockandtalk/knockandtalk/internal/pipeline"
 	"github.com/knockandtalk/knockandtalk/internal/portdb"
-	"github.com/knockandtalk/knockandtalk/internal/store"
 	"github.com/knockandtalk/knockandtalk/internal/websim"
 )
 
@@ -32,7 +30,16 @@ func main() {
 		}
 		b := browser.New(hostenv.DefaultProfile(os), world.Net, browser.DefaultOptions())
 		res := b.Visit("https://ebay.com/")
-		findings := localnet.FromLog(res.Log)
+
+		// The canonical visit pipeline, with the investigation stages
+		// on: classification by network signature, corroborated via
+		// WHOIS on the script host — the way §4.3.1 attributed it.
+		out := pipeline.Process(res.Log, pipeline.Visit{
+			Crawl: string(groundtruth.CrawlTop2020), OS: os.String(),
+			Domain: "ebay.com", URL: "https://ebay.com/",
+			FinalURL: res.FinalURL, CommittedAt: res.CommittedAt,
+		}, pipeline.Options{Classify: true, Whois: world.Whois})
+		findings := out.Findings
 
 		fmt.Printf("=== ebay.com on %s (page loaded in %v, %d NetLog events) ===\n",
 			os, res.CommittedAt.Round(1e6), res.Log.Len())
@@ -58,19 +65,11 @@ func main() {
 			len(findings), findings[0].Initiator)
 		fmt.Println("      so the script can read handshake results and fingerprint remote-control software.")
 
-		// Attribution, the way §4.3.1 did it: classify by network
-		// signature, then corroborate via WHOIS on the script host.
-		reqs := make([]store.LocalRequest, 0, len(findings))
-		for _, f := range findings {
-			reqs = append(reqs, store.LocalRequest{
-				Domain: "ebay.com", URL: f.URL, Scheme: string(f.Scheme),
-				Host: f.Host, Port: f.Port, Path: f.Path, Dest: f.Dest.String(),
-				Initiator: f.Initiator,
-			})
+		if out.LocalhostVerdict != nil {
+			verdict := *out.LocalhostVerdict
+			fmt.Printf("    → verdict: %s via %q, corroborated by %s\n\n",
+				verdict.Class, verdict.Signature, verdict.Corroboration)
 		}
-		verdict := classify.Corroborate(classify.Site(reqs), reqs, world.Whois)
-		fmt.Printf("    → verdict: %s via %q, corroborated by %s\n\n",
-			verdict.Class, verdict.Signature, verdict.Corroboration)
 	}
 }
 

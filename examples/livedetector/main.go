@@ -5,8 +5,8 @@
 // playing a native application's local API, one a forgotten WordPress
 // dev server — then drives real requests through an instrumented
 // net/http transport and a raw TCP port scan, exactly the traffic
-// shapes the paper observed. The same localnet detector and classifier
-// used on the simulated crawls run unchanged over the recorded NetLog.
+// shapes the paper observed. The same canonical visit pipeline used on
+// the simulated crawls runs unchanged over the recorded NetLog.
 package main
 
 import (
@@ -16,9 +16,8 @@ import (
 	"net/http/httptest"
 	"time"
 
-	"github.com/knockandtalk/knockandtalk/internal/classify"
-	"github.com/knockandtalk/knockandtalk/internal/localnet"
 	"github.com/knockandtalk/knockandtalk/internal/netlog"
+	"github.com/knockandtalk/knockandtalk/internal/pipeline"
 	"github.com/knockandtalk/knockandtalk/internal/realnet"
 	"github.com/knockandtalk/knockandtalk/internal/store"
 )
@@ -53,35 +52,39 @@ func main() {
 	}
 	fmt.Println()
 
-	// Detection: the recorded NetLog is analyzed by the same code that
-	// processes simulated crawls.
-	findings := localnet.FromLog(rec.Log())
-	fmt.Printf("detected %d local-network requests in real traffic:\n", len(findings))
+	// Detection: the recorded NetLog runs through the same pipeline that
+	// processes simulated crawls; its record construction stage yields
+	// store-ready rows with the full visit context attached.
+	out := pipeline.Process(rec.Log(), pipeline.Visit{
+		Crawl: "live", OS: "Linux", Domain: "live",
+	}, pipeline.Options{})
+	fmt.Printf("detected %d local-network requests in real traffic:\n", len(out.Findings))
 	byDomain := map[string][]store.LocalRequest{}
-	for _, f := range findings {
+	for i, f := range out.Findings {
 		outcome := f.NetError
 		if outcome == "" {
 			outcome = fmt.Sprintf("status %d", f.StatusCode)
 		}
 		fmt.Printf("  %-8s %-52s %s\n", f.Dest, f.URL, outcome)
 		key := fmt.Sprintf("%s:%d", f.Host, f.Port)
-		byDomain[key] = append(byDomain[key], store.LocalRequest{
-			Domain: key, URL: f.URL, Scheme: string(f.Scheme), Host: f.Host,
-			Port: f.Port, Path: f.Path, Dest: f.Dest.String(),
-		})
+		r := out.Locals[i]
+		r.Domain = key
+		byDomain[key] = append(byDomain[key], r)
 	}
 	fmt.Println()
 	for key, reqs := range byDomain {
-		v := classify.Site(reqs)
+		// Classification and corroboration through the pipeline's
+		// investigation stage — the same routing the crawler, ingest
+		// service, and fraud-detection example use. Real traffic has no
+		// WHOIS registry, so verdicts stay signature-only.
+		v := pipeline.Classify(reqs[0].Dest, reqs, nil)
 		fmt.Printf("classification %-22s → %-20s (signature %q)\n", key, v.Class, v.Signature)
 	}
 
 	// Persist like the crawler would.
 	st := store.New()
-	for key, reqs := range byDomain {
+	for _, reqs := range byDomain {
 		for _, r := range reqs {
-			r.Crawl, r.OS = "live", "Linux"
-			r.Domain = key
 			st.AddLocal(r)
 		}
 	}

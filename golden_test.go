@@ -1,0 +1,534 @@
+// Golden parity suite for the canonical visit pipeline and the
+// materialized site index: the pinned scaled campaign regenerates
+// byte-for-byte, every paper artifact matches the committed
+// pre-refactor output, and the index agrees exactly with the per-call
+// full-store rescans it replaced (kept here as legacy copies).
+package knockandtalk_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/knockandtalk/knockandtalk/internal/analysis"
+	"github.com/knockandtalk/knockandtalk/internal/classify"
+	"github.com/knockandtalk/knockandtalk/internal/goldencampaign"
+	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+	"github.com/knockandtalk/knockandtalk/internal/pipeline"
+	"github.com/knockandtalk/knockandtalk/internal/report"
+	"github.com/knockandtalk/knockandtalk/internal/store"
+)
+
+func goldenStore(t testing.TB) *store.Store {
+	t.Helper()
+	st, err := goldencampaign.Merged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestGoldenStores pins the campaign itself: the canonical serialized
+// bytes of each crawl's store must hash to the values recorded when the
+// goldens were generated. Any drift here invalidates every other golden
+// comparison, so it fails first and loudest.
+func TestGoldenStores(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "golden", "stores.sha256"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{}
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed stores.sha256 line %q", line)
+		}
+		want[strings.TrimSuffix(fields[1], ".jsonl")] = fields[0]
+	}
+	for _, crawl := range goldencampaign.Crawls {
+		enc, err := goldencampaign.Encoded(crawl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := fmt.Sprintf("%x", sha256.Sum256(enc))
+		if got != want[string(crawl)] {
+			t.Errorf("%s: store hash %s, want %s — the campaign no longer reproduces the pinned goldens", crawl, got, want[string(crawl)])
+		}
+	}
+}
+
+// TestGoldenReport pins every paper table and figure byte-for-byte
+// against the committed pre-refactor knockreport output.
+func TestGoldenReport(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "golden", "report.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	report.WriteAll(&got, goldenStore(t), nil)
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("report output drifted from testdata/golden/report.txt (%d bytes, want %d)\n%s",
+			got.Len(), len(want), firstDiff(got.Bytes(), want))
+	}
+}
+
+// TestGoldenCSV pins every figure's CSV export byte-for-byte.
+func TestGoldenCSV(t *testing.T) {
+	series := report.CSVSeries(goldenStore(t))
+	dir := filepath.Join("testdata", "golden", "csv")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(series) {
+		t.Errorf("CSV series has %d files, golden dir has %d", len(series), len(entries))
+	}
+	for name, got := range series {
+		want, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if got != string(want) {
+			t.Errorf("%s drifted from golden\n%s", name, firstDiff([]byte(got), want))
+		}
+	}
+}
+
+func firstDiff(got, want []byte) string {
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	for i := 0; i < n; i++ {
+		if got[i] != want[i] {
+			lo := i - 80
+			if lo < 0 {
+				lo = 0
+			}
+			hi := i + 80
+			return fmt.Sprintf("first difference at byte %d:\n got: %q\nwant: %q",
+				i, clip(got, lo, hi), clip(want, lo, hi))
+		}
+	}
+	return fmt.Sprintf("outputs agree on the first %d bytes but differ in length", n)
+}
+
+func clip(b []byte, lo, hi int) []byte {
+	if hi > len(b) {
+		hi = len(b)
+	}
+	return b[lo:hi]
+}
+
+// TestSiteIndexMatchesLegacy cross-checks the materialized site index
+// against the per-call full-store rescans it replaced: the legacy
+// aggregate implementations below are verbatim copies of the
+// pre-refactor analysis code, and every aggregate must DeepEqual.
+func TestSiteIndexMatchesLegacy(t *testing.T) {
+	st := goldenStore(t)
+	for _, crawl := range goldencampaign.Crawls {
+		for _, dest := range []string{"localhost", "lan"} {
+			got := analysis.LocalSites(st, crawl, dest)
+			want := legacyLocalSites(st, crawl, dest)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("LocalSites(%s, %s): index disagrees with rescan (%d vs %d sites)", crawl, dest, len(got), len(want))
+			}
+			if got, want := analysis.ComputeSOPUsage(st, crawl, dest), legacySOPUsage(st, crawl, dest); got != want {
+				t.Errorf("ComputeSOPUsage(%s, %s): %+v, want %+v", crawl, dest, got, want)
+			}
+		}
+		for _, osName := range []string{"Windows", "Linux", "Mac"} {
+			got := analysis.SchemeRollup(st, crawl, osName, "localhost")
+			want := legacySchemeRollup(st, crawl, osName, "localhost")
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("SchemeRollup(%s, %s): index disagrees with rescan", crawl, osName)
+			}
+		}
+	}
+	if got, want := analysis.CrawlTable(st), legacyCrawlTable(st); !reflect.DeepEqual(got, want) {
+		t.Errorf("CrawlTable: index disagrees with rescan\n got %+v\nwant %+v", got, want)
+	}
+	if got, want := analysis.MaliciousSummary(st), legacyMaliciousSummary(st); !reflect.DeepEqual(got, want) {
+		t.Errorf("MaliciousSummary: index disagrees with rescan\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// BenchmarkReportAll compares regenerating every aggregate a full
+// report consumes — with the exact call multiplicity WriteAll makes —
+// three ways:
+//
+//   - rescan: the pre-refactor cost model, one full-store scan (and
+//     re-classification) per aggregate call;
+//   - indexed: the same battery through the site index with the store
+//     unchanged between reports (the steady state of repeated reports
+//     and of knockserved's query plane), where every call is a lookup
+//     into the materialized snapshot;
+//   - indexed-cold: the worst case, a store mutation before every
+//     report forcing a full snapshot rebuild each iteration.
+//
+// The index must hold a ≥3× advantage in the indexed configuration.
+func BenchmarkReportAll(b *testing.B) {
+	st := goldenStore(b)
+	b.Run("rescan", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			legacyReportBattery(st)
+		}
+	})
+	b.Run("indexed", func(b *testing.B) {
+		indexedReportBattery(st) // warm the snapshot
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			indexedReportBattery(st)
+		}
+	})
+	b.Run("indexed-cold", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st.BumpGeneration() // invalidate: full rebuild per report
+			indexedReportBattery(st)
+		}
+	})
+}
+
+// indexedReportBattery mirrors legacyReportBattery call for call, but
+// through the analysis API, which now serves from the site index.
+func indexedReportBattery(st *store.Store) {
+	t2020, t2021, mal := groundtruth.CrawlTop2020, groundtruth.CrawlTop2021, groundtruth.CrawlMalicious
+	crawls := []groundtruth.CrawlID{t2020, t2021, mal}
+	ix := pipeline.IndexFor(st)
+	for _, crawl := range crawls { // headline
+		analysis.LocalSites(st, crawl, "localhost")
+		analysis.LocalSites(st, crawl, "lan")
+	}
+	analysis.CrawlTable(st)       // table1
+	analysis.MaliciousSummary(st) // table2
+	for _, c := range []struct {
+		crawl groundtruth.CrawlID
+		dest  string
+	}{
+		{t2020, "localhost"}, // table3
+		{t2020, "localhost"}, // table5
+		{t2020, "lan"},       // table6
+		{t2021, "localhost"}, // table7
+		{mal, "localhost"},   // table8
+		{mal, "lan"},         // table9
+		{t2021, "lan"},       // table10
+		{t2020, "localhost"}, // figure2a
+		{mal, "localhost"},   // figure2b
+		{t2020, "localhost"}, // figure3
+		{t2020, "localhost"}, // figure5a
+		{t2020, "lan"},       // figure5b
+		{t2021, "localhost"}, // figure6a
+		{t2021, "lan"},       // figure6b
+		{mal, "localhost"},   // figure7a
+		{mal, "lan"},         // figure7b
+		{t2021, "localhost"}, // figure9
+	} {
+		analysis.LocalSites(st, c.crawl, c.dest)
+	}
+	for _, c := range []struct { // figures 4 and 8
+		crawl groundtruth.CrawlID
+		oses  []string
+	}{
+		{t2020, []string{"Windows", "Linux", "Mac"}},
+		{mal, []string{"Windows", "Linux", "Mac"}},
+		{t2021, []string{"Windows", "Linux"}},
+	} {
+		for _, osName := range c.oses {
+			analysis.SchemeRollup(st, c.crawl, osName, "localhost")
+		}
+	}
+	for _, crawl := range crawls { // skew
+		analysis.LocalSites(st, crawl, "localhost")
+		analysis.ComputeSOPUsage(st, crawl, "localhost")
+	}
+	for _, dest := range []string{"localhost", "lan"} { // longitudinal
+		analysis.LocalSites(st, t2020, dest)
+		analysis.LocalSites(st, t2021, dest)
+		ix.CrawledDomains(t2020)
+		ix.CrawledDomains(t2021)
+	}
+}
+
+// legacyReportBattery performs the aggregate store scans a full
+// pre-refactor WriteAll triggered, section by section (rendering
+// excluded, which only understates the rescan cost).
+func legacyReportBattery(st *store.Store) {
+	t2020, t2021, mal := groundtruth.CrawlTop2020, groundtruth.CrawlTop2021, groundtruth.CrawlMalicious
+	crawls := []groundtruth.CrawlID{t2020, t2021, mal}
+	for _, crawl := range crawls { // headline
+		legacyLocalSites(st, crawl, "localhost")
+		legacyLocalSites(st, crawl, "lan")
+	}
+	legacyCrawlTable(st)       // table1
+	legacyMaliciousSummary(st) // table2
+	for _, c := range []struct {
+		crawl groundtruth.CrawlID
+		dest  string
+	}{
+		{t2020, "localhost"}, // table3
+		{t2020, "localhost"}, // table5
+		{t2020, "lan"},       // table6
+		{t2021, "localhost"}, // table7
+		{mal, "localhost"},   // table8
+		{mal, "lan"},         // table9
+		{t2021, "lan"},       // table10
+		{t2020, "localhost"}, // figure2a
+		{mal, "localhost"},   // figure2b
+		{t2020, "localhost"}, // figure3
+		{t2020, "localhost"}, // figure5a
+		{t2020, "lan"},       // figure5b
+		{t2021, "localhost"}, // figure6a
+		{t2021, "lan"},       // figure6b
+		{mal, "localhost"},   // figure7a
+		{mal, "lan"},         // figure7b
+		{t2021, "localhost"}, // figure9
+	} {
+		legacyLocalSites(st, c.crawl, c.dest)
+	}
+	for _, c := range []struct { // figures 4 and 8
+		crawl groundtruth.CrawlID
+		oses  []string
+	}{
+		{t2020, []string{"Windows", "Linux", "Mac"}},
+		{mal, []string{"Windows", "Linux", "Mac"}},
+		{t2021, []string{"Windows", "Linux"}},
+	} {
+		for _, osName := range c.oses {
+			legacySchemeRollup(st, c.crawl, osName, "localhost")
+		}
+	}
+	for _, crawl := range crawls { // skew
+		legacyLocalSites(st, crawl, "localhost")
+		legacySOPUsage(st, crawl, "localhost")
+	}
+	for _, dest := range []string{"localhost", "lan"} { // longitudinal
+		legacyLocalSites(st, t2020, dest)
+		legacyLocalSites(st, t2021, dest)
+		legacyCrawledDomains(st, t2020)
+		legacyCrawledDomains(st, t2021)
+	}
+}
+
+// --- verbatim pre-refactor aggregate implementations ---
+
+func legacyLocalSites(st *store.Store, crawl groundtruth.CrawlID, dest string) []analysis.SiteActivity {
+	reqs := st.Locals(func(l *store.LocalRequest) bool {
+		return l.Crawl == string(crawl) && l.Dest == dest
+	})
+	byDomain := map[string]*analysis.SiteActivity{}
+	for _, r := range reqs {
+		sa := byDomain[r.Domain]
+		if sa == nil {
+			sa = &analysis.SiteActivity{
+				Domain:     r.Domain,
+				Rank:       r.Rank,
+				Category:   r.Category,
+				FirstDelay: map[groundtruth.OSSet]time.Duration{},
+			}
+			byDomain[r.Domain] = sa
+		}
+		bit := analysis.OSSetFromName(r.OS)
+		sa.OS |= bit
+		if cur, ok := sa.FirstDelay[bit]; !ok || r.Delay < cur {
+			sa.FirstDelay[bit] = r.Delay
+		}
+		sa.Requests = append(sa.Requests, r)
+	}
+	out := make([]analysis.SiteActivity, 0, len(byDomain))
+	for _, sa := range byDomain {
+		if dest == "lan" {
+			sa.Verdict = classify.LANSite(sa.Requests)
+		} else {
+			sa.Verdict = classify.Site(sa.Requests)
+		}
+		out = append(out, *sa)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank < out[j].Rank
+		}
+		return out[i].Domain < out[j].Domain
+	})
+	return out
+}
+
+func legacySchemeRollup(st *store.Store, crawl groundtruth.CrawlID, osName string, dest string) analysis.Rollup {
+	reqs := st.Locals(func(l *store.LocalRequest) bool {
+		return l.Crawl == string(crawl) && l.OS == osName && l.Dest == dest
+	})
+	r := analysis.Rollup{OS: analysis.OSSetFromName(osName), ByScheme: map[string]int{}, Ports: map[string][]uint16{}}
+	portSet := map[string]map[uint16]bool{}
+	for _, q := range reqs {
+		r.Total++
+		r.ByScheme[q.Scheme]++
+		if portSet[q.Scheme] == nil {
+			portSet[q.Scheme] = map[uint16]bool{}
+		}
+		portSet[q.Scheme][q.Port] = true
+	}
+	for scheme, ports := range portSet {
+		for p := range ports {
+			r.Ports[scheme] = append(r.Ports[scheme], p)
+		}
+		sort.Slice(r.Ports[scheme], func(i, j int) bool { return r.Ports[scheme][i] < r.Ports[scheme][j] })
+	}
+	return r
+}
+
+func legacyCrawlTable(st *store.Store) []analysis.CrawlRow {
+	type key struct {
+		crawl string
+		os    string
+	}
+	rows := map[key]*analysis.CrawlRow{}
+	for _, p := range st.Pages(nil) {
+		k := key{p.Crawl, p.OS}
+		r := rows[k]
+		if r == nil {
+			r = &analysis.CrawlRow{Crawl: groundtruth.CrawlID(p.Crawl), OS: p.OS}
+			rows[k] = r
+		}
+		if p.OK() {
+			r.Successful++
+			continue
+		}
+		r.Failed++
+		switch p.Err {
+		case "ERR_NAME_NOT_RESOLVED":
+			r.NameNotResolved++
+		case "ERR_CONNECTION_REFUSED":
+			r.ConnRefused++
+		case "ERR_CONNECTION_RESET":
+			r.ConnReset++
+		case "ERR_CERT_COMMON_NAME_INVALID":
+			r.CertCNInvalid++
+		default:
+			r.Others++
+		}
+	}
+	out := make([]analysis.CrawlRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Crawl != out[j].Crawl {
+			return out[i].Crawl < out[j].Crawl
+		}
+		return legacyOSOrder(out[i].OS) < legacyOSOrder(out[j].OS)
+	})
+	return out
+}
+
+func legacyOSOrder(os string) int {
+	switch os {
+	case "Windows":
+		return 0
+	case "Linux":
+		return 1
+	default:
+		return 2
+	}
+}
+
+func legacyMaliciousSummary(st *store.Store) []analysis.CategoryRow {
+	byCat := map[string]*analysis.CategoryRow{}
+	attempted := map[[2]string]int{}
+	succeeded := map[[2]string]int{}
+	for _, p := range st.Pages(func(p *store.PageRecord) bool { return p.Crawl == string(groundtruth.CrawlMalicious) }) {
+		r := byCat[p.Category]
+		if r == nil {
+			r = &analysis.CategoryRow{
+				Category:    p.Category,
+				SuccessRate: map[string]float64{},
+				Localhost:   map[string]int{},
+				LAN:         map[string]int{},
+			}
+			byCat[p.Category] = r
+		}
+		attempted[[2]string{p.Category, p.OS}]++
+		if p.OK() {
+			succeeded[[2]string{p.Category, p.OS}]++
+		}
+	}
+	siteSet := map[string]map[string]bool{}
+	for _, p := range st.Pages(func(p *store.PageRecord) bool { return p.Crawl == string(groundtruth.CrawlMalicious) }) {
+		if siteSet[p.Category] == nil {
+			siteSet[p.Category] = map[string]bool{}
+		}
+		siteSet[p.Category][p.Domain] = true
+	}
+	for cat, r := range byCat {
+		r.Sites = len(siteSet[cat])
+		for _, os := range []string{"Windows", "Linux", "Mac"} {
+			if n := attempted[[2]string{cat, os}]; n > 0 {
+				r.SuccessRate[os] = float64(succeeded[[2]string{cat, os}]) / float64(n)
+			}
+		}
+	}
+	for _, dest := range []string{"localhost", "lan"} {
+		for _, s := range legacyLocalSites(st, groundtruth.CrawlMalicious, dest) {
+			r := byCat[s.Category]
+			if r == nil {
+				continue
+			}
+			for osName, bit := range map[string]groundtruth.OSSet{
+				"Windows": groundtruth.OSWindows, "Linux": groundtruth.OSLinux, "Mac": groundtruth.OSMac,
+			} {
+				if s.OS.Has(bit) {
+					if dest == "lan" {
+						r.LAN[osName]++
+					} else {
+						r.Localhost[osName]++
+					}
+				}
+			}
+		}
+	}
+	out := make([]analysis.CategoryRow, 0, len(byCat))
+	for _, cat := range []string{"malware", "abuse", "phishing"} {
+		if r := byCat[cat]; r != nil {
+			out = append(out, *r)
+		}
+	}
+	return out
+}
+
+func legacySOPUsage(st *store.Store, crawl groundtruth.CrawlID, dest string) analysis.SOPUsage {
+	var u analysis.SOPUsage
+	siteExempt := map[string]bool{}
+	siteSeen := map[string]bool{}
+	for _, r := range st.Locals(func(l *store.LocalRequest) bool {
+		return l.Crawl == string(crawl) && l.Dest == dest
+	}) {
+		u.Requests++
+		siteSeen[r.Domain] = true
+		if r.SOPExempt {
+			u.ExemptRequests++
+			siteExempt[r.Domain] = true
+		}
+		if r.Scheme == "wss" {
+			u.WSSRequests++
+		}
+	}
+	u.Sites = len(siteSeen)
+	u.ExemptSites = len(siteExempt)
+	return u
+}
+
+func legacyCrawledDomains(st *store.Store, crawl groundtruth.CrawlID) map[string]bool {
+	out := map[string]bool{}
+	for _, p := range st.Pages(func(p *store.PageRecord) bool { return p.Crawl == string(crawl) }) {
+		out[p.Domain] = true
+	}
+	return out
+}

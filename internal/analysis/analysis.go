@@ -4,90 +4,57 @@
 // CDFs (Figures 3 and 9), protocol/port rollups (Figures 4 and 8),
 // request-timing CDFs (Figures 5–7), and the per-class site breakdowns
 // behind Tables 3, 5–11.
+//
+// Since PR 3 the store-scanning aggregates are materialized by the
+// pipeline's SiteIndex (one build per store generation, shared with the
+// query engine and the HTTP service); this package keeps the stable
+// signatures the report layer consumes and the pure, slice-level
+// helpers (CDFs, Venn regions, class counts).
 package analysis
 
 import (
 	"sort"
-	"time"
+	"sync/atomic"
 
-	"github.com/knockandtalk/knockandtalk/internal/classify"
 	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+	"github.com/knockandtalk/knockandtalk/internal/pipeline"
 	"github.com/knockandtalk/knockandtalk/internal/store"
 )
 
-// OSSetFromName maps a store OS label to its groundtruth bit.
+// debugOSLabels makes OSSetFromName panic on labels outside the
+// study's three platforms instead of folding them to OSNone.
+var debugOSLabels atomic.Bool
+
+// SetDebugOSLabels toggles strict OS-label handling and reports the
+// previous setting. In the default lenient mode an unknown label maps
+// to OSNone — it vanishes from every per-OS aggregate (Figure 2, the
+// delay CDFs) while still counting toward OS-agnostic totals; the
+// pipeline's SiteIndex tallies such records (UnknownOSLabels) so the
+// gap is visible. Strict mode turns the same condition into a panic,
+// for debugging corrupted stores.
+func SetDebugOSLabels(on bool) bool { return debugOSLabels.Swap(on) }
+
+// OSSetFromName maps a store OS label to its groundtruth bit. Unknown
+// labels fold to OSNone (live ingest accepts arbitrary labels) unless
+// SetDebugOSLabels enabled strict mode, in which case they panic.
 func OSSetFromName(name string) groundtruth.OSSet {
-	switch name {
-	case "Windows":
-		return groundtruth.OSWindows
-	case "Linux":
-		return groundtruth.OSLinux
-	case "Mac":
-		return groundtruth.OSMac
-	default:
-		return groundtruth.OSNone
+	set, err := groundtruth.OSSetFromLabel(name)
+	if err != nil && debugOSLabels.Load() {
+		panic(err)
 	}
+	return set
 }
 
 // SiteActivity aggregates one site's local-network behavior across the
 // OSes of a crawl.
-type SiteActivity struct {
-	Domain   string
-	Rank     int
-	Category string
-	// OS is the set of OSes on which local traffic was observed.
-	OS groundtruth.OSSet
-	// FirstDelay maps each active OS to the delay between page fetch
-	// and the first local request (the Figure 5 observable).
-	FirstDelay map[groundtruth.OSSet]time.Duration
-	// Requests are all local requests across OSes.
-	Requests []store.LocalRequest
-	// Verdict is the classified behavior.
-	Verdict classify.Verdict
-}
+type SiteActivity = pipeline.SiteActivity
 
 // LocalSites groups a crawl's local requests by site for one destination
 // class ("localhost" or "lan"), classifies each site, and returns the
-// sites sorted by rank then domain.
+// sites sorted by rank then domain. The result comes from the store's
+// materialized site index; treat element internals as read-only.
 func LocalSites(st *store.Store, crawl groundtruth.CrawlID, dest string) []SiteActivity {
-	reqs := st.Locals(func(l *store.LocalRequest) bool {
-		return l.Crawl == string(crawl) && l.Dest == dest
-	})
-	byDomain := map[string]*SiteActivity{}
-	for _, r := range reqs {
-		sa := byDomain[r.Domain]
-		if sa == nil {
-			sa = &SiteActivity{
-				Domain:     r.Domain,
-				Rank:       r.Rank,
-				Category:   r.Category,
-				FirstDelay: map[groundtruth.OSSet]time.Duration{},
-			}
-			byDomain[r.Domain] = sa
-		}
-		bit := OSSetFromName(r.OS)
-		sa.OS |= bit
-		if cur, ok := sa.FirstDelay[bit]; !ok || r.Delay < cur {
-			sa.FirstDelay[bit] = r.Delay
-		}
-		sa.Requests = append(sa.Requests, r)
-	}
-	out := make([]SiteActivity, 0, len(byDomain))
-	for _, sa := range byDomain {
-		if dest == "lan" {
-			sa.Verdict = classify.LANSite(sa.Requests)
-		} else {
-			sa.Verdict = classify.Site(sa.Requests)
-		}
-		out = append(out, *sa)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Rank != out[j].Rank {
-			return out[i].Rank < out[j].Rank
-		}
-		return out[i].Domain < out[j].Domain
-	})
-	return out
+	return pipeline.IndexFor(st).LocalSites(crawl, dest)
 }
 
 // Venn computes the OS-overlap regions of Figure 2: how many sites were
@@ -200,185 +167,29 @@ func DelaySeconds(sites []SiteActivity, os groundtruth.OSSet) []float64 {
 }
 
 // Rollup is the Figure 4/8 protocol/port breakdown for one OS.
-type Rollup struct {
-	OS    groundtruth.OSSet
-	Total int
-	// ByScheme counts requests per scheme; Ports lists the distinct
-	// ports seen per scheme, sorted.
-	ByScheme map[string]int
-	Ports    map[string][]uint16
-}
+type Rollup = pipeline.Rollup
 
 // SchemeRollup aggregates a crawl's local requests on one OS by scheme
-// and port.
+// and port, from the materialized index.
 func SchemeRollup(st *store.Store, crawl groundtruth.CrawlID, osName string, dest string) Rollup {
-	reqs := st.Locals(func(l *store.LocalRequest) bool {
-		return l.Crawl == string(crawl) && l.OS == osName && l.Dest == dest
-	})
-	r := Rollup{OS: OSSetFromName(osName), ByScheme: map[string]int{}, Ports: map[string][]uint16{}}
-	portSet := map[string]map[uint16]bool{}
-	for _, q := range reqs {
-		r.Total++
-		r.ByScheme[q.Scheme]++
-		if portSet[q.Scheme] == nil {
-			portSet[q.Scheme] = map[uint16]bool{}
-		}
-		portSet[q.Scheme][q.Port] = true
-	}
-	for scheme, ports := range portSet {
-		for p := range ports {
-			r.Ports[scheme] = append(r.Ports[scheme], p)
-		}
-		sort.Slice(r.Ports[scheme], func(i, j int) bool { return r.Ports[scheme][i] < r.Ports[scheme][j] })
-	}
-	return r
+	return pipeline.IndexFor(st).SchemeRollup(crawl, osName, dest)
 }
 
 // CrawlRow is one measured row of Table 1.
-type CrawlRow struct {
-	Crawl           groundtruth.CrawlID
-	OS              string
-	Successful      int
-	Failed          int
-	NameNotResolved int
-	ConnRefused     int
-	ConnReset       int
-	CertCNInvalid   int
-	Others          int
-}
-
-// Total returns attempted loads.
-func (r CrawlRow) Total() int { return r.Successful + r.Failed }
+type CrawlRow = pipeline.CrawlRow
 
 // CrawlTable computes Table 1 from stored page records, in the paper's
 // row order (by crawl, then OS as W/M/L where present).
 func CrawlTable(st *store.Store) []CrawlRow {
-	type key struct {
-		crawl string
-		os    string
-	}
-	rows := map[key]*CrawlRow{}
-	for _, p := range st.Pages(nil) {
-		k := key{p.Crawl, p.OS}
-		r := rows[k]
-		if r == nil {
-			r = &CrawlRow{Crawl: groundtruth.CrawlID(p.Crawl), OS: p.OS}
-			rows[k] = r
-		}
-		if p.OK() {
-			r.Successful++
-			continue
-		}
-		r.Failed++
-		switch p.Err {
-		case "ERR_NAME_NOT_RESOLVED":
-			r.NameNotResolved++
-		case "ERR_CONNECTION_REFUSED":
-			r.ConnRefused++
-		case "ERR_CONNECTION_RESET":
-			r.ConnReset++
-		case "ERR_CERT_COMMON_NAME_INVALID":
-			r.CertCNInvalid++
-		default:
-			r.Others++
-		}
-	}
-	out := make([]CrawlRow, 0, len(rows))
-	for _, r := range rows {
-		out = append(out, *r)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Crawl != out[j].Crawl {
-			return out[i].Crawl < out[j].Crawl
-		}
-		return osOrder(out[i].OS) < osOrder(out[j].OS)
-	})
-	return out
-}
-
-func osOrder(os string) int {
-	switch os {
-	case "Windows":
-		return 0
-	case "Linux":
-		return 1
-	default:
-		return 2
-	}
+	return pipeline.IndexFor(st).CrawlTable()
 }
 
 // CategoryRow is one measured row of Table 2.
-type CategoryRow struct {
-	Category    string
-	Sites       int
-	SuccessRate map[string]float64 // by OS name
-	Localhost   map[string]int     // localhost-active sites by OS name
-	LAN         map[string]int
-}
+type CategoryRow = pipeline.CategoryRow
 
 // MaliciousSummary computes Table 2 from stored records.
 func MaliciousSummary(st *store.Store) []CategoryRow {
-	byCat := map[string]*CategoryRow{}
-	attempted := map[[2]string]int{} // (category, os) → attempts
-	succeeded := map[[2]string]int{}
-	for _, p := range st.Pages(func(p *store.PageRecord) bool { return p.Crawl == string(groundtruth.CrawlMalicious) }) {
-		r := byCat[p.Category]
-		if r == nil {
-			r = &CategoryRow{
-				Category:    p.Category,
-				SuccessRate: map[string]float64{},
-				Localhost:   map[string]int{},
-				LAN:         map[string]int{},
-			}
-			byCat[p.Category] = r
-		}
-		attempted[[2]string{p.Category, p.OS}]++
-		if p.OK() {
-			succeeded[[2]string{p.Category, p.OS}]++
-		}
-	}
-	// Distinct sites per category (attempts divided across OSes).
-	siteSet := map[string]map[string]bool{}
-	for _, p := range st.Pages(func(p *store.PageRecord) bool { return p.Crawl == string(groundtruth.CrawlMalicious) }) {
-		if siteSet[p.Category] == nil {
-			siteSet[p.Category] = map[string]bool{}
-		}
-		siteSet[p.Category][p.Domain] = true
-	}
-	for cat, r := range byCat {
-		r.Sites = len(siteSet[cat])
-		for _, os := range []string{"Windows", "Linux", "Mac"} {
-			if n := attempted[[2]string{cat, os}]; n > 0 {
-				r.SuccessRate[os] = float64(succeeded[[2]string{cat, os}]) / float64(n)
-			}
-		}
-	}
-	for _, dest := range []string{"localhost", "lan"} {
-		for _, s := range LocalSites(st, groundtruth.CrawlMalicious, dest) {
-			r := byCat[s.Category]
-			if r == nil {
-				continue
-			}
-			for osName, bit := range map[string]groundtruth.OSSet{
-				"Windows": groundtruth.OSWindows, "Linux": groundtruth.OSLinux, "Mac": groundtruth.OSMac,
-			} {
-				if s.OS.Has(bit) {
-					if dest == "lan" {
-						r.LAN[osName]++
-					} else {
-						r.Localhost[osName]++
-					}
-				}
-			}
-		}
-	}
-	out := make([]CategoryRow, 0, len(byCat))
-	for _, cat := range []string{"malware", "abuse", "phishing"} {
-		if r := byCat[cat]; r != nil {
-			out = append(out, *r)
-		}
-	}
-	return out
+	return pipeline.IndexFor(st).MaliciousSummary()
 }
 
 // TopN returns the N highest-ranked sites active on the given OS

@@ -8,6 +8,7 @@ import (
 	"github.com/knockandtalk/knockandtalk/internal/crawler"
 	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
 	"github.com/knockandtalk/knockandtalk/internal/hostenv"
+	"github.com/knockandtalk/knockandtalk/internal/pipeline"
 	"github.com/knockandtalk/knockandtalk/internal/store"
 )
 
@@ -203,6 +204,54 @@ func TestOSSetFromName(t *testing.T) {
 		OSSetFromName("BeOS") != groundtruth.OSNone {
 		t.Error("OSSetFromName mapping wrong")
 	}
+}
+
+// TestCorruptedOSLabel pins the two failure modes for a store record
+// whose OS label is outside the study's three platforms: strict mode
+// panics at the first per-OS aggregate touching it, and the default
+// lenient mode keeps the record out of per-OS aggregates while the
+// site index tallies it so the gap is visible instead of silent.
+func TestCorruptedOSLabel(t *testing.T) {
+	st := store.New()
+	good := store.LocalRequest{
+		Crawl: string(groundtruth.CrawlTop2020), OS: "Windows", Domain: "x.example",
+		URL: "wss://localhost:5939/", Scheme: "wss", Host: "localhost", Port: 5939,
+		Path: "/", Dest: "localhost", Delay: time.Second,
+	}
+	st.AddLocal(good)
+	corrupt := good
+	corrupt.OS = "BeOS"
+	corrupt.URL = "wss://localhost:5944/"
+	corrupt.Port = 5944
+	st.AddLocal(corrupt)
+	st.AddPage(store.PageRecord{
+		Crawl: string(groundtruth.CrawlTop2020), OS: "BeOS", Domain: "x.example",
+		URL: "https://x.example/",
+	})
+
+	// Lenient (default): the record vanishes from per-OS sets but the
+	// index reports the label with its record count.
+	sites := LocalSites(st, groundtruth.CrawlTop2020, "localhost")
+	if len(sites) != 1 {
+		t.Fatalf("got %d sites, want 1", len(sites))
+	}
+	if sites[0].OS != groundtruth.OSWindows {
+		t.Errorf("OS set = %v, want the corrupted record folded out, leaving Windows", sites[0].OS)
+	}
+	unknown := pipeline.IndexFor(st).UnknownOSLabels()
+	if unknown["BeOS"] != 2 {
+		t.Errorf("UnknownOSLabels = %v, want BeOS:2 (one local, one page)", unknown)
+	}
+
+	// Strict: the same lookup panics.
+	prev := SetDebugOSLabels(true)
+	defer SetDebugOSLabels(prev)
+	defer func() {
+		if recover() == nil {
+			t.Error("strict mode must panic on a corrupted OS label")
+		}
+	}()
+	OSSetFromName("BeOS")
 }
 
 func TestFirstDelayIsMinimum(t *testing.T) {

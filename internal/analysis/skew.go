@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+	"github.com/knockandtalk/knockandtalk/internal/pipeline"
 	"github.com/knockandtalk/knockandtalk/internal/store"
 )
 
@@ -51,35 +52,11 @@ func ComputeOSSkew(sites []SiteActivity, allOS groundtruth.OSSet) OSSkew {
 // SOPUsage quantifies the §4.2 WebSocket observation: WS/WSS traffic is
 // exempt from the Same-Origin Policy, and the paper found it used
 // extensively for localhost scanning.
-type SOPUsage struct {
-	Requests       int
-	ExemptRequests int
-	Sites          int
-	ExemptSites    int
-	// WSSRequests counts the secured-WebSocket subset.
-	WSSRequests int
-}
+type SOPUsage = pipeline.SOPUsage
 
 // ComputeSOPUsage summarizes Same-Origin-Policy exemption across a
-// crawl's local requests on one destination class.
+// crawl's local requests on one destination class, from the
+// materialized index.
 func ComputeSOPUsage(st *store.Store, crawl groundtruth.CrawlID, dest string) SOPUsage {
-	var u SOPUsage
-	siteExempt := map[string]bool{}
-	siteSeen := map[string]bool{}
-	for _, r := range st.Locals(func(l *store.LocalRequest) bool {
-		return l.Crawl == string(crawl) && l.Dest == dest
-	}) {
-		u.Requests++
-		siteSeen[r.Domain] = true
-		if r.SOPExempt {
-			u.ExemptRequests++
-			siteExempt[r.Domain] = true
-		}
-		if r.Scheme == "wss" {
-			u.WSSRequests++
-		}
-	}
-	u.Sites = len(siteSeen)
-	u.ExemptSites = len(siteExempt)
-	return u
+	return pipeline.IndexFor(st).SOPUsage(crawl, dest)
 }

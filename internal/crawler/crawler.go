@@ -16,7 +16,7 @@ import (
 	"github.com/knockandtalk/knockandtalk/internal/browser"
 	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
 	"github.com/knockandtalk/knockandtalk/internal/hostenv"
-	"github.com/knockandtalk/knockandtalk/internal/localnet"
+	"github.com/knockandtalk/knockandtalk/internal/pipeline"
 	"github.com/knockandtalk/knockandtalk/internal/store"
 	"github.com/knockandtalk/knockandtalk/internal/websim"
 )
@@ -153,8 +153,21 @@ func RunWorld(cfg Config, world *websim.World, dst *store.Store) (*Summary, erro
 				}
 				url := visitURL(tgt.URL, cfg.PagePath)
 				res := b.Visit(url)
-				findings := localnet.FromLog(res.Log)
-				if cfg.RetainLogs && len(findings) > 0 {
+				// The canonical visit pipeline: detection and record
+				// construction. Classification stays off — the bulk
+				// crawl classifies per site at analysis time.
+				out := pipeline.Process(res.Log, pipeline.Visit{
+					Crawl:       string(cfg.Crawl),
+					OS:          cfg.OS.String(),
+					Domain:      tgt.Domain,
+					Rank:        tgt.Rank,
+					Category:    string(tgt.Category),
+					URL:         url,
+					FinalURL:    res.FinalURL,
+					Err:         string(res.Err),
+					CommittedAt: res.CommittedAt,
+				}, pipeline.Options{})
+				if cfg.RetainLogs && len(out.Findings) > 0 {
 					if err := dst.AddNetLog(string(cfg.Crawl), cfg.OS.String(), tgt.Domain, res.Log); err != nil {
 						// Retention is best-effort — the summary records
 						// proceed regardless — but the gap is counted.
@@ -168,43 +181,11 @@ func RunWorld(cfg Config, world *websim.World, dst *store.Store) (*Summary, erro
 					tl.failed++
 					tl.errors[string(res.Err)]++
 				}
-				tl.localRequests += len(findings)
+				tl.localRequests += len(out.Findings)
 
-				batch.AddPage(store.PageRecord{
-					Crawl:       string(cfg.Crawl),
-					OS:          cfg.OS.String(),
-					Domain:      tgt.Domain,
-					Rank:        tgt.Rank,
-					Category:    string(tgt.Category),
-					URL:         url,
-					FinalURL:    res.FinalURL,
-					Err:         string(res.Err),
-					CommittedAt: res.CommittedAt,
-					Events:      res.Log.Len(),
-				})
-				for _, f := range findings {
-					batch.AddLocal(store.LocalRequest{
-						Crawl:       string(cfg.Crawl),
-						OS:          cfg.OS.String(),
-						Domain:      tgt.Domain,
-						Rank:        tgt.Rank,
-						Category:    string(tgt.Category),
-						URL:         f.URL,
-						Scheme:      string(f.Scheme),
-						Host:        f.Host,
-						Port:        f.Port,
-						Path:        f.Path,
-						Dest:        f.Dest.String(),
-						Delay:       f.At - res.CommittedAt,
-						Initiator:   f.Initiator,
-						NetError:    f.NetError,
-						StatusCode:  f.StatusCode,
-						ViaRedirect: f.ViaRedirect,
-						SOPExempt:   f.SOPExempt,
-					})
-				}
 				// One visit = one domain = one store shard, so the whole
 				// visit commits under a single shard lock.
+				out.StageInto(&batch)
 				dst.AddBatch(&batch)
 				batch.Reset()
 				// Extraction and retention are done with the capture;

@@ -1,0 +1,92 @@
+// Package goldencampaign pins the deterministic scaled campaign the
+// golden and parity tests are built on: a 2% population at a fixed
+// seed, all three crawls, NetLog retention on. Every golden artifact in
+// testdata/golden (store hashes, the full report, the CSV series, the
+// knockquery transcripts) was produced from exactly this campaign, so
+// any test package can regenerate the pre-refactor inputs byte-for-byte
+// and compare.
+//
+// The campaign runs once per process (~1s) and is cached as each
+// crawl's canonical Save bytes; consumers that mutate their store get a
+// fresh Load of those bytes, never a shared *store.Store.
+package goldencampaign
+
+import (
+	"bytes"
+	"sync"
+
+	"github.com/knockandtalk/knockandtalk/internal/crawler"
+	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+	"github.com/knockandtalk/knockandtalk/internal/store"
+)
+
+// The campaign's fixed parameters. Changing either invalidates every
+// committed golden artifact.
+const (
+	Scale = 0.02
+	Seed  = 20210603
+)
+
+// Crawls is the canonical crawl order — the order the golden store
+// files were produced and loaded in (knockquery and knockreport mount
+// files in argument order, and the goldens were generated with the
+// top-list crawls first).
+var Crawls = []groundtruth.CrawlID{
+	groundtruth.CrawlTop2020,
+	groundtruth.CrawlTop2021,
+	groundtruth.CrawlMalicious,
+}
+
+var (
+	once     sync.Once
+	encoded  map[groundtruth.CrawlID][]byte
+	buildErr error
+)
+
+func build() {
+	once.Do(func() {
+		encoded = make(map[groundtruth.CrawlID][]byte, len(Crawls))
+		for _, crawl := range Crawls {
+			st := store.New()
+			if _, err := crawler.RunAll(crawler.Config{
+				Crawl: crawl, Scale: Scale, Seed: Seed, RetainLogs: true,
+			}, st); err != nil {
+				buildErr = err
+				return
+			}
+			var buf bytes.Buffer
+			if err := st.Save(&buf); err != nil {
+				buildErr = err
+				return
+			}
+			encoded[crawl] = buf.Bytes()
+		}
+	})
+}
+
+// Encoded returns one crawl's canonical serialized store — the bytes
+// `knockcrawl`/campaign.Run would have written to <crawl>.jsonl.
+func Encoded(crawl groundtruth.CrawlID) ([]byte, error) {
+	build()
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	return encoded[crawl], nil
+}
+
+// Merged returns a fresh store holding all three crawls, loaded in the
+// canonical order. Each call returns an independent store, so callers
+// may mutate (ingest into) theirs freely.
+func Merged() (*store.Store, error) {
+	build()
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	st := store.New()
+	for _, crawl := range Crawls {
+		if err := st.Load(bytes.NewReader(encoded[crawl])); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}

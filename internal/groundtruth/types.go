@@ -39,6 +39,23 @@ const (
 // Has reports whether all bits of q are present.
 func (s OSSet) Has(q OSSet) bool { return s&q == q }
 
+// OSSetFromLabel maps a store OS label ("Windows", "Linux", "Mac") to
+// its bit. Unknown labels return OSNone and an error; callers decide
+// whether to tolerate them (live ingest accepts arbitrary labels) or to
+// fail loudly (debug and integrity checks).
+func OSSetFromLabel(label string) (OSSet, error) {
+	switch label {
+	case "Windows":
+		return OSWindows, nil
+	case "Linux":
+		return OSLinux, nil
+	case "Mac":
+		return OSMac, nil
+	default:
+		return OSNone, fmt.Errorf("groundtruth: unknown OS label %q", label)
+	}
+}
+
 // Count returns the number of OSes in the set.
 func (s OSSet) Count() int {
 	n := 0

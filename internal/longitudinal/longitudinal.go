@@ -10,6 +10,7 @@ import (
 
 	"github.com/knockandtalk/knockandtalk/internal/analysis"
 	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+	"github.com/knockandtalk/knockandtalk/internal/pipeline"
 	"github.com/knockandtalk/knockandtalk/internal/store"
 )
 
@@ -77,8 +78,9 @@ type Report struct {
 func Compare(st *store.Store, dest string) *Report {
 	active2020 := analysis.LocalSites(st, groundtruth.CrawlTop2020, dest)
 	active2021 := analysis.LocalSites(st, groundtruth.CrawlTop2021, dest)
-	crawled2020 := crawledDomains(st, groundtruth.CrawlTop2020)
-	crawled2021 := crawledDomains(st, groundtruth.CrawlTop2021)
+	ix := pipeline.IndexFor(st)
+	crawled2020 := ix.CrawledDomains(groundtruth.CrawlTop2020)
+	crawled2021 := ix.CrawledDomains(groundtruth.CrawlTop2021)
 
 	churn := map[string]*SiteChurn{}
 	for _, s := range active2020 {
@@ -121,14 +123,6 @@ func Compare(st *store.Store, dest string) *Report {
 		return rep.Sites[i].Domain < rep.Sites[j].Domain
 	})
 	return rep
-}
-
-func crawledDomains(st *store.Store, crawl groundtruth.CrawlID) map[string]bool {
-	out := map[string]bool{}
-	for _, p := range st.Pages(func(p *store.PageRecord) bool { return p.Crawl == string(crawl) }) {
-		out[p.Domain] = true
-	}
-	return out
 }
 
 // ClassShift tallies class changes among continued sites — e.g. the

@@ -1,0 +1,559 @@
+package pipeline
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/knockandtalk/knockandtalk/internal/classify"
+	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+	"github.com/knockandtalk/knockandtalk/internal/store"
+)
+
+// SiteActivity aggregates one site's local-network behavior across the
+// OSes of a crawl — the unit every per-site table and figure consumes.
+type SiteActivity struct {
+	Domain   string
+	Rank     int
+	Category string
+	// OS is the set of OSes on which local traffic was observed.
+	OS groundtruth.OSSet
+	// FirstDelay maps each active OS to the delay between page fetch
+	// and the first local request (the Figure 5 observable).
+	FirstDelay map[groundtruth.OSSet]time.Duration
+	// Requests are all local requests across OSes.
+	Requests []store.LocalRequest
+	// Verdict is the classified behavior.
+	Verdict classify.Verdict
+}
+
+// CrawlRow is one measured row of Table 1.
+type CrawlRow struct {
+	Crawl           groundtruth.CrawlID
+	OS              string
+	Successful      int
+	Failed          int
+	NameNotResolved int
+	ConnRefused     int
+	ConnReset       int
+	CertCNInvalid   int
+	Others          int
+}
+
+// Total returns attempted loads.
+func (r CrawlRow) Total() int { return r.Successful + r.Failed }
+
+// CategoryRow is one measured row of Table 2.
+type CategoryRow struct {
+	Category    string
+	Sites       int
+	SuccessRate map[string]float64 // by OS name
+	Localhost   map[string]int     // localhost-active sites by OS name
+	LAN         map[string]int
+}
+
+// Rollup is the Figure 4/8 protocol/port breakdown for one OS.
+type Rollup struct {
+	OS    groundtruth.OSSet
+	Total int
+	// ByScheme counts requests per scheme; Ports lists the distinct
+	// ports seen per scheme, sorted.
+	ByScheme map[string]int
+	Ports    map[string][]uint16
+}
+
+// SOPUsage quantifies the §4.2 Same-Origin-Policy exemption of one
+// crawl's local traffic in a destination class.
+type SOPUsage struct {
+	Requests       int
+	ExemptRequests int
+	Sites          int
+	ExemptSites    int
+	// WSSRequests counts the secured-WebSocket subset.
+	WSSRequests int
+}
+
+// DomainView is one domain's full telemetry across every mounted crawl
+// — the /v1/site observable. Record slices preserve store insertion
+// order (a domain maps to one shard, so the order is well defined).
+type DomainView struct {
+	Pages  []store.PageRecord
+	Locals []store.LocalRequest
+	// Localhost and LAN split Locals by destination class.
+	Localhost []store.LocalRequest
+	LAN       []store.LocalRequest
+	// LocalhostVerdict and LANVerdict are nil when the domain produced
+	// no traffic in that class.
+	LocalhostVerdict *classify.Verdict
+	LANVerdict       *classify.Verdict
+}
+
+// SiteIndex is the materialized aggregate view over one store: site
+// activity and verdicts per (crawl, destination), the Table 1 and
+// Table 2 rows, the Figure 4/8 rollups, SOP usage, crawled-domain
+// sets, and per-domain views. It is built in one pass over the store
+// and cached until the store's generation counter moves, so a full
+// report run — which previously rescanned and reclassified the store
+// once per table and figure — touches the raw records exactly once.
+//
+// All returned aggregates are snapshots to treat as read-only; nested
+// maps and slices are shared with the index.
+type SiteIndex struct {
+	st   *store.Store
+	mu   sync.RWMutex
+	snap *indexSnapshot
+}
+
+// indices maps each store to its index, so every consumer — report
+// CLIs, the query engine, the HTTP service — shares one materialized
+// view per store. Entries live as long as the process; stores are
+// few and long-lived in every production shape.
+var indices sync.Map // *store.Store → *SiteIndex
+
+// IndexFor returns the shared site index of a store, creating it on
+// first use. The index itself is cheap; building its snapshot is
+// deferred until the first aggregate query.
+func IndexFor(st *store.Store) *SiteIndex {
+	if v, ok := indices.Load(st); ok {
+		return v.(*SiteIndex)
+	}
+	v, _ := indices.LoadOrStore(st, &SiteIndex{st: st})
+	return v.(*SiteIndex)
+}
+
+// siteKey addresses per-(crawl, dest) aggregates.
+type siteKey struct {
+	crawl string
+	dest  string
+}
+
+// rollupKey addresses per-(crawl, OS, dest) aggregates.
+type rollupKey struct {
+	crawl string
+	os    string
+	dest  string
+}
+
+// indexSnapshot is one immutable build of the aggregates.
+type indexSnapshot struct {
+	gen       uint64
+	sites     map[siteKey][]SiteActivity
+	rollups   map[rollupKey]Rollup
+	sop       map[siteKey]SOPUsage
+	crawlRows []CrawlRow
+	catRows   []CategoryRow
+	crawled   map[string]map[string]bool
+	domains   map[string]*DomainView
+	unknownOS map[string]int
+}
+
+// snapshot returns the current build, rebuilding if the store has
+// mutated since. Reads take the fast path (one atomic load plus an
+// RLock); at most one goroutine rebuilds at a time.
+func (ix *SiteIndex) snapshot() *indexSnapshot {
+	gen := ix.st.Generation()
+	ix.mu.RLock()
+	snap := ix.snap
+	ix.mu.RUnlock()
+	if snap != nil && snap.gen == gen {
+		return snap
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	// The generation is captured before scanning: a record committed
+	// after the capture implies a later bump, so the next reader
+	// rebuilds even if this build happened to observe the record.
+	gen = ix.st.Generation()
+	if ix.snap != nil && ix.snap.gen == gen {
+		return ix.snap
+	}
+	ix.snap = buildSnapshot(ix.st, gen)
+	return ix.snap
+}
+
+// LocalSites returns a crawl's local-active sites for one destination
+// class ("localhost" or "lan"), classified and sorted by rank then
+// domain.
+func (ix *SiteIndex) LocalSites(crawl groundtruth.CrawlID, dest string) []SiteActivity {
+	sites := ix.snapshot().sites[siteKey{string(crawl), dest}]
+	// The outer slice is copied so callers may filter or re-sort;
+	// element internals stay shared.
+	out := make([]SiteActivity, len(sites))
+	copy(out, sites)
+	return out
+}
+
+// SchemeRollup returns the Figure 4/8 breakdown for one (crawl, OS,
+// destination).
+func (ix *SiteIndex) SchemeRollup(crawl groundtruth.CrawlID, osName, dest string) Rollup {
+	snap := ix.snapshot()
+	if r, ok := snap.rollups[rollupKey{string(crawl), osName, dest}]; ok {
+		return r
+	}
+	set, _ := groundtruth.OSSetFromLabel(osName)
+	return Rollup{OS: set, ByScheme: map[string]int{}, Ports: map[string][]uint16{}}
+}
+
+// SOPUsage returns the §4.2 exemption summary for one (crawl,
+// destination).
+func (ix *SiteIndex) SOPUsage(crawl groundtruth.CrawlID, dest string) SOPUsage {
+	return ix.snapshot().sop[siteKey{string(crawl), dest}]
+}
+
+// CrawlTable returns the Table 1 rows in the paper's order.
+func (ix *SiteIndex) CrawlTable() []CrawlRow {
+	rows := ix.snapshot().crawlRows
+	out := make([]CrawlRow, len(rows))
+	copy(out, rows)
+	return out
+}
+
+// MaliciousSummary returns the Table 2 rows.
+func (ix *SiteIndex) MaliciousSummary() []CategoryRow {
+	rows := ix.snapshot().catRows
+	out := make([]CategoryRow, len(rows))
+	copy(out, rows)
+	return out
+}
+
+// CrawledDomains returns the set of domains with a page record in the
+// crawl (the longitudinal denominators). The map is shared; treat it
+// as read-only.
+func (ix *SiteIndex) CrawledDomains(crawl groundtruth.CrawlID) map[string]bool {
+	if m, ok := ix.snapshot().crawled[string(crawl)]; ok {
+		return m
+	}
+	return map[string]bool{}
+}
+
+// Site returns one domain's cross-crawl view; the zero view for
+// domains the store has never seen.
+func (ix *SiteIndex) Site(domain string) DomainView {
+	if v, ok := ix.snapshot().domains[domain]; ok {
+		return *v
+	}
+	return DomainView{}
+}
+
+// UnknownOSLabels tallies store records whose OS label maps to no
+// known platform — telemetry that would otherwise silently vanish
+// from every per-OS aggregate (it still counts toward OS-agnostic
+// totals). Keys are the offending labels.
+func (ix *SiteIndex) UnknownOSLabels() map[string]int {
+	return ix.snapshot().unknownOS
+}
+
+// buildSnapshot materializes every aggregate in one pass over locals
+// and one over pages.
+func buildSnapshot(st *store.Store, gen uint64) *indexSnapshot {
+	snap := &indexSnapshot{
+		gen:       gen,
+		sites:     map[siteKey][]SiteActivity{},
+		rollups:   map[rollupKey]Rollup{},
+		sop:       map[siteKey]SOPUsage{},
+		crawled:   map[string]map[string]bool{},
+		domains:   map[string]*DomainView{},
+		unknownOS: map[string]int{},
+	}
+
+	// Counting pass: size every per-domain slice exactly, so the build
+	// passes below never reallocate. The per-domain views cover every
+	// crawled domain, and unsized appends there dominated rebuild cost.
+	type domainCounts struct{ pages, locals, localhost, lan int }
+	counts := map[string]*domainCounts{}
+	countFor := func(domain string) *domainCounts {
+		c := counts[domain]
+		if c == nil {
+			c = &domainCounts{}
+			counts[domain] = c
+		}
+		return c
+	}
+	st.ForEachLocal(func(r *store.LocalRequest) {
+		c := countFor(r.Domain)
+		c.locals++
+		if r.Dest == "lan" {
+			c.lan++
+		} else {
+			c.localhost++
+		}
+	})
+	st.ForEachPage(func(p *store.PageRecord) {
+		countFor(p.Domain).pages++
+	})
+	snap.domains = make(map[string]*DomainView, len(counts))
+	for domain, c := range counts {
+		dv := &DomainView{}
+		if c.pages > 0 {
+			dv.Pages = make([]store.PageRecord, 0, c.pages)
+		}
+		if c.locals > 0 {
+			dv.Locals = make([]store.LocalRequest, 0, c.locals)
+		}
+		if c.localhost > 0 {
+			dv.Localhost = make([]store.LocalRequest, 0, c.localhost)
+		}
+		if c.lan > 0 {
+			dv.LAN = make([]store.LocalRequest, 0, c.lan)
+		}
+		snap.domains[domain] = dv
+	}
+
+	// Locals pass: per-(crawl, dest) site grouping, rollups, SOP usage,
+	// and per-domain views, all in one shard-order scan.
+	type groupKey struct {
+		crawl  string
+		dest   string
+		domain string
+	}
+	groups := map[groupKey]*SiteActivity{}
+	type sopSets struct{ seen, exempt map[string]bool }
+	sopSites := map[siteKey]*sopSets{}
+	portSets := map[rollupKey]map[string]map[uint16]bool{}
+	st.ForEachLocal(func(rp *store.LocalRequest) {
+		r := *rp
+		bit, err := groundtruth.OSSetFromLabel(r.OS)
+		if err != nil {
+			snap.unknownOS[r.OS]++
+		}
+
+		gk := groupKey{r.Crawl, r.Dest, r.Domain}
+		sa := groups[gk]
+		if sa == nil {
+			sa = &SiteActivity{
+				Domain:     r.Domain,
+				Rank:       r.Rank,
+				Category:   r.Category,
+				FirstDelay: map[groundtruth.OSSet]time.Duration{},
+			}
+			groups[gk] = sa
+		}
+		sa.OS |= bit
+		if cur, ok := sa.FirstDelay[bit]; !ok || r.Delay < cur {
+			sa.FirstDelay[bit] = r.Delay
+		}
+		sa.Requests = append(sa.Requests, r)
+
+		rk := rollupKey{r.Crawl, r.OS, r.Dest}
+		ru, ok := snap.rollups[rk]
+		if !ok {
+			ru = Rollup{OS: bit, ByScheme: map[string]int{}, Ports: map[string][]uint16{}}
+			portSets[rk] = map[string]map[uint16]bool{}
+		}
+		ru.Total++
+		ru.ByScheme[r.Scheme]++
+		if portSets[rk][r.Scheme] == nil {
+			portSets[rk][r.Scheme] = map[uint16]bool{}
+		}
+		portSets[rk][r.Scheme][r.Port] = true
+		snap.rollups[rk] = ru
+
+		sk := siteKey{r.Crawl, r.Dest}
+		u := snap.sop[sk]
+		ss := sopSites[sk]
+		if ss == nil {
+			ss = &sopSets{seen: map[string]bool{}, exempt: map[string]bool{}}
+			sopSites[sk] = ss
+		}
+		u.Requests++
+		ss.seen[r.Domain] = true
+		if r.SOPExempt {
+			u.ExemptRequests++
+			ss.exempt[r.Domain] = true
+		}
+		if r.Scheme == "wss" {
+			u.WSSRequests++
+		}
+		snap.sop[sk] = u
+
+		// The nil guard covers records committed between the counting
+		// and build passes (their slices just grow normally).
+		dv := snap.domains[r.Domain]
+		if dv == nil {
+			dv = &DomainView{}
+			snap.domains[r.Domain] = dv
+		}
+		dv.Locals = append(dv.Locals, r)
+		if r.Dest == "lan" {
+			dv.LAN = append(dv.LAN, r)
+		} else {
+			dv.Localhost = append(dv.Localhost, r)
+		}
+	})
+	for rk, schemes := range portSets {
+		ru := snap.rollups[rk]
+		for scheme, ports := range schemes {
+			for p := range ports {
+				ru.Ports[scheme] = append(ru.Ports[scheme], p)
+			}
+			sort.Slice(ru.Ports[scheme], func(i, j int) bool { return ru.Ports[scheme][i] < ru.Ports[scheme][j] })
+		}
+	}
+	for sk, ss := range sopSites {
+		u := snap.sop[sk]
+		u.Sites = len(ss.seen)
+		u.ExemptSites = len(ss.exempt)
+		snap.sop[sk] = u
+	}
+
+	// Classify each site group (no corroboration: the paper's tables
+	// classify by network signature alone) and sort per (crawl, dest).
+	for gk, sa := range groups {
+		sa.Verdict = Classify(gk.dest, sa.Requests, nil)
+		sk := siteKey{gk.crawl, gk.dest}
+		snap.sites[sk] = append(snap.sites[sk], *sa)
+	}
+	for sk, sites := range snap.sites {
+		sort.Slice(sites, func(i, j int) bool {
+			if sites[i].Rank != sites[j].Rank {
+				return sites[i].Rank < sites[j].Rank
+			}
+			return sites[i].Domain < sites[j].Domain
+		})
+		snap.sites[sk] = sites
+	}
+	for _, dv := range snap.domains {
+		if len(dv.Localhost) > 0 {
+			v := Classify("localhost", dv.Localhost, nil)
+			dv.LocalhostVerdict = &v
+		}
+		if len(dv.LAN) > 0 {
+			v := Classify("lan", dv.LAN, nil)
+			dv.LANVerdict = &v
+		}
+	}
+
+	// Pages pass: Table 1 rows, the Table 2 load/success tallies,
+	// crawled-domain sets, and per-domain views.
+	type crawlOSKey struct {
+		crawl string
+		os    string
+	}
+	crawlRows := map[crawlOSKey]*CrawlRow{}
+	type catOSKey struct {
+		cat string
+		os  string
+	}
+	attempted := map[catOSKey]int{}
+	succeeded := map[catOSKey]int{}
+	catSites := map[string]map[string]bool{}
+	st.ForEachPage(func(pp *store.PageRecord) {
+		p := *pp
+		if _, err := groundtruth.OSSetFromLabel(p.OS); err != nil {
+			snap.unknownOS[p.OS]++
+		}
+		ck := crawlOSKey{p.Crawl, p.OS}
+		row := crawlRows[ck]
+		if row == nil {
+			row = &CrawlRow{Crawl: groundtruth.CrawlID(p.Crawl), OS: p.OS}
+			crawlRows[ck] = row
+		}
+		if p.OK() {
+			row.Successful++
+		} else {
+			row.Failed++
+			switch p.Err {
+			case "ERR_NAME_NOT_RESOLVED":
+				row.NameNotResolved++
+			case "ERR_CONNECTION_REFUSED":
+				row.ConnRefused++
+			case "ERR_CONNECTION_RESET":
+				row.ConnReset++
+			case "ERR_CERT_COMMON_NAME_INVALID":
+				row.CertCNInvalid++
+			default:
+				row.Others++
+			}
+		}
+
+		if snap.crawled[p.Crawl] == nil {
+			snap.crawled[p.Crawl] = map[string]bool{}
+		}
+		snap.crawled[p.Crawl][p.Domain] = true
+
+		if p.Crawl == string(groundtruth.CrawlMalicious) {
+			attempted[catOSKey{p.Category, p.OS}]++
+			if p.OK() {
+				succeeded[catOSKey{p.Category, p.OS}]++
+			}
+			if catSites[p.Category] == nil {
+				catSites[p.Category] = map[string]bool{}
+			}
+			catSites[p.Category][p.Domain] = true
+		}
+
+		dv := snap.domains[p.Domain]
+		if dv == nil {
+			dv = &DomainView{}
+			snap.domains[p.Domain] = dv
+		}
+		dv.Pages = append(dv.Pages, p)
+	})
+	snap.crawlRows = make([]CrawlRow, 0, len(crawlRows))
+	for _, row := range crawlRows {
+		snap.crawlRows = append(snap.crawlRows, *row)
+	}
+	sort.Slice(snap.crawlRows, func(i, j int) bool {
+		a, b := &snap.crawlRows[i], &snap.crawlRows[j]
+		if a.Crawl != b.Crawl {
+			return a.Crawl < b.Crawl
+		}
+		if osOrder(a.OS) != osOrder(b.OS) {
+			return osOrder(a.OS) < osOrder(b.OS)
+		}
+		return a.OS < b.OS
+	})
+
+	// Table 2 rows, in the paper's category order.
+	byCat := map[string]*CategoryRow{}
+	for cat, sites := range catSites {
+		byCat[cat] = &CategoryRow{
+			Category:    cat,
+			Sites:       len(sites),
+			SuccessRate: map[string]float64{},
+			Localhost:   map[string]int{},
+			LAN:         map[string]int{},
+		}
+		for _, os := range []string{"Windows", "Linux", "Mac"} {
+			if n := attempted[catOSKey{cat, os}]; n > 0 {
+				byCat[cat].SuccessRate[os] = float64(succeeded[catOSKey{cat, os}]) / float64(n)
+			}
+		}
+	}
+	for _, dest := range []string{"localhost", "lan"} {
+		for _, s := range snap.sites[siteKey{string(groundtruth.CrawlMalicious), dest}] {
+			row := byCat[s.Category]
+			if row == nil {
+				continue
+			}
+			for osName, bit := range map[string]groundtruth.OSSet{
+				"Windows": groundtruth.OSWindows, "Linux": groundtruth.OSLinux, "Mac": groundtruth.OSMac,
+			} {
+				if s.OS.Has(bit) {
+					if dest == "lan" {
+						row.LAN[osName]++
+					} else {
+						row.Localhost[osName]++
+					}
+				}
+			}
+		}
+	}
+	for _, cat := range []string{"malware", "abuse", "phishing"} {
+		if row := byCat[cat]; row != nil {
+			snap.catRows = append(snap.catRows, *row)
+		}
+	}
+	return snap
+}
+
+func osOrder(os string) int {
+	switch os {
+	case "Windows":
+		return 0
+	case "Linux":
+		return 1
+	default:
+		return 2
+	}
+}

@@ -1,0 +1,239 @@
+// Package pipeline is the single canonical visit pipeline of Figure 1:
+// NetLog telemetry → browser-source filter → localnet detection →
+// optional probe-inference side channel (sharing the findings pass) →
+// classification (with WHOIS corroboration when a registry is
+// available) → store records. Every consumer of the detect→classify
+// path — the crawler, the serving layer's ingest plane, the query
+// engine, the analysis/report layer, the CLIs, and the examples — runs
+// through this package, so the measurement semantics cannot drift
+// between the offline crawl and its online and interactive
+// counterparts.
+//
+// The package also materializes the SiteIndex (index.go): the
+// O(sites) per-crawl aggregate view behind every paper table and
+// figure, built once per store generation instead of rescanned per
+// call.
+package pipeline
+
+import (
+	"time"
+
+	"github.com/knockandtalk/knockandtalk/internal/classify"
+	"github.com/knockandtalk/knockandtalk/internal/localnet"
+	"github.com/knockandtalk/knockandtalk/internal/netlog"
+	"github.com/knockandtalk/knockandtalk/internal/probeinfer"
+	"github.com/knockandtalk/knockandtalk/internal/store"
+	"github.com/knockandtalk/knockandtalk/internal/whois"
+)
+
+// Stage identifies one pipeline stage for hooks and metrics.
+type Stage int
+
+// Pipeline stages, in execution order.
+const (
+	StageDetect Stage = iota
+	StageInfer
+	StageClassify
+)
+
+// String names the stage as it appears in /metrics.
+func (s Stage) String() string {
+	switch s {
+	case StageDetect:
+		return "detect"
+	case StageInfer:
+		return "infer"
+	case StageClassify:
+		return "classify"
+	default:
+		return "unknown"
+	}
+}
+
+// Hooks observe stage execution. All fields are optional.
+type Hooks struct {
+	// OnStage fires after each executed stage with the number of items
+	// the stage produced (findings, inferences, or verdicts) and its
+	// wall time. The serving layer feeds these into /metrics.
+	OnStage func(stage Stage, items int, elapsed time.Duration)
+}
+
+func (h Hooks) fire(stage Stage, items int, started time.Time) {
+	if h.OnStage != nil {
+		h.OnStage(stage, items, time.Since(started))
+	}
+}
+
+// Options compose a pipeline run. The zero value detects with the
+// paper's configuration and stops there — exactly what the bulk crawl
+// needs, which defers classification to the analysis layer.
+type Options struct {
+	// Detect tunes the localnet detector (ablations only; the zero
+	// value is the paper's configuration).
+	Detect localnet.Options
+	// InferProbes additionally runs the §4.3.2 timing side channel over
+	// the same findings pass.
+	InferProbes bool
+	// Classify assigns per-visit localhost and LAN verdicts (the live
+	// ingest and example paths; the bulk crawl classifies per site at
+	// analysis time instead).
+	Classify bool
+	// Whois corroborates fraud-detection verdicts with registrant
+	// evidence (§4.3.1) when non-nil. Applies wherever this pipeline
+	// classifies: visit verdicts here and site verdicts via Classify.
+	Whois *whois.Registry
+	// Hooks observe stage execution.
+	Hooks Hooks
+}
+
+// Visit carries the metadata of one page visit — everything the store
+// records that is not derived from the telemetry itself.
+type Visit struct {
+	Crawl    string
+	OS       string
+	Domain   string
+	Rank     int
+	Category string
+	// URL is the visited URL; FinalURL and Err describe the load
+	// outcome; CommittedAt anchors per-request delays.
+	URL         string
+	FinalURL    string
+	Err         string
+	CommittedAt time.Duration
+}
+
+// Result is one visit's pipeline output.
+type Result struct {
+	// Page is the visit's page record, ready to commit.
+	Page store.PageRecord
+	// Findings are the detector's raw extractions, in detection order.
+	Findings []localnet.Finding
+	// Locals are the corresponding store records (same order), with
+	// negative delays clamped as the store would.
+	Locals []store.LocalRequest
+	// Localhost and LAN split Locals by destination class, preserving
+	// order.
+	Localhost []store.LocalRequest
+	LAN       []store.LocalRequest
+	// LocalhostVerdict and LANVerdict are the per-visit classifications
+	// (Options.Classify); nil when the class saw no traffic or
+	// classification was not requested.
+	LocalhostVerdict *classify.Verdict
+	LANVerdict       *classify.Verdict
+	// Inferences are the probe side-channel verdicts
+	// (Options.InferProbes).
+	Inferences []probeinfer.Inference
+}
+
+// Process runs the pipeline over one visit's telemetry.
+func Process(log *netlog.Log, v Visit, opts Options) *Result {
+	res := &Result{Page: store.PageRecord{
+		Crawl:       v.Crawl,
+		OS:          v.OS,
+		Domain:      v.Domain,
+		Rank:        v.Rank,
+		Category:    v.Category,
+		URL:         v.URL,
+		FinalURL:    v.FinalURL,
+		Err:         v.Err,
+		CommittedAt: v.CommittedAt,
+		Events:      log.Len(),
+	}}
+
+	started := time.Now()
+	res.Findings = localnet.FromLogOpts(log, opts.Detect)
+	opts.Hooks.fire(StageDetect, len(res.Findings), started)
+
+	if opts.InferProbes {
+		started = time.Now()
+		res.Inferences = probeinfer.FromLogFindings(log, res.Findings)
+		opts.Hooks.fire(StageInfer, len(res.Inferences), started)
+	}
+
+	if len(res.Findings) > 0 {
+		res.Locals = make([]store.LocalRequest, 0, len(res.Findings))
+	}
+	for _, f := range res.Findings {
+		rec := store.LocalRequest{
+			Crawl:       v.Crawl,
+			OS:          v.OS,
+			Domain:      v.Domain,
+			Rank:        v.Rank,
+			Category:    v.Category,
+			URL:         f.URL,
+			Scheme:      string(f.Scheme),
+			Host:        f.Host,
+			Port:        f.Port,
+			Path:        f.Path,
+			Dest:        f.Dest.String(),
+			Delay:       f.At - v.CommittedAt,
+			Initiator:   f.Initiator,
+			NetError:    f.NetError,
+			StatusCode:  f.StatusCode,
+			ViaRedirect: f.ViaRedirect,
+			SOPExempt:   f.SOPExempt,
+		}
+		if rec.Delay < 0 {
+			rec.Delay = 0
+		}
+		res.Locals = append(res.Locals, rec)
+		if rec.Dest == "lan" {
+			res.LAN = append(res.LAN, rec)
+		} else {
+			res.Localhost = append(res.Localhost, rec)
+		}
+	}
+
+	if opts.Classify {
+		started = time.Now()
+		verdicts := 0
+		if len(res.Localhost) > 0 {
+			v := Classify("localhost", res.Localhost, opts.Whois)
+			res.LocalhostVerdict = &v
+			verdicts++
+		}
+		if len(res.LAN) > 0 {
+			v := Classify("lan", res.LAN, opts.Whois)
+			res.LANVerdict = &v
+			verdicts++
+		}
+		opts.Hooks.fire(StageClassify, verdicts, started)
+	}
+	return res
+}
+
+// StageInto appends the visit's records to a store batch, so a whole
+// visit commits under a single shard lock (all records share the
+// domain).
+func (r *Result) StageInto(b *store.Batch) {
+	b.AddPage(r.Page)
+	for _, l := range r.Locals {
+		b.AddLocal(l)
+	}
+}
+
+// Commit writes the visit directly to a store in one sharded batch.
+func (r *Result) Commit(st *store.Store) {
+	var b store.Batch
+	r.StageInto(&b)
+	st.AddBatch(&b)
+}
+
+// Classify assigns the behavior verdict for one site's (or visit's)
+// requests in a destination class, corroborating fraud-detection
+// verdicts via WHOIS when a registry is supplied. This helper is the
+// single classification call site of the codebase: every consumer —
+// index builds, live ingest, the query engine, the examples — funnels
+// through it.
+func Classify(dest string, reqs []store.LocalRequest, registry *whois.Registry) classify.Verdict {
+	var v classify.Verdict
+	if dest == "lan" {
+		v = classify.LANSite(reqs)
+	} else {
+		v = classify.Site(reqs)
+	}
+	if registry != nil {
+		v = classify.Corroborate(v, reqs, registry)
+	}
+	return v
+}

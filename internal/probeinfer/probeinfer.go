@@ -110,17 +110,27 @@ func FromFindings(findings []localnet.Finding, elapsed func(f localnet.Finding) 
 	return out
 }
 
-// FromLog runs detection and inference over a visit's NetLog, using each
-// flow's own duration as the timing signal.
-func FromLog(log *netlog.Log) []Inference {
+// FromLogFindings infers port states for findings already extracted
+// from log, using each flow's own duration as the timing signal. It is
+// the entry point for callers that have run detection themselves — the
+// visit pipeline runs localnet once and feeds both the store records
+// and this side channel from the same findings pass.
+func FromLogFindings(log *netlog.Log, findings []localnet.Finding) []Inference {
 	durations := map[string]time.Duration{}
 	for _, flow := range log.Flows() {
 		durations[flow.URL] = flow.Duration()
 	}
-	findings := localnet.FromLog(log)
 	return FromFindings(findings, func(f localnet.Finding) time.Duration {
 		return durations[f.URL]
 	})
+}
+
+// FromLog runs detection and inference over a visit's NetLog. It is a
+// convenience wrapper for callers holding only the raw capture; when
+// the findings are already in hand, use FromLogFindings and skip the
+// second detection pass.
+func FromLog(log *netlog.Log) []Inference {
+	return FromLogFindings(log, localnet.FromLog(log))
 }
 
 // Profile summarizes an inference run the way an anti-abuse backend

@@ -1,0 +1,115 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+	"github.com/knockandtalk/knockandtalk/internal/pna"
+	"github.com/knockandtalk/knockandtalk/internal/store"
+)
+
+// WriteAll renders every table, figure, and auxiliary section of the
+// paper in knockreport's order. only selects a subset by section key
+// (table1..table11, figure2..figure9, headline, longitudinal, skew,
+// pna); empty or nil means everything. This is the single rendering
+// path shared by cmd/knockreport, the golden parity tests, and
+// BenchmarkReportAll, so the regenerated artifacts cannot drift
+// between the CLI and the test suite.
+func WriteAll(w io.Writer, st *store.Store, only map[string]bool) {
+	show := func(key string) bool { return len(only) == 0 || only[key] }
+	section := func(key, body string) {
+		if show(key) && body != "" {
+			fmt.Fprintln(w, body)
+		}
+	}
+
+	t2020, t2021, mal := groundtruth.CrawlTop2020, groundtruth.CrawlTop2021, groundtruth.CrawlMalicious
+
+	if show("headline") {
+		for _, crawl := range []groundtruth.CrawlID{t2020, t2021, mal} {
+			fmt.Fprint(w, Headline(st, crawl))
+		}
+		fmt.Fprintln(w)
+	}
+	section("table1", Table1(st))
+	section("table2", Table2(st))
+	section("table3", Table3(st, t2020))
+	section("table4", Table4())
+	section("table5", LocalhostTable(st, t2020, "Table 5+11: Website localhost requests, 2020 top-100K crawl"))
+	section("table6", LANTable(st, t2020, "Table 6: Website LAN requests, 2020 top-100K crawl"))
+	section("table7", LocalhostTable(st, t2021, "Table 7: Website localhost requests, 2021 top-100K crawl"))
+	section("table8", LocalhostTable(st, mal, "Table 8: Localhost requests, malicious webpages"))
+	section("table9", LANTable(st, mal, "Table 9: LAN requests, malicious webpages"))
+	section("table10", LANTable(st, t2021, "Table 10: Website LAN requests, 2021 top-100K crawl"))
+	section("figure2", Figure2(st, t2020)+"\n"+Figure2(st, mal))
+	section("figure3", RankCDFFigure(st, t2020, "Figure 3: Rank CDF of localhost-active domains (2020)"))
+	section("figure4", SchemeRollupFigure(st, t2020, "Figure 4a: Localhost protocols/ports (2020 top-100K)")+
+		"\n"+SchemeRollupFigure(st, mal, "Figure 4b: Localhost protocols/ports (malicious)"))
+	section("figure5", DelayCDFFigure(st, t2020, "localhost", "Figure 5a: Delay to first localhost request (2020)")+
+		"\n"+DelayCDFFigure(st, t2020, "lan", "Figure 5b: Delay to first LAN request (2020)"))
+	section("figure6", DelayCDFFigure(st, t2021, "localhost", "Figure 6a: Delay to first localhost request (2021)")+
+		"\n"+DelayCDFFigure(st, t2021, "lan", "Figure 6b: Delay to first LAN request (2021)"))
+	section("figure7", DelayCDFFigure(st, mal, "localhost", "Figure 7a: Delay to first localhost request (malicious)")+
+		"\n"+DelayCDFFigure(st, mal, "lan", "Figure 7b: Delay to first LAN request (malicious)"))
+	section("figure8", SchemeRollupFigure(st, t2021, "Figure 8: Localhost protocols/ports (2021 top-100K)"))
+	section("figure9", RankCDFFigure(st, t2021, "Figure 9: Rank CDF of localhost-active domains (2021)"))
+
+	if show("skew") {
+		for _, crawl := range []groundtruth.CrawlID{t2020, t2021, mal} {
+			fmt.Fprintln(w, OSSkewAndSOP(st, crawl))
+		}
+	}
+	if show("longitudinal") {
+		fmt.Fprintln(w, Longitudinal(st, "localhost"))
+		fmt.Fprintln(w, Longitudinal(st, "lan"))
+	}
+	if show("pna") {
+		fmt.Fprintln(w, "PNA defense audit (§5.3, WICG draft)")
+		fmt.Fprintln(w, "====================================")
+		for _, crawl := range []groundtruth.CrawlID{t2020, t2021, mal} {
+			rows := pna.Audit(st, crawl, pna.WICGDraft)
+			if len(rows) == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "%s:\n", crawl)
+			for _, r := range rows {
+				fmt.Fprintf(w, "  %-20s sites=%-4d requests=%-5d allowed=%-5d blocked(insecure)=%-4d blocked(no-opt-in)=%d\n",
+					r.Class, r.Sites, r.Requests, r.Allowed, r.BlockedInsecure, r.BlockedNoOptIn)
+			}
+		}
+	}
+}
+
+// ParseSections turns knockreport's -only flag value into the section
+// filter WriteAll consumes.
+func ParseSections(only string) map[string]bool {
+	want := map[string]bool{}
+	for _, k := range strings.Split(only, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			want[k] = true
+		}
+	}
+	return want
+}
+
+// CSVSeries returns every figure's CSV export keyed by its canonical
+// file name — the set knockreport -csvdir writes.
+func CSVSeries(st *store.Store) map[string]string {
+	return map[string]string{
+		"figure2-2020-venn.csv":             VennCSV(st, groundtruth.CrawlTop2020),
+		"figure2-malicious-venn.csv":        VennCSV(st, groundtruth.CrawlMalicious),
+		"figure3-rank-cdf-2020.csv":         RankCDFCSV(st, groundtruth.CrawlTop2020),
+		"figure9-rank-cdf-2021.csv":         RankCDFCSV(st, groundtruth.CrawlTop2021),
+		"figure4-rollup-2020.csv":           RollupCSV(st, groundtruth.CrawlTop2020),
+		"figure4-rollup-malicious.csv":      RollupCSV(st, groundtruth.CrawlMalicious),
+		"figure8-rollup-2021.csv":           RollupCSV(st, groundtruth.CrawlTop2021),
+		"figure5-delay-2020-local.csv":      DelayCDFCSV(st, groundtruth.CrawlTop2020, "localhost"),
+		"figure5-delay-2020-lan.csv":        DelayCDFCSV(st, groundtruth.CrawlTop2020, "lan"),
+		"figure6-delay-2021-local.csv":      DelayCDFCSV(st, groundtruth.CrawlTop2021, "localhost"),
+		"figure6-delay-2021-lan.csv":        DelayCDFCSV(st, groundtruth.CrawlTop2021, "lan"),
+		"figure7-delay-malicious-local.csv": DelayCDFCSV(st, groundtruth.CrawlMalicious, "localhost"),
+		"figure7-delay-malicious-lan.csv":   DelayCDFCSV(st, groundtruth.CrawlMalicious, "lan"),
+	}
+}

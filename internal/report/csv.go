@@ -37,14 +37,16 @@ func DelayCDFCSV(st *store.Store, crawl groundtruth.CrawlID, dest string) string
 	return b.String()
 }
 
-// RollupCSV emits "os,scheme,requests,ports" rows for Figures 4/8.
+// RollupCSV emits "os,scheme,requests,ports" rows for Figures 4/8, in
+// the same deterministic scheme order the figure prints (request count
+// descending, then scheme name).
 func RollupCSV(st *store.Store, crawl groundtruth.CrawlID) string {
 	var b strings.Builder
 	b.WriteString("os,scheme,requests,ports\n")
 	for _, os := range osRows(crawl) {
 		r := analysis.SchemeRollup(st, crawl, os.name, "localhost")
-		for scheme, n := range r.ByScheme {
-			fmt.Fprintf(&b, "%s,%s,%d,%s\n", os.name, scheme, n, strings.ReplaceAll(portsCompact(r.Ports[scheme]), ",", ";"))
+		for _, scheme := range schemesByCount(r.ByScheme) {
+			fmt.Fprintf(&b, "%s,%s,%d,%s\n", os.name, scheme, r.ByScheme[scheme], strings.ReplaceAll(portsCompact(r.Ports[scheme]), ",", ";"))
 		}
 	}
 	return b.String()

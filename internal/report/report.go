@@ -326,12 +326,7 @@ func SchemeRollupFigure(st *store.Store, crawl groundtruth.CrawlID, title string
 		if r.Total == 0 {
 			continue
 		}
-		schemes := make([]string, 0, len(r.ByScheme))
-		for s := range r.ByScheme {
-			schemes = append(schemes, s)
-		}
-		sort.Slice(schemes, func(i, j int) bool { return r.ByScheme[schemes[i]] > r.ByScheme[schemes[j]] })
-		for i, s := range schemes {
+		for i, s := range schemesByCount(r.ByScheme) {
 			label := ""
 			if i == 0 {
 				label = fmt.Sprintf("%s (%d)", os.name, r.Total)
@@ -340,6 +335,24 @@ func SchemeRollupFigure(st *store.Store, crawl groundtruth.CrawlID, title string
 		}
 	}
 	return t.String()
+}
+
+// schemesByCount orders a rollup's schemes deterministically: request
+// count descending, ties broken by scheme name. Map iteration order
+// must never leak into rendered output (the golden-pinned parity tests
+// depend on byte stability).
+func schemesByCount(byScheme map[string]int) []string {
+	schemes := make([]string, 0, len(byScheme))
+	for s := range byScheme {
+		schemes = append(schemes, s)
+	}
+	sort.Slice(schemes, func(i, j int) bool {
+		if byScheme[schemes[i]] != byScheme[schemes[j]] {
+			return byScheme[schemes[i]] > byScheme[schemes[j]]
+		}
+		return schemes[i] < schemes[j]
+	})
+	return schemes
 }
 
 type osRow struct {

@@ -8,9 +8,8 @@ import (
 	"strconv"
 	"time"
 
-	"github.com/knockandtalk/knockandtalk/internal/classify"
-	"github.com/knockandtalk/knockandtalk/internal/localnet"
 	"github.com/knockandtalk/knockandtalk/internal/netlog"
+	"github.com/knockandtalk/knockandtalk/internal/pipeline"
 	"github.com/knockandtalk/knockandtalk/internal/report"
 	"github.com/knockandtalk/knockandtalk/internal/store"
 )
@@ -120,66 +119,49 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	// The offline pipeline, online: detect, record, classify.
-	findings := localnet.FromLog(log)
-	var batch store.Batch
-	batch.AddPage(store.PageRecord{
+	// The offline pipeline, online: the same canonical detect →
+	// classify path the crawler and the examples run, with verdicts
+	// corroborated via WHOIS when the server mounts a registry, and
+	// per-stage timings feeding /metrics.
+	out := pipeline.Process(log, pipeline.Visit{
 		Crawl: crawl, OS: osName, Domain: domain, Rank: rank,
-		Category: q.Get("category"), URL: url,
-		CommittedAt: committedAt, Events: log.Len(),
+		Category: q.Get("category"), URL: url, CommittedAt: committedAt,
+	}, pipeline.Options{
+		Classify: true,
+		Whois:    s.opts.Whois,
+		Hooks:    pipeline.Hooks{OnStage: s.metrics.stage},
 	})
 	resp := IngestResponse{Crawl: crawl, OS: osName, Domain: domain, Events: log.Len()}
-	var localhost, lan []store.LocalRequest
-	for _, f := range findings {
-		rec := store.LocalRequest{
-			Crawl: crawl, OS: osName, Domain: domain, Rank: rank,
-			Category: q.Get("category"),
-			URL:      f.URL, Scheme: string(f.Scheme), Host: f.Host,
-			Port: f.Port, Path: f.Path, Dest: f.Dest.String(),
-			Delay: f.At - committedAt, Initiator: f.Initiator,
-			NetError: f.NetError, StatusCode: f.StatusCode,
-			ViaRedirect: f.ViaRedirect, SOPExempt: f.SOPExempt,
-		}
-		if rec.Delay < 0 {
-			rec.Delay = 0
-		}
-		batch.AddLocal(rec)
-		resp.Detections = append(resp.Detections, rec)
-		if rec.Dest == "lan" {
-			lan = append(lan, rec)
-		} else {
-			localhost = append(localhost, rec)
-		}
-	}
+	resp.Detections = out.Locals
 	if resp.Detections == nil {
 		resp.Detections = []store.LocalRequest{}
 	}
 
 	classCounts := map[string]int{}
-	if len(localhost) > 0 {
-		v := report.VerdictJSON(classify.Site(localhost))
+	if out.LocalhostVerdict != nil {
+		v := report.VerdictJSON(*out.LocalhostVerdict)
 		resp.LocalhostVerdict = &v
-		classCounts[v.Class] += len(localhost)
+		classCounts[v.Class] += len(out.Localhost)
 	}
-	if len(lan) > 0 {
-		v := report.VerdictJSON(classify.LANSite(lan))
+	if out.LANVerdict != nil {
+		v := report.VerdictJSON(*out.LANVerdict)
 		resp.LANVerdict = &v
-		classCounts[v.Class] += len(lan)
+		classCounts[v.Class] += len(out.LAN)
 	}
 
 	// Commit the visit in one sharded batch (all records share the
-	// domain, hence the shard), retain the capture if asked, and bump
-	// the generation so cached query responses go stale.
+	// domain, hence the shard) and retain the capture if asked. The
+	// store bumps its generation on commit, so cached query responses
+	// and the site index go stale on their own.
 	st := s.eng.Store()
-	st.AddBatch(&batch)
-	if q.Get("retain") == "1" && len(findings) > 0 {
+	out.Commit(st)
+	if q.Get("retain") == "1" && len(out.Findings) > 0 {
 		if err := st.AddNetLog(crawl, osName, domain, log); err != nil {
 			// Retention is best-effort, as in the crawler; the records
 			// are committed regardless.
 			s.metrics.ingestFailed()
 		}
 	}
-	s.eng.BumpGeneration()
 	s.metrics.ingested(log.Len(), len(resp.Detections), time.Since(start), classCounts)
 	writeJSON(w, resp)
 }

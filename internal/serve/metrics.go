@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/knockandtalk/knockandtalk/internal/pipeline"
 )
 
 // metrics holds the service's operational counters. Hot-path counters
@@ -16,6 +18,9 @@ type metrics struct {
 	requests  map[string]uint64 // by endpoint path
 	rejects   map[string]uint64 // by plane
 	byClass   map[string]uint64 // ingest detections by verdict class
+	stages    map[string]*stageTally
+	// stages tallies ingest-plane pipeline stages (detect, infer,
+	// classify) via pipeline.Hooks.
 	hits      atomic.Uint64     // cache hits (also mirrored from cache)
 	misses    atomic.Uint64
 	uploads   atomic.Uint64 // completed ingest uploads
@@ -31,7 +36,30 @@ func newMetrics() *metrics {
 		requests: make(map[string]uint64),
 		rejects:  make(map[string]uint64),
 		byClass:  make(map[string]uint64),
+		stages:   make(map[string]*stageTally),
 	}
+}
+
+// stageTally accumulates one pipeline stage's runs.
+type stageTally struct {
+	runs  uint64
+	items uint64
+	ns    uint64
+}
+
+// stage records one pipeline stage execution; it is the OnStage hook
+// the ingest plane installs.
+func (m *metrics) stage(s pipeline.Stage, items int, elapsed time.Duration) {
+	m.mu.Lock()
+	t := m.stages[s.String()]
+	if t == nil {
+		t = &stageTally{}
+		m.stages[s.String()] = t
+	}
+	t.runs++
+	t.items += uint64(items)
+	t.ns += uint64(elapsed)
+	m.mu.Unlock()
 }
 
 func (m *metrics) request(path string) {
@@ -72,6 +100,19 @@ type MetricsSnapshot struct {
 	Rejected      map[string]uint64 `json:"rejected_429,omitempty"`
 	Cache         CacheMetrics      `json:"cache"`
 	Ingest        IngestMetrics     `json:"ingest"`
+	// Pipeline reports ingest-plane stage execution, keyed by stage
+	// name (detect, infer, classify).
+	Pipeline map[string]StageMetrics `json:"pipeline,omitempty"`
+	// UnknownOSLabels tallies store records whose OS label maps to no
+	// known platform (they are excluded from per-OS aggregates).
+	UnknownOSLabels map[string]int `json:"unknown_os_labels,omitempty"`
+}
+
+// StageMetrics reports one pipeline stage's cumulative execution.
+type StageMetrics struct {
+	Runs        uint64  `json:"runs"`
+	Items       uint64  `json:"items"`
+	BusySeconds float64 `json:"busy_seconds"`
 }
 
 // CacheMetrics reports query-cache effectiveness.
@@ -114,6 +155,16 @@ func (m *metrics) snapshot(cacheHits, cacheMisses uint64) MetricsSnapshot {
 	byClass := make(map[string]uint64, len(m.byClass))
 	for k, v := range m.byClass {
 		byClass[k] = v
+	}
+	if len(m.stages) > 0 {
+		snap.Pipeline = make(map[string]StageMetrics, len(m.stages))
+		for k, t := range m.stages {
+			snap.Pipeline[k] = StageMetrics{
+				Runs:        t.runs,
+				Items:       t.items,
+				BusySeconds: time.Duration(t.ns).Seconds(),
+			}
+		}
 	}
 	m.mu.Unlock()
 	busy := time.Duration(m.ingestNS.Load()).Seconds()

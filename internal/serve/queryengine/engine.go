@@ -14,19 +14,19 @@ package queryengine
 
 import (
 	"fmt"
-	"sync/atomic"
 
 	"github.com/knockandtalk/knockandtalk/internal/classify"
 	"github.com/knockandtalk/knockandtalk/internal/netlog"
+	"github.com/knockandtalk/knockandtalk/internal/pipeline"
 	"github.com/knockandtalk/knockandtalk/internal/store"
 )
 
 // Engine answers queries over one mounted store. Safe for concurrent
-// use; writers that append to the underlying store must call
-// BumpGeneration afterwards so cached results are invalidated.
+// use. The mutation epoch is the store's own generation counter, so
+// every write path — ingest batches, direct store appends — invalidates
+// cached results without explicit coordination.
 type Engine struct {
-	st  *store.Store
-	gen atomic.Uint64
+	st *store.Store
 }
 
 // New wraps a store (typically populated via store.LoadFiles, possibly
@@ -37,13 +37,15 @@ func New(st *store.Store) *Engine { return &Engine{st: st} }
 // and for reports that consume a *store.Store directly.
 func (e *Engine) Store() *store.Store { return e.st }
 
-// Generation returns the engine's mutation epoch. It changes every
-// time BumpGeneration records a store mutation; results computed at
-// different generations must not be conflated.
-func (e *Engine) Generation() uint64 { return e.gen.Load() }
+// Generation returns the store's mutation epoch. It changes on every
+// store write; results computed at different generations must not be
+// conflated.
+func (e *Engine) Generation() uint64 { return e.st.Generation() }
 
-// BumpGeneration records that the underlying store changed.
-func (e *Engine) BumpGeneration() { e.gen.Add(1) }
+// BumpGeneration forces a new mutation epoch. Store writers no longer
+// need it (every Add* path bumps on its own); it remains for callers
+// that mutate store state out of band.
+func (e *Engine) BumpGeneration() { e.st.BumpGeneration() }
 
 // LocalsFilter selects local-request records. Zero-valued fields match
 // everything; Limit 0 means unlimited.
@@ -62,8 +64,10 @@ func (f LocalsFilter) Key() string {
 		f.Crawl, f.Dest, f.Domain, f.OS, f.Limit)
 }
 
-// Locals returns the matching local requests, truncated to Limit, plus
-// the total match count before truncation.
+// Locals returns the matching local requests in canonical store order,
+// truncated to Limit, plus the total match count before truncation.
+// Sorting keeps listings stable across processes; raw shard iteration
+// order depends on a per-process hash seed.
 func (e *Engine) Locals(f LocalsFilter) ([]store.LocalRequest, int) {
 	rows := e.st.Locals(func(l *store.LocalRequest) bool {
 		return (f.Domain == "" || l.Domain == f.Domain) &&
@@ -71,6 +75,7 @@ func (e *Engine) Locals(f LocalsFilter) ([]store.LocalRequest, int) {
 			(f.OS == "" || l.OS == f.OS) &&
 			(f.Crawl == "" || l.Crawl == f.Crawl)
 	})
+	store.SortLocals(rows)
 	total := len(rows)
 	if f.Limit > 0 && total > f.Limit {
 		rows = rows[:f.Limit]
@@ -94,8 +99,8 @@ func (f PagesFilter) Key() string {
 		f.Crawl, f.Domain, f.Err, f.OS, f.Limit)
 }
 
-// Pages returns the matching page records, truncated to Limit, plus
-// the total match count before truncation.
+// Pages returns the matching page records in canonical store order,
+// truncated to Limit, plus the total match count before truncation.
 func (e *Engine) Pages(f PagesFilter) ([]store.PageRecord, int) {
 	rows := e.st.Pages(func(p *store.PageRecord) bool {
 		return (f.Domain == "" || p.Domain == f.Domain) &&
@@ -103,6 +108,7 @@ func (e *Engine) Pages(f PagesFilter) ([]store.PageRecord, int) {
 			(f.Crawl == "" || p.Crawl == f.Crawl) &&
 			(f.Err == "" || p.Err == f.Err)
 	})
+	store.SortPages(rows)
 	total := len(rows)
 	if f.Limit > 0 && total > f.Limit {
 		rows = rows[:f.Limit]
@@ -127,25 +133,18 @@ type SiteReport struct {
 func SiteKey(domain string) string { return "site|domain=" + domain }
 
 // Site assembles one domain's report across all mounted crawls and
-// OSes, running the same classifier the offline pipeline uses.
+// OSes from the store's materialized site index — an O(1) lookup with
+// the same records and verdicts the offline pipeline produces, instead
+// of a full-store rescan per call.
 func (e *Engine) Site(domain string) SiteReport {
-	rep := SiteReport{Domain: domain}
-	rep.Pages, _ = e.Pages(PagesFilter{Domain: domain})
-	rep.Locals, _ = e.Locals(LocalsFilter{Domain: domain})
-	var localhost, lan []store.LocalRequest
-	for _, r := range rep.Locals {
-		if r.Dest == "lan" {
-			lan = append(lan, r)
-		} else {
-			localhost = append(localhost, r)
-		}
-	}
-	if len(localhost) > 0 {
-		v := classify.Site(localhost)
+	view := pipeline.IndexFor(e.st).Site(domain)
+	rep := SiteReport{Domain: domain, Pages: view.Pages, Locals: view.Locals}
+	if view.LocalhostVerdict != nil {
+		v := *view.LocalhostVerdict
 		rep.LocalhostVerdict = &v
 	}
-	if len(lan) > 0 {
-		v := classify.LANSite(lan)
+	if view.LANVerdict != nil {
+		v := *view.LANVerdict
 		rep.LANVerdict = &v
 	}
 	return rep

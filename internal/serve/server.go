@@ -26,9 +26,11 @@ import (
 	"net/http"
 	"time"
 
+	"github.com/knockandtalk/knockandtalk/internal/pipeline"
 	"github.com/knockandtalk/knockandtalk/internal/report"
 	"github.com/knockandtalk/knockandtalk/internal/serve/queryengine"
 	"github.com/knockandtalk/knockandtalk/internal/store"
+	"github.com/knockandtalk/knockandtalk/internal/whois"
 )
 
 // Options tune the service; the zero value picks production defaults.
@@ -51,6 +53,10 @@ type Options struct {
 	// the requested limit (default 10000; the total match count is
 	// always reported).
 	MaxRows int
+	// Whois corroborates ingest-plane fraud-detection verdicts with
+	// registrant evidence (§4.3.1) when non-nil, matching the offline
+	// investigation path. Nil leaves verdicts signature-only.
+	Whois *whois.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -267,7 +273,11 @@ func (s *Server) handleSummary(_ http.ResponseWriter, r *http.Request) (string, 
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	hits, misses := s.cache.Stats()
-	writeJSON(w, s.metrics.snapshot(hits, misses))
+	snap := s.metrics.snapshot(hits, misses)
+	// Surface store records whose OS label maps to no known platform —
+	// they are invisible in every per-OS aggregate otherwise.
+	snap.UnknownOSLabels = pipeline.IndexFor(s.eng.Store()).UnknownOSLabels()
+	writeJSON(w, snap)
 }
 
 // parseLimit parses a ?limit= value, clamping to the server row cap.

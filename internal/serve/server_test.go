@@ -17,8 +17,11 @@ import (
 
 	"github.com/knockandtalk/knockandtalk/internal/localnet"
 	"github.com/knockandtalk/knockandtalk/internal/netlog"
+	"github.com/knockandtalk/knockandtalk/internal/pipeline"
+	"github.com/knockandtalk/knockandtalk/internal/report"
 	"github.com/knockandtalk/knockandtalk/internal/serve/queryengine"
 	"github.com/knockandtalk/knockandtalk/internal/store"
+	"github.com/knockandtalk/knockandtalk/internal/whois"
 )
 
 // serveStore builds a small corpus: a ThreatMetrix-style localhost
@@ -302,8 +305,59 @@ func TestIngestMatchesOfflinePipeline(t *testing.T) {
 	}
 }
 
+// TestIngestCorroborationMatchesOffline checks WHOIS parity between the
+// two classification paths (§4.3.1): uploading the committed
+// ThreatMetrix capture to a server configured with a registry must
+// yield the same corroborated verdict — including the registrant
+// evidence string — as running the offline pipeline over the same
+// events with the same registry.
+func TestIngestCorroborationMatchesOffline(t *testing.T) {
+	reg := whois.NewRegistry()
+	reg.Add(whois.Record{Domain: "content.tmx.example", Registrant: whois.ThreatMetrixOrg})
+	_, ts := newTestServer(t, Options{Whois: reg})
+	ir := postTestdata(t, ts, "domain=smoke.example&os=Windows&crawl=live&committed_at=1s")
+
+	f, err := os.Open("testdata/threatmetrix.netlog.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	log, err := netlog.ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline := pipeline.Process(log, pipeline.Visit{
+		Crawl: "live", OS: "Windows", Domain: "smoke.example", CommittedAt: time.Second,
+	}, pipeline.Options{Classify: true, Whois: reg})
+
+	if offline.LocalhostVerdict == nil {
+		t.Fatal("offline pipeline produced no localhost verdict")
+	}
+	if offline.LocalhostVerdict.Corroboration == "" {
+		t.Fatal("offline verdict must carry WHOIS corroboration for the registered script host")
+	}
+	if ir.LocalhostVerdict == nil {
+		t.Fatal("ingest produced no localhost verdict")
+	}
+	if want := report.VerdictJSON(*offline.LocalhostVerdict); *ir.LocalhostVerdict != want {
+		t.Fatalf("ingest verdict %+v != offline pipeline verdict %+v", *ir.LocalhostVerdict, want)
+	}
+	if want := "whois:content.tmx.example=" + whois.ThreatMetrixOrg; ir.LocalhostVerdict.Corroboration != want {
+		t.Fatalf("corroboration = %q, want %q", ir.LocalhostVerdict.Corroboration, want)
+	}
+
+	// Without a registry the same upload classifies identically but
+	// cannot corroborate.
+	_, bare := newTestServer(t, Options{})
+	ir2 := postTestdata(t, bare, "domain=smoke.example&os=Windows&crawl=live&committed_at=1s")
+	if ir2.LocalhostVerdict == nil || ir2.LocalhostVerdict.Corroboration != "" {
+		t.Fatalf("registry-free ingest must not corroborate: %+v", ir2.LocalhostVerdict)
+	}
+}
+
 func TestIngestMalformedAndBadParams(t *testing.T) {
 	srv, ts := newTestServer(t, Options{})
+	seededGen := srv.eng.Generation()
 
 	post := func(params, body string) *http.Response {
 		resp, err := http.Post(ts.URL+"/v1/ingest?"+params, "application/jsonl", strings.NewReader(body))
@@ -338,7 +392,7 @@ func TestIngestMalformedAndBadParams(t *testing.T) {
 	if n := srv.eng.Store().NumPages(); n != 3 {
 		t.Fatalf("rejected uploads committed pages: %d, want the 3 seeded", n)
 	}
-	if srv.eng.Generation() != 0 {
+	if srv.eng.Generation() != seededGen {
 		t.Fatal("rejected uploads must not bump the generation")
 	}
 }

@@ -30,6 +30,7 @@ func (s *Store) AddNetLog(crawl, os, domain string, log *netlog.Log) error {
 		Crawl: crawl, OS: os, Domain: domain, Log: json.RawMessage(buf.Bytes()),
 	})
 	s.nmu.Unlock()
+	s.gen.Add(1)
 	return nil
 }
 

@@ -26,6 +26,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -99,6 +100,13 @@ type shard struct {
 type Store struct {
 	shards [numShards]shard
 
+	// gen counts mutation epochs: it advances at least once per write
+	// call (not per record, keeping the hot crawl path to one atomic add
+	// per bulk commit). Derived views — the pipeline's site index, the
+	// serving layer's response cache — compare generations to decide
+	// whether their snapshot is still current.
+	gen atomic.Uint64
+
 	// netlogs are low-volume (only visits with local findings retain a
 	// capture) and stay behind a single lock.
 	nmu     sync.Mutex
@@ -107,6 +115,16 @@ type Store struct {
 
 // New returns an empty store.
 func New() *Store { return &Store{} }
+
+// Generation returns the store's mutation epoch. Two reads separated by
+// any write observe different values; snapshots computed at different
+// generations must not be conflated.
+func (s *Store) Generation() uint64 { return s.gen.Load() }
+
+// BumpGeneration advances the mutation epoch without writing a record,
+// forcing derived views to rebuild. Writers need not call it — every
+// Add* path bumps on its own.
+func (s *Store) BumpGeneration() { s.gen.Add(1) }
 
 // Reserve pre-sizes the shard buffers for a crawl expected to append
 // about nPages page records, so the append path does not repeatedly
@@ -134,6 +152,7 @@ func (s *Store) AddPage(p PageRecord) {
 	sh.mu.Lock()
 	sh.pages = append(sh.pages, p)
 	sh.mu.Unlock()
+	s.gen.Add(1)
 }
 
 // AddLocal records a local-network request.
@@ -145,11 +164,15 @@ func (s *Store) AddLocal(l LocalRequest) {
 	sh.mu.Lock()
 	sh.locals = append(sh.locals, l)
 	sh.mu.Unlock()
+	s.gen.Add(1)
 }
 
 // AddPages bulk-appends page records, acquiring each touched shard's
 // lock once per consecutive same-shard run rather than once per record.
 func (s *Store) AddPages(ps []PageRecord) {
+	if len(ps) > 0 {
+		defer s.gen.Add(1)
+	}
 	for i := 0; i < len(ps); {
 		idx := shardIndex(ps[i].Domain)
 		j := i + 1
@@ -167,6 +190,9 @@ func (s *Store) AddPages(ps []PageRecord) {
 // AddLocals bulk-appends local requests with the same lock batching as
 // AddPages. Negative delays are clamped to zero.
 func (s *Store) AddLocals(ls []LocalRequest) {
+	if len(ls) > 0 {
+		defer s.gen.Add(1)
+	}
 	for i := range ls {
 		if ls[i].Delay < 0 {
 			ls[i].Delay = 0
@@ -234,6 +260,34 @@ func (s *Store) Pages(keep func(*PageRecord) bool) []PageRecord {
 	return out
 }
 
+// ForEachPage visits every page record in the same shard order Pages
+// uses, under the shard locks, without materializing a snapshot. The
+// callback must copy anything it keeps and must not call back into the
+// store.
+func (s *Store) ForEachPage(fn func(*PageRecord)) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for j := range sh.pages {
+			fn(&sh.pages[j])
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// ForEachLocal visits every local request in the same shard order
+// Locals uses, with ForEachPage's contract.
+func (s *Store) ForEachLocal(fn func(*LocalRequest)) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for j := range sh.locals {
+			fn(&sh.locals[j])
+		}
+		sh.mu.Unlock()
+	}
+}
+
 // Locals returns a filtered snapshot of local requests; a nil filter
 // keeps everything. Ordering follows the same rules as Pages.
 func (s *Store) Locals(keep func(*LocalRequest) bool) []LocalRequest {
@@ -294,6 +348,24 @@ func (s *Store) snapshotAll() (pages []PageRecord, locals []LocalRequest) {
 // record per domain per visit URL), making Save deterministic
 // regardless of crawl worker interleaving or shard assignment.
 func sortAll(pages []PageRecord, locals []LocalRequest, netlogs []NetLogRecord) {
+	SortPages(pages)
+	sort.Slice(netlogs, func(i, j int) bool {
+		a, b := &netlogs[i], &netlogs[j]
+		if a.Crawl != b.Crawl {
+			return a.Crawl < b.Crawl
+		}
+		if a.OS != b.OS {
+			return a.OS < b.OS
+		}
+		return a.Domain < b.Domain
+	})
+	SortLocals(locals)
+}
+
+// SortPages sorts page records into the canonical serialization order.
+// Shard iteration order is seed-dependent per process, so any consumer
+// that shows a snapshot to a user should sort it first.
+func SortPages(pages []PageRecord) {
 	sort.Slice(pages, func(i, j int) bool {
 		a, b := &pages[i], &pages[j]
 		if a.Crawl != b.Crawl {
@@ -312,16 +384,11 @@ func sortAll(pages []PageRecord, locals []LocalRequest, netlogs []NetLogRecord) 
 		// extension appends to the same store).
 		return a.URL < b.URL
 	})
-	sort.Slice(netlogs, func(i, j int) bool {
-		a, b := &netlogs[i], &netlogs[j]
-		if a.Crawl != b.Crawl {
-			return a.Crawl < b.Crawl
-		}
-		if a.OS != b.OS {
-			return a.OS < b.OS
-		}
-		return a.Domain < b.Domain
-	})
+}
+
+// SortLocals sorts local requests into the canonical serialization
+// order; see SortPages.
+func SortLocals(locals []LocalRequest) {
 	sort.Slice(locals, func(i, j int) bool {
 		a, b := &locals[i], &locals[j]
 		if a.Crawl != b.Crawl {

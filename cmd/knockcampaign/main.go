@@ -15,39 +15,103 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"time"
 
 	"github.com/knockandtalk/knockandtalk/internal/campaign"
+	"github.com/knockandtalk/knockandtalk/internal/telemetry"
 )
 
 func main() {
 	var (
-		out     = flag.String("out", "", "output directory for stores and manifest")
-		name    = flag.String("name", "knockandtalk-repro", "campaign name")
-		scale   = flag.Float64("scale", 1.0, "population scale in (0, 1]")
-		seed    = flag.Uint64("seed", 20210603, "deterministic seed")
-		workers = flag.Int("workers", 0, "concurrent browser instances (0 = GOMAXPROCS)")
-		retain  = flag.Bool("retain", false, "retain raw NetLog captures for local-activity visits")
-		resume  = flag.Bool("resume", false, "resume an interrupted campaign in -out")
+		out      = flag.String("out", "", "output directory for stores and manifest")
+		name     = flag.String("name", "knockandtalk-repro", "campaign name")
+		scale    = flag.Float64("scale", 1.0, "population scale in (0, 1]")
+		seed     = flag.Uint64("seed", 20210603, "deterministic seed")
+		workers  = flag.Int("workers", 0, "concurrent browser instances (0 = GOMAXPROCS)")
+		retain   = flag.Bool("retain", false, "retain raw NetLog captures for local-activity visits")
+		resume   = flag.Bool("resume", false, "resume an interrupted campaign in -out")
+		traceOut = flag.String("trace-out", "", "write one JSONL trace record per visit to this path (inspect with knocktrace)")
 	)
 	flag.Parse()
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "knockcampaign: -out is required")
 		os.Exit(1)
 	}
-	start := time.Now()
-	m, err := campaign.Run(campaign.Spec{
+	spec := campaign.Spec{
 		Name: *name, OutDir: *out, Scale: *scale, Seed: *seed,
 		Workers: *workers, RetainLogs: *retain, Resume: *resume,
-	})
+		// Stage timings are always on: the end-of-run breakdown costs a
+		// few clock reads per visit and the manifest records it.
+		StageTimings: true,
+	}
+	var tracer *telemetry.Tracer
+	if *traceOut != "" {
+		// The trace commonly lives in the campaign's -out directory,
+		// which Run has not created yet.
+		if dir := filepath.Dir(*traceOut); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "knockcampaign: creating %s: %v\n", dir, err)
+				os.Exit(1)
+			}
+		}
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "knockcampaign: creating %s: %v\n", *traceOut, err)
+			os.Exit(1)
+		}
+		defer tf.Close()
+		tracer = telemetry.NewTracer(tf, telemetry.TracerOptions{})
+		spec.Tracer = tracer
+	}
+	start := time.Now()
+	m, err := campaign.Run(spec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "knockcampaign: %v\n", err)
 		os.Exit(1)
 	}
+	stageBusy := map[string]float64{}
 	for _, e := range m.Entries {
 		fmt.Printf("%-14s %-8s attempted=%-7d ok=%-7d failed=%-6d local=%-5d resumed-past=%-6d %v\n",
 			e.Crawl, e.OS, e.Attempted, e.Successful, e.Failed, e.LocalRequests, e.AlreadyDone,
 			e.Elapsed.Round(time.Millisecond))
+		for stage, sec := range e.StageBusySeconds {
+			stageBusy[stage] += sec
+		}
+	}
+	if len(stageBusy) > 0 {
+		names := make([]string, 0, len(stageBusy))
+		for name := range stageBusy {
+			names = append(names, name)
+		}
+		order := map[string]int{"visit": 0, "detect": 1, "infer": 2, "classify": 3, "netlog": 4, "commit": 5}
+		sort.Slice(names, func(i, j int) bool {
+			oi, iok := order[names[i]]
+			oj, jok := order[names[j]]
+			if iok && jok {
+				return oi < oj
+			}
+			if iok != jok {
+				return iok
+			}
+			return names[i] < names[j]
+		})
+		fmt.Println("stage busy time across all crawls:")
+		for _, name := range names {
+			fmt.Printf("  %-10s %v\n", name, time.Duration(stageBusy[name]*float64(time.Second)).Round(time.Microsecond))
+		}
+	}
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "knockcampaign: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d trace records to %s", tracer.Written(), *traceOut)
+		if n := tracer.Dropped(); n > 0 {
+			fmt.Printf(" (%d dropped under backpressure)", n)
+		}
+		fmt.Println()
 	}
 	fmt.Printf("campaign %q finished in %v; stores and manifest in %s\n",
 		m.Name, time.Since(start).Round(time.Millisecond), *out)

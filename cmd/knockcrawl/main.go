@@ -4,6 +4,7 @@
 // Usage:
 //
 //	knockcrawl -crawl top100k-2020 -os all -scale 0.1 -out crawl.jsonl
+//	knockcrawl -crawl top100k-2020 -scale 0.1 -trace-out crawl.trace.jsonl -stage-timings
 //
 // A full-study reproduction (scale 1, every OS, all three campaigns):
 //
@@ -16,12 +17,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"github.com/knockandtalk/knockandtalk/internal/crawler"
 	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
 	"github.com/knockandtalk/knockandtalk/internal/hostenv"
 	"github.com/knockandtalk/knockandtalk/internal/store"
+	"github.com/knockandtalk/knockandtalk/internal/telemetry"
 )
 
 func main() {
@@ -36,6 +39,8 @@ func main() {
 		page      = flag.String("page", "/", "page to visit on each site (/ = landing, /login = internal-pages extension)")
 		retain    = flag.Bool("retain", false, "retain raw NetLog captures for visits with local-network activity")
 		parseHTML = flag.Bool("parsehtml", false, "crawl through the real HTML pipeline instead of the precompiled fast path")
+		traceOut  = flag.String("trace-out", "", "write one JSONL trace record per visit to this path (inspect with knocktrace)")
+		timings   = flag.Bool("stage-timings", false, "print a per-stage busy-time breakdown after the crawl")
 	)
 	flag.Parse()
 
@@ -48,6 +53,17 @@ func main() {
 	cfg := crawler.Config{
 		Crawl: crawl, Scale: *scale, Seed: *seed, Workers: *workers,
 		Window: *window, PagePath: *page, RetainLogs: *retain, ParseHTML: *parseHTML,
+		StageTimings: *timings,
+	}
+	var tracer *telemetry.Tracer
+	if *traceOut != "" {
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			fatalf("creating %s: %v", *traceOut, err)
+		}
+		defer tf.Close()
+		tracer = telemetry.NewTracer(tf, telemetry.TracerOptions{})
+		cfg.Tracer = tracer
 	}
 
 	st := store.New()
@@ -81,6 +97,18 @@ func main() {
 		if s.RetentionErrors > 0 {
 			fmt.Printf("    WARNING: %d NetLog captures could not be retained\n", s.RetentionErrors)
 		}
+		printStageBusy(s.StageBusy)
+	}
+
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			fatalf("writing trace: %v", err)
+		}
+		fmt.Printf("wrote %d trace records to %s", tracer.Written(), *traceOut)
+		if n := tracer.Dropped(); n > 0 {
+			fmt.Printf(" (%d dropped under backpressure)", n)
+		}
+		fmt.Println()
 	}
 
 	if *out != "" {
@@ -94,6 +122,34 @@ func main() {
 		}
 		fmt.Printf("wrote %d page records, %d local requests, %d retained captures to %s\n",
 			st.NumPages(), st.NumLocals(), st.NumNetLogs(), *out)
+	}
+}
+
+// printStageBusy renders the per-stage busy-time breakdown in the
+// trace span order (visit first, commit last).
+func printStageBusy(busy map[string]time.Duration) {
+	if len(busy) == 0 {
+		return
+	}
+	names := make([]string, 0, len(busy))
+	for name := range busy {
+		names = append(names, name)
+	}
+	order := map[string]int{"visit": 0, "detect": 1, "infer": 2, "classify": 3, "netlog": 4, "commit": 5}
+	sort.Slice(names, func(i, j int) bool {
+		oi, iok := order[names[i]]
+		oj, jok := order[names[j]]
+		if iok && jok {
+			return oi < oj
+		}
+		if iok != jok {
+			return iok
+		}
+		return names[i] < names[j]
+	})
+	fmt.Println("    stage busy time:")
+	for _, name := range names {
+		fmt.Printf("      %-10s %v\n", name, busy[name].Round(time.Microsecond))
 	}
 }
 

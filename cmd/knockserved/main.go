@@ -20,9 +20,11 @@ package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -32,6 +34,7 @@ import (
 	"github.com/knockandtalk/knockandtalk/internal/serve"
 	"github.com/knockandtalk/knockandtalk/internal/serve/queryengine"
 	"github.com/knockandtalk/knockandtalk/internal/store"
+	"github.com/knockandtalk/knockandtalk/internal/telemetry"
 )
 
 func main() {
@@ -45,6 +48,8 @@ func main() {
 		ingTO     = flag.Duration("ingest-timeout", 60*time.Second, "per-upload deadline")
 		cacheN    = flag.Int("cache", 512, "response cache entries (negative disables)")
 		drainTO   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+		debugAddr = flag.String("debug-addr", "", "serve pprof, expvar, and the raw metrics registry on this address (e.g. 127.0.0.1:6060)")
+		traceOut  = flag.String("trace-out", "", "write one JSONL trace record per ingested visit to this path (inspect with knocktrace)")
 	)
 	flag.Parse()
 
@@ -58,6 +63,15 @@ func main() {
 			fatalf("%v", err)
 		}
 	}
+	var tracer *telemetry.Tracer
+	if *traceOut != "" {
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			fatalf("creating %s: %v", *traceOut, err)
+		}
+		defer tf.Close()
+		tracer = telemetry.NewTracer(tf, telemetry.TracerOptions{})
+	}
 	eng := queryengine.New(st)
 	srv := serve.New(eng, serve.Options{
 		QueryConcurrency:  *queryConc,
@@ -65,7 +79,13 @@ func main() {
 		QueryTimeout:      *queryTO,
 		IngestTimeout:     *ingTO,
 		CacheEntries:      *cacheN,
+		Registry:          telemetry.Default(),
+		Tracer:            tracer,
 	})
+
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr, srv.Registry())
+	}
 
 	hs := &http.Server{
 		Addr:              *addr,
@@ -93,6 +113,17 @@ func main() {
 	if err := hs.Shutdown(shCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "knockserved: drain incomplete: %v\n", err)
 	}
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "knockserved: writing trace: %v\n", err)
+		} else {
+			fmt.Printf("knockserved: wrote %d trace records to %s", tracer.Written(), *traceOut)
+			if n := tracer.Dropped(); n > 0 {
+				fmt.Printf(" (%d dropped under backpressure)", n)
+			}
+			fmt.Println()
+		}
+	}
 	if *save != "" {
 		f, err := os.Create(*save)
 		if err != nil {
@@ -105,6 +136,29 @@ func main() {
 			fatalf("saving store: %v", err)
 		}
 		fmt.Printf("knockserved: store saved to %s\n", *save)
+	}
+}
+
+// serveDebug exposes the operational debugging surface on its own
+// listener, separate from the service planes: pprof profiles, expvar
+// (including the metrics registry published as "telemetry"), and the
+// raw registry snapshot.
+func serveDebug(addr string, reg *telemetry.Registry) {
+	expvar.Publish("telemetry", expvar.Func(func() any { return reg.Snapshot() }))
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		reg.WriteJSON(w)
+	})
+	fmt.Printf("knockserved: debug listening on %s (pprof, expvar, registry)\n", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		fmt.Fprintf(os.Stderr, "knockserved: debug listener: %v\n", err)
 	}
 }
 

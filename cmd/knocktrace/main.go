@@ -1,0 +1,202 @@
+// Command knocktrace inspects per-visit trace files (the JSONL span
+// records knockcrawl, knockcampaign, and knockserved emit with
+// -trace-out): per-stage latency summaries, slowest-visit rankings,
+// per-visit waterfalls, and per-OS / per-crawl rollups.
+//
+// Usage:
+//
+//	knocktrace crawl.trace.jsonl                 # stage summary
+//	knocktrace -top 10 crawl.trace.jsonl         # slowest visits
+//	knocktrace -waterfall ebay.com crawl.trace.jsonl
+//	knocktrace -by os crawl.trace.jsonl          # per-OS rollup
+//	knocktrace -busy crawl.trace.jsonl           # per-stage busy seconds
+//
+// The -busy output renders busy seconds exactly as knockserved's
+// /metrics pipeline section does, so the two agree byte-for-byte for
+// identical work.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/knockandtalk/knockandtalk/internal/telemetry"
+)
+
+func main() {
+	var (
+		top       = flag.Int("top", 0, "print the K slowest visits instead of the stage summary")
+		waterfall = flag.String("waterfall", "", "print span waterfalls for every visit of this domain")
+		by        = flag.String("by", "", "roll up per group: os or crawl")
+		busy      = flag.Bool("busy", false, "print per-stage busy seconds (the /metrics agreement surface)")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fatalf("usage: knocktrace [flags] trace.jsonl [more.jsonl...]")
+	}
+	visits, err := telemetry.ReadTraceFiles(flag.Args()...)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if len(visits) == 0 {
+		fatalf("no trace records in %s", strings.Join(flag.Args(), ", "))
+	}
+
+	w := os.Stdout
+	switch {
+	case *busy:
+		printBusy(w, visits)
+	case *top > 0:
+		printSlowest(w, visits, *top)
+	case *waterfall != "":
+		if !printWaterfalls(w, visits, *waterfall) {
+			fatalf("no visits of domain %q in the trace", *waterfall)
+		}
+	case *by != "":
+		if *by != "os" && *by != "crawl" {
+			fatalf("-by wants os or crawl, got %q", *by)
+		}
+		printGroups(w, visits, *by)
+	default:
+		printSummary(w, visits)
+	}
+}
+
+// printSummary renders the default view: headline totals plus one row
+// per stage with run/item counts, busy time, and latency quantiles
+// from the log-scale histogram.
+func printSummary(w io.Writer, visits []telemetry.VisitRecord) {
+	s := telemetry.Summarize(visits)
+	fmt.Fprintf(w, "%d visits (%d failed), %d events, %d findings, wall %v\n",
+		s.Visits, s.Failed, s.Events, s.Findings, time.Duration(s.WallNS).Round(time.Millisecond))
+	if len(s.Outcomes) > 1 {
+		for _, o := range sortedKeys(s.Outcomes) {
+			if o != "ok" {
+				fmt.Fprintf(w, "  %-32s %d\n", o, s.Outcomes[o])
+			}
+		}
+	}
+	fmt.Fprintf(w, "%-10s %7s %9s %12s %10s %10s %10s\n",
+		"stage", "runs", "items", "busy", "p50", "p90", "p99")
+	for _, name := range s.StageNames() {
+		st := s.Stages[name]
+		h := st.Hist.Snapshot()
+		fmt.Fprintf(w, "%-10s %7d %9d %12s %10s %10s %10s\n",
+			name, st.Runs, st.Items, fmtNS(st.BusyNS),
+			fmtNS(int64(h.Quantile(0.50))), fmtNS(int64(h.Quantile(0.90))), fmtNS(int64(h.Quantile(0.99))))
+	}
+}
+
+// printBusy renders per-stage busy seconds with the same formatting
+// /metrics uses for pipeline busy_seconds, so a trace file reproduces
+// the serving layer's numbers exactly.
+func printBusy(w io.Writer, visits []telemetry.VisitRecord) {
+	s := telemetry.Summarize(visits)
+	busy := s.BusySeconds()
+	for _, name := range s.StageNames() {
+		fmt.Fprintf(w, "%-10s %.9f\n", name, busy[name])
+	}
+}
+
+// printSlowest renders the K slowest visits, slowest first.
+func printSlowest(w io.Writer, visits []telemetry.VisitRecord, k int) {
+	for _, v := range telemetry.SlowestVisits(visits, k) {
+		fmt.Fprintf(w, "%12s  %-24s %-8s %-14s rank=%-6d events=%-5d %s\n",
+			fmtNS(v.DurNS), v.Domain, v.OS, v.Crawl, v.Rank, v.Events, v.Outcome)
+	}
+}
+
+// printWaterfalls renders every visit of one domain as a span
+// waterfall: offset, duration, a proportional bar, and item counts.
+func printWaterfalls(w io.Writer, visits []telemetry.VisitRecord, domain string) bool {
+	const barWidth = 40
+	found := false
+	for _, v := range visits {
+		if v.Domain != domain {
+			continue
+		}
+		found = true
+		fmt.Fprintf(w, "%s %s %s rank=%d events=%d outcome=%s total=%s\n",
+			v.Domain, v.OS, v.Crawl, v.Rank, v.Events, v.Outcome, fmtNS(v.DurNS))
+		total := v.DurNS
+		if total <= 0 {
+			total = 1
+		}
+		for _, sp := range v.Spans {
+			startCol := int(sp.StartNS * barWidth / total)
+			width := int(sp.DurNS * barWidth / total)
+			if width < 1 {
+				width = 1
+			}
+			if startCol > barWidth-1 {
+				startCol = barWidth - 1
+			}
+			if startCol+width > barWidth {
+				width = barWidth - startCol
+			}
+			bar := strings.Repeat(" ", startCol) + strings.Repeat("█", width)
+			line := fmt.Sprintf("  %-10s %10s +%-10s |%-*s| items=%d",
+				sp.Name, fmtNS(sp.DurNS), fmtNS(sp.StartNS), barWidth, bar, sp.Items)
+			if sp.Err != "" {
+				line += " err=" + sp.Err
+			}
+			fmt.Fprintln(w, line)
+		}
+	}
+	return found
+}
+
+// printGroups renders the per-OS or per-crawl rollup.
+func printGroups(w io.Writer, visits []telemetry.VisitRecord, by string) {
+	s := telemetry.Summarize(visits)
+	groups := s.ByOS
+	if by == "crawl" {
+		groups = s.ByCrawl
+	}
+	fmt.Fprintf(w, "%-16s %7s %7s %9s %9s %12s\n", by, "visits", "failed", "events", "findings", "wall")
+	names := make([]string, 0, len(groups))
+	for name := range groups {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		g := groups[name]
+		fmt.Fprintf(w, "%-16s %7d %7d %9d %9d %12s\n",
+			name, g.Visits, g.Failed, g.Events, g.Findings, fmtNS(g.WallNS))
+	}
+}
+
+// fmtNS renders nanoseconds human-readably with millisecond-or-better
+// precision, stable for column alignment.
+func fmtNS(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}
+
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "knocktrace: "+format+"\n", args...)
+	os.Exit(1)
+}

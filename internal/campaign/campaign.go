@@ -17,6 +17,7 @@ import (
 	"github.com/knockandtalk/knockandtalk/internal/crawler"
 	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
 	"github.com/knockandtalk/knockandtalk/internal/store"
+	"github.com/knockandtalk/knockandtalk/internal/telemetry"
 )
 
 // Spec configures a campaign.
@@ -35,6 +36,13 @@ type Spec struct {
 	// Resume loads existing per-crawl stores from OutDir and skips
 	// already-visited targets.
 	Resume bool
+	// Metrics and Tracer instrument every crawl in the campaign (see
+	// crawler.Config); either also fills Entry.StageBusySeconds.
+	Metrics *telemetry.Registry
+	Tracer  *telemetry.Tracer
+	// StageTimings collects per-stage busy time into the manifest even
+	// without a registry or tracer.
+	StageTimings bool
 }
 
 // Entry is one (crawl, OS) manifest row.
@@ -50,6 +58,9 @@ type Entry struct {
 	// retain (see crawler.Summary.RetentionErrors).
 	RetentionErrors int           `json:"retention_errors,omitempty"`
 	Elapsed         time.Duration `json:"elapsed"`
+	// StageBusySeconds breaks busy time down by pipeline stage when the
+	// campaign was instrumented (Spec.Metrics, Tracer, or StageTimings).
+	StageBusySeconds map[string]float64 `json:"stage_busy_seconds,omitempty"`
 }
 
 // Manifest summarizes a finished campaign.
@@ -92,17 +103,25 @@ func Run(spec Spec) (*Manifest, error) {
 		sums, err := crawler.RunAll(crawler.Config{
 			Crawl: crawl, Scale: spec.Scale, Seed: spec.Seed,
 			Workers: spec.Workers, RetainLogs: spec.RetainLogs, Resume: spec.Resume,
+			Metrics: spec.Metrics, Tracer: spec.Tracer, StageTimings: spec.StageTimings,
 		}, st)
 		if err != nil {
 			return nil, fmt.Errorf("campaign: %s: %w", crawl, err)
 		}
 		for _, s := range sums {
-			m.Entries = append(m.Entries, Entry{
+			e := Entry{
 				Crawl: string(s.Crawl), OS: s.OS.String(),
 				Attempted: s.Attempted, Successful: s.Successful, Failed: s.Failed,
 				LocalRequests: s.LocalRequests, AlreadyDone: s.AlreadyDone,
 				RetentionErrors: s.RetentionErrors, Elapsed: s.Elapsed,
-			})
+			}
+			if len(s.StageBusy) > 0 {
+				e.StageBusySeconds = make(map[string]float64, len(s.StageBusy))
+				for stage, d := range s.StageBusy {
+					e.StageBusySeconds[stage] = d.Seconds()
+				}
+			}
+			m.Entries = append(m.Entries, e)
 		}
 		f, err := os.Create(path)
 		if err != nil {

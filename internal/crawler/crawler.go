@@ -18,6 +18,7 @@ import (
 	"github.com/knockandtalk/knockandtalk/internal/hostenv"
 	"github.com/knockandtalk/knockandtalk/internal/pipeline"
 	"github.com/knockandtalk/knockandtalk/internal/store"
+	"github.com/knockandtalk/knockandtalk/internal/telemetry"
 	"github.com/knockandtalk/knockandtalk/internal/websim"
 )
 
@@ -53,6 +54,22 @@ type Config struct {
 	// this (crawl, OS). The paper's campaigns ran for weeks (July 24 to
 	// September 25, 2020); long crawls must survive interruption.
 	Resume bool
+	// Metrics, when non-nil, registers crawl counters and pipeline
+	// stage metrics into the registry.
+	Metrics *telemetry.Registry
+	// Tracer, when non-nil, records one per-visit trace (spans for
+	// visit, detect, infer, netlog retention, and store commit) per
+	// attempted target.
+	Tracer *telemetry.Tracer
+	// StageTimings collects per-stage busy time into Summary.StageBusy
+	// even without a registry or tracer. Setting Metrics or Tracer
+	// implies it.
+	StageTimings bool
+}
+
+// instrumented reports whether the crawl measures per-stage time.
+func (c *Config) instrumented() bool {
+	return c.Metrics != nil || c.Tracer != nil || c.StageTimings
 }
 
 // Summary reports one campaign's crawl statistics — the raw material of
@@ -80,6 +97,12 @@ type Summary struct {
 	// visits are stored regardless; the count surfaces the telemetry gap
 	// instead of silently dropping it.
 	RetentionErrors int
+	// StageBusy accumulates per-stage busy time across all workers
+	// (visit, detect, infer, netlog, commit) when the crawl is
+	// instrumented (Metrics, Tracer, or StageTimings set); nil
+	// otherwise. Stage keys match the trace span names, and the values
+	// are summed from the same measured durations the spans carry.
+	StageBusy map[string]time.Duration
 	// Elapsed is wall-clock crawl time.
 	Elapsed time.Duration
 }
@@ -130,6 +153,11 @@ func RunWorld(cfg Config, world *websim.World, dst *store.Store) (*Summary, erro
 		}
 	}
 	dst.Reserve(len(world.Targets))
+	instr := cfg.instrumented()
+	var cm *crawlMeters
+	if cfg.Metrics != nil {
+		cm = newCrawlMeters(cfg.Metrics, string(cfg.Crawl), cfg.OS.String())
+	}
 	var wg sync.WaitGroup
 	jobs := make(chan websim.Target, workers*4)
 	tallies := make([]tally, workers)
@@ -139,23 +167,54 @@ func RunWorld(cfg Config, world *websim.World, dst *store.Store) (*Summary, erro
 		go func(tl *tally) {
 			defer wg.Done()
 			tl.errors = make(map[string]int)
+			tl.timed = instr
 			// Each worker is its own Chrome instance on an identical
 			// clean machine (a VM in the paper's setup).
 			b := browser.New(hostenv.DefaultProfile(cfg.OS), world.Net, opts)
 			var batch store.Batch
+			// The pipeline reports each stage's single measured elapsed
+			// time to the worker tally, the registry, and the visit
+			// trace alike.
+			popts := pipeline.Options{}
+			if cfg.Metrics != nil {
+				popts.Meters = pipeline.NewStageMeters(cfg.Metrics)
+			}
+			if instr {
+				popts.Hooks.OnStage = func(s pipeline.Stage, _ int, elapsed time.Duration) {
+					tl.stageNS[stDetect+int(s)] += int64(elapsed)
+				}
+			}
 			for tgt := range jobs {
 				// Per-page connectivity check: visit only when the
 				// infrastructure can reach the Internet, retrying
 				// briefly through an outage.
 				if !cfg.SkipConnectivityCheck && !awaitConnectivity(world.Net) {
 					tl.skipped++
+					if cm != nil {
+						cm.skipped.Inc()
+					}
 					continue
 				}
 				url := visitURL(tgt.URL, cfg.PagePath)
+				vt := cfg.Tracer.StartVisit(string(cfg.Crawl), cfg.OS.String(), tgt.Domain, url, tgt.Rank)
+				var stepStart time.Time
+				if instr {
+					stepStart = time.Now()
+				}
 				res := b.Visit(url)
+				if instr {
+					d := time.Since(stepStart)
+					tl.stageNS[stVisit] += int64(d)
+					vt.Add("visit", stepStart, d, res.Log.Len())
+					if cm != nil {
+						cm.visits.Inc()
+						cm.visitNS.ObserveDuration(d)
+					}
+				}
 				// The canonical visit pipeline: detection and record
 				// construction. Classification stays off — the bulk
 				// crawl classifies per site at analysis time.
+				popts.Trace = vt
 				out := pipeline.Process(res.Log, pipeline.Visit{
 					Crawl:       string(cfg.Crawl),
 					OS:          cfg.OS.String(),
@@ -166,12 +225,28 @@ func RunWorld(cfg Config, world *websim.World, dst *store.Store) (*Summary, erro
 					FinalURL:    res.FinalURL,
 					Err:         string(res.Err),
 					CommittedAt: res.CommittedAt,
-				}, pipeline.Options{})
+				}, popts)
 				if cfg.RetainLogs && len(out.Findings) > 0 {
-					if err := dst.AddNetLog(string(cfg.Crawl), cfg.OS.String(), tgt.Domain, res.Log); err != nil {
+					if instr {
+						stepStart = time.Now()
+					}
+					err := dst.AddNetLog(string(cfg.Crawl), cfg.OS.String(), tgt.Domain, res.Log)
+					if instr {
+						d := time.Since(stepStart)
+						tl.stageNS[stNetlog] += int64(d)
+						if err != nil {
+							vt.AddErr("netlog", stepStart, d, 0, "retention failed")
+						} else {
+							vt.Add("netlog", stepStart, d, 1)
+						}
+					}
+					if err != nil {
 						// Retention is best-effort — the summary records
 						// proceed regardless — but the gap is counted.
 						tl.retentionErrors++
+						if cm != nil {
+							cm.retentionErrs.Inc()
+						}
 					}
 				}
 				tl.attempted++
@@ -180,14 +255,33 @@ func RunWorld(cfg Config, world *websim.World, dst *store.Store) (*Summary, erro
 				} else {
 					tl.failed++
 					tl.errors[string(res.Err)]++
+					if cm != nil {
+						cm.failures.Inc()
+					}
 				}
 				tl.localRequests += len(out.Findings)
+				if cm != nil {
+					cm.findings.Add(uint64(len(out.Findings)))
+				}
 
 				// One visit = one domain = one store shard, so the whole
 				// visit commits under a single shard lock.
 				out.StageInto(&batch)
+				if instr {
+					stepStart = time.Now()
+				}
 				dst.AddBatch(&batch)
+				if instr {
+					d := time.Since(stepStart)
+					tl.stageNS[stCommit] += int64(d)
+					vt.Add("commit", stepStart, d, batch.Len())
+				}
 				batch.Reset()
+				outcome := "ok"
+				if !res.OK() {
+					outcome = string(res.Err)
+				}
+				vt.End(outcome, res.Log.Len())
 				// Extraction and retention are done with the capture;
 				// recycle its event buffer for the worker's next visit.
 				res.Log.Recycle()
@@ -222,12 +316,31 @@ func visitURL(target, pagePath string) string {
 // tally is one worker's private counters; workers never share counter
 // state mid-crawl and the per-worker tallies merge into the Summary once
 // after the pool drains.
+// Fixed tally slots for per-stage busy time, indexed so the visit hot
+// path never touches a map. Pipeline stages map to slots by offset
+// (stDetect + int(stage)); the names match the trace span names.
+const (
+	stVisit = iota
+	stDetect
+	stInfer
+	stClassify
+	stNetlog
+	stCommit
+	numStageTallies
+)
+
+var stageTallyName = [numStageTallies]string{"visit", "detect", "infer", "classify", "netlog", "commit"}
+
 type tally struct {
 	attempted, successful, failed int
 	localRequests                 int
 	skipped                       int
 	retentionErrors               int
 	errors                        map[string]int
+	// timed marks an instrumented crawl; stageNS then accumulates
+	// per-stage busy nanoseconds in the fixed slots above.
+	timed   bool
+	stageNS [numStageTallies]int64
 }
 
 func (t *tally) mergeInto(sum *Summary) {
@@ -239,6 +352,36 @@ func (t *tally) mergeInto(sum *Summary) {
 	sum.RetentionErrors += t.retentionErrors
 	for k, v := range t.errors {
 		sum.Errors[k] += v
+	}
+	if t.timed {
+		if sum.StageBusy == nil {
+			sum.StageBusy = make(map[string]time.Duration, numStageTallies)
+		}
+		for i, ns := range t.stageNS {
+			if ns != 0 {
+				sum.StageBusy[stageTallyName[i]] += time.Duration(ns)
+			}
+		}
+	}
+}
+
+// crawlMeters are the crawler's pre-resolved registry handles, labeled
+// by campaign and OS.
+type crawlMeters struct {
+	visits, failures, findings *telemetry.Counter
+	skipped, retentionErrs     *telemetry.Counter
+	visitNS                    *telemetry.Histogram
+}
+
+func newCrawlMeters(reg *telemetry.Registry, crawl, os string) *crawlMeters {
+	l := []string{"crawl", crawl, "os", os}
+	return &crawlMeters{
+		visits:        reg.Counter("crawl_visits_total", l...),
+		failures:      reg.Counter("crawl_visit_failures_total", l...),
+		findings:      reg.Counter("crawl_findings_total", l...),
+		skipped:       reg.Counter("crawl_skipped_total", l...),
+		retentionErrs: reg.Counter("crawl_retention_errors_total", l...),
+		visitNS:       reg.Histogram("crawl_visit_ns", l...),
 	}
 }
 

@@ -2,6 +2,7 @@ package crawler
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"testing"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"github.com/knockandtalk/knockandtalk/internal/hostenv"
 	"github.com/knockandtalk/knockandtalk/internal/localnet"
 	"github.com/knockandtalk/knockandtalk/internal/store"
+	"github.com/knockandtalk/knockandtalk/internal/telemetry"
 	"github.com/knockandtalk/knockandtalk/internal/websim"
 )
 
@@ -477,5 +479,69 @@ func TestCrawlManyWorkersSharedStore(t *testing.T) {
 	}
 	if dst.NumPages() != sum.Attempted {
 		t.Errorf("pages stored %d != attempted %d", dst.NumPages(), sum.Attempted)
+	}
+}
+
+// TestTracedCrawlMatchesUntracedGolden verifies that full
+// instrumentation is observation only: a crawl with the registry,
+// tracer, and stage timings all enabled must produce a byte-identical
+// store, and the per-stage busy time must agree between the Summary
+// tally, the metrics registry, and the trace file — all three see the
+// same single measurement per stage.
+func TestTracedCrawlMatchesUntracedGolden(t *testing.T) {
+	cfg := smallCfg(groundtruth.CrawlTop2020, hostenv.Windows, 0.01)
+
+	plain := store.New()
+	if _, err := Run(cfg, plain); err != nil {
+		t.Fatal(err)
+	}
+
+	var traceBuf bytes.Buffer
+	traced := cfg
+	traced.Metrics = telemetry.NewRegistry()
+	traced.Tracer = telemetry.NewTracer(&traceBuf, telemetry.TracerOptions{Buffer: 1 << 14})
+	tracedStore := store.New()
+	sum, err := Run(traced, tracedStore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := traced.Tracer.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := traced.Tracer.Dropped(); n > 0 {
+		t.Fatalf("%d trace records dropped; raise the buffer", n)
+	}
+
+	var want, got bytes.Buffer
+	if err := plain.Save(&want); err != nil {
+		t.Fatal(err)
+	}
+	if err := tracedStore.Save(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatalf("instrumented crawl changed the store: %d vs %d bytes", want.Len(), got.Len())
+	}
+
+	recs, err := telemetry.ReadTraces(&traceBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != sum.Attempted {
+		t.Fatalf("trace has %d records, crawl attempted %d", len(recs), sum.Attempted)
+	}
+	ts := telemetry.Summarize(recs)
+	busy := ts.BusySeconds()
+	for _, stage := range []string{"visit", "detect", "commit"} {
+		fromTrace := fmt.Sprintf("%.9f", busy[stage])
+		fromTally := fmt.Sprintf("%.9f", sum.StageBusy[stage].Seconds())
+		if fromTrace != fromTally {
+			t.Errorf("%s busy: trace %s, tally %s", stage, fromTrace, fromTally)
+		}
+	}
+	// The registry sees the same detect measurement the trace carries.
+	regBusy := traced.Metrics.CounterValue("pipeline_stage_busy_ns", "stage", "detect")
+	if fmt.Sprintf("%.9f", time.Duration(regBusy).Seconds()) != fmt.Sprintf("%.9f", busy["detect"]) {
+		t.Errorf("detect busy: registry %d ns, trace %.9f s", regBusy, busy["detect"])
 	}
 }

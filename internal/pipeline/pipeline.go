@@ -23,7 +23,19 @@ import (
 	"github.com/knockandtalk/knockandtalk/internal/netlog"
 	"github.com/knockandtalk/knockandtalk/internal/probeinfer"
 	"github.com/knockandtalk/knockandtalk/internal/store"
+	"github.com/knockandtalk/knockandtalk/internal/telemetry"
 	"github.com/knockandtalk/knockandtalk/internal/whois"
+)
+
+// Registry metric families the pipeline maintains when Options.Metrics
+// is set, each labeled by stage name. Busy nanoseconds accumulate the
+// exact elapsed values trace spans carry, so a trace file and the
+// registry agree on per-stage busy time for identical work.
+const (
+	MetricStageRuns   = "pipeline_stage_runs_total"
+	MetricStageItems  = "pipeline_stage_items_total"
+	MetricStageBusyNS = "pipeline_stage_busy_ns"
+	MetricStageNS     = "pipeline_stage_ns"
 )
 
 // Stage identifies one pipeline stage for hooks and metrics.
@@ -54,14 +66,9 @@ func (s Stage) String() string {
 type Hooks struct {
 	// OnStage fires after each executed stage with the number of items
 	// the stage produced (findings, inferences, or verdicts) and its
-	// wall time. The serving layer feeds these into /metrics.
+	// wall time. The crawler feeds these into its per-worker stage
+	// tallies.
 	OnStage func(stage Stage, items int, elapsed time.Duration)
-}
-
-func (h Hooks) fire(stage Stage, items int, started time.Time) {
-	if h.OnStage != nil {
-		h.OnStage(stage, items, time.Since(started))
-	}
 }
 
 // Options compose a pipeline run. The zero value detects with the
@@ -84,6 +91,80 @@ type Options struct {
 	Whois *whois.Registry
 	// Hooks observe stage execution.
 	Hooks Hooks
+	// Metrics, when non-nil, accumulates the MetricStage* families
+	// (runs, items, busy nanoseconds, latency histogram per stage)
+	// into the registry. Repeat callers should resolve the handles once
+	// with NewStageMeters and set Meters instead.
+	Metrics *telemetry.Registry
+	// Meters are pre-resolved stage handles (NewStageMeters). When set,
+	// Metrics is ignored; when only Metrics is set, Process resolves a
+	// fresh set per call.
+	Meters *StageMeters
+	// Trace, when non-nil, records one span per executed stage on the
+	// current visit's trace. Every observer of a stage — hook, metric,
+	// span — sees the same single measured elapsed time.
+	Trace *telemetry.VisitTrace
+}
+
+// numStages is the number of observable pipeline stages.
+const numStages = int(StageClassify) + 1
+
+// stageMeter is one stage's registry handles.
+type stageMeter struct {
+	runs, items, busy *telemetry.Counter
+	ns                *telemetry.Histogram
+}
+
+// StageMeters hold every stage's registry handles, resolved once.
+// Handles are permanent and atomic, so one StageMeters may be shared
+// by every worker of a crawl — resolving per visit would rebuild
+// metric keys on the hot path.
+type StageMeters struct {
+	m [numStages]stageMeter
+}
+
+// NewStageMeters resolves the MetricStage* handles for every stage.
+func NewStageMeters(reg *telemetry.Registry) *StageMeters {
+	var sm StageMeters
+	for s := StageDetect; s <= StageClassify; s++ {
+		name := s.String()
+		sm.m[s] = stageMeter{
+			runs:  reg.Counter(MetricStageRuns, "stage", name),
+			items: reg.Counter(MetricStageItems, "stage", name),
+			busy:  reg.Counter(MetricStageBusyNS, "stage", name),
+			ns:    reg.Histogram(MetricStageNS, "stage", name),
+		}
+	}
+	return &sm
+}
+
+// observe records one stage execution with its single measured elapsed
+// time.
+func (sm *StageMeters) observe(s Stage, items int, elapsed time.Duration) {
+	m := &sm.m[s]
+	m.runs.Inc()
+	m.items.Add(uint64(items))
+	m.busy.Add(uint64(elapsed))
+	m.ns.ObserveDuration(elapsed)
+}
+
+// observe reports one finished stage to every configured observer. The
+// elapsed time is measured once, so the hook tally, the registry's
+// busy counter, and the trace span cannot disagree.
+func (o *Options) observe(s Stage, items int, started time.Time) {
+	if o.Hooks.OnStage == nil && o.Meters == nil && o.Trace == nil {
+		return
+	}
+	elapsed := time.Since(started)
+	if o.Hooks.OnStage != nil {
+		o.Hooks.OnStage(s, items, elapsed)
+	}
+	if o.Trace != nil {
+		o.Trace.Add(s.String(), started, elapsed, items)
+	}
+	if o.Meters != nil {
+		o.Meters.observe(s, items, elapsed)
+	}
 }
 
 // Visit carries the metadata of one page visit — everything the store
@@ -127,6 +208,9 @@ type Result struct {
 
 // Process runs the pipeline over one visit's telemetry.
 func Process(log *netlog.Log, v Visit, opts Options) *Result {
+	if opts.Meters == nil && opts.Metrics != nil {
+		opts.Meters = NewStageMeters(opts.Metrics)
+	}
 	res := &Result{Page: store.PageRecord{
 		Crawl:       v.Crawl,
 		OS:          v.OS,
@@ -142,12 +226,12 @@ func Process(log *netlog.Log, v Visit, opts Options) *Result {
 
 	started := time.Now()
 	res.Findings = localnet.FromLogOpts(log, opts.Detect)
-	opts.Hooks.fire(StageDetect, len(res.Findings), started)
+	opts.observe(StageDetect, len(res.Findings), started)
 
 	if opts.InferProbes {
 		started = time.Now()
 		res.Inferences = probeinfer.FromLogFindings(log, res.Findings)
-		opts.Hooks.fire(StageInfer, len(res.Inferences), started)
+		opts.observe(StageInfer, len(res.Inferences), started)
 	}
 
 	if len(res.Findings) > 0 {
@@ -197,7 +281,7 @@ func Process(log *netlog.Log, v Visit, opts Options) *Result {
 			res.LANVerdict = &v
 			verdicts++
 		}
-		opts.Hooks.fire(StageClassify, verdicts, started)
+		opts.observe(StageClassify, verdicts, started)
 	}
 	return res
 }

@@ -41,7 +41,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.metrics.request(r.URL.Path)
 	select {
 	case s.ingests <- struct{}{}:
-		defer func() { <-s.ingests }()
+		s.metrics.ingestsInflight.Add(1)
+		defer func() {
+			s.metrics.ingestsInflight.Add(-1)
+			<-s.ingests
+		}()
 	default:
 		s.metrics.ingestFailed()
 		s.reject(w, "ingest")
@@ -91,11 +95,18 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		committedAt = d
 	}
 
+	// One trace record per upload, in the same form the crawler emits;
+	// the deferred End reports the final outcome whichever path returns.
+	vt := s.opts.Tracer.StartVisit(crawl, osName, domain, url, rank)
+	outcome := "ok"
+	log := &netlog.Log{}
+	defer func() { vt.End(outcome, log.Len()) }()
+
 	// Parse the stream incrementally: one event per Next call, bounded
 	// body, periodic deadline checks. Only the decoded events are held;
 	// the raw JSONL is never buffered.
+	parseStart := time.Now()
 	dec := netlog.NewJSONLReader(http.MaxBytesReader(w, r.Body, s.opts.MaxIngestBytes))
-	log := &netlog.Log{}
 	for {
 		ev, err := dec.Next()
 		if err == io.EOF {
@@ -103,6 +114,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 		if err != nil {
 			s.metrics.ingestFailed()
+			outcome = err.Error()
 			var tooBig *http.MaxBytesError
 			if errors.As(err, &tooBig) {
 				httpError(w, http.StatusRequestEntityTooLarge, err.Error())
@@ -114,22 +126,29 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		log.Events = append(log.Events, ev)
 		if len(log.Events)%1024 == 0 && ctx.Err() != nil {
 			s.metrics.ingestFailed()
+			outcome = "ingest timed out"
 			httpError(w, http.StatusServiceUnavailable, "ingest timed out")
 			return
 		}
 	}
+	// Elapsed time is measured once and fed to the span and the stage
+	// counters alike — the trace file and /metrics cannot disagree.
+	parseElapsed := time.Since(parseStart)
+	vt.Add("parse", parseStart, parseElapsed, log.Len())
+	s.metrics.stage("parse", log.Len(), parseElapsed)
 
 	// The offline pipeline, online: the same canonical detect →
 	// classify path the crawler and the examples run, with verdicts
 	// corroborated via WHOIS when the server mounts a registry, and
-	// per-stage timings feeding /metrics.
+	// per-stage timings feeding /metrics and the visit trace.
 	out := pipeline.Process(log, pipeline.Visit{
 		Crawl: crawl, OS: osName, Domain: domain, Rank: rank,
 		Category: q.Get("category"), URL: url, CommittedAt: committedAt,
 	}, pipeline.Options{
 		Classify: true,
 		Whois:    s.opts.Whois,
-		Hooks:    pipeline.Hooks{OnStage: s.metrics.stage},
+		Meters:   s.metrics.stages,
+		Trace:    vt,
 	})
 	resp := IngestResponse{Crawl: crawl, OS: osName, Domain: domain, Events: log.Len()}
 	resp.Detections = out.Locals
@@ -154,12 +173,25 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// store bumps its generation on commit, so cached query responses
 	// and the site index go stale on their own.
 	st := s.eng.Store()
-	out.Commit(st)
+	var batch store.Batch
+	out.StageInto(&batch)
+	commitStart := time.Now()
+	st.AddBatch(&batch)
+	commitElapsed := time.Since(commitStart)
+	vt.Add("commit", commitStart, commitElapsed, batch.Len())
+	s.metrics.stage("commit", batch.Len(), commitElapsed)
 	if q.Get("retain") == "1" && len(out.Findings) > 0 {
-		if err := st.AddNetLog(crawl, osName, domain, log); err != nil {
+		nlStart := time.Now()
+		err := st.AddNetLog(crawl, osName, domain, log)
+		nlElapsed := time.Since(nlStart)
+		s.metrics.stage("netlog", 1, nlElapsed)
+		if err != nil {
 			// Retention is best-effort, as in the crawler; the records
 			// are committed regardless.
+			vt.AddErr("netlog", nlStart, nlElapsed, 0, "retention failed")
 			s.metrics.ingestFailed()
+		} else {
+			vt.Add("netlog", nlStart, nlElapsed, 1)
 		}
 	}
 	s.metrics.ingested(log.Len(), len(resp.Detections), time.Since(start), classCounts)

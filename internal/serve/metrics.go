@@ -1,107 +1,114 @@
 package serve
 
 import (
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"github.com/knockandtalk/knockandtalk/internal/pipeline"
+	"github.com/knockandtalk/knockandtalk/internal/telemetry"
 )
 
-// metrics holds the service's operational counters. Hot-path counters
-// are atomics; the low-rate maps (per-endpoint requests, detections by
-// class) sit behind a mutex.
+// Registry metric families the service maintains. Per-path and
+// per-plane counters are labeled; /metrics renders the whole set as
+// MetricsSnapshot, so the wire shape is a registry view.
+const (
+	MetricRequests         = "serve_requests_total"   // label: path
+	MetricRejected         = "serve_rejected_total"   // label: plane
+	MetricInflight         = "serve_inflight"         // gauge, label: plane
+	MetricCacheHits        = "serve_cache_hits_total" // mirrored from the cache
+	MetricCacheMisses      = "serve_cache_misses_total"
+	MetricIngestUploads    = "serve_ingest_uploads_total"
+	MetricIngestFailed     = "serve_ingest_failed_total"
+	MetricIngestEvents     = "serve_ingest_events_total"
+	MetricIngestDetections = "serve_ingest_detections_total"
+	MetricIngestBusyNS     = "serve_ingest_busy_ns"
+	MetricIngestNS         = "serve_ingest_ns"                  // histogram
+	MetricIngestByClass    = "serve_ingest_detections_by_class" // label: class
+)
+
+// metrics holds the service's operational counters, all registered in
+// a telemetry.Registry (the server's own by default, or a process-wide
+// one the binary passes in Options.Registry). Fixed-name hot-path
+// handles are pre-resolved; per-label counters (path, plane, class)
+// resolve through the registry's read-locked fast path.
 type metrics struct {
 	start time.Time
+	reg   *telemetry.Registry
 
-	mu        sync.Mutex
-	requests  map[string]uint64 // by endpoint path
-	rejects   map[string]uint64 // by plane
-	byClass   map[string]uint64 // ingest detections by verdict class
-	stages    map[string]*stageTally
-	// stages tallies ingest-plane pipeline stages (detect, infer,
-	// classify) via pipeline.Hooks.
-	hits      atomic.Uint64     // cache hits (also mirrored from cache)
-	misses    atomic.Uint64
-	uploads   atomic.Uint64 // completed ingest uploads
-	events    atomic.Uint64 // ingested NetLog events
-	found     atomic.Uint64 // local-network detections
-	ingestNS  atomic.Uint64 // cumulative ingest wall time
-	ingestErr atomic.Uint64 // rejected/failed uploads
+	hits, misses    *telemetry.Counter
+	uploads, failed *telemetry.Counter
+	events, found   *telemetry.Counter
+	ingestNS        *telemetry.Counter
+	ingestHist      *telemetry.Histogram
+	queriesInflight *telemetry.Gauge
+	ingestsInflight *telemetry.Gauge
+	stages          *pipeline.StageMeters
 }
 
-func newMetrics() *metrics {
+func newMetrics(reg *telemetry.Registry) *metrics {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 	return &metrics{
-		start:    time.Now(),
-		requests: make(map[string]uint64),
-		rejects:  make(map[string]uint64),
-		byClass:  make(map[string]uint64),
-		stages:   make(map[string]*stageTally),
+		start:           time.Now(),
+		reg:             reg,
+		hits:            reg.Counter(MetricCacheHits),
+		misses:          reg.Counter(MetricCacheMisses),
+		uploads:         reg.Counter(MetricIngestUploads),
+		failed:          reg.Counter(MetricIngestFailed),
+		events:          reg.Counter(MetricIngestEvents),
+		found:           reg.Counter(MetricIngestDetections),
+		ingestNS:        reg.Counter(MetricIngestBusyNS),
+		ingestHist:      reg.Histogram(MetricIngestNS),
+		queriesInflight: reg.Gauge(MetricInflight, "plane", "query"),
+		ingestsInflight: reg.Gauge(MetricInflight, "plane", "ingest"),
+		stages:          pipeline.NewStageMeters(reg),
 	}
 }
 
-// stageTally accumulates one pipeline stage's runs.
-type stageTally struct {
-	runs  uint64
-	items uint64
-	ns    uint64
-}
-
-// stage records one pipeline stage execution; it is the OnStage hook
-// the ingest plane installs.
-func (m *metrics) stage(s pipeline.Stage, items int, elapsed time.Duration) {
-	m.mu.Lock()
-	t := m.stages[s.String()]
-	if t == nil {
-		t = &stageTally{}
-		m.stages[s.String()] = t
-	}
-	t.runs++
-	t.items += uint64(items)
-	t.ns += uint64(elapsed)
-	m.mu.Unlock()
+// stage records one pipeline-stage execution with a pre-measured
+// elapsed time. The ingest handler's extra stages (parse, commit,
+// netlog) report through it with the same single measurement their
+// trace spans carry, so a trace file and /metrics agree on busy time.
+func (m *metrics) stage(name string, items int, elapsed time.Duration) {
+	m.reg.Counter(pipeline.MetricStageRuns, "stage", name).Inc()
+	m.reg.Counter(pipeline.MetricStageItems, "stage", name).Add(uint64(items))
+	m.reg.Counter(pipeline.MetricStageBusyNS, "stage", name).Add(uint64(elapsed))
+	m.reg.Histogram(pipeline.MetricStageNS, "stage", name).ObserveDuration(elapsed)
 }
 
 func (m *metrics) request(path string) {
-	m.mu.Lock()
-	m.requests[path]++
-	m.mu.Unlock()
+	m.reg.Counter(MetricRequests, "path", path).Inc()
 }
 
 func (m *metrics) rejected(plane string) {
-	m.mu.Lock()
-	m.rejects[plane]++
-	m.mu.Unlock()
+	m.reg.Counter(MetricRejected, "plane", plane).Inc()
 }
 
-func (m *metrics) cacheHit()  { m.hits.Add(1) }
-func (m *metrics) cacheMiss() { m.misses.Add(1) }
+func (m *metrics) cacheHit()  { m.hits.Inc() }
+func (m *metrics) cacheMiss() { m.misses.Inc() }
 
 func (m *metrics) ingested(events, detections int, elapsed time.Duration, classes map[string]int) {
-	m.uploads.Add(1)
+	m.uploads.Inc()
 	m.events.Add(uint64(events))
 	m.found.Add(uint64(detections))
 	m.ingestNS.Add(uint64(elapsed))
-	if len(classes) > 0 {
-		m.mu.Lock()
-		for class, n := range classes {
-			m.byClass[class] += uint64(n)
-		}
-		m.mu.Unlock()
+	m.ingestHist.ObserveDuration(elapsed)
+	for class, n := range classes {
+		m.reg.Counter(MetricIngestByClass, "class", class).Add(uint64(n))
 	}
 }
 
-func (m *metrics) ingestFailed() { m.ingestErr.Add(1) }
+func (m *metrics) ingestFailed() { m.failed.Inc() }
 
 // MetricsSnapshot is the wire form of /metrics.
 type MetricsSnapshot struct {
 	UptimeSeconds float64           `json:"uptime_seconds"`
-	Requests      map[string]uint64 `json:"requests"`
+	Requests      map[string]uint64 `json:"requests,omitempty"`
 	Rejected      map[string]uint64 `json:"rejected_429,omitempty"`
 	Cache         CacheMetrics      `json:"cache"`
 	Ingest        IngestMetrics     `json:"ingest"`
 	// Pipeline reports ingest-plane stage execution, keyed by stage
-	// name (detect, infer, classify).
+	// name (parse, detect, infer, classify, commit, netlog).
 	Pipeline map[string]StageMetrics `json:"pipeline,omitempty"`
 	// UnknownOSLabels tallies store records whose OS label maps to no
 	// known platform (they are excluded from per-OS aggregates).
@@ -133,47 +140,47 @@ type IngestMetrics struct {
 	BusySeconds  float64           `json:"busy_seconds"`
 }
 
-// snapshot renders the counters. Cache hit/miss totals come from the
-// response cache itself so the rate reflects every lookup.
+// snapshot renders the registry's serve-facing families as the
+// /metrics wire form. Cache hit/miss totals come from the response
+// cache itself so the rate reflects every lookup. Requests and
+// Rejected are nil (omitted from JSON) until the first request or
+// rejection — an idle server's snapshot does not fabricate empty maps.
 func (m *metrics) snapshot(cacheHits, cacheMisses uint64) MetricsSnapshot {
 	snap := MetricsSnapshot{
 		UptimeSeconds: time.Since(m.start).Seconds(),
-		Requests:      map[string]uint64{},
-		Rejected:      map[string]uint64{},
+		Requests:      m.reg.CounterLabels(MetricRequests, "path"),
+		Rejected:      m.reg.CounterLabels(MetricRejected, "plane"),
 		Cache:         CacheMetrics{Hits: cacheHits, Misses: cacheMisses},
 	}
 	if total := cacheHits + cacheMisses; total > 0 {
 		snap.Cache.HitRate = float64(cacheHits) / float64(total)
 	}
-	m.mu.Lock()
-	for k, v := range m.requests {
-		snap.Requests[k] = v
-	}
-	for k, v := range m.rejects {
-		snap.Rejected[k] = v
-	}
-	byClass := make(map[string]uint64, len(m.byClass))
-	for k, v := range m.byClass {
-		byClass[k] = v
-	}
-	if len(m.stages) > 0 {
-		snap.Pipeline = make(map[string]StageMetrics, len(m.stages))
-		for k, t := range m.stages {
-			snap.Pipeline[k] = StageMetrics{
-				Runs:        t.runs,
-				Items:       t.items,
-				BusySeconds: time.Duration(t.ns).Seconds(),
+	if runs := m.reg.CounterLabels(pipeline.MetricStageRuns, "stage"); len(runs) > 0 {
+		items := m.reg.CounterLabels(pipeline.MetricStageItems, "stage")
+		busy := m.reg.CounterLabels(pipeline.MetricStageBusyNS, "stage")
+		for stage, n := range runs {
+			// Pre-resolved handles mint every stage's counters at
+			// registration; only stages that actually ran are reported.
+			if n == 0 {
+				continue
+			}
+			if snap.Pipeline == nil {
+				snap.Pipeline = make(map[string]StageMetrics, len(runs))
+			}
+			snap.Pipeline[stage] = StageMetrics{
+				Runs:        n,
+				Items:       items[stage],
+				BusySeconds: time.Duration(busy[stage]).Seconds(),
 			}
 		}
 	}
-	m.mu.Unlock()
-	busy := time.Duration(m.ingestNS.Load()).Seconds()
+	busy := time.Duration(m.ingestNS.Value()).Seconds()
 	snap.Ingest = IngestMetrics{
-		Uploads:     m.uploads.Load(),
-		Failed:      m.ingestErr.Load(),
-		Events:      m.events.Load(),
-		Detections:  m.found.Load(),
-		ByClass:     byClass,
+		Uploads:     m.uploads.Value(),
+		Failed:      m.failed.Value(),
+		Events:      m.events.Value(),
+		Detections:  m.found.Value(),
+		ByClass:     m.reg.CounterLabels(MetricIngestByClass, "class"),
 		BusySeconds: busy,
 	}
 	if busy > 0 {

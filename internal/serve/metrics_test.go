@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/knockandtalk/knockandtalk/internal/serve/queryengine"
+	"github.com/knockandtalk/knockandtalk/internal/telemetry"
+)
+
+// TestEmptyServerSnapshotOmitsRequestMaps pins the wire-shape fix: a
+// server that has answered nothing must not render "requests" or
+// "rejected_429" as empty objects — the fields are omitted entirely
+// until the first request or rejection mints a counter.
+func TestEmptyServerSnapshotOmitsRequestMaps(t *testing.T) {
+	srv := New(queryengine.New(serveStore(t)), Options{})
+	raw, err := json.Marshal(srv.metrics.snapshot(srv.cache.Stats()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"requests"`, `"rejected_429"`, `"pipeline"`} {
+		if bytes.Contains(raw, []byte(key)) {
+			t.Errorf("empty-server snapshot renders %s: %s", key, raw)
+		}
+	}
+	// Scalar sections stay present even when idle.
+	for _, key := range []string{`"uptime_seconds"`, `"cache"`, `"ingest"`} {
+		if !bytes.Contains(raw, []byte(key)) {
+			t.Errorf("empty-server snapshot lost %s: %s", key, raw)
+		}
+	}
+
+	// The first request makes the map appear with that path only.
+	ts := newHTTPTestServer(t, srv)
+	var v any
+	getJSON(t, ts+"/v1/summary", &v)
+	snap := srv.metrics.snapshot(srv.cache.Stats())
+	if snap.Requests["/v1/summary"] != 1 || len(snap.Requests) != 1 {
+		t.Fatalf("requests after one call: %+v", snap.Requests)
+	}
+	if snap.Rejected != nil {
+		t.Fatalf("no rejection occurred, got %+v", snap.Rejected)
+	}
+}
+
+// TestIngestTraceAgreesWithMetrics is the acceptance check of the
+// telemetry subsystem: aggregating per-stage busy time from the trace
+// file alone must reproduce exactly what /metrics reports for the same
+// ingests — byte-for-byte once both render through the same rounding.
+func TestIngestTraceAgreesWithMetrics(t *testing.T) {
+	var traceBuf bytes.Buffer
+	tr := telemetry.NewTracer(&traceBuf, telemetry.TracerOptions{})
+	srv := New(queryengine.New(serveStore(t)), Options{Tracer: tr})
+	ts := newHTTPTestServer(t, srv)
+
+	body, err := os.ReadFile("testdata/threatmetrix.netlog.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, params := range []string{
+		"domain=first.example&os=Windows&crawl=live",
+		"domain=second.example&os=Linux&crawl=live&retain=1",
+		"domain=third.example&os=Windows&crawl=live&committed_at=1s",
+	} {
+		resp, err := http.Post(ts+"/v1/ingest?"+params, "application/jsonl", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("upload %d: status %d", i, resp.StatusCode)
+		}
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("tracer dropped %d records", tr.Dropped())
+	}
+
+	visits, err := telemetry.ReadTraces(&traceBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(visits) != 3 {
+		t.Fatalf("trace records = %d, want 3", len(visits))
+	}
+	fromTrace := telemetry.Summarize(visits).BusySeconds()
+
+	var m MetricsSnapshot
+	getJSON(t, ts+"/metrics", &m)
+	if len(m.Pipeline) == 0 {
+		t.Fatal("/metrics reports no pipeline stages after ingest")
+	}
+	if len(fromTrace) != len(m.Pipeline) {
+		t.Fatalf("stage sets differ: trace %v, /metrics %v", keys(fromTrace), m.Pipeline)
+	}
+	for stage, traceBusy := range fromTrace {
+		served, ok := m.Pipeline[stage]
+		if !ok {
+			t.Fatalf("stage %q in trace but not in /metrics (%v)", stage, m.Pipeline)
+		}
+		got, want := fmt.Sprintf("%.9f", traceBusy), fmt.Sprintf("%.9f", served.BusySeconds)
+		if got != want {
+			t.Errorf("stage %q busy seconds: trace %s, /metrics %s", stage, got, want)
+		}
+	}
+	// The retained capture's netlog stage made it into both views.
+	if _, ok := fromTrace["netlog"]; !ok {
+		t.Fatal("retained upload must trace a netlog span")
+	}
+	// Item counts agree as well: the detect stage carried 14 findings
+	// per upload.
+	if m.Pipeline["detect"].Items != 42 {
+		t.Fatalf("detect items = %d, want 42", m.Pipeline["detect"].Items)
+	}
+}
+
+func keys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestMetricsSnapshotUnderLoad hammers snapshotting — HTTP /metrics,
+// the in-process snapshot call, and whole-registry snapshots — while
+// ingest uploads and query traffic run. Under -race this is the
+// registry's serve-side data-race check.
+func TestMetricsSnapshotUnderLoad(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	srv := New(queryengine.New(serveStore(t)), Options{
+		Registry: reg, QueryConcurrency: 32, IngestConcurrency: 4,
+	})
+	ts := newHTTPTestServer(t, srv)
+	body, err := os.ReadFile("testdata/threatmetrix.netlog.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 8; j++ {
+				resp, err := http.Post(
+					fmt.Sprintf("%s/v1/ingest?domain=load%d-%d.example&os=Windows", ts, n, j),
+					"application/jsonl", bytes.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(i)
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			paths := []string{"/v1/locals?dest=localhost", "/v1/summary", "/v1/site/scanner.example"}
+			for j := 0; j < 12; j++ {
+				resp, err := http.Get(ts + paths[(n+j)%len(paths)])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 20; j++ {
+			var m MetricsSnapshot
+			getJSON(t, ts+"/metrics", &m)
+			_ = srv.metrics.snapshot(srv.cache.Stats())
+			var buf strings.Builder
+			if err := reg.WriteJSON(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	snap := srv.metrics.snapshot(srv.cache.Stats())
+	if snap.Ingest.Uploads != 16 || snap.Ingest.Detections != 16*14 {
+		t.Fatalf("ingest totals after load: %+v", snap.Ingest)
+	}
+	if reg.CounterValue(MetricRequests, "path", "/v1/ingest") != 16 {
+		t.Fatal("shared registry must carry the request counters")
+	}
+	// Both planes drained: in-flight gauges read zero.
+	s := reg.Snapshot()
+	for k, v := range s.Gauges {
+		if v != 0 {
+			t.Fatalf("gauge %s = %d after drain, want 0", k, v)
+		}
+	}
+}
+
+// newHTTPTestServer mounts an existing Server on a test listener and
+// returns its base URL.
+func newHTTPTestServer(t testing.TB, srv *Server) string {
+	t.Helper()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}

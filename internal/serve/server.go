@@ -30,6 +30,7 @@ import (
 	"github.com/knockandtalk/knockandtalk/internal/report"
 	"github.com/knockandtalk/knockandtalk/internal/serve/queryengine"
 	"github.com/knockandtalk/knockandtalk/internal/store"
+	"github.com/knockandtalk/knockandtalk/internal/telemetry"
 	"github.com/knockandtalk/knockandtalk/internal/whois"
 )
 
@@ -57,6 +58,15 @@ type Options struct {
 	// registrant evidence (§4.3.1) when non-nil, matching the offline
 	// investigation path. Nil leaves verdicts signature-only.
 	Whois *whois.Registry
+	// Registry receives the service's operational metrics (requests,
+	// rejections, cache, ingest, and pipeline-stage counters). Nil uses
+	// a private registry; knockserved passes telemetry.Default() so the
+	// debug endpoint and /metrics read the same process-wide state.
+	Registry *telemetry.Registry
+	// Tracer, when non-nil, records one per-visit trace per ingest
+	// upload (parse → detect → classify → commit spans), in the same
+	// JSONL form the crawler emits.
+	Tracer *telemetry.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -103,7 +113,7 @@ func New(eng *queryengine.Engine, opts Options) *Server {
 		eng:     eng,
 		opts:    opts,
 		cache:   queryengine.NewCache(opts.CacheEntries),
-		metrics: newMetrics(),
+		metrics: newMetrics(opts.Registry),
 		queries: make(chan struct{}, opts.QueryConcurrency),
 		ingests: make(chan struct{}, opts.IngestConcurrency),
 	}
@@ -124,6 +134,10 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Engine returns the underlying query engine.
 func (s *Server) Engine() *queryengine.Engine { return s.eng }
 
+// Registry returns the metrics registry the server writes to — the
+// one passed in Options.Registry, or the server's private registry.
+func (s *Server) Registry() *telemetry.Registry { return s.metrics.reg }
+
 // query wraps a query-plane endpoint with the plane's backpressure,
 // timeout, caching, and metrics. Handlers parse the request and return
 // the canonical cache key plus a render closure; a nil render means
@@ -133,7 +147,11 @@ func (s *Server) query(h func(w http.ResponseWriter, r *http.Request) (key strin
 		s.metrics.request(r.URL.Path)
 		select {
 		case s.queries <- struct{}{}:
-			defer func() { <-s.queries }()
+			s.metrics.queriesInflight.Add(1)
+			defer func() {
+				s.metrics.queriesInflight.Add(-1)
+				<-s.queries
+			}()
 		default:
 			s.reject(w, "query")
 			return

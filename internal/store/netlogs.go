@@ -31,6 +31,10 @@ func (s *Store) AddNetLog(crawl, os, domain string, log *netlog.Log) error {
 	})
 	s.nmu.Unlock()
 	s.gen.Add(1)
+	if m := s.meters.Load(); m != nil {
+		m.netlogs.Inc()
+		m.commits.Inc()
+	}
 	return nil
 }
 

@@ -28,6 +28,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/knockandtalk/knockandtalk/internal/telemetry"
 )
 
 // PageRecord summarizes one page visit.
@@ -111,6 +113,30 @@ type Store struct {
 	// capture) and stay behind a single lock.
 	nmu     sync.Mutex
 	netlogs []NetLogRecord
+
+	// meters, when set via Instrument, counts commits into a telemetry
+	// registry. An atomic pointer so Instrument is safe against
+	// concurrent writers; nil (the default) costs one load per bulk
+	// write.
+	meters atomic.Pointer[storeMeters]
+}
+
+// storeMeters holds pre-resolved registry handles so the write path
+// never takes the registry's map lock.
+type storeMeters struct {
+	pages, locals, netlogs, commits *telemetry.Counter
+}
+
+// Instrument registers the store's write counters into reg
+// (store_pages_total, store_locals_total, store_netlogs_total,
+// store_commits_total) and starts counting subsequent writes.
+func (s *Store) Instrument(reg *telemetry.Registry) {
+	s.meters.Store(&storeMeters{
+		pages:   reg.Counter("store_pages_total"),
+		locals:  reg.Counter("store_locals_total"),
+		netlogs: reg.Counter("store_netlogs_total"),
+		commits: reg.Counter("store_commits_total"),
+	})
 }
 
 // New returns an empty store.
@@ -153,6 +179,10 @@ func (s *Store) AddPage(p PageRecord) {
 	sh.pages = append(sh.pages, p)
 	sh.mu.Unlock()
 	s.gen.Add(1)
+	if m := s.meters.Load(); m != nil {
+		m.pages.Inc()
+		m.commits.Inc()
+	}
 }
 
 // AddLocal records a local-network request.
@@ -165,6 +195,10 @@ func (s *Store) AddLocal(l LocalRequest) {
 	sh.locals = append(sh.locals, l)
 	sh.mu.Unlock()
 	s.gen.Add(1)
+	if m := s.meters.Load(); m != nil {
+		m.locals.Inc()
+		m.commits.Inc()
+	}
 }
 
 // AddPages bulk-appends page records, acquiring each touched shard's
@@ -172,6 +206,10 @@ func (s *Store) AddLocal(l LocalRequest) {
 func (s *Store) AddPages(ps []PageRecord) {
 	if len(ps) > 0 {
 		defer s.gen.Add(1)
+		if m := s.meters.Load(); m != nil {
+			m.pages.Add(uint64(len(ps)))
+			m.commits.Inc()
+		}
 	}
 	for i := 0; i < len(ps); {
 		idx := shardIndex(ps[i].Domain)
@@ -192,6 +230,10 @@ func (s *Store) AddPages(ps []PageRecord) {
 func (s *Store) AddLocals(ls []LocalRequest) {
 	if len(ls) > 0 {
 		defer s.gen.Add(1)
+		if m := s.meters.Load(); m != nil {
+			m.locals.Add(uint64(len(ls)))
+			m.commits.Inc()
+		}
 	}
 	for i := range ls {
 		if ls[i].Delay < 0 {

@@ -1,0 +1,167 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "path", "/v1/locals")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Same name+labels resolves to the same handle.
+	if r.Counter("requests_total", "path", "/v1/locals") != c {
+		t.Fatal("re-resolving a counter minted a new handle")
+	}
+	// Label order must not mint distinct metrics.
+	a := r.Counter("multi", "b", "2", "a", "1")
+	b := r.Counter("multi", "a", "1", "b", "2")
+	if a != b {
+		t.Fatal("label order minted distinct counters")
+	}
+	g := r.Gauge("inflight")
+	g.Add(3)
+	g.Add(-1)
+	if g.Value() != 2 {
+		t.Fatalf("gauge = %d, want 2", g.Value())
+	}
+	g.Set(7)
+	if g.Value() != 7 {
+		t.Fatalf("gauge = %d, want 7", g.Value())
+	}
+}
+
+func TestCounterValueAndLabels(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs", "path", "/a").Add(2)
+	r.Counter("reqs", "path", "/b").Add(3)
+	r.Counter("other").Inc()
+	if v := r.CounterValue("reqs", "path", "/a"); v != 2 {
+		t.Fatalf("CounterValue = %d, want 2", v)
+	}
+	if v := r.CounterValue("absent"); v != 0 {
+		t.Fatalf("absent counter = %d, want 0", v)
+	}
+	got := r.CounterLabels("reqs", "path")
+	if len(got) != 2 || got["/a"] != 2 || got["/b"] != 3 {
+		t.Fatalf("CounterLabels = %+v", got)
+	}
+	if r.CounterLabels("nosuch", "path") != nil {
+		t.Fatal("empty family must return nil")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(0)    // bucket le=0
+	h.Observe(1)    // le=1
+	h.Observe(2)    // le=3
+	h.Observe(3)    // le=3
+	h.Observe(1000) // le=1023
+	s := h.Snapshot()
+	if s.Count != 5 || s.Sum != 1006 {
+		t.Fatalf("count=%d sum=%d, want 5/1006", s.Count, s.Sum)
+	}
+	want := map[uint64]uint64{0: 1, 1: 1, 3: 2, 1023: 1}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want %v", s.Buckets, want)
+	}
+	for _, b := range s.Buckets {
+		if want[b.Le] != b.N {
+			t.Fatalf("bucket le=%d n=%d, want %d", b.Le, b.N, want[b.Le])
+		}
+	}
+	if q := s.Quantile(0.5); q != 3 {
+		t.Fatalf("p50 = %d, want 3", q)
+	}
+	if q := s.Quantile(1); q != 1023 {
+		t.Fatalf("p100 = %d, want 1023", q)
+	}
+	var empty Histogram
+	if q := empty.Snapshot().Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram quantile = %d, want 0", q)
+	}
+	var neg Histogram
+	neg.ObserveDuration(-time.Second)
+	if s := neg.Snapshot(); s.Sum != 0 || s.Count != 1 {
+		t.Fatalf("negative duration must clamp to zero: %+v", s)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "os", "Windows").Add(2)
+	r.Gauge("g").Set(-4)
+	r.Histogram("h_ns").Observe(5)
+	raw, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"c_total{os=Windows}":2`, `"g":-4`, `"h_ns":{"count":1,"sum":5`} {
+		if !strings.Contains(string(raw), want) {
+			t.Fatalf("snapshot JSON %s missing %s", raw, want)
+		}
+	}
+	// Empty registry snapshots to the empty object: every section is
+	// omitempty.
+	raw, err = json.Marshal(NewRegistry().Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != "{}" {
+		t.Fatalf("empty registry snapshot = %s, want {}", raw)
+	}
+}
+
+// TestRegistryConcurrent hammers creation, writes, and snapshots from
+// many goroutines; with -race this is the registry's data-race check.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	const writers = 8
+	const perWriter = 1000
+	names := []string{"a_total", "b_total", "c_total"}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Counter(names[i%len(names)], "w", "shared").Inc()
+				r.Gauge("inflight").Add(1)
+				r.Histogram("lat_ns", "stage", names[i%len(names)]).Observe(uint64(i))
+				r.Gauge("inflight").Add(-1)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				r.Snapshot()
+				r.CounterLabels("a_total", "w")
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	var total uint64
+	for _, n := range names {
+		total += r.CounterValue(n, "w", "shared")
+	}
+	if want := uint64(writers * perWriter); total != want {
+		t.Fatalf("counted %d increments, want %d", total, want)
+	}
+	if g := r.Gauge("inflight").Value(); g != 0 {
+		t.Fatalf("inflight gauge = %d, want 0 after drain", g)
+	}
+}

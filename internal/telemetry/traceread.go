@@ -1,0 +1,214 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+)
+
+// ReadTraces parses a JSONL trace stream. Malformed lines fail with
+// their line number, matching the netlog reader's contract.
+func ReadTraces(r io.Reader) ([]VisitRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var out []VisitRecord
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec VisitRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("telemetry: trace line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: reading traces: %w", err)
+	}
+	return out, nil
+}
+
+// ReadTraceFiles reads and concatenates one or more trace files.
+func ReadTraceFiles(paths ...string) ([]VisitRecord, error) {
+	var out []VisitRecord
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		recs, err := ReadTraces(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		out = append(out, recs...)
+	}
+	return out, nil
+}
+
+// StageStats aggregates every span of one name across a trace.
+type StageStats struct {
+	Runs   uint64
+	Items  uint64
+	BusyNS int64
+	// Hist holds the span durations in the registry's log-scale
+	// buckets, so knocktrace prints the same histogram shape /metrics
+	// histograms carry.
+	Hist Histogram
+}
+
+// BusySeconds converts the stage's accumulated nanoseconds exactly as
+// the serving layer's /metrics does, so the two renderings agree
+// byte-for-byte for identical work.
+func (s *StageStats) BusySeconds() float64 {
+	return time.Duration(s.BusyNS).Seconds()
+}
+
+// GroupStats aggregates whole visits sharing one group key (an OS or a
+// crawl).
+type GroupStats struct {
+	Visits   int
+	Failed   int
+	WallNS   int64
+	Events   int
+	Findings int
+}
+
+// TraceSummary is the aggregate view of a trace file.
+type TraceSummary struct {
+	Visits   int
+	Failed   int
+	WallNS   int64
+	Events   int
+	Findings int
+	Outcomes map[string]int
+	Stages   map[string]*StageStats
+	ByOS     map[string]*GroupStats
+	ByCrawl  map[string]*GroupStats
+}
+
+// Summarize aggregates visit records: per-stage run/item/busy totals
+// and latency histograms, plus per-OS and per-crawl rollups.
+func Summarize(visits []VisitRecord) *TraceSummary {
+	sum := &TraceSummary{
+		Outcomes: map[string]int{},
+		Stages:   map[string]*StageStats{},
+		ByOS:     map[string]*GroupStats{},
+		ByCrawl:  map[string]*GroupStats{},
+	}
+	group := func(m map[string]*GroupStats, key string) *GroupStats {
+		g := m[key]
+		if g == nil {
+			g = &GroupStats{}
+			m[key] = g
+		}
+		return g
+	}
+	for i := range visits {
+		v := &visits[i]
+		sum.Visits++
+		sum.WallNS += v.DurNS
+		sum.Events += v.Events
+		sum.Outcomes[v.Outcome]++
+		failed := v.Outcome != "ok"
+		if failed {
+			sum.Failed++
+		}
+		findings := 0
+		for _, sp := range v.Spans {
+			st := sum.Stages[sp.Name]
+			if st == nil {
+				st = &StageStats{}
+				sum.Stages[sp.Name] = st
+			}
+			st.Runs++
+			st.Items += uint64(sp.Items)
+			st.BusyNS += sp.DurNS
+			st.Hist.Observe(uint64(max64(sp.DurNS, 0)))
+			if sp.Name == "detect" {
+				findings += sp.Items
+			}
+		}
+		sum.Findings += findings
+		for _, g := range []*GroupStats{group(sum.ByOS, v.OS), group(sum.ByCrawl, v.Crawl)} {
+			g.Visits++
+			g.WallNS += v.DurNS
+			g.Events += v.Events
+			g.Findings += findings
+			if failed {
+				g.Failed++
+			}
+		}
+	}
+	return sum
+}
+
+// BusySeconds renders per-stage busy time in seconds, keyed by stage
+// name — the trace-side counterpart of the /metrics pipeline map.
+func (s *TraceSummary) BusySeconds() map[string]float64 {
+	out := make(map[string]float64, len(s.Stages))
+	for name, st := range s.Stages {
+		out[name] = st.BusySeconds()
+	}
+	return out
+}
+
+// StageNames returns the summary's stage names in canonical pipeline
+// order (visit, detect, infer, classify, netlog, commit), with unknown
+// names appended alphabetically.
+func (s *TraceSummary) StageNames() []string {
+	order := map[string]int{
+		"visit": 0, "parse": 1, "detect": 2, "infer": 3,
+		"classify": 4, "netlog": 5, "commit": 6,
+	}
+	names := make([]string, 0, len(s.Stages))
+	for name := range s.Stages {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		oi, iok := order[names[i]]
+		oj, jok := order[names[j]]
+		switch {
+		case iok && jok:
+			return oi < oj
+		case iok:
+			return true
+		case jok:
+			return false
+		default:
+			return names[i] < names[j]
+		}
+	})
+	return names
+}
+
+// SlowestVisits returns the k visits with the largest wall time,
+// slowest first (ties broken by domain for stable output).
+func SlowestVisits(visits []VisitRecord, k int) []VisitRecord {
+	out := make([]VisitRecord, len(visits))
+	copy(out, visits)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].DurNS != out[j].DurNS {
+			return out[i].DurNS > out[j].DurNS
+		}
+		return out[i].Domain < out[j].Domain
+	})
+	if k > 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

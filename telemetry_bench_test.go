@@ -1,0 +1,167 @@
+// Telemetry overhead benchmark: the crawl hot path with tracing and
+// metrics fully enabled must stay within 5% of the uninstrumented
+// baseline, and the uninstrumented path must not pay for the
+// instrumentation at all (no stage tallies, no clock reads). The bench
+// smoke emits BENCH_telemetry.json so the overhead is tracked run over
+// run.
+package knockandtalk_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/knockandtalk/knockandtalk/internal/crawler"
+	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+	"github.com/knockandtalk/knockandtalk/internal/hostenv"
+	"github.com/knockandtalk/knockandtalk/internal/store"
+	"github.com/knockandtalk/knockandtalk/internal/telemetry"
+	"github.com/knockandtalk/knockandtalk/internal/websim"
+)
+
+// telemetryBenchResult is the BENCH_telemetry.json schema.
+type telemetryBenchResult struct {
+	Scale           float64 `json:"scale"`
+	Workers         int     `json:"workers"`
+	Rounds          int     `json:"rounds"`
+	PagesPerRound   int     `json:"pages_per_round"`
+	OffPagesPerSec  float64 `json:"off_pages_per_sec"`
+	OnPagesPerSec   float64 `json:"on_pages_per_sec"`
+	OverheadPercent float64 `json:"overhead_percent"`
+	TraceRecords    uint64  `json:"trace_records"`
+	TraceDropped    uint64  `json:"trace_dropped"`
+}
+
+// BenchmarkCrawlTelemetryOverhead runs the BenchmarkCrawlThroughput
+// configuration twice per round — tracing off and tracing fully on
+// (registry + tracer + stage timings) — in alternating order, and takes
+// the median per-round slowdown ratio. It fails if full instrumentation
+// costs more than 5% of crawl throughput, and writes
+// BENCH_telemetry.json next to the test binary's working directory.
+func BenchmarkCrawlTelemetryOverhead(b *testing.B) {
+	world, err := websim.Build(groundtruth.CrawlTop2020, hostenv.Windows, 0.05, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := crawler.Config{
+		Crawl: groundtruth.CrawlTop2020, OS: hostenv.Windows,
+		Scale: 0.05, Seed: benchSeed, Workers: 4,
+	}
+	tracer := telemetry.NewTracer(io.Discard, telemetry.TracerOptions{Buffer: 4096})
+	instrumented := base
+	instrumented.Metrics = telemetry.NewRegistry()
+	instrumented.Tracer = tracer
+	instrumented.StageTimings = true
+
+	crawlOnce := func(cfg crawler.Config) (*crawler.Summary, time.Duration) {
+		runtime.GC()
+		start := time.Now()
+		sum, err := crawler.RunWorld(cfg, world, store.New())
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sum, time.Since(start)
+	}
+
+	// Warm caches and the page-table before measuring.
+	crawlOnce(base)
+	crawlOnce(instrumented)
+
+	const rounds = 8
+	var pages int
+	var ratios []float64
+	offBest, onBest := time.Duration(1<<62), time.Duration(1<<62)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < rounds; r++ {
+			// Each round measures an off,on,on,off quad (mirrored on odd
+			// rounds) and keeps the round's slowdown ratio: the symmetric
+			// order cancels linear machine drift inside the round, and the
+			// median across rounds discards the ones where a GC or
+			// scheduler spike landed on one side.
+			var offD, onD time.Duration
+			measureOff := func() {
+				sum, d := crawlOnce(base)
+				if sum.StageBusy != nil {
+					b.Fatal("uninstrumented crawl must not collect stage tallies")
+				}
+				pages = sum.Attempted
+				offD += d
+				if d < offBest {
+					offBest = d
+				}
+			}
+			measureOn := func() {
+				sum, d := crawlOnce(instrumented)
+				if sum.StageBusy == nil || sum.StageBusy["visit"] <= 0 {
+					b.Fatalf("instrumented crawl lost its stage tallies: %+v", sum.StageBusy)
+				}
+				onD += d
+				if d < onBest {
+					onBest = d
+				}
+			}
+			if r%2 == 0 {
+				measureOff()
+				measureOn()
+				measureOn()
+				measureOff()
+			} else {
+				measureOn()
+				measureOff()
+				measureOff()
+				measureOn()
+			}
+			ratios = append(ratios, onD.Seconds()/offD.Seconds())
+		}
+	}
+	b.StopTimer()
+	if err := tracer.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	res := telemetryBenchResult{
+		Scale:          0.05,
+		Workers:        base.Workers,
+		Rounds:         rounds * b.N,
+		PagesPerRound:  pages,
+		OffPagesPerSec: float64(pages) / offBest.Seconds(),
+		OnPagesPerSec:  float64(pages) / onBest.Seconds(),
+		TraceRecords:   tracer.Written(),
+		TraceDropped:   tracer.Dropped(),
+	}
+	sort.Float64s(ratios)
+	median := ratios[len(ratios)/2]
+	if len(ratios)%2 == 0 {
+		median = (ratios[len(ratios)/2-1] + ratios[len(ratios)/2]) / 2
+	}
+	res.OverheadPercent = 100 * (median - 1)
+	if res.OverheadPercent < 0 {
+		res.OverheadPercent = 0 // instrumented runs landed faster: pure noise
+	}
+	b.ReportMetric(res.OnPagesPerSec, "pages/sec")
+	b.ReportMetric(res.OverheadPercent, "overhead-%")
+
+	raw, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_telemetry.json", append(raw, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	fmt.Printf("telemetry overhead: off %.0f pages/sec, on %.0f pages/sec (%.2f%%), %d trace records\n",
+		res.OffPagesPerSec, res.OnPagesPerSec, res.OverheadPercent, res.TraceRecords)
+
+	if tracer.Written()+tracer.Dropped() == 0 {
+		b.Fatal("instrumented crawl emitted no trace records")
+	}
+	if res.OverheadPercent >= 5 {
+		b.Fatalf("telemetry overhead %.2f%% exceeds the 5%% budget (off %v, on %v)",
+			res.OverheadPercent, offBest, onBest)
+	}
+}

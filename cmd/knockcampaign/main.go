@@ -7,6 +7,7 @@
 //
 //	knockcampaign -out ./run -scale 1 -seed 20210603
 //	knockcampaign -out ./run -resume        # continue after interruption
+//	knockcampaign -out ./run -status-addr :6061   # live /status, /healthz, /metrics
 //	knockreport  -in ./run/top100k-2020.jsonl,./run/top100k-2021.jsonl,./run/malicious.jsonl
 //	knockdiff    -in ./run/top100k-2020.jsonl,./run/top100k-2021.jsonl,./run/malicious.jsonl
 package main
@@ -14,30 +15,42 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
 	"time"
 
 	"github.com/knockandtalk/knockandtalk/internal/campaign"
+	"github.com/knockandtalk/knockandtalk/internal/health"
 	"github.com/knockandtalk/knockandtalk/internal/telemetry"
 )
 
+var logger *slog.Logger
+
 func main() {
 	var (
-		out      = flag.String("out", "", "output directory for stores and manifest")
-		name     = flag.String("name", "knockandtalk-repro", "campaign name")
-		scale    = flag.Float64("scale", 1.0, "population scale in (0, 1]")
-		seed     = flag.Uint64("seed", 20210603, "deterministic seed")
-		workers  = flag.Int("workers", 0, "concurrent browser instances (0 = GOMAXPROCS)")
-		retain   = flag.Bool("retain", false, "retain raw NetLog captures for local-activity visits")
-		resume   = flag.Bool("resume", false, "resume an interrupted campaign in -out")
-		traceOut = flag.String("trace-out", "", "write one JSONL trace record per visit to this path (inspect with knocktrace)")
+		out        = flag.String("out", "", "output directory for stores and manifest")
+		name       = flag.String("name", "knockandtalk-repro", "campaign name")
+		scale      = flag.Float64("scale", 1.0, "population scale in (0, 1]")
+		seed       = flag.Uint64("seed", 20210603, "deterministic seed")
+		workers    = flag.Int("workers", 0, "concurrent browser instances (0 = GOMAXPROCS)")
+		retain     = flag.Bool("retain", false, "retain raw NetLog captures for local-activity visits")
+		resume     = flag.Bool("resume", false, "resume an interrupted campaign in -out")
+		traceOut   = flag.String("trace-out", "", "write one JSONL trace record per visit to this path (inspect with knocktrace)")
+		statusAddr = flag.String("status-addr", "", "serve live /status, /healthz, and Prometheus /metrics on this address")
+		logFormat  = flag.String("log-format", "text", "diagnostic log format: text or json")
 	)
 	flag.Parse()
-	if *out == "" {
-		fmt.Fprintln(os.Stderr, "knockcampaign: -out is required")
+
+	var err error
+	logger, err = health.NewLogger(*logFormat, "knockcampaign")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "knockcampaign: %v\n", err)
 		os.Exit(1)
+	}
+	if *out == "" {
+		fatal("-out is required")
 	}
 	spec := campaign.Spec{
 		Name: *name, OutDir: *out, Scale: *scale, Seed: *seed,
@@ -45,6 +58,7 @@ func main() {
 		// Stage timings are always on: the end-of-run breakdown costs a
 		// few clock reads per visit and the manifest records it.
 		StageTimings: true,
+		Logger:       logger,
 	}
 	var tracer *telemetry.Tracer
 	if *traceOut != "" {
@@ -52,24 +66,39 @@ func main() {
 		// which Run has not created yet.
 		if dir := filepath.Dir(*traceOut); dir != "." {
 			if err := os.MkdirAll(dir, 0o755); err != nil {
-				fmt.Fprintf(os.Stderr, "knockcampaign: creating %s: %v\n", dir, err)
-				os.Exit(1)
+				fatal("creating trace dir", "dir", dir, "err", err)
 			}
 		}
 		tf, err := os.Create(*traceOut)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "knockcampaign: creating %s: %v\n", *traceOut, err)
-			os.Exit(1)
+			fatal("creating trace file", "path", *traceOut, "err", err)
 		}
 		defer tf.Close()
 		tracer = telemetry.NewTracer(tf, telemetry.TracerOptions{})
 		spec.Tracer = tracer
 	}
+	if *statusAddr != "" {
+		// The live operations plane for multi-week campaigns: every
+		// (crawl, OS) leg appears on /status as it runs, the watchdog
+		// flags stalled workers and telemetry loss, and the registry is
+		// scrapable as Prometheus /metrics.
+		spec.Health = health.New(health.Options{})
+		spec.Metrics = telemetry.Default()
+		wd := health.NewWatchdog(spec.Health, health.WatchdogOptions{
+			TraceDrops: tracer.Dropped, Logger: logger,
+		})
+		wd.Start()
+		defer wd.Stop()
+		_, stopStatus, err := health.Serve(*statusAddr, spec.Health, spec.Metrics, logger)
+		if err != nil {
+			fatal("status listener", "addr", *statusAddr, "err", err)
+		}
+		defer stopStatus()
+	}
 	start := time.Now()
 	m, err := campaign.Run(spec)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "knockcampaign: %v\n", err)
-		os.Exit(1)
+		fatal("campaign failed", "err", err)
 	}
 	stageBusy := map[string]float64{}
 	for _, e := range m.Entries {
@@ -104,8 +133,7 @@ func main() {
 	}
 	if tracer != nil {
 		if err := tracer.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "knockcampaign: writing trace: %v\n", err)
-			os.Exit(1)
+			fatal("writing trace", "err", err)
 		}
 		fmt.Printf("wrote %d trace records to %s", tracer.Written(), *traceOut)
 		if n := tracer.Dropped(); n > 0 {
@@ -115,4 +143,9 @@ func main() {
 	}
 	fmt.Printf("campaign %q finished in %v; stores and manifest in %s\n",
 		m.Name, time.Since(start).Round(time.Millisecond), *out)
+}
+
+func fatal(msg string, args ...any) {
+	logger.Error(msg, args...)
+	os.Exit(1)
 }

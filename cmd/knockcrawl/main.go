@@ -5,6 +5,7 @@
 //
 //	knockcrawl -crawl top100k-2020 -os all -scale 0.1 -out crawl.jsonl
 //	knockcrawl -crawl top100k-2020 -scale 0.1 -trace-out crawl.trace.jsonl -stage-timings
+//	knockcrawl -crawl top100k-2020 -status-addr :6061   # live /status, /healthz, /metrics
 //
 // A full-study reproduction (scale 1, every OS, all three campaigns):
 //
@@ -16,39 +17,52 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"sort"
 	"time"
 
 	"github.com/knockandtalk/knockandtalk/internal/crawler"
 	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+	"github.com/knockandtalk/knockandtalk/internal/health"
 	"github.com/knockandtalk/knockandtalk/internal/hostenv"
 	"github.com/knockandtalk/knockandtalk/internal/store"
 	"github.com/knockandtalk/knockandtalk/internal/telemetry"
 )
 
+var logger *slog.Logger
+
 func main() {
 	var (
-		crawlName = flag.String("crawl", "top100k-2020", "campaign: top100k-2020, top100k-2021, or malicious")
-		osName    = flag.String("os", "all", "OS to crawl: Windows, Linux, Mac, or all")
-		scale     = flag.Float64("scale", 1.0, "population scale in (0, 1]")
-		seed      = flag.Uint64("seed", 1, "deterministic seed")
-		workers   = flag.Int("workers", 0, "concurrent browser instances (0 = GOMAXPROCS)")
-		window    = flag.Duration("window", 20*time.Second, "per-page observation window")
-		out       = flag.String("out", "", "output JSONL path (empty = no persistence)")
-		page      = flag.String("page", "/", "page to visit on each site (/ = landing, /login = internal-pages extension)")
-		retain    = flag.Bool("retain", false, "retain raw NetLog captures for visits with local-network activity")
-		parseHTML = flag.Bool("parsehtml", false, "crawl through the real HTML pipeline instead of the precompiled fast path")
-		traceOut  = flag.String("trace-out", "", "write one JSONL trace record per visit to this path (inspect with knocktrace)")
-		timings   = flag.Bool("stage-timings", false, "print a per-stage busy-time breakdown after the crawl")
+		crawlName  = flag.String("crawl", "top100k-2020", "campaign: top100k-2020, top100k-2021, or malicious")
+		osName     = flag.String("os", "all", "OS to crawl: Windows, Linux, Mac, or all")
+		scale      = flag.Float64("scale", 1.0, "population scale in (0, 1]")
+		seed       = flag.Uint64("seed", 1, "deterministic seed")
+		workers    = flag.Int("workers", 0, "concurrent browser instances (0 = GOMAXPROCS)")
+		window     = flag.Duration("window", 20*time.Second, "per-page observation window")
+		out        = flag.String("out", "", "output JSONL path (empty = no persistence)")
+		page       = flag.String("page", "/", "page to visit on each site (/ = landing, /login = internal-pages extension)")
+		retain     = flag.Bool("retain", false, "retain raw NetLog captures for visits with local-network activity")
+		parseHTML  = flag.Bool("parsehtml", false, "crawl through the real HTML pipeline instead of the precompiled fast path")
+		traceOut   = flag.String("trace-out", "", "write one JSONL trace record per visit to this path (inspect with knocktrace)")
+		timings    = flag.Bool("stage-timings", false, "print a per-stage busy-time breakdown after the crawl")
+		statusAddr = flag.String("status-addr", "", "serve live /status, /healthz, and Prometheus /metrics on this address")
+		logFormat  = flag.String("log-format", "text", "diagnostic log format: text or json")
 	)
 	flag.Parse()
+
+	var err error
+	logger, err = health.NewLogger(*logFormat, "knockcrawl")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "knockcrawl: %v\n", err)
+		os.Exit(1)
+	}
 
 	crawl := groundtruth.CrawlID(*crawlName)
 	switch crawl {
 	case groundtruth.CrawlTop2020, groundtruth.CrawlTop2021, groundtruth.CrawlMalicious:
 	default:
-		fatalf("unknown crawl %q", *crawlName)
+		fatal("unknown crawl", "crawl", *crawlName)
 	}
 	cfg := crawler.Config{
 		Crawl: crawl, Scale: *scale, Seed: *seed, Workers: *workers,
@@ -59,11 +73,28 @@ func main() {
 	if *traceOut != "" {
 		tf, err := os.Create(*traceOut)
 		if err != nil {
-			fatalf("creating %s: %v", *traceOut, err)
+			fatal("creating trace file", "path", *traceOut, "err", err)
 		}
 		defer tf.Close()
 		tracer = telemetry.NewTracer(tf, telemetry.TracerOptions{})
 		cfg.Tracer = tracer
+	}
+	if *statusAddr != "" {
+		// The live operations plane: progress tracker feeding /status,
+		// watchdog alerting on stalls and telemetry loss, and the
+		// process-default registry exposed as Prometheus /metrics.
+		cfg.Health = health.New(health.Options{})
+		cfg.Metrics = telemetry.Default()
+		wd := health.NewWatchdog(cfg.Health, health.WatchdogOptions{
+			TraceDrops: tracer.Dropped, Logger: logger,
+		})
+		wd.Start()
+		defer wd.Stop()
+		_, stopStatus, err := health.Serve(*statusAddr, cfg.Health, cfg.Metrics, logger)
+		if err != nil {
+			fatal("status listener", "addr", *statusAddr, "err", err)
+		}
+		defer stopStatus()
 	}
 
 	st := store.New()
@@ -72,22 +103,23 @@ func main() {
 		var err error
 		sums, err = crawler.RunAll(cfg, st)
 		if err != nil {
-			fatalf("crawl failed: %v", err)
+			fatal("crawl failed", "err", err)
 		}
 	} else {
 		osv, err := hostenv.ParseOS(*osName)
 		if err != nil {
-			fatalf("%v", err)
+			fatal("bad -os", "err", err)
 		}
 		cfg.OS = osv
 		sum, err := crawler.Run(cfg, st)
 		if err != nil {
-			fatalf("crawl failed: %v", err)
+			fatal("crawl failed", "err", err)
 		}
 		sums = []*crawler.Summary{sum}
 	}
 
 	for _, s := range sums {
+		logger.Info("crawl complete", "summary", s)
 		fmt.Printf("%s on %s: %d attempted, %d ok (%.1f%%), %d failed, %d local requests, %v\n",
 			s.Crawl, s.OS, s.Attempted, s.Successful,
 			100*float64(s.Successful)/float64(s.Attempted), s.Failed, s.LocalRequests, s.Elapsed.Round(time.Millisecond))
@@ -102,7 +134,7 @@ func main() {
 
 	if tracer != nil {
 		if err := tracer.Close(); err != nil {
-			fatalf("writing trace: %v", err)
+			fatal("writing trace", "err", err)
 		}
 		fmt.Printf("wrote %d trace records to %s", tracer.Written(), *traceOut)
 		if n := tracer.Dropped(); n > 0 {
@@ -114,11 +146,11 @@ func main() {
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatalf("creating %s: %v", *out, err)
+			fatal("creating output", "path", *out, "err", err)
 		}
 		defer f.Close()
 		if err := st.Save(f); err != nil {
-			fatalf("saving store: %v", err)
+			fatal("saving store", "err", err)
 		}
 		fmt.Printf("wrote %d page records, %d local requests, %d retained captures to %s\n",
 			st.NumPages(), st.NumLocals(), st.NumNetLogs(), *out)
@@ -153,7 +185,7 @@ func printStageBusy(busy map[string]time.Duration) {
 	}
 }
 
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "knockcrawl: "+format+"\n", args...)
+func fatal(msg string, args ...any) {
+	logger.Error(msg, args...)
 	os.Exit(1)
 }

@@ -14,9 +14,12 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"github.com/knockandtalk/knockandtalk/internal/health"
 	"github.com/knockandtalk/knockandtalk/internal/paperdiff"
 	"github.com/knockandtalk/knockandtalk/internal/store"
 )
+
+var logger, _ = health.LoggerTo(os.Stderr, "text", "knockdiff")
 
 func main() {
 	in := flag.String("in", "", "comma-separated JSONL store paths")
@@ -58,6 +61,6 @@ func main() {
 }
 
 func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "knockdiff: "+format+"\n", args...)
+	logger.Error(fmt.Sprintf(format, args...))
 	os.Exit(1)
 }

@@ -18,9 +18,12 @@ import (
 	"time"
 
 	"github.com/knockandtalk/knockandtalk/internal/classify"
+	"github.com/knockandtalk/knockandtalk/internal/health"
 	"github.com/knockandtalk/knockandtalk/internal/serve/queryengine"
 	"github.com/knockandtalk/knockandtalk/internal/store"
 )
+
+var logger, _ = health.LoggerTo(os.Stderr, "text", "knockquery")
 
 // options carries the parsed flags; separated from main so the query
 // paths are testable end to end.
@@ -171,6 +174,6 @@ func run(eng *queryengine.Engine, opts options, w io.Writer) error {
 }
 
 func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "knockquery: "+format+"\n", args...)
+	logger.Error(fmt.Sprintf(format, args...))
 	os.Exit(1)
 }

@@ -5,28 +5,44 @@
 //
 //	knockreport -in 2020.jsonl,2021.jsonl,mal.jsonl
 //	knockreport -in crawl.jsonl -only table1,figure2
+//	knockreport -in run/top100k-2020.jsonl -manifest run   # + crawl-ops section
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"strings"
 
+	"github.com/knockandtalk/knockandtalk/internal/campaign"
+	"github.com/knockandtalk/knockandtalk/internal/health"
 	"github.com/knockandtalk/knockandtalk/internal/report"
 	"github.com/knockandtalk/knockandtalk/internal/store"
 )
 
+var logger *slog.Logger
+
 func main() {
 	var (
-		in     = flag.String("in", "", "comma-separated JSONL store paths")
-		only   = flag.String("only", "", "comma-separated subset (table1..table11, figure2..figure9, headline, longitudinal, skew, pna)")
-		csvDir = flag.String("csvdir", "", "also write figure series as CSV files into this directory")
+		in       = flag.String("in", "", "comma-separated JSONL store paths")
+		only     = flag.String("only", "", "comma-separated subset (table1..table11, figure2..figure9, headline, longitudinal, skew, pna)")
+		csvDir   = flag.String("csvdir", "", "also write figure series as CSV files into this directory")
+		manifest = flag.String("manifest", "", "campaign directory whose manifest.json adds the crawl-operations section (retention errors, resume skips)")
+		logFmt   = flag.String("log-format", "text", "diagnostic log format: text or json")
 	)
 	flag.Parse()
+
+	var err error
+	logger, err = health.NewLogger(*logFmt, "knockreport")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "knockreport: %v\n", err)
+		os.Exit(1)
+	}
 	if *in == "" {
-		fatalf("-in is required")
+		fatal("-in is required")
 	}
 	st := store.New()
 	var paths []string
@@ -34,11 +50,19 @@ func main() {
 		paths = append(paths, strings.TrimSpace(path))
 	}
 	if err := st.LoadFiles(paths...); err != nil {
-		fatalf("%v", err)
+		fatal("loading stores", "err", err)
 	}
 
 	w := bufio.NewWriter(os.Stdout)
 	report.WriteAll(w, st, report.ParseSections(*only))
+	if *manifest != "" {
+		m, err := campaign.LoadManifest(*manifest)
+		if err != nil {
+			w.Flush()
+			fatal("loading manifest", "dir", *manifest, "err", err)
+		}
+		writeOperations(w, m)
+	}
 	w.Flush()
 
 	if *csvDir != "" {
@@ -46,20 +70,45 @@ func main() {
 	}
 }
 
+// writeOperations renders the crawl-operations section from a campaign
+// manifest: the telemetry gaps (NetLog retention errors) and resume
+// skips the store itself cannot show, because failed retentions leave
+// no record behind.
+func writeOperations(w io.Writer, m *campaign.Manifest) {
+	fmt.Fprintf(w, "\n== Crawl operations (campaign %q) ==\n", m.Name)
+	fmt.Fprintf(w, "%-14s %-8s %9s %10s %15s %13s\n",
+		"crawl", "os", "attempted", "failed", "retention-errs", "resume-skips")
+	var totalAttempted, totalRetention, totalResumed int
+	for _, e := range m.Entries {
+		fmt.Fprintf(w, "%-14s %-8s %9d %10d %15d %13d\n",
+			e.Crawl, e.OS, e.Attempted, e.Failed, e.RetentionErrors, e.AlreadyDone)
+		totalAttempted += e.Attempted
+		totalRetention += e.RetentionErrors
+		totalResumed += e.AlreadyDone
+	}
+	if totalAttempted > 0 {
+		fmt.Fprintf(w, "retention errors: %d across %d attempted visits (%.3f%%)\n",
+			totalRetention, totalAttempted, 100*float64(totalRetention)/float64(totalAttempted))
+	}
+	if totalResumed > 0 {
+		fmt.Fprintf(w, "resume skips: %d targets already held by a prior run\n", totalResumed)
+	}
+}
+
 func writeCSVs(st *store.Store, dir string) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		fatalf("creating %s: %v", dir, err)
+		fatal("creating csv dir", "dir", dir, "err", err)
 	}
 	files := report.CSVSeries(st)
 	for name, body := range files {
 		if err := os.WriteFile(dir+"/"+name, []byte(body), 0o644); err != nil {
-			fatalf("writing %s: %v", name, err)
+			fatal("writing csv", "name", name, "err", err)
 		}
 	}
 	fmt.Printf("wrote %d CSV series to %s\n", len(files), dir)
 }
 
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "knockreport: "+format+"\n", args...)
+func fatal(msg string, args ...any) {
+	logger.Error(msg, args...)
 	os.Exit(1)
 }

@@ -15,7 +15,12 @@
 //	GET  /v1/site/{domain}                            per-site report + verdicts
 //	GET  /v1/summary                                  corpus summary
 //	POST /v1/ingest?domain=&os=&crawl=&...            NetLog JSONL stream in, detections out
-//	GET  /metrics                                     operational counters
+//	GET  /metrics                                     operational counters (JSON)
+//
+// The -debug-addr listener additionally carries the operations plane:
+// /status (live progress + alerts), /healthz (readiness), /metrics
+// (Prometheus text exposition), /metrics.json (raw registry snapshot),
+// pprof, and expvar.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -31,11 +37,14 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/knockandtalk/knockandtalk/internal/health"
 	"github.com/knockandtalk/knockandtalk/internal/serve"
 	"github.com/knockandtalk/knockandtalk/internal/serve/queryengine"
 	"github.com/knockandtalk/knockandtalk/internal/store"
 	"github.com/knockandtalk/knockandtalk/internal/telemetry"
 )
+
+var logger *slog.Logger
 
 func main() {
 	var (
@@ -48,10 +57,24 @@ func main() {
 		ingTO     = flag.Duration("ingest-timeout", 60*time.Second, "per-upload deadline")
 		cacheN    = flag.Int("cache", 512, "response cache entries (negative disables)")
 		drainTO   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
-		debugAddr = flag.String("debug-addr", "", "serve pprof, expvar, and the raw metrics registry on this address (e.g. 127.0.0.1:6060)")
+		debugAddr = flag.String("debug-addr", "", "serve /status, /healthz, Prometheus /metrics, pprof, and expvar on this address (e.g. 127.0.0.1:6060)")
 		traceOut  = flag.String("trace-out", "", "write one JSONL trace record per ingested visit to this path (inspect with knocktrace)")
+		logFormat = flag.String("log-format", "text", "diagnostic log format: text or json")
 	)
 	flag.Parse()
+
+	var err error
+	logger, err = health.NewLogger(*logFormat, "knockserved")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "knockserved: %v\n", err)
+		os.Exit(1)
+	}
+
+	// The tracker exists for the process lifetime; readiness is held
+	// false until the service listener is up and cleared again at drain,
+	// so /healthz tracks whether this instance should receive traffic.
+	tracker := health.New(health.Options{})
+	tracker.SetReady(false)
 
 	st := store.New()
 	if *in != "" {
@@ -60,14 +83,14 @@ func main() {
 			paths = append(paths, strings.TrimSpace(p))
 		}
 		if err := st.LoadFiles(paths...); err != nil {
-			fatalf("%v", err)
+			fatal("loading stores", "err", err)
 		}
 	}
 	var tracer *telemetry.Tracer
 	if *traceOut != "" {
 		tf, err := os.Create(*traceOut)
 		if err != nil {
-			fatalf("creating %s: %v", *traceOut, err)
+			fatal("creating trace file", "path", *traceOut, "err", err)
 		}
 		defer tf.Close()
 		tracer = telemetry.NewTracer(tf, telemetry.TracerOptions{})
@@ -81,10 +104,17 @@ func main() {
 		CacheEntries:      *cacheN,
 		Registry:          telemetry.Default(),
 		Tracer:            tracer,
+		Health:            tracker,
 	})
 
+	wd := health.NewWatchdog(tracker, health.WatchdogOptions{
+		TraceDrops: tracer.Dropped, Logger: logger, Registry: srv.Registry(),
+	})
+	wd.Start()
+	defer wd.Stop()
+
 	if *debugAddr != "" {
-		go serveDebug(*debugAddr, srv.Registry())
+		go serveDebug(*debugAddr, tracker, srv.Registry())
 	}
 
 	hs := &http.Server{
@@ -94,75 +124,77 @@ func main() {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	fmt.Printf("knockserved: listening on %s (%d pages, %d locals, %d netlogs mounted)\n",
-		*addr, st.NumPages(), st.NumLocals(), st.NumNetLogs())
+	tracker.SetReady(true)
+	logger.Info("listening", "addr", *addr,
+		"pages", st.NumPages(), "locals", st.NumLocals(), "netlogs", st.NumNetLogs())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	select {
 	case err := <-errc:
-		fatalf("%v", err)
+		fatal("listener failed", "err", err)
 	case <-ctx.Done():
 	}
 
-	// Graceful shutdown: stop accepting, drain in-flight requests
-	// (ingest uploads included) within the drain budget.
-	fmt.Println("knockserved: draining")
+	// Graceful shutdown: flip readiness so load balancers stop routing
+	// here, then stop accepting and drain in-flight requests (ingest
+	// uploads included) within the drain budget.
+	tracker.SetReady(false)
+	logger.Info("draining")
 	shCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
 	defer cancel()
 	if err := hs.Shutdown(shCtx); err != nil {
-		fmt.Fprintf(os.Stderr, "knockserved: drain incomplete: %v\n", err)
+		logger.Error("drain incomplete", "err", err)
 	}
 	if tracer != nil {
 		if err := tracer.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "knockserved: writing trace: %v\n", err)
+			logger.Error("writing trace", "err", err)
 		} else {
-			fmt.Printf("knockserved: wrote %d trace records to %s", tracer.Written(), *traceOut)
-			if n := tracer.Dropped(); n > 0 {
-				fmt.Printf(" (%d dropped under backpressure)", n)
-			}
-			fmt.Println()
+			logger.Info("trace written", "path", *traceOut,
+				"records", tracer.Written(), "dropped", tracer.Dropped())
 		}
 	}
 	if *save != "" {
 		f, err := os.Create(*save)
 		if err != nil {
-			fatalf("saving store: %v", err)
+			fatal("saving store", "err", err)
 		}
 		if err := st.Save(f); err != nil {
-			fatalf("saving store: %v", err)
+			fatal("saving store", "err", err)
 		}
 		if err := f.Close(); err != nil {
-			fatalf("saving store: %v", err)
+			fatal("saving store", "err", err)
 		}
-		fmt.Printf("knockserved: store saved to %s\n", *save)
+		logger.Info("store saved", "path", *save)
 	}
 }
 
-// serveDebug exposes the operational debugging surface on its own
-// listener, separate from the service planes: pprof profiles, expvar
-// (including the metrics registry published as "telemetry"), and the
-// raw registry snapshot.
-func serveDebug(addr string, reg *telemetry.Registry) {
+// serveDebug exposes the operational surface on its own listener,
+// separate from the service planes: the health endpoints (/status,
+// /healthz, Prometheus /metrics), the raw registry snapshot as JSON
+// (/metrics.json), pprof profiles, and expvar (including the registry
+// published as "telemetry").
+func serveDebug(addr string, tracker *health.Tracker, reg *telemetry.Registry) {
 	expvar.Publish("telemetry", expvar.Func(func() any { return reg.Snapshot() }))
 	mux := http.NewServeMux()
+	health.Mount(mux, tracker, reg)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		reg.WriteJSON(w)
 	})
-	fmt.Printf("knockserved: debug listening on %s (pprof, expvar, registry)\n", addr)
+	logger.Info("debug listener up", "addr", addr)
 	if err := http.ListenAndServe(addr, mux); err != nil {
-		fmt.Fprintf(os.Stderr, "knockserved: debug listener: %v\n", err)
+		logger.Error("debug listener failed", "addr", addr, "err", err)
 	}
 }
 
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "knockserved: "+format+"\n", args...)
+func fatal(msg string, args ...any) {
+	logger.Error(msg, args...)
 	os.Exit(1)
 }

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	knocktrace crawl.trace.jsonl                 # stage summary
+//	knocktrace -json crawl.trace.jsonl           # same aggregation, machine-readable
 //	knocktrace -top 10 crawl.trace.jsonl         # slowest visits
 //	knocktrace -waterfall ebay.com crawl.trace.jsonl
 //	knocktrace -by os crawl.trace.jsonl          # per-OS rollup
@@ -17,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -25,8 +27,11 @@ import (
 	"strings"
 	"time"
 
+	"github.com/knockandtalk/knockandtalk/internal/health"
 	"github.com/knockandtalk/knockandtalk/internal/telemetry"
 )
+
+var logger, _ = health.LoggerTo(os.Stderr, "text", "knocktrace")
 
 func main() {
 	var (
@@ -34,6 +39,7 @@ func main() {
 		waterfall = flag.String("waterfall", "", "print span waterfalls for every visit of this domain")
 		by        = flag.String("by", "", "roll up per group: os or crawl")
 		busy      = flag.Bool("busy", false, "print per-stage busy seconds (the /metrics agreement surface)")
+		asJSON    = flag.Bool("json", false, "print the stage summary and rollups as JSON (same aggregation as the text views)")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -49,6 +55,14 @@ func main() {
 
 	w := os.Stdout
 	switch {
+	case *asJSON:
+		// The JSON view is the exact same Summarize aggregation the text
+		// views print — telemetry.TraceSummary.JSON keeps them in sync.
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(telemetry.Summarize(visits).JSON()); err != nil {
+			fatalf("%v", err)
+		}
 	case *busy:
 		printBusy(w, visits)
 	case *top > 0:
@@ -197,6 +211,6 @@ func sortedKeys(m map[string]int) []string {
 }
 
 func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "knocktrace: "+format+"\n", args...)
+	logger.Error(fmt.Sprintf(format, args...))
 	os.Exit(1)
 }

@@ -14,12 +14,15 @@ import (
 	"os"
 
 	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+	"github.com/knockandtalk/knockandtalk/internal/health"
 	"github.com/knockandtalk/knockandtalk/internal/hostenv"
 	"github.com/knockandtalk/knockandtalk/internal/simnet"
 	"github.com/knockandtalk/knockandtalk/internal/tranco"
 	"github.com/knockandtalk/knockandtalk/internal/webdoc"
 	"github.com/knockandtalk/knockandtalk/internal/websim"
 )
+
+var logger, _ = health.LoggerTo(os.Stderr, "text", "knockworld")
 
 func main() {
 	var (
@@ -125,6 +128,6 @@ func schemeFor(port uint16) simnet.Scheme {
 }
 
 func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "knockworld: "+format+"\n", args...)
+	logger.Error(fmt.Sprintf(format, args...))
 	os.Exit(1)
 }

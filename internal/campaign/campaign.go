@@ -10,12 +10,14 @@ package campaign
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"time"
 
 	"github.com/knockandtalk/knockandtalk/internal/crawler"
 	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+	"github.com/knockandtalk/knockandtalk/internal/health"
 	"github.com/knockandtalk/knockandtalk/internal/store"
 	"github.com/knockandtalk/knockandtalk/internal/telemetry"
 )
@@ -43,6 +45,12 @@ type Spec struct {
 	// StageTimings collects per-stage busy time into the manifest even
 	// without a registry or tracer.
 	StageTimings bool
+	// Health registers every crawl in the campaign as a progress leg on
+	// the live operations plane (see crawler.Config.Health).
+	Health *health.Tracker
+	// Logger, when non-nil, emits a typed completion event per (crawl,
+	// OS) leg as the campaign progresses.
+	Logger *slog.Logger
 }
 
 // Entry is one (crawl, OS) manifest row.
@@ -104,11 +112,15 @@ func Run(spec Spec) (*Manifest, error) {
 			Crawl: crawl, Scale: spec.Scale, Seed: spec.Seed,
 			Workers: spec.Workers, RetainLogs: spec.RetainLogs, Resume: spec.Resume,
 			Metrics: spec.Metrics, Tracer: spec.Tracer, StageTimings: spec.StageTimings,
+			Health: spec.Health,
 		}, st)
 		if err != nil {
 			return nil, fmt.Errorf("campaign: %s: %w", crawl, err)
 		}
 		for _, s := range sums {
+			if spec.Logger != nil {
+				spec.Logger.Info("crawl complete", "summary", s)
+			}
 			e := Entry{
 				Crawl: string(s.Crawl), OS: s.OS.String(),
 				Attempted: s.Attempted, Successful: s.Successful, Failed: s.Failed,

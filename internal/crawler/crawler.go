@@ -7,6 +7,7 @@ package crawler
 
 import (
 	"fmt"
+	"log/slog"
 	"net/netip"
 	"runtime"
 	"strings"
@@ -15,6 +16,7 @@ import (
 
 	"github.com/knockandtalk/knockandtalk/internal/browser"
 	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+	"github.com/knockandtalk/knockandtalk/internal/health"
 	"github.com/knockandtalk/knockandtalk/internal/hostenv"
 	"github.com/knockandtalk/knockandtalk/internal/pipeline"
 	"github.com/knockandtalk/knockandtalk/internal/store"
@@ -65,6 +67,11 @@ type Config struct {
 	// even without a registry or tracer. Setting Metrics or Tracer
 	// implies it.
 	StageTimings bool
+	// Health, when non-nil, registers this crawl as a live progress leg
+	// on the operations plane: per-worker activity, throughput, ETA, and
+	// retention-error rate become visible on the -status-addr listener.
+	// Strictly observation-only — it never changes what gets stored.
+	Health *health.Tracker
 }
 
 // instrumented reports whether the crawl measures per-stage time.
@@ -105,6 +112,31 @@ type Summary struct {
 	StageBusy map[string]time.Duration
 	// Elapsed is wall-clock crawl time.
 	Elapsed time.Duration
+}
+
+// LogValue renders the summary as a structured log group, so the cmd
+// binaries emit per-crawl completion events as one typed slog record
+// ("crawl complete", summary=...) instead of hand-formatted lines.
+func (s *Summary) LogValue() slog.Value {
+	attrs := []slog.Attr{
+		slog.String("crawl", string(s.Crawl)),
+		slog.String("os", s.OS.String()),
+		slog.Int("attempted", s.Attempted),
+		slog.Int("successful", s.Successful),
+		slog.Int("failed", s.Failed),
+		slog.Int("local_requests", s.LocalRequests),
+		slog.Duration("elapsed", s.Elapsed),
+	}
+	if s.Skipped > 0 {
+		attrs = append(attrs, slog.Int("skipped", s.Skipped))
+	}
+	if s.AlreadyDone > 0 {
+		attrs = append(attrs, slog.Int("already_done", s.AlreadyDone))
+	}
+	if s.RetentionErrors > 0 {
+		attrs = append(attrs, slog.Int("retention_errors", s.RetentionErrors))
+	}
+	return slog.GroupValue(attrs...)
 }
 
 // ErrOffline is returned when the connectivity pre-check fails.
@@ -158,13 +190,16 @@ func RunWorld(cfg Config, world *websim.World, dst *store.Store) (*Summary, erro
 	if cfg.Metrics != nil {
 		cm = newCrawlMeters(cfg.Metrics, string(cfg.Crawl), cfg.OS.String())
 	}
+	// The health leg is nil-safe: every call below is a no-op when the
+	// operations plane is off, so the visit path never branches on it.
+	leg := cfg.Health.StartCrawl(string(cfg.Crawl), cfg.OS.String(), len(world.Targets), workers)
 	var wg sync.WaitGroup
 	jobs := make(chan websim.Target, workers*4)
 	tallies := make([]tally, workers)
 
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(tl *tally) {
+		go func(w int, tl *tally) {
 			defer wg.Done()
 			tl.errors = make(map[string]int)
 			tl.timed = instr
@@ -185,6 +220,8 @@ func RunWorld(cfg Config, world *websim.World, dst *store.Store) (*Summary, erro
 				}
 			}
 			for tgt := range jobs {
+				leg.VisitStart(w)
+				legStart := time.Now()
 				// Per-page connectivity check: visit only when the
 				// infrastructure can reach the Internet, retrying
 				// briefly through an outage.
@@ -193,6 +230,7 @@ func RunWorld(cfg Config, world *websim.World, dst *store.Store) (*Summary, erro
 					if cm != nil {
 						cm.skipped.Inc()
 					}
+					leg.Skipped(w)
 					continue
 				}
 				url := visitURL(tgt.URL, cfg.PagePath)
@@ -247,6 +285,7 @@ func RunWorld(cfg Config, world *websim.World, dst *store.Store) (*Summary, erro
 						if cm != nil {
 							cm.retentionErrs.Inc()
 						}
+						leg.RetentionError()
 					}
 				}
 				tl.attempted++
@@ -282,15 +321,17 @@ func RunWorld(cfg Config, world *websim.World, dst *store.Store) (*Summary, erro
 					outcome = string(res.Err)
 				}
 				vt.End(outcome, res.Log.Len())
+				leg.VisitDone(w, time.Since(legStart), res.OK())
 				// Extraction and retention are done with the capture;
 				// recycle its event buffer for the worker's next visit.
 				res.Log.Recycle()
 			}
-		}(&tallies[w])
+		}(w, &tallies[w])
 	}
 	for _, tgt := range world.Targets {
 		if done[visitURL(tgt.URL, cfg.PagePath)] {
 			sum.AlreadyDone++
+			leg.ResumeSkip()
 			continue
 		}
 		jobs <- tgt
@@ -301,6 +342,7 @@ func RunWorld(cfg Config, world *websim.World, dst *store.Store) (*Summary, erro
 		tallies[i].mergeInto(sum)
 	}
 	sum.Elapsed = time.Since(start)
+	leg.Finish()
 	return sum, nil
 }
 

@@ -2,12 +2,17 @@ package crawler
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"testing"
 	"time"
 
 	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+	"github.com/knockandtalk/knockandtalk/internal/health"
 	"github.com/knockandtalk/knockandtalk/internal/hostenv"
 	"github.com/knockandtalk/knockandtalk/internal/localnet"
 	"github.com/knockandtalk/knockandtalk/internal/store"
@@ -484,10 +489,11 @@ func TestCrawlManyWorkersSharedStore(t *testing.T) {
 
 // TestTracedCrawlMatchesUntracedGolden verifies that full
 // instrumentation is observation only: a crawl with the registry,
-// tracer, and stage timings all enabled must produce a byte-identical
-// store, and the per-stage busy time must agree between the Summary
-// tally, the metrics registry, and the trace file — all three see the
-// same single measurement per stage.
+// tracer, stage timings, AND the live health plane (tracker plus a
+// sweeping watchdog) all enabled must produce a byte-identical store,
+// and the per-stage busy time must agree between the Summary tally,
+// the metrics registry, and the trace file — all three see the same
+// single measurement per stage.
 func TestTracedCrawlMatchesUntracedGolden(t *testing.T) {
 	cfg := smallCfg(groundtruth.CrawlTop2020, hostenv.Windows, 0.01)
 
@@ -500,16 +506,29 @@ func TestTracedCrawlMatchesUntracedGolden(t *testing.T) {
 	traced := cfg
 	traced.Metrics = telemetry.NewRegistry()
 	traced.Tracer = telemetry.NewTracer(&traceBuf, telemetry.TracerOptions{Buffer: 1 << 14})
+	traced.Health = health.New(health.Options{})
+	wd := health.NewWatchdog(traced.Health, health.WatchdogOptions{
+		Interval:   time.Millisecond, // sweep aggressively mid-crawl
+		Registry:   traced.Metrics,
+		TraceDrops: traced.Tracer.Dropped,
+	})
+	wd.Start()
 	tracedStore := store.New()
 	sum, err := Run(traced, tracedStore)
 	if err != nil {
 		t.Fatal(err)
 	}
+	wd.Stop()
 	if err := traced.Tracer.Close(); err != nil {
 		t.Fatal(err)
 	}
 	if n := traced.Tracer.Dropped(); n > 0 {
 		t.Fatalf("%d trace records dropped; raise the buffer", n)
+	}
+	// The health plane observed the whole crawl...
+	hs := traced.Health.Status()
+	if len(hs.Crawls) != 1 || hs.Crawls[0].Visited != uint64(sum.Attempted) || !hs.Crawls[0].Done {
+		t.Fatalf("health leg disagrees with summary: %+v vs attempted %d", hs.Crawls, sum.Attempted)
 	}
 
 	var want, got bytes.Buffer
@@ -543,5 +562,73 @@ func TestTracedCrawlMatchesUntracedGolden(t *testing.T) {
 	regBusy := traced.Metrics.CounterValue("pipeline_stage_busy_ns", "stage", "detect")
 	if fmt.Sprintf("%.9f", time.Duration(regBusy).Seconds()) != fmt.Sprintf("%.9f", busy["detect"]) {
 		t.Errorf("detect busy: registry %d ns, trace %.9f s", regBusy, busy["detect"])
+	}
+}
+
+// TestStatusEndpointAgreesWithSummary crawls with the health plane on
+// and a live status listener up, then scrapes /status over HTTP: the
+// reported progress must match the final crawler.Summary exactly on
+// counts, and the throughput must agree with the Summary-derived rate
+// within tolerance (the leg's clock starts inside RunWorld, a hair
+// after Summary's). /metrics from the same listener must pass the
+// strict exposition parser.
+func TestStatusEndpointAgreesWithSummary(t *testing.T) {
+	cfg := smallCfg(groundtruth.CrawlTop2020, hostenv.Windows, 0.01)
+	cfg.Metrics = telemetry.NewRegistry()
+	cfg.Health = health.New(health.Options{})
+	srv := httptest.NewServer(health.Handler(cfg.Health, cfg.Metrics))
+	defer srv.Close()
+
+	dst := store.New()
+	sum, err := Run(cfg, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(srv.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st health.Status
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Crawls) != 1 {
+		t.Fatalf("status legs = %d, want 1", len(st.Crawls))
+	}
+	cs := st.Crawls[0]
+	if cs.Crawl != string(sum.Crawl) || cs.OS != sum.OS.String() {
+		t.Errorf("leg identity %s/%s, summary %s/%s", cs.Crawl, cs.OS, sum.Crawl, sum.OS)
+	}
+	if cs.Visited != uint64(sum.Attempted) || cs.Failed != uint64(sum.Failed) ||
+		cs.Skipped != uint64(sum.Skipped) || cs.ResumeSkipped != uint64(sum.AlreadyDone) ||
+		cs.RetentionErrors != uint64(sum.RetentionErrors) {
+		t.Errorf("status counts %+v disagree with summary %+v", cs, sum)
+	}
+	if !cs.Done || cs.ETASeconds != 0 {
+		t.Errorf("finished leg: done=%v eta=%v", cs.Done, cs.ETASeconds)
+	}
+	wantRate := float64(sum.Attempted+sum.Skipped+sum.AlreadyDone) / sum.Elapsed.Seconds()
+	if cs.PagesPerSec <= 0 || math.Abs(cs.PagesPerSec-wantRate)/wantRate > 0.25 {
+		t.Errorf("status rate %.2f/s, summary rate %.2f/s (beyond 25%% tolerance)",
+			cs.PagesPerSec, wantRate)
+	}
+
+	// The same listener's /metrics passes the strict parser and carries
+	// the crawl counters the registry recorded.
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := telemetry.ParsePrometheus(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/metrics failed strict parse: %v", err)
+	}
+	s := doc.Series("crawl_visits_total", "crawl", string(sum.Crawl), "os", sum.OS.String())
+	if s == nil || s.Raw != fmt.Sprint(sum.Attempted) {
+		t.Errorf("crawl_visits_total = %+v, want %d", s, sum.Attempted)
 	}
 }

@@ -11,7 +11,7 @@
 package main
 
 import (
-	"log"
+	"log/slog"
 	"os"
 
 	"github.com/knockandtalk/knockandtalk/internal/crawler"
@@ -27,15 +27,20 @@ func main() {
 		Scale: 0.005, Seed: 0xBEEF, Workers: 4,
 	}
 	if _, err := crawler.Run(cfg, dst); err != nil {
-		log.Fatal(err)
+		fatal("crawl failed", err)
 	}
 	f, err := os.Create("testdata/golden-top2020-windows-s005.jsonl")
 	if err != nil {
-		log.Fatal(err)
+		fatal("creating golden file", err)
 	}
 	defer f.Close()
 	if err := dst.Save(f); err != nil {
-		log.Fatal(err)
+		fatal("saving golden store", err)
 	}
-	log.Printf("wrote %d pages, %d locals", dst.NumPages(), dst.NumLocals())
+	slog.Info("golden store written", "pages", dst.NumPages(), "locals", dst.NumLocals())
+}
+
+func fatal(msg string, err error) {
+	slog.Error(msg, "err", err)
+	os.Exit(1)
 }

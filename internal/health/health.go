@@ -1,0 +1,417 @@
+// Package health is the live operations plane layered on the
+// telemetry registry: a progress tracker fed lock-cheaply from the
+// crawler's per-visit completion path (visited/total, EWMA pages/sec,
+// ETA, per-worker activity), a watchdog that flags stalled workers and
+// telemetry loss, an HTTP status surface (/status, /healthz, and
+// /metrics in Prometheus text exposition format), and the structured
+// slog setup the cmd binaries share.
+//
+// Everything here is strictly observation-only: a crawl with the
+// health plane fully on produces a byte-identical store to a bare
+// crawl (enforced by the crawler's golden-parity test).
+package health
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options tune a Tracker; the zero value picks defaults.
+type Options struct {
+	// HalfLife is the EWMA half-life of the pages/sec throughput
+	// estimate (default 30s): after one half-life of wall time the old
+	// rate contributes half of the estimate.
+	HalfLife time.Duration
+	// Now overrides the clock; tests inject a deterministic one.
+	Now func() time.Time
+}
+
+// Tracker is the root of the health plane: the set of crawl legs in
+// flight plus the active alerts the watchdog maintains. One Tracker
+// serves one process, whatever mix of crawls it runs.
+type Tracker struct {
+	opts  Options
+	start time.Time
+	// ready is the /healthz readiness bit: knockserved clears it while
+	// mounting stores and during drain; crawl binaries leave it set.
+	ready atomic.Bool
+
+	mu     sync.Mutex
+	legs   []*CrawlProgress
+	alerts map[string]Alert
+}
+
+// New returns a ready Tracker.
+func New(opts Options) *Tracker {
+	if opts.HalfLife <= 0 {
+		opts.HalfLife = 30 * time.Second
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	t := &Tracker{opts: opts, start: opts.Now(), alerts: map[string]Alert{}}
+	t.ready.Store(true)
+	return t
+}
+
+func (t *Tracker) now() time.Time { return t.opts.Now() }
+
+// SetReady flips the /healthz readiness bit (true at construction).
+func (t *Tracker) SetReady(ready bool) {
+	if t == nil {
+		return
+	}
+	t.ready.Store(ready)
+}
+
+// Ready reports the readiness bit.
+func (t *Tracker) Ready() bool { return t != nil && t.ready.Load() }
+
+// StartCrawl registers one crawl leg: a (crawl, OS) population of
+// total targets crawled by the given number of workers. total 0 means
+// open-ended (a live-ingest feed): progress and rate are tracked, ETA
+// is not. A nil Tracker returns a nil leg whose methods are all
+// no-ops, so call sites never branch on whether the plane is enabled.
+func (t *Tracker) StartCrawl(crawl, os string, total, workers int) *CrawlProgress {
+	if t == nil {
+		return nil
+	}
+	if workers < 0 {
+		workers = 0
+	}
+	p := &CrawlProgress{
+		t: t, crawl: crawl, os: os, total: total,
+		start:   t.now(),
+		workers: make([]workerSlot, workers),
+	}
+	p.lastSample = p.start
+	t.mu.Lock()
+	t.legs = append(t.legs, p)
+	t.mu.Unlock()
+	return p
+}
+
+// durRingSize bounds the rolling window of recent visit durations the
+// watchdog's stall median is computed over.
+const durRingSize = 512
+
+// CrawlProgress tracks one crawl leg. The write path (VisitStart,
+// VisitDone, Skipped, RetentionError) is purely atomic — no locks, no
+// allocation — so it rides the crawler's per-visit completion path at
+// negligible cost. The EWMA state is touched only by readers
+// (Status/watchdog sweeps) under its own small mutex.
+type CrawlProgress struct {
+	t          *Tracker
+	crawl, os  string
+	total      int
+	start      time.Time
+	finishedNS atomic.Int64 // unix nanos of Finish; 0 while running
+
+	visited       atomic.Uint64 // completed visit attempts (ok or failed)
+	failed        atomic.Uint64
+	skipped       atomic.Uint64 // connectivity-skipped targets
+	resumed       atomic.Uint64 // targets skipped by resume
+	retentionErrs atomic.Uint64
+
+	// durRing holds the last durRingSize visit durations (nanoseconds)
+	// for the watchdog's rolling median; torn reads across slots are
+	// acceptable for a health signal.
+	durIdx  atomic.Uint64
+	durRing [durRingSize]atomic.Int64
+
+	workers []workerSlot
+
+	rateMu     sync.Mutex
+	lastSample time.Time
+	lastCount  uint64
+	ewma       float64 // pages/sec
+	sampled    bool
+}
+
+// workerSlot is one worker's activity state.
+type workerSlot struct {
+	busySince atomic.Int64 // unix nanos of the in-flight visit's start; 0 when idle
+	lastDone  atomic.Int64 // unix nanos of the last completion
+	visits    atomic.Uint64
+}
+
+// VisitStart marks worker w busy with a new target.
+func (p *CrawlProgress) VisitStart(w int) {
+	if p == nil || w < 0 || w >= len(p.workers) {
+		return
+	}
+	p.workers[w].busySince.Store(p.t.now().UnixNano())
+}
+
+// VisitDone records one completed visit attempt: duration for the
+// rolling median and throughput, outcome for the failure tally, and
+// the worker's slot freed. w < 0 skips the per-worker bookkeeping
+// (serve's ingest plane has no fixed worker slots).
+func (p *CrawlProgress) VisitDone(w int, dur time.Duration, ok bool) {
+	if p == nil {
+		return
+	}
+	p.visited.Add(1)
+	if !ok {
+		p.failed.Add(1)
+	}
+	if dur < 0 {
+		dur = 0
+	}
+	idx := p.durIdx.Add(1) - 1
+	p.durRing[idx%durRingSize].Store(int64(dur))
+	if w >= 0 && w < len(p.workers) {
+		p.workers[w].visits.Add(1)
+		p.workers[w].lastDone.Store(p.t.now().UnixNano())
+		p.workers[w].busySince.Store(0)
+	}
+}
+
+// Skipped records a target abandoned by the connectivity check.
+func (p *CrawlProgress) Skipped(w int) {
+	if p == nil {
+		return
+	}
+	p.skipped.Add(1)
+	if w >= 0 && w < len(p.workers) {
+		p.workers[w].busySince.Store(0)
+	}
+}
+
+// ResumeSkip records a target skipped because a resumed crawl already
+// holds its record.
+func (p *CrawlProgress) ResumeSkip() {
+	if p == nil {
+		return
+	}
+	p.resumed.Add(1)
+}
+
+// RetentionError records one NetLog capture that could not be
+// retained.
+func (p *CrawlProgress) RetentionError() {
+	if p == nil {
+		return
+	}
+	p.retentionErrs.Add(1)
+}
+
+// Finish marks the leg complete: the watchdog stops stall checks and
+// the reported rate becomes the leg's overall average.
+func (p *CrawlProgress) Finish() {
+	if p == nil {
+		return
+	}
+	p.finishedNS.CompareAndSwap(0, p.t.now().UnixNano())
+}
+
+// Done reports whether the leg has finished.
+func (p *CrawlProgress) Done() bool { return p != nil && p.finishedNS.Load() != 0 }
+
+// progressed is the number of targets disposed of so far — visited,
+// connectivity-skipped, or resume-skipped — the unit the rate and ETA
+// are computed in.
+func (p *CrawlProgress) progressed() uint64 {
+	return p.visited.Load() + p.skipped.Load() + p.resumed.Load()
+}
+
+// MedianVisit returns the median of the rolling visit-duration window
+// (0 before the first completion) — the baseline the watchdog scales
+// to decide a worker has stalled.
+func (p *CrawlProgress) MedianVisit() time.Duration {
+	if p == nil {
+		return 0
+	}
+	n := p.durIdx.Load()
+	if n == 0 {
+		return 0
+	}
+	if n > durRingSize {
+		n = durRingSize
+	}
+	durs := make([]int64, n)
+	for i := range durs {
+		durs[i] = p.durRing[i].Load()
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	return time.Duration(durs[n/2])
+}
+
+// sample advances the EWMA throughput estimate to now and returns it.
+// The first sample (and every sample of a finished leg) is the
+// overall average rate since the leg started, so a completed leg's
+// reported throughput agrees with its final summary.
+func (p *CrawlProgress) sample(now time.Time) float64 {
+	p.rateMu.Lock()
+	defer p.rateMu.Unlock()
+	if fin := p.finishedNS.Load(); fin != 0 {
+		elapsed := time.Unix(0, fin).Sub(p.start).Seconds()
+		if elapsed <= 0 {
+			return 0
+		}
+		p.ewma = float64(p.progressed()) / elapsed
+		p.sampled = true
+		return p.ewma
+	}
+	n := p.progressed()
+	dt := now.Sub(p.lastSample).Seconds()
+	if dt <= 0 {
+		return p.ewma
+	}
+	if !p.sampled {
+		since := now.Sub(p.start).Seconds()
+		if n == 0 || since <= 0 {
+			return 0
+		}
+		p.ewma = float64(n) / since
+		p.sampled = true
+	} else {
+		inst := float64(n-p.lastCount) / dt
+		alpha := 1 - math.Exp(-dt*math.Ln2/p.t.opts.HalfLife.Seconds())
+		p.ewma += alpha * (inst - p.ewma)
+	}
+	p.lastSample = now
+	p.lastCount = n
+	return p.ewma
+}
+
+// Status is the /status wire form: whole-process uptime and readiness
+// plus every crawl leg and active alert.
+type Status struct {
+	UptimeSeconds float64       `json:"uptime_seconds"`
+	Ready         bool          `json:"ready"`
+	Crawls        []CrawlStatus `json:"crawls,omitempty"`
+	Alerts        []Alert       `json:"alerts,omitempty"`
+}
+
+// CrawlStatus is one leg's live progress.
+type CrawlStatus struct {
+	Crawl           string `json:"crawl"`
+	OS              string `json:"os"`
+	Total           int    `json:"total,omitempty"`
+	Visited         uint64 `json:"visited"`
+	Failed          uint64 `json:"failed,omitempty"`
+	Skipped         uint64 `json:"skipped,omitempty"`
+	ResumeSkipped   uint64 `json:"resume_skipped,omitempty"`
+	RetentionErrors uint64 `json:"retention_errors,omitempty"`
+	// RetentionErrorRate is retention errors per completed visit.
+	RetentionErrorRate float64 `json:"retention_error_rate,omitempty"`
+	// PagesPerSec is the EWMA throughput while the leg runs and the
+	// overall average once it finishes.
+	PagesPerSec float64 `json:"pages_per_sec"`
+	// ETASeconds estimates time to completion from the remaining
+	// targets and the current rate (omitted for open-ended legs).
+	ETASeconds    float64        `json:"eta_seconds,omitempty"`
+	MedianVisitMS float64        `json:"median_visit_ms,omitempty"`
+	Done          bool           `json:"done,omitempty"`
+	Workers       []WorkerStatus `json:"workers,omitempty"`
+}
+
+// WorkerStatus is one worker's activity snapshot.
+type WorkerStatus struct {
+	Visits uint64 `json:"visits"`
+	// BusyMS is the age of the in-flight visit (0 when idle) — the
+	// number the watchdog compares against the stall bound.
+	BusyMS float64 `json:"busy_ms,omitempty"`
+	// IdleMS is the time since the last completion when idle.
+	IdleMS float64 `json:"idle_ms,omitempty"`
+}
+
+// Alert is one active watchdog finding.
+type Alert struct {
+	// Type is the alert family: worker_stalled, retention_errors, or
+	// trace_drops.
+	Type string `json:"type"`
+	// Subject names what the alert is about (crawl/os/worker, or the
+	// trace sink).
+	Subject string    `json:"subject"`
+	Detail  string    `json:"detail"`
+	Since   time.Time `json:"since"`
+}
+
+func alertKey(typ, subject string) string { return typ + "|" + subject }
+
+func sortAlerts(alerts []Alert) {
+	sort.Slice(alerts, func(i, j int) bool {
+		if alerts[i].Type != alerts[j].Type {
+			return alerts[i].Type < alerts[j].Type
+		}
+		return alerts[i].Subject < alerts[j].Subject
+	})
+}
+
+// Status snapshots the tracker. Snapshotting samples each running
+// leg's EWMA, so a scraper or the watchdog keeps the rate fresh as a
+// side effect of looking.
+func (t *Tracker) Status() Status {
+	if t == nil {
+		return Status{}
+	}
+	now := t.now()
+	t.mu.Lock()
+	legs := make([]*CrawlProgress, len(t.legs))
+	copy(legs, t.legs)
+	alerts := make([]Alert, 0, len(t.alerts))
+	for _, a := range t.alerts {
+		alerts = append(alerts, a)
+	}
+	t.mu.Unlock()
+	sortAlerts(alerts)
+	s := Status{
+		UptimeSeconds: now.Sub(t.start).Seconds(),
+		Ready:         t.Ready(),
+		Alerts:        alerts,
+	}
+	for _, p := range legs {
+		s.Crawls = append(s.Crawls, p.status(now))
+	}
+	return s
+}
+
+func (p *CrawlProgress) status(now time.Time) CrawlStatus {
+	cs := CrawlStatus{
+		Crawl:           p.crawl,
+		OS:              p.os,
+		Total:           p.total,
+		Visited:         p.visited.Load(),
+		Failed:          p.failed.Load(),
+		Skipped:         p.skipped.Load(),
+		ResumeSkipped:   p.resumed.Load(),
+		RetentionErrors: p.retentionErrs.Load(),
+		PagesPerSec:     p.sample(now),
+		MedianVisitMS:   float64(p.MedianVisit()) / float64(time.Millisecond),
+		Done:            p.Done(),
+	}
+	if cs.Visited > 0 {
+		cs.RetentionErrorRate = float64(cs.RetentionErrors) / float64(cs.Visited)
+	}
+	if p.total > 0 && !cs.Done {
+		remaining := float64(p.total) - float64(p.progressed())
+		if remaining > 0 && cs.PagesPerSec > 0 {
+			cs.ETASeconds = remaining / cs.PagesPerSec
+		}
+	}
+	for i := range p.workers {
+		w := &p.workers[i]
+		ws := WorkerStatus{Visits: w.visits.Load()}
+		if busy := w.busySince.Load(); busy != 0 {
+			ws.BusyMS = float64(now.Sub(time.Unix(0, busy))) / float64(time.Millisecond)
+		} else if last := w.lastDone.Load(); last != 0 {
+			ws.IdleMS = float64(now.Sub(time.Unix(0, last))) / float64(time.Millisecond)
+		}
+		cs.Workers = append(cs.Workers, ws)
+	}
+	return cs
+}
+
+// snapshotLegs returns the current legs (for the watchdog sweep).
+func (t *Tracker) snapshotLegs() []*CrawlProgress {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	legs := make([]*CrawlProgress, len(t.legs))
+	copy(legs, t.legs)
+	return legs
+}

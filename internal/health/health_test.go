@@ -1,0 +1,187 @@
+package health
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-advanced clock for deterministic rate math.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)}
+}
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func trackerWithClock(c *fakeClock) *Tracker {
+	return New(Options{HalfLife: 30 * time.Second, Now: c.now})
+}
+
+// TestNilSafety exercises every progress method on nil receivers: the
+// crawler calls these unconditionally whether or not the health plane
+// is enabled, so none may branch or panic.
+func TestNilSafety(t *testing.T) {
+	var tr *Tracker
+	p := tr.StartCrawl("c", "os", 10, 2)
+	if p != nil {
+		t.Fatal("nil tracker minted a non-nil leg")
+	}
+	p.VisitStart(0)
+	p.VisitDone(0, time.Second, true)
+	p.Skipped(1)
+	p.ResumeSkip()
+	p.RetentionError()
+	p.Finish()
+	if p.Done() || p.MedianVisit() != 0 {
+		t.Error("nil leg reported state")
+	}
+	tr.SetReady(false)
+	if tr.Ready() {
+		t.Error("nil tracker ready")
+	}
+	if s := tr.Status(); len(s.Crawls) != 0 {
+		t.Error("nil tracker status non-empty")
+	}
+	var w *Watchdog
+	w.Sweep()
+	w.Start()
+	w.Stop()
+}
+
+// TestProgressCounts verifies the per-visit tallies and the rolling
+// median over a deterministic sequence.
+func TestProgressCounts(t *testing.T) {
+	clk := newFakeClock()
+	tr := trackerWithClock(clk)
+	p := tr.StartCrawl("top100", "Windows", 100, 3)
+
+	durs := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond,
+		40 * time.Millisecond, 50 * time.Millisecond}
+	for i, d := range durs {
+		w := i % 3
+		p.VisitStart(w)
+		clk.advance(d)
+		p.VisitDone(w, d, i != 4) // last one fails
+	}
+	p.Skipped(0)
+	p.ResumeSkip()
+	p.RetentionError()
+
+	clk.advance(time.Millisecond)
+	s := tr.Status()
+	if len(s.Crawls) != 1 {
+		t.Fatalf("legs = %d, want 1", len(s.Crawls))
+	}
+	cs := s.Crawls[0]
+	if cs.Visited != 5 || cs.Failed != 1 || cs.Skipped != 1 || cs.ResumeSkipped != 1 || cs.RetentionErrors != 1 {
+		t.Errorf("counts: %+v", cs)
+	}
+	if got := cs.RetentionErrorRate; math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("retention rate = %v, want 0.2", got)
+	}
+	if got := p.MedianVisit(); got != 30*time.Millisecond {
+		t.Errorf("median = %v, want 30ms", got)
+	}
+	if len(cs.Workers) != 3 {
+		t.Fatalf("workers = %d", len(cs.Workers))
+	}
+	if cs.Workers[0].Visits != 2 || cs.Workers[1].Visits != 2 || cs.Workers[2].Visits != 1 {
+		t.Errorf("worker visit split: %+v", cs.Workers)
+	}
+}
+
+// TestEWMAAndETA checks the throughput estimate against hand-computed
+// EWMA math and the ETA derived from it.
+func TestEWMAAndETA(t *testing.T) {
+	clk := newFakeClock()
+	tr := trackerWithClock(clk)
+	p := tr.StartCrawl("c", "Linux", 1000, 1)
+
+	// 10 visits over 10s: first sample is the plain average, 1/s.
+	for i := 0; i < 10; i++ {
+		clk.advance(time.Second)
+		p.VisitDone(0, time.Second, true)
+	}
+	r1 := p.sample(clk.now())
+	if math.Abs(r1-1.0) > 1e-9 {
+		t.Fatalf("first sample = %v, want 1.0", r1)
+	}
+
+	// 30 more visits over the next 10s: instantaneous rate 3/s. With a
+	// 30s half-life, alpha = 1 - exp(-10*ln2/30).
+	for i := 0; i < 30; i++ {
+		clk.advance(time.Second / 3)
+		p.VisitDone(0, time.Second/3, true)
+	}
+	r2 := p.sample(clk.now())
+	alpha := 1 - math.Exp(-10*math.Ln2/30)
+	want := r1 + alpha*(3.0-r1)
+	if math.Abs(r2-want) > 1e-9 {
+		t.Fatalf("ewma = %v, want %v", r2, want)
+	}
+
+	// ETA = remaining / rate with 960 of 1000 targets left.
+	cs := p.status(clk.now())
+	if math.Abs(cs.ETASeconds-960/r2) > 1e-6 {
+		t.Errorf("eta = %v, want %v", cs.ETASeconds, 960/r2)
+	}
+
+	// Zero-dt resample returns the same estimate (no div-by-zero).
+	if r3 := p.sample(clk.now()); r3 != r2 {
+		t.Errorf("zero-dt resample changed rate: %v != %v", r3, r2)
+	}
+}
+
+// TestFinishedRateIsOverallAverage pins the contract the /status-vs-
+// Summary agreement test depends on: once a leg finishes, the reported
+// rate is total progressed over total elapsed, regardless of EWMA
+// history or when /status is scraped afterwards.
+func TestFinishedRateIsOverallAverage(t *testing.T) {
+	clk := newFakeClock()
+	tr := trackerWithClock(clk)
+	p := tr.StartCrawl("c", "Linux", 8, 2)
+	for i := 0; i < 6; i++ {
+		clk.advance(500 * time.Millisecond)
+		p.VisitDone(i%2, 500*time.Millisecond, true)
+	}
+	p.Skipped(0)
+	p.ResumeSkip()
+	clk.advance(time.Second)
+	p.Finish()
+	if !p.Done() {
+		t.Fatal("leg not done after Finish")
+	}
+
+	// 8 targets progressed over 4s of wall time.
+	clk.advance(time.Hour) // a late scrape must not decay the rate
+	cs := p.status(clk.now())
+	if math.Abs(cs.PagesPerSec-2.0) > 1e-9 {
+		t.Errorf("finished rate = %v, want 2.0", cs.PagesPerSec)
+	}
+	if cs.ETASeconds != 0 {
+		t.Errorf("finished leg reported ETA %v", cs.ETASeconds)
+	}
+	if !cs.Done {
+		t.Error("status not marked done")
+	}
+}
+
+// TestMedianWindowWraps fills the duration ring past capacity and
+// confirms the median reflects only the window, not all history.
+func TestMedianWindowWraps(t *testing.T) {
+	clk := newFakeClock()
+	tr := trackerWithClock(clk)
+	p := tr.StartCrawl("c", "Linux", 0, 1)
+	// Old slow history that should be fully evicted...
+	for i := 0; i < durRingSize; i++ {
+		p.VisitDone(0, time.Minute, true)
+	}
+	// ...overwritten by a full window of 10ms visits.
+	for i := 0; i < durRingSize; i++ {
+		p.VisitDone(0, 10*time.Millisecond, true)
+	}
+	if got := p.MedianVisit(); got != 10*time.Millisecond {
+		t.Errorf("median after wrap = %v, want 10ms", got)
+	}
+}

@@ -1,0 +1,131 @@
+package health
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/knockandtalk/knockandtalk/internal/telemetry"
+)
+
+// TestHTTPEndpoints exercises the full surface over a real listener:
+// /status JSON shape, /healthz readiness flip, and /metrics validated
+// by the strict exposition parser.
+func TestHTTPEndpoints(t *testing.T) {
+	clk := newFakeClock()
+	tr := trackerWithClock(clk)
+	reg := telemetry.NewRegistry()
+	reg.Counter("crawl_visits_total", "os", "Windows").Add(3)
+	reg.Histogram("visit_ns", "os", "Windows").Observe(1000)
+
+	p := tr.StartCrawl("top100", "Windows", 10, 2)
+	for i := 0; i < 4; i++ {
+		clk.advance(time.Second)
+		p.VisitDone(i%2, time.Second, i != 3)
+	}
+	p.RetentionError()
+	tr.mu.Lock()
+	tr.alerts[alertKey(AlertTraceDrops, "trace-sink")] = Alert{
+		Type: AlertTraceDrops, Subject: "trace-sink", Detail: "x", Since: clk.now(),
+	}
+	tr.mu.Unlock()
+
+	srv := httptest.NewServer(Handler(tr, reg))
+	defer srv.Close()
+
+	get := func(path string) (int, string, http.Header) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body), resp.Header
+	}
+
+	code, body, hdr := get("/status")
+	if code != http.StatusOK {
+		t.Fatalf("/status = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/status content-type = %q", ct)
+	}
+	var st Status
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/status not JSON: %v\n%s", err, body)
+	}
+	if len(st.Crawls) != 1 || st.Crawls[0].Visited != 4 || st.Crawls[0].Failed != 1 {
+		t.Errorf("/status progress: %+v", st.Crawls)
+	}
+	if len(st.Alerts) != 1 || st.Alerts[0].Type != AlertTraceDrops {
+		t.Errorf("/status alerts: %+v", st.Alerts)
+	}
+	if !st.Ready {
+		t.Error("/status ready = false")
+	}
+
+	if code, body, _ := get("/healthz"); code != http.StatusOK || body != "ok\n" {
+		t.Errorf("/healthz ready: %d %q", code, body)
+	}
+	tr.SetReady(false)
+	if code, _, _ := get("/healthz"); code != http.StatusServiceUnavailable {
+		t.Errorf("/healthz not-ready = %d, want 503", code)
+	}
+	tr.SetReady(true)
+
+	code, body, hdr = get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics content-type = %q", ct)
+	}
+	doc, err := telemetry.ParsePrometheus(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("/metrics does not pass the strict parser: %v\n%s", err, body)
+	}
+	if s := doc.Series("crawl_visits_total", "os", "Windows"); s == nil || s.Raw != "3" {
+		t.Errorf("counter missing from /metrics: %+v", s)
+	}
+	if s := doc.Series("visit_ns_count", "os", "Windows"); s == nil || s.Raw != "1" {
+		t.Errorf("histogram missing from /metrics: %+v", s)
+	}
+}
+
+// TestServeLifecycle binds an ephemeral status listener via the cmd
+// helper, scrapes it, and shuts it down; the empty-addr path must be
+// an inert no-op.
+func TestServeLifecycle(t *testing.T) {
+	tr := New(Options{})
+	reg := telemetry.NewRegistry()
+	reg.Counter("up_total").Inc()
+
+	addr, stop, err := Serve("127.0.0.1:0", tr, reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	doc, err := telemetry.ParsePrometheus(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("live scrape does not parse: %v", err)
+	}
+	if s := doc.Series("up_total"); s == nil || s.Raw != strconv.Itoa(1) {
+		t.Errorf("live scrape series: %+v", s)
+	}
+	stop()
+
+	addr, stop, err = Serve("", tr, reg, nil)
+	if err != nil || addr != "" {
+		t.Fatalf("empty addr: %q %v", addr, err)
+	}
+	stop()
+}

@@ -1,0 +1,36 @@
+package health
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+)
+
+// LoggerTo builds a component-labeled slog.Logger writing to w in the
+// given format ("text" or "json"). Every cmd binary funnels its
+// diagnostics through one of these so a fleet's stderr streams are
+// uniformly machine-parseable when -log-format json is set.
+func LoggerTo(w io.Writer, format, component string) (*slog.Logger, error) {
+	var h slog.Handler
+	switch format {
+	case "", "text":
+		h = slog.NewTextHandler(w, nil)
+	case "json":
+		h = slog.NewJSONHandler(w, nil)
+	default:
+		return nil, fmt.Errorf("health: unknown log format %q (want text or json)", format)
+	}
+	return slog.New(h).With("component", component), nil
+}
+
+// NewLogger is LoggerTo on stderr, installing the result as the
+// process-wide slog default so stray slog calls inherit the format.
+func NewLogger(format, component string) (*slog.Logger, error) {
+	logger, err := LoggerTo(os.Stderr, format, component)
+	if err != nil {
+		return nil, err
+	}
+	slog.SetDefault(logger)
+	return logger, nil
+}

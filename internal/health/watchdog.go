@@ -1,0 +1,271 @@
+package health
+
+import (
+	"fmt"
+	"log/slog"
+	"sync"
+	"time"
+
+	"github.com/knockandtalk/knockandtalk/internal/telemetry"
+)
+
+// WatchdogOptions tune the alerting sweep; the zero value picks
+// defaults suitable for a production crawl.
+type WatchdogOptions struct {
+	// Interval is the sweep period (default 5s).
+	Interval time.Duration
+	// StallFactor scales the rolling median visit duration into the
+	// stall bound: a worker busy longer than StallFactor*median is
+	// flagged (default 8).
+	StallFactor float64
+	// MinStall floors the stall bound so fast crawls with
+	// millisecond-scale medians don't alert on scheduler noise
+	// (default 30s).
+	MinStall time.Duration
+	// RetentionRate is the retention-errors-per-visit rate above which
+	// a leg alerts, once sustained (default 0.05).
+	RetentionRate float64
+	// SustainTicks is how many consecutive sweeps the retention rate
+	// must exceed RetentionRate before alerting — one bad batch is not
+	// an incident (default 3).
+	SustainTicks int
+	// DropBurst is the number of new trace-sink drops between two
+	// sweeps that counts as a burst (default 1: any loss alerts).
+	DropBurst uint64
+	// TraceDrops reports the trace sink's cumulative drop count;
+	// production wires tracer.Dropped. Nil disables the drop check.
+	TraceDrops func() uint64
+	// Logger receives alert warnings; nil uses slog.Default().
+	Logger *slog.Logger
+	// Registry receives health_alerts_total counters; nil uses
+	// telemetry.Default().
+	Registry *telemetry.Registry
+}
+
+// Watchdog periodically sweeps a Tracker's crawl legs and maintains
+// the tracker's active-alert set. It only observes — it never touches
+// the crawl itself.
+type Watchdog struct {
+	t    *Tracker
+	opts WatchdogOptions
+
+	mu         sync.Mutex
+	retainHot  map[*CrawlProgress]int // consecutive sweeps above RetentionRate
+	lastDrops  uint64
+	dropSeeded bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Alert type families.
+const (
+	AlertWorkerStalled   = "worker_stalled"
+	AlertRetentionErrors = "retention_errors"
+	AlertTraceDrops      = "trace_drops"
+)
+
+// NewWatchdog builds a watchdog over t. Call Start to run it on a
+// ticker, or Sweep directly for deterministic single steps (tests).
+func NewWatchdog(t *Tracker, opts WatchdogOptions) *Watchdog {
+	if opts.Interval <= 0 {
+		opts.Interval = 5 * time.Second
+	}
+	if opts.StallFactor <= 0 {
+		opts.StallFactor = 8
+	}
+	if opts.MinStall <= 0 {
+		opts.MinStall = 30 * time.Second
+	}
+	if opts.RetentionRate <= 0 {
+		opts.RetentionRate = 0.05
+	}
+	if opts.SustainTicks <= 0 {
+		opts.SustainTicks = 3
+	}
+	if opts.DropBurst == 0 {
+		opts.DropBurst = 1
+	}
+	if opts.Logger == nil {
+		opts.Logger = slog.Default()
+	}
+	if opts.Registry == nil {
+		opts.Registry = telemetry.Default()
+	}
+	return &Watchdog{
+		t:         t,
+		opts:      opts,
+		retainHot: map[*CrawlProgress]int{},
+	}
+}
+
+// Start runs the sweep loop until Stop.
+func (w *Watchdog) Start() {
+	if w == nil || w.t == nil {
+		return
+	}
+	w.stop = make(chan struct{})
+	w.done = make(chan struct{})
+	go func() {
+		defer close(w.done)
+		tick := time.NewTicker(w.opts.Interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-w.stop:
+				return
+			case <-tick.C:
+				w.Sweep()
+			}
+		}
+	}()
+}
+
+// Stop halts the sweep loop and waits for it to exit.
+func (w *Watchdog) Stop() {
+	if w == nil || w.stop == nil {
+		return
+	}
+	close(w.stop)
+	<-w.done
+	w.stop = nil
+}
+
+// Sweep runs one observation pass: it raises and resolves alerts on
+// the tracker and logs transitions. Exported so tests can step the
+// watchdog deterministically with an injected clock.
+func (w *Watchdog) Sweep() {
+	if w == nil || w.t == nil {
+		return
+	}
+	now := w.t.now()
+	active := map[string]Alert{}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, p := range w.t.snapshotLegs() {
+		leg := p.crawl + "/" + p.os
+		if !p.Done() {
+			w.sweepStalls(p, leg, now, active)
+		}
+		w.sweepRetention(p, leg, now, active)
+	}
+	w.sweepDrops(now, active)
+	w.t.applyAlerts(active, w.opts.Logger, w.opts.Registry)
+}
+
+func (w *Watchdog) sweepStalls(p *CrawlProgress, leg string, now time.Time, active map[string]Alert) {
+	bound := time.Duration(w.opts.StallFactor * float64(p.MedianVisit()))
+	if bound < w.opts.MinStall {
+		bound = w.opts.MinStall
+	}
+	for i := range p.workers {
+		busy := p.workers[i].busySince.Load()
+		if busy == 0 {
+			continue
+		}
+		age := now.Sub(time.Unix(0, busy))
+		if age <= bound {
+			continue
+		}
+		subject := fmt.Sprintf("%s/worker-%d", leg, i)
+		active[alertKey(AlertWorkerStalled, subject)] = Alert{
+			Type:    AlertWorkerStalled,
+			Subject: subject,
+			Detail: fmt.Sprintf("visit in flight for %s (stall bound %s, median %s)",
+				age.Round(time.Millisecond), bound.Round(time.Millisecond), p.MedianVisit().Round(time.Millisecond)),
+			Since: now,
+		}
+	}
+}
+
+func (w *Watchdog) sweepRetention(p *CrawlProgress, leg string, now time.Time, active map[string]Alert) {
+	visited := p.visited.Load()
+	errs := p.retentionErrs.Load()
+	rate := 0.0
+	if visited > 0 {
+		rate = float64(errs) / float64(visited)
+	}
+	if rate > w.opts.RetentionRate {
+		w.retainHot[p]++
+	} else {
+		delete(w.retainHot, p)
+	}
+	if w.retainHot[p] >= w.opts.SustainTicks {
+		active[alertKey(AlertRetentionErrors, leg)] = Alert{
+			Type:    AlertRetentionErrors,
+			Subject: leg,
+			Detail: fmt.Sprintf("retention error rate %.1f%% (%d/%d visits) above %.1f%% for %d sweeps",
+				rate*100, errs, visited, w.opts.RetentionRate*100, w.retainHot[p]),
+			Since: now,
+		}
+	}
+}
+
+func (w *Watchdog) sweepDrops(now time.Time, active map[string]Alert) {
+	if w.opts.TraceDrops == nil {
+		return
+	}
+	drops := w.opts.TraceDrops()
+	if !w.dropSeeded {
+		w.lastDrops, w.dropSeeded = drops, true
+		return
+	}
+	burst := drops - w.lastDrops
+	w.lastDrops = drops
+	if burst >= w.opts.DropBurst {
+		active[alertKey(AlertTraceDrops, "trace-sink")] = Alert{
+			Type:    AlertTraceDrops,
+			Subject: "trace-sink",
+			Detail:  fmt.Sprintf("trace sink dropped %d records since last sweep (%d total)", burst, drops),
+			Since:   now,
+		}
+	}
+}
+
+// applyAlerts reconciles the tracker's alert set against one sweep's
+// findings: new alerts are raised (counter + warning), vanished ones
+// resolved (info), persisting ones keep their original Since.
+func (t *Tracker) applyAlerts(active map[string]Alert, logger *slog.Logger, reg *telemetry.Registry) {
+	t.mu.Lock()
+	var raised, resolved []Alert
+	for key, a := range active {
+		if prev, ok := t.alerts[key]; ok {
+			a.Since = prev.Since
+			active[key] = a
+		} else {
+			raised = append(raised, a)
+		}
+	}
+	for key, a := range t.alerts {
+		if _, ok := active[key]; !ok {
+			resolved = append(resolved, a)
+		}
+	}
+	t.alerts = active
+	t.mu.Unlock()
+	for _, a := range raised {
+		reg.Counter("health_alerts_total", "type", a.Type).Inc()
+		logger.Warn("health alert raised",
+			"type", a.Type, "subject", a.Subject, "detail", a.Detail)
+	}
+	for _, a := range resolved {
+		logger.Info("health alert resolved",
+			"type", a.Type, "subject", a.Subject, "active_for", t.now().Sub(a.Since).Round(time.Millisecond).String())
+	}
+}
+
+// ActiveAlerts returns the current alert set sorted by type then
+// subject, without the rate-sampling side effect of a full Status.
+func (t *Tracker) ActiveAlerts() []Alert {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	alerts := make([]Alert, 0, len(t.alerts))
+	for _, a := range t.alerts {
+		alerts = append(alerts, a)
+	}
+	t.mu.Unlock()
+	sortAlerts(alerts)
+	return alerts
+}

@@ -1,0 +1,167 @@
+package health
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/knockandtalk/knockandtalk/internal/telemetry"
+)
+
+func testWatchdog(tr *Tracker, opts WatchdogOptions) (*Watchdog, *bytes.Buffer, *telemetry.Registry) {
+	var buf bytes.Buffer
+	opts.Logger = slog.New(slog.NewTextHandler(&buf, nil))
+	opts.Registry = telemetry.NewRegistry()
+	return NewWatchdog(tr, opts), &buf, opts.Registry
+}
+
+// TestWatchdogStallRaiseResolve drives a worker past the stall bound
+// with a fake clock, then completes the visit and confirms the alert
+// resolves.
+func TestWatchdogStallRaiseResolve(t *testing.T) {
+	clk := newFakeClock()
+	tr := trackerWithClock(clk)
+	p := tr.StartCrawl("top100", "Windows", 10, 2)
+	w, logs, reg := testWatchdog(tr, WatchdogOptions{
+		StallFactor: 4, MinStall: 100 * time.Millisecond,
+	})
+
+	// Seed the median at 50ms: stall bound = max(100ms, 4*50ms) = 200ms.
+	for i := 0; i < 5; i++ {
+		p.VisitStart(0)
+		clk.advance(50 * time.Millisecond)
+		p.VisitDone(0, 50*time.Millisecond, true)
+	}
+	p.VisitStart(1)
+	clk.advance(150 * time.Millisecond)
+	w.Sweep()
+	if alerts := tr.ActiveAlerts(); len(alerts) != 0 {
+		t.Fatalf("alert before stall bound: %+v", alerts)
+	}
+
+	clk.advance(100 * time.Millisecond) // in flight 250ms > 200ms bound
+	w.Sweep()
+	alerts := tr.ActiveAlerts()
+	if len(alerts) != 1 || alerts[0].Type != AlertWorkerStalled {
+		t.Fatalf("stall alert missing: %+v", alerts)
+	}
+	if got := alerts[0].Subject; got != "top100/Windows/worker-1" {
+		t.Errorf("subject = %q", got)
+	}
+	raisedAt := alerts[0].Since
+	if !strings.Contains(logs.String(), "health alert raised") {
+		t.Errorf("no raise warning logged:\n%s", logs.String())
+	}
+	if got := reg.Snapshot().Counters[`health_alerts_total{type=worker_stalled}`]; got != 1 {
+		t.Errorf("alert counter = %d, want 1", got)
+	}
+
+	// A persisting alert keeps its Since and does not re-count.
+	clk.advance(50 * time.Millisecond)
+	w.Sweep()
+	alerts = tr.ActiveAlerts()
+	if len(alerts) != 1 || !alerts[0].Since.Equal(raisedAt) {
+		t.Errorf("persisting alert changed Since: %+v", alerts)
+	}
+	if got := reg.Snapshot().Counters[`health_alerts_total{type=worker_stalled}`]; got != 1 {
+		t.Errorf("persisting alert re-counted: %d", got)
+	}
+
+	// Completing the visit resolves the alert on the next sweep.
+	p.VisitDone(1, 300*time.Millisecond, true)
+	w.Sweep()
+	if alerts := tr.ActiveAlerts(); len(alerts) != 0 {
+		t.Fatalf("alert not resolved: %+v", alerts)
+	}
+	if !strings.Contains(logs.String(), "health alert resolved") {
+		t.Errorf("no resolve log:\n%s", logs.String())
+	}
+
+	// A finished leg never stall-alerts, even with a stuck busy bit.
+	p.VisitStart(0)
+	p.Finish()
+	clk.advance(time.Hour)
+	w.Sweep()
+	if alerts := tr.ActiveAlerts(); len(alerts) != 0 {
+		t.Errorf("finished leg alerted: %+v", alerts)
+	}
+}
+
+// TestWatchdogRetentionSustained requires the rate to stay hot for
+// SustainTicks consecutive sweeps before alerting.
+func TestWatchdogRetentionSustained(t *testing.T) {
+	clk := newFakeClock()
+	tr := trackerWithClock(clk)
+	p := tr.StartCrawl("c", "Linux", 0, 1)
+	w, logs, _ := testWatchdog(tr, WatchdogOptions{
+		RetentionRate: 0.10, SustainTicks: 3,
+	})
+
+	for i := 0; i < 10; i++ {
+		p.VisitDone(0, time.Millisecond, true)
+	}
+	for i := 0; i < 2; i++ {
+		p.RetentionError()
+	}
+	// 20% rate, but only hot for two sweeps: no alert yet.
+	w.Sweep()
+	w.Sweep()
+	if alerts := tr.ActiveAlerts(); len(alerts) != 0 {
+		t.Fatalf("alert before sustain window: %+v", alerts)
+	}
+	w.Sweep()
+	alerts := tr.ActiveAlerts()
+	if len(alerts) != 1 || alerts[0].Type != AlertRetentionErrors {
+		t.Fatalf("sustained retention alert missing: %+v", alerts)
+	}
+	if !strings.Contains(alerts[0].Detail, "20.0%") {
+		t.Errorf("detail lacks rate: %q", alerts[0].Detail)
+	}
+
+	// Recovery: enough clean visits drop the rate below threshold, the
+	// hot streak resets, and the alert resolves.
+	for i := 0; i < 90; i++ {
+		p.VisitDone(0, time.Millisecond, true)
+	}
+	w.Sweep()
+	if alerts := tr.ActiveAlerts(); len(alerts) != 0 {
+		t.Fatalf("retention alert not resolved: %+v", alerts)
+	}
+	if !strings.Contains(logs.String(), "retention_errors") {
+		t.Errorf("retention alert never logged:\n%s", logs.String())
+	}
+}
+
+// TestWatchdogTraceDrops alerts on a drop burst between sweeps and
+// stays quiet while the cumulative count is flat.
+func TestWatchdogTraceDrops(t *testing.T) {
+	clk := newFakeClock()
+	tr := trackerWithClock(clk)
+	var drops uint64
+	w, _, reg := testWatchdog(tr, WatchdogOptions{
+		DropBurst:  5,
+		TraceDrops: func() uint64 { return drops },
+	})
+
+	w.Sweep() // seeds the baseline; pre-existing drops are not a burst
+	drops = 3
+	w.Sweep() // +3 < burst of 5
+	if alerts := tr.ActiveAlerts(); len(alerts) != 0 {
+		t.Fatalf("sub-burst drops alerted: %+v", alerts)
+	}
+	drops = 9
+	w.Sweep() // +6 >= 5
+	alerts := tr.ActiveAlerts()
+	if len(alerts) != 1 || alerts[0].Type != AlertTraceDrops {
+		t.Fatalf("drop burst alert missing: %+v", alerts)
+	}
+	if got := reg.Snapshot().Counters[`health_alerts_total{type=trace_drops}`]; got != 1 {
+		t.Errorf("alert counter = %d, want 1", got)
+	}
+	w.Sweep() // flat since last sweep: resolved
+	if alerts := tr.ActiveAlerts(); len(alerts) != 0 {
+		t.Errorf("flat drop count kept alert: %+v", alerts)
+	}
+}

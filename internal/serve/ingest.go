@@ -100,7 +100,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	vt := s.opts.Tracer.StartVisit(crawl, osName, domain, url, rank)
 	outcome := "ok"
 	log := &netlog.Log{}
-	defer func() { vt.End(outcome, log.Len()) }()
+	defer func() {
+		vt.End(outcome, log.Len())
+		// The ingest plane has no fixed worker slots; -1 skips the
+		// per-worker bookkeeping while still feeding throughput and
+		// failure rate.
+		s.ingestLeg.VisitDone(-1, time.Since(start), outcome == "ok")
+	}()
 
 	// Parse the stream incrementally: one event per Next call, bounded
 	// body, periodic deadline checks. Only the decoded events are held;
@@ -190,6 +196,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			// are committed regardless.
 			vt.AddErr("netlog", nlStart, nlElapsed, 0, "retention failed")
 			s.metrics.ingestFailed()
+			s.ingestLeg.RetentionError()
 		} else {
 			vt.Add("netlog", nlStart, nlElapsed, 1)
 		}

@@ -26,6 +26,7 @@ import (
 	"net/http"
 	"time"
 
+	"github.com/knockandtalk/knockandtalk/internal/health"
 	"github.com/knockandtalk/knockandtalk/internal/pipeline"
 	"github.com/knockandtalk/knockandtalk/internal/report"
 	"github.com/knockandtalk/knockandtalk/internal/serve/queryengine"
@@ -67,6 +68,11 @@ type Options struct {
 	// upload (parse → detect → classify → commit spans), in the same
 	// JSONL form the crawler emits.
 	Tracer *telemetry.Tracer
+	// Health, when non-nil, registers the ingest plane as an open-ended
+	// progress leg on the live operations plane: upload throughput and
+	// failure rate become visible on /status alongside any crawls the
+	// process runs.
+	Health *health.Tracker
 }
 
 func (o Options) withDefaults() Options {
@@ -100,9 +106,12 @@ type Server struct {
 	opts    Options
 	cache   *queryengine.Cache
 	metrics *metrics
-	queries chan struct{} // query-plane semaphore
-	ingests chan struct{} // ingest-plane semaphore
-	mux     *http.ServeMux
+	// ingestLeg is the ingest plane's open-ended health progress leg
+	// (nil-safe: a no-op when Options.Health is unset).
+	ingestLeg *health.CrawlProgress
+	queries   chan struct{} // query-plane semaphore
+	ingests   chan struct{} // ingest-plane semaphore
+	mux       *http.ServeMux
 }
 
 // New builds a server over an engine. Ingested telemetry is committed
@@ -110,12 +119,13 @@ type Server struct {
 func New(eng *queryengine.Engine, opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
-		eng:     eng,
-		opts:    opts,
-		cache:   queryengine.NewCache(opts.CacheEntries),
-		metrics: newMetrics(opts.Registry),
-		queries: make(chan struct{}, opts.QueryConcurrency),
-		ingests: make(chan struct{}, opts.IngestConcurrency),
+		eng:       eng,
+		opts:      opts,
+		cache:     queryengine.NewCache(opts.CacheEntries),
+		metrics:   newMetrics(opts.Registry),
+		ingestLeg: opts.Health.StartCrawl("ingest", "live", 0, 0),
+		queries:   make(chan struct{}, opts.QueryConcurrency),
+		ingests:   make(chan struct{}, opts.IngestConcurrency),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/locals", s.query(s.handleLocals))

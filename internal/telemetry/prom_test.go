@@ -1,0 +1,221 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestPrometheusRoundTrip renders a populated registry and re-parses
+// it with the in-repo exposition parser: every counter, gauge, and
+// histogram _count/_sum must agree exactly (by raw text, beyond
+// float64 precision) with the JSON snapshot of the same registry.
+func TestPrometheusRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("crawl_visits_total", "crawl", "top100k-2020", "os", "Windows").Add(41)
+	reg.Counter("crawl_visits_total", "crawl", "top100k-2020", "os", "Linux").Add(7)
+	reg.Counter("plain_total").Add(3)
+	reg.Gauge("serve_inflight", "plane", "query").Set(-2)
+	h := reg.Histogram("visit_ns", "os", "Windows")
+	for _, v := range []uint64{0, 1, 5, 1023, 1024, 1 << 40} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := ParsePrometheus(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("render does not re-parse: %v\n%s", err, buf.String())
+	}
+
+	snap := reg.Snapshot()
+	for key, want := range snap.Counters {
+		name, labels := splitKey(key)
+		var pairs []string
+		for k, v := range labels {
+			pairs = append(pairs, k, v)
+		}
+		s := doc.Series(name, pairs...)
+		if s == nil {
+			t.Fatalf("counter %s missing from exposition output", key)
+		}
+		if s.Raw != strconv.FormatUint(want, 10) {
+			t.Errorf("counter %s: exposition %s, snapshot %d", key, s.Raw, want)
+		}
+	}
+	if s := doc.Series("serve_inflight", "plane", "query"); s == nil || s.Raw != "-2" {
+		t.Errorf("gauge render: got %+v", s)
+	}
+	hs := snap.Histograms[metricKey("visit_ns", []string{"os", "Windows"})]
+	if s := doc.Series("visit_ns_count", "os", "Windows"); s == nil || s.Raw != strconv.FormatUint(hs.Count, 10) {
+		t.Errorf("_count disagrees with snapshot %d: %+v", hs.Count, s)
+	}
+	if s := doc.Series("visit_ns_sum", "os", "Windows"); s == nil || s.Raw != strconv.FormatUint(hs.Sum, 10) {
+		t.Errorf("_sum disagrees with snapshot %d: %+v", hs.Sum, s)
+	}
+	if s := doc.Series("visit_ns_bucket", "os", "Windows", "le", "+Inf"); s == nil || s.Raw != strconv.FormatUint(hs.Count, 10) {
+		t.Errorf("+Inf bucket disagrees with count %d: %+v", hs.Count, s)
+	}
+	// Cumulative bucket for le=1023 covers samples 0, 1, 5, 1023.
+	if s := doc.Series("visit_ns_bucket", "os", "Windows", "le", "1023"); s == nil || s.Raw != "4" {
+		t.Errorf("cumulative bucket le=1023: %+v", s)
+	}
+
+	// Rendering is deterministic: a second render is byte-identical.
+	var again bytes.Buffer
+	if err := reg.WritePrometheus(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("two renders of an idle registry differ")
+	}
+}
+
+// TestPrometheusHistogramEdgeCases covers the renderer-facing
+// histogram corners: a registered-but-empty histogram, a single
+// sample, and the max-bucket overflow value.
+func TestPrometheusHistogramEdgeCases(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("empty_ns") // minted, never observed
+	reg.Histogram("single_ns").Observe(42)
+	reg.Histogram("huge_ns").Observe(math.MaxUint64)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := ParsePrometheus(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("edge-case render does not parse: %v\n%s", err, buf.String())
+	}
+
+	if s := doc.Series("empty_ns_count"); s == nil || s.Raw != "0" {
+		t.Errorf("empty histogram _count: %+v", s)
+	}
+	if s := doc.Series("empty_ns_bucket", "le", "+Inf"); s == nil || s.Raw != "0" {
+		t.Errorf("empty histogram +Inf bucket: %+v", s)
+	}
+	if s := doc.Series("single_ns_count"); s == nil || s.Raw != "1" {
+		t.Errorf("single-sample _count: %+v", s)
+	}
+	if s := doc.Series("single_ns_sum"); s == nil || s.Raw != "42" {
+		t.Errorf("single-sample _sum: %+v", s)
+	}
+	// 42 has bit length 6, so its bucket's inclusive bound is 2^6-1.
+	if s := doc.Series("single_ns_bucket", "le", "63"); s == nil || s.Raw != "1" {
+		t.Errorf("single-sample bucket: %+v", s)
+	}
+	// MaxUint64 lands in the top bucket, whose bound is MaxUint64
+	// itself; _sum must round-trip exactly as text.
+	max := strconv.FormatUint(math.MaxUint64, 10)
+	if s := doc.Series("huge_ns_bucket", "le", max); s == nil || s.Raw != "1" {
+		t.Errorf("max-bucket overflow bucket: %+v", s)
+	}
+	if s := doc.Series("huge_ns_sum"); s == nil || s.Raw != max {
+		t.Errorf("max-bucket overflow _sum: %+v", s)
+	}
+}
+
+// TestPrometheusLabelSortingUnderConcurrentObserves hammers one
+// histogram family through differently-ordered label lists from many
+// goroutines: the registry must canonicalize to a single series and
+// the rendered output must stay sorted and parseable.
+func TestPrometheusLabelSortingUnderConcurrentObserves(t *testing.T) {
+	reg := NewRegistry()
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				// Alternate label order call-site by call-site; both must
+				// resolve to the same canonical series.
+				if (w+i)%2 == 0 {
+					reg.Histogram("conc_ns", "crawl", "c", "os", "Linux").Observe(uint64(i))
+				} else {
+					reg.Histogram("conc_ns", "os", "Linux", "crawl", "c").Observe(uint64(i))
+				}
+				reg.Counter("conc_total", "os", "Linux", "crawl", "c").Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := ParsePrometheus(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("concurrent-observe render does not parse: %v\n%s", err, buf.String())
+	}
+	want := strconv.Itoa(workers * per)
+	if s := doc.Series("conc_ns_count", "crawl", "c", "os", "Linux"); s == nil || s.Raw != want {
+		t.Errorf("histogram collapsed wrong: %+v, want count %s", s, want)
+	}
+	if s := doc.Series("conc_total", "crawl", "c", "os", "Linux"); s == nil || s.Raw != want {
+		t.Errorf("counter collapsed wrong: %+v, want %s", s, want)
+	}
+	if n := strings.Count(buf.String(), "conc_ns_count"); n != 1 {
+		t.Errorf("label order minted %d count series, want 1:\n%s", n, buf.String())
+	}
+}
+
+// TestPrometheusSanitization maps hostile names and label values onto
+// the exposition charset without breaking parseability.
+func TestPrometheusSanitization(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("2bad.name-total", "bad-key", `va"lue\with`+"\nnewline").Inc()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "_bad_name_total{bad_key=") {
+		t.Errorf("name sanitization missing:\n%s", out)
+	}
+	doc, err := ParsePrometheus(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("sanitized output does not parse: %v\n%s", err, out)
+	}
+	if s := doc.Series("_bad_name_total", "bad_key", "va\"lue\\with\nnewline"); s == nil || s.Raw != "1" {
+		t.Errorf("escaped label value did not round-trip: %+v", s)
+	}
+}
+
+// TestPrometheusParserStrictness rejects the malformations the CI
+// scrape check exists to catch.
+func TestPrometheusParserStrictness(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"duplicate series", "# TYPE a counter\na{x=\"1\"} 1\na{x=\"1\"} 2\n"},
+		{"unsorted series", "# TYPE a counter\na{x=\"2\"} 1\na{x=\"1\"} 2\n"},
+		{"series before TYPE", "a 1\n"},
+		{"unsorted families", "# TYPE b counter\nb 1\n# TYPE a counter\na 1\n"},
+		{"duplicate TYPE", "# TYPE a counter\na 1\n# TYPE a counter\n"},
+		{"series outside family", "# TYPE a counter\nother 1\n"},
+		{"histogram non-cumulative", "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"3\"} 2\n"},
+		{"histogram missing +Inf", "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n"},
+		{"histogram count mismatch", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 5\nh_count 3\n"},
+		{"histogram truncated", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 5\n"},
+		{"bad value", "# TYPE a counter\na one\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ParsePrometheus(strings.NewReader(tc.input)); err == nil {
+			t.Errorf("%s: parser accepted invalid input:\n%s", tc.name, tc.input)
+		}
+	}
+	// And the happy path stays accepted.
+	ok := "# TYPE a counter\na{x=\"1\"} 1\na{x=\"2\"} 2\n# TYPE h histogram\nh_bucket{le=\"7\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 9\nh_count 2\n"
+	if _, err := ParsePrometheus(strings.NewReader(ok)); err != nil {
+		t.Errorf("parser rejected valid input: %v", err)
+	}
+}

@@ -1,0 +1,33 @@
+// Command promcheck validates a Prometheus text exposition stream on
+// stdin with the repo's strict parser: it fails on duplicate series,
+// unsorted families or series, and malformed histogram blocks. CI
+// pipes a live /metrics scrape through it.
+//
+// Usage:
+//
+//	curl -fsS http://127.0.0.1:6060/metrics | go run ./internal/telemetry/promcheck
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/knockandtalk/knockandtalk/internal/telemetry"
+)
+
+func main() {
+	doc, err := telemetry.ParsePrometheus(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promcheck: %v\n", err)
+		os.Exit(1)
+	}
+	series := 0
+	for _, fam := range doc.Families {
+		series += len(fam.Series)
+	}
+	if len(doc.Names) == 0 {
+		fmt.Fprintln(os.Stderr, "promcheck: empty exposition stream")
+		os.Exit(1)
+	}
+	fmt.Printf("promcheck: %d families, %d series OK\n", len(doc.Names), series)
+}

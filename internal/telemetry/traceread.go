@@ -189,6 +189,86 @@ func (s *TraceSummary) StageNames() []string {
 	return names
 }
 
+// TraceSummaryJSON is the machine-readable form of a trace summary —
+// the knocktrace -json payload CI trend checks and dashboards consume.
+// It is rendered from the same Summarize aggregation the text views
+// print, so the two can never drift.
+type TraceSummaryJSON struct {
+	Visits      int                  `json:"visits"`
+	Failed      int                  `json:"failed,omitempty"`
+	Events      int                  `json:"events,omitempty"`
+	Findings    int                  `json:"findings,omitempty"`
+	WallSeconds float64              `json:"wall_seconds"`
+	Outcomes    map[string]int       `json:"outcomes,omitempty"`
+	Stages      []StageJSON          `json:"stages,omitempty"`
+	ByOS        map[string]GroupJSON `json:"by_os,omitempty"`
+	ByCrawl     map[string]GroupJSON `json:"by_crawl,omitempty"`
+}
+
+// StageJSON is one stage row: totals plus latency quantile bounds from
+// the log-scale histogram.
+type StageJSON struct {
+	Stage       string  `json:"stage"`
+	Runs        uint64  `json:"runs"`
+	Items       uint64  `json:"items,omitempty"`
+	BusySeconds float64 `json:"busy_seconds"`
+	P50NS       uint64  `json:"p50_ns"`
+	P90NS       uint64  `json:"p90_ns"`
+	P99NS       uint64  `json:"p99_ns"`
+}
+
+// GroupJSON is one per-OS or per-crawl rollup row.
+type GroupJSON struct {
+	Visits      int     `json:"visits"`
+	Failed      int     `json:"failed,omitempty"`
+	Events      int     `json:"events,omitempty"`
+	Findings    int     `json:"findings,omitempty"`
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// JSON renders the summary in its wire form: stages in canonical
+// pipeline order, busy seconds converted exactly as the text views
+// convert them.
+func (s *TraceSummary) JSON() TraceSummaryJSON {
+	out := TraceSummaryJSON{
+		Visits:      s.Visits,
+		Failed:      s.Failed,
+		Events:      s.Events,
+		Findings:    s.Findings,
+		WallSeconds: time.Duration(s.WallNS).Seconds(),
+		Outcomes:    s.Outcomes,
+	}
+	for _, name := range s.StageNames() {
+		st := s.Stages[name]
+		h := st.Hist.Snapshot()
+		out.Stages = append(out.Stages, StageJSON{
+			Stage:       name,
+			Runs:        st.Runs,
+			Items:       st.Items,
+			BusySeconds: st.BusySeconds(),
+			P50NS:       h.Quantile(0.50),
+			P90NS:       h.Quantile(0.90),
+			P99NS:       h.Quantile(0.99),
+		})
+	}
+	group := func(m map[string]*GroupStats) map[string]GroupJSON {
+		if len(m) == 0 {
+			return nil
+		}
+		out := make(map[string]GroupJSON, len(m))
+		for name, g := range m {
+			out[name] = GroupJSON{
+				Visits: g.Visits, Failed: g.Failed, Events: g.Events,
+				Findings: g.Findings, WallSeconds: time.Duration(g.WallNS).Seconds(),
+			}
+		}
+		return out
+	}
+	out.ByOS = group(s.ByOS)
+	out.ByCrawl = group(s.ByCrawl)
+	return out
+}
+
 // SlowestVisits returns the k visits with the largest wall time,
 // slowest first (ties broken by domain for stable output).
 func SlowestVisits(visits []VisitRecord, k int) []VisitRecord {

@@ -7,6 +7,7 @@
 //
 //	knockcampaign -out ./run -scale 1 -seed 20210603
 //	knockcampaign -out ./run -resume        # continue after interruption
+//	knockcampaign -out ./run -wal           # durable: survive kill -9 mid-leg, rerun with -resume
 //	knockcampaign -out ./run -status-addr :6061   # live /status, /healthz, /metrics
 //	knockreport  -in ./run/top100k-2020.jsonl,./run/top100k-2021.jsonl,./run/malicious.jsonl
 //	knockdiff    -in ./run/top100k-2020.jsonl,./run/top100k-2021.jsonl,./run/malicious.jsonl
@@ -37,6 +38,8 @@ func main() {
 		workers    = flag.Int("workers", 0, "concurrent browser instances (0 = GOMAXPROCS)")
 		retain     = flag.Bool("retain", false, "retain raw NetLog captures for local-activity visits")
 		resume     = flag.Bool("resume", false, "resume an interrupted campaign in -out")
+		wal        = flag.Bool("wal", false, "durable mode: commit through a per-crawl WAL in -out, checkpointed mid-leg, so a killed campaign resumes mid-crawl")
+		ckptEvery  = flag.Int("checkpoint-every", 0, "visits between WAL durability checkpoints (0 = default)")
 		traceOut   = flag.String("trace-out", "", "write one JSONL trace record per visit to this path (inspect with knocktrace)")
 		statusAddr = flag.String("status-addr", "", "serve live /status, /healthz, and Prometheus /metrics on this address")
 		logFormat  = flag.String("log-format", "text", "diagnostic log format: text or json")
@@ -55,6 +58,7 @@ func main() {
 	spec := campaign.Spec{
 		Name: *name, OutDir: *out, Scale: *scale, Seed: *seed,
 		Workers: *workers, RetainLogs: *retain, Resume: *resume,
+		WAL: *wal, CheckpointEvery: *ckptEvery,
 		// Stage timings are always on: the end-of-run breakdown costs a
 		// few clock reads per visit and the manifest records it.
 		StageTimings: true,

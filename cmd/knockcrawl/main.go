@@ -6,6 +6,7 @@
 //	knockcrawl -crawl top100k-2020 -os all -scale 0.1 -out crawl.jsonl
 //	knockcrawl -crawl top100k-2020 -scale 0.1 -trace-out crawl.trace.jsonl -stage-timings
 //	knockcrawl -crawl top100k-2020 -status-addr :6061   # live /status, /healthz, /metrics
+//	knockcrawl -crawl top100k-2020 -wal ./2020.wal -out 2020.jsonl   # durable: kill -9 and rerun resumes
 //
 // A full-study reproduction (scale 1, every OS, all three campaigns):
 //
@@ -41,6 +42,8 @@ func main() {
 		workers    = flag.Int("workers", 0, "concurrent browser instances (0 = GOMAXPROCS)")
 		window     = flag.Duration("window", 20*time.Second, "per-page observation window")
 		out        = flag.String("out", "", "output JSONL path (empty = no persistence)")
+		walDir     = flag.String("wal", "", "durable WAL directory: commits are journaled and checkpointed mid-crawl, and a prior run found there is resumed")
+		ckptEvery  = flag.Int("checkpoint-every", 0, "visits between WAL durability checkpoints (0 = default)")
 		page       = flag.String("page", "/", "page to visit on each site (/ = landing, /login = internal-pages extension)")
 		retain     = flag.Bool("retain", false, "retain raw NetLog captures for visits with local-network activity")
 		parseHTML  = flag.Bool("parsehtml", false, "crawl through the real HTML pipeline instead of the precompiled fast path")
@@ -98,6 +101,29 @@ func main() {
 	}
 
 	st := store.New()
+	if *walDir != "" {
+		// Durable mode: every commit is journaled in the WAL directory,
+		// checkpointed mid-crawl, and a killed run resumes from whatever
+		// the directory replays instead of starting over.
+		wst, lg, rec, err := store.Open(*walDir, store.LogOptions{})
+		if err != nil {
+			fatal("opening wal", "dir", *walDir, "err", err)
+		}
+		defer func() {
+			if err := lg.Close(); err != nil {
+				fatal("closing wal", "err", err)
+			}
+		}()
+		st = wst
+		cfg.Checkpoint = lg.Checkpoint
+		cfg.CheckpointEvery = *ckptEvery
+		if n := rec.SegmentRecords + rec.WALRecords; n > 0 {
+			cfg.Resume = true
+			logger.Info("wal recovered", "dir", *walDir, "records", n,
+				"segments", rec.Segments, "truncated_tail", rec.Truncated)
+			fmt.Printf("resuming from %s: %d records recovered (%d segments)\n", *walDir, n, rec.Segments)
+		}
+	}
 	var sums []*crawler.Summary
 	if *osName == "all" {
 		var err error
@@ -128,6 +154,9 @@ func main() {
 		}
 		if s.RetentionErrors > 0 {
 			fmt.Printf("    WARNING: %d NetLog captures could not be retained\n", s.RetentionErrors)
+		}
+		if s.CheckpointErrors > 0 {
+			fmt.Printf("    WARNING: %d WAL checkpoints failed\n", s.CheckpointErrors)
 		}
 		printStageBusy(s.StageBusy)
 	}

@@ -16,6 +16,7 @@ import (
 
 	"github.com/knockandtalk/knockandtalk/internal/health"
 	"github.com/knockandtalk/knockandtalk/internal/paperdiff"
+	"github.com/knockandtalk/knockandtalk/internal/pipeline"
 	"github.com/knockandtalk/knockandtalk/internal/store"
 )
 
@@ -41,6 +42,9 @@ func main() {
 	}
 
 	sc := paperdiff.Compare(st)
+	// Compare registers a shared site index for the store; drop it now
+	// that the scorecard is built.
+	pipeline.ReleaseIndex(st)
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "STATUS\tFIDELITY\tMETRIC\tPAPER\tMEASURED")
 	for _, r := range sc.Rows {

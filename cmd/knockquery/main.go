@@ -68,7 +68,12 @@ func main() {
 		domain: *domain, dest: *dest, osName: *osName, crawl: *crawl,
 		errStr: *errStr, pages: *pages, site: *site, dumpNL: *dumpNL, limit: *limit,
 	}
-	if err := run(queryengine.New(st), opts, os.Stdout); err != nil {
+	eng := queryengine.New(st)
+	err := run(eng, opts, os.Stdout)
+	// Close drops the shared site index a -site query registers for the
+	// store; a leak is harmless here but the engine owns the contract.
+	eng.Close()
+	if err != nil {
 		fatalf("%v", err)
 	}
 }

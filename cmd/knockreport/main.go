@@ -19,6 +19,7 @@ import (
 
 	"github.com/knockandtalk/knockandtalk/internal/campaign"
 	"github.com/knockandtalk/knockandtalk/internal/health"
+	"github.com/knockandtalk/knockandtalk/internal/pipeline"
 	"github.com/knockandtalk/knockandtalk/internal/report"
 	"github.com/knockandtalk/knockandtalk/internal/store"
 )
@@ -53,6 +54,9 @@ func main() {
 		fatal("loading stores", "err", err)
 	}
 
+	// The report machinery registers a shared site index for the store;
+	// release it once every section has rendered.
+	defer pipeline.ReleaseIndex(st)
 	w := bufio.NewWriter(os.Stdout)
 	report.WriteAll(w, st, report.ParseSections(*only))
 	if *manifest != "" {

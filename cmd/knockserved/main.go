@@ -7,6 +7,7 @@
 //
 //	knockserved -in run/top100k-2020.jsonl,run/top100k-2021.jsonl
 //	knockserved -in crawl.jsonl -addr :8080 -save live.jsonl
+//	knockserved -in crawl.jsonl -wal-dir ./live.wal   # durable ingest: crash-safe, remounts on restart
 //
 // Endpoints:
 //
@@ -56,6 +57,7 @@ func main() {
 		queryTO   = flag.Duration("query-timeout", 10*time.Second, "per-query deadline")
 		ingTO     = flag.Duration("ingest-timeout", 60*time.Second, "per-upload deadline")
 		cacheN    = flag.Int("cache", 512, "response cache entries (negative disables)")
+		walDir    = flag.String("wal-dir", "", "durable WAL directory: ingested telemetry is journaled and checkpointed; a prior run found there is remounted instead of -in")
 		drainTO   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 		debugAddr = flag.String("debug-addr", "", "serve /status, /healthz, Prometheus /metrics, pprof, and expvar on this address (e.g. 127.0.0.1:6060)")
 		traceOut  = flag.String("trace-out", "", "write one JSONL trace record per ingested visit to this path (inspect with knocktrace)")
@@ -77,6 +79,24 @@ func main() {
 	tracker.SetReady(false)
 
 	st := store.New()
+	var lg *store.Log
+	if *walDir != "" {
+		// Durable serving: ingested telemetry commits through the WAL, so
+		// a crashed instance restarts with everything it had accepted. A
+		// directory that replays records is the source of truth and the
+		// -in exports are skipped; an empty one is seeded from -in (the
+		// load is journaled, making the WAL self-contained).
+		var rec store.Recovery
+		st, lg, rec, err = store.Open(*walDir, store.LogOptions{})
+		if err != nil {
+			fatal("opening wal", "dir", *walDir, "err", err)
+		}
+		if n := rec.SegmentRecords + rec.WALRecords; n > 0 {
+			logger.Info("wal recovered", "dir", *walDir, "records", n,
+				"segments", rec.Segments, "truncated_tail", rec.Truncated)
+			*in = ""
+		}
+	}
 	if *in != "" {
 		var paths []string
 		for _, p := range strings.Split(*in, ",") {
@@ -124,6 +144,20 @@ func main() {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
+	if lg != nil {
+		// Periodic durability point: accepted ingests become crash-safe
+		// within a second. The ticker goroutine exits when Close makes
+		// Checkpoint fail (shutdown) — never fatal mid-serve.
+		ticker := time.NewTicker(time.Second)
+		defer ticker.Stop()
+		go func() {
+			for range ticker.C {
+				if err := lg.Checkpoint(); err != nil {
+					return
+				}
+			}
+		}()
+	}
 	tracker.SetReady(true)
 	logger.Info("listening", "addr", *addr,
 		"pages", st.NumPages(), "locals", st.NumLocals(), "netlogs", st.NumNetLogs())
@@ -145,6 +179,16 @@ func main() {
 	defer cancel()
 	if err := hs.Shutdown(shCtx); err != nil {
 		logger.Error("drain incomplete", "err", err)
+	}
+	srv.Close()
+	if lg != nil {
+		// The drain has quiesced ingest; flush whatever the last ticker
+		// checkpoint missed and detach the WAL.
+		if err := lg.Close(); err != nil {
+			logger.Error("closing wal", "err", err)
+		} else {
+			logger.Info("wal closed", "dir", *walDir)
+		}
 	}
 	if tracer != nil {
 		if err := tracer.Close(); err != nil {

@@ -163,7 +163,7 @@ func TestSiteIndexMatchesLegacy(t *testing.T) {
 
 // BenchmarkReportAll compares regenerating every aggregate a full
 // report consumes — with the exact call multiplicity WriteAll makes —
-// three ways:
+// four ways:
 //
 //   - rescan: the pre-refactor cost model, one full-store scan (and
 //     re-classification) per aggregate call;
@@ -171,8 +171,11 @@ func TestSiteIndexMatchesLegacy(t *testing.T) {
 //     unchanged between reports (the steady state of repeated reports
 //     and of knockserved's query plane), where every call is a lookup
 //     into the materialized snapshot;
-//   - indexed-cold: the worst case, a store mutation before every
-//     report forcing a full snapshot rebuild each iteration.
+//   - delta: a single-visit commit before every report, which the
+//     index absorbs incrementally through DeltaSince (the live-ingest
+//     steady state);
+//   - indexed-cold: the worst case, a forced epoch bump before every
+//     report requiring a full snapshot rebuild each iteration.
 //
 // The index must hold a ≥3× advantage in the indexed configuration.
 func BenchmarkReportAll(b *testing.B) {
@@ -187,6 +190,20 @@ func BenchmarkReportAll(b *testing.B) {
 		indexedReportBattery(st) // warm the snapshot
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
+			indexedReportBattery(st)
+		}
+	})
+	b.Run("delta", func(b *testing.B) {
+		indexedReportBattery(st) // warm the snapshot
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			domain := fmt.Sprintf("delta-%d.example", i)
+			var batch store.Batch
+			batch.AddPage(store.PageRecord{
+				Crawl: string(groundtruth.CrawlTop2020), OS: "Windows",
+				Domain: domain, Rank: 90000 + i, URL: "https://" + domain + "/",
+			})
+			st.AddBatch(&batch)
 			indexedReportBattery(st)
 		}
 	})

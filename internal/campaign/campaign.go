@@ -38,6 +38,18 @@ type Spec struct {
 	// Resume loads existing per-crawl stores from OutDir and skips
 	// already-visited targets.
 	Resume bool
+	// WAL makes each crawl durable mid-leg: records commit through a
+	// write-ahead log in OutDir/<crawl>.wal/, checkpointed every
+	// CheckpointEvery visits, so a killed campaign resumes from its last
+	// checkpoint instead of the last completed leg. With Resume, the WAL
+	// directory — not the .jsonl export — is the source of truth; an
+	// empty WAL falls back to the export once, so an older campaign can
+	// be upgraded in place. The canonical <crawl>.jsonl is still written
+	// at end of leg, byte-stable as before.
+	WAL bool
+	// CheckpointEvery overrides the WAL checkpoint interval in visits
+	// (see crawler.Config.CheckpointEvery); 0 uses the default.
+	CheckpointEvery int
 	// Metrics and Tracer instrument every crawl in the campaign (see
 	// crawler.Config); either also fills Entry.StageBusySeconds.
 	Metrics *telemetry.Registry
@@ -97,24 +109,57 @@ func Run(spec Spec) (*Manifest, error) {
 	}
 	m := &Manifest{Name: spec.Name, Scale: spec.Scale, Seed: spec.Seed, Stores: map[string]string{}}
 	for _, crawl := range crawls {
-		st := store.New()
 		path := filepath.Join(spec.OutDir, string(crawl)+".jsonl")
-		if spec.Resume {
-			if f, err := os.Open(path); err == nil {
-				if err := st.Load(f); err != nil {
-					f.Close()
-					return nil, fmt.Errorf("campaign: resuming from %s: %w", path, err)
+		var st *store.Store
+		var lg *store.Log
+		if spec.WAL {
+			walDir := filepath.Join(spec.OutDir, string(crawl)+".wal")
+			var rec store.Recovery
+			var err error
+			st, lg, rec, err = store.Open(walDir, store.LogOptions{})
+			if err != nil {
+				return nil, fmt.Errorf("campaign: %s: %w", crawl, err)
+			}
+			recovered := rec.SegmentRecords + rec.WALRecords
+			if recovered > 0 && !spec.Resume {
+				lg.Close()
+				return nil, fmt.Errorf("campaign: %s holds %d recovered records; pass Resume or clear it", walDir, recovered)
+			}
+			// First durable run over an older campaign: seed the empty WAL
+			// from the canonical export (the load is journaled, so the WAL
+			// becomes self-contained).
+			if spec.Resume && recovered == 0 {
+				if err := loadExport(st, path); err != nil {
+					lg.Close()
+					return nil, err
 				}
-				f.Close()
+			}
+		} else {
+			st = store.New()
+			if spec.Resume {
+				if err := loadExport(st, path); err != nil {
+					return nil, err
+				}
 			}
 		}
-		sums, err := crawler.RunAll(crawler.Config{
+		cfg := crawler.Config{
 			Crawl: crawl, Scale: spec.Scale, Seed: spec.Seed,
 			Workers: spec.Workers, RetainLogs: spec.RetainLogs, Resume: spec.Resume,
 			Metrics: spec.Metrics, Tracer: spec.Tracer, StageTimings: spec.StageTimings,
 			Health: spec.Health,
-		}, st)
+		}
+		if lg != nil {
+			cfg.Checkpoint = lg.Checkpoint
+			cfg.CheckpointEvery = spec.CheckpointEvery
+			// A WAL-backed campaign always skips completed visits on
+			// rerun; revisiting would double-commit the replayed records.
+			cfg.Resume = true
+		}
+		sums, err := crawler.RunAll(cfg, st)
 		if err != nil {
+			if lg != nil {
+				lg.Close()
+			}
 			return nil, fmt.Errorf("campaign: %s: %w", crawl, err)
 		}
 		for _, s := range sums {
@@ -137,14 +182,30 @@ func Run(spec Spec) (*Manifest, error) {
 		}
 		f, err := os.Create(path)
 		if err != nil {
+			if lg != nil {
+				lg.Close()
+			}
 			return nil, err
 		}
 		if err := st.Save(f); err != nil {
 			f.Close()
+			if lg != nil {
+				lg.Close()
+			}
 			return nil, err
 		}
 		if err := f.Close(); err != nil {
+			if lg != nil {
+				lg.Close()
+			}
 			return nil, err
+		}
+		if lg != nil {
+			// Close flushes and fsyncs whatever the last checkpoint left;
+			// the WAL directory stays behind as the crash-resume source.
+			if err := lg.Close(); err != nil {
+				return nil, fmt.Errorf("campaign: %s wal: %w", crawl, err)
+			}
 		}
 		m.Stores[string(crawl)] = path
 	}
@@ -156,6 +217,23 @@ func Run(spec Spec) (*Manifest, error) {
 		return nil, err
 	}
 	return m, nil
+}
+
+// loadExport loads a canonical .jsonl export into st if it exists; a
+// missing file is a fresh campaign, not an error.
+func loadExport(st *store.Store, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	if err := st.Load(f); err != nil {
+		return fmt.Errorf("campaign: resuming from %s: %w", path, err)
+	}
+	return nil
 }
 
 // LoadManifest reads a campaign manifest back.

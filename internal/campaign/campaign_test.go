@@ -96,6 +96,113 @@ func TestCampaignResumeIsIdempotent(t *testing.T) {
 	}
 }
 
+// TestCampaignWALDurableAndResumable pins the durable campaign mode:
+// records commit through a per-crawl WAL directory, the canonical
+// .jsonl export is still written and byte-loadable, a rerun resumes
+// from the WAL without revisiting anything, and a WAL holding prior
+// records refuses to run without Resume.
+func TestCampaignWALDurableAndResumable(t *testing.T) {
+	dir := t.TempDir()
+	spec := Spec{
+		Name: "durable", OutDir: dir, Scale: 0.002, Seed: 13, Workers: 4,
+		Crawls: []groundtruth.CrawlID{groundtruth.CrawlTop2020},
+		WAL:    true, CheckpointEvery: 16,
+	}
+	first, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attempted := 0
+	for _, e := range first.Entries {
+		attempted += e.Attempted
+	}
+	if attempted == 0 {
+		t.Fatal("WAL campaign crawled nothing")
+	}
+
+	// The WAL directory is the durable copy: reopening it alone yields
+	// the same records the canonical export holds.
+	walDir := filepath.Join(dir, string(groundtruth.CrawlTop2020)+".wal")
+	st, lg, rec, err := store.Open(walDir, store.LogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.SegmentRecords+rec.WALRecords == 0 {
+		t.Fatal("WAL directory recovered no records")
+	}
+	exported := store.New()
+	f, err := os.Open(filepath.Join(dir, string(groundtruth.CrawlTop2020)+".jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exported.Load(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if st.NumPages() != exported.NumPages() || st.NumLocals() != exported.NumLocals() {
+		t.Fatalf("WAL recovery (%d pages / %d locals) != export (%d / %d)",
+			st.NumPages(), st.NumLocals(), exported.NumPages(), exported.NumLocals())
+	}
+	if err := lg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Without Resume, the populated WAL is refused rather than silently
+	// double-committed.
+	if _, err := Run(spec); err == nil {
+		t.Fatal("populated WAL without Resume must be refused")
+	}
+
+	// With Resume, the rerun finds every visit done.
+	spec.Resume = true
+	second, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range second.Entries {
+		if e.Attempted != 0 {
+			t.Errorf("WAL resume re-crawled %d targets on %s", e.Attempted, e.OS)
+		}
+		if e.AlreadyDone == 0 {
+			t.Errorf("WAL resume reports no prior work on %s", e.OS)
+		}
+	}
+}
+
+// TestCampaignWALUpgradesFromExport seeds an empty WAL from an older
+// non-durable campaign's .jsonl export on the first Resume run.
+func TestCampaignWALUpgradesFromExport(t *testing.T) {
+	dir := t.TempDir()
+	spec := Spec{
+		Name: "upgrade", OutDir: dir, Scale: 0.002, Seed: 14, Workers: 4,
+		Crawls: []groundtruth.CrawlID{groundtruth.CrawlTop2020},
+	}
+	if _, err := Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	spec.WAL = true
+	spec.Resume = true
+	m, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range m.Entries {
+		if e.Attempted != 0 {
+			t.Errorf("upgraded run re-crawled %d targets on %s", e.Attempted, e.OS)
+		}
+	}
+	// The WAL now carries the export's records on its own.
+	st, lg, rec, err := store.Open(filepath.Join(dir, string(groundtruth.CrawlTop2020)+".wal"), store.LogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lg.Close()
+	if rec.SegmentRecords+rec.WALRecords == 0 || st.NumPages() != 200*3 {
+		t.Fatalf("upgraded WAL holds %d pages (recovered %d records), want 600",
+			st.NumPages(), rec.SegmentRecords+rec.WALRecords)
+	}
+}
+
 func TestRunRejectsMissingOutDir(t *testing.T) {
 	if _, err := Run(Spec{}); err == nil {
 		t.Error("empty OutDir must be rejected")

@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/knockandtalk/knockandtalk/internal/browser"
@@ -72,6 +73,16 @@ type Config struct {
 	// retention-error rate become visible on the -status-addr listener.
 	// Strictly observation-only — it never changes what gets stored.
 	Health *health.Tracker
+	// Checkpoint, when non-nil, is called every CheckpointEvery committed
+	// visits (and once after the pool drains) to make the crawl durable
+	// mid-leg — typically store.Log.Checkpoint on a WAL-backed store. It
+	// replaces the old posture of durability only at end-of-leg Save:
+	// a killed crawl resumes from the last checkpoint instead of zero.
+	// Failures are counted in Summary.CheckpointErrors, never fatal.
+	Checkpoint func() error
+	// CheckpointEvery is the visit interval between Checkpoint calls;
+	// 0 means every 256 visits (when Checkpoint is set).
+	CheckpointEvery int
 }
 
 // instrumented reports whether the crawl measures per-stage time.
@@ -104,6 +115,10 @@ type Summary struct {
 	// visits are stored regardless; the count surfaces the telemetry gap
 	// instead of silently dropping it.
 	RetentionErrors int
+	// CheckpointErrors counts failed mid-leg durability checkpoints
+	// (Config.Checkpoint). The records stay committed in memory and in
+	// the WAL's buffer; the count surfaces the durability gap.
+	CheckpointErrors int
 	// StageBusy accumulates per-stage busy time across all workers
 	// (visit, detect, infer, netlog, commit) when the crawl is
 	// instrumented (Metrics, Tracer, or StageTimings set); nil
@@ -135,6 +150,9 @@ func (s *Summary) LogValue() slog.Value {
 	}
 	if s.RetentionErrors > 0 {
 		attrs = append(attrs, slog.Int("retention_errors", s.RetentionErrors))
+	}
+	if s.CheckpointErrors > 0 {
+		attrs = append(attrs, slog.Int("checkpoint_errors", s.CheckpointErrors))
 	}
 	return slog.GroupValue(attrs...)
 }
@@ -193,6 +211,21 @@ func RunWorld(cfg Config, world *websim.World, dst *store.Store) (*Summary, erro
 	// The health leg is nil-safe: every call below is a no-op when the
 	// operations plane is off, so the visit path never branches on it.
 	leg := cfg.Health.StartCrawl(string(cfg.Crawl), cfg.OS.String(), len(world.Targets), workers)
+	// Mid-leg durability: every CheckpointEvery-th committed visit
+	// (across all workers) flushes the WAL. The counter is shared; the
+	// flush itself serializes inside the store's log.
+	ckptEvery := int64(cfg.CheckpointEvery)
+	if ckptEvery <= 0 {
+		ckptEvery = defaultCheckpointEvery
+	}
+	var committed, ckptErrs atomic.Int64
+	visitCommitted := func() {
+		if cfg.Checkpoint != nil && committed.Add(1)%ckptEvery == 0 {
+			if err := cfg.Checkpoint(); err != nil {
+				ckptErrs.Add(1)
+			}
+		}
+	}
 	var wg sync.WaitGroup
 	jobs := make(chan websim.Target, workers*4)
 	tallies := make([]tally, workers)
@@ -316,6 +349,7 @@ func RunWorld(cfg Config, world *websim.World, dst *store.Store) (*Summary, erro
 					vt.Add("commit", stepStart, d, batch.Len())
 				}
 				batch.Reset()
+				visitCommitted()
 				outcome := "ok"
 				if !res.OK() {
 					outcome = string(res.Err)
@@ -338,9 +372,17 @@ func RunWorld(cfg Config, world *websim.World, dst *store.Store) (*Summary, erro
 	}
 	close(jobs)
 	wg.Wait()
+	// End-of-leg checkpoint: whatever the interval left unflushed
+	// becomes durable before the leg reports done.
+	if cfg.Checkpoint != nil {
+		if err := cfg.Checkpoint(); err != nil {
+			ckptErrs.Add(1)
+		}
+	}
 	for i := range tallies {
 		tallies[i].mergeInto(sum)
 	}
+	sum.CheckpointErrors = int(ckptErrs.Load())
 	sum.Elapsed = time.Since(start)
 	leg.Finish()
 	return sum, nil
@@ -454,6 +496,12 @@ const (
 	connectivityRetries = 20
 	connectivityBackoff = time.Millisecond
 )
+
+// defaultCheckpointEvery is the visit interval between durability
+// checkpoints when Config.Checkpoint is set without an explicit
+// interval: frequent enough that a killed crawl loses minutes, not
+// weeks, and cheap next to a browser visit's cost.
+const defaultCheckpointEvery = 256
 
 func awaitConnectivity(net pinger) bool {
 	for i := 0; i < connectivityRetries; i++ {

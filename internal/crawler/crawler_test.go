@@ -632,3 +632,58 @@ func TestStatusEndpointAgreesWithSummary(t *testing.T) {
 		t.Errorf("crawl_visits_total = %+v, want %d", s, sum.Attempted)
 	}
 }
+
+// TestCheckpointCadence pins the mid-leg durability contract: a
+// WAL-backed crawl checkpoints every CheckpointEvery visits plus once
+// at end of leg, and the WAL directory alone reproduces the crawl.
+func TestCheckpointCadence(t *testing.T) {
+	dir := t.TempDir()
+	dst, lg, _, err := store.Open(dir, store.LogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	cfg := smallCfg(groundtruth.CrawlTop2020, hostenv.Windows, 0.001)
+	cfg.CheckpointEvery = 10
+	cfg.Checkpoint = func() error {
+		calls++
+		return lg.Checkpoint()
+	}
+	sum, err := Run(cfg, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// attempted/10 interval checkpoints plus the end-of-leg one. The
+	// counter increments once per committed visit with no concurrent
+	// writers beyond the pool, so the count is exact.
+	if want := sum.Attempted/10 + 1; calls != want {
+		t.Errorf("checkpoint calls = %d, want %d (%d visits / 10 + final)", calls, want, sum.Attempted)
+	}
+	if sum.CheckpointErrors != 0 {
+		t.Errorf("checkpoint errors = %d", sum.CheckpointErrors)
+	}
+	if err := lg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back, lg2, rec, err := store.Open(dir, store.LogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lg2.Close()
+	if rec.SegmentRecords+rec.WALRecords == 0 || back.NumPages() != dst.NumPages() || back.NumLocals() != dst.NumLocals() {
+		t.Errorf("recovery (%d pages / %d locals) != crawl (%d / %d)",
+			back.NumPages(), back.NumLocals(), dst.NumPages(), dst.NumLocals())
+	}
+
+	// A failing checkpoint is counted, never fatal.
+	cfg2 := smallCfg(groundtruth.CrawlTop2020, hostenv.Linux, 0.001)
+	cfg2.CheckpointEvery = 25
+	cfg2.Checkpoint = func() error { return fmt.Errorf("disk full") }
+	sum2, err := Run(cfg2, store.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := sum2.Attempted/25 + 1; sum2.CheckpointErrors != want {
+		t.Errorf("checkpoint errors = %d, want %d", sum2.CheckpointErrors, want)
+	}
+}

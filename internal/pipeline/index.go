@@ -91,34 +91,55 @@ type DomainView struct {
 // SiteIndex is the materialized aggregate view over one store: site
 // activity and verdicts per (crawl, destination), the Table 1 and
 // Table 2 rows, the Figure 4/8 rollups, SOP usage, crawled-domain
-// sets, and per-domain views. It is built in one pass over the store
-// and cached until the store's generation counter moves, so a full
-// report run — which previously rescanned and reclassified the store
-// once per table and figure — touches the raw records exactly once.
+// sets, and per-domain views.
+//
+// The index is incremental: the first aggregate query builds it in one
+// pass over the store, and subsequent queries absorb only the records
+// committed since — the store's per-shard high-water delta — so a
+// single-visit ingest costs O(delta), not a full O(store) rebuild. A
+// BumpGeneration (an out-of-band mutation signal) still forces a full
+// rebuild. Everything handed to callers is copy-on-write: an apply
+// never mutates a map or a visible slice element a previous accessor
+// call may have returned.
 //
 // All returned aggregates are snapshots to treat as read-only; nested
 // maps and slices are shared with the index.
 type SiteIndex struct {
-	st   *store.Store
-	mu   sync.RWMutex
-	snap *indexSnapshot
+	st    *store.Store
+	mu    sync.RWMutex
+	state *indexState
 }
 
 // indices maps each store to its index, so every consumer — report
 // CLIs, the query engine, the HTTP service — shares one materialized
-// view per store. Entries live as long as the process; stores are
-// few and long-lived in every production shape.
+// view per store. Entries pin the store and the index until
+// ReleaseIndex; long-lived processes that open many stores must
+// release the ones they drop.
 var indices sync.Map // *store.Store → *SiteIndex
 
 // IndexFor returns the shared site index of a store, creating it on
-// first use. The index itself is cheap; building its snapshot is
-// deferred until the first aggregate query.
+// first use. The index itself is cheap; building its state is deferred
+// until the first aggregate query.
 func IndexFor(st *store.Store) *SiteIndex {
 	if v, ok := indices.Load(st); ok {
 		return v.(*SiteIndex)
 	}
 	v, _ := indices.LoadOrStore(st, &SiteIndex{st: st})
 	return v.(*SiteIndex)
+}
+
+// ReleaseIndex drops the shared index of a store, letting both be
+// collected. Serving layers and CLIs call it when they unmount a
+// store; a subsequent IndexFor simply builds a fresh index.
+func ReleaseIndex(st *store.Store) {
+	indices.Delete(st)
+}
+
+// NewIndex returns a private, unshared index over a store — the same
+// machinery as IndexFor without the process-wide registry. Benchmarks
+// and one-shot consumers use it to control index lifetime explicitly.
+func NewIndex(st *store.Store) *SiteIndex {
+	return &SiteIndex{st: st}
 }
 
 // siteKey addresses per-(crawl, dest) aggregates.
@@ -134,60 +155,135 @@ type rollupKey struct {
 	dest  string
 }
 
-// indexSnapshot is one immutable build of the aggregates.
-type indexSnapshot struct {
-	gen       uint64
-	sites     map[siteKey][]SiteActivity
-	rollups   map[rollupKey]Rollup
-	sop       map[siteKey]SOPUsage
-	crawlRows []CrawlRow
-	catRows   []CategoryRow
-	crawled   map[string]map[string]bool
-	domains   map[string]*DomainView
-	unknownOS map[string]int
+// groupKey addresses one site's activity in one (crawl, dest).
+type groupKey struct {
+	crawl  string
+	dest   string
+	domain string
 }
 
-// snapshot returns the current build, rebuilding if the store has
-// mutated since. Reads take the fast path (one atomic load plus an
-// RLock); at most one goroutine rebuilds at a time.
-func (ix *SiteIndex) snapshot() *indexSnapshot {
-	gen := ix.st.Generation()
+type crawlOSKey struct {
+	crawl string
+	os    string
+}
+
+type catOSKey struct {
+	cat string
+	os  string
+}
+
+// rollupAccum is the mutable accumulator behind one materialized
+// Rollup. Its maps are never handed out, so applies mutate them freely.
+type rollupAccum struct {
+	os       groundtruth.OSSet
+	total    int
+	byScheme map[string]int
+	ports    map[string]map[uint16]bool
+}
+
+// sopAccum is the mutable accumulator behind one SOPUsage.
+type sopAccum struct {
+	requests, exemptReqs, wss int
+	seen, exempt              map[string]bool
+}
+
+// indexState is the index's incremental state: mutable accumulators
+// that absorb deltas, plus the materialized views accessors read.
+// Accumulator internals are private to the index; materialized views
+// may be handed out and are therefore replaced — never mutated — when
+// their inputs change.
+type indexState struct {
+	mark store.Mark
+
+	// Accumulators.
+	groups    map[groupKey]*SiteActivity
+	perSite   map[siteKey]map[string]*SiteActivity
+	rollups   map[rollupKey]*rollupAccum
+	sop       map[siteKey]*sopAccum
+	crawlRows map[crawlOSKey]*CrawlRow
+	attempted map[catOSKey]int
+	succeeded map[catOSKey]int
+	catSites  map[string]map[string]bool
+
+	// Views (handed out by accessors, possibly kept past the lock).
+	sites      map[siteKey][]SiteActivity
+	rollupView map[rollupKey]Rollup
+	sopView    map[siteKey]SOPUsage
+	crawlTable []CrawlRow
+	catRows    []CategoryRow
+	crawled    map[string]map[string]bool
+	domains    map[string]*DomainView
+	unknownOS  map[string]int
+}
+
+func newIndexState() *indexState {
+	return &indexState{
+		groups:     map[groupKey]*SiteActivity{},
+		perSite:    map[siteKey]map[string]*SiteActivity{},
+		rollups:    map[rollupKey]*rollupAccum{},
+		sop:        map[siteKey]*sopAccum{},
+		crawlRows:  map[crawlOSKey]*CrawlRow{},
+		attempted:  map[catOSKey]int{},
+		succeeded:  map[catOSKey]int{},
+		catSites:   map[string]map[string]bool{},
+		sites:      map[siteKey][]SiteActivity{},
+		rollupView: map[rollupKey]Rollup{},
+		sopView:    map[siteKey]SOPUsage{},
+		crawled:    map[string]map[string]bool{},
+		domains:    map[string]*DomainView{},
+		unknownOS:  map[string]int{},
+	}
+}
+
+// refresh brings the index current: a no-op when the store's epochs
+// match the state's mark, a delta apply when only the generation moved,
+// a full rebuild when the force epoch moved (or on first use). At most
+// one goroutine rebuilds at a time; readers pay one RLock on the fast
+// path.
+func (ix *SiteIndex) refresh() {
+	gen, force := ix.st.Generation(), ix.st.ForceGeneration()
 	ix.mu.RLock()
-	snap := ix.snap
+	current := ix.state != nil && ix.state.mark.Generation() == gen && ix.state.mark.ForceGeneration() == force
 	ix.mu.RUnlock()
-	if snap != nil && snap.gen == gen {
-		return snap
+	if current {
+		return
 	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	// The generation is captured before scanning: a record committed
-	// after the capture implies a later bump, so the next reader
-	// rebuilds even if this build happened to observe the record.
-	gen = ix.st.Generation()
-	if ix.snap != nil && ix.snap.gen == gen {
-		return ix.snap
+	gen, force = ix.st.Generation(), ix.st.ForceGeneration()
+	if ix.state != nil && ix.state.mark.Generation() == gen && ix.state.mark.ForceGeneration() == force {
+		return
 	}
-	ix.snap = buildSnapshot(ix.st, gen)
-	return ix.snap
+	if ix.state == nil || ix.state.mark.ForceGeneration() != force {
+		ix.state = buildState(ix.st)
+		return
+	}
+	ix.state.applyDelta(ix.st)
 }
 
 // LocalSites returns a crawl's local-active sites for one destination
 // class ("localhost" or "lan"), classified and sorted by rank then
 // domain.
 func (ix *SiteIndex) LocalSites(crawl groundtruth.CrawlID, dest string) []SiteActivity {
-	sites := ix.snapshot().sites[siteKey{string(crawl), dest}]
+	ix.refresh()
+	ix.mu.RLock()
+	sites := ix.state.sites[siteKey{string(crawl), dest}]
 	// The outer slice is copied so callers may filter or re-sort;
 	// element internals stay shared.
 	out := make([]SiteActivity, len(sites))
 	copy(out, sites)
+	ix.mu.RUnlock()
 	return out
 }
 
 // SchemeRollup returns the Figure 4/8 breakdown for one (crawl, OS,
 // destination).
 func (ix *SiteIndex) SchemeRollup(crawl groundtruth.CrawlID, osName, dest string) Rollup {
-	snap := ix.snapshot()
-	if r, ok := snap.rollups[rollupKey{string(crawl), osName, dest}]; ok {
+	ix.refresh()
+	ix.mu.RLock()
+	r, ok := ix.state.rollupView[rollupKey{string(crawl), osName, dest}]
+	ix.mu.RUnlock()
+	if ok {
 		return r
 	}
 	set, _ := groundtruth.OSSetFromLabel(osName)
@@ -197,22 +293,32 @@ func (ix *SiteIndex) SchemeRollup(crawl groundtruth.CrawlID, osName, dest string
 // SOPUsage returns the §4.2 exemption summary for one (crawl,
 // destination).
 func (ix *SiteIndex) SOPUsage(crawl groundtruth.CrawlID, dest string) SOPUsage {
-	return ix.snapshot().sop[siteKey{string(crawl), dest}]
+	ix.refresh()
+	ix.mu.RLock()
+	u := ix.state.sopView[siteKey{string(crawl), dest}]
+	ix.mu.RUnlock()
+	return u
 }
 
 // CrawlTable returns the Table 1 rows in the paper's order.
 func (ix *SiteIndex) CrawlTable() []CrawlRow {
-	rows := ix.snapshot().crawlRows
+	ix.refresh()
+	ix.mu.RLock()
+	rows := ix.state.crawlTable
 	out := make([]CrawlRow, len(rows))
 	copy(out, rows)
+	ix.mu.RUnlock()
 	return out
 }
 
 // MaliciousSummary returns the Table 2 rows.
 func (ix *SiteIndex) MaliciousSummary() []CategoryRow {
-	rows := ix.snapshot().catRows
+	ix.refresh()
+	ix.mu.RLock()
+	rows := ix.state.catRows
 	out := make([]CategoryRow, len(rows))
 	copy(out, rows)
+	ix.mu.RUnlock()
 	return out
 }
 
@@ -220,7 +326,11 @@ func (ix *SiteIndex) MaliciousSummary() []CategoryRow {
 // crawl (the longitudinal denominators). The map is shared; treat it
 // as read-only.
 func (ix *SiteIndex) CrawledDomains(crawl groundtruth.CrawlID) map[string]bool {
-	if m, ok := ix.snapshot().crawled[string(crawl)]; ok {
+	ix.refresh()
+	ix.mu.RLock()
+	m, ok := ix.state.crawled[string(crawl)]
+	ix.mu.RUnlock()
+	if ok {
 		return m
 	}
 	return map[string]bool{}
@@ -229,10 +339,15 @@ func (ix *SiteIndex) CrawledDomains(crawl groundtruth.CrawlID) map[string]bool {
 // Site returns one domain's cross-crawl view; the zero view for
 // domains the store has never seen.
 func (ix *SiteIndex) Site(domain string) DomainView {
-	if v, ok := ix.snapshot().domains[domain]; ok {
-		return *v
+	ix.refresh()
+	ix.mu.RLock()
+	v, ok := ix.state.domains[domain]
+	var out DomainView
+	if ok {
+		out = *v
 	}
-	return DomainView{}
+	ix.mu.RUnlock()
+	return out
 }
 
 // UnknownOSLabels tallies store records whose OS label maps to no
@@ -240,25 +355,378 @@ func (ix *SiteIndex) Site(domain string) DomainView {
 // from every per-OS aggregate (it still counts toward OS-agnostic
 // totals). Keys are the offending labels.
 func (ix *SiteIndex) UnknownOSLabels() map[string]int {
-	return ix.snapshot().unknownOS
+	ix.refresh()
+	ix.mu.RLock()
+	m := ix.state.unknownOS
+	ix.mu.RUnlock()
+	return m
 }
 
-// buildSnapshot materializes every aggregate in one pass over locals
-// and one over pages.
-func buildSnapshot(st *store.Store, gen uint64) *indexSnapshot {
-	snap := &indexSnapshot{
-		gen:       gen,
-		sites:     map[siteKey][]SiteActivity{},
-		rollups:   map[rollupKey]Rollup{},
-		sop:       map[siteKey]SOPUsage{},
-		crawled:   map[string]map[string]bool{},
-		domains:   map[string]*DomainView{},
-		unknownOS: map[string]int{},
+// applyCtx tracks one apply's dirtiness and copy-on-write state. With
+// cow set (delta applies), anything a past accessor call may have
+// handed out is cloned before its first mutation this apply; a full
+// build (no readers can hold prior state) skips the cloning.
+type applyCtx struct {
+	s   *indexState
+	cow bool
+
+	dirtyGroups  map[groupKey]bool
+	dirtySites   map[siteKey]bool
+	dirtyRollups map[rollupKey]bool
+	// dirtyDomains marks destination classes needing a verdict
+	// recompute: bit 1 localhost, bit 2 lan.
+	dirtyDomains map[string]uint8
+
+	fdCloned      map[groupKey]bool // FirstDelay maps cloned this apply
+	crawledCloned map[string]bool   // crawled inner maps cloned this apply
+	unknownCloned bool
+
+	pagesTouched     bool
+	maliciousTouched bool
+}
+
+func newApplyCtx(s *indexState, cow bool) *applyCtx {
+	return &applyCtx{
+		s: s, cow: cow,
+		dirtyGroups:   map[groupKey]bool{},
+		dirtySites:    map[siteKey]bool{},
+		dirtyRollups:  map[rollupKey]bool{},
+		dirtyDomains:  map[string]uint8{},
+		fdCloned:      map[groupKey]bool{},
+		crawledCloned: map[string]bool{},
+	}
+}
+
+// noteUnknownOS counts an unmappable OS label, cloning the handed-out
+// tally map once per apply.
+func (c *applyCtx) noteUnknownOS(label string) {
+	if c.cow && !c.unknownCloned {
+		clone := make(map[string]int, len(c.s.unknownOS)+1)
+		for k, v := range c.s.unknownOS {
+			clone[k] = v
+		}
+		c.s.unknownOS = clone
+	}
+	c.unknownCloned = true
+	c.s.unknownOS[label]++
+}
+
+// domainView returns (creating if needed) the mutable view of a
+// domain. In-place slice appends on a view are safe: accessor copies
+// carry their own lengths and never read past them, and verdicts are
+// replaced by pointer, never mutated through one.
+func (c *applyCtx) domainView(domain string) *DomainView {
+	dv := c.s.domains[domain]
+	if dv == nil {
+		dv = &DomainView{}
+		c.s.domains[domain] = dv
+	}
+	return dv
+}
+
+// applyLocal absorbs one local request into the accumulators.
+func (c *applyCtx) applyLocal(rp *store.LocalRequest) {
+	s := c.s
+	r := *rp
+	bit, err := groundtruth.OSSetFromLabel(r.OS)
+	if err != nil {
+		c.noteUnknownOS(r.OS)
 	}
 
-	// Counting pass: size every per-domain slice exactly, so the build
-	// passes below never reallocate. The per-domain views cover every
-	// crawled domain, and unsized appends there dominated rebuild cost.
+	gk := groupKey{r.Crawl, r.Dest, r.Domain}
+	sk := siteKey{r.Crawl, r.Dest}
+	sa := s.groups[gk]
+	if sa == nil {
+		sa = &SiteActivity{
+			Domain:     r.Domain,
+			Rank:       r.Rank,
+			Category:   r.Category,
+			FirstDelay: map[groundtruth.OSSet]time.Duration{},
+		}
+		s.groups[gk] = sa
+		if s.perSite[sk] == nil {
+			s.perSite[sk] = map[string]*SiteActivity{}
+		}
+		s.perSite[sk][r.Domain] = sa
+		c.fdCloned[gk] = true // a fresh map was never handed out
+	}
+	sa.OS |= bit
+	if cur, ok := sa.FirstDelay[bit]; !ok || r.Delay < cur {
+		if c.cow && !c.fdCloned[gk] {
+			clone := make(map[groundtruth.OSSet]time.Duration, len(sa.FirstDelay)+1)
+			for k, v := range sa.FirstDelay {
+				clone[k] = v
+			}
+			sa.FirstDelay = clone
+			c.fdCloned[gk] = true
+		}
+		sa.FirstDelay[bit] = r.Delay
+	}
+	sa.Requests = append(sa.Requests, r)
+	c.dirtyGroups[gk] = true
+	c.dirtySites[sk] = true
+	if r.Crawl == string(groundtruth.CrawlMalicious) {
+		c.maliciousTouched = true
+	}
+
+	rk := rollupKey{r.Crawl, r.OS, r.Dest}
+	ru := s.rollups[rk]
+	if ru == nil {
+		ru = &rollupAccum{os: bit, byScheme: map[string]int{}, ports: map[string]map[uint16]bool{}}
+		s.rollups[rk] = ru
+	}
+	ru.total++
+	ru.byScheme[r.Scheme]++
+	if ru.ports[r.Scheme] == nil {
+		ru.ports[r.Scheme] = map[uint16]bool{}
+	}
+	ru.ports[r.Scheme][r.Port] = true
+	c.dirtyRollups[rk] = true
+
+	u := s.sop[sk]
+	if u == nil {
+		u = &sopAccum{seen: map[string]bool{}, exempt: map[string]bool{}}
+		s.sop[sk] = u
+	}
+	u.requests++
+	u.seen[r.Domain] = true
+	if r.SOPExempt {
+		u.exemptReqs++
+		u.exempt[r.Domain] = true
+	}
+	if r.Scheme == "wss" {
+		u.wss++
+	}
+
+	dv := c.domainView(r.Domain)
+	dv.Locals = append(dv.Locals, r)
+	if r.Dest == "lan" {
+		dv.LAN = append(dv.LAN, r)
+		c.dirtyDomains[r.Domain] |= 2
+	} else {
+		dv.Localhost = append(dv.Localhost, r)
+		c.dirtyDomains[r.Domain] |= 1
+	}
+}
+
+// applyPage absorbs one page record into the accumulators.
+func (c *applyCtx) applyPage(pp *store.PageRecord) {
+	s := c.s
+	p := *pp
+	if _, err := groundtruth.OSSetFromLabel(p.OS); err != nil {
+		c.noteUnknownOS(p.OS)
+	}
+	c.pagesTouched = true
+
+	ck := crawlOSKey{p.Crawl, p.OS}
+	row := s.crawlRows[ck]
+	if row == nil {
+		row = &CrawlRow{Crawl: groundtruth.CrawlID(p.Crawl), OS: p.OS}
+		s.crawlRows[ck] = row
+	}
+	if p.OK() {
+		row.Successful++
+	} else {
+		row.Failed++
+		switch p.Err {
+		case "ERR_NAME_NOT_RESOLVED":
+			row.NameNotResolved++
+		case "ERR_CONNECTION_REFUSED":
+			row.ConnRefused++
+		case "ERR_CONNECTION_RESET":
+			row.ConnReset++
+		case "ERR_CERT_COMMON_NAME_INVALID":
+			row.CertCNInvalid++
+		default:
+			row.Others++
+		}
+	}
+
+	m := s.crawled[p.Crawl]
+	if m == nil {
+		m = map[string]bool{}
+		s.crawled[p.Crawl] = m
+		c.crawledCloned[p.Crawl] = true
+	}
+	if !m[p.Domain] {
+		// First sighting of the domain in this crawl: the handed-out
+		// set must not grow under a reader iterating it lock-free.
+		if c.cow && !c.crawledCloned[p.Crawl] {
+			clone := make(map[string]bool, len(m)+1)
+			for k := range m {
+				clone[k] = true
+			}
+			m = clone
+			s.crawled[p.Crawl] = m
+			c.crawledCloned[p.Crawl] = true
+		}
+		m[p.Domain] = true
+	}
+
+	if p.Crawl == string(groundtruth.CrawlMalicious) {
+		s.attempted[catOSKey{p.Category, p.OS}]++
+		if p.OK() {
+			s.succeeded[catOSKey{p.Category, p.OS}]++
+		}
+		if s.catSites[p.Category] == nil {
+			s.catSites[p.Category] = map[string]bool{}
+		}
+		s.catSites[p.Category][p.Domain] = true
+		c.maliciousTouched = true
+	}
+
+	dv := c.domainView(p.Domain)
+	dv.Pages = append(dv.Pages, p)
+}
+
+// finalize re-derives every view whose accumulators this apply dirtied:
+// verdicts for touched groups and domains, sorted per-(crawl, dest)
+// site slices, rollup and SOP views, and — when pages or malicious
+// records moved — the Table 1 and Table 2 rows.
+func (c *applyCtx) finalize() {
+	s := c.s
+	for gk := range c.dirtyGroups {
+		sa := s.groups[gk]
+		sa.Verdict = Classify(gk.dest, sa.Requests, nil)
+	}
+	for sk := range c.dirtySites {
+		doms := s.perSite[sk]
+		sites := make([]SiteActivity, 0, len(doms))
+		for _, sa := range doms {
+			sites = append(sites, *sa)
+		}
+		sort.Slice(sites, func(i, j int) bool {
+			if sites[i].Rank != sites[j].Rank {
+				return sites[i].Rank < sites[j].Rank
+			}
+			return sites[i].Domain < sites[j].Domain
+		})
+		s.sites[sk] = sites
+
+		if u := s.sop[sk]; u != nil {
+			s.sopView[sk] = SOPUsage{
+				Requests:       u.requests,
+				ExemptRequests: u.exemptReqs,
+				Sites:          len(u.seen),
+				ExemptSites:    len(u.exempt),
+				WSSRequests:    u.wss,
+			}
+		}
+	}
+	for rk := range c.dirtyRollups {
+		ru := s.rollups[rk]
+		view := Rollup{
+			OS:       ru.os,
+			Total:    ru.total,
+			ByScheme: make(map[string]int, len(ru.byScheme)),
+			Ports:    make(map[string][]uint16, len(ru.ports)),
+		}
+		for scheme, n := range ru.byScheme {
+			view.ByScheme[scheme] = n
+		}
+		for scheme, ports := range ru.ports {
+			ps := make([]uint16, 0, len(ports))
+			for p := range ports {
+				ps = append(ps, p)
+			}
+			sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+			view.Ports[scheme] = ps
+		}
+		s.rollupView[rk] = view
+	}
+	for domain, bits := range c.dirtyDomains {
+		dv := s.domains[domain]
+		if bits&1 != 0 {
+			v := Classify("localhost", dv.Localhost, nil)
+			dv.LocalhostVerdict = &v
+		}
+		if bits&2 != 0 {
+			v := Classify("lan", dv.LAN, nil)
+			dv.LANVerdict = &v
+		}
+	}
+	if c.pagesTouched {
+		rows := make([]CrawlRow, 0, len(s.crawlRows))
+		for _, row := range s.crawlRows {
+			rows = append(rows, *row)
+		}
+		sort.Slice(rows, func(i, j int) bool {
+			a, b := &rows[i], &rows[j]
+			if a.Crawl != b.Crawl {
+				return a.Crawl < b.Crawl
+			}
+			if osOrder(a.OS) != osOrder(b.OS) {
+				return osOrder(a.OS) < osOrder(b.OS)
+			}
+			return a.OS < b.OS
+		})
+		s.crawlTable = rows
+	}
+	if c.maliciousTouched {
+		s.rebuildCatRows()
+	}
+}
+
+// rebuildCatRows re-derives the Table 2 rows from the malicious-crawl
+// accumulators and the (already re-sorted) malicious site slices.
+func (s *indexState) rebuildCatRows() {
+	byCat := map[string]*CategoryRow{}
+	for cat, sites := range s.catSites {
+		byCat[cat] = &CategoryRow{
+			Category:    cat,
+			Sites:       len(sites),
+			SuccessRate: map[string]float64{},
+			Localhost:   map[string]int{},
+			LAN:         map[string]int{},
+		}
+		for _, os := range []string{"Windows", "Linux", "Mac"} {
+			if n := s.attempted[catOSKey{cat, os}]; n > 0 {
+				byCat[cat].SuccessRate[os] = float64(s.succeeded[catOSKey{cat, os}]) / float64(n)
+			}
+		}
+	}
+	for _, dest := range []string{"localhost", "lan"} {
+		for _, sa := range s.sites[siteKey{string(groundtruth.CrawlMalicious), dest}] {
+			row := byCat[sa.Category]
+			if row == nil {
+				continue
+			}
+			for osName, bit := range map[string]groundtruth.OSSet{
+				"Windows": groundtruth.OSWindows, "Linux": groundtruth.OSLinux, "Mac": groundtruth.OSMac,
+			} {
+				if sa.OS.Has(bit) {
+					if dest == "lan" {
+						row.LAN[osName]++
+					} else {
+						row.Localhost[osName]++
+					}
+				}
+			}
+		}
+	}
+	s.catRows = nil
+	for _, cat := range []string{"malware", "abuse", "phishing"} {
+		if row := byCat[cat]; row != nil {
+			s.catRows = append(s.catRows, *row)
+		}
+	}
+}
+
+// applyDelta absorbs the records committed since the state's mark. The
+// caller holds the index write lock.
+func (s *indexState) applyDelta(st *store.Store) {
+	c := newApplyCtx(s, true)
+	s.mark = st.DeltaSince(s.mark, c.applyPage, c.applyLocal, nil)
+	c.finalize()
+}
+
+// buildState materializes the full index in one delta from the zero
+// mark, plus a counting pre-pass that sizes every per-domain slice
+// exactly so the build never reallocates (unsized appends there
+// dominated rebuild cost).
+func buildState(st *store.Store) *indexState {
+	s := newIndexState()
+
 	type domainCounts struct{ pages, locals, localhost, lan int }
 	counts := map[string]*domainCounts{}
 	countFor := func(domain string) *domainCounts {
@@ -281,7 +749,7 @@ func buildSnapshot(st *store.Store, gen uint64) *indexSnapshot {
 	st.ForEachPage(func(p *store.PageRecord) {
 		countFor(p.Domain).pages++
 	})
-	snap.domains = make(map[string]*DomainView, len(counts))
+	s.domains = make(map[string]*DomainView, len(counts))
 	for domain, c := range counts {
 		dv := &DomainView{}
 		if c.pages > 0 {
@@ -296,255 +764,13 @@ func buildSnapshot(st *store.Store, gen uint64) *indexSnapshot {
 		if c.lan > 0 {
 			dv.LAN = make([]store.LocalRequest, 0, c.lan)
 		}
-		snap.domains[domain] = dv
+		s.domains[domain] = dv
 	}
 
-	// Locals pass: per-(crawl, dest) site grouping, rollups, SOP usage,
-	// and per-domain views, all in one shard-order scan.
-	type groupKey struct {
-		crawl  string
-		dest   string
-		domain string
-	}
-	groups := map[groupKey]*SiteActivity{}
-	type sopSets struct{ seen, exempt map[string]bool }
-	sopSites := map[siteKey]*sopSets{}
-	portSets := map[rollupKey]map[string]map[uint16]bool{}
-	st.ForEachLocal(func(rp *store.LocalRequest) {
-		r := *rp
-		bit, err := groundtruth.OSSetFromLabel(r.OS)
-		if err != nil {
-			snap.unknownOS[r.OS]++
-		}
-
-		gk := groupKey{r.Crawl, r.Dest, r.Domain}
-		sa := groups[gk]
-		if sa == nil {
-			sa = &SiteActivity{
-				Domain:     r.Domain,
-				Rank:       r.Rank,
-				Category:   r.Category,
-				FirstDelay: map[groundtruth.OSSet]time.Duration{},
-			}
-			groups[gk] = sa
-		}
-		sa.OS |= bit
-		if cur, ok := sa.FirstDelay[bit]; !ok || r.Delay < cur {
-			sa.FirstDelay[bit] = r.Delay
-		}
-		sa.Requests = append(sa.Requests, r)
-
-		rk := rollupKey{r.Crawl, r.OS, r.Dest}
-		ru, ok := snap.rollups[rk]
-		if !ok {
-			ru = Rollup{OS: bit, ByScheme: map[string]int{}, Ports: map[string][]uint16{}}
-			portSets[rk] = map[string]map[uint16]bool{}
-		}
-		ru.Total++
-		ru.ByScheme[r.Scheme]++
-		if portSets[rk][r.Scheme] == nil {
-			portSets[rk][r.Scheme] = map[uint16]bool{}
-		}
-		portSets[rk][r.Scheme][r.Port] = true
-		snap.rollups[rk] = ru
-
-		sk := siteKey{r.Crawl, r.Dest}
-		u := snap.sop[sk]
-		ss := sopSites[sk]
-		if ss == nil {
-			ss = &sopSets{seen: map[string]bool{}, exempt: map[string]bool{}}
-			sopSites[sk] = ss
-		}
-		u.Requests++
-		ss.seen[r.Domain] = true
-		if r.SOPExempt {
-			u.ExemptRequests++
-			ss.exempt[r.Domain] = true
-		}
-		if r.Scheme == "wss" {
-			u.WSSRequests++
-		}
-		snap.sop[sk] = u
-
-		// The nil guard covers records committed between the counting
-		// and build passes (their slices just grow normally).
-		dv := snap.domains[r.Domain]
-		if dv == nil {
-			dv = &DomainView{}
-			snap.domains[r.Domain] = dv
-		}
-		dv.Locals = append(dv.Locals, r)
-		if r.Dest == "lan" {
-			dv.LAN = append(dv.LAN, r)
-		} else {
-			dv.Localhost = append(dv.Localhost, r)
-		}
-	})
-	for rk, schemes := range portSets {
-		ru := snap.rollups[rk]
-		for scheme, ports := range schemes {
-			for p := range ports {
-				ru.Ports[scheme] = append(ru.Ports[scheme], p)
-			}
-			sort.Slice(ru.Ports[scheme], func(i, j int) bool { return ru.Ports[scheme][i] < ru.Ports[scheme][j] })
-		}
-	}
-	for sk, ss := range sopSites {
-		u := snap.sop[sk]
-		u.Sites = len(ss.seen)
-		u.ExemptSites = len(ss.exempt)
-		snap.sop[sk] = u
-	}
-
-	// Classify each site group (no corroboration: the paper's tables
-	// classify by network signature alone) and sort per (crawl, dest).
-	for gk, sa := range groups {
-		sa.Verdict = Classify(gk.dest, sa.Requests, nil)
-		sk := siteKey{gk.crawl, gk.dest}
-		snap.sites[sk] = append(snap.sites[sk], *sa)
-	}
-	for sk, sites := range snap.sites {
-		sort.Slice(sites, func(i, j int) bool {
-			if sites[i].Rank != sites[j].Rank {
-				return sites[i].Rank < sites[j].Rank
-			}
-			return sites[i].Domain < sites[j].Domain
-		})
-		snap.sites[sk] = sites
-	}
-	for _, dv := range snap.domains {
-		if len(dv.Localhost) > 0 {
-			v := Classify("localhost", dv.Localhost, nil)
-			dv.LocalhostVerdict = &v
-		}
-		if len(dv.LAN) > 0 {
-			v := Classify("lan", dv.LAN, nil)
-			dv.LANVerdict = &v
-		}
-	}
-
-	// Pages pass: Table 1 rows, the Table 2 load/success tallies,
-	// crawled-domain sets, and per-domain views.
-	type crawlOSKey struct {
-		crawl string
-		os    string
-	}
-	crawlRows := map[crawlOSKey]*CrawlRow{}
-	type catOSKey struct {
-		cat string
-		os  string
-	}
-	attempted := map[catOSKey]int{}
-	succeeded := map[catOSKey]int{}
-	catSites := map[string]map[string]bool{}
-	st.ForEachPage(func(pp *store.PageRecord) {
-		p := *pp
-		if _, err := groundtruth.OSSetFromLabel(p.OS); err != nil {
-			snap.unknownOS[p.OS]++
-		}
-		ck := crawlOSKey{p.Crawl, p.OS}
-		row := crawlRows[ck]
-		if row == nil {
-			row = &CrawlRow{Crawl: groundtruth.CrawlID(p.Crawl), OS: p.OS}
-			crawlRows[ck] = row
-		}
-		if p.OK() {
-			row.Successful++
-		} else {
-			row.Failed++
-			switch p.Err {
-			case "ERR_NAME_NOT_RESOLVED":
-				row.NameNotResolved++
-			case "ERR_CONNECTION_REFUSED":
-				row.ConnRefused++
-			case "ERR_CONNECTION_RESET":
-				row.ConnReset++
-			case "ERR_CERT_COMMON_NAME_INVALID":
-				row.CertCNInvalid++
-			default:
-				row.Others++
-			}
-		}
-
-		if snap.crawled[p.Crawl] == nil {
-			snap.crawled[p.Crawl] = map[string]bool{}
-		}
-		snap.crawled[p.Crawl][p.Domain] = true
-
-		if p.Crawl == string(groundtruth.CrawlMalicious) {
-			attempted[catOSKey{p.Category, p.OS}]++
-			if p.OK() {
-				succeeded[catOSKey{p.Category, p.OS}]++
-			}
-			if catSites[p.Category] == nil {
-				catSites[p.Category] = map[string]bool{}
-			}
-			catSites[p.Category][p.Domain] = true
-		}
-
-		dv := snap.domains[p.Domain]
-		if dv == nil {
-			dv = &DomainView{}
-			snap.domains[p.Domain] = dv
-		}
-		dv.Pages = append(dv.Pages, p)
-	})
-	snap.crawlRows = make([]CrawlRow, 0, len(crawlRows))
-	for _, row := range crawlRows {
-		snap.crawlRows = append(snap.crawlRows, *row)
-	}
-	sort.Slice(snap.crawlRows, func(i, j int) bool {
-		a, b := &snap.crawlRows[i], &snap.crawlRows[j]
-		if a.Crawl != b.Crawl {
-			return a.Crawl < b.Crawl
-		}
-		if osOrder(a.OS) != osOrder(b.OS) {
-			return osOrder(a.OS) < osOrder(b.OS)
-		}
-		return a.OS < b.OS
-	})
-
-	// Table 2 rows, in the paper's category order.
-	byCat := map[string]*CategoryRow{}
-	for cat, sites := range catSites {
-		byCat[cat] = &CategoryRow{
-			Category:    cat,
-			Sites:       len(sites),
-			SuccessRate: map[string]float64{},
-			Localhost:   map[string]int{},
-			LAN:         map[string]int{},
-		}
-		for _, os := range []string{"Windows", "Linux", "Mac"} {
-			if n := attempted[catOSKey{cat, os}]; n > 0 {
-				byCat[cat].SuccessRate[os] = float64(succeeded[catOSKey{cat, os}]) / float64(n)
-			}
-		}
-	}
-	for _, dest := range []string{"localhost", "lan"} {
-		for _, s := range snap.sites[siteKey{string(groundtruth.CrawlMalicious), dest}] {
-			row := byCat[s.Category]
-			if row == nil {
-				continue
-			}
-			for osName, bit := range map[string]groundtruth.OSSet{
-				"Windows": groundtruth.OSWindows, "Linux": groundtruth.OSLinux, "Mac": groundtruth.OSMac,
-			} {
-				if s.OS.Has(bit) {
-					if dest == "lan" {
-						row.LAN[osName]++
-					} else {
-						row.Localhost[osName]++
-					}
-				}
-			}
-		}
-	}
-	for _, cat := range []string{"malware", "abuse", "phishing"} {
-		if row := byCat[cat]; row != nil {
-			snap.catRows = append(snap.catRows, *row)
-		}
-	}
-	return snap
+	c := newApplyCtx(s, false)
+	s.mark = st.DeltaSince(store.Mark{}, c.applyPage, c.applyLocal, nil)
+	c.finalize()
+	return s
 }
 
 func osOrder(os string) int {

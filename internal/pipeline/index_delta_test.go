@@ -1,0 +1,266 @@
+package pipeline
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+	"github.com/knockandtalk/knockandtalk/internal/store"
+)
+
+// deltaPage and deltaLocal build small raw records so the parity tests
+// can cover shapes Process never emits (unknown OS labels, odd crawls).
+func deltaPage(crawl, os, domain string, rank int, errStr string) store.PageRecord {
+	return store.PageRecord{
+		Crawl: crawl, OS: os, Domain: domain, Rank: rank,
+		Category: "malware", URL: "https://" + domain + "/", Err: errStr,
+	}
+}
+
+func deltaLocal(crawl, os, domain, dest string, port uint16, delay time.Duration) store.LocalRequest {
+	host := "localhost"
+	if dest == "lan" {
+		host = "192.168.0.7"
+	}
+	return store.LocalRequest{
+		Crawl: crawl, OS: os, Domain: domain, Rank: 7, Category: "malware",
+		URL:    fmt.Sprintf("wss://%s:%d/", host, port),
+		Scheme: "wss", Host: host, Port: port, Path: "/", Dest: dest,
+		Delay: delay, SOPExempt: dest == "localhost",
+	}
+}
+
+// assertIndexMatchesRebuild compares every accessor of the incremental
+// index against a from-scratch rebuild over the same store.
+func assertIndexMatchesRebuild(t *testing.T, inc *SiteIndex, st *store.Store, domains []string) {
+	t.Helper()
+	fresh := NewIndex(st)
+	crawls := []groundtruth.CrawlID{groundtruth.CrawlTop2020, groundtruth.CrawlMalicious, "login-2021"}
+	oses := []string{"Windows", "Linux", "Mac", "BeOS"}
+	dests := []string{"localhost", "lan"}
+	for _, crawl := range crawls {
+		for _, dest := range dests {
+			if got, want := inc.LocalSites(crawl, dest), fresh.LocalSites(crawl, dest); !reflect.DeepEqual(got, want) {
+				t.Fatalf("LocalSites(%s, %s) diverged from rebuild:\n got %+v\nwant %+v", crawl, dest, got, want)
+			}
+			if got, want := inc.SOPUsage(crawl, dest), fresh.SOPUsage(crawl, dest); got != want {
+				t.Fatalf("SOPUsage(%s, %s) = %+v, rebuild %+v", crawl, dest, got, want)
+			}
+			for _, os := range oses {
+				if got, want := inc.SchemeRollup(crawl, os, dest), fresh.SchemeRollup(crawl, os, dest); !reflect.DeepEqual(got, want) {
+					t.Fatalf("SchemeRollup(%s, %s, %s) diverged:\n got %+v\nwant %+v", crawl, os, dest, got, want)
+				}
+			}
+		}
+		if got, want := inc.CrawledDomains(crawl), fresh.CrawledDomains(crawl); !reflect.DeepEqual(got, want) {
+			t.Fatalf("CrawledDomains(%s): %d domains vs rebuild %d", crawl, len(got), len(want))
+		}
+	}
+	if got, want := inc.CrawlTable(), fresh.CrawlTable(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("CrawlTable diverged:\n got %+v\nwant %+v", got, want)
+	}
+	if got, want := inc.MaliciousSummary(), fresh.MaliciousSummary(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("MaliciousSummary diverged:\n got %+v\nwant %+v", got, want)
+	}
+	if got, want := inc.UnknownOSLabels(), fresh.UnknownOSLabels(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("UnknownOSLabels = %v, rebuild %v", got, want)
+	}
+	for _, d := range domains {
+		if got, want := inc.Site(d), fresh.Site(d); !reflect.DeepEqual(got, want) {
+			t.Fatalf("Site(%s) diverged:\n got %+v\nwant %+v", d, got, want)
+		}
+	}
+}
+
+// TestIndexDeltaMatchesRebuild commits a varied sequence one step at a
+// time and requires the incrementally maintained index to equal a
+// from-scratch rebuild at every step — including repeat visits to the
+// same site (delay minima, OS set growth), malicious-crawl rows,
+// unknown OS labels, and mixed-domain bulk commits.
+func TestIndexDeltaMatchesRebuild(t *testing.T) {
+	st := store.New()
+	ix := NewIndex(st)
+	domains := []string{"ebay.com", "wish.com", "evil.example", "printer.example", "unseen.example"}
+
+	steps := []func(){
+		func() {
+			var b store.Batch
+			b.AddPage(deltaPage("top100k-2020", "Windows", "ebay.com", 42, ""))
+			b.AddLocal(deltaLocal("top100k-2020", "Windows", "ebay.com", "localhost", 5939, 10*time.Second))
+			b.AddLocal(deltaLocal("top100k-2020", "Windows", "ebay.com", "localhost", 5931, 11*time.Second))
+			st.AddBatch(&b)
+		},
+		// The same site again on another OS with a smaller delay: the
+		// group's OS set and FirstDelay minimum must both move.
+		func() {
+			var b store.Batch
+			b.AddPage(deltaPage("top100k-2020", "Linux", "ebay.com", 42, ""))
+			b.AddLocal(deltaLocal("top100k-2020", "Linux", "ebay.com", "localhost", 5939, 2*time.Second))
+			st.AddBatch(&b)
+		},
+		// A LAN-active site and a failed page load.
+		func() {
+			var b store.Batch
+			b.AddPage(deltaPage("top100k-2020", "Windows", "printer.example", 900, ""))
+			b.AddLocal(deltaLocal("top100k-2020", "Windows", "printer.example", "lan", 80, 3*time.Second))
+			st.AddBatch(&b)
+			st.AddPage(deltaPage("top100k-2020", "Windows", "wish.com", 53, "ERR_CONNECTION_REFUSED"))
+		},
+		// Malicious crawl: Table 2 rows come alive.
+		func() {
+			var b store.Batch
+			b.AddPage(deltaPage("malicious", "Windows", "evil.example", 0, ""))
+			b.AddLocal(deltaLocal("malicious", "Windows", "evil.example", "localhost", 5900, time.Second))
+			st.AddBatch(&b)
+		},
+		// An unknown OS label and a mixed-domain bulk commit.
+		func() {
+			st.AddLocal(deltaLocal("top100k-2020", "BeOS", "wish.com", "localhost", 9100, 4*time.Second))
+			st.AddPages([]store.PageRecord{
+				deltaPage("login-2021", "Mac", "ebay.com", 42, ""),
+				deltaPage("login-2021", "Mac", "wish.com", 53, ""),
+			})
+		},
+		// Another malicious visit on a second OS of the same site.
+		func() {
+			var b store.Batch
+			b.AddPage(deltaPage("malicious", "Linux", "evil.example", 0, "ERR_NAME_NOT_RESOLVED"))
+			b.AddLocal(deltaLocal("malicious", "Linux", "evil.example", "lan", 8080, 6*time.Second))
+			st.AddBatch(&b)
+		},
+	}
+	for i, step := range steps {
+		step()
+		assertIndexMatchesRebuild(t, ix, st, domains)
+		if t.Failed() {
+			t.Fatalf("diverged after step %d", i)
+		}
+	}
+}
+
+// TestIndexDeltaCopyOnWrite pins the aliasing contract: aggregates
+// handed out before a delta apply must not change underneath the
+// caller.
+func TestIndexDeltaCopyOnWrite(t *testing.T) {
+	st := store.New()
+	ix := NewIndex(st)
+	var b store.Batch
+	b.AddPage(deltaPage("top100k-2020", "Windows", "ebay.com", 42, ""))
+	b.AddLocal(deltaLocal("top100k-2020", "Windows", "ebay.com", "localhost", 5939, 10*time.Second))
+	st.AddBatch(&b)
+
+	before := ix.LocalSites("top100k-2020", "localhost")[0]
+	crawledBefore := ix.CrawledDomains("top100k-2020")
+	nBefore := len(crawledBefore)
+
+	var b2 store.Batch
+	b2.AddPage(deltaPage("top100k-2020", "Linux", "newsite.example", 9, ""))
+	b2.AddLocal(deltaLocal("top100k-2020", "Linux", "ebay.com", "localhost", 5939, time.Second))
+	st.AddBatch(&b2)
+	_ = ix.LocalSites("top100k-2020", "localhost") // force the delta apply
+
+	if len(before.Requests) != 1 {
+		t.Errorf("previously returned SiteActivity grew to %d requests", len(before.Requests))
+	}
+	if d := before.FirstDelay[groundtruth.OSWindows]; d != 10*time.Second {
+		t.Errorf("previously returned FirstDelay mutated to %v", d)
+	}
+	if before.OS.Has(groundtruth.OSLinux) {
+		t.Error("previously returned OS set gained Linux")
+	}
+	if len(crawledBefore) != nBefore {
+		t.Errorf("previously returned CrawledDomains grew from %d to %d", nBefore, len(crawledBefore))
+	}
+	after := ix.LocalSites("top100k-2020", "localhost")[0]
+	if len(after.Requests) != 2 || !after.OS.Has(groundtruth.OSLinux) {
+		t.Errorf("fresh read missed the delta: %+v", after)
+	}
+}
+
+// TestIndexForceRebuild pins BumpGeneration's contract under the
+// incremental index: it still forces a full rebuild (the force epoch),
+// and the rebuilt state matches the store.
+func TestIndexForceRebuild(t *testing.T) {
+	st := store.New()
+	ix := NewIndex(st)
+	st.AddPage(deltaPage("top100k-2020", "Windows", "ebay.com", 42, ""))
+	_ = ix.CrawlTable()
+	st.BumpGeneration()
+	assertIndexMatchesRebuild(t, ix, st, []string{"ebay.com"})
+}
+
+func TestIndexForRelease(t *testing.T) {
+	st := store.New()
+	a := IndexFor(st)
+	if IndexFor(st) != a {
+		t.Fatal("IndexFor did not return the shared index")
+	}
+	ReleaseIndex(st)
+	if IndexFor(st) == a {
+		t.Fatal("ReleaseIndex left the old index registered")
+	}
+	ReleaseIndex(st)
+}
+
+// TestIndexDeltaHammer interleaves WAL-journaled commits, incremental
+// index applies, and concurrent readers, then checks at several
+// quiesce points that the incremental state equals a from-scratch
+// rebuild. Run under -race this is the concurrency acceptance test for
+// the incremental engine.
+func TestIndexDeltaHammer(t *testing.T) {
+	dir := t.TempDir()
+	st, lg, _, err := store.Open(dir, store.LogOptions{CompactBytes: 8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lg.Close()
+	ix := NewIndex(st)
+
+	for round := 0; round < 3; round++ {
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				i := 0
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					i++
+					domain := fmt.Sprintf("r%d-w%d-%d.example", round, w, i)
+					var b store.Batch
+					b.AddPage(deltaPage("top100k-2020", "Windows", domain, 1000+i, ""))
+					b.AddLocal(deltaLocal("top100k-2020", "Windows", domain, "localhost", 5939, time.Duration(i)*time.Millisecond))
+					st.AddBatch(&b)
+				}
+			}(w)
+		}
+		for r := 0; r < 4; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 100; i++ {
+					ix.LocalSites("top100k-2020", "localhost")
+					ix.CrawlTable()
+					ix.SOPUsage("top100k-2020", "localhost")
+					ix.UnknownOSLabels()
+				}
+			}()
+		}
+		time.Sleep(30 * time.Millisecond)
+		close(stop)
+		wg.Wait()
+		// Quiesce point: writers drained; incremental must equal rebuild.
+		assertIndexMatchesRebuild(t, ix, st, []string{"r0-w0-1.example"})
+	}
+	if err := lg.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+}

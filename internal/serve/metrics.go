@@ -16,6 +16,7 @@ const (
 	MetricInflight         = "serve_inflight"         // gauge, label: plane
 	MetricCacheHits        = "serve_cache_hits_total" // mirrored from the cache
 	MetricCacheMisses      = "serve_cache_misses_total"
+	MetricCacheRevalidated = "serve_cache_revalidated_total" // hits fast-forwarded across generations
 	MetricIngestUploads    = "serve_ingest_uploads_total"
 	MetricIngestFailed     = "serve_ingest_failed_total"
 	MetricIngestEvents     = "serve_ingest_events_total"
@@ -35,6 +36,7 @@ type metrics struct {
 	reg   *telemetry.Registry
 
 	hits, misses    *telemetry.Counter
+	reval           *telemetry.Counter
 	uploads, failed *telemetry.Counter
 	events, found   *telemetry.Counter
 	ingestNS        *telemetry.Counter
@@ -53,6 +55,7 @@ func newMetrics(reg *telemetry.Registry) *metrics {
 		reg:             reg,
 		hits:            reg.Counter(MetricCacheHits),
 		misses:          reg.Counter(MetricCacheMisses),
+		reval:           reg.Counter(MetricCacheRevalidated),
 		uploads:         reg.Counter(MetricIngestUploads),
 		failed:          reg.Counter(MetricIngestFailed),
 		events:          reg.Counter(MetricIngestEvents),
@@ -86,6 +89,14 @@ func (m *metrics) rejected(plane string) {
 
 func (m *metrics) cacheHit()  { m.hits.Inc() }
 func (m *metrics) cacheMiss() { m.misses.Inc() }
+
+// revalidated syncs the registry's revalidation counter to the cache's
+// cumulative total (the cache counts internally; the registry mirrors).
+func (m *metrics) revalidated(total uint64) {
+	if cur := m.reval.Value(); total > cur {
+		m.reval.Add(total - cur)
+	}
+}
 
 func (m *metrics) ingested(events, detections int, elapsed time.Duration, classes map[string]int) {
 	m.uploads.Inc()
@@ -122,11 +133,15 @@ type StageMetrics struct {
 	BusySeconds float64 `json:"busy_seconds"`
 }
 
-// CacheMetrics reports query-cache effectiveness.
+// CacheMetrics reports query-cache effectiveness. Revalidated counts
+// hits served by fast-forwarding an entry across store generations its
+// scope did not intersect — responses the wipe-on-bump scheme would
+// have recomputed.
 type CacheMetrics struct {
-	Hits    uint64  `json:"hits"`
-	Misses  uint64  `json:"misses"`
-	HitRate float64 `json:"hit_rate"`
+	Hits        uint64  `json:"hits"`
+	Misses      uint64  `json:"misses"`
+	HitRate     float64 `json:"hit_rate"`
+	Revalidated uint64  `json:"revalidated,omitempty"`
 }
 
 // IngestMetrics reports ingest-plane throughput.
@@ -145,12 +160,12 @@ type IngestMetrics struct {
 // cache itself so the rate reflects every lookup. Requests and
 // Rejected are nil (omitted from JSON) until the first request or
 // rejection — an idle server's snapshot does not fabricate empty maps.
-func (m *metrics) snapshot(cacheHits, cacheMisses uint64) MetricsSnapshot {
+func (m *metrics) snapshot(cacheHits, cacheMisses, cacheRevalidated uint64) MetricsSnapshot {
 	snap := MetricsSnapshot{
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		Requests:      m.reg.CounterLabels(MetricRequests, "path"),
 		Rejected:      m.reg.CounterLabels(MetricRejected, "plane"),
-		Cache:         CacheMetrics{Hits: cacheHits, Misses: cacheMisses},
+		Cache:         CacheMetrics{Hits: cacheHits, Misses: cacheMisses, Revalidated: cacheRevalidated},
 	}
 	if total := cacheHits + cacheMisses; total > 0 {
 		snap.Cache.HitRate = float64(cacheHits) / float64(total)

@@ -22,7 +22,7 @@ import (
 // until the first request or rejection mints a counter.
 func TestEmptyServerSnapshotOmitsRequestMaps(t *testing.T) {
 	srv := New(queryengine.New(serveStore(t)), Options{})
-	raw, err := json.Marshal(srv.metrics.snapshot(srv.cache.Stats()))
+	raw, err := json.Marshal(snapshotNow(srv))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func TestEmptyServerSnapshotOmitsRequestMaps(t *testing.T) {
 	ts := newHTTPTestServer(t, srv)
 	var v any
 	getJSON(t, ts+"/v1/summary", &v)
-	snap := srv.metrics.snapshot(srv.cache.Stats())
+	snap := snapshotNow(srv)
 	if snap.Requests["/v1/summary"] != 1 || len(snap.Requests) != 1 {
 		t.Fatalf("requests after one call: %+v", snap.Requests)
 	}
@@ -188,7 +188,7 @@ func TestMetricsSnapshotUnderLoad(t *testing.T) {
 		for j := 0; j < 20; j++ {
 			var m MetricsSnapshot
 			getJSON(t, ts+"/metrics", &m)
-			_ = srv.metrics.snapshot(srv.cache.Stats())
+			_ = snapshotNow(srv)
 			var buf strings.Builder
 			if err := reg.WriteJSON(&buf); err != nil {
 				t.Error(err)
@@ -198,7 +198,7 @@ func TestMetricsSnapshotUnderLoad(t *testing.T) {
 	}()
 	wg.Wait()
 
-	snap := srv.metrics.snapshot(srv.cache.Stats())
+	snap := snapshotNow(srv)
 	if snap.Ingest.Uploads != 16 || snap.Ingest.Detections != 16*14 {
 		t.Fatalf("ingest totals after load: %+v", snap.Ingest)
 	}

@@ -3,25 +3,40 @@ package queryengine
 import (
 	"container/list"
 	"sync"
+
+	"github.com/knockandtalk/knockandtalk/internal/store"
 )
 
-// Cache is a bounded LRU for rendered query responses, keyed on the
-// canonical query key prefixed with the engine generation (the serving
-// layer composes keys as "g<generation>|<filter.Key()>"). Entries
-// written under an old generation are never read again — their keys no
-// longer match — and age out of the LRU naturally, so invalidation
-// needs no coordination with the ingest plane.
+// Scope declares the slice of the corpus a cached response depends on:
+// the crawl and domain its filter pinned, "" for unfiltered. The cache
+// compares it against the store's commit-scope journal to decide
+// whether a generation bump actually touched the entry.
+type Scope struct {
+	Crawl  string
+	Domain string
+}
+
+// Cache is a bounded LRU for rendered query responses keyed on the
+// canonical query key. Entries are tagged with the store generation
+// they were rendered at and the scope they depend on; a Get under a
+// newer generation revalidates the entry surgically — it stays a hit
+// unless some commit since its generation intersects its scope (or the
+// journal can no longer say). Ingest of one domain therefore evicts
+// that domain's entries and broad listings, not the whole cache.
 type Cache struct {
-	mu           sync.Mutex
-	max          int
-	ll           *list.List // front = most recently used
-	items        map[string]*list.Element
-	hits, misses uint64
+	mu            sync.Mutex
+	max           int
+	ll            *list.List // front = most recently used
+	items         map[string]*list.Element
+	hits, misses  uint64
+	revalidations uint64
 }
 
 type cacheEntry struct {
-	key string
-	val []byte
+	key   string
+	val   []byte
+	gen   uint64
+	scope Scope
 }
 
 // NewCache returns a cache bounded to max entries; max <= 0 disables
@@ -30,9 +45,13 @@ func NewCache(max int) *Cache {
 	return &Cache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
 }
 
-// Get returns the cached response for key and whether it was present.
-// The returned slice is shared — callers must not modify it.
-func (c *Cache) Get(key string) ([]byte, bool) {
+// Get returns the cached response for key and whether it is still
+// valid at generation gen. An entry rendered at an older generation is
+// revalidated through changed — the store's commit-scope journal
+// (ScopesSince) — and survives when no commit since intersects its
+// scope; otherwise it is evicted and the call misses. The returned
+// slice is shared — callers must not modify it.
+func (c *Cache) Get(key string, gen uint64, changed func(since uint64) ([]store.CommitScope, bool)) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
@@ -40,25 +59,56 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 		c.misses++
 		return nil, false
 	}
+	ent := el.Value.(*cacheEntry)
+	if ent.gen != gen {
+		if !c.revalidate(ent, gen, changed) {
+			c.ll.Remove(el)
+			delete(c.items, key)
+			c.misses++
+			return nil, false
+		}
+		c.revalidations++
+	}
 	c.hits++
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).val, true
+	return ent.val, true
 }
 
-// Put stores a response, evicting the least recently used entry when
-// the bound is exceeded.
-func (c *Cache) Put(key string, val []byte) {
+// revalidate decides whether an entry rendered at an older generation
+// still describes the store, and fast-forwards its generation if so.
+func (c *Cache) revalidate(ent *cacheEntry, gen uint64, changed func(since uint64) ([]store.CommitScope, bool)) bool {
+	if changed == nil {
+		return false
+	}
+	scopes, complete := changed(ent.gen)
+	if !complete {
+		return false // journal wrapped: anything may have changed
+	}
+	for _, sc := range scopes {
+		if sc.Intersects(ent.scope.Crawl, ent.scope.Domain) {
+			return false
+		}
+	}
+	ent.gen = gen
+	return true
+}
+
+// Put stores a response rendered at generation gen for the given
+// scope, evicting the least recently used entry when the bound is
+// exceeded.
+func (c *Cache) Put(key string, val []byte, gen uint64, scope Scope) {
 	if c.max <= 0 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*cacheEntry).val = val
+		ent := el.Value.(*cacheEntry)
+		ent.val, ent.gen, ent.scope = val, gen, scope
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val, gen: gen, scope: scope})
 	for c.ll.Len() > c.max {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
@@ -78,4 +128,13 @@ func (c *Cache) Stats() (hits, misses uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// Revalidations reports how many hits were served by fast-forwarding
+// an entry across generations its scope did not intersect — each one a
+// response the old wipe-on-bump scheme would have recomputed.
+func (c *Cache) Revalidations() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.revalidations
 }

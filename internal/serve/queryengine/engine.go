@@ -5,11 +5,13 @@
 // (itself safe for concurrent use) and answers filtered record
 // queries, per-site classification reports, and corpus summaries.
 //
-// Every filter renders to a canonical key (Key methods) that, combined
-// with the engine's generation counter, identifies a result uniquely —
-// the contract the serving layer's response cache is built on: live
-// ingest bumps the generation, implicitly invalidating every cached
-// response without coordination.
+// Every filter renders to a canonical key (Key methods) that
+// identifies a result uniquely within a store generation — the
+// contract the serving layer's response cache is built on. The cache
+// no longer discards everything on a generation bump: entries carry
+// the Scope their filter pinned, and ChangedSince exposes the store's
+// commit-scope journal so only entries whose scope intersects a commit
+// are invalidated (surgical invalidation).
 package queryengine
 
 import (
@@ -46,6 +48,19 @@ func (e *Engine) Generation() uint64 { return e.st.Generation() }
 // need it (every Add* path bumps on its own); it remains for callers
 // that mutate store state out of band.
 func (e *Engine) BumpGeneration() { e.st.BumpGeneration() }
+
+// ChangedSince reports the scopes of every commit after generation gen
+// from the store's commit-scope journal. ok is false when the journal
+// no longer covers that span (the caller must assume anything
+// changed). This is the cache's revalidation oracle.
+func (e *Engine) ChangedSince(gen uint64) ([]store.CommitScope, bool) {
+	return e.st.ScopesSince(gen)
+}
+
+// Close releases resources derived from the engine's store — today the
+// process-wide site index registered by pipeline.IndexFor. The store
+// itself is not owned by the engine and stays usable.
+func (e *Engine) Close() { pipeline.ReleaseIndex(e.st) }
 
 // LocalsFilter selects local-request records. Zero-valued fields match
 // everything; Limit 0 means unlimited.

@@ -109,16 +109,16 @@ func TestGeneration(t *testing.T) {
 
 func TestCacheLRU(t *testing.T) {
 	c := NewCache(2)
-	c.Put("a", []byte("A"))
-	c.Put("b", []byte("B"))
-	if v, ok := c.Get("a"); !ok || string(v) != "A" {
+	c.Put("a", []byte("A"), 1, Scope{})
+	c.Put("b", []byte("B"), 1, Scope{})
+	if v, ok := c.Get("a", 1, nil); !ok || string(v) != "A" {
 		t.Fatalf("Get(a) = %q, %v", v, ok)
 	}
-	c.Put("c", []byte("C")) // evicts b (a was just used)
-	if _, ok := c.Get("b"); ok {
+	c.Put("c", []byte("C"), 1, Scope{}) // evicts b (a was just used)
+	if _, ok := c.Get("b", 1, nil); ok {
 		t.Error("b survived eviction; LRU order wrong")
 	}
-	if _, ok := c.Get("a"); !ok {
+	if _, ok := c.Get("a", 1, nil); !ok {
 		t.Error("a evicted although recently used")
 	}
 	if c.Len() != 2 {
@@ -129,14 +129,69 @@ func TestCacheLRU(t *testing.T) {
 		t.Errorf("stats = %d hits, %d misses; want 2, 1", hits, misses)
 	}
 	// Overwrite keeps a single entry.
-	c.Put("a", []byte("A2"))
-	if v, _ := c.Get("a"); string(v) != "A2" {
+	c.Put("a", []byte("A2"), 1, Scope{})
+	if v, _ := c.Get("a", 1, nil); string(v) != "A2" {
 		t.Errorf("overwrite lost: %q", v)
 	}
 	// A disabled cache never stores.
 	d := NewCache(0)
-	d.Put("x", []byte("X"))
-	if _, ok := d.Get("x"); ok {
+	d.Put("x", []byte("X"), 1, Scope{})
+	if _, ok := d.Get("x", 1, nil); ok {
 		t.Error("disabled cache returned a hit")
+	}
+}
+
+// TestCacheScopeRevalidation pins surgical invalidation: an entry
+// rendered at an older generation survives when the commits since do
+// not intersect its scope, and is evicted when one does — or when the
+// journal can no longer account for the span.
+func TestCacheScopeRevalidation(t *testing.T) {
+	changes := func(scopes ...store.CommitScope) func(uint64) ([]store.CommitScope, bool) {
+		return func(uint64) ([]store.CommitScope, bool) { return scopes, true }
+	}
+
+	c := NewCache(8)
+	c.Put("a", []byte("A"), 1, Scope{Crawl: "live", Domain: "a.example"})
+	c.Put("b", []byte("B"), 1, Scope{Crawl: "live", Domain: "b.example"})
+	c.Put("sum", []byte("S"), 1, Scope{}) // summary: depends on everything
+
+	// A commit scoped to a.example: a and the summary die, b survives.
+	delta := changes(store.CommitScope{Gen: 2, Crawl: "live", Domain: "a.example"})
+	if _, ok := c.Get("a", 2, delta); ok {
+		t.Error("entry for the ingested domain must be invalidated")
+	}
+	if _, ok := c.Get("sum", 2, delta); ok {
+		t.Error("broad-scope entry must be invalidated by any commit")
+	}
+	if v, ok := c.Get("b", 2, delta); !ok || string(v) != "B" {
+		t.Error("entry for an untouched domain must survive the generation bump")
+	}
+	if c.Revalidations() != 1 {
+		t.Errorf("revalidations = %d, want 1", c.Revalidations())
+	}
+	// The survivor was fast-forwarded: the same generation is now a
+	// plain hit, no journal consultation.
+	if _, ok := c.Get("b", 2, nil); !ok {
+		t.Error("revalidated entry must carry the new generation")
+	}
+
+	// A broad commit (bulk load, BumpGeneration) kills everything.
+	c.Put("b2", []byte("B"), 2, Scope{Domain: "b.example"})
+	if _, ok := c.Get("b2", 3, changes(store.CommitScope{Gen: 3, Broad: true})); ok {
+		t.Error("broad commit must invalidate scoped entries")
+	}
+
+	// An incomplete journal (wrapped ring) means anything may have
+	// changed: evict.
+	c.Put("c", []byte("C"), 1, Scope{Domain: "c.example"})
+	wrapped := func(uint64) ([]store.CommitScope, bool) { return nil, false }
+	if _, ok := c.Get("c", 9, wrapped); ok {
+		t.Error("incomplete change history must evict")
+	}
+
+	// A crawl-scoped filter is untouched by commits to another crawl.
+	c.Put("crawl", []byte("X"), 1, Scope{Crawl: "top100k-2020"})
+	if _, ok := c.Get("crawl", 2, changes(store.CommitScope{Gen: 2, Crawl: "live", Domain: "z.example"})); !ok {
+		t.Error("commit in another crawl must not evict a crawl-scoped entry")
 	}
 }

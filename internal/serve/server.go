@@ -5,8 +5,10 @@
 // mounted stores — filtered record listings (/v1/locals, /v1/pages),
 // per-site classification reports (/v1/site/{domain}), and the corpus
 // summary (/v1/summary) — through the shared queryengine, with a
-// bounded LRU response cache keyed on the canonical query and the
-// engine generation.
+// bounded LRU response cache keyed on the canonical query. Cached
+// responses are scope-tagged and revalidated against the store's
+// commit-scope journal, so live ingest of one domain invalidates only
+// the entries whose filter scope it intersects — not the whole cache.
 //
 // The ingest plane (/v1/ingest) accepts NetLog event streams as JSONL,
 // parses them incrementally (no whole-body buffering), runs the same
@@ -148,11 +150,17 @@ func (s *Server) Engine() *queryengine.Engine { return s.eng }
 // one passed in Options.Registry, or the server's private registry.
 func (s *Server) Registry() *telemetry.Registry { return s.metrics.reg }
 
+// Close releases derived state the server registered against its
+// store (the shared site index). Call it after the HTTP server has
+// shut down; the engine and store remain usable.
+func (s *Server) Close() { s.eng.Close() }
+
 // query wraps a query-plane endpoint with the plane's backpressure,
 // timeout, caching, and metrics. Handlers parse the request and return
-// the canonical cache key plus a render closure; a nil render means
-// the handler already answered (bad request).
-func (s *Server) query(h func(w http.ResponseWriter, r *http.Request) (key string, render func() (any, error))) http.HandlerFunc {
+// the canonical cache key, the scope of the corpus the response
+// depends on, and a render closure; a nil render means the handler
+// already answered (bad request).
+func (s *Server) query(h func(w http.ResponseWriter, r *http.Request) (key string, scope queryengine.Scope, render func() (any, error))) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.request(r.URL.Path)
 		select {
@@ -168,15 +176,19 @@ func (s *Server) query(h func(w http.ResponseWriter, r *http.Request) (key strin
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), s.opts.QueryTimeout)
 		defer cancel()
-		key, render := h(w, r.WithContext(ctx))
+		key, scope, render := h(w, r.WithContext(ctx))
 		if render == nil { // handler already answered (bad request)
 			return
 		}
-		// Response cache: canonical query key under the current store
-		// generation. Ingests bump the generation, so stale entries are
-		// simply never referenced again.
-		cacheKey := fmt.Sprintf("g%d|%s", s.eng.Generation(), key)
-		if body, ok := s.cache.Get(cacheKey); ok {
+		// Response cache: canonical query key, scope-tagged. An entry
+		// rendered at an older generation survives as long as no commit
+		// since intersects its scope (the cache consults the store's
+		// commit-scope journal via ChangedSince). The generation is
+		// captured BEFORE rendering: a commit racing the render then makes
+		// the entry look older than it may be — over-invalidation, never a
+		// stale hit.
+		gen := s.eng.Generation()
+		if body, ok := s.cache.Get(key, gen, s.eng.ChangedSince); ok {
 			s.metrics.cacheHit()
 			writeJSONBytes(w, body)
 			return
@@ -196,7 +208,7 @@ func (s *Server) query(h func(w http.ResponseWriter, r *http.Request) (key strin
 			httpError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
-		s.cache.Put(cacheKey, body)
+		s.cache.Put(key, body, gen, scope)
 		writeJSONBytes(w, body)
 	}
 }
@@ -215,7 +227,7 @@ type ListResponse struct {
 	Rows  any `json:"rows"`
 }
 
-func (s *Server) handleLocals(w http.ResponseWriter, r *http.Request) (string, func() (any, error)) {
+func (s *Server) handleLocals(w http.ResponseWriter, r *http.Request) (string, queryengine.Scope, func() (any, error)) {
 	q := r.URL.Query()
 	f := queryengine.LocalsFilter{
 		Domain: q.Get("domain"),
@@ -226,10 +238,10 @@ func (s *Server) handleLocals(w http.ResponseWriter, r *http.Request) (string, f
 	limit, err := parseLimit(q.Get("limit"), s.opts.MaxRows)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
-		return "", nil
+		return "", queryengine.Scope{}, nil
 	}
 	f.Limit = limit
-	return f.Key(), func() (any, error) {
+	return f.Key(), queryengine.Scope{Crawl: f.Crawl, Domain: f.Domain}, func() (any, error) {
 		rows, total := s.eng.Locals(f)
 		if rows == nil {
 			rows = []store.LocalRequest{}
@@ -238,7 +250,7 @@ func (s *Server) handleLocals(w http.ResponseWriter, r *http.Request) (string, f
 	}
 }
 
-func (s *Server) handlePages(w http.ResponseWriter, r *http.Request) (string, func() (any, error)) {
+func (s *Server) handlePages(w http.ResponseWriter, r *http.Request) (string, queryengine.Scope, func() (any, error)) {
 	q := r.URL.Query()
 	f := queryengine.PagesFilter{
 		Domain: q.Get("domain"),
@@ -249,10 +261,10 @@ func (s *Server) handlePages(w http.ResponseWriter, r *http.Request) (string, fu
 	limit, err := parseLimit(q.Get("limit"), s.opts.MaxRows)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
-		return "", nil
+		return "", queryengine.Scope{}, nil
 	}
 	f.Limit = limit
-	return f.Key(), func() (any, error) {
+	return f.Key(), queryengine.Scope{Crawl: f.Crawl, Domain: f.Domain}, func() (any, error) {
 		rows, total := s.eng.Pages(f)
 		if rows == nil {
 			rows = []store.PageRecord{}
@@ -270,9 +282,9 @@ type SiteResponse struct {
 	LANVerdict       *report.JSONVerdict  `json:"lan_verdict,omitempty"`
 }
 
-func (s *Server) handleSite(_ http.ResponseWriter, r *http.Request) (string, func() (any, error)) {
+func (s *Server) handleSite(_ http.ResponseWriter, r *http.Request) (string, queryengine.Scope, func() (any, error)) {
 	domain := r.PathValue("domain")
-	return queryengine.SiteKey(domain), func() (any, error) {
+	return queryengine.SiteKey(domain), queryengine.Scope{Domain: domain}, func() (any, error) {
 		rep := s.eng.Site(domain)
 		resp := SiteResponse{Domain: rep.Domain, Pages: rep.Pages, Locals: rep.Locals}
 		if resp.Pages == nil {
@@ -293,15 +305,18 @@ func (s *Server) handleSite(_ http.ResponseWriter, r *http.Request) (string, fun
 	}
 }
 
-func (s *Server) handleSummary(_ http.ResponseWriter, r *http.Request) (string, func() (any, error)) {
-	return "summary", func() (any, error) {
+// handleSummary declares the empty scope — the summary depends on the
+// whole corpus, so every commit invalidates it.
+func (s *Server) handleSummary(_ http.ResponseWriter, r *http.Request) (string, queryengine.Scope, func() (any, error)) {
+	return "summary", queryengine.Scope{}, func() (any, error) {
 		return report.SummaryJSON(s.eng.Store()), nil
 	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	hits, misses := s.cache.Stats()
-	snap := s.metrics.snapshot(hits, misses)
+	s.metrics.revalidated(s.cache.Revalidations())
+	snap := s.metrics.snapshot(hits, misses, s.cache.Revalidations())
 	// Surface store records whose OS label maps to no known platform —
 	// they are invisible in every per-OS aggregate otherwise.
 	snap.UnknownOSLabels = pipeline.IndexFor(s.eng.Store()).UnknownOSLabels()

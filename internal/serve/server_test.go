@@ -70,6 +70,13 @@ func newTestServer(t testing.TB, opts Options) (*Server, *httptest.Server) {
 	return srv, ts
 }
 
+// snapshotNow renders the server's in-process metrics snapshot from
+// its cache's live counters.
+func snapshotNow(srv *Server) MetricsSnapshot {
+	hits, misses := srv.cache.Stats()
+	return srv.metrics.snapshot(hits, misses, srv.cache.Revalidations())
+}
+
 func getJSON(t testing.TB, url string, v any) *http.Response {
 	t.Helper()
 	resp, err := http.Get(url)
@@ -225,6 +232,75 @@ func TestCacheInvalidatedByIngest(t *testing.T) {
 	if srv.eng.Generation() == 0 {
 		t.Fatal("ingest must bump the engine generation")
 	}
+}
+
+// TestCacheSurgicalInvalidation pins the serving half of the delta
+// epoch: ingesting one domain must invalidate only cached responses
+// whose scope intersects it. Entries for other domains survive the
+// generation bump as revalidated hits; unfiltered views (the summary)
+// are recomputed.
+func TestCacheSurgicalInvalidation(t *testing.T) {
+	srv, ts := newTestServer(t, Options{})
+	var scanner struct {
+		Total int `json:"total"`
+	}
+	var summary struct {
+		Pages int `json:"pages"`
+	}
+	scannerURL := ts.URL + "/v1/locals?domain=scanner.example&crawl=top100k-2020"
+	getJSON(t, scannerURL, &scanner) // miss, cached
+	var site SiteResponse
+	getJSON(t, ts.URL+"/v1/site/scanner.example", &site) // miss, cached
+	getJSON(t, ts.URL+"/v1/summary", &summary)           // miss, cached
+	if summary.Pages != 3 {
+		t.Fatalf("pre-ingest summary pages = %d, want 3", summary.Pages)
+	}
+	genBefore := srv.eng.Generation()
+
+	postTestdata(t, ts, "domain=fresh.example&os=Windows&crawl=live")
+	if srv.eng.Generation() == genBefore {
+		t.Fatal("ingest must advance the generation")
+	}
+
+	// The scanner.example listing and site report were untouched by the
+	// commit: both must be served from cache, fast-forwarded across the
+	// new generation rather than recomputed.
+	getJSON(t, scannerURL, &scanner)
+	getJSON(t, ts.URL+"/v1/site/scanner.example", &site)
+	if scanner.Total != 10 || len(site.Locals) != 10 {
+		t.Fatalf("surviving entries answered wrong: locals=%d site locals=%d", scanner.Total, len(site.Locals))
+	}
+	if n := srv.cache.Revalidations(); n != 2 {
+		t.Fatalf("revalidations = %d, want 2 (scanner listing + site report)", n)
+	}
+	hits, _ := srv.cache.Stats()
+	if hits != 2 {
+		t.Fatalf("cache hits = %d, want 2 (both unrelated entries survive ingest)", hits)
+	}
+
+	// The summary depends on the whole corpus: it must be recomputed and
+	// observe the new visit.
+	getJSON(t, ts.URL+"/v1/summary", &summary)
+	if summary.Pages != 4 {
+		t.Fatalf("post-ingest summary pages = %d, want 4 (broad entry must not survive)", summary.Pages)
+	}
+
+	// The ingested domain itself queries fresh.
+	var fresh struct {
+		Total int `json:"total"`
+	}
+	getJSON(t, ts.URL+"/v1/locals?domain=fresh.example", &fresh)
+	if fresh.Total != 14 {
+		t.Fatalf("ingested domain total = %d, want 14", fresh.Total)
+	}
+
+	// /metrics reports the revalidations.
+	var m MetricsSnapshot
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m.Cache.Revalidated != 2 {
+		t.Fatalf("/metrics revalidated = %d, want 2", m.Cache.Revalidated)
+	}
+	srv.Close()
 }
 
 func postTestdata(t testing.TB, ts *httptest.Server, params string) IngestResponse {
@@ -430,7 +506,7 @@ func TestQueryPlaneSaturationReturns429(t *testing.T) {
 	if len(ir.Detections) == 0 {
 		t.Fatal("ingest plane must not share the query limiter")
 	}
-	m := srv.metrics.snapshot(srv.cache.Stats())
+	m := snapshotNow(srv)
 	if m.Rejected["query"] != 1 {
 		t.Fatalf("rejected_429 = %+v, want query:1", m.Rejected)
 	}
@@ -640,4 +716,103 @@ func BenchmarkServeIngest(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// TestCacheCoherenceUnderIngestHammer races cache-hitting queries
+// against concurrent ingest commits, then checks the quiesce-point
+// invariant of the whole serving stack: every response the hammered,
+// cache-fronted server gives afterwards must be byte-identical to one
+// computed by a fresh engine over the same store with caching disabled
+// and the shared site index rebuilt from scratch.
+func TestCacheCoherenceUnderIngestHammer(t *testing.T) {
+	st := serveStore(t)
+	srv := New(queryengine.New(st), Options{QueryConcurrency: 32, IngestConcurrency: 4})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	body, err := os.ReadFile("testdata/threatmetrix.netlog.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := []string{
+		"/v1/summary",
+		"/v1/locals?domain=scanner.example&crawl=top100k-2020",
+		"/v1/pages?crawl=top100k-2021",
+		"/v1/site/scanner.example",
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				resp, err := http.Get(ts.URL + paths[(w+j)%len(paths)])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(w)
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				resp, err := http.Post(
+					fmt.Sprintf("%s/v1/ingest?domain=hammer%d-%d.example&os=Windows&crawl=live", ts.URL, w, j),
+					"application/jsonl", bytes.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("ingest status %d", resp.StatusCode)
+				}
+				resp.Body.Close()
+			}
+		}(w)
+	}
+	wg.Wait()
+	hits, _ := srv.cache.Stats()
+	if hits == 0 {
+		t.Fatal("hammer never hit the cache; the race it exists to test did not happen")
+	}
+
+	// Quiesce point: release the shared index so the reference engine
+	// materializes a from-scratch rebuild, and front it with no cache.
+	pipeline.ReleaseIndex(st)
+	ref := New(queryengine.New(st), Options{CacheEntries: -1})
+	rts := httptest.NewServer(ref.Handler())
+	t.Cleanup(rts.Close)
+	t.Cleanup(ref.Close)
+	t.Cleanup(srv.Close)
+
+	get := func(base, path string) []byte {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return raw
+	}
+	for _, p := range paths {
+		cached := get(ts.URL, p)   // may be a cache hit or revalidation
+		rebuilt := get(rts.URL, p) // always recomputed from a fresh index
+		if !bytes.Equal(cached, rebuilt) {
+			t.Errorf("%s diverged from from-scratch rebuild after hammer:\ncached  %s\nrebuilt %s",
+				p, cached, rebuilt)
+		}
+	}
 }

@@ -1,0 +1,221 @@
+package store
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the store's incremental-consumption surface. Records are
+// append-only, so each shard's buffer length is a monotonic high-water
+// mark; a Mark freezes one length per shard and DeltaSince streams
+// exactly the records appended past a mark. Derived views (the
+// pipeline's site index, WAL compaction) use it to pay O(delta) per
+// refresh instead of O(store). The scope journal rides along: it
+// remembers which (crawl, domain) each recent commit touched, so the
+// serving layer can revalidate cached responses instead of discarding
+// them wholesale.
+
+// Mark is a consistency point in the store's append-only record
+// streams: per-shard high-water marks plus the generation and force
+// epochs observed when it was taken. The zero Mark precedes every
+// record.
+type Mark struct {
+	gen     uint64
+	force   uint64
+	pages   [numShards]int
+	locals  [numShards]int
+	netlogs int
+}
+
+// Generation returns the mutation epoch captured by the mark. It is a
+// staleness hint only: a view is certainly current when the store's
+// generation still equals the mark's, while the reverse (a moved
+// generation) at worst triggers a delta scan that finds nothing new.
+func (m Mark) Generation() uint64 { return m.gen }
+
+// ForceGeneration returns the out-of-band invalidation epoch captured
+// by the mark. When the store's force epoch has moved past it,
+// incremental consumers must discard accumulated state and rebuild.
+func (m Mark) ForceGeneration() uint64 { return m.force }
+
+// Mark captures the store's current high-water marks.
+func (s *Store) Mark() Mark {
+	var m Mark
+	m.force = s.force.Load()
+	m.gen = s.gen.Load()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		m.pages[i] = len(sh.pages)
+		m.locals[i] = len(sh.locals)
+		sh.mu.Unlock()
+	}
+	s.nmu.Lock()
+	m.netlogs = len(s.netlogs)
+	s.nmu.Unlock()
+	return m
+}
+
+// DeltaSince streams every record appended after m — in the same shard
+// order ForEachPage/ForEachLocal use, under the shard locks — and
+// returns the mark covering everything delivered. A nil callback skips
+// that stream while still advancing its mark.
+//
+// The returned mark's generation is captured before any scanning, so a
+// commit that lands mid-scan in an already-visited shard (and is
+// therefore not delivered) leaves the store's generation ahead of the
+// mark and triggers another delta; the per-shard lengths recorded at
+// scan time guarantee it is delivered exactly once then. Callbacks must
+// copy anything they keep and must not call back into the store.
+func (s *Store) DeltaSince(m Mark, page func(*PageRecord), local func(*LocalRequest), netlog func(*NetLogRecord)) Mark {
+	next := m
+	next.force = s.force.Load()
+	next.gen = s.gen.Load()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		if page != nil {
+			for j := m.pages[i]; j < len(sh.pages); j++ {
+				page(&sh.pages[j])
+			}
+		}
+		if local != nil {
+			for j := m.locals[i]; j < len(sh.locals); j++ {
+				local(&sh.locals[j])
+			}
+		}
+		next.pages[i] = len(sh.pages)
+		next.locals[i] = len(sh.locals)
+		sh.mu.Unlock()
+	}
+	s.nmu.Lock()
+	if netlog != nil {
+		for j := m.netlogs; j < len(s.netlogs); j++ {
+			netlog(&s.netlogs[j])
+		}
+	}
+	next.netlogs = len(s.netlogs)
+	s.nmu.Unlock()
+	return next
+}
+
+// CommitScope describes which slice of the corpus one commit touched.
+// Broad scopes (mixed-domain bulk loads, out-of-band BumpGeneration)
+// intersect everything.
+type CommitScope struct {
+	// Gen is the generation the commit advanced the store to.
+	Gen uint64
+	// Crawl and Domain are the single crawl and domain the commit
+	// touched; either may be "" when the commit's records did not agree
+	// on one (then Broad is set).
+	Crawl  string
+	Domain string
+	// Broad marks a commit whose effects cannot be scoped to one
+	// (crawl, domain) — it must be assumed to intersect every query.
+	Broad bool
+}
+
+// Intersects reports whether a cached result computed for the given
+// crawl/domain filter could be affected by the commit. Empty filter
+// fields mean "unfiltered" and match every commit (an unfiltered
+// listing legitimately goes stale on any write).
+func (c CommitScope) Intersects(crawl, domain string) bool {
+	if c.Broad {
+		return true
+	}
+	if crawl != "" && c.Crawl != "" && crawl != c.Crawl {
+		return false
+	}
+	if domain != "" && c.Domain != "" && domain != c.Domain {
+		return false
+	}
+	return true
+}
+
+// commitScopeOf derives the journal scope of one commit: precise when
+// every record agrees on a single (crawl, domain) — the shape of a
+// visit batch or a live ingest — broad otherwise.
+func commitScopeOf(ps []PageRecord, ls []LocalRequest, nls []NetLogRecord) CommitScope {
+	sc := CommitScope{}
+	first := true
+	merge := func(crawl, domain string) {
+		if sc.Broad {
+			return
+		}
+		if first {
+			sc.Crawl, sc.Domain, first = crawl, domain, false
+			return
+		}
+		if sc.Crawl != crawl || sc.Domain != domain {
+			sc = CommitScope{Broad: true}
+		}
+	}
+	for i := range ps {
+		merge(ps[i].Crawl, ps[i].Domain)
+	}
+	for i := range ls {
+		merge(ls[i].Crawl, ls[i].Domain)
+	}
+	for i := range nls {
+		merge(nls[i].Crawl, nls[i].Domain)
+	}
+	return sc
+}
+
+// journalSize bounds the scope journal. At one commit per visit, 4096
+// entries cover far more history than any cached response survives;
+// consumers that fall off the tail get a conservative "incomplete"
+// answer and fall back to invalidating.
+const journalSize = 4096
+
+// scopeJournal is a bounded ring of recent commit scopes. The
+// generation counter is advanced inside the journal lock, which makes
+// ring order identical to generation order and guarantees that once
+// Generation() returns G, the scopes of all commits up to G are visible
+// to ScopesSince.
+type scopeJournal struct {
+	mu  sync.Mutex
+	buf []CommitScope // allocated to journalSize on first append
+	n   uint64        // total scopes ever appended
+}
+
+// append assigns the commit its generation and journals its scope
+// atomically.
+func (j *scopeJournal) append(gen *atomic.Uint64, sc CommitScope) {
+	j.mu.Lock()
+	if j.buf == nil {
+		j.buf = make([]CommitScope, journalSize)
+	}
+	sc.Gen = gen.Add(1)
+	j.buf[j.n%journalSize] = sc
+	j.n++
+	j.mu.Unlock()
+}
+
+// ScopesSince returns the scopes of every commit after generation gen,
+// oldest first. ok is false when the journal has already wrapped past
+// gen — the caller saw less than the full history and must treat the
+// answer as "anything may have changed".
+func (s *Store) ScopesSince(gen uint64) (scopes []CommitScope, ok bool) {
+	j := &s.journal
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	start := uint64(0)
+	if j.n > journalSize {
+		start = j.n - journalSize
+	}
+	// Entries are in generation order; find the first one past gen.
+	for i := start; i < j.n; i++ {
+		sc := j.buf[i%journalSize]
+		if sc.Gen <= gen {
+			continue
+		}
+		// If the oldest retained entry is already past gen+1, commits
+		// between gen and it were evicted: history is incomplete.
+		if i == start && sc.Gen > gen+1 && start > 0 {
+			return nil, false
+		}
+		scopes = append(scopes, sc)
+	}
+	return scopes, true
+}

@@ -1,0 +1,168 @@
+package store
+
+import (
+	"testing"
+)
+
+func TestMarkDeltaSince(t *testing.T) {
+	s := New()
+	s.AddPage(samplePage("ebay.com", 104))
+	s.AddLocal(sampleLocal("ebay.com"))
+	m := s.Mark()
+	if m.Generation() != s.Generation() {
+		t.Fatalf("mark gen %d, store gen %d", m.Generation(), s.Generation())
+	}
+
+	// Nothing new: the delta is empty and the mark is stable.
+	var pages, locals, netlogs int
+	count := func() (func(*PageRecord), func(*LocalRequest), func(*NetLogRecord)) {
+		pages, locals, netlogs = 0, 0, 0
+		return func(*PageRecord) { pages++ }, func(*LocalRequest) { locals++ }, func(*NetLogRecord) { netlogs++ }
+	}
+	p, l, n := count()
+	m2 := s.DeltaSince(m, p, l, n)
+	if pages != 0 || locals != 0 || netlogs != 0 {
+		t.Fatalf("empty delta delivered %d/%d/%d records", pages, locals, netlogs)
+	}
+
+	s.AddPage(samplePage("wish.com", 53))
+	s.AddLocal(sampleLocal("wish.com"))
+	s.AddLocal(sampleLocal("ebay.com"))
+	if err := s.AddNetLog("top100k-2020", "Windows", "wish.com", sampleNetLog(t)); err != nil {
+		t.Fatal(err)
+	}
+	p, l, n = count()
+	var gotDomains []string
+	m3 := s.DeltaSince(m2, func(pr *PageRecord) { pages++; gotDomains = append(gotDomains, pr.Domain) }, l, n)
+	if pages != 1 || locals != 2 || netlogs != 1 {
+		t.Fatalf("delta delivered %d/%d/%d records, want 1/2/1", pages, locals, netlogs)
+	}
+	if len(gotDomains) != 1 || gotDomains[0] != "wish.com" {
+		t.Fatalf("delta pages = %v", gotDomains)
+	}
+	if m3.Generation() != s.Generation() {
+		t.Fatalf("final mark gen %d, store gen %d", m3.Generation(), s.Generation())
+	}
+
+	// A nil callback skips the stream but still advances its mark.
+	s.AddPage(samplePage("skipped.example", 9))
+	m4 := s.DeltaSince(m3, nil, nil, nil)
+	p, l, n = count()
+	s.DeltaSince(m4, p, l, n)
+	if pages != 0 {
+		t.Fatalf("nil-callback delta did not advance the page mark (redelivered %d)", pages)
+	}
+}
+
+func TestDeltaFromZeroMarkSeesEverything(t *testing.T) {
+	s := New()
+	s.AddPage(samplePage("ebay.com", 104))
+	s.AddLocal(sampleLocal("ebay.com"))
+	var pages, locals int
+	s.DeltaSince(Mark{}, func(*PageRecord) { pages++ }, func(*LocalRequest) { locals++ }, nil)
+	if pages != 1 || locals != 1 {
+		t.Fatalf("zero-mark delta = %d/%d, want 1/1", pages, locals)
+	}
+}
+
+func TestBumpGenerationMovesForceEpoch(t *testing.T) {
+	s := New()
+	f0, g0 := s.ForceGeneration(), s.Generation()
+	s.AddPage(samplePage("ebay.com", 104))
+	if s.ForceGeneration() != f0 {
+		t.Fatal("ordinary commit moved the force epoch")
+	}
+	s.BumpGeneration()
+	if s.ForceGeneration() != f0+1 {
+		t.Fatalf("ForceGeneration = %d, want %d", s.ForceGeneration(), f0+1)
+	}
+	if s.Generation() <= g0+1 {
+		t.Fatal("BumpGeneration did not advance the generation")
+	}
+	m := s.Mark()
+	if m.ForceGeneration() != s.ForceGeneration() {
+		t.Fatal("mark did not capture the force epoch")
+	}
+}
+
+func TestScopesSince(t *testing.T) {
+	s := New()
+	g0 := s.Generation()
+
+	// A visit-shaped batch journals a precise scope.
+	var b Batch
+	b.AddPage(samplePage("ebay.com", 104))
+	b.AddLocal(sampleLocal("ebay.com"))
+	s.AddBatch(&b)
+
+	// A mixed-domain bulk load journals a broad scope.
+	s.AddPages([]PageRecord{samplePage("wish.com", 53), samplePage("aliexpress.com", 60)})
+
+	// An out-of-band bump is broad too.
+	s.BumpGeneration()
+
+	scopes, ok := s.ScopesSince(g0)
+	if !ok {
+		t.Fatal("journal reported incomplete history without wrapping")
+	}
+	if len(scopes) != 3 {
+		t.Fatalf("ScopesSince = %d scopes, want 3: %+v", len(scopes), scopes)
+	}
+	if scopes[0].Broad || scopes[0].Crawl != "top100k-2020" || scopes[0].Domain != "ebay.com" {
+		t.Errorf("visit scope = %+v, want precise ebay.com", scopes[0])
+	}
+	if !scopes[1].Broad || !scopes[2].Broad {
+		t.Errorf("bulk and bump scopes should be broad: %+v %+v", scopes[1], scopes[2])
+	}
+	for i := 1; i < len(scopes); i++ {
+		if scopes[i].Gen <= scopes[i-1].Gen {
+			t.Fatalf("scopes out of generation order: %+v", scopes)
+		}
+	}
+
+	// Asking from the current generation yields nothing.
+	if got, ok := s.ScopesSince(s.Generation()); !ok || len(got) != 0 {
+		t.Fatalf("ScopesSince(now) = %v ok=%v", got, ok)
+	}
+}
+
+func TestScopesSinceWraps(t *testing.T) {
+	s := New()
+	s.AddPage(samplePage("first.example", 1))
+	g := s.Generation()
+	for i := 0; i < journalSize+8; i++ {
+		s.AddPage(samplePage("ebay.com", 104))
+	}
+	if _, ok := s.ScopesSince(g); ok {
+		t.Fatal("journal should report incomplete history after wrapping past gen")
+	}
+	recent := s.Generation() - 4
+	scopes, ok := s.ScopesSince(recent)
+	if !ok || len(scopes) != 4 {
+		t.Fatalf("recent ScopesSince = %d scopes ok=%v, want 4 true", len(scopes), ok)
+	}
+}
+
+func TestCommitScopeIntersects(t *testing.T) {
+	precise := CommitScope{Crawl: "top100k-2020", Domain: "ebay.com"}
+	broad := CommitScope{Broad: true}
+	cases := []struct {
+		sc            CommitScope
+		crawl, domain string
+		want          bool
+	}{
+		{precise, "top100k-2020", "ebay.com", true},
+		{precise, "top100k-2020", "wish.com", false},
+		{precise, "malicious", "ebay.com", false},
+		{precise, "", "", true},             // unfiltered query sees every commit
+		{precise, "top100k-2020", "", true}, // crawl-only filter
+		{precise, "", "wish.com", false},
+		{broad, "malicious", "wish.com", true},
+		{broad, "", "", true},
+	}
+	for _, c := range cases {
+		if got := c.sc.Intersects(c.crawl, c.domain); got != c.want {
+			t.Errorf("%+v.Intersects(%q, %q) = %v, want %v", c.sc, c.crawl, c.domain, got, c.want)
+		}
+	}
+}

@@ -25,16 +25,9 @@ func (s *Store) AddNetLog(crawl, os, domain string, log *netlog.Log) error {
 	if err := log.WriteJSON(&buf); err != nil {
 		return fmt.Errorf("store: serializing netlog for %s: %w", domain, err)
 	}
-	s.nmu.Lock()
-	s.netlogs = append(s.netlogs, NetLogRecord{
+	s.commit(nil, nil, []NetLogRecord{{
 		Crawl: crawl, OS: os, Domain: domain, Log: json.RawMessage(buf.Bytes()),
-	})
-	s.nmu.Unlock()
-	s.gen.Add(1)
-	if m := s.meters.Load(); m != nil {
-		m.netlogs.Inc()
-		m.commits.Inc()
-	}
+	}})
 	return nil
 }
 

@@ -109,6 +109,22 @@ type Store struct {
 	// whether their snapshot is still current.
 	gen atomic.Uint64
 
+	// force counts out-of-band invalidations (BumpGeneration). Ordinary
+	// commits move only gen, which delta-aware views absorb
+	// incrementally; a force bump tells them their accumulated state may
+	// no longer describe the store and they must rebuild from scratch.
+	force atomic.Uint64
+
+	// journal remembers the (crawl, domain) scope of recent commits so
+	// cached query responses can be revalidated surgically instead of
+	// discarded wholesale on every generation bump.
+	journal scopeJournal
+
+	// wal, when non-nil, is the write-ahead log every commit appends to
+	// before touching the shard buffers. Set once by Open before the
+	// store is shared; plain field reads are safe afterwards.
+	wal *Log
+
 	// netlogs are low-volume (only visits with local findings retain a
 	// capture) and stay behind a single lock.
 	nmu     sync.Mutex
@@ -147,10 +163,20 @@ func New() *Store { return &Store{} }
 // generations must not be conflated.
 func (s *Store) Generation() uint64 { return s.gen.Load() }
 
+// ForceGeneration returns the out-of-band invalidation epoch; see
+// BumpGeneration.
+func (s *Store) ForceGeneration() uint64 { return s.force.Load() }
+
 // BumpGeneration advances the mutation epoch without writing a record,
 // forcing derived views to rebuild. Writers need not call it — every
-// Add* path bumps on its own.
-func (s *Store) BumpGeneration() { s.gen.Add(1) }
+// Add* path bumps on its own. Unlike an ordinary commit, a bump also
+// advances the force epoch: it signals that store state may have
+// changed out of band, so delta-applied views cannot trust their
+// accumulated state and must rebuild in full.
+func (s *Store) BumpGeneration() {
+	s.force.Add(1)
+	s.journal.append(&s.gen, CommitScope{Broad: true})
+}
 
 // Reserve pre-sizes the shard buffers for a crawl expected to append
 // about nPages page records, so the append path does not repeatedly
@@ -172,45 +198,50 @@ func (s *Store) Reserve(nPages int) {
 	}
 }
 
-// AddPage records a page visit.
-func (s *Store) AddPage(p PageRecord) {
-	sh := &s.shards[shardIndex(p.Domain)]
-	sh.mu.Lock()
-	sh.pages = append(sh.pages, p)
-	sh.mu.Unlock()
-	s.gen.Add(1)
-	if m := s.meters.Load(); m != nil {
-		m.pages.Inc()
-		m.commits.Inc()
+// commit is the single write path every public mutator lands on. It
+// clamps delays, appends the records to the attached WAL (when one is
+// attached) and to the shard buffers — both under the WAL lock, so
+// compaction always observes the log as an exact prefix of the shards —
+// then advances the generation, journals the commit's scope, and counts
+// meters. Negative local delays are clamped in place, so callers see
+// the records exactly as stored.
+func (s *Store) commit(ps []PageRecord, ls []LocalRequest, nls []NetLogRecord) {
+	if len(ps) == 0 && len(ls) == 0 && len(nls) == 0 {
+		return
 	}
-}
-
-// AddLocal records a local-network request.
-func (s *Store) AddLocal(l LocalRequest) {
-	if l.Delay < 0 {
-		l.Delay = 0
-	}
-	sh := &s.shards[shardIndex(l.Domain)]
-	sh.mu.Lock()
-	sh.locals = append(sh.locals, l)
-	sh.mu.Unlock()
-	s.gen.Add(1)
-	if m := s.meters.Load(); m != nil {
-		m.locals.Inc()
-		m.commits.Inc()
-	}
-}
-
-// AddPages bulk-appends page records, acquiring each touched shard's
-// lock once per consecutive same-shard run rather than once per record.
-func (s *Store) AddPages(ps []PageRecord) {
-	if len(ps) > 0 {
-		defer s.gen.Add(1)
-		if m := s.meters.Load(); m != nil {
-			m.pages.Add(uint64(len(ps)))
-			m.commits.Inc()
+	for i := range ls {
+		if ls[i].Delay < 0 {
+			ls[i].Delay = 0
 		}
 	}
+	if l := s.wal; l != nil {
+		l.mu.Lock()
+		l.appendCommit(ps, ls, nls)
+		s.apply(ps, ls, nls)
+		l.mu.Unlock()
+		l.maybeCompact()
+	} else {
+		s.apply(ps, ls, nls)
+	}
+	s.journal.append(&s.gen, commitScopeOf(ps, ls, nls))
+	if m := s.meters.Load(); m != nil {
+		if len(ps) > 0 {
+			m.pages.Add(uint64(len(ps)))
+		}
+		if len(ls) > 0 {
+			m.locals.Add(uint64(len(ls)))
+		}
+		if len(nls) > 0 {
+			m.netlogs.Add(uint64(len(nls)))
+		}
+		m.commits.Inc()
+	}
+}
+
+// apply lands committed records in the shard buffers, acquiring each
+// touched shard's lock once per consecutive same-shard run rather than
+// once per record.
+func (s *Store) apply(ps []PageRecord, ls []LocalRequest, nls []NetLogRecord) {
 	for i := 0; i < len(ps); {
 		idx := shardIndex(ps[i].Domain)
 		j := i + 1
@@ -222,23 +253,6 @@ func (s *Store) AddPages(ps []PageRecord) {
 		sh.pages = append(sh.pages, ps[i:j]...)
 		sh.mu.Unlock()
 		i = j
-	}
-}
-
-// AddLocals bulk-appends local requests with the same lock batching as
-// AddPages. Negative delays are clamped to zero.
-func (s *Store) AddLocals(ls []LocalRequest) {
-	if len(ls) > 0 {
-		defer s.gen.Add(1)
-		if m := s.meters.Load(); m != nil {
-			m.locals.Add(uint64(len(ls)))
-			m.commits.Inc()
-		}
-	}
-	for i := range ls {
-		if ls[i].Delay < 0 {
-			ls[i].Delay = 0
-		}
 	}
 	for i := 0; i < len(ls); {
 		idx := shardIndex(ls[i].Domain)
@@ -252,6 +266,32 @@ func (s *Store) AddLocals(ls []LocalRequest) {
 		sh.mu.Unlock()
 		i = j
 	}
+	if len(nls) > 0 {
+		s.nmu.Lock()
+		s.netlogs = append(s.netlogs, nls...)
+		s.nmu.Unlock()
+	}
+}
+
+// AddPage records a page visit.
+func (s *Store) AddPage(p PageRecord) {
+	s.commit([]PageRecord{p}, nil, nil)
+}
+
+// AddLocal records a local-network request.
+func (s *Store) AddLocal(l LocalRequest) {
+	s.commit(nil, []LocalRequest{l}, nil)
+}
+
+// AddPages bulk-appends page records as one commit.
+func (s *Store) AddPages(ps []PageRecord) {
+	s.commit(ps, nil, nil)
+}
+
+// AddLocals bulk-appends local requests as one commit. Negative delays
+// are clamped to zero, in the caller's slice.
+func (s *Store) AddLocals(ls []LocalRequest) {
+	s.commit(nil, ls, nil)
 }
 
 // Batch accumulates one worker's records locally so a whole visit can be
@@ -276,11 +316,11 @@ func (b *Batch) Len() int { return len(b.pages) + len(b.locals) }
 // Reset empties the batch, retaining capacity for reuse.
 func (b *Batch) Reset() { b.pages = b.pages[:0]; b.locals = b.locals[:0] }
 
-// AddBatch commits the staged records. The batch may be Reset and
-// reused afterwards; the store keeps copies.
+// AddBatch commits the staged records as a single commit (one WAL
+// record, one generation bump, one scope journal entry). The batch may
+// be Reset and reused afterwards; the store keeps copies.
 func (s *Store) AddBatch(b *Batch) {
-	s.AddPages(b.pages)
-	s.AddLocals(b.locals)
+	s.commit(b.pages, b.locals, nil)
 }
 
 // Pages returns a filtered snapshot of page records; a nil filter keeps
@@ -465,6 +505,14 @@ func (s *Store) Save(w io.Writer) error {
 	copy(netlogs, s.netlogs)
 	s.nmu.Unlock()
 	sortAll(pages, locals, netlogs)
+	return encodeJSONL(w, pages, locals, netlogs)
+}
+
+// encodeJSONL writes records in the Save line format, in the order
+// given. Save and the WAL compactor (whose segments are canonical
+// Save-format slices) share it, so segment bytes stay load-compatible
+// with the golden-pinned export format.
+func encodeJSONL(w io.Writer, pages []PageRecord, locals []LocalRequest, netlogs []NetLogRecord) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
 	enc := json.NewEncoder(bw)
 	for i := range pages {
@@ -523,9 +571,7 @@ func (s *Store) Load(r io.Reader) error {
 			if env.NetLog == nil {
 				return fmt.Errorf("store: record %d: netlog tag without payload", line)
 			}
-			s.nmu.Lock()
-			s.netlogs = append(s.netlogs, *env.NetLog)
-			s.nmu.Unlock()
+			s.commit(nil, nil, []NetLogRecord{*env.NetLog})
 		default:
 			return fmt.Errorf("store: record %d: unknown tag %q", line, env.T)
 		}

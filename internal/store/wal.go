@@ -1,0 +1,572 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the store's durability engine. A directory opened with
+// Open holds three kinds of files:
+//
+//	wal.log          append-only write-ahead log of commits
+//	seg-NNNNNN.jsonl immutable sorted segments (canonical Save format)
+//	MANIFEST         JSON list of live segments with checksums
+//
+// Every commit appends one WAL record — a length-prefixed, CRC32C
+// checksummed JSON batch — before landing in the shard buffers, both
+// under the log's lock so the log is always an exact prefix-complete
+// journal of the in-memory state. Compaction cuts the store's delta
+// since the last cut into a new sorted segment (written to a temp file,
+// fsynced, renamed), registers it in the MANIFEST, and truncates the
+// WAL. Recovery on Open loads the manifest's segments, then replays the
+// WAL, tolerating a torn or corrupt tail: the valid prefix is applied
+// and the tail is dropped, exactly the contract a crash mid-append
+// requires. Appends are buffered; Checkpoint flushes and fsyncs, which
+// is the crawler's periodic durability point. The canonical Save export
+// is untouched by any of this — segments merely reuse its line format.
+
+// walMagic begins every WAL file. A file that is shorter than the magic
+// but matches its prefix is treated as a torn empty log; a file whose
+// first bytes differ is refused outright (it is not ours to truncate).
+const walMagic = "knockwal1\n"
+
+// maxWALRecord bounds a single record's payload so a corrupt length
+// prefix cannot trigger a giant allocation during replay.
+const maxWALRecord = 256 << 20
+
+// walCRC is the CRC32C (Castagnoli) table used for record checksums.
+var walCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// walPayload is the JSON body of one WAL record: the records of one
+// commit, in commit order.
+type walPayload struct {
+	Pages   []PageRecord   `json:"p,omitempty"`
+	Locals  []LocalRequest `json:"l,omitempty"`
+	NetLogs []NetLogRecord `json:"n,omitempty"`
+}
+
+// LogOptions configures a durable store directory.
+type LogOptions struct {
+	// CompactBytes is the WAL size that triggers background compaction
+	// into a segment. 0 means the 4 MiB default; negative disables
+	// automatic compaction (explicit Compact still works).
+	CompactBytes int64
+}
+
+// DefaultCompactBytes is the WAL size that triggers compaction when
+// LogOptions does not say otherwise.
+const DefaultCompactBytes = 4 << 20
+
+func (o LogOptions) compactThreshold() int64 {
+	switch {
+	case o.CompactBytes < 0:
+		return 0
+	case o.CompactBytes == 0:
+		return DefaultCompactBytes
+	default:
+		return o.CompactBytes
+	}
+}
+
+// Recovery reports what Open found and replayed.
+type Recovery struct {
+	// Segments and SegmentRecords count the manifest's segment files
+	// and the records loaded from them.
+	Segments       int
+	SegmentRecords int
+	// WALRecords and WALBytes describe the replayed valid WAL prefix.
+	WALRecords int
+	WALBytes   int64
+	// Truncated reports that the WAL had a torn or corrupt tail, which
+	// was dropped; TailErr describes the damage.
+	Truncated bool
+	TailErr   string
+}
+
+// Log is the write-ahead log and segment set attached to a store. All
+// methods are safe for concurrent use with store writers.
+type Log struct {
+	dir  string
+	st   *Store
+	opts LogOptions
+
+	// mu serializes WAL appends together with their shard commits, and
+	// compaction cuts. Lock order is mu before shard locks; nothing
+	// that holds a shard lock ever takes mu.
+	mu       sync.Mutex
+	f        *os.File
+	bw       *bufio.Writer
+	closed   bool
+	err      error // first append/IO error, sticky
+	segMark  Mark  // store records already captured in segments
+	manifest walManifest
+
+	walBytes atomic.Int64
+
+	compactReq chan struct{}
+	done       chan struct{}
+	wg         sync.WaitGroup
+}
+
+type walManifest struct {
+	Segments []walSegment `json:"segments"`
+}
+
+type walSegment struct {
+	Name    string `json:"name"`
+	CRC32C  uint32 `json:"crc32c"`
+	Pages   int    `json:"pages"`
+	Locals  int    `json:"locals"`
+	NetLogs int    `json:"netlogs"`
+}
+
+// Open opens (or creates) a durable store directory: it loads the
+// manifest's segments, replays the WAL's valid prefix — dropping a torn
+// or corrupt tail — and returns the recovered store with the log
+// attached, so every subsequent commit is journaled. The returned store
+// must be written only by this process; close the log before reopening
+// the directory.
+func Open(dir string, opts LogOptions) (*Store, *Log, Recovery, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, Recovery{}, fmt.Errorf("store: opening wal dir: %w", err)
+	}
+	st := New()
+	l := &Log{
+		dir:        dir,
+		st:         st,
+		opts:       opts,
+		compactReq: make(chan struct{}, 1),
+		done:       make(chan struct{}),
+	}
+	var rec Recovery
+
+	// Segments first: they hold everything compacted out of the WAL.
+	if err := l.loadManifest(); err != nil {
+		return nil, nil, rec, err
+	}
+	for _, seg := range l.manifest.Segments {
+		n, err := loadSegment(st, filepath.Join(dir, seg.Name), seg.CRC32C)
+		if err != nil {
+			return nil, nil, rec, fmt.Errorf("store: segment %s: %w", seg.Name, err)
+		}
+		rec.Segments++
+		rec.SegmentRecords += n
+	}
+	l.segMark = st.Mark()
+
+	// Then the WAL: replay the valid prefix on top of the segments.
+	walPath := filepath.Join(dir, "wal.log")
+	f, err := os.OpenFile(walPath, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, rec, fmt.Errorf("store: opening wal: %w", err)
+	}
+	valid, nrec, tailErr := replayWAL(f, func(p walPayload) {
+		// The log is not yet attached, so this applies to the shards
+		// and journals scopes without re-appending to the WAL.
+		st.commit(p.Pages, p.Locals, p.NetLogs)
+	})
+	if tailErr != nil && !errors.Is(tailErr, errWALTorn) {
+		f.Close()
+		return nil, nil, rec, fmt.Errorf("store: wal.log: %v", tailErr)
+	}
+	rec.WALRecords = nrec
+	rec.WALBytes = valid
+	if tailErr != nil {
+		rec.Truncated = true
+		rec.TailErr = tailErr.Error()
+	}
+	if valid == 0 {
+		// Fresh (or fully torn) log: start it with the magic.
+		if err := f.Truncate(0); err == nil {
+			_, err = f.WriteAt([]byte(walMagic), 0)
+		}
+		if err != nil {
+			f.Close()
+			return nil, nil, rec, fmt.Errorf("store: initializing wal: %w", err)
+		}
+		valid = int64(len(walMagic))
+	} else if rec.Truncated {
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, nil, rec, fmt.Errorf("store: truncating torn wal tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, rec, fmt.Errorf("store: seeking wal: %w", err)
+	}
+	l.f = f
+	l.bw = bufio.NewWriterSize(f, 1<<20)
+	l.walBytes.Store(valid)
+
+	st.wal = l
+	l.wg.Add(1)
+	go l.compactLoop()
+	return st, l, rec, nil
+}
+
+func (l *Log) loadManifest() error {
+	data, err := os.ReadFile(filepath.Join(l.dir, "MANIFEST"))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: reading manifest: %w", err)
+	}
+	if err := json.Unmarshal(data, &l.manifest); err != nil {
+		return fmt.Errorf("store: parsing manifest: %w", err)
+	}
+	return nil
+}
+
+// loadSegment streams one immutable segment into the store, verifying
+// its checksum. Segments are fsynced before they enter the manifest, so
+// damage here is disk corruption, not a crash artifact — it fails the
+// open rather than being silently dropped.
+func loadSegment(st *Store, path string, want uint32) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	crc := crc32.New(walCRC)
+	before := st.NumPages() + st.NumLocals() + st.NumNetLogs()
+	if err := st.Load(io.TeeReader(f, crc)); err != nil {
+		return 0, err
+	}
+	// The JSON decoder reads to EOF deciding there are no more records,
+	// so the tee has seen the whole file by now.
+	if got := crc.Sum32(); got != want {
+		return 0, fmt.Errorf("checksum mismatch: manifest %08x, file %08x", want, got)
+	}
+	return st.NumPages() + st.NumLocals() + st.NumNetLogs() - before, nil
+}
+
+// errWALTorn tags tail damage that recovery tolerates (the expected
+// shape of a crash mid-append): the valid prefix stands, the tail goes.
+var errWALTorn = errors.New("torn tail")
+
+func tornf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", errWALTorn, fmt.Sprintf(format, args...))
+}
+
+// replayWAL reads WAL records from r, calling apply for each fully
+// valid one, and returns the byte length of the valid prefix, the
+// number of records applied, and the tail damage if any. Errors
+// wrapping errWALTorn are recoverable (truncate to the valid prefix and
+// continue); anything else means r is not a WAL at all. It never
+// panics on arbitrary input.
+func replayWAL(r io.Reader, apply func(walPayload)) (valid int64, records int, tailErr error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, len(walMagic))
+	n, err := io.ReadFull(br, magic)
+	if err != nil {
+		if n == 0 {
+			return 0, 0, nil // empty file: a fresh log
+		}
+		if bytes.Equal(magic[:n], []byte(walMagic)[:n]) {
+			return 0, 0, tornf("truncated header (%d bytes)", n)
+		}
+		return 0, 0, fmt.Errorf("not a WAL: bad header")
+	}
+	if string(magic) != walMagic {
+		return 0, 0, fmt.Errorf("not a WAL: bad header")
+	}
+	valid = int64(len(walMagic))
+	var hdr [8]byte
+	for {
+		n, err := io.ReadFull(br, hdr[:])
+		if err == io.EOF {
+			return valid, records, nil // clean end at a record boundary
+		}
+		if err != nil {
+			return valid, records, tornf("truncated record header (%d bytes)", n)
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if length == 0 || length > maxWALRecord {
+			return valid, records, tornf("implausible record length %d", length)
+		}
+		payload := make([]byte, length)
+		if n, err := io.ReadFull(br, payload); err != nil {
+			return valid, records, tornf("truncated payload (%d of %d bytes)", n, length)
+		}
+		if got := crc32.Checksum(payload, walCRC); got != sum {
+			return valid, records, tornf("checksum mismatch at offset %d", valid)
+		}
+		var p walPayload
+		if err := json.Unmarshal(payload, &p); err != nil {
+			return valid, records, tornf("undecodable record at offset %d: %v", valid, err)
+		}
+		if apply != nil {
+			apply(p)
+		}
+		valid += 8 + int64(length)
+		records++
+	}
+}
+
+// appendCommit journals one commit. Called by Store.commit with l.mu
+// held; errors are sticky (the in-memory store stays authoritative, but
+// Checkpoint/Close will report the log as broken).
+func (l *Log) appendCommit(ps []PageRecord, ls []LocalRequest, nls []NetLogRecord) {
+	if l.err != nil {
+		return
+	}
+	if l.closed {
+		l.err = errors.New("store: append to closed wal")
+		return
+	}
+	payload, err := json.Marshal(walPayload{Pages: ps, Locals: ls, NetLogs: nls})
+	if err != nil {
+		l.err = fmt.Errorf("store: encoding wal record: %w", err)
+		return
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, walCRC))
+	if _, err := l.bw.Write(hdr[:]); err != nil {
+		l.err = fmt.Errorf("store: appending wal record: %w", err)
+		return
+	}
+	if _, err := l.bw.Write(payload); err != nil {
+		l.err = fmt.Errorf("store: appending wal record: %w", err)
+		return
+	}
+	l.walBytes.Add(8 + int64(len(payload)))
+}
+
+// maybeCompact nudges the background compactor when the WAL has grown
+// past the threshold. Non-blocking; called after every commit.
+func (l *Log) maybeCompact() {
+	t := l.opts.compactThreshold()
+	if t == 0 || l.walBytes.Load() < t {
+		return
+	}
+	select {
+	case l.compactReq <- struct{}{}:
+	default:
+	}
+}
+
+func (l *Log) compactLoop() {
+	defer l.wg.Done()
+	for {
+		select {
+		case <-l.done:
+			return
+		case <-l.compactReq:
+			l.Compact() // sticky error; visible via Err/Checkpoint/Close
+		}
+	}
+}
+
+// Compact cuts everything not yet in a segment — the WAL's contents —
+// into a new sorted immutable segment, registers it in the manifest,
+// and truncates the WAL. Commits stall for the duration of the cut
+// (the WAL lock is held), which is bounded by the compaction threshold.
+func (l *Log) Compact() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if l.closed {
+		return errors.New("store: compacting closed wal")
+	}
+	var pages []PageRecord
+	var locals []LocalRequest
+	var netlogs []NetLogRecord
+	mark := l.st.DeltaSince(l.segMark,
+		func(p *PageRecord) { pages = append(pages, *p) },
+		func(lr *LocalRequest) { locals = append(locals, *lr) },
+		func(n *NetLogRecord) { netlogs = append(netlogs, *n) },
+	)
+	if len(pages) == 0 && len(locals) == 0 && len(netlogs) == 0 {
+		l.segMark = mark
+		return nil
+	}
+	sortAll(pages, locals, netlogs)
+
+	name := fmt.Sprintf("seg-%06d.jsonl", len(l.manifest.Segments)+1)
+	crc, err := writeSegment(l.dir, name, pages, locals, netlogs)
+	if err != nil {
+		l.err = err
+		return err
+	}
+	next := l.manifest
+	next.Segments = append(append([]walSegment(nil), l.manifest.Segments...), walSegment{
+		Name: name, CRC32C: crc,
+		Pages: len(pages), Locals: len(locals), NetLogs: len(netlogs),
+	})
+	if err := writeManifest(l.dir, next); err != nil {
+		l.err = err
+		return err
+	}
+	l.manifest = next
+
+	// The segment is durable and registered: the WAL's records are now
+	// redundant and the log restarts empty.
+	err = l.bw.Flush()
+	if err == nil {
+		err = l.f.Truncate(int64(len(walMagic)))
+	}
+	if err == nil {
+		_, err = l.f.Seek(int64(len(walMagic)), io.SeekStart)
+	}
+	if err != nil {
+		l.err = fmt.Errorf("store: truncating wal after compaction: %w", err)
+		return l.err
+	}
+	l.bw.Reset(l.f)
+	l.walBytes.Store(int64(len(walMagic)))
+	l.segMark = mark
+	return nil
+}
+
+// writeSegment writes one immutable sorted segment via temp file +
+// fsync + rename, returning its CRC32C.
+func writeSegment(dir, name string, pages []PageRecord, locals []LocalRequest, netlogs []NetLogRecord) (uint32, error) {
+	tmp := filepath.Join(dir, ".tmp-"+name)
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, fmt.Errorf("store: writing segment: %w", err)
+	}
+	crc := crc32.New(walCRC)
+	err = encodeJSONL(io.MultiWriter(f, crc), pages, locals, netlogs)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, filepath.Join(dir, name))
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("store: writing segment %s: %w", name, err)
+	}
+	syncDir(dir)
+	return crc.Sum32(), nil
+}
+
+// writeManifest atomically replaces the manifest.
+func writeManifest(dir string, m walManifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: encoding manifest: %w", err)
+	}
+	tmp := filepath.Join(dir, ".tmp-MANIFEST")
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("store: writing manifest: %w", err)
+	}
+	if f, err := os.Open(tmp); err == nil {
+		f.Sync()
+		f.Close()
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "MANIFEST")); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: installing manifest: %w", err)
+	}
+	syncDir(dir)
+	return nil
+}
+
+// syncDir fsyncs a directory so renames within it are durable.
+// Best-effort: some filesystems refuse directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// Checkpoint flushes buffered WAL appends and fsyncs the log: on
+// return, every commit made before the call survives a crash. This is
+// the crawler's periodic durability point and the serving layer's
+// drain step.
+func (l *Log) Checkpoint() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if l.closed {
+		return errors.New("store: checkpointing closed wal")
+	}
+	if err := l.bw.Flush(); err != nil {
+		l.err = fmt.Errorf("store: flushing wal: %w", err)
+		return l.err
+	}
+	if err := l.f.Sync(); err != nil {
+		l.err = fmt.Errorf("store: syncing wal: %w", err)
+		return l.err
+	}
+	return nil
+}
+
+// Err returns the log's sticky error, if any I/O has failed. The
+// in-memory store remains usable; durability is what broke.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// WALBytes reports the current WAL length, including the header.
+func (l *Log) WALBytes() int64 { return l.walBytes.Load() }
+
+// Segments reports how many immutable segments the manifest holds.
+func (l *Log) Segments() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.manifest.Segments)
+}
+
+// Dir returns the durable directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Close stops the background compactor, flushes and fsyncs the WAL,
+// and closes it. Callers must quiesce writers first; commits after
+// Close are applied in memory but not journaled (and set the sticky
+// error). The directory can then be reopened.
+func (l *Log) Close() error {
+	select {
+	case <-l.done:
+	default:
+		close(l.done)
+	}
+	l.wg.Wait()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return l.err
+	}
+	l.closed = true
+	err := l.bw.Flush()
+	if serr := l.f.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil && l.err == nil {
+		l.err = fmt.Errorf("store: closing wal: %w", err)
+	}
+	return l.err
+}
+
+// WAL returns the log attached to the store by Open, or nil for a
+// purely in-memory store.
+func (s *Store) WAL() *Log { return s.wal }

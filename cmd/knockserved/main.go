@@ -92,8 +92,17 @@ func main() {
 			fatal("opening wal", "dir", *walDir, "err", err)
 		}
 		if n := rec.SegmentRecords + rec.WALRecords; n > 0 {
-			logger.Info("wal recovered", "dir", *walDir, "records", n,
-				"segments", rec.Segments, "truncated_tail", rec.Truncated)
+			// The journal is the source of truth and -in is skipped; say
+			// so loudly (Warn on a truncated tail) so a partial remount is
+			// visible rather than silently serving a smaller corpus.
+			lvl := slog.LevelInfo
+			if rec.Truncated {
+				lvl = slog.LevelWarn
+			}
+			logger.Log(context.Background(), lvl, "wal recovered, serving journal instead of -in",
+				"dir", *walDir, "records", n, "segments", rec.Segments,
+				"segment_records", rec.SegmentRecords, "wal_records", rec.WALRecords,
+				"truncated_tail", rec.Truncated, "tail_err", rec.TailErr)
 			*in = ""
 		}
 	}
@@ -104,6 +113,18 @@ func main() {
 		}
 		if err := st.LoadFiles(paths...); err != nil {
 			fatal("loading stores", "err", err)
+		}
+		if lg != nil {
+			// The seed load was journaled through the WAL's buffered
+			// writer; make it durable before serving. Otherwise a crash
+			// before the first ticker checkpoint leaves a partial journal
+			// that a restart would silently prefer over the full -in
+			// export.
+			if err := lg.Checkpoint(); err != nil {
+				fatal("checkpointing seeded wal", "dir", *walDir, "err", err)
+			}
+			logger.Info("wal seeded from -in", "dir", *walDir,
+				"pages", st.NumPages(), "locals", st.NumLocals(), "netlogs", st.NumNetLogs())
 		}
 	}
 	var tracer *telemetry.Tracer

@@ -133,6 +133,14 @@ func Run(spec Spec) (*Manifest, error) {
 					lg.Close()
 					return nil, err
 				}
+				// The seed is only in the WAL's write buffer so far; make
+				// it durable before the crawl starts, or a crash before the
+				// first mid-leg checkpoint would leave a partial journal
+				// that the next resume prefers over the full export.
+				if err := lg.Checkpoint(); err != nil {
+					lg.Close()
+					return nil, fmt.Errorf("campaign: %s: checkpointing seeded wal: %w", crawl, err)
+				}
 			}
 		} else {
 			st = store.New()

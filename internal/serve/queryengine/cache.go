@@ -89,7 +89,12 @@ func (c *Cache) revalidate(ent *cacheEntry, gen uint64, changed func(since uint6
 			return false
 		}
 	}
-	ent.gen = gen
+	// Only advance: a racing request that captured an older generation
+	// must not move the tag backwards, or the entry would be re-checked
+	// (or evicted) for scopes it already covers.
+	if gen > ent.gen {
+		ent.gen = gen
+	}
 	return true
 }
 

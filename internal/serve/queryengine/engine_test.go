@@ -194,4 +194,15 @@ func TestCacheScopeRevalidation(t *testing.T) {
 	if _, ok := c.Get("crawl", 2, changes(store.CommitScope{Gen: 2, Crawl: "live", Domain: "z.example"})); !ok {
 		t.Error("commit in another crawl must not evict a crawl-scoped entry")
 	}
+
+	// A racing request that captured an older generation must not move
+	// an entry's tag backwards: the entry keeps its newer generation and
+	// the next same-generation Get is a plain hit with no journal.
+	c.Put("race", []byte("R"), 5, Scope{Domain: "r.example"})
+	if _, ok := c.Get("race", 3, changes()); !ok {
+		t.Error("older-generation reader should still hit an untouched entry")
+	}
+	if _, ok := c.Get("race", 5, nil); !ok {
+		t.Error("entry generation moved backwards after an older-generation Get")
+	}
 }

@@ -63,7 +63,7 @@ func fuzzWALRecord(payload []byte, breakCRC bool) []byte {
 // clean — same record count, no tail damage. That last property is what
 // lets Open truncate to the prefix and keep appending.
 func FuzzWALReplay(f *testing.F) {
-	rec1 := fuzzWALRecord([]byte(`{"p":[{"crawl":"x","os":"Windows","domain":"a.example","url":"http://a/"}]}`), false)
+	rec1 := fuzzWALRecord([]byte(`{"s":1,"p":[{"crawl":"x","os":"Windows","domain":"a.example","url":"http://a/"}]}`), false)
 	rec2 := fuzzWALRecord([]byte(`{"l":[{"crawl":"x","os":"Windows","domain":"a.example","url":"http://localhost/","scheme":"http","host":"localhost","port":80,"path":"/","dest":"localhost","delay":5}]}`), false)
 	valid := append([]byte(walMagic), append(append([]byte(nil), rec1...), rec2...)...)
 	f.Add(valid)

@@ -13,6 +13,7 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"syscall"
 )
 
 // This file is the store's durability engine. A directory opened with
@@ -23,12 +24,21 @@ import (
 //	MANIFEST         JSON list of live segments with checksums
 //
 // Every commit appends one WAL record — a length-prefixed, CRC32C
-// checksummed JSON batch — before landing in the shard buffers, both
-// under the log's lock so the log is always an exact prefix-complete
-// journal of the in-memory state. Compaction cuts the store's delta
-// since the last cut into a new sorted segment (written to a temp file,
-// fsynced, renamed), registers it in the MANIFEST, and truncates the
-// WAL. Recovery on Open loads the manifest's segments, then replays the
+// checksummed JSON batch carrying a monotonic sequence number — before
+// landing in the shard buffers, both under the log's lock so the log is
+// always an exact prefix-complete journal of the in-memory state.
+// Compaction cuts the store's delta since the last cut into a new
+// sorted segment (written to a temp file, fsynced, renamed), registers
+// it in the MANIFEST together with the last sequence number the
+// segments now cover, and only then truncates the WAL. Replay is
+// idempotent against a crash anywhere in that sequence: records whose
+// sequence number is <= the manifest's CompactedSeq are already inside
+// a segment and are skipped, so a WAL left untruncated by a crash
+// between the manifest install and the truncate never double-applies.
+// The manifest and segment fsyncs (file and directory) are checked —
+// a failed sync aborts the compaction before the truncate, so the WAL
+// is never shortened while it is still the only durable copy.
+// Recovery on Open loads the manifest's segments, then replays the
 // WAL, tolerating a torn or corrupt tail: the valid prefix is applied
 // and the tail is dropped, exactly the contract a crash mid-append
 // requires. Appends are buffered; Checkpoint flushes and fsyncs, which
@@ -48,8 +58,13 @@ const maxWALRecord = 256 << 20
 var walCRC = crc32.MakeTable(crc32.Castagnoli)
 
 // walPayload is the JSON body of one WAL record: the records of one
-// commit, in commit order.
+// commit, in commit order. Seq is the record's monotonic sequence
+// number, starting at 1 per log; replay skips records whose Seq the
+// manifest says are already captured in segments. Seq 0 marks an
+// unsequenced record (direct replayWAL input, e.g. the fuzz target)
+// and is always applied.
 type walPayload struct {
+	Seq     uint64         `json:"s,omitempty"`
 	Pages   []PageRecord   `json:"p,omitempty"`
 	Locals  []LocalRequest `json:"l,omitempty"`
 	NetLogs []NetLogRecord `json:"n,omitempty"`
@@ -87,6 +102,11 @@ type Recovery struct {
 	// WALRecords and WALBytes describe the replayed valid WAL prefix.
 	WALRecords int
 	WALBytes   int64
+	// WALSkipped counts valid WAL records that were not applied because
+	// the manifest says a segment already holds them — the footprint of
+	// a crash between a compaction's manifest install and its WAL
+	// truncation. They are part of the valid prefix but never replayed.
+	WALSkipped int
 	// Truncated reports that the WAL had a torn or corrupt tail, which
 	// was dropped; TailErr describes the damage.
 	Truncated bool
@@ -107,8 +127,9 @@ type Log struct {
 	f        *os.File
 	bw       *bufio.Writer
 	closed   bool
-	err      error // first append/IO error, sticky
-	segMark  Mark  // store records already captured in segments
+	err      error  // first append/IO error, sticky
+	segMark  Mark   // store records already captured in segments
+	nextSeq  uint64 // sequence number of the next WAL record
 	manifest walManifest
 
 	walBytes atomic.Int64
@@ -120,6 +141,11 @@ type Log struct {
 
 type walManifest struct {
 	Segments []walSegment `json:"segments"`
+	// CompactedSeq is the highest WAL sequence number whose record is
+	// captured in the segments above. Replay skips WAL records at or
+	// below it, making recovery idempotent when a crash lands between a
+	// compaction's manifest install and its WAL truncation.
+	CompactedSeq uint64 `json:"compacted_seq,omitempty"`
 }
 
 type walSegment struct {
@@ -170,7 +196,19 @@ func Open(dir string, opts LogOptions) (*Store, *Log, Recovery, error) {
 	if err != nil {
 		return nil, nil, rec, fmt.Errorf("store: opening wal: %w", err)
 	}
+	compacted := l.manifest.CompactedSeq
+	var maxSeq uint64
 	valid, nrec, tailErr := replayWAL(f, func(p walPayload) {
+		if p.Seq > maxSeq {
+			maxSeq = p.Seq
+		}
+		if p.Seq != 0 && p.Seq <= compacted {
+			// A compaction made this record durable in a segment but
+			// crashed before truncating the WAL; applying it again would
+			// duplicate it.
+			rec.WALSkipped++
+			return
+		}
 		// The log is not yet attached, so this applies to the shards
 		// and journals scopes without re-appending to the WAL.
 		st.commit(p.Pages, p.Locals, p.NetLogs)
@@ -179,8 +217,12 @@ func Open(dir string, opts LogOptions) (*Store, *Log, Recovery, error) {
 		f.Close()
 		return nil, nil, rec, fmt.Errorf("store: wal.log: %v", tailErr)
 	}
-	rec.WALRecords = nrec
+	rec.WALRecords = nrec - rec.WALSkipped
 	rec.WALBytes = valid
+	l.nextSeq = compacted + 1
+	if maxSeq >= l.nextSeq {
+		l.nextSeq = maxSeq + 1
+	}
 	if tailErr != nil {
 		rec.Truncated = true
 		rec.TailErr = tailErr.Error()
@@ -327,11 +369,12 @@ func (l *Log) appendCommit(ps []PageRecord, ls []LocalRequest, nls []NetLogRecor
 		l.err = errors.New("store: append to closed wal")
 		return
 	}
-	payload, err := json.Marshal(walPayload{Pages: ps, Locals: ls, NetLogs: nls})
+	payload, err := json.Marshal(walPayload{Seq: l.nextSeq, Pages: ps, Locals: ls, NetLogs: nls})
 	if err != nil {
 		l.err = fmt.Errorf("store: encoding wal record: %w", err)
 		return
 	}
+	l.nextSeq++
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, walCRC))
@@ -409,14 +452,21 @@ func (l *Log) Compact() error {
 		Name: name, CRC32C: crc,
 		Pages: len(pages), Locals: len(locals), NetLogs: len(netlogs),
 	})
+	// Appends hold l.mu, so every WAL record written so far — exactly
+	// the delta just cut — has a sequence number below l.nextSeq.
+	next.CompactedSeq = l.nextSeq - 1
 	if err := writeManifest(l.dir, next); err != nil {
+		// The WAL is still the only durable registered copy; leave it
+		// untouched.
 		l.err = err
 		return err
 	}
 	l.manifest = next
 
-	// The segment is durable and registered: the WAL's records are now
-	// redundant and the log restarts empty.
+	// The segment is durable and registered, and CompactedSeq makes
+	// replay skip the WAL's copies even if the truncation below never
+	// reaches disk: the records are now redundant and the log restarts
+	// empty.
 	err = l.bw.Flush()
 	if err == nil {
 		err = l.f.Truncate(int64(len(walMagic)))
@@ -457,39 +507,67 @@ func writeSegment(dir, name string, pages []PageRecord, locals []LocalRequest, n
 		os.Remove(tmp)
 		return 0, fmt.Errorf("store: writing segment %s: %w", name, err)
 	}
-	syncDir(dir)
+	if err := syncDir(dir); err != nil {
+		// The rename may not be durable; the caller must not treat the
+		// segment as a safe copy (the orphaned file is harmless — it is
+		// not in the manifest).
+		return 0, fmt.Errorf("store: syncing dir after segment %s: %w", name, err)
+	}
 	return crc.Sum32(), nil
 }
 
-// writeManifest atomically replaces the manifest.
+// writeManifest atomically replaces the manifest. It returns only after
+// the new manifest and the rename are fsynced: compaction truncates the
+// WAL on success, so a manifest that might not survive a crash must be
+// reported as a failure.
 func writeManifest(dir string, m walManifest) error {
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return fmt.Errorf("store: encoding manifest: %w", err)
 	}
 	tmp := filepath.Join(dir, ".tmp-MANIFEST")
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+	f, err := os.Create(tmp)
+	if err != nil {
 		return fmt.Errorf("store: writing manifest: %w", err)
 	}
-	if f, err := os.Open(tmp); err == nil {
-		f.Sync()
-		f.Close()
+	_, err = f.Write(append(data, '\n'))
+	if err == nil {
+		err = f.Sync()
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, "MANIFEST")); err != nil {
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, filepath.Join(dir, "MANIFEST"))
+	}
+	if err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("store: installing manifest: %w", err)
 	}
-	syncDir(dir)
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("store: syncing dir after manifest: %w", err)
+	}
 	return nil
 }
 
-// syncDir fsyncs a directory so renames within it are durable.
-// Best-effort: some filesystems refuse directory fsync.
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
+// syncDir fsyncs a directory so renames within it are durable. A
+// filesystem that does not support directory fsync (EINVAL/ENOTSUP) is
+// treated as success — there is nothing more we can do there — but a
+// real I/O failure is reported so compaction does not truncate a WAL
+// whose replacement may not survive a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
 	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil && (errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP)) {
+		return nil
+	}
+	return err
 }
 
 // Checkpoint flushes buffered WAL appends and fsyncs the log: on

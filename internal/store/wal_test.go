@@ -239,6 +239,124 @@ func TestWALCompaction(t *testing.T) {
 	}
 }
 
+// TestWALCompactionCrashIdempotent reconstructs the exact crash window
+// inside Compact — segment and MANIFEST durable, WAL truncation never
+// reached disk — and requires replay to be idempotent: the WAL's copies
+// of the compacted records (their sequence numbers are at or below the
+// manifest's CompactedSeq) must be skipped, not double-applied.
+func TestWALCompactionCrashIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	st, l, _, err := Open(dir, LogOptions{CompactBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const commits = 5
+	for i := 0; i < commits; i++ {
+		st.AddBatch(walVisit(i))
+	}
+	if err := l.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	preCompact, err := os.ReadFile(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The crash: manifest and segment landed, the truncation did not.
+	if err := os.WriteFile(filepath.Join(dir, "wal.log"), preCompact, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, l2, rec, err := Open(dir, LogOptions{CompactBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Segments != 1 || rec.WALSkipped != commits || rec.WALRecords != 0 {
+		t.Fatalf("recovery = %+v, want 1 segment and %d skipped WAL records", rec, commits)
+	}
+	if got, want := st2.NumPages(), commits; got != want {
+		t.Fatalf("recovered %d pages, want %d — compacted records were double-applied", got, want)
+	}
+	if !bytes.Equal(saveBytes(t, st2), saveBytes(t, walReference(commits))) {
+		t.Fatal("post-crash recovery does not match the pre-crash reference")
+	}
+
+	// Life goes on: sequence numbers must continue past the skipped
+	// records so the next compaction covers only genuinely new commits.
+	st2.AddBatch(walVisit(commits))
+	if err := l2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st3, l3, rec3, err := Open(dir, LogOptions{CompactBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	if rec3.WALSkipped != 0 {
+		t.Errorf("second recovery skipped %d records from a cleanly truncated WAL", rec3.WALSkipped)
+	}
+	if !bytes.Equal(saveBytes(t, st3), saveBytes(t, walReference(commits+1))) {
+		t.Fatal("store after post-crash append + compaction does not match the reference")
+	}
+}
+
+// TestWALCompactionCrashBeforeManifest covers the other half of the
+// window: the segment file was renamed into place but the manifest
+// install never happened. The orphan segment is ignored and the WAL —
+// still the only registered copy — replays everything.
+func TestWALCompactionCrashBeforeManifest(t *testing.T) {
+	dir := t.TempDir()
+	st, l, _, err := Open(dir, LogOptions{CompactBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const commits = 5
+	for i := 0; i < commits; i++ {
+		st.AddBatch(walVisit(i))
+	}
+	if err := l.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	preCompact, err := os.ReadFile(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The crash: the segment exists, but neither the manifest install
+	// nor the WAL truncation happened.
+	if err := os.Remove(filepath.Join(dir, "MANIFEST")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "wal.log"), preCompact, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, l2, rec, err := Open(dir, LogOptions{CompactBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if rec.Segments != 0 || rec.WALRecords != commits || rec.WALSkipped != 0 {
+		t.Fatalf("recovery = %+v, want %d WAL records and no segments", rec, commits)
+	}
+	if !bytes.Equal(saveBytes(t, st2), saveBytes(t, walReference(commits))) {
+		t.Fatal("recovery from the un-manifested WAL lost records")
+	}
+}
+
 // TestWALConcurrentCommits hammers commits from many goroutines with
 // background compaction triggering aggressively, then proves the
 // reopened store is record-for-record identical (canonical Save bytes)
@@ -285,9 +403,11 @@ func TestWALConcurrentCommits(t *testing.T) {
 }
 
 // TestWALKillAndRecover spawns a child process that commits and
-// checkpoints a known sequence, scribbles a partial record on the log
-// (a crash mid-append), and SIGKILLs itself. The parent then recovers
-// the directory and requires the exact checkpointed prefix.
+// checkpoints a known sequence — compacting partway through, so the
+// recovered state spans a segment plus a live WAL — scribbles a partial
+// record on the log (a crash mid-append), and SIGKILLs itself. The
+// parent then recovers the directory and requires the exact
+// checkpointed prefix.
 func TestWALKillAndRecover(t *testing.T) {
 	if dir := os.Getenv("KNOCKWAL_CRASH_DIR"); dir != "" {
 		walCrashChild(dir)
@@ -309,18 +429,24 @@ func TestWALKillAndRecover(t *testing.T) {
 	if !rec.Truncated {
 		t.Errorf("recovery = %+v, want a truncated torn tail", rec)
 	}
-	if rec.WALRecords != walCrashCommits {
-		t.Errorf("replayed %d records, want %d", rec.WALRecords, walCrashCommits)
+	if rec.Segments != 1 {
+		t.Errorf("recovered %d segments, want the child's mid-sequence compaction", rec.Segments)
+	}
+	if want := walCrashCommits - walCrashCompactAt; rec.WALRecords != want {
+		t.Errorf("replayed %d WAL records, want %d", rec.WALRecords, want)
 	}
 	if !bytes.Equal(saveBytes(t, st), saveBytes(t, walReference(walCrashCommits))) {
 		t.Fatal("post-kill recovery does not match the pre-crash reference")
 	}
 }
 
-const walCrashCommits = 7
+const (
+	walCrashCommits   = 7
+	walCrashCompactAt = 4 // commits captured in a segment before the kill
+)
 
 // walCrashChild runs in the forked test process: commit, checkpoint,
-// tear the log, die.
+// compact partway, tear the log, die.
 func walCrashChild(dir string) {
 	st, l, _, err := Open(dir, LogOptions{CompactBytes: -1})
 	if err != nil {
@@ -332,6 +458,12 @@ func walCrashChild(dir string) {
 		if err := l.Checkpoint(); err != nil {
 			fmt.Fprintln(os.Stderr, "crash child checkpoint:", err)
 			os.Exit(3)
+		}
+		if i == walCrashCompactAt-1 {
+			if err := l.Compact(); err != nil {
+				fmt.Fprintln(os.Stderr, "crash child compact:", err)
+				os.Exit(4)
+			}
 		}
 	}
 	// A record header that promises more bytes than will ever arrive.

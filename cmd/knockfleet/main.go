@@ -1,0 +1,117 @@
+// Command knockfleet coordinates a distributed crawl campaign: it
+// partitions the campaign world into leases — contiguous domain ranges
+// per (crawl, OS) leg — serves them to knockworker processes over an
+// HTTP control plane, append-merges uploaded shard stores with
+// idempotent dedup, and journals every lease transition so a killed
+// coordinator resumes the campaign with -resume. The merged stores are
+// byte-identical to a single-process knockcampaign run of the same
+// parameters, whatever the fleet's interleaving or failures.
+//
+// Usage:
+//
+//	knockfleet  -out ./run -listen :7090 -scale 1 -seed 20210603 -retain
+//	knockworker -coordinator http://coordinator:7090 -name worker-1 &
+//	knockworker -coordinator http://coordinator:7090 -name worker-2 &
+//	curl http://coordinator:7090/v1/fleet/status   # live fleet view
+//	knockfleet  -out ./run -listen :7090 -resume   # continue after a crash
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/knockandtalk/knockandtalk/internal/fleet"
+	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+	"github.com/knockandtalk/knockandtalk/internal/health"
+	"github.com/knockandtalk/knockandtalk/internal/telemetry"
+)
+
+func main() {
+	var (
+		out          = flag.String("out", "", "output directory for the lease journal, merged stores, and manifest")
+		listen       = flag.String("listen", ":7090", "control-plane listen address")
+		name         = flag.String("name", "knockandtalk-fleet", "campaign name")
+		crawls       = flag.String("crawls", "", "comma-separated crawl subset (default: all three)")
+		scale        = flag.Float64("scale", 1.0, "population scale in (0, 1]")
+		seed         = flag.Uint64("seed", 20210603, "deterministic seed")
+		retain       = flag.Bool("retain", false, "retain raw NetLog captures for local-activity visits")
+		leaseTargets = flag.Int("lease-targets", 64, "maximum targets per lease")
+		ttl          = flag.Duration("ttl", time.Minute, "lease renewal deadline; a silent worker past this is declared dead")
+		resume       = flag.Bool("resume", false, "resume an interrupted fleet campaign in -out")
+		maxUpload    = flag.Int64("max-upload-bytes", 256<<20, "shard upload bound (wire bytes and decompressed stream)")
+		drain        = flag.Duration("drain", 3*time.Second, "keep answering done to worker polls this long after completion, so idle workers exit cleanly")
+		logFormat    = flag.String("log-format", "text", "diagnostic log format: text or json")
+	)
+	flag.Parse()
+
+	logger, err := health.NewLogger(*logFormat, "knockfleet")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "knockfleet: %v\n", err)
+		os.Exit(1)
+	}
+	fatal := func(msg string, kv ...any) {
+		logger.Error(msg, kv...)
+		os.Exit(1)
+	}
+	if *out == "" {
+		fatal("-out is required")
+	}
+	cfg := fleet.Config{
+		Name: *name, OutDir: *out,
+		Scale: *scale, Seed: *seed, RetainLogs: *retain,
+		LeaseTargets: *leaseTargets, TTL: *ttl, Resume: *resume,
+		MaxUploadBytes: *maxUpload,
+		Health:         health.New(health.Options{}),
+		Metrics:        telemetry.Default(),
+		Logger:         logger,
+	}
+	if *crawls != "" {
+		for _, c := range strings.Split(*crawls, ",") {
+			cfg.Crawls = append(cfg.Crawls, groundtruth.CrawlID(strings.TrimSpace(c)))
+		}
+	}
+	c, err := fleet.New(cfg)
+	if err != nil {
+		fatal("starting coordinator", "err", err)
+	}
+	defer c.Close()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal("control-plane listener", "addr", *listen, "err", err)
+	}
+	srv := &http.Server{Handler: c.Handler()}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fatal("control plane", "err", err)
+		}
+	}()
+	logger.Info("fleet coordinating", "addr", ln.Addr().String(), "out", *out,
+		"scale", *scale, "seed", *seed, "lease_targets", *leaseTargets, "ttl", *ttl)
+
+	<-c.Done()
+	// Write outputs while still serving: workers polling for more work
+	// keep getting a clean "done" answer until the drain window closes,
+	// instead of a torn-down listener they cannot tell from a crash.
+	m, err := c.WriteOutputs()
+	if err != nil {
+		fatal("writing outputs", "err", err)
+	}
+	time.Sleep(*drain)
+	srv.Close()
+	if err := c.Close(); err != nil {
+		fatal("closing coordinator", "err", err)
+	}
+	for _, e := range m.Entries {
+		fmt.Printf("%-14s %-8s attempted=%-7d ok=%-7d failed=%-6d local=%-5d\n",
+			e.Crawl, e.OS, e.Attempted, e.Successful, e.Failed, e.LocalRequests)
+	}
+	fmt.Printf("fleet: %d leases, %d workers, %d reassignments, %d duplicate visits deduped\n",
+		len(m.Fleet.Leases), len(m.Fleet.Workers), m.Fleet.Reassignments, m.Fleet.DuplicateVisits)
+	fmt.Printf("manifest: %s\n", *out+"/manifest.json")
+}

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"github.com/knockandtalk/knockandtalk/internal/campaign"
+	"github.com/knockandtalk/knockandtalk/internal/fleet"
 	"github.com/knockandtalk/knockandtalk/internal/health"
 	"github.com/knockandtalk/knockandtalk/internal/pipeline"
 	"github.com/knockandtalk/knockandtalk/internal/report"
@@ -60,12 +61,17 @@ func main() {
 	w := bufio.NewWriter(os.Stdout)
 	report.WriteAll(w, st, report.ParseSections(*only))
 	if *manifest != "" {
-		m, err := campaign.LoadManifest(*manifest)
+		// fleet.LoadManifest reads both manifest kinds: a plain campaign
+		// manifest parses with a nil Fleet section.
+		m, err := fleet.LoadManifest(*manifest)
 		if err != nil {
 			w.Flush()
 			fatal("loading manifest", "dir", *manifest, "err", err)
 		}
-		writeOperations(w, m)
+		writeOperations(w, &m.Manifest)
+		if m.Fleet != nil {
+			writeFleet(w, m.Fleet)
+		}
 	}
 	w.Flush()
 
@@ -96,6 +102,38 @@ func writeOperations(w io.Writer, m *campaign.Manifest) {
 	}
 	if totalResumed > 0 {
 		fmt.Fprintf(w, "resume skips: %d targets already held by a prior run\n", totalResumed)
+	}
+}
+
+// writeFleet renders the distribution record of a fleet campaign: which
+// worker completed each lease, how often leases were reassigned after
+// TTL deaths, and how long shard uploads took.
+func writeFleet(w io.Writer, f *fleet.Info) {
+	fmt.Fprintf(w, "\n== Fleet distribution ==\n")
+	fmt.Fprintf(w, "workers: %s\n", strings.Join(f.Workers, ", "))
+	fmt.Fprintf(w, "lease size: %d targets, ttl: %.0fs\n", f.LeaseTargets, f.TTLSeconds)
+	if f.Expiries > 0 || f.Reassignments > 0 {
+		fmt.Fprintf(w, "failures: %d lease expiries, %d reassignments, %d duplicate visits deduped\n",
+			f.Expiries, f.Reassignments, f.DuplicateVisits)
+	}
+	fmt.Fprintf(w, "%-22s %-14s %-8s %8s %-26s %-14s %7s %9s\n",
+		"lease", "crawl", "os", "targets", "range", "worker", "reassign", "upload")
+	var uploadMS float64
+	for _, l := range f.Leases {
+		rng := l.FirstDomain
+		if l.LastDomain != l.FirstDomain {
+			rng += ".." + l.LastDomain
+		}
+		if len(rng) > 26 {
+			rng = rng[:23] + "..."
+		}
+		fmt.Fprintf(w, "%-22s %-14s %-8s %8d %-26s %-14s %7d %8.0fms\n",
+			l.ID, l.Crawl, l.OS, l.Targets, rng, l.Worker, l.Reassignments, l.UploadMS)
+		uploadMS += l.UploadMS
+	}
+	if n := len(f.Leases); n > 0 {
+		fmt.Fprintf(w, "uploads: %.0fms total, %.1fms mean across %d leases\n",
+			uploadMS, uploadMS/float64(n), n)
 	}
 }
 

@@ -1,0 +1,77 @@
+// Command knockworker crawls leases from a knockfleet coordinator: it
+// acquires a lease, rebuilds the deterministic world around the leased
+// target range, crawls it with mid-crawl WAL checkpointing (-workdir),
+// heartbeats progress through lease renewals, and uploads the shard
+// store gzip-compressed when the range is done — then asks for the next
+// lease until the campaign is finished.
+//
+// Usage:
+//
+//	knockworker -coordinator http://coordinator:7090 -name worker-1
+//	knockworker -coordinator http://coordinator:7090 -workdir /var/lib/knock  # survive kill -9 mid-lease
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/knockandtalk/knockandtalk/internal/fleet"
+	"github.com/knockandtalk/knockandtalk/internal/health"
+	"github.com/knockandtalk/knockandtalk/internal/telemetry"
+)
+
+func main() {
+	var (
+		coordinator = flag.String("coordinator", "", "coordinator control-plane URL, e.g. http://coordinator:7090")
+		name        = flag.String("name", "", "worker name (default: hostname-pid)")
+		workers     = flag.Int("workers", 0, "concurrent browser instances per lease (0 = GOMAXPROCS)")
+		workDir     = flag.String("workdir", "", "durable lease WAL directory; a restarted worker resumes half-crawled leases")
+		poll        = flag.Duration("poll", 0, "idle wait when all leases are held (0 = coordinator's suggestion)")
+		statusAddr  = flag.String("status-addr", "", "serve live /status, /healthz, and Prometheus /metrics on this address")
+		logFormat   = flag.String("log-format", "text", "diagnostic log format: text or json")
+	)
+	flag.Parse()
+
+	logger, err := health.NewLogger(*logFormat, "knockworker")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "knockworker: %v\n", err)
+		os.Exit(1)
+	}
+	fatal := func(msg string, kv ...any) {
+		logger.Error(msg, kv...)
+		os.Exit(1)
+	}
+	if *coordinator == "" {
+		fatal("-coordinator is required")
+	}
+	cfg := fleet.WorkerConfig{
+		Coordinator: *coordinator, Name: *name,
+		Workers: *workers, WorkDir: *workDir,
+		PollInterval: *poll, Logger: logger,
+	}
+	if *statusAddr != "" {
+		cfg.Health = health.New(health.Options{})
+		cfg.Health.SetReady(true)
+		cfg.Metrics = telemetry.Default()
+		_, stopStatus, err := health.Serve(*statusAddr, cfg.Health, cfg.Metrics, logger)
+		if err != nil {
+			fatal("status listener", "addr", *statusAddr, "err", err)
+		}
+		defer stopStatus()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	start := time.Now()
+	sum, err := fleet.RunWorker(ctx, cfg)
+	if err != nil && ctx.Err() == nil {
+		fatal("worker failed", "err", err)
+	}
+	fmt.Printf("worker: %d leases, %d visits merged, %d duplicates deduped, %d shard bytes uploaded in %v\n",
+		sum.Leases, sum.Visits, sum.Duplicates, sum.UploadBytes, time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,170 @@
+package fleet
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// ErrLeaseLost is returned by Renew when the coordinator no longer
+// recognizes this worker as the lease's holder: the lease expired (and
+// may be reassigned) or completed. The worker may finish and upload
+// anyway — dedup makes the double delivery harmless — but further
+// renewals buy nothing.
+var ErrLeaseLost = errors.New("fleet: lease lost")
+
+// Client speaks the coordinator's control plane on behalf of one
+// worker.
+type Client struct {
+	// Base is the coordinator's URL, e.g. "http://10.0.0.1:7090".
+	Base string
+	// Worker names this worker in every request.
+	Worker string
+	// HTTP overrides the transport; nil means http.DefaultClient.
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// post issues one control-plane POST and decodes the JSON response into
+// out. Non-2xx responses surface as errors carrying the server's
+// message; the status code is returned for callers that branch on it.
+func (c *Client) post(ctx context.Context, path string, q url.Values, body io.Reader, gzipped bool, out any) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path+"?"+q.Encode(), body)
+	if err != nil {
+		return 0, err
+	}
+	if gzipped {
+		req.Header.Set("Content-Encoding", "gzip")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.Unmarshal(raw, &e)
+		if e.Error == "" {
+			e.Error = string(raw)
+		}
+		return resp.StatusCode, fmt.Errorf("fleet: %s: %s (status %d)", path, e.Error, resp.StatusCode)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("fleet: decoding %s response: %w", path, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// Acquire asks for work. Exactly one of the results is meaningful:
+// a granted lease, done (the campaign is finished), or a retry delay
+// (everything is leased out right now).
+func (c *Client) Acquire(ctx context.Context) (*Lease, bool, time.Duration, error) {
+	q := url.Values{"worker": {c.Worker}}
+	var resp AcquireResponse
+	if _, err := c.post(ctx, "/v1/lease/acquire", q, nil, false, &resp); err != nil {
+		return nil, false, 0, err
+	}
+	if resp.Done {
+		return nil, true, 0, nil
+	}
+	if resp.Lease == nil {
+		retry := time.Duration(resp.RetryMS) * time.Millisecond
+		if retry <= 0 {
+			retry = 500 * time.Millisecond
+		}
+		return nil, false, retry, nil
+	}
+	return resp.Lease, false, 0, nil
+}
+
+// Renew heartbeats the lease with the worker's visit progress.
+func (c *Client) Renew(ctx context.Context, leaseID string, visited int) error {
+	q := url.Values{
+		"worker": {c.Worker}, "lease": {leaseID},
+		"visited": {strconv.Itoa(visited)},
+	}
+	code, err := c.post(ctx, "/v1/lease/renew", q, nil, false, nil)
+	if code == http.StatusConflict || code == http.StatusNotFound {
+		return ErrLeaseLost
+	}
+	return err
+}
+
+// CompleteStats summarizes the lease crawl for the manifest row.
+type CompleteStats struct {
+	Attempted, Successful, Failed, Locals, RetentionErrors int
+	Elapsed, Upload                                        time.Duration
+}
+
+// Complete uploads the lease's shard store (canonical Save bytes,
+// gzip-compressed on the wire) and reports the crawl summary. The
+// upload is idempotent: on a retried or double delivery the coordinator
+// dedups and reports the overlap in the response.
+func (c *Client) Complete(ctx context.Context, leaseID string, stats CompleteStats, shard []byte) (*CompleteResponse, error) {
+	var buf bytes.Buffer
+	gw := gzip.NewWriter(&buf)
+	if _, err := gw.Write(shard); err != nil {
+		return nil, err
+	}
+	if err := gw.Close(); err != nil {
+		return nil, err
+	}
+	q := url.Values{
+		"worker": {c.Worker}, "lease": {leaseID},
+		"attempted":        {strconv.Itoa(stats.Attempted)},
+		"successful":       {strconv.Itoa(stats.Successful)},
+		"failed":           {strconv.Itoa(stats.Failed)},
+		"locals":           {strconv.Itoa(stats.Locals)},
+		"retention_errors": {strconv.Itoa(stats.RetentionErrors)},
+		"elapsed_ms":       {strconv.FormatFloat(float64(stats.Elapsed.Milliseconds()), 'f', -1, 64)},
+		"upload_ms":        {strconv.FormatFloat(float64(stats.Upload.Milliseconds()), 'f', -1, 64)},
+	}
+	var resp CompleteResponse
+	if _, err := c.post(ctx, "/v1/lease/complete", q, bytes.NewReader(buf.Bytes()), true, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// FleetStatus fetches the coordinator's fleet snapshot.
+func (c *Client) FleetStatus(ctx context.Context) (*FleetStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/fleet/status", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fleet: status %d from /v1/fleet/status", resp.StatusCode)
+	}
+	var fs FleetStatus
+	if err := json.NewDecoder(resp.Body).Decode(&fs); err != nil {
+		return nil, err
+	}
+	return &fs, nil
+}

@@ -1,0 +1,851 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+	"github.com/knockandtalk/knockandtalk/internal/health"
+	"github.com/knockandtalk/knockandtalk/internal/serve"
+	"github.com/knockandtalk/knockandtalk/internal/store"
+	"github.com/knockandtalk/knockandtalk/internal/telemetry"
+	"github.com/knockandtalk/knockandtalk/internal/websim"
+)
+
+// Config shapes a fleet campaign.
+type Config struct {
+	// Name labels the campaign in its manifest.
+	Name string
+	// OutDir receives the lease journal, per-crawl WAL directories, and
+	// — at completion — the canonical per-crawl stores and manifest.
+	OutDir string
+	// Crawls lists the campaigns to run; nil means all three.
+	Crawls []groundtruth.CrawlID
+	// Scale, Seed, RetainLogs as in crawler.Config — identical across
+	// the fleet, pinned into every lease.
+	Scale      float64
+	Seed       uint64
+	RetainLogs bool
+	// LeaseTargets is the maximum number of targets per lease; 0 means
+	// 64. Smaller leases reassign less work on worker death but cost
+	// more control-plane round trips.
+	LeaseTargets int
+	// TTL is how long a worker may go between renewals before its lease
+	// is declared dead and reassigned; 0 means 60s.
+	TTL time.Duration
+	// Resume replays the lease journal and per-crawl WALs in OutDir and
+	// continues the campaign; without it, a non-empty OutDir is an
+	// error, never silently absorbed.
+	Resume bool
+	// MaxUploadBytes bounds a shard upload — both the wire bytes and,
+	// for gzip uploads, the decompressed stream; 0 means 256 MiB.
+	MaxUploadBytes int64
+	// Health, when non-nil, carries the fleet's per-leg progress; the
+	// coordinator creates a private tracker otherwise, so /v1/fleet/status
+	// always has rates and ETAs to report.
+	Health *health.Tracker
+	// Metrics, when non-nil, receives the fleet counters.
+	Metrics *telemetry.Registry
+	// Logger, when non-nil, narrates lease transitions.
+	Logger *slog.Logger
+	// Now overrides the clock; tests inject a deterministic one.
+	Now func() time.Time
+}
+
+// leaseStateCode is a lease's position in the state machine.
+type leaseStateCode int
+
+const (
+	leaseAvailable leaseStateCode = iota
+	leaseLeased
+	leaseComplete
+)
+
+func (c leaseStateCode) String() string {
+	switch c {
+	case leaseAvailable:
+		return "available"
+	case leaseLeased:
+		return "leased"
+	default:
+		return "complete"
+	}
+}
+
+// leaseState is the coordinator's bookkeeping around one Lease.
+type leaseState struct {
+	*Lease
+	leg      *legState
+	state    leaseStateCode
+	worker   string    // current holder while leased
+	deadline time.Time // renewal deadline while leased
+	visited  int       // holder's last heartbeat progress
+	reported int       // visits already fed to the health leg
+	acquires int
+	expiries int
+	// completion facts, from the merged (first) delivery:
+	completedBy string
+	duplicates  int
+	uploadMS    float64
+}
+
+// legState aggregates one (crawl, OS) leg.
+type legState struct {
+	key      legKey
+	total    int
+	leases   []*leaseState
+	complete int
+	merged   int // visits committed to the campaign store
+	health   *health.CrawlProgress
+	// entry accumulates the leg's manifest row from lease completions.
+	attempted, successful, failed, locals, retention int
+	elapsedMS                                        float64
+}
+
+// workerState is what the coordinator knows about one worker.
+type workerState struct {
+	name     string
+	lastSeen time.Time
+	lease    string // currently held lease, "" when idle
+	visited  int
+}
+
+// Coordinator owns the fleet control plane: the lease state machine,
+// the journal, the campaign stores uploads merge into, and the HTTP
+// surface workers talk to.
+type Coordinator struct {
+	cfg     Config
+	mux     *http.ServeMux
+	tracker *health.Tracker
+	reg     *telemetry.Registry
+
+	mu        sync.Mutex
+	leases    []*leaseState
+	byID      map[string]*leaseState
+	legs      []*legState
+	legByName map[string]*legState // "crawl|os"
+	stores    map[groundtruth.CrawlID]*store.Store
+	logs      map[groundtruth.CrawlID]*store.Log
+	delivered map[string]bool // "crawl|os|url" — every merged visit
+	dupes     int             // visits dropped by dedup, this process's lifetime
+	workers   map[string]*workerState
+	journal   *journal
+	doneOnce  sync.Once
+	doneCh    chan struct{}
+
+	sweeping  bool
+	sweepStop chan struct{}
+	sweepDone chan struct{}
+
+	mAcquires  *telemetry.Counter
+	mExpiries  *telemetry.Counter
+	mReassigns *telemetry.Counter
+	mCompletes *telemetry.Counter
+	mMerged    *telemetry.Counter
+	mDupes     *telemetry.Counter
+	mUploadB   *telemetry.Counter
+}
+
+func pageKey(crawl, os, url string) string   { return crawl + "|" + os + "|" + url }
+func legName(crawl, os string) string        { return crawl + "|" + os }
+func domainKey(crawl, os, dom string) string { return crawl + "|" + os + "|" + dom }
+
+// New partitions the campaign, opens (or resumes) the journal and the
+// per-crawl WAL-backed stores, and returns a coordinator ready to
+// serve. The fleet starts paused in the sense that no worker holds
+// anything: leases are handed out on demand.
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.OutDir == "" {
+		return nil, fmt.Errorf("fleet: OutDir is required")
+	}
+	if len(cfg.Crawls) == 0 {
+		cfg.Crawls = []groundtruth.CrawlID{
+			groundtruth.CrawlTop2020, groundtruth.CrawlTop2021, groundtruth.CrawlMalicious,
+		}
+	}
+	if cfg.LeaseTargets <= 0 {
+		cfg.LeaseTargets = 64
+	}
+	if cfg.TTL <= 0 {
+		cfg.TTL = time.Minute
+	}
+	if cfg.MaxUploadBytes <= 0 {
+		cfg.MaxUploadBytes = 256 << 20
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if err := os.MkdirAll(cfg.OutDir, 0o755); err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		cfg:       cfg,
+		tracker:   cfg.Health,
+		reg:       cfg.Metrics,
+		byID:      map[string]*leaseState{},
+		legByName: map[string]*legState{},
+		stores:    map[groundtruth.CrawlID]*store.Store{},
+		logs:      map[groundtruth.CrawlID]*store.Log{},
+		delivered: map[string]bool{},
+		workers:   map[string]*workerState{},
+		doneCh:    make(chan struct{}),
+		sweepStop: make(chan struct{}),
+		sweepDone: make(chan struct{}),
+	}
+	if c.tracker == nil {
+		c.tracker = health.New(health.Options{Now: cfg.Now})
+	}
+	if c.reg == nil {
+		c.reg = telemetry.NewRegistry()
+	}
+	c.mAcquires = c.reg.Counter("fleet_lease_acquires_total")
+	c.mExpiries = c.reg.Counter("fleet_lease_expiries_total")
+	c.mReassigns = c.reg.Counter("fleet_lease_reassignments_total")
+	c.mCompletes = c.reg.Counter("fleet_lease_completes_total")
+	c.mMerged = c.reg.Counter("fleet_merged_visits_total")
+	c.mDupes = c.reg.Counter("fleet_duplicate_visits_total")
+	c.mUploadB = c.reg.Counter("fleet_upload_bytes_total")
+
+	leases, err := partition(cfg.Crawls, cfg.Scale, cfg.Seed, cfg.RetainLogs, cfg.LeaseTargets, cfg.TTL.Seconds())
+	if err != nil {
+		return nil, err
+	}
+	for _, leg := range legsFor(cfg.Crawls) {
+		n, err := websim.TargetCount(leg.crawl, cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		ls := &legState{key: leg, total: n}
+		ls.health = c.tracker.StartCrawl(string(leg.crawl), leg.os.String(), n, 0)
+		c.legs = append(c.legs, ls)
+		c.legByName[legName(string(leg.crawl), leg.os.String())] = ls
+	}
+	for _, l := range leases {
+		st := &leaseState{Lease: l, leg: c.legByName[legName(l.Crawl, l.OS)]}
+		st.leg.leases = append(st.leg.leases, st)
+		c.leases = append(c.leases, st)
+		c.byID[l.ID] = st
+		c.reg.Counter("fleet_leases_total", "crawl", l.Crawl, "os", l.OS).Inc()
+	}
+
+	// Campaign stores: one WAL-backed store per crawl, exactly the
+	// durable-campaign layout, so the merge is crash-resumable at record
+	// granularity.
+	for _, crawl := range cfg.Crawls {
+		walDir := filepath.Join(cfg.OutDir, string(crawl)+".wal")
+		st, lg, rec, err := store.Open(walDir, store.LogOptions{})
+		if err != nil {
+			c.closeStores()
+			return nil, fmt.Errorf("fleet: %s: %w", crawl, err)
+		}
+		if n := rec.SegmentRecords + rec.WALRecords; n > 0 && !cfg.Resume {
+			lg.Close()
+			c.closeStores()
+			return nil, fmt.Errorf("fleet: %s holds %d recovered records; pass Resume or clear it", walDir, n)
+		}
+		c.stores[crawl] = st
+		c.logs[crawl] = lg
+	}
+
+	// Journal: replay lease history, verify the campaign header pins the
+	// same partition, and append our own header when fresh.
+	var headerSeen bool
+	var headerErr error
+	jr, records, err := openJournal(cfg.OutDir, func(e journalEntry) error {
+		switch e.Type {
+		case "campaign":
+			headerSeen = true
+			if e.Scale != cfg.Scale || e.Seed != cfg.Seed ||
+				e.LeaseTargets != cfg.LeaseTargets || e.RetainLogs != cfg.RetainLogs ||
+				len(e.Crawls) != len(cfg.Crawls) {
+				headerErr = fmt.Errorf("fleet: journal in %s describes a different campaign (scale=%v seed=%d lease_targets=%d)", cfg.OutDir, e.Scale, e.Seed, e.LeaseTargets)
+			} else {
+				for i, cr := range e.Crawls {
+					if cr != string(cfg.Crawls[i]) {
+						headerErr = fmt.Errorf("fleet: journal in %s describes crawls %v", cfg.OutDir, e.Crawls)
+					}
+				}
+			}
+		case "acquire":
+			if ls := c.byID[e.Lease]; ls != nil && ls.state != leaseComplete {
+				ls.state = leaseLeased
+				ls.worker = e.Worker
+				ls.acquires++
+			}
+		case "expire":
+			if ls := c.byID[e.Lease]; ls != nil && ls.state != leaseComplete {
+				ls.state = leaseAvailable
+				ls.worker = ""
+				ls.expiries++
+			}
+		case "complete":
+			if ls := c.byID[e.Lease]; ls != nil && ls.state != leaseComplete {
+				c.markCompleteLocked(ls, e)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		c.closeStores()
+		return nil, err
+	}
+	c.journal = jr
+	if headerErr != nil {
+		c.Close()
+		return nil, headerErr
+	}
+	if records > 0 && !cfg.Resume {
+		c.Close()
+		return nil, fmt.Errorf("fleet: %s holds %d journaled lease transitions; pass Resume or clear it", filepath.Join(cfg.OutDir, journalName), records)
+	}
+	if !headerSeen {
+		crawls := make([]string, len(cfg.Crawls))
+		for i, cr := range cfg.Crawls {
+			crawls[i] = string(cr)
+		}
+		if err := jr.append(journalEntry{
+			Type: "campaign", Name: cfg.Name, Scale: cfg.Scale, Seed: cfg.Seed,
+			Crawls: crawls, LeaseTargets: cfg.LeaseTargets, RetainLogs: cfg.RetainLogs,
+		}); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+
+	if err := c.recover(); err != nil {
+		c.Close()
+		return nil, err
+	}
+
+	c.mux = http.NewServeMux()
+	c.mux.HandleFunc("/v1/lease/acquire", c.handleAcquire)
+	c.mux.HandleFunc("/v1/lease/renew", c.handleRenew)
+	c.mux.HandleFunc("/v1/lease/complete", c.handleComplete)
+	c.mux.HandleFunc("/v1/fleet/status", c.handleStatus)
+	health.Mount(c.mux, c.tracker, c.reg)
+	c.tracker.SetReady(true)
+
+	c.sweeping = true
+	go c.sweepLoop()
+	return c, nil
+}
+
+// recover reconstructs the delivered set from the recovered stores,
+// reverts leases whose holders predate this process, and recognizes
+// leases whose full range already landed (merged and checkpointed, but
+// crashed before the completion record) — those become complete instead
+// of being re-crawled.
+func (c *Coordinator) recover() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	deliveredDomains := map[string]bool{}
+	for _, st := range c.stores {
+		st.ForEachPage(func(p *store.PageRecord) {
+			c.delivered[pageKey(p.Crawl, p.OS, p.URL)] = true
+			deliveredDomains[domainKey(p.Crawl, p.OS, p.Domain)] = true
+			if leg := c.legByName[legName(p.Crawl, p.OS)]; leg != nil {
+				leg.merged++
+			}
+		})
+	}
+	for _, ls := range c.leases {
+		if ls.state == leaseLeased {
+			// The journaled holder belonged to a previous coordinator
+			// life; whether it is dead or still crawling, this process
+			// cannot track its renewals, so the lease goes back in the
+			// pool. A still-alive holder's eventual upload deduplicates.
+			ls.state = leaseAvailable
+			ls.worker = ""
+			ls.expiries++
+			c.mExpiries.Inc()
+			if err := c.journal.append(journalEntry{Type: "expire", Lease: ls.ID, Worker: "(restart)"}); err != nil {
+				return err
+			}
+		}
+		if ls.state != leaseComplete {
+			n, all := 0, true
+			for i := ls.Lo; i < ls.Hi; i++ {
+				dom, err := websim.TargetDomain(groundtruth.CrawlID(ls.Crawl), c.cfg.Scale, i)
+				if err != nil {
+					return err
+				}
+				if deliveredDomains[domainKey(ls.Crawl, ls.OS, dom)] {
+					n++
+				} else {
+					all = false
+				}
+			}
+			if all && ls.Targets() > 0 {
+				e := journalEntry{Type: "complete", Lease: ls.ID, Worker: "(recovered)", Attempted: ls.Targets()}
+				if err := c.journal.append(e); err != nil {
+					return err
+				}
+				c.markCompleteLocked(ls, e)
+			} else {
+				ls.reported = n
+			}
+		}
+		for i := 0; i < ls.reported; i++ {
+			ls.leg.health.ResumeSkip()
+		}
+	}
+	c.checkLegsLocked()
+	c.checkDoneLocked()
+	return nil
+}
+
+// markCompleteLocked applies a completion record to the state machine
+// and the leg aggregates. Caller holds c.mu (or is inside New).
+func (c *Coordinator) markCompleteLocked(ls *leaseState, e journalEntry) {
+	ls.state = leaseComplete
+	ls.worker = ""
+	ls.completedBy = e.Worker
+	ls.duplicates = e.Duplicates
+	ls.uploadMS = e.UploadMS
+	leg := ls.leg
+	leg.complete++
+	leg.attempted += e.Attempted
+	leg.successful += e.Successful
+	leg.failed += e.Failed
+	leg.locals += e.Locals
+	leg.retention += e.Retention
+	leg.elapsedMS += e.ElapsedMS
+}
+
+// checkLegsLocked finishes the health leg of every fully-complete leg.
+func (c *Coordinator) checkLegsLocked() {
+	for _, leg := range c.legs {
+		if leg.complete == len(leg.leases) && !leg.health.Done() {
+			leg.health.Finish()
+		}
+	}
+}
+
+// checkDoneLocked closes the done channel once every lease is complete.
+func (c *Coordinator) checkDoneLocked() {
+	for _, ls := range c.leases {
+		if ls.state != leaseComplete {
+			return
+		}
+	}
+	c.doneOnce.Do(func() { close(c.doneCh) })
+}
+
+// Handler returns the coordinator's HTTP surface: the lease control
+// plane plus the standard operations plane (/status, /healthz,
+// /metrics).
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Done is closed when every lease has completed and merged.
+func (c *Coordinator) Done() <-chan struct{} { return c.doneCh }
+
+// sweepLoop expires dead leases in the background; acquire also sweeps
+// inline, so the loop only matters when no worker is asking.
+func (c *Coordinator) sweepLoop() {
+	defer close(c.sweepDone)
+	every := c.cfg.TTL / 4
+	if every < 10*time.Millisecond {
+		every = 10 * time.Millisecond
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.sweepStop:
+			return
+		case <-t.C:
+			c.mu.Lock()
+			c.sweepLocked(c.cfg.Now())
+			c.mu.Unlock()
+		}
+	}
+}
+
+// sweepLocked reverts every leased lease whose renewal deadline has
+// passed: the holder is presumed dead and the range goes back in the
+// pool for reassignment.
+func (c *Coordinator) sweepLocked(now time.Time) {
+	for _, ls := range c.leases {
+		if ls.state != leaseLeased || now.Before(ls.deadline) {
+			continue
+		}
+		c.logf("lease expired", "lease", ls.ID, "worker", ls.worker, "visited", ls.visited)
+		if w := c.workers[ls.worker]; w != nil && w.lease == ls.ID {
+			w.lease = ""
+		}
+		c.journal.append(journalEntry{Type: "expire", Lease: ls.ID, Worker: ls.worker})
+		ls.state = leaseAvailable
+		ls.worker = ""
+		ls.visited = 0
+		ls.expiries++
+		c.mExpiries.Inc()
+	}
+}
+
+func (c *Coordinator) logf(msg string, kv ...any) {
+	if c.cfg.Logger != nil {
+		c.cfg.Logger.Info(msg, kv...)
+	}
+}
+
+// AcquireResponse is the wire form of POST /v1/lease/acquire.
+type AcquireResponse struct {
+	// Lease is the granted work unit, nil when none is available.
+	Lease *Lease `json:"lease,omitempty"`
+	// Done reports that the campaign has no work left at all — every
+	// lease is complete and the worker should exit.
+	Done bool `json:"done,omitempty"`
+	// RetryMS asks the worker to poll again later: everything is leased
+	// out right now, but reassignment may free work.
+	RetryMS int `json:"retry_ms,omitempty"`
+}
+
+func (c *Coordinator) handleAcquire(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	worker := r.URL.Query().Get("worker")
+	if worker == "" {
+		httpError(w, http.StatusBadRequest, "worker query parameter is required")
+		return
+	}
+	now := c.cfg.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touchWorkerLocked(worker, now)
+	c.sweepLocked(now)
+	var resp AcquireResponse
+	allComplete := true
+	for _, ls := range c.leases {
+		if ls.state == leaseComplete {
+			continue
+		}
+		allComplete = false
+		if ls.state != leaseAvailable {
+			continue
+		}
+		ls.state = leaseLeased
+		ls.worker = worker
+		ls.deadline = now.Add(c.cfg.TTL)
+		ls.visited = 0
+		ls.acquires++
+		c.mAcquires.Inc()
+		if ls.acquires > 1 {
+			c.mReassigns.Inc()
+		}
+		c.journal.append(journalEntry{Type: "acquire", Lease: ls.ID, Worker: worker})
+		c.workers[worker].lease = ls.ID
+		c.workers[worker].visited = 0
+		c.logf("lease acquired", "lease", ls.ID, "worker", worker, "targets", ls.Targets(), "acquires", ls.acquires)
+		resp.Lease = ls.Lease
+		break
+	}
+	if resp.Lease == nil {
+		if allComplete {
+			resp.Done = true
+		} else {
+			resp.RetryMS = 500
+		}
+	}
+	writeJSON(w, resp)
+}
+
+// RenewResponse is the wire form of POST /v1/lease/renew.
+type RenewResponse struct {
+	// TTLSeconds is the renewed deadline horizon.
+	TTLSeconds float64 `json:"ttl_seconds"`
+}
+
+func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	q := r.URL.Query()
+	leaseID, worker := q.Get("lease"), q.Get("worker")
+	visited, _ := strconv.Atoi(q.Get("visited"))
+	now := c.cfg.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touchWorkerLocked(worker, now)
+	ls := c.byID[leaseID]
+	if ls == nil {
+		httpError(w, http.StatusNotFound, "unknown lease "+strconv.Quote(leaseID))
+		return
+	}
+	if ls.state != leaseLeased || ls.worker != worker {
+		// The lease expired (and was possibly reassigned) or already
+		// completed. The worker may keep crawling and upload anyway —
+		// dedup makes the double delivery harmless — but it must know
+		// its renewal bought nothing.
+		httpError(w, http.StatusConflict, fmt.Sprintf("lease %s is %s", leaseID, ls.state))
+		return
+	}
+	ls.deadline = now.Add(c.cfg.TTL)
+	if visited > ls.visited {
+		ls.visited = visited
+		c.workers[worker].visited = visited
+	}
+	// Live progress: heartbeats advance the leg's throughput estimate
+	// before any upload lands. reported is a per-lease high-water mark,
+	// so a reassigned lease's second worker re-covers ground without
+	// double-counting.
+	if visited > ls.reported {
+		for i := ls.reported; i < visited && i < ls.Targets(); i++ {
+			ls.leg.health.VisitDone(-1, 0, true)
+		}
+		if visited < ls.Targets() {
+			ls.reported = visited
+		} else {
+			ls.reported = ls.Targets()
+		}
+	}
+	writeJSON(w, RenewResponse{TTLSeconds: c.cfg.TTL.Seconds()})
+}
+
+func (c *Coordinator) touchWorkerLocked(name string, now time.Time) {
+	if name == "" {
+		return
+	}
+	ws := c.workers[name]
+	if ws == nil {
+		ws = &workerState{name: name}
+		c.workers[name] = ws
+	}
+	ws.lastSeen = now
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	fmt.Fprintf(w, "{\"error\":%s}\n", strconv.Quote(msg))
+}
+
+// CompleteResponse is the wire form of POST /v1/lease/complete.
+type CompleteResponse struct {
+	// Merged is the number of fresh page visits committed; Duplicates is
+	// the number dropped because an earlier delivery already covered
+	// them (reassignment double-delivery).
+	Merged     int `json:"merged"`
+	Duplicates int `json:"duplicates"`
+	// FleetDone reports that this completion finished the campaign.
+	FleetDone bool `json:"fleet_done,omitempty"`
+}
+
+// handleComplete ingests a worker's shard store and completes its
+// lease. The upload is the worker's full lease store in canonical Save
+// form (optionally gzip-compressed); the merge is all-or-nothing and
+// idempotent: pages already delivered — by a previous holder of a
+// reassigned lease, or by this very upload retried — are dropped, along
+// with their locals and retained captures, keyed on the visited URL.
+// Ordering is merge → WAL checkpoint → journal completion, so a crash
+// at any point leaves either a reassignable lease (dedup absorbs the
+// re-delivery) or a durably complete one.
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	uploadStart := time.Now()
+	q := r.URL.Query()
+	leaseID, worker := q.Get("lease"), q.Get("worker")
+	body, err := serve.RequestBody(w, r, c.cfg.MaxUploadBytes)
+	if err != nil {
+		if errors.Is(err, serve.ErrUnsupportedEncoding) {
+			httpError(w, http.StatusUnsupportedMediaType, err.Error())
+			return
+		}
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	scratch := store.New()
+	if err := scratch.Load(body); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) || errors.Is(err, serve.ErrBodyTooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge, err.Error())
+			return
+		}
+		httpError(w, http.StatusBadRequest, "parsing shard store: "+err.Error())
+		return
+	}
+
+	atoi := func(k string) int { n, _ := strconv.Atoi(q.Get(k)); return n }
+	elapsedMS, _ := strconv.ParseFloat(q.Get("elapsed_ms"), 64)
+	// The worker reports time burned on earlier upload attempts; this
+	// attempt's receive-and-parse time is measured here, so a
+	// first-attempt success still records a real duration.
+	uploadMS, _ := strconv.ParseFloat(q.Get("upload_ms"), 64)
+	uploadMS += float64(time.Since(uploadStart).Nanoseconds()) / 1e6
+
+	now := c.cfg.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touchWorkerLocked(worker, now)
+	ls := c.byID[leaseID]
+	if ls == nil {
+		httpError(w, http.StatusNotFound, "unknown lease "+strconv.Quote(leaseID))
+		return
+	}
+
+	// Partition the upload into fresh and duplicate visits. Locals and
+	// netlogs ride with their page: a dropped page drops its domain's
+	// dependent records too (every record of a visit shares the domain).
+	var pages []store.PageRecord
+	var locals []store.LocalRequest
+	var netlogs []store.NetLogRecord
+	drop := map[string]bool{}
+	dupes := 0
+	badCrawl := ""
+	scratch.DeltaSince(store.Mark{}, func(p *store.PageRecord) {
+		if _, ok := c.stores[groundtruth.CrawlID(p.Crawl)]; !ok {
+			badCrawl = p.Crawl
+			return
+		}
+		if c.delivered[pageKey(p.Crawl, p.OS, p.URL)] {
+			drop[domainKey(p.Crawl, p.OS, p.Domain)] = true
+			dupes++
+			return
+		}
+		pages = append(pages, *p)
+	}, func(l *store.LocalRequest) {
+		if !drop[domainKey(l.Crawl, l.OS, l.Domain)] {
+			locals = append(locals, *l)
+		}
+	}, func(n *store.NetLogRecord) {
+		if !drop[domainKey(n.Crawl, n.OS, n.Domain)] {
+			netlogs = append(netlogs, *n)
+		}
+	})
+	if badCrawl != "" {
+		httpError(w, http.StatusBadRequest, "upload contains records for crawl "+strconv.Quote(badCrawl)+" this fleet does not run")
+		return
+	}
+
+	// Commit fresh records per crawl, then checkpoint the touched WALs
+	// before journaling completion: a journaled complete must imply a
+	// durable merge.
+	byCrawl := map[string]struct {
+		p []store.PageRecord
+		l []store.LocalRequest
+		n []store.NetLogRecord
+	}{}
+	for _, p := range pages {
+		e := byCrawl[p.Crawl]
+		e.p = append(e.p, p)
+		byCrawl[p.Crawl] = e
+	}
+	for _, l := range locals {
+		e := byCrawl[l.Crawl]
+		e.l = append(e.l, l)
+		byCrawl[l.Crawl] = e
+	}
+	for _, n := range netlogs {
+		e := byCrawl[n.Crawl]
+		e.n = append(e.n, n)
+		byCrawl[n.Crawl] = e
+	}
+	for crawl, recs := range byCrawl {
+		c.stores[groundtruth.CrawlID(crawl)].AddRecords(recs.p, recs.l, recs.n)
+	}
+	for crawl := range byCrawl {
+		if err := c.logs[groundtruth.CrawlID(crawl)].Checkpoint(); err != nil {
+			// The merge is committed in memory but not durable; without
+			// the completion record the lease stays open, the worker
+			// retries, and dedup absorbs the replay.
+			httpError(w, http.StatusInternalServerError, "checkpointing merge: "+err.Error())
+			return
+		}
+	}
+	for _, p := range pages {
+		c.delivered[pageKey(p.Crawl, p.OS, p.URL)] = true
+		if leg := c.legByName[legName(p.Crawl, p.OS)]; leg != nil {
+			leg.merged++
+		}
+	}
+	c.mMerged.Add(uint64(len(pages)))
+	c.mDupes.Add(uint64(dupes))
+	c.dupes += dupes
+	if r.ContentLength > 0 {
+		c.mUploadB.Add(uint64(r.ContentLength))
+	}
+
+	resp := CompleteResponse{Merged: len(pages), Duplicates: dupes}
+	if ls.state == leaseComplete {
+		// Late delivery from a previous holder: the merge above already
+		// absorbed anything fresh (normally nothing); the lease record
+		// stands.
+		c.logf("late delivery", "lease", leaseID, "worker", worker, "duplicates", dupes)
+		writeJSON(w, resp)
+		return
+	}
+	e := journalEntry{
+		Type: "complete", Lease: leaseID, Worker: worker,
+		Attempted: atoi("attempted"), Successful: atoi("successful"), Failed: atoi("failed"),
+		Locals: atoi("locals"), Retention: atoi("retention_errors"), Duplicates: dupes,
+		ElapsedMS: elapsedMS, UploadMS: uploadMS,
+	}
+	c.journal.append(e)
+	if w2 := c.workers[ls.worker]; w2 != nil && w2.lease == leaseID {
+		w2.lease = ""
+	}
+	c.markCompleteLocked(ls, e)
+	c.mCompletes.Inc()
+	// Health top-off: the lease contributes exactly its target count to
+	// the leg's progress, however heartbeats interleaved.
+	for i := ls.reported; i < ls.Targets(); i++ {
+		ls.leg.health.VisitDone(-1, 0, true)
+	}
+	ls.reported = ls.Targets()
+	c.logf("lease complete", "lease", leaseID, "worker", worker, "merged", len(pages), "duplicates", dupes)
+	c.checkLegsLocked()
+	c.checkDoneLocked()
+	select {
+	case <-c.doneCh:
+		resp.FleetDone = true
+	default:
+	}
+	writeJSON(w, resp)
+}
+
+// Close stops the sweeper and releases the journal and WAL logs. It
+// does not write campaign outputs; see WriteOutputs.
+func (c *Coordinator) Close() error {
+	if c.sweeping {
+		select {
+		case <-c.sweepStop:
+		default:
+			close(c.sweepStop)
+			<-c.sweepDone
+		}
+	}
+	var err error
+	if c.journal != nil {
+		if jerr := c.journal.close(); jerr != nil && err == nil {
+			err = jerr
+		}
+		c.journal = nil
+	}
+	if cerr := c.closeStores(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (c *Coordinator) closeStores() error {
+	var err error
+	for crawl, lg := range c.logs {
+		if cerr := lg.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("fleet: %s wal: %w", crawl, cerr)
+		}
+		delete(c.logs, crawl)
+	}
+	return err
+}

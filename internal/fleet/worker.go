@@ -1,0 +1,305 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/knockandtalk/knockandtalk/internal/crawler"
+	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+	"github.com/knockandtalk/knockandtalk/internal/health"
+	"github.com/knockandtalk/knockandtalk/internal/hostenv"
+	"github.com/knockandtalk/knockandtalk/internal/store"
+	"github.com/knockandtalk/knockandtalk/internal/telemetry"
+	"github.com/knockandtalk/knockandtalk/internal/websim"
+)
+
+// WorkerConfig shapes one fleet worker.
+type WorkerConfig struct {
+	// Coordinator is the control plane's base URL.
+	Coordinator string
+	// Name identifies this worker to the coordinator.
+	Name string
+	// Workers is the per-lease browser concurrency (crawler.Config.Workers).
+	Workers int
+	// WorkDir, when set, makes each lease crawl durable: the lease store
+	// runs through a WAL under WorkDir, checkpointed mid-crawl, so a
+	// worker restarted with the same WorkDir resumes a half-crawled
+	// lease instead of revisiting. Empty means in-memory lease stores.
+	WorkDir string
+	// Health and Metrics instrument the worker's crawls as usual.
+	Health  *health.Tracker
+	Metrics *telemetry.Registry
+	// Logger, when non-nil, narrates lease lifecycle.
+	Logger *slog.Logger
+	// PollInterval is the idle wait when everything is leased out;
+	// 0 means the coordinator's suggestion.
+	PollInterval time.Duration
+	// UploadRetries is how many times a failed shard upload is retried
+	// before the lease is abandoned to expiry; 0 means 3.
+	UploadRetries int
+}
+
+// WorkerSummary reports what one worker contributed.
+type WorkerSummary struct {
+	// Leases is the number of leases completed (merged by the
+	// coordinator); Visits the page visits crawled for them.
+	Leases int
+	Visits int
+	// Duplicates counts visits the coordinator dropped as already
+	// delivered — nonzero after crawling a reassigned lease whose
+	// previous holder delivered late.
+	Duplicates int
+	// UploadBytes is the total size of uploaded shard stores, in
+	// canonical (uncompressed) Save bytes.
+	UploadBytes int64
+}
+
+// cachedWorld is one bound (crawl, OS) world plus its full target
+// slice. Worlds are mutexed and cannot be copied, so leases crawl the
+// shared world with Targets re-sliced in place; leases run serially per
+// worker, so the mutation is single-threaded.
+type cachedWorld struct {
+	world *websim.World
+	full  []websim.Target
+}
+
+// RunWorker crawls leases from the coordinator until the campaign is
+// done or ctx is canceled. Each lease binds (or reuses) the shared
+// deterministic world for its (crawl, OS), crawls exactly the leased
+// target range with mid-crawl WAL checkpointing when WorkDir is set,
+// heartbeats progress through lease renewals, and uploads the shard
+// store gzip-compressed on completion.
+func RunWorker(ctx context.Context, cfg WorkerConfig) (*WorkerSummary, error) {
+	if cfg.Coordinator == "" {
+		return nil, fmt.Errorf("fleet: Coordinator URL is required")
+	}
+	if cfg.Name == "" {
+		host, _ := os.Hostname()
+		cfg.Name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if cfg.UploadRetries <= 0 {
+		cfg.UploadRetries = 3
+	}
+	client := &Client{Base: strings.TrimRight(cfg.Coordinator, "/"), Worker: cfg.Name}
+	worlds := map[legKey]*cachedWorld{}
+	sum := &WorkerSummary{}
+	acquireFails := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return sum, err
+		}
+		lease, done, retry, err := client.Acquire(ctx)
+		if err != nil {
+			// Transient control-plane outages (coordinator restarting,
+			// network blip) are retried with backoff; leases stay safe —
+			// unrenewed ones simply expire and reassign.
+			acquireFails++
+			if acquireFails > 5 || ctx.Err() != nil {
+				return sum, err
+			}
+			workerLogf(cfg, "acquire failed; retrying", "attempt", acquireFails, "err", err)
+			select {
+			case <-ctx.Done():
+				return sum, ctx.Err()
+			case <-time.After(time.Duration(acquireFails) * 500 * time.Millisecond):
+			}
+			continue
+		}
+		acquireFails = 0
+		if done {
+			return sum, nil
+		}
+		if lease == nil {
+			wait := retry
+			if cfg.PollInterval > 0 {
+				wait = cfg.PollInterval
+			}
+			select {
+			case <-ctx.Done():
+				return sum, ctx.Err()
+			case <-time.After(wait):
+			}
+			continue
+		}
+		fleetDone, err := runLease(ctx, cfg, client, lease, worlds, sum)
+		if err != nil {
+			return sum, err
+		}
+		if fleetDone {
+			// This worker's delivery finished the campaign; the
+			// coordinator may stop serving at any moment, so don't race
+			// it with a farewell acquire.
+			return sum, nil
+		}
+	}
+}
+
+func workerLogf(cfg WorkerConfig, msg string, kv ...any) {
+	if cfg.Logger != nil {
+		cfg.Logger.Info(msg, kv...)
+	}
+}
+
+// runLease crawls one lease end to end — world bind, crawl with
+// heartbeats, shard upload — and reports whether its delivery finished
+// the whole campaign.
+func runLease(ctx context.Context, cfg WorkerConfig, client *Client, lease *Lease, worlds map[legKey]*cachedWorld, sum *WorkerSummary) (bool, error) {
+	osv, err := hostenv.ParseOS(lease.OS)
+	if err != nil {
+		return false, fmt.Errorf("fleet: lease %s: %w", lease.ID, err)
+	}
+	crawl := groundtruth.CrawlID(lease.Crawl)
+	key := legKey{crawl: crawl, os: osv}
+	cw := worlds[key]
+	if cw == nil {
+		world, err := websim.Build(crawl, osv, lease.Scale, lease.Seed)
+		if err != nil {
+			return false, fmt.Errorf("fleet: building world for lease %s: %w", lease.ID, err)
+		}
+		cw = &cachedWorld{world: world, full: world.Targets}
+		worlds[key] = cw
+	}
+	if lease.Lo < 0 || lease.Hi > len(cw.full) || lease.Lo > lease.Hi {
+		return false, fmt.Errorf("fleet: lease %s range [%d, %d) exceeds the %d-target world — fleet and worker disagree on scale", lease.ID, lease.Lo, lease.Hi, len(cw.full))
+	}
+
+	// The lease store: durable through a WAL when WorkDir is set, so a
+	// restarted worker resumes this lease's half-done crawl from the
+	// last checkpoint (the crawler skips visits already in the store).
+	var st *store.Store
+	var lg *store.Log
+	var walDir string
+	if cfg.WorkDir != "" {
+		walDir = filepath.Join(cfg.WorkDir, sanitizeLeaseID(lease.ID)+".wal")
+		var rec store.Recovery
+		st, lg, rec, err = store.Open(walDir, store.LogOptions{})
+		if err != nil {
+			return false, fmt.Errorf("fleet: lease %s wal: %w", lease.ID, err)
+		}
+		if n := rec.SegmentRecords + rec.WALRecords; n > 0 {
+			workerLogf(cfg, "lease resumed from wal", "lease", lease.ID, "records", n)
+		}
+	} else {
+		st = store.New()
+	}
+
+	// Heartbeats: renew at TTL/3, reporting the store's page count —
+	// every visit commits exactly one page record, so the count is the
+	// progress. A lost lease does not stop the crawl: the range may have
+	// been reassigned, but finishing and uploading costs nothing extra
+	// and dedup absorbs whichever delivery comes second.
+	ttl := time.Duration(lease.TTLSeconds * float64(time.Second))
+	renewEvery := ttl / 3
+	if renewEvery < 50*time.Millisecond {
+		renewEvery = 50 * time.Millisecond
+	}
+	hbCtx, stopHB := context.WithCancel(ctx)
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		t := time.NewTicker(renewEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-t.C:
+				if err := client.Renew(hbCtx, lease.ID, st.NumPages()); err != nil {
+					if err == ErrLeaseLost {
+						workerLogf(cfg, "lease lost; finishing anyway", "lease", lease.ID)
+						return
+					}
+					workerLogf(cfg, "renew failed", "lease", lease.ID, "err", err)
+				}
+			}
+		}
+	}()
+
+	cw.world.Targets = cw.full[lease.Lo:lease.Hi]
+	ccfg := crawler.Config{
+		Crawl: crawl, OS: osv, Scale: lease.Scale, Seed: lease.Seed,
+		Workers: cfg.Workers, RetainLogs: lease.RetainLogs,
+		Metrics: cfg.Metrics, Health: cfg.Health,
+		// Resume skips visits recovered from the lease WAL; harmless on
+		// a fresh store.
+		Resume: true,
+	}
+	if lg != nil {
+		ccfg.Checkpoint = lg.Checkpoint
+	}
+	crawlStart := time.Now()
+	csum, err := crawler.RunWorld(ccfg, cw.world, st)
+	cw.world.Targets = cw.full
+	stopHB()
+	<-hbDone
+	if err != nil {
+		if lg != nil {
+			lg.Close()
+		}
+		return false, fmt.Errorf("fleet: crawling lease %s: %w", lease.ID, err)
+	}
+
+	// Upload the shard: canonical Save bytes, gzip on the wire. The
+	// upload is retried; if it cannot land, the lease is left to expire
+	// and the WAL (when durable) still holds the crawl for a future
+	// retry by this worker.
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		if lg != nil {
+			lg.Close()
+		}
+		return false, fmt.Errorf("fleet: serializing lease %s: %w", lease.ID, err)
+	}
+	stats := CompleteStats{
+		Attempted: csum.Attempted + csum.AlreadyDone, Successful: csum.Successful,
+		Failed: csum.Failed, Locals: csum.LocalRequests,
+		RetentionErrors: csum.RetentionErrors, Elapsed: time.Since(crawlStart),
+	}
+	var resp *CompleteResponse
+	uploadStart := time.Now()
+	for attempt := 0; ; attempt++ {
+		stats.Upload = time.Since(uploadStart)
+		resp, err = client.Complete(ctx, lease.ID, stats, buf.Bytes())
+		if err == nil {
+			break
+		}
+		if attempt+1 >= cfg.UploadRetries || ctx.Err() != nil {
+			if lg != nil {
+				lg.Close()
+			}
+			return false, fmt.Errorf("fleet: uploading lease %s: %w", lease.ID, err)
+		}
+		workerLogf(cfg, "upload failed; retrying", "lease", lease.ID, "attempt", attempt+1, "err", err)
+		select {
+		case <-ctx.Done():
+			if lg != nil {
+				lg.Close()
+			}
+			return false, ctx.Err()
+		case <-time.After(time.Duration(attempt+1) * 200 * time.Millisecond):
+		}
+	}
+	if lg != nil {
+		// The coordinator holds the merge durably; the lease WAL has
+		// nothing left to protect.
+		lg.Close()
+		os.RemoveAll(walDir)
+	}
+	sum.Leases++
+	sum.Visits += resp.Merged
+	sum.Duplicates += resp.Duplicates
+	sum.UploadBytes += int64(buf.Len())
+	workerLogf(cfg, "lease uploaded", "lease", lease.ID, "merged", resp.Merged, "duplicates", resp.Duplicates)
+	return resp.FleetDone, nil
+}
+
+// sanitizeLeaseID maps a lease ID to a file-system-safe directory name.
+func sanitizeLeaseID(id string) string {
+	return strings.NewReplacer("/", "_", "\\", "_", ":", "_").Replace(id)
+}

@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Request-body negotiation shared by every upload endpoint: the ingest
+// plane's NetLog streams and the fleet coordinator's shard uploads both
+// accept optionally gzip-compressed bodies, so workers do not ship
+// uncompressed JSONL over the wire.
+
+// ErrUnsupportedEncoding reports a Content-Encoding the server does not
+// speak; answer it with 415 Unsupported Media Type.
+var ErrUnsupportedEncoding = errors.New("unsupported Content-Encoding")
+
+// ErrBodyTooLarge reports a decompressed body that exceeded the
+// server's bound; answer it with 413, like http.MaxBytesError.
+var ErrBodyTooLarge = errors.New("request body too large")
+
+// RequestBody returns the request body ready for streaming reads:
+// bounded to max bytes and transparently decompressed when the client
+// declared Content-Encoding: gzip (the decompressed stream is bounded
+// by max as well, so a tiny compressed bomb cannot balloon in memory).
+// An encoding the server does not speak returns ErrUnsupportedEncoding;
+// a body that is not valid gzip despite the declaration returns a plain
+// error (answer 400). Reads past the raw bound surface
+// http.MaxBytesError; past the decompressed bound, ErrBodyTooLarge.
+func RequestBody(w http.ResponseWriter, r *http.Request, max int64) (io.Reader, error) {
+	raw := io.Reader(http.MaxBytesReader(w, r.Body, max))
+	switch enc := strings.ToLower(strings.TrimSpace(r.Header.Get("Content-Encoding"))); enc {
+	case "", "identity":
+		return raw, nil
+	case "gzip":
+		gz, err := gzip.NewReader(raw)
+		if err != nil {
+			return nil, fmt.Errorf("bad gzip body: %w", err)
+		}
+		return &boundedReader{r: gz, left: max}, nil
+	default:
+		return nil, fmt.Errorf("%w %q", ErrUnsupportedEncoding, enc)
+	}
+}
+
+// boundedReader caps the decompressed stream: unlike io.LimitReader,
+// exceeding the bound is an error, not a silent EOF that would truncate
+// an upload mid-record. A body of exactly max bytes still EOFs cleanly:
+// the error fires only when a byte past the bound actually arrives.
+type boundedReader struct {
+	r    io.Reader
+	left int64
+}
+
+func (b *boundedReader) Read(p []byte) (int, error) {
+	if b.left == 0 {
+		// At the bound: probe whether the stream truly ended.
+		var one [1]byte
+		m, err := b.r.Read(one[:])
+		if m > 0 {
+			return 0, ErrBodyTooLarge
+		}
+		if err == nil {
+			err = io.ErrNoProgress
+		}
+		return 0, err
+	}
+	if int64(len(p)) > b.left {
+		p = p[:b.left]
+	}
+	n, err := b.r.Read(p)
+	b.left -= int64(n)
+	return n, err
+}

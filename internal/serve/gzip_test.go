@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+)
+
+// postEncoded uploads the ThreatMetrix capture with an explicit
+// Content-Encoding header and returns the raw response.
+func postEncoded(t testing.TB, ts *httptest.Server, encoding string, body []byte) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest("POST", ts.URL+"/v1/ingest?domain=gz.example&os=Windows", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/jsonl")
+	if encoding != "" {
+		req.Header.Set("Content-Encoding", encoding)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestIngestGzip pins that a gzip-compressed upload detects exactly
+// what the identity upload of the same bytes does.
+func TestIngestGzip(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	defer ts.Close()
+
+	raw, err := os.ReadFile("testdata/threatmetrix.netlog.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Identity path: unchanged behavior.
+	plain := postTestdata(t, ts, "domain=plain.example&os=Windows")
+	if len(plain.Detections) == 0 {
+		t.Fatal("identity upload produced no detections")
+	}
+
+	var buf bytes.Buffer
+	gw := gzip.NewWriter(&buf)
+	if _, err := gw.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	resp := postEncoded(t, ts, "gzip", buf.Bytes())
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("gzip ingest: status %d: %s", resp.StatusCode, b)
+	}
+	var ir IngestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+		t.Fatal(err)
+	}
+	if ir.Events != plain.Events {
+		t.Fatalf("gzip upload parsed %d events, identity parsed %d", ir.Events, plain.Events)
+	}
+	if len(ir.Detections) != len(plain.Detections) {
+		t.Fatalf("gzip upload detected %d, identity detected %d", len(ir.Detections), len(plain.Detections))
+	}
+	if ir.LocalhostVerdict == nil || plain.LocalhostVerdict == nil ||
+		ir.LocalhostVerdict.Class != plain.LocalhostVerdict.Class {
+		t.Fatalf("gzip verdict %+v != identity verdict %+v", ir.LocalhostVerdict, plain.LocalhostVerdict)
+	}
+}
+
+// TestIngestUnknownEncoding pins the 415 on encodings the server does
+// not speak, and the 400 on a declared-gzip body that is not gzip.
+func TestIngestUnknownEncoding(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	defer ts.Close()
+
+	resp := postEncoded(t, ts, "br", []byte("{}\n"))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnsupportedMediaType {
+		t.Fatalf("br upload: status %d, want 415", resp.StatusCode)
+	}
+
+	resp2 := postEncoded(t, ts, "gzip", []byte("this is not gzip"))
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad gzip upload: status %d, want 400", resp2.StatusCode)
+	}
+}
+
+// TestIngestGzipBomb pins that the decompressed stream is bounded: a
+// small compressed body expanding past MaxIngestBytes answers 413
+// instead of ballooning in memory.
+func TestIngestGzipBomb(t *testing.T) {
+	_, ts := newTestServer(t, Options{MaxIngestBytes: 4096})
+	defer ts.Close()
+
+	// ~1 MiB of newlines compresses to ~1 KiB, under the raw bound, but
+	// decompresses far past it.
+	var buf bytes.Buffer
+	gw := gzip.NewWriter(&buf)
+	if _, err := gw.Write(bytes.Repeat([]byte("\n"), 1<<20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() >= 4096 {
+		t.Fatalf("bomb body is %d bytes, want under the 4096 raw bound", buf.Len())
+	}
+	resp := postEncoded(t, ts, "gzip", buf.Bytes())
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("gzip bomb: status %d, want 413", resp.StatusCode)
+	}
+}

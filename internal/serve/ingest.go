@@ -109,10 +109,22 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}()
 
 	// Parse the stream incrementally: one event per Next call, bounded
-	// body, periodic deadline checks. Only the decoded events are held;
-	// the raw JSONL is never buffered.
+	// body (gzip-compressed uploads are decompressed transparently, with
+	// the decompressed stream bounded too), periodic deadline checks.
+	// Only the decoded events are held; the raw JSONL is never buffered.
+	body, err := RequestBody(w, r, s.opts.MaxIngestBytes)
+	if err != nil {
+		s.metrics.ingestFailed()
+		outcome = err.Error()
+		if errors.Is(err, ErrUnsupportedEncoding) {
+			httpError(w, http.StatusUnsupportedMediaType, err.Error())
+			return
+		}
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	parseStart := time.Now()
-	dec := netlog.NewJSONLReader(http.MaxBytesReader(w, r.Body, s.opts.MaxIngestBytes))
+	dec := netlog.NewJSONLReader(body)
 	for {
 		ev, err := dec.Next()
 		if err == io.EOF {
@@ -122,7 +134,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			s.metrics.ingestFailed()
 			outcome = err.Error()
 			var tooBig *http.MaxBytesError
-			if errors.As(err, &tooBig) {
+			if errors.As(err, &tooBig) || errors.Is(err, ErrBodyTooLarge) {
 				httpError(w, http.StatusRequestEntityTooLarge, err.Error())
 				return
 			}

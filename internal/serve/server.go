@@ -51,7 +51,9 @@ type Options struct {
 	// CacheEntries bounds the query response cache (default 512 entries;
 	// negative disables caching).
 	CacheEntries int
-	// MaxIngestBytes bounds one upload body (default 64 MiB).
+	// MaxIngestBytes bounds one upload body (default 64 MiB). The bound
+	// applies to the bytes on the wire and, for Content-Encoding: gzip
+	// uploads, to the decompressed stream as well.
 	MaxIngestBytes int64
 	// MaxRows caps rows returned by a single listing query regardless of
 	// the requested limit (default 10000; the total match count is

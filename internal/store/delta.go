@@ -195,8 +195,21 @@ func (j *scopeJournal) append(gen *atomic.Uint64, sc CommitScope) {
 // ScopesSince returns the scopes of every commit after generation gen,
 // oldest first. ok is false when the journal has already wrapped past
 // gen — the caller saw less than the full history and must treat the
-// answer as "anything may have changed".
+// answer as "anything may have changed". Wraps are counted into the
+// instrumented registry (store_scope_journal_wraps_total): each one
+// silently degrades a caller to full cache invalidation, which is
+// invisible without the counter.
 func (s *Store) ScopesSince(gen uint64) (scopes []CommitScope, ok bool) {
+	scopes, ok = s.scopesSince(gen)
+	if !ok {
+		if m := s.meters.Load(); m != nil {
+			m.scopeWraps.Inc()
+		}
+	}
+	return scopes, ok
+}
+
+func (s *Store) scopesSince(gen uint64) (scopes []CommitScope, ok bool) {
 	j := &s.journal
 	j.mu.Lock()
 	defer j.mu.Unlock()

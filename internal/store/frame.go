@@ -1,0 +1,111 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Frame IO is the record framing the store's WAL writes: each record is
+// a little-endian uint32 payload length, a CRC32C (Castagnoli) checksum
+// of the payload, then the payload bytes, appended after a
+// file-identifying magic line. The framing is exported so other
+// crash-replayable journals — the fleet coordinator's lease journal —
+// share the exact format and recovery semantics instead of inventing a
+// second one: a torn or corrupt tail is detected, the valid prefix
+// stands, and the tail is dropped.
+
+// ErrTornFrame tags tail damage that frame replay tolerates (the
+// expected shape of a crash mid-append): the valid prefix stands, the
+// tail goes. Match with errors.Is.
+var ErrTornFrame = errors.New("torn tail")
+
+// errWALTorn is the historical internal name; the WAL replays through
+// the same frame layer, so the two are one error.
+var errWALTorn = ErrTornFrame
+
+func tornf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrTornFrame, fmt.Sprintf(format, args...))
+}
+
+// maxFramePayload bounds a single frame's payload so a corrupt length
+// prefix cannot trigger a giant allocation during replay.
+const maxFramePayload = 256 << 20
+
+// AppendFrame writes one framed record to w and returns the bytes
+// written (header plus payload). Callers serialize their own appends;
+// the frame layer adds no locking.
+func AppendFrame(w io.Writer, payload []byte) (int, error) {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, walCRC))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return 0, err
+	}
+	return 8 + len(payload), nil
+}
+
+// ReplayFrames reads framed records from r — first checking the
+// file-identifying magic line — calling apply for each fully valid
+// payload, and returns the byte length of the valid prefix, the number
+// of records applied, and the tail damage if any. Errors wrapping
+// ErrTornFrame are recoverable (truncate to the valid prefix and
+// continue); anything else means r is not a journal of this magic at
+// all. An apply error also stops replay as a torn tail: the record's
+// bytes were intact, but the journal's own decoder rejected them, so
+// nothing after it can be trusted either. It never panics on arbitrary
+// input.
+func ReplayFrames(r io.Reader, magic string, apply func(payload []byte) error) (valid int64, records int, tailErr error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	head := make([]byte, len(magic))
+	n, err := io.ReadFull(br, head)
+	if err != nil {
+		if n == 0 {
+			return 0, 0, nil // empty file: a fresh journal
+		}
+		if bytes.Equal(head[:n], []byte(magic)[:n]) {
+			return 0, 0, tornf("truncated header (%d bytes)", n)
+		}
+		return 0, 0, fmt.Errorf("bad header")
+	}
+	if string(head) != magic {
+		return 0, 0, fmt.Errorf("bad header")
+	}
+	valid = int64(len(magic))
+	var hdr [8]byte
+	for {
+		n, err := io.ReadFull(br, hdr[:])
+		if err == io.EOF {
+			return valid, records, nil // clean end at a record boundary
+		}
+		if err != nil {
+			return valid, records, tornf("truncated record header (%d bytes)", n)
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if length == 0 || length > maxFramePayload {
+			return valid, records, tornf("implausible record length %d", length)
+		}
+		payload := make([]byte, length)
+		if n, err := io.ReadFull(br, payload); err != nil {
+			return valid, records, tornf("truncated payload (%d of %d bytes)", n, length)
+		}
+		if got := crc32.Checksum(payload, walCRC); got != sum {
+			return valid, records, tornf("checksum mismatch at offset %d", valid)
+		}
+		if apply != nil {
+			if err := apply(payload); err != nil {
+				return valid, records, tornf("undecodable record at offset %d: %v", valid, err)
+			}
+		}
+		valid += 8 + int64(length)
+		records++
+	}
+}

@@ -141,17 +141,23 @@ type Store struct {
 // never takes the registry's map lock.
 type storeMeters struct {
 	pages, locals, netlogs, commits *telemetry.Counter
+	// scopeWraps counts ScopesSince calls the journal could no longer
+	// answer (the ring wrapped past the requested generation), each of
+	// which degrades a caller to full cache invalidation.
+	scopeWraps *telemetry.Counter
 }
 
 // Instrument registers the store's write counters into reg
 // (store_pages_total, store_locals_total, store_netlogs_total,
-// store_commits_total) and starts counting subsequent writes.
+// store_commits_total, store_scope_journal_wraps_total) and starts
+// counting subsequent writes.
 func (s *Store) Instrument(reg *telemetry.Registry) {
 	s.meters.Store(&storeMeters{
-		pages:   reg.Counter("store_pages_total"),
-		locals:  reg.Counter("store_locals_total"),
-		netlogs: reg.Counter("store_netlogs_total"),
-		commits: reg.Counter("store_commits_total"),
+		pages:      reg.Counter("store_pages_total"),
+		locals:     reg.Counter("store_locals_total"),
+		netlogs:    reg.Counter("store_netlogs_total"),
+		commits:    reg.Counter("store_commits_total"),
+		scopeWraps: reg.Counter("store_scope_journal_wraps_total"),
 	})
 }
 
@@ -321,6 +327,15 @@ func (b *Batch) Reset() { b.pages = b.pages[:0]; b.locals = b.locals[:0] }
 // be Reset and reused afterwards; the store keeps copies.
 func (s *Store) AddBatch(b *Batch) {
 	s.commit(b.pages, b.locals, nil)
+}
+
+// AddRecords commits already-materialized records of all three kinds as
+// one commit. It is the merge path of consumers that move records
+// between stores wholesale — the fleet coordinator folding a worker's
+// uploaded shard into the campaign store — where netlog captures must
+// transfer byte-identically (AddNetLog would re-serialize them).
+func (s *Store) AddRecords(ps []PageRecord, ls []LocalRequest, nls []NetLogRecord) {
+	s.commit(ps, ls, nls)
 }
 
 // Pages returns a filtered snapshot of page records; a nil filter keeps

@@ -2,8 +2,6 @@ package store
 
 import (
 	"bufio"
-	"bytes"
-	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -49,10 +47,6 @@ import (
 // but matches its prefix is treated as a torn empty log; a file whose
 // first bytes differ is refused outright (it is not ours to truncate).
 const walMagic = "knockwal1\n"
-
-// maxWALRecord bounds a single record's payload so a corrupt length
-// prefix cannot trigger a giant allocation during replay.
-const maxWALRecord = 256 << 20
 
 // walCRC is the CRC32C (Castagnoli) table used for record checksums.
 var walCRC = crc32.MakeTable(crc32.Castagnoli)
@@ -294,68 +288,27 @@ func loadSegment(st *Store, path string, want uint32) (int, error) {
 	return st.NumPages() + st.NumLocals() + st.NumNetLogs() - before, nil
 }
 
-// errWALTorn tags tail damage that recovery tolerates (the expected
-// shape of a crash mid-append): the valid prefix stands, the tail goes.
-var errWALTorn = errors.New("torn tail")
-
-func tornf(format string, args ...any) error {
-	return fmt.Errorf("%w: %s", errWALTorn, fmt.Sprintf(format, args...))
-}
-
-// replayWAL reads WAL records from r, calling apply for each fully
-// valid one, and returns the byte length of the valid prefix, the
-// number of records applied, and the tail damage if any. Errors
-// wrapping errWALTorn are recoverable (truncate to the valid prefix and
-// continue); anything else means r is not a WAL at all. It never
-// panics on arbitrary input.
+// replayWAL reads WAL records from r through the shared frame layer,
+// calling apply for each fully valid one, and returns the byte length
+// of the valid prefix, the number of records applied, and the tail
+// damage if any. Errors wrapping ErrTornFrame are recoverable (truncate
+// to the valid prefix and continue); anything else means r is not a WAL
+// at all. It never panics on arbitrary input.
 func replayWAL(r io.Reader, apply func(walPayload)) (valid int64, records int, tailErr error) {
-	br := bufio.NewReaderSize(r, 1<<20)
-	magic := make([]byte, len(walMagic))
-	n, err := io.ReadFull(br, magic)
-	if err != nil {
-		if n == 0 {
-			return 0, 0, nil // empty file: a fresh log
-		}
-		if bytes.Equal(magic[:n], []byte(walMagic)[:n]) {
-			return 0, 0, tornf("truncated header (%d bytes)", n)
-		}
-		return 0, 0, fmt.Errorf("not a WAL: bad header")
-	}
-	if string(magic) != walMagic {
-		return 0, 0, fmt.Errorf("not a WAL: bad header")
-	}
-	valid = int64(len(walMagic))
-	var hdr [8]byte
-	for {
-		n, err := io.ReadFull(br, hdr[:])
-		if err == io.EOF {
-			return valid, records, nil // clean end at a record boundary
-		}
-		if err != nil {
-			return valid, records, tornf("truncated record header (%d bytes)", n)
-		}
-		length := binary.LittleEndian.Uint32(hdr[0:4])
-		sum := binary.LittleEndian.Uint32(hdr[4:8])
-		if length == 0 || length > maxWALRecord {
-			return valid, records, tornf("implausible record length %d", length)
-		}
-		payload := make([]byte, length)
-		if n, err := io.ReadFull(br, payload); err != nil {
-			return valid, records, tornf("truncated payload (%d of %d bytes)", n, length)
-		}
-		if got := crc32.Checksum(payload, walCRC); got != sum {
-			return valid, records, tornf("checksum mismatch at offset %d", valid)
-		}
+	valid, records, tailErr = ReplayFrames(r, walMagic, func(payload []byte) error {
 		var p walPayload
 		if err := json.Unmarshal(payload, &p); err != nil {
-			return valid, records, tornf("undecodable record at offset %d: %v", valid, err)
+			return err
 		}
 		if apply != nil {
 			apply(p)
 		}
-		valid += 8 + int64(length)
-		records++
+		return nil
+	})
+	if tailErr != nil && !errors.Is(tailErr, ErrTornFrame) {
+		tailErr = fmt.Errorf("not a WAL: %v", tailErr)
 	}
+	return valid, records, tailErr
 }
 
 // appendCommit journals one commit. Called by Store.commit with l.mu
@@ -375,18 +328,12 @@ func (l *Log) appendCommit(ps []PageRecord, ls []LocalRequest, nls []NetLogRecor
 		return
 	}
 	l.nextSeq++
-	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, walCRC))
-	if _, err := l.bw.Write(hdr[:]); err != nil {
+	n, err := AppendFrame(l.bw, payload)
+	if err != nil {
 		l.err = fmt.Errorf("store: appending wal record: %w", err)
 		return
 	}
-	if _, err := l.bw.Write(payload); err != nil {
-		l.err = fmt.Errorf("store: appending wal record: %w", err)
-		return
-	}
-	l.walBytes.Add(8 + int64(len(payload)))
+	l.walBytes.Add(int64(n))
 }
 
 // maybeCompact nudges the background compactor when the WAL has grown

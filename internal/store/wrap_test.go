@@ -1,0 +1,59 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/knockandtalk/knockandtalk/internal/telemetry"
+)
+
+// TestScopeJournalWrapCounter pins the journal-wrap fallback: once more
+// commits than the ring holds have landed, ScopesSince for an old
+// generation answers ok=false (the caller must assume anything changed)
+// and the wrap is counted into the instrumented registry — previously
+// the degradation to full cache invalidation was silent.
+func TestScopeJournalWrapCounter(t *testing.T) {
+	st := New()
+	reg := telemetry.NewRegistry()
+	st.Instrument(reg)
+	gen0 := st.Generation()
+
+	for i := 0; i < journalSize+10; i++ {
+		st.AddPage(PageRecord{
+			Crawl: "c", OS: "Linux",
+			Domain: fmt.Sprintf("d%d.example", i),
+			URL:    fmt.Sprintf("https://d%d.example/", i),
+		})
+	}
+
+	scopes, ok := st.ScopesSince(gen0)
+	if ok {
+		t.Fatalf("ScopesSince(%d) after %d commits = ok, want wrapped", gen0, journalSize+10)
+	}
+	if scopes != nil {
+		t.Fatalf("wrapped ScopesSince returned %d scopes, want none", len(scopes))
+	}
+	if got := reg.CounterValue("store_scope_journal_wraps_total"); got != 1 {
+		t.Fatalf("store_scope_journal_wraps_total = %d, want 1", got)
+	}
+
+	// A generation the ring still covers answers normally and does not
+	// count a wrap.
+	recent := st.Generation() - 5
+	scopes, ok = st.ScopesSince(recent)
+	if !ok || len(scopes) != 5 {
+		t.Fatalf("ScopesSince(recent) = %d scopes, ok=%v; want 5, true", len(scopes), ok)
+	}
+	if got := reg.CounterValue("store_scope_journal_wraps_total"); got != 1 {
+		t.Fatalf("store_scope_journal_wraps_total after covered query = %d, want still 1", got)
+	}
+
+	// An uninstrumented store degrades identically, just uncounted.
+	bare := New()
+	for i := 0; i < journalSize+2; i++ {
+		bare.AddPage(PageRecord{Crawl: "c", OS: "Linux", Domain: "a.example", URL: "https://a.example/"})
+	}
+	if _, ok := bare.ScopesSince(0); ok {
+		t.Fatal("uninstrumented wrapped ScopesSince = ok, want wrapped")
+	}
+}

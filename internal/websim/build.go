@@ -85,6 +85,37 @@ func specsFor(crawl groundtruth.CrawlID, scale float64) ([]siteSpec, error) {
 	return v.([]siteSpec), nil
 }
 
+// TargetCount reports how many targets a crawl has at the given scale
+// without binding a world — the fleet coordinator partitions legs into
+// leases from counts alone, leaving world construction to the workers.
+func TargetCount(crawl groundtruth.CrawlID, scale float64) (int, error) {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	specs, err := specsFor(crawl, scale)
+	if err != nil {
+		return 0, err
+	}
+	return len(specs), nil
+}
+
+// TargetDomain returns the domain at target index i for a crawl at the
+// given scale — the same index Build assigns in World.Targets, so lease
+// boundaries can be described by the domains they span.
+func TargetDomain(crawl groundtruth.CrawlID, scale float64, i int) (string, error) {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	specs, err := specsFor(crawl, scale)
+	if err != nil {
+		return "", err
+	}
+	if i < 0 || i >= len(specs) {
+		return "", fmt.Errorf("websim: target index %d out of range [0, %d)", i, len(specs))
+	}
+	return specs[i].domain, nil
+}
+
 // Build constructs the synthetic web for a crawl campaign on one OS.
 // scale in (0, 1] shrinks the population proportionally while always
 // retaining the ground-truth sites reachable at that scale (top-list

@@ -37,6 +37,7 @@ func main() {
 		seed       = flag.Uint64("seed", 20210603, "deterministic seed")
 		workers    = flag.Int("workers", 0, "concurrent browser instances (0 = GOMAXPROCS)")
 		retain     = flag.Bool("retain", false, "retain raw NetLog captures for local-activity visits")
+		netProfile = flag.String("net-profile", "", "network-condition profile for every leg (nominal, residential-congested, mobile-3g, satellite, lossy-wifi, ...); empty = nominal")
 		resume     = flag.Bool("resume", false, "resume an interrupted campaign in -out")
 		wal        = flag.Bool("wal", false, "durable mode: commit through a per-crawl WAL in -out, checkpointed mid-leg, so a killed campaign resumes mid-crawl")
 		ckptEvery  = flag.Int("checkpoint-every", 0, "visits between WAL durability checkpoints (0 = default)")
@@ -58,7 +59,8 @@ func main() {
 	spec := campaign.Spec{
 		Name: *name, OutDir: *out, Scale: *scale, Seed: *seed,
 		Workers: *workers, RetainLogs: *retain, Resume: *resume,
-		WAL: *wal, CheckpointEvery: *ckptEvery,
+		NetProfile: *netProfile,
+		WAL:        *wal, CheckpointEvery: *ckptEvery,
 		// Stage timings are always on: the end-of-run breakdown costs a
 		// few clock reads per visit and the manifest records it.
 		StageTimings: true,

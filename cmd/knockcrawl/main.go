@@ -45,6 +45,7 @@ func main() {
 		walDir     = flag.String("wal", "", "durable WAL directory: commits are journaled and checkpointed mid-crawl, and a prior run found there is resumed")
 		ckptEvery  = flag.Int("checkpoint-every", 0, "visits between WAL durability checkpoints (0 = default)")
 		page       = flag.String("page", "/", "page to visit on each site (/ = landing, /login = internal-pages extension)")
+		netProfile = flag.String("net-profile", "", "network-condition profile (nominal, residential-congested, mobile-3g, satellite, lossy-wifi, ...); empty = nominal")
 		retain     = flag.Bool("retain", false, "retain raw NetLog captures for visits with local-network activity")
 		parseHTML  = flag.Bool("parsehtml", false, "crawl through the real HTML pipeline instead of the precompiled fast path")
 		traceOut   = flag.String("trace-out", "", "write one JSONL trace record per visit to this path (inspect with knocktrace)")
@@ -70,6 +71,7 @@ func main() {
 	cfg := crawler.Config{
 		Crawl: crawl, Scale: *scale, Seed: *seed, Workers: *workers,
 		Window: *window, PagePath: *page, RetainLogs: *retain, ParseHTML: *parseHTML,
+		NetProfile:   *netProfile,
 		StageTimings: *timings,
 	}
 	var tracer *telemetry.Tracer

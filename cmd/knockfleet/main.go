@@ -40,6 +40,7 @@ func main() {
 		scale        = flag.Float64("scale", 1.0, "population scale in (0, 1]")
 		seed         = flag.Uint64("seed", 20210603, "deterministic seed")
 		retain       = flag.Bool("retain", false, "retain raw NetLog captures for local-activity visits")
+		netProfile   = flag.String("net-profile", "", "network-condition profile for every lease (nominal, residential-congested, mobile-3g, satellite, lossy-wifi, ...); empty = nominal")
 		leaseTargets = flag.Int("lease-targets", 64, "maximum targets per lease")
 		ttl          = flag.Duration("ttl", time.Minute, "lease renewal deadline; a silent worker past this is declared dead")
 		resume       = flag.Bool("resume", false, "resume an interrupted fleet campaign in -out")
@@ -64,6 +65,7 @@ func main() {
 	cfg := fleet.Config{
 		Name: *name, OutDir: *out,
 		Scale: *scale, Seed: *seed, RetainLogs: *retain,
+		NetProfile:   *netProfile,
 		LeaseTargets: *leaseTargets, TTL: *ttl, Resume: *resume,
 		MaxUploadBytes: *maxUpload,
 		Health:         health.New(health.Options{}),

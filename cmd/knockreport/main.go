@@ -86,12 +86,16 @@ func main() {
 // no record behind.
 func writeOperations(w io.Writer, m *campaign.Manifest) {
 	fmt.Fprintf(w, "\n== Crawl operations (campaign %q) ==\n", m.Name)
-	fmt.Fprintf(w, "%-14s %-8s %9s %10s %15s %13s\n",
-		"crawl", "os", "attempted", "failed", "retention-errs", "resume-skips")
+	fmt.Fprintf(w, "%-14s %-8s %-22s %9s %10s %15s %13s\n",
+		"crawl", "os", "profile", "attempted", "failed", "retention-errs", "resume-skips")
 	var totalAttempted, totalRetention, totalResumed int
 	for _, e := range m.Entries {
-		fmt.Fprintf(w, "%-14s %-8s %9d %10d %15d %13d\n",
-			e.Crawl, e.OS, e.Attempted, e.Failed, e.RetentionErrors, e.AlreadyDone)
+		profile := e.NetProfile
+		if profile == "" {
+			profile = "nominal"
+		}
+		fmt.Fprintf(w, "%-14s %-8s %-22s %9d %10d %15d %13d\n",
+			e.Crawl, e.OS, profile, e.Attempted, e.Failed, e.RetentionErrors, e.AlreadyDone)
 		totalAttempted += e.Attempted
 		totalRetention += e.RetentionErrors
 		totalResumed += e.AlreadyDone

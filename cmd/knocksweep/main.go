@@ -1,0 +1,124 @@
+// Command knocksweep runs the detection-degradation sweep: the same
+// deterministic campaign crawled once per network-condition profile,
+// each run's stores scored against the embedded ground truth, and the
+// decay in detection and classification rates rendered as one table.
+//
+// The nominal leg is byte-identical to a plain knockcampaign run — its
+// stores hash-match testdata/golden/stores.sha256 at the golden scale
+// and seed — so the sweep doubles as a parity check.
+//
+// Usage:
+//
+//	knocksweep -out ./sweep -scale 0.02 -seed 20210603
+//	knocksweep -out ./sweep -profiles nominal,mobile-3g,satellite
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/knockandtalk/knockandtalk/internal/analysis"
+	"github.com/knockandtalk/knockandtalk/internal/campaign"
+	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+	"github.com/knockandtalk/knockandtalk/internal/health"
+	"github.com/knockandtalk/knockandtalk/internal/report"
+	"github.com/knockandtalk/knockandtalk/internal/simnet"
+	"github.com/knockandtalk/knockandtalk/internal/store"
+)
+
+var logger *slog.Logger
+
+// sweepCrawls is the canonical crawl order, matching the golden stores.
+var sweepCrawls = []groundtruth.CrawlID{
+	groundtruth.CrawlTop2020, groundtruth.CrawlTop2021, groundtruth.CrawlMalicious,
+}
+
+func main() {
+	var (
+		out      = flag.String("out", "", "output directory; one subdirectory of stores per profile, plus degradation.txt and sweep.json")
+		scale    = flag.Float64("scale", 0.02, "population scale in (0, 1]")
+		seed     = flag.Uint64("seed", 20210603, "deterministic seed, shared by every profile's run")
+		workers  = flag.Int("workers", 0, "concurrent browser instances per leg (0 = GOMAXPROCS)")
+		profiles = flag.String("profiles", strings.Join(simnet.SweepOrder, ","),
+			"comma-separated network-condition profiles to sweep, first is the baseline")
+		logFormat = flag.String("log-format", "text", "diagnostic log format: text or json")
+	)
+	flag.Parse()
+
+	var err error
+	logger, err = health.NewLogger(*logFormat, "knocksweep")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "knocksweep: %v\n", err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		fatal("-out is required")
+	}
+	names := strings.Split(*profiles, ",")
+	for i, name := range names {
+		names[i] = strings.TrimSpace(name)
+		if _, err := simnet.ProfileByName(names[i]); err != nil {
+			fatal("bad -profiles", "err", err)
+		}
+	}
+
+	stores := map[string]*store.Store{}
+	start := time.Now()
+	for _, name := range names {
+		dir := filepath.Join(*out, name)
+		spec := campaign.Spec{
+			Name: "netcond-sweep/" + name, OutDir: dir,
+			Scale: *scale, Seed: *seed, Workers: *workers,
+			// Retention on: the goldens were produced with it, so the
+			// nominal leg stays hash-comparable to stores.sha256.
+			RetainLogs: true,
+			NetProfile: name,
+			Logger:     logger,
+		}
+		legStart := time.Now()
+		m, err := campaign.Run(spec)
+		if err != nil {
+			fatal("profile run failed", "profile", name, "err", err)
+		}
+		st := store.New()
+		paths := make([]string, 0, len(m.Stores))
+		for _, crawl := range sweepCrawls {
+			if p, ok := m.Stores[string(crawl)]; ok {
+				paths = append(paths, p)
+			}
+		}
+		if err := st.LoadFiles(paths...); err != nil {
+			fatal("loading profile stores", "profile", name, "err", err)
+		}
+		stores[name] = st
+		fmt.Printf("%-24s crawled in %v\n", name, time.Since(legStart).Round(time.Millisecond))
+	}
+
+	outcomes := analysis.Degradation(names, stores, sweepCrawls)
+	table := report.DegradationTable(outcomes)
+	fmt.Println()
+	fmt.Print(table)
+	if err := os.WriteFile(filepath.Join(*out, "degradation.txt"), []byte(table), 0o644); err != nil {
+		fatal("writing degradation.txt", "err", err)
+	}
+	raw, err := json.MarshalIndent(outcomes, "", "  ")
+	if err != nil {
+		fatal("encoding sweep.json", "err", err)
+	}
+	if err := os.WriteFile(filepath.Join(*out, "sweep.json"), append(raw, '\n'), 0o644); err != nil {
+		fatal("writing sweep.json", "err", err)
+	}
+	fmt.Printf("\nsweep over %d profiles finished in %v; outputs in %s\n",
+		len(names), time.Since(start).Round(time.Millisecond), *out)
+}
+
+func fatal(msg string, args ...any) {
+	logger.Error(msg, args...)
+	os.Exit(1)
+}

@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+	"github.com/knockandtalk/knockandtalk/internal/store"
+)
+
+// The detection-degradation sweep: the same campaign crawled under
+// several network-condition profiles, each store scored against the
+// embedded ground truth. The paper crawled from two nominal vantages
+// and could not ask how its detection and classification rates decay on
+// bad networks; this surface answers exactly that.
+
+// ProfileOutcome scores one profile's store against ground truth,
+// aggregated across the crawls it holds.
+type ProfileOutcome struct {
+	// Profile is the network-condition profile the store was crawled
+	// under ("nominal" for the baseline).
+	Profile string
+	// Visits and FailedLoads count page records and load failures.
+	Visits, FailedLoads int
+	// Expected counts ground-truth localhost sites present in the
+	// crawled population (and active on an OS the crawl covers);
+	// Detected those the pipeline actually surfaced.
+	Expected, Detected int
+	// LANExpected and LANDetected score the LAN-destination tables.
+	LANExpected, LANDetected int
+	// ClassMatched counts detected localhost sites whose classified
+	// verdict matches the ground-truth behavior class.
+	ClassMatched int
+}
+
+// DetectionRate is the fraction of expected localhost sites detected.
+func (o *ProfileOutcome) DetectionRate() float64 { return ratio(o.Detected, o.Expected) }
+
+// LANDetectionRate is the fraction of expected LAN sites detected.
+func (o *ProfileOutcome) LANDetectionRate() float64 { return ratio(o.LANDetected, o.LANExpected) }
+
+// ClassificationRate is the fraction of detected localhost sites whose
+// verdict matches ground truth.
+func (o *ProfileOutcome) ClassificationRate() float64 { return ratio(o.ClassMatched, o.Detected) }
+
+// FailureRate is the fraction of visits that failed to load.
+func (o *ProfileOutcome) FailureRate() float64 { return ratio(o.FailedLoads, o.Visits) }
+
+func ratio(n, d int) float64 {
+	if d == 0 {
+		return 0
+	}
+	return float64(n) / float64(d)
+}
+
+// localhostTruth returns the crawl's localhost ground-truth rows.
+func localhostTruth(crawl groundtruth.CrawlID) []groundtruth.LocalhostRow {
+	switch crawl {
+	case groundtruth.CrawlTop2020:
+		return groundtruth.Top2020Localhost()
+	case groundtruth.CrawlTop2021:
+		return groundtruth.Top2021Localhost()
+	case groundtruth.CrawlMalicious:
+		return groundtruth.MaliciousLocalhost()
+	default:
+		return nil
+	}
+}
+
+// lanTruth returns the crawl's LAN ground-truth rows.
+func lanTruth(crawl groundtruth.CrawlID) []groundtruth.LANRow {
+	switch crawl {
+	case groundtruth.CrawlTop2020:
+		return groundtruth.Top2020LAN()
+	case groundtruth.CrawlTop2021:
+		return groundtruth.Top2021LAN()
+	case groundtruth.CrawlMalicious:
+		return groundtruth.MaliciousLAN()
+	default:
+		return nil
+	}
+}
+
+// ScoreStore scores one store against ground truth across the given
+// crawls. Expected counts only ground-truth sites the store actually
+// crawled (scaled populations truncate the tables) whose OS set
+// intersects the crawl's coverage.
+func ScoreStore(profile string, st *store.Store, crawls []groundtruth.CrawlID) ProfileOutcome {
+	out := ProfileOutcome{Profile: profile}
+	for _, crawl := range crawls {
+		crawled := map[string]bool{}
+		for _, p := range st.Pages(func(p *store.PageRecord) bool { return p.Crawl == string(crawl) }) {
+			crawled[p.Domain] = true
+			out.Visits++
+			if !p.OK() {
+				out.FailedLoads++
+			}
+		}
+		if len(crawled) == 0 {
+			continue
+		}
+		osSet := groundtruth.OSesFor(crawl)
+
+		detected := map[string]bool{}
+		verdicts := map[string]groundtruth.Class{}
+		for _, s := range LocalSites(st, crawl, "localhost") {
+			detected[s.Domain] = true
+			verdicts[s.Domain] = s.Verdict.Class
+		}
+		seen := map[string]bool{}
+		for _, row := range localhostTruth(crawl) {
+			if seen[row.Domain] || !crawled[row.Domain] || row.OS&osSet == 0 || len(row.Probes) == 0 {
+				continue
+			}
+			seen[row.Domain] = true
+			out.Expected++
+			if detected[row.Domain] {
+				out.Detected++
+				if verdicts[row.Domain] == row.Class {
+					out.ClassMatched++
+				}
+			}
+		}
+
+		lanDetected := map[string]bool{}
+		for _, s := range LocalSites(st, crawl, "lan") {
+			lanDetected[s.Domain] = true
+		}
+		lanSeen := map[string]bool{}
+		for _, row := range lanTruth(crawl) {
+			if lanSeen[row.Domain] || !crawled[row.Domain] || row.OS&osSet == 0 {
+				continue
+			}
+			lanSeen[row.Domain] = true
+			out.LANExpected++
+			if lanDetected[row.Domain] {
+				out.LANDetected++
+			}
+		}
+	}
+	return out
+}
+
+// Degradation scores one store per profile, in the given order — the
+// rows of the detection-degradation table.
+func Degradation(profiles []string, stores map[string]*store.Store, crawls []groundtruth.CrawlID) []ProfileOutcome {
+	out := make([]ProfileOutcome, 0, len(profiles))
+	for _, p := range profiles {
+		st, ok := stores[p]
+		if !ok {
+			continue
+		}
+		out = append(out, ScoreStore(p, st, crawls))
+	}
+	return out
+}

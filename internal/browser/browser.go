@@ -56,6 +56,9 @@ type Options struct {
 	// the full tokenize→extract→interpret pipeline instead of the
 	// precompiled fast path. Slower; equivalence-tested.
 	ParseHTML bool
+	// Conditions is the active network-condition chain. Nil means the
+	// nominal (unimpaired) conditions of the machine's vantage.
+	Conditions *simnet.Conditions
 }
 
 // DefaultOptions returns the crawl configuration of §3.1.
@@ -73,6 +76,11 @@ type Browser struct {
 	Profile *hostenv.Profile
 	Net     *simnet.Network
 	Opts    Options
+
+	// cond is the resolved condition chain (never nil) and flowVantage
+	// the identity its per-flow hashes key on.
+	cond        *simnet.Conditions
+	flowVantage string
 }
 
 // New returns a browser on the given machine, attached to the given
@@ -84,7 +92,15 @@ func New(profile *hostenv.Profile, net *simnet.Network, opts Options) *Browser {
 	if opts.MaxRedirects <= 0 {
 		opts.MaxRedirects = 20
 	}
-	return &Browser{Profile: profile, Net: net, Opts: opts}
+	cond := opts.Conditions
+	if cond == nil {
+		cond = simnet.Nominal(profile.Vantage)
+	}
+	vantage := cond.FlowVantage
+	if vantage == "" {
+		vantage = profile.Vantage.Name
+	}
+	return &Browser{Profile: profile, Net: net, Opts: opts, cond: cond, flowVantage: vantage}
 }
 
 // VisitResult is the outcome of one page visit.

@@ -66,12 +66,13 @@ func (v *visit) fetch(req request, done func(fetchOutcome)) {
 			fail(src, req.rawURL, resErr)
 			return
 		}
-		v.connect(src, target, addr, func(ep simnet.Endpoint, connErr simnet.NetError) {
+		path := v.path(addr, target.port)
+		v.connect(src, target, addr, path, func(ep simnet.Endpoint, connErr simnet.NetError) {
 			if connErr.IsFailure() {
 				fail(src, req.rawURL, connErr)
 				return
 			}
-			v.transact(src, req, target, addr, ep, func(resp *simnet.Response, txErr simnet.NetError) {
+			v.transact(src, req, target, addr, ep, path, func(resp *simnet.Response, txErr simnet.NetError) {
 				if txErr.IsFailure() {
 					fail(src, req.rawURL, txErr)
 					return
@@ -106,9 +107,19 @@ func (v *visit) fetch(req request, done func(fetchOutcome)) {
 	})
 }
 
+// path applies the active network conditions to one flow. DNS lookups
+// pass the zero address (the destination is not known yet).
+func (v *visit) path(addr netip.Addr, port uint16) simnet.Path {
+	return v.b.cond.Path(v.b.Net.Seed, simnet.Flow{
+		Vantage: v.b.flowVantage, Dst: addr, Port: port,
+	})
+}
+
 // resolve performs name resolution. Loopback names and IP literals
 // resolve synchronously (Chrome special-cases localhost); everything
-// else goes through the stub resolver with its lookup latency.
+// else goes through the stub resolver with the active conditions'
+// lookup latency. Under DNS impairment a lookup can die at the resolver
+// (ERR_DNS_TIMED_OUT), a failure mode distinct from NXDOMAIN.
 func (v *visit) resolve(target parsedURL, done func(netip.Addr, simnet.NetError)) {
 	if ip, err := netip.ParseAddr(target.host); err == nil {
 		done(ip, simnet.OK)
@@ -118,12 +129,22 @@ func (v *visit) resolve(target parsedURL, done func(netip.Addr, simnet.NetError)
 		done(netip.MustParseAddr("127.0.0.1"), simnet.OK)
 		return
 	}
+	dns := v.b.cond.Path(v.b.Net.Seed, simnet.Flow{Vantage: v.b.flowVantage, Host: target.host})
 	dnsSrc := v.rec.NewSource(netlog.SourceHostResolver)
 	v.rec.Begin(v.sched.Now(), netlog.TypeHostResolverJob, dnsSrc, map[string]any{"host": target.host})
+	if dns.DNSTimeout {
+		v.sched.After(dns.DNSTimeoutAfter, func() {
+			v.rec.End(v.sched.Now(), netlog.TypeHostResolverJob, dnsSrc, map[string]any{
+				"host": target.host, "net_error": string(simnet.ErrDNSTimedOut),
+			})
+			done(netip.Addr{}, simnet.ErrDNSTimedOut)
+		})
+		return
+	}
 	addrs, nerr := v.b.Net.Resolver.Resolve(target.host)
-	delay := simnet.ResolutionDelay
+	delay := dns.DNSResolve
 	if nerr.IsFailure() {
-		delay = simnet.FailureDelay
+		delay = dns.DNSFailure
 	}
 	v.sched.After(delay, func() {
 		params := map[string]any{"host": target.host}
@@ -151,12 +172,18 @@ func (v *visit) locate(addr netip.Addr, port uint16) simnet.Endpoint {
 
 // connect establishes the transport (TCP, then TLS for secure schemes),
 // reusing a kept-alive connection to the same origin when one exists —
-// WebSockets always open a fresh socket, as Chrome does.
-func (v *visit) connect(src netlog.Source, target parsedURL, addr netip.Addr, done func(simnet.Endpoint, simnet.NetError)) {
+// WebSockets always open a fresh socket, as Chrome does. A connection
+// the link drops (path.Drop) times out like an unroutable destination,
+// even on a listening port.
+func (v *visit) connect(src netlog.Source, target parsedURL, addr netip.Addr, path simnet.Path, done func(simnet.Endpoint, simnet.NetError)) {
 	ep := v.locate(addr, target.port)
+	outcome := ep.Outcome
+	if path.Drop {
+		outcome = simnet.DialTimeout
+	}
 	hostport := netip.AddrPortFrom(addr, target.port).String()
 	key := poolKey(target.scheme, hostport)
-	if !target.scheme.WebSocket() && ep.Outcome == simnet.DialAccepted {
+	if !target.scheme.WebSocket() && outcome == simnet.DialAccepted {
 		if v.pool == nil {
 			v.pool = map[string]netlog.Source{}
 		}
@@ -166,22 +193,22 @@ func (v *visit) connect(src netlog.Source, target parsedURL, addr netip.Addr, do
 			return
 		}
 	}
-	rtt := v.b.Net.Latency.RTT(v.b.Profile.Vantage, addr)
+	rtt := path.RTT
 	sockSrc := v.rec.NewSource(netlog.SourceSocket)
 	v.rec.Begin(v.sched.Now(), netlog.TypeTCPConnect, sockSrc, map[string]any{
 		"address": netip.AddrPortFrom(addr, target.port).String(),
 	})
 	var wait time.Duration
-	switch ep.Outcome {
+	switch outcome {
 	case simnet.DialAccepted, simnet.DialRefused:
 		wait = rtt // SYN → SYN-ACK or RST
 	case simnet.DialReset:
 		wait = rtt + rtt/2
 	default: // timeout
-		wait = simnet.ConnectTimeout
+		wait = path.ConnectTimeout
 	}
 	v.sched.After(wait, func() {
-		if nerr := ep.Outcome.NetError(); nerr.IsFailure() {
+		if nerr := outcome.NetError(); nerr.IsFailure() {
 			v.rec.Point(v.sched.Now(), netlog.TypeSocketError, sockSrc, map[string]any{"net_error": string(nerr)})
 			done(ep, nerr)
 			return
@@ -225,8 +252,8 @@ func addrIsLocal(addr netip.Addr) bool { return hostenv.IsLocalDestination(addr)
 
 // transact performs the HTTP exchange or WebSocket handshake on an
 // established connection.
-func (v *visit) transact(src netlog.Source, req request, target parsedURL, addr netip.Addr, ep simnet.Endpoint, done func(*simnet.Response, simnet.NetError)) {
-	rtt := v.b.Net.Latency.RTT(v.b.Profile.Vantage, addr)
+func (v *visit) transact(src netlog.Source, req request, target parsedURL, addr netip.Addr, ep simnet.Endpoint, path simnet.Path, done func(*simnet.Response, simnet.NetError)) {
+	rtt := path.RTT
 	sreq := &simnet.Request{
 		Method:    "GET",
 		Scheme:    target.scheme,
@@ -288,11 +315,9 @@ func (v *visit) transact(src netlog.Source, req request, target parsedURL, addr 
 			done(resp, simnet.OK)
 			return
 		}
-		// Body read time scales with size.
-		bodyWait := rtt/2 + time.Duration(resp.BodySize/1200)*rtt/10
-		if bodyWait > 3*time.Second {
-			bodyWait = 3 * time.Second
-		}
+		// Body read time scales with size, plus any serialization delay
+		// the active conditions' bandwidth cap imposes.
+		bodyWait := path.TransferDelay(resp.BodySize)
 		v.sched.After(bodyWait, func() {
 			v.rec.Point(v.sched.Now(), netlog.TypeHTTPTransactionReadBody, src, map[string]any{"bytes": resp.BodySize})
 			done(resp, simnet.OK)

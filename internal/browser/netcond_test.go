@@ -1,0 +1,113 @@
+package browser
+
+import (
+	"testing"
+	"time"
+
+	"github.com/knockandtalk/knockandtalk/internal/hostenv"
+	"github.com/knockandtalk/knockandtalk/internal/netlog"
+	"github.com/knockandtalk/knockandtalk/internal/simnet"
+	"github.com/knockandtalk/knockandtalk/internal/webdoc"
+)
+
+// condBrowser builds a browser over net with an explicit impairment
+// chain.
+func condBrowser(net *simnet.Network, stages ...simnet.Stage) *Browser {
+	opts := DefaultOptions()
+	opts.Background = false
+	opts.Conditions = &simnet.Conditions{Name: "test", FlowVantage: "test", Stages: stages}
+	return New(hostenv.DefaultProfile(hostenv.Linux), net, opts)
+}
+
+// TestDNSTimeoutDistinctFromNXDOMAIN: the two resolver failure modes
+// must be distinguishable in the NetLog — a resolvable name that dies
+// at an impaired resolver reports ERR_DNS_TIMED_OUT, while a genuinely
+// unregistered name still reports ERR_NAME_NOT_RESOLVED.
+func TestDNSTimeoutDistinctFromNXDOMAIN(t *testing.T) {
+	page := &webdoc.Page{URL: "https://site.test/"}
+	b := condBrowser(testWorld(page),
+		simnet.DNSImpairment{TimeoutRate: 1, TimeoutAfter: 5 * time.Second})
+
+	res := b.Visit("https://site.test/")
+	if res.Err != simnet.ErrDNSTimedOut {
+		t.Fatalf("err = %v, want ERR_DNS_TIMED_OUT", res.Err)
+	}
+	var sawTimeout bool
+	for _, e := range res.Log.Events {
+		if e.Type == netlog.TypeHostResolverJob && e.ParamString("net_error") == "ERR_DNS_TIMED_OUT" {
+			sawTimeout = true
+		}
+	}
+	if !sawTimeout {
+		t.Error("resolver job did not log ERR_DNS_TIMED_OUT")
+	}
+
+	// An unregistered name on the same impaired network must stay
+	// NXDOMAIN. The impairment slows the failure but must not relabel it.
+	nx := condBrowser(simnet.NewNetwork(1),
+		simnet.DNSImpairment{FailureDelay: 900 * time.Millisecond})
+	res = nx.Visit("http://unregistered.test/")
+	if res.Err != simnet.ErrNameNotResolved {
+		t.Fatalf("err = %v, want ERR_NAME_NOT_RESOLVED", res.Err)
+	}
+}
+
+// TestDNSTimeoutDeterministicAcrossSeeds: with a partial timeout rate,
+// which hosts die at the resolver is a pure function of the network
+// seed — the same set on every run, a different set under a different
+// seed.
+func TestDNSTimeoutDeterministicAcrossSeeds(t *testing.T) {
+	hosts := []string{
+		"alpha.test", "bravo.test", "charlie.test", "delta.test", "echo.test",
+		"foxtrot.test", "golf.test", "hotel.test", "india.test", "juliett.test",
+		"kilo.test", "lima.test", "mike.test", "november.test", "oscar.test",
+	}
+	outcomes := func(seed uint64) []bool {
+		net := simnet.NewNetwork(seed)
+		out := make([]bool, len(hosts))
+		for i, h := range hosts {
+			b := condBrowser(net, simnet.DNSImpairment{TimeoutRate: 0.4})
+			res := b.Visit("http://" + h + "/")
+			out[i] = res.Err == simnet.ErrDNSTimedOut
+		}
+		return out
+	}
+	a, b := outcomes(11), outcomes(11)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("host %s: timeout outcome differs between identical runs", hosts[i])
+		}
+	}
+	c := outcomes(12)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("seed change left every DNS-timeout outcome identical")
+	}
+	var timedOut int
+	for _, v := range a {
+		if v {
+			timedOut++
+		}
+	}
+	if timedOut == 0 || timedOut == len(hosts) {
+		t.Errorf("timeout rate 0.4 produced %d/%d timeouts — expected a mix", timedOut, len(hosts))
+	}
+}
+
+// TestLossDropsDial: a rate-1 loss stage turns an accepting listener
+// into a connect timeout, honoring the chain's connect-timeout policy.
+func TestLossDropsDial(t *testing.T) {
+	page := &webdoc.Page{URL: "https://site.test/"}
+	b := condBrowser(testWorld(page),
+		simnet.Loss{Rate: 1, Scope: simnet.ScopePublic},
+		simnet.ConnectTimeoutPolicy{Timeout: 3 * time.Second})
+	res := b.Visit("https://site.test/")
+	if res.Err != simnet.ErrConnectionTimedOut {
+		t.Fatalf("err = %v, want ERR_CONNECTION_TIMED_OUT", res.Err)
+	}
+}

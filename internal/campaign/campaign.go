@@ -35,6 +35,9 @@ type Spec struct {
 	Seed       uint64
 	Workers    int
 	RetainLogs bool
+	// NetProfile names the network-condition profile every leg crawls
+	// under (simnet.ProfileByName); empty or "nominal" is unimpaired.
+	NetProfile string
 	// Resume loads existing per-crawl stores from OutDir and skips
 	// already-visited targets.
 	Resume bool
@@ -67,8 +70,12 @@ type Spec struct {
 
 // Entry is one (crawl, OS) manifest row.
 type Entry struct {
-	Crawl         string `json:"crawl"`
-	OS            string `json:"os"`
+	Crawl string `json:"crawl"`
+	OS    string `json:"os"`
+	// NetProfile records the network-condition profile the leg ran
+	// under; omitted for nominal legs, keeping older manifests
+	// byte-stable.
+	NetProfile    string `json:"net_profile,omitempty"`
 	Attempted     int    `json:"attempted"`
 	Successful    int    `json:"successful"`
 	Failed        int    `json:"failed"`
@@ -153,7 +160,8 @@ func Run(spec Spec) (*Manifest, error) {
 		cfg := crawler.Config{
 			Crawl: crawl, Scale: spec.Scale, Seed: spec.Seed,
 			Workers: spec.Workers, RetainLogs: spec.RetainLogs, Resume: spec.Resume,
-			Metrics: spec.Metrics, Tracer: spec.Tracer, StageTimings: spec.StageTimings,
+			NetProfile: spec.NetProfile,
+			Metrics:    spec.Metrics, Tracer: spec.Tracer, StageTimings: spec.StageTimings,
 			Health: spec.Health,
 		}
 		if lg != nil {
@@ -175,7 +183,7 @@ func Run(spec Spec) (*Manifest, error) {
 				spec.Logger.Info("crawl complete", "summary", s)
 			}
 			e := Entry{
-				Crawl: string(s.Crawl), OS: s.OS.String(),
+				Crawl: string(s.Crawl), OS: s.OS.String(), NetProfile: s.NetProfile,
 				Attempted: s.Attempted, Successful: s.Successful, Failed: s.Failed,
 				LocalRequests: s.LocalRequests, AlreadyDone: s.AlreadyDone,
 				RetentionErrors: s.RetentionErrors, Elapsed: s.Elapsed,

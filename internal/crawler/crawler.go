@@ -20,6 +20,7 @@ import (
 	"github.com/knockandtalk/knockandtalk/internal/health"
 	"github.com/knockandtalk/knockandtalk/internal/hostenv"
 	"github.com/knockandtalk/knockandtalk/internal/pipeline"
+	"github.com/knockandtalk/knockandtalk/internal/simnet"
 	"github.com/knockandtalk/knockandtalk/internal/store"
 	"github.com/knockandtalk/knockandtalk/internal/telemetry"
 	"github.com/knockandtalk/knockandtalk/internal/websim"
@@ -43,6 +44,10 @@ type Config struct {
 	// the landing page ("/"), as the study crawled; websim.LoginPath
 	// drives the internal-pages extension of §6.
 	PagePath string
+	// NetProfile names the network-condition profile the leg crawls
+	// under (simnet.ProfileByName). Empty or "nominal" runs unimpaired
+	// on the OS's own vantage — the byte-identical-to-golden path.
+	NetProfile string
 	// SkipConnectivityCheck disables the pre-visit ping to 8.8.8.8.
 	SkipConnectivityCheck bool
 	// RetainLogs keeps the raw NetLog capture for every visit that
@@ -93,8 +98,11 @@ func (c *Config) instrumented() bool {
 // Summary reports one campaign's crawl statistics — the raw material of
 // Table 1.
 type Summary struct {
-	Crawl      groundtruth.CrawlID
-	OS         hostenv.OS
+	Crawl groundtruth.CrawlID
+	OS    hostenv.OS
+	// NetProfile is the network-condition profile the leg ran under;
+	// empty for nominal crawls.
+	NetProfile string
 	Attempted  int
 	Successful int
 	Failed     int
@@ -142,6 +150,9 @@ func (s *Summary) LogValue() slog.Value {
 		slog.Int("local_requests", s.LocalRequests),
 		slog.Duration("elapsed", s.Elapsed),
 	}
+	if s.NetProfile != "" {
+		attrs = append(attrs, slog.String("net_profile", s.NetProfile))
+	}
 	if s.Skipped > 0 {
 		attrs = append(attrs, slog.Int("skipped", s.Skipped))
 	}
@@ -188,8 +199,13 @@ func RunWorld(cfg Config, world *websim.World, dst *store.Store) (*Summary, erro
 		opts.Window = cfg.Window
 	}
 	opts.ParseHTML = cfg.ParseHTML
+	cond, err := simnet.ProfileByName(cfg.NetProfile)
+	if err != nil {
+		return nil, err
+	}
+	opts.Conditions = cond
 
-	sum := &Summary{Crawl: cfg.Crawl, OS: cfg.OS, Errors: make(map[string]int)}
+	sum := &Summary{Crawl: cfg.Crawl, OS: cfg.OS, NetProfile: cfg.NetProfile, Errors: make(map[string]int)}
 	done := map[string]bool{}
 	if cfg.Resume {
 		// Keyed on the visited URL, not the domain: a landing-page crawl
@@ -206,7 +222,7 @@ func RunWorld(cfg Config, world *websim.World, dst *store.Store) (*Summary, erro
 	instr := cfg.instrumented()
 	var cm *crawlMeters
 	if cfg.Metrics != nil {
-		cm = newCrawlMeters(cfg.Metrics, string(cfg.Crawl), cfg.OS.String())
+		cm = newCrawlMeters(cfg.Metrics, string(cfg.Crawl), cfg.OS.String(), cfg.NetProfile, cond != nil && cond.Impaired())
 	}
 	// The health leg is nil-safe: every call below is a no-op when the
 	// operations plane is off, so the visit path never branches on it.
@@ -280,6 +296,9 @@ func RunWorld(cfg Config, world *websim.World, dst *store.Store) (*Summary, erro
 					if cm != nil {
 						cm.visits.Inc()
 						cm.visitNS.ObserveDuration(d)
+						if cm.impairedVisits != nil {
+							cm.impairedVisits.Inc()
+						}
 					}
 				}
 				// The canonical visit pipeline: detection and record
@@ -450,16 +469,23 @@ func (t *tally) mergeInto(sum *Summary) {
 }
 
 // crawlMeters are the crawler's pre-resolved registry handles, labeled
-// by campaign and OS.
+// by campaign and OS — plus the network profile when the leg runs under
+// a named one, so per-profile stage histograms separate cleanly. The
+// impaired-visit counter exists only for legs whose condition chain
+// actually impairs flows.
 type crawlMeters struct {
 	visits, failures, findings *telemetry.Counter
 	skipped, retentionErrs     *telemetry.Counter
+	impairedVisits             *telemetry.Counter
 	visitNS                    *telemetry.Histogram
 }
 
-func newCrawlMeters(reg *telemetry.Registry, crawl, os string) *crawlMeters {
+func newCrawlMeters(reg *telemetry.Registry, crawl, os, profile string, impaired bool) *crawlMeters {
 	l := []string{"crawl", crawl, "os", os}
-	return &crawlMeters{
+	if profile != "" {
+		l = append(l, "netprofile", profile)
+	}
+	cm := &crawlMeters{
 		visits:        reg.Counter("crawl_visits_total", l...),
 		failures:      reg.Counter("crawl_visit_failures_total", l...),
 		findings:      reg.Counter("crawl_findings_total", l...),
@@ -467,6 +493,10 @@ func newCrawlMeters(reg *telemetry.Registry, crawl, os string) *crawlMeters {
 		retentionErrs: reg.Counter("crawl_retention_errors_total", l...),
 		visitNS:       reg.Histogram("crawl_visit_ns", l...),
 	}
+	if impaired {
+		cm.impairedVisits = reg.Counter("crawl_impaired_visits_total", l...)
+	}
+	return cm
 }
 
 // RunAll executes a campaign on every OS the crawl covers (W/L/M for the

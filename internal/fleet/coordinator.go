@@ -28,11 +28,12 @@ type Config struct {
 	OutDir string
 	// Crawls lists the campaigns to run; nil means all three.
 	Crawls []groundtruth.CrawlID
-	// Scale, Seed, RetainLogs as in crawler.Config — identical across
-	// the fleet, pinned into every lease.
+	// Scale, Seed, RetainLogs, NetProfile as in crawler.Config —
+	// identical across the fleet, pinned into every lease.
 	Scale      float64
 	Seed       uint64
 	RetainLogs bool
+	NetProfile string
 	// LeaseTargets is the maximum number of targets per lease; 0 means
 	// 64. Smaller leases reassign less work on worker death but cost
 	// more control-plane round trips.
@@ -213,7 +214,7 @@ func New(cfg Config) (*Coordinator, error) {
 	c.mDupes = c.reg.Counter("fleet_duplicate_visits_total")
 	c.mUploadB = c.reg.Counter("fleet_upload_bytes_total")
 
-	leases, err := partition(cfg.Crawls, cfg.Scale, cfg.Seed, cfg.RetainLogs, cfg.LeaseTargets, cfg.TTL.Seconds())
+	leases, err := partition(cfg.Crawls, cfg.Scale, cfg.Seed, cfg.RetainLogs, cfg.NetProfile, cfg.LeaseTargets, cfg.TTL.Seconds())
 	if err != nil {
 		return nil, err
 	}
@@ -264,6 +265,7 @@ func New(cfg Config) (*Coordinator, error) {
 			headerSeen = true
 			if e.Scale != cfg.Scale || e.Seed != cfg.Seed ||
 				e.LeaseTargets != cfg.LeaseTargets || e.RetainLogs != cfg.RetainLogs ||
+				e.NetProfile != cfg.NetProfile ||
 				len(e.Crawls) != len(cfg.Crawls) {
 				headerErr = fmt.Errorf("fleet: journal in %s describes a different campaign (scale=%v seed=%d lease_targets=%d)", cfg.OutDir, e.Scale, e.Seed, e.LeaseTargets)
 			} else {
@@ -313,6 +315,7 @@ func New(cfg Config) (*Coordinator, error) {
 		if err := jr.append(journalEntry{
 			Type: "campaign", Name: cfg.Name, Scale: cfg.Scale, Seed: cfg.Seed,
 			Crawls: crawls, LeaseTargets: cfg.LeaseTargets, RetainLogs: cfg.RetainLogs,
+			NetProfile: cfg.NetProfile,
 		}); err != nil {
 			c.Close()
 			return nil, err

@@ -68,11 +68,11 @@ func shortHash(b []byte) string {
 // its parameters: two coordinators over the same campaign must hand out
 // identical lease tables, or resume would corrupt.
 func TestPartitionDeterministic(t *testing.T) {
-	a, err := partition(goldencampaign.Crawls, 0.02, 7, true, 50, 60)
+	a, err := partition(goldencampaign.Crawls, 0.02, 7, true, "", 50, 60)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := partition(goldencampaign.Crawls, 0.02, 7, true, 50, 60)
+	b, err := partition(goldencampaign.Crawls, 0.02, 7, true, "", 50, 60)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -55,6 +55,7 @@ type journalEntry struct {
 	Crawls       []string `json:"crawls,omitempty"`
 	LeaseTargets int      `json:"lease_targets,omitempty"`
 	RetainLogs   bool     `json:"retain_logs,omitempty"`
+	NetProfile   string   `json:"net_profile,omitempty"`
 }
 
 // journal is the append side. Appends are serialized by the

@@ -40,10 +40,13 @@ type Lease struct {
 	FirstDomain string `json:"first_domain"`
 	LastDomain  string `json:"last_domain"`
 
-	// World parameters, identical across the fleet.
+	// World parameters, identical across the fleet. NetProfile names the
+	// network-condition profile every worker crawls under (empty =
+	// nominal); older journals without it replay as nominal.
 	Scale      float64 `json:"scale"`
 	Seed       uint64  `json:"seed"`
 	RetainLogs bool    `json:"retain_logs"`
+	NetProfile string  `json:"net_profile,omitempty"`
 
 	// TTLSeconds is how long the holder has between renewals before the
 	// coordinator declares it dead and reassigns the lease.
@@ -96,7 +99,7 @@ func legsFor(crawls []groundtruth.CrawlID) []legKey {
 // resumed coordinator must derive the identical partition, so it
 // depends only on (crawls, scale, leaseTargets) — never on runtime
 // state.
-func partition(crawls []groundtruth.CrawlID, scale float64, seed uint64, retainLogs bool, leaseTargets int, ttlSeconds float64) ([]*Lease, error) {
+func partition(crawls []groundtruth.CrawlID, scale float64, seed uint64, retainLogs bool, netProfile string, leaseTargets int, ttlSeconds float64) ([]*Lease, error) {
 	var leases []*Lease
 	for _, leg := range legsFor(crawls) {
 		n, err := websim.TargetCount(leg.crawl, scale)
@@ -127,6 +130,7 @@ func partition(crawls []groundtruth.CrawlID, scale float64, seed uint64, retainL
 				Scale:       scale,
 				Seed:        seed,
 				RetainLogs:  retainLogs,
+				NetProfile:  netProfile,
 				TTLSeconds:  ttlSeconds,
 			})
 		}

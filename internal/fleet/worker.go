@@ -225,7 +225,8 @@ func runLease(ctx context.Context, cfg WorkerConfig, client *Client, lease *Leas
 	ccfg := crawler.Config{
 		Crawl: crawl, OS: osv, Scale: lease.Scale, Seed: lease.Seed,
 		Workers: cfg.Workers, RetainLogs: lease.RetainLogs,
-		Metrics: cfg.Metrics, Health: cfg.Health,
+		NetProfile: lease.NetProfile,
+		Metrics:    cfg.Metrics, Health: cfg.Health,
 		// Resume skips visits recovered from the lease WAL; harmless on
 		// a fresh store.
 		Resume: true,

@@ -1,0 +1,35 @@
+package report
+
+import (
+	"fmt"
+
+	"github.com/knockandtalk/knockandtalk/internal/analysis"
+)
+
+// DegradationTable renders the detection-degradation sweep: one row per
+// network-condition profile, detection and classification rates side by
+// side with the nominal baseline (the first row) so the decay under
+// impairment reads straight down the columns.
+func DegradationTable(outcomes []analysis.ProfileOutcome) string {
+	t := newTable("Detection degradation under network impairment")
+	t.row("Profile", "Visits", "Load fail", "Localhost det.", "LAN det.", "Classified", "vs nominal")
+	var base float64
+	for i, o := range outcomes {
+		if i == 0 {
+			base = o.DetectionRate()
+		}
+		delta := "-"
+		if i > 0 && base > 0 {
+			delta = fmt.Sprintf("%+.1fpp", 100*(o.DetectionRate()-base))
+		}
+		t.row(o.Profile,
+			fmt.Sprint(o.Visits),
+			pct(o.FailedLoads, o.Visits),
+			fmt.Sprintf("%d/%d (%s)", o.Detected, o.Expected, pct(o.Detected, o.Expected)),
+			fmt.Sprintf("%d/%d (%s)", o.LANDetected, o.LANExpected, pct(o.LANDetected, o.LANExpected)),
+			fmt.Sprintf("%d/%d (%s)", o.ClassMatched, o.Detected, pct(o.ClassMatched, o.Detected)),
+			delta,
+		)
+	}
+	return t.String()
+}

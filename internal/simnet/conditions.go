@@ -1,0 +1,444 @@
+package simnet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net/netip"
+	"time"
+)
+
+// Conditions is the composable network-condition layer: an ordered chain
+// of impairment stages applied to every flow the browser opens. It
+// subsumes the old LatencyModel (base latency + deterministic jitter)
+// and extends it with the tc/netem-style axes — packet/connection loss,
+// bandwidth-induced transfer delay, DNS slowdown and resolver failure,
+// and connect-timeout policy. Every stage draws from (seed, flow) hashes
+// only, so a crawl under any profile reproduces bit-for-bit.
+//
+// The nominal chain (Nominal) produces exactly the timings the old
+// model did, keeping unimpaired crawls byte-identical to the goldens.
+type Conditions struct {
+	// Name is the profile name recorded in manifests and telemetry.
+	Name string
+	// FlowVantage is the identity mixed into per-flow hashes. Nominal
+	// conditions use the machine's vantage name (so per-OS crawls keep
+	// their historical timings); impaired profiles use their own name,
+	// making the impairment pattern independent of the crawling OS.
+	FlowVantage string
+	// Stages is the impairment chain, applied in order.
+	Stages []Stage
+}
+
+// Flow identifies one network interaction from the crawling machine's
+// point of view. Dst is unset for DNS lookups (the address is not known
+// yet); Host is empty for flows addressed by IP literal.
+type Flow struct {
+	Vantage string
+	Dst     netip.Addr
+	Port    uint16
+	Host    string
+}
+
+// Path is the effective per-flow network behavior after the chain has
+// been applied: what the browser uses for every timing decision.
+type Path struct {
+	// RTT is the round-trip time to the destination.
+	RTT time.Duration
+	// ConnectTimeout is how long a silently-dropped dial takes to fail.
+	ConnectTimeout time.Duration
+	// Drop marks a connection the link loses: the dial times out even if
+	// a listener would have accepted it.
+	Drop bool
+	// DNSResolve and DNSFailure are the successful-lookup and NXDOMAIN
+	// latencies; DNSTimeout marks a lookup that dies at the resolver
+	// (ERR_DNS_TIMED_OUT after DNSTimeoutAfter), a failure mode distinct
+	// from NXDOMAIN.
+	DNSResolve      time.Duration
+	DNSFailure      time.Duration
+	DNSTimeout      bool
+	DNSTimeoutAfter time.Duration
+	// BytesPerSec caps the link's transfer rate; zero means unshaped.
+	BytesPerSec int64
+}
+
+// TransferDelay is the body-read time for a response of the given size:
+// the nominal RTT-scaled read (capped as before) plus the serialization
+// delay a shaped link adds on top.
+func (p *Path) TransferDelay(bytes int) time.Duration {
+	d := p.RTT/2 + time.Duration(bytes/1200)*p.RTT/10
+	if d > 3*time.Second {
+		d = 3 * time.Second
+	}
+	if p.BytesPerSec > 0 && bytes > 0 {
+		d += time.Duration(bytes) * time.Second / time.Duration(p.BytesPerSec)
+	}
+	return d
+}
+
+// Stage is one link in the impairment chain. Implementations must be
+// pure functions of (seed, flow): no shared state, no wall clock.
+type Stage interface {
+	Apply(seed uint64, f Flow, p *Path)
+}
+
+// DNSTimeoutDelay is the default time a resolver-timeout lookup spends
+// before giving up (several retransmits to a dead resolver).
+const DNSTimeoutDelay = 4 * time.Second
+
+// Path applies the chain to one flow, starting from the package's
+// nominal defaults (ConnectTimeout, ResolutionDelay, FailureDelay).
+func (c *Conditions) Path(seed uint64, f Flow) Path {
+	p := Path{
+		ConnectTimeout:  ConnectTimeout,
+		DNSResolve:      ResolutionDelay,
+		DNSFailure:      FailureDelay,
+		DNSTimeoutAfter: DNSTimeoutDelay,
+	}
+	for _, st := range c.Stages {
+		st.Apply(seed, f, &p)
+	}
+	return p
+}
+
+// Impaired reports whether the chain contains any stage beyond nominal
+// latency and jitter — the condition under which the crawler counts
+// visits into crawl_impaired_visits_total.
+func (c *Conditions) Impaired() bool {
+	for _, st := range c.Stages {
+		switch st.(type) {
+		case BaseLatency, Jitter:
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// linkClass buckets destinations the way the old LatencyModel did:
+// loopback, RFC1918 IPv4, link-local, everything else public. Flows with
+// no destination yet (DNS lookups) ride the public link.
+type linkClass uint8
+
+const (
+	linkLoopback linkClass = iota
+	linkLAN
+	linkLinkLocal
+	linkPublic
+)
+
+func classify(dst netip.Addr) linkClass {
+	switch {
+	case !dst.IsValid():
+		return linkPublic
+	case dst.IsLoopback():
+		return linkLoopback
+	case dst.Is4() && dst.IsPrivate():
+		return linkLAN
+	case dst.IsLinkLocalUnicast():
+		return linkLinkLocal
+	default:
+		return linkPublic
+	}
+}
+
+// Scope selects which destination classes a stage affects, so a lossy
+// wifi link can hurt LAN and public flows while loopback stays perfect.
+type Scope uint8
+
+// Scope bits.
+const (
+	ScopeLoopback Scope = 1 << iota
+	ScopeLAN
+	ScopeLinkLocal
+	ScopePublic
+
+	// ScopeRemote is everything that leaves the machine.
+	ScopeRemote = ScopeLAN | ScopeLinkLocal | ScopePublic
+	// ScopeAll covers every destination class.
+	ScopeAll = ScopeLoopback | ScopeRemote
+)
+
+func (s Scope) has(c linkClass) bool {
+	switch c {
+	case linkLoopback:
+		return s&ScopeLoopback != 0
+	case linkLAN:
+		return s&ScopeLAN != 0
+	case linkLinkLocal:
+		return s&ScopeLinkLocal != 0
+	default:
+		return s&ScopePublic != 0
+	}
+}
+
+// BaseLatency adds the class base RTT for the destination.
+type BaseLatency struct {
+	Loopback, LAN, LinkLocal, Public time.Duration
+}
+
+// Apply implements Stage.
+func (s BaseLatency) Apply(seed uint64, f Flow, p *Path) {
+	switch classify(f.Dst) {
+	case linkLoopback:
+		p.RTT += s.Loopback
+	case linkLAN:
+		p.RTT += s.LAN
+	case linkLinkLocal:
+		p.RTT += s.LinkLocal
+	default:
+		p.RTT += s.Public
+	}
+}
+
+// Jitter adds deterministic per-destination jitter, up to the class
+// maximum, hashed from (seed, vantage, destination) exactly as the old
+// LatencyModel did — the hash must stay byte-compatible or nominal
+// crawls drift from the goldens.
+type Jitter struct {
+	Loopback, LAN, LinkLocal, Public time.Duration
+}
+
+// Apply implements Stage.
+func (s Jitter) Apply(seed uint64, f Flow, p *Path) {
+	var max time.Duration
+	switch classify(f.Dst) {
+	case linkLoopback:
+		max = s.Loopback
+	case linkLAN:
+		max = s.LAN
+	case linkLinkLocal:
+		max = s.LinkLocal
+	default:
+		max = s.Public
+	}
+	p.RTT += flowJitter(seed, f.Vantage, f.Dst, max)
+}
+
+func flowJitter(seed uint64, vantage string, dst netip.Addr, max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	h := fnv.New64a()
+	var sb [8]byte
+	for i := 0; i < 8; i++ {
+		sb[i] = byte(seed >> (8 * i))
+	}
+	h.Write(sb[:])
+	h.Write([]byte(vantage))
+	b, _ := dst.MarshalBinary()
+	h.Write(b)
+	return time.Duration(h.Sum64() % uint64(max))
+}
+
+// flowDraw returns a deterministic uniform draw in [0, 1) for one flow
+// and purpose label.
+func flowDraw(seed uint64, label, vantage string, dst netip.Addr, port uint16, host string) float64 {
+	h := fnv.New64a()
+	var sb [8]byte
+	for i := 0; i < 8; i++ {
+		sb[i] = byte(seed >> (8 * i))
+	}
+	h.Write(sb[:])
+	h.Write([]byte(label))
+	h.Write([]byte(vantage))
+	b, _ := dst.MarshalBinary()
+	h.Write(b)
+	h.Write([]byte{byte(port), byte(port >> 8)})
+	h.Write([]byte(host))
+	return float64(h.Sum64()>>11) / float64(1<<53)
+}
+
+// Loss drops a fraction of connections: a dropped dial times out (after
+// Path.ConnectTimeout) even on a listening port. The draw is keyed per
+// (seed, vantage, destination, port), so a given link is consistently
+// bad within a crawl — individual port knocks drop independently of one
+// another, but deterministically across runs.
+type Loss struct {
+	Rate  float64
+	Scope Scope
+}
+
+// Apply implements Stage.
+func (s Loss) Apply(seed uint64, f Flow, p *Path) {
+	if s.Rate <= 0 || !s.Scope.has(classify(f.Dst)) {
+		return
+	}
+	if flowDraw(seed, "loss", f.Vantage, f.Dst, f.Port, "") < s.Rate {
+		p.Drop = true
+	}
+}
+
+// Bandwidth caps the link's transfer rate, adding serialization delay to
+// body reads (Path.TransferDelay). The tightest cap in the chain wins.
+type Bandwidth struct {
+	BytesPerSec int64
+	Scope       Scope
+}
+
+// Apply implements Stage.
+func (s Bandwidth) Apply(seed uint64, f Flow, p *Path) {
+	if s.BytesPerSec <= 0 || !s.Scope.has(classify(f.Dst)) {
+		return
+	}
+	if p.BytesPerSec == 0 || s.BytesPerSec < p.BytesPerSec {
+		p.BytesPerSec = s.BytesPerSec
+	}
+}
+
+// DNSImpairment slows lookups and makes a fraction of them die at the
+// resolver: a timed-out lookup fails with ERR_DNS_TIMED_OUT after
+// TimeoutAfter, distinguishable in the NetLog from NXDOMAIN. Timeouts
+// are keyed per (seed, host), so the same names fail on every run.
+type DNSImpairment struct {
+	ResolveDelay time.Duration // replaces the nominal ResolutionDelay when > 0
+	FailureDelay time.Duration // replaces the nominal FailureDelay when > 0
+	TimeoutRate  float64
+	TimeoutAfter time.Duration // replaces DNSTimeoutDelay when > 0
+}
+
+// Apply implements Stage.
+func (s DNSImpairment) Apply(seed uint64, f Flow, p *Path) {
+	if s.ResolveDelay > 0 {
+		p.DNSResolve = s.ResolveDelay
+	}
+	if s.FailureDelay > 0 {
+		p.DNSFailure = s.FailureDelay
+	}
+	if s.TimeoutAfter > 0 {
+		p.DNSTimeoutAfter = s.TimeoutAfter
+	}
+	if s.TimeoutRate > 0 && f.Host != "" &&
+		flowDraw(seed, "dns-timeout", f.Vantage, netip.Addr{}, 0, f.Host) < s.TimeoutRate {
+		p.DNSTimeout = true
+	}
+}
+
+// ConnectTimeoutPolicy overrides how long a silently-dropped dial takes
+// to fail; the package ConnectTimeout constant is the nominal default.
+type ConnectTimeoutPolicy struct {
+	Timeout time.Duration
+}
+
+// Apply implements Stage.
+func (s ConnectTimeoutPolicy) Apply(seed uint64, f Flow, p *Path) {
+	if s.Timeout > 0 {
+		p.ConnectTimeout = s.Timeout
+	}
+}
+
+// Nominal returns the unimpaired conditions for a vantage: exactly the
+// timings the pre-Conditions LatencyModel produced, stage by stage.
+func Nominal(v Vantage) *Conditions {
+	return &Conditions{
+		Name:        "nominal",
+		FlowVantage: v.Name,
+		Stages: []Stage{
+			BaseLatency{Loopback: 150 * time.Microsecond, LAN: time.Millisecond, LinkLocal: time.Millisecond, Public: v.BaseRTT},
+			Jitter{Loopback: 250 * time.Microsecond, LAN: 4 * time.Millisecond, LinkLocal: 2 * time.Millisecond, Public: v.Jitter},
+		},
+	}
+}
+
+// nominalFor builds a named nominal profile pinned to one vantage. Its
+// FlowVantage stays the vantage name, so a Windows crawl under
+// "nominal-campus" is byte-identical to a default Windows crawl.
+func nominalFor(name string, v Vantage) *Conditions {
+	c := Nominal(v)
+	c.Name = name
+	return c
+}
+
+// The named impairment profiles. Base/jitter figures follow the shaping
+// recipes netem deployments use for these link types; loss and DNS rates
+// rise with severity so the detection-degradation sweep decays
+// monotonically along SweepOrder.
+func residentialCongested() *Conditions {
+	return &Conditions{
+		Name:        "residential-congested",
+		FlowVantage: "residential-congested",
+		Stages: []Stage{
+			BaseLatency{Loopback: 150 * time.Microsecond, LAN: 2 * time.Millisecond, LinkLocal: time.Millisecond, Public: 85 * time.Millisecond},
+			Jitter{Loopback: 250 * time.Microsecond, LAN: 6 * time.Millisecond, LinkLocal: 2 * time.Millisecond, Public: 110 * time.Millisecond},
+			Loss{Rate: 0.02, Scope: ScopePublic},
+			Bandwidth{BytesPerSec: 750_000, Scope: ScopePublic},
+			DNSImpairment{ResolveDelay: 45 * time.Millisecond, FailureDelay: 300 * time.Millisecond, TimeoutRate: 0.01},
+		},
+	}
+}
+
+func mobile3G() *Conditions {
+	return &Conditions{
+		Name:        "mobile-3g",
+		FlowVantage: "mobile-3g",
+		Stages: []Stage{
+			BaseLatency{Loopback: 150 * time.Microsecond, LAN: time.Millisecond, LinkLocal: time.Millisecond, Public: 180 * time.Millisecond},
+			Jitter{Loopback: 250 * time.Microsecond, LAN: 4 * time.Millisecond, LinkLocal: 2 * time.Millisecond, Public: 220 * time.Millisecond},
+			Loss{Rate: 0.05, Scope: ScopePublic},
+			Bandwidth{BytesPerSec: 48_000, Scope: ScopePublic},
+			DNSImpairment{ResolveDelay: 90 * time.Millisecond, FailureDelay: 500 * time.Millisecond, TimeoutRate: 0.03, TimeoutAfter: 5 * time.Second},
+		},
+	}
+}
+
+func satellite() *Conditions {
+	return &Conditions{
+		Name:        "satellite",
+		FlowVantage: "satellite",
+		Stages: []Stage{
+			BaseLatency{Loopback: 150 * time.Microsecond, LAN: time.Millisecond, LinkLocal: time.Millisecond, Public: 600 * time.Millisecond},
+			Jitter{Loopback: 250 * time.Microsecond, LAN: 4 * time.Millisecond, LinkLocal: 2 * time.Millisecond, Public: 160 * time.Millisecond},
+			Loss{Rate: 0.09, Scope: ScopePublic},
+			Bandwidth{BytesPerSec: 135_000, Scope: ScopePublic},
+			DNSImpairment{ResolveDelay: 650 * time.Millisecond, FailureDelay: 1200 * time.Millisecond, TimeoutRate: 0.05, TimeoutAfter: 6 * time.Second},
+		},
+	}
+}
+
+func lossyWifi() *Conditions {
+	return &Conditions{
+		Name:        "lossy-wifi",
+		FlowVantage: "lossy-wifi",
+		Stages: []Stage{
+			BaseLatency{Loopback: 150 * time.Microsecond, LAN: 3 * time.Millisecond, LinkLocal: 2 * time.Millisecond, Public: 35 * time.Millisecond},
+			Jitter{Loopback: 250 * time.Microsecond, LAN: 8 * time.Millisecond, LinkLocal: 4 * time.Millisecond, Public: 48 * time.Millisecond},
+			Loss{Rate: 0.08, Scope: ScopeRemote},
+		},
+	}
+}
+
+// SweepOrder is the severity chain the detection-degradation sweep
+// asserts monotone decay over: each profile is strictly harsher than the
+// one before it on every axis it shares.
+var SweepOrder = []string{"nominal", "residential-congested", "mobile-3g", "satellite"}
+
+// ProfileNames lists every named profile ProfileByName accepts.
+func ProfileNames() []string {
+	return []string{
+		"nominal", "nominal-campus", "nominal-residential",
+		"lossy-wifi", "residential-congested", "mobile-3g", "satellite",
+	}
+}
+
+// ProfileByName resolves a named profile. The empty string and "nominal"
+// return nil: run under the crawling machine's own vantage, unimpaired —
+// the byte-identical-to-golden configuration.
+func ProfileByName(name string) (*Conditions, error) {
+	switch name {
+	case "", "nominal":
+		return nil, nil
+	case "nominal-campus":
+		return nominalFor("nominal-campus", VantageCampus), nil
+	case "nominal-residential":
+		return nominalFor("nominal-residential", VantageResidential), nil
+	case "residential-congested":
+		return residentialCongested(), nil
+	case "mobile-3g":
+		return mobile3G(), nil
+	case "satellite":
+		return satellite(), nil
+	case "lossy-wifi":
+		return lossyWifi(), nil
+	default:
+		return nil, fmt.Errorf("simnet: unknown network profile %q (have %v)", name, ProfileNames())
+	}
+}

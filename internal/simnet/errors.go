@@ -8,6 +8,7 @@ type NetError string
 const (
 	OK                      NetError = ""
 	ErrNameNotResolved      NetError = "ERR_NAME_NOT_RESOLVED"
+	ErrDNSTimedOut          NetError = "ERR_DNS_TIMED_OUT"
 	ErrConnectionRefused    NetError = "ERR_CONNECTION_REFUSED"
 	ErrConnectionReset      NetError = "ERR_CONNECTION_RESET"
 	ErrConnectionTimedOut   NetError = "ERR_CONNECTION_TIMED_OUT"

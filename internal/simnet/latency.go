@@ -1,15 +1,13 @@
 package simnet
 
-import (
-	"hash/fnv"
-	"net/netip"
-	"time"
-)
+import "time"
 
 // Vantage describes where the crawling machine sits on the network. The
 // paper crawled from two vantages: Windows/Linux VMs on Georgia Tech's
 // academic ISP and a MacBook Air on Comcast's residential network in
-// Atlanta (Figure 1).
+// Atlanta (Figure 1). A vantage carries only the nominal figures; the
+// full timing behavior of a crawl lives in Conditions, which turns a
+// vantage into the base-latency and jitter stages of its chain.
 type Vantage struct {
 	Name    string
 	BaseRTT time.Duration // median RTT to public hosts
@@ -22,46 +20,7 @@ var (
 	VantageResidential = Vantage{Name: "comcast-residential", BaseRTT: 31 * time.Millisecond, Jitter: 55 * time.Millisecond}
 )
 
-// LatencyModel produces deterministic per-destination round-trip times.
-// Jitter is a hash of (seed, vantage, destination), so the same crawl
-// configuration always observes the same timings.
-type LatencyModel struct {
-	Seed uint64
-}
-
-// RTT returns the round-trip time from a vantage to a destination
-// address. Loopback destinations answer in microseconds, RFC1918
-// destinations in low single-digit milliseconds, and public destinations
-// at vantage base plus stable jitter.
-func (m *LatencyModel) RTT(v Vantage, dst netip.Addr) time.Duration {
-	switch {
-	case dst.IsLoopback():
-		return 150*time.Microsecond + m.jitter(v, dst, 250*time.Microsecond)
-	case dst.Is4() && dst.IsPrivate():
-		return 1*time.Millisecond + m.jitter(v, dst, 4*time.Millisecond)
-	case dst.IsLinkLocalUnicast():
-		return 1*time.Millisecond + m.jitter(v, dst, 2*time.Millisecond)
-	default:
-		return v.BaseRTT + m.jitter(v, dst, v.Jitter)
-	}
-}
-
-// ConnectTimeout is how long a connection attempt to a silently dropping
-// destination takes to fail.
+// ConnectTimeout is the nominal time a connection attempt to a silently
+// dropping destination takes to fail; ConnectTimeoutPolicy stages
+// override it per profile.
 const ConnectTimeout = 9 * time.Second
-
-func (m *LatencyModel) jitter(v Vantage, dst netip.Addr, max time.Duration) time.Duration {
-	if max <= 0 {
-		return 0
-	}
-	h := fnv.New64a()
-	var seed [8]byte
-	for i := 0; i < 8; i++ {
-		seed[i] = byte(m.Seed >> (8 * i))
-	}
-	h.Write(seed[:])
-	h.Write([]byte(v.Name))
-	b, _ := dst.MarshalBinary()
-	h.Write(b)
-	return time.Duration(h.Sum64() % uint64(max))
-}

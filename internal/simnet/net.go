@@ -201,7 +201,9 @@ type endpointKey struct {
 // binding.
 type Network struct {
 	Resolver *Resolver
-	Latency  *LatencyModel
+	// Seed feeds every deterministic draw the Conditions chain makes for
+	// flows on this network.
+	Seed uint64
 	// online gates the crawler's connectivity checks (§3.1: "we first
 	// check for network connectivity by pinging Google's DNS server").
 	// It is atomic so tests can inject outages mid-crawl.
@@ -212,12 +214,12 @@ type Network struct {
 	hosts     map[netip.Addr]bool
 }
 
-// NewNetwork returns an empty, online network with a fresh resolver and a
-// latency model derived from the seed.
+// NewNetwork returns an empty, online network with a fresh resolver; the
+// seed drives every deterministic timing draw made against it.
 func NewNetwork(seed uint64) *Network {
 	n := &Network{
 		Resolver:  NewResolver(),
-		Latency:   &LatencyModel{Seed: seed},
+		Seed:      seed,
 		endpoints: make(map[endpointKey]Endpoint),
 		hosts:     make(map[netip.Addr]bool),
 	}

@@ -135,18 +135,24 @@ func TestResolverAddRemove(t *testing.T) {
 	}
 }
 
+// nominalRTT is the convenience the old LatencyModel.RTT provided,
+// rebuilt on the Conditions chain.
+func nominalRTT(seed uint64, v Vantage, dst netip.Addr) time.Duration {
+	c := Nominal(v)
+	return c.Path(seed, Flow{Vantage: v.Name, Dst: dst}).RTT
+}
+
 func TestLatencyDeterministicAndClassed(t *testing.T) {
-	m := &LatencyModel{Seed: 42}
 	lo := netip.MustParseAddr("127.0.0.1")
 	lan := netip.MustParseAddr("192.168.1.8")
 	pub := netip.MustParseAddr("203.0.113.9")
 
-	if a, b := m.RTT(VantageCampus, pub), m.RTT(VantageCampus, pub); a != b {
+	if a, b := nominalRTT(42, VantageCampus, pub), nominalRTT(42, VantageCampus, pub); a != b {
 		t.Errorf("RTT not deterministic: %v != %v", a, b)
 	}
-	rttLo := m.RTT(VantageCampus, lo)
-	rttLAN := m.RTT(VantageCampus, lan)
-	rttPub := m.RTT(VantageCampus, pub)
+	rttLo := nominalRTT(42, VantageCampus, lo)
+	rttLAN := nominalRTT(42, VantageCampus, lan)
+	rttPub := nominalRTT(42, VantageCampus, pub)
 	if !(rttLo < rttLAN && rttLAN < rttPub) {
 		t.Errorf("latency ordering violated: lo=%v lan=%v pub=%v", rttLo, rttLAN, rttPub)
 	}
@@ -160,8 +166,8 @@ func TestLatencyDeterministicAndClassed(t *testing.T) {
 
 func TestLatencySeedSensitivity(t *testing.T) {
 	pub := netip.MustParseAddr("203.0.113.9")
-	a := (&LatencyModel{Seed: 1}).RTT(VantageCampus, pub)
-	b := (&LatencyModel{Seed: 2}).RTT(VantageCampus, pub)
+	a := nominalRTT(1, VantageCampus, pub)
+	b := nominalRTT(2, VantageCampus, pub)
 	if a == b {
 		t.Error("different seeds produced identical jitter (possible, but suspicious for this pair)")
 	}
@@ -263,10 +269,9 @@ func TestNetworkOnlineGate(t *testing.T) {
 
 // Property: RTT is always within the documented envelope for its class.
 func TestQuickLatencyEnvelope(t *testing.T) {
-	m := &LatencyModel{Seed: 99}
 	f := func(a, b, c, d byte) bool {
 		ip := netip.AddrFrom4([4]byte{a, b, c, d})
-		rtt := m.RTT(VantageCampus, ip)
+		rtt := nominalRTT(99, VantageCampus, ip)
 		switch {
 		case ip.IsLoopback():
 			return rtt >= 150*time.Microsecond && rtt < 400*time.Microsecond

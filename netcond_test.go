@@ -1,0 +1,137 @@
+// Network-condition layer parity and degradation suite: nominal
+// profiles must leave crawls byte-identical to the goldens, and the
+// impairment profiles must degrade detection monotonically along the
+// sweep order, deterministically per seed.
+package knockandtalk_test
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"github.com/knockandtalk/knockandtalk/internal/analysis"
+	"github.com/knockandtalk/knockandtalk/internal/crawler"
+	"github.com/knockandtalk/knockandtalk/internal/goldencampaign"
+	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
+	"github.com/knockandtalk/knockandtalk/internal/simnet"
+	"github.com/knockandtalk/knockandtalk/internal/store"
+)
+
+// crawlUnder runs one crawl under a named network profile and returns
+// its canonical Save bytes.
+func crawlUnder(t *testing.T, crawl groundtruth.CrawlID, profile string) []byte {
+	t.Helper()
+	st := store.New()
+	if _, err := crawler.RunAll(crawler.Config{
+		Crawl: crawl, Scale: goldencampaign.Scale, Seed: goldencampaign.Seed,
+		RetainLogs: true, NetProfile: profile,
+	}, st); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestNominalProfileByteIdentity: selecting the nominal profile by name
+// must be indistinguishable from not selecting one at all — the
+// refactor's central parity guarantee.
+func TestNominalProfileByteIdentity(t *testing.T) {
+	want, err := goldencampaign.Encoded(groundtruth.CrawlMalicious)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := crawlUnder(t, groundtruth.CrawlMalicious, "nominal")
+	if !bytes.Equal(got, want) {
+		t.Fatal("NetProfile \"nominal\" crawl differs from the default crawl's bytes")
+	}
+}
+
+// TestDegradationSweepMonotone reproduces the committed sweep at the
+// golden scale: detection never improves as conditions worsen along
+// SweepOrder, and the nominal baseline detects everything the scaled
+// population contains.
+func TestDegradationSweepMonotone(t *testing.T) {
+	stores := map[string]*store.Store{}
+	nominal, err := goldencampaign.Merged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores["nominal"] = nominal
+	for _, profile := range simnet.SweepOrder[1:] {
+		st := store.New()
+		for _, crawl := range goldencampaign.Crawls {
+			if err := st.Load(bytes.NewReader(crawlUnder(t, crawl, profile))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		stores[profile] = st
+	}
+	outcomes := analysis.Degradation(simnet.SweepOrder, stores, goldencampaign.Crawls)
+	if len(outcomes) != len(simnet.SweepOrder) {
+		t.Fatalf("outcomes = %d, want %d", len(outcomes), len(simnet.SweepOrder))
+	}
+	base := outcomes[0]
+	if base.Expected == 0 || base.Detected != base.Expected {
+		t.Errorf("nominal baseline detected %d/%d — expected full detection", base.Detected, base.Expected)
+	}
+	for i := 1; i < len(outcomes); i++ {
+		prev, cur := outcomes[i-1], outcomes[i]
+		if cur.Expected != base.Expected {
+			t.Errorf("%s: expected population %d differs from nominal's %d (same targets, same seed)",
+				cur.Profile, cur.Expected, base.Expected)
+		}
+		if cur.DetectionRate() > prev.DetectionRate() {
+			t.Errorf("detection improved from %s (%.3f) to %s (%.3f) — sweep is not monotone",
+				prev.Profile, prev.DetectionRate(), cur.Profile, cur.DetectionRate())
+		}
+		if cur.FailedLoads < prev.FailedLoads {
+			t.Errorf("load failures fell from %s (%d) to %s (%d)",
+				prev.Profile, prev.FailedLoads, cur.Profile, cur.FailedLoads)
+		}
+	}
+	last := outcomes[len(outcomes)-1]
+	if last.Detected >= base.Detected {
+		t.Errorf("harshest profile %s detected %d/%d — no degradation measured",
+			last.Profile, last.Detected, last.Expected)
+	}
+}
+
+// TestImpairedCrawlDeterministic: an impaired crawl is as reproducible
+// as a nominal one — identical store bytes on every run of the same
+// (profile, scale, seed).
+func TestImpairedCrawlDeterministic(t *testing.T) {
+	a := crawlUnder(t, groundtruth.CrawlMalicious, "satellite")
+	b := crawlUnder(t, groundtruth.CrawlMalicious, "satellite")
+	if !bytes.Equal(a, b) {
+		t.Fatal("satellite crawl bytes differ between identical runs")
+	}
+	if bytes.Equal(a, crawlUnder(t, groundtruth.CrawlMalicious, "mobile-3g")) {
+		t.Fatal("different profiles produced identical stores")
+	}
+}
+
+// TestCommittedDegradationArtifact keeps results/degradation.txt
+// honest: the committed full-scale sweep lists the profiles in sweep
+// order with the nominal row first.
+func TestCommittedDegradationArtifact(t *testing.T) {
+	raw, err := os.ReadFile("results/degradation.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	pos := -1
+	for _, profile := range simnet.SweepOrder {
+		at := strings.Index(text, "\n"+profile)
+		if at < 0 {
+			t.Fatalf("committed sweep missing profile %q", profile)
+		}
+		if at < pos {
+			t.Fatalf("committed sweep lists %q out of sweep order", profile)
+		}
+		pos = at
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"github.com/knockandtalk/knockandtalk/internal/paperdiff"
 	"github.com/knockandtalk/knockandtalk/internal/pipeline"
 	"github.com/knockandtalk/knockandtalk/internal/store"
+	"github.com/knockandtalk/knockandtalk/internal/telemetry"
 )
 
 var logger, _ = health.LoggerTo(os.Stderr, "text", "knockdiff")
@@ -26,6 +27,7 @@ func main() {
 	in := flag.String("in", "", "comma-separated JSONL store paths")
 	failOnly := flag.Bool("failures", false, "print only failing metrics")
 	flag.Parse()
+	telemetry.RegisterBuildInfo(nil)
 	if *in == "" {
 		fatalf("-in is required")
 	}

@@ -21,6 +21,7 @@ import (
 	"github.com/knockandtalk/knockandtalk/internal/health"
 	"github.com/knockandtalk/knockandtalk/internal/serve/queryengine"
 	"github.com/knockandtalk/knockandtalk/internal/store"
+	"github.com/knockandtalk/knockandtalk/internal/telemetry"
 )
 
 var logger, _ = health.LoggerTo(os.Stderr, "text", "knockquery")
@@ -53,6 +54,7 @@ func main() {
 		limit  = flag.Int("limit", 50, "maximum rows printed (0 = unlimited)")
 	)
 	flag.Parse()
+	telemetry.RegisterBuildInfo(nil)
 	if *in == "" {
 		fatalf("-in is required")
 	}

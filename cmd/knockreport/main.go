@@ -23,6 +23,7 @@ import (
 	"github.com/knockandtalk/knockandtalk/internal/pipeline"
 	"github.com/knockandtalk/knockandtalk/internal/report"
 	"github.com/knockandtalk/knockandtalk/internal/store"
+	"github.com/knockandtalk/knockandtalk/internal/telemetry"
 )
 
 var logger *slog.Logger
@@ -36,6 +37,7 @@ func main() {
 		logFmt   = flag.String("log-format", "text", "diagnostic log format: text or json")
 	)
 	flag.Parse()
+	telemetry.RegisterBuildInfo(nil)
 
 	var err error
 	logger, err = health.NewLogger(*logFmt, "knockreport")

@@ -64,6 +64,7 @@ func main() {
 		logFormat = flag.String("log-format", "text", "diagnostic log format: text or json")
 	)
 	flag.Parse()
+	telemetry.RegisterBuildInfo(nil)
 
 	var err error
 	logger, err = health.NewLogger(*logFormat, "knockserved")

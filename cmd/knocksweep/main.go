@@ -30,6 +30,7 @@ import (
 	"github.com/knockandtalk/knockandtalk/internal/report"
 	"github.com/knockandtalk/knockandtalk/internal/simnet"
 	"github.com/knockandtalk/knockandtalk/internal/store"
+	"github.com/knockandtalk/knockandtalk/internal/telemetry"
 )
 
 var logger *slog.Logger
@@ -50,6 +51,7 @@ func main() {
 		logFormat = flag.String("log-format", "text", "diagnostic log format: text or json")
 	)
 	flag.Parse()
+	telemetry.RegisterBuildInfo(nil)
 
 	var err error
 	logger, err = health.NewLogger(*logFormat, "knocksweep")

@@ -42,6 +42,7 @@ func main() {
 		asJSON    = flag.Bool("json", false, "print the stage summary and rollups as JSON (same aggregation as the text views)")
 	)
 	flag.Parse()
+	telemetry.RegisterBuildInfo(nil)
 	if flag.NArg() == 0 {
 		fatalf("usage: knocktrace [flags] trace.jsonl [more.jsonl...]")
 	}

@@ -36,6 +36,7 @@ func main() {
 		logFormat   = flag.String("log-format", "text", "diagnostic log format: text or json")
 	)
 	flag.Parse()
+	telemetry.RegisterBuildInfo(nil)
 
 	logger, err := health.NewLogger(*logFormat, "knockworker")
 	if err != nil {

@@ -17,6 +17,7 @@ import (
 	"github.com/knockandtalk/knockandtalk/internal/health"
 	"github.com/knockandtalk/knockandtalk/internal/hostenv"
 	"github.com/knockandtalk/knockandtalk/internal/simnet"
+	"github.com/knockandtalk/knockandtalk/internal/telemetry"
 	"github.com/knockandtalk/knockandtalk/internal/tranco"
 	"github.com/knockandtalk/knockandtalk/internal/webdoc"
 	"github.com/knockandtalk/knockandtalk/internal/websim"
@@ -36,6 +37,7 @@ func main() {
 		size      = flag.Int("size", tranco.DefaultSize, "snapshot size for -tranco")
 	)
 	flag.Parse()
+	telemetry.RegisterBuildInfo(nil)
 
 	if *trancoYr != "" {
 		var snap *tranco.Snapshot

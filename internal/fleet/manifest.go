@@ -90,7 +90,7 @@ func (c *Coordinator) WriteOutputs() (*Manifest, error) {
 		m.Entries = append(m.Entries, campaign.Entry{
 			Crawl: string(leg.key.crawl), OS: leg.key.os.String(),
 			NetProfile: c.cfg.NetProfile,
-			Attempted: leg.attempted, Successful: leg.successful, Failed: leg.failed,
+			Attempted:  leg.attempted, Successful: leg.successful, Failed: leg.failed,
 			LocalRequests: leg.locals, RetentionErrors: leg.retention,
 			Elapsed: time.Duration(leg.elapsedMS * float64(time.Millisecond)),
 		})

@@ -1,0 +1,349 @@
+// Package loadgen is the load harness behind cmd/knockload: it drives
+// an HTTP service (knockserved's query and ingest planes) with a
+// weighted endpoint mix in two modes and reports latency distributions
+// through the telemetry registry's log-scale histograms.
+//
+// Closed-loop mode runs a fixed number of workers, each issuing its
+// next request as soon as the previous one completes. It measures the
+// service's capacity — the throughput the server sustains at a given
+// concurrency — but its latency numbers are self-censoring: a stalled
+// server stops receiving requests, so the stall is recorded once
+// instead of once per would-be arrival.
+//
+// Open-loop mode fixes an arrival schedule instead: request i has an
+// intended send time of start + i/rate, taken from a shared virtual
+// schedule, regardless of how the server is doing. Latency is measured
+// from the *intended* send time to response completion — the
+// coordinated-omission correction — so when the server stalls, every
+// arrival the stall delayed carries the delay it actually imposed on a
+// user. The naive (actual-send-to-completion) measurement is recorded
+// alongside for comparison; under a stall the two diverge sharply,
+// which is exactly the harness's reason to exist.
+//
+// A stepped-rate sweep chains open-loop runs at increasing rates into
+// a throughput–latency curve, locating the knee where queueing starts
+// to dominate.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/knockandtalk/knockandtalk/internal/telemetry"
+)
+
+// Metric families the harness records per run (into a fresh private
+// registry, so each run's quantiles are its own) and mirrors
+// cumulatively into Options.Registry when set (for live /metrics
+// watching during long runs).
+const (
+	MetricLatencyNS      = "load_latency_ns"       // histogram, label: endpoint (+mode on the mirror)
+	MetricNaiveLatencyNS = "load_naive_latency_ns" // histogram, open loop: measured from actual send
+	MetricRequests       = "load_requests_total"   // label: endpoint
+	MetricErrors         = "load_errors_total"     // labels: endpoint, kind (network|request|http_4xx|http_5xx)
+	MetricRejected       = "load_rejected_total"   // 429 responses, label: endpoint
+)
+
+// Request is one materialized request of an endpoint's stream.
+type Request struct {
+	Method      string
+	URL         string
+	Body        []byte // nil for body-less methods
+	ContentType string
+}
+
+// Endpoint is one member of the load mix. Request is called with a
+// monotonically increasing request index so the endpoint can rotate
+// query parameters (different domains, different filters) across the
+// run; it must be safe for concurrent use.
+type Endpoint struct {
+	Name    string
+	Weight  int // relative share of the mix; <= 0 means 1
+	Request func(i uint64) Request
+}
+
+// Options tune the harness; the zero value picks usable defaults.
+type Options struct {
+	// Client issues the requests (default: a dedicated client with a
+	// generous connection pool and Timeout as its per-request bound).
+	Client *http.Client
+	// Timeout bounds one request when the default client is built
+	// (default 10s). Ignored when Client is set.
+	Timeout time.Duration
+	// Registry, when set, receives a cumulative mirror of every
+	// observation under a "mode" label — the live view a -status-addr
+	// listener exposes while a run is in flight.
+	Registry *telemetry.Registry
+	// Observer, when set, is called after every completed request (ok
+	// reports a 2xx response). knockload feeds the health tracker's
+	// load leg through it.
+	Observer func(endpoint string, d time.Duration, ok bool)
+}
+
+// Runner drives one endpoint mix against one service.
+type Runner struct {
+	opts Options
+	eps  []Endpoint
+	ring []int // weighted round-robin of endpoint indexes
+}
+
+// New builds a runner over the endpoint mix.
+func New(endpoints []Endpoint, opts Options) (*Runner, error) {
+	if len(endpoints) == 0 {
+		return nil, fmt.Errorf("loadgen: no endpoints")
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 10 * time.Second
+	}
+	if opts.Client == nil {
+		opts.Client = &http.Client{
+			Timeout: opts.Timeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        1024,
+				MaxIdleConnsPerHost: 1024,
+			},
+		}
+	}
+	r := &Runner{opts: opts, eps: endpoints}
+	// The weighted ring makes the mix deterministic and exact: request
+	// i always maps to ring[i % len(ring)], independent of worker
+	// scheduling.
+	for idx, ep := range endpoints {
+		if ep.Name == "" {
+			return nil, fmt.Errorf("loadgen: endpoint %d has no name", idx)
+		}
+		if ep.Request == nil {
+			return nil, fmt.Errorf("loadgen: endpoint %q has no request builder", ep.Name)
+		}
+		w := ep.Weight
+		if w <= 0 {
+			w = 1
+		}
+		for n := 0; n < w; n++ {
+			r.ring = append(r.ring, idx)
+		}
+	}
+	return r, nil
+}
+
+// epMeters is one endpoint's pre-resolved metric handles for one run —
+// the hot path never rebuilds metric keys.
+type epMeters struct {
+	lat, naive *telemetry.Histogram
+	reqs       *telemetry.Counter
+	rejected   *telemetry.Counter
+	// mirror handles into Options.Registry; nil when no mirror is set.
+	mLat, mNaive *telemetry.Histogram
+}
+
+// run is one execution's shared state.
+type run struct {
+	r    *Runner
+	mode string
+	reg  *telemetry.Registry
+	eps  []epMeters
+}
+
+func (r *Runner) newRun(mode string) *run {
+	rn := &run{r: r, mode: mode, reg: telemetry.NewRegistry(), eps: make([]epMeters, len(r.eps))}
+	for i, ep := range r.eps {
+		m := &rn.eps[i]
+		m.lat = rn.reg.Histogram(MetricLatencyNS, "endpoint", ep.Name)
+		m.naive = rn.reg.Histogram(MetricNaiveLatencyNS, "endpoint", ep.Name)
+		m.reqs = rn.reg.Counter(MetricRequests, "endpoint", ep.Name)
+		m.rejected = rn.reg.Counter(MetricRejected, "endpoint", ep.Name)
+		if mr := r.opts.Registry; mr != nil {
+			m.mLat = mr.Histogram(MetricLatencyNS, "endpoint", ep.Name, "mode", mode)
+			m.mNaive = mr.Histogram(MetricNaiveLatencyNS, "endpoint", ep.Name, "mode", mode)
+		}
+	}
+	return rn
+}
+
+// do issues request i of the schedule. intended is the zero time in
+// closed-loop mode (latency measured from the actual send); in open-
+// loop mode it is the arrival the schedule assigned, and latency is
+// measured from it — the coordinated-omission correction.
+func (rn *run) do(i uint64, intended time.Time) {
+	epIdx := rn.r.ring[i%uint64(len(rn.r.ring))]
+	ep, m := &rn.r.eps[epIdx], &rn.eps[epIdx]
+	spec := ep.Request(i)
+	method := spec.Method
+	if method == "" {
+		method = http.MethodGet
+	}
+	var body io.Reader
+	if spec.Body != nil {
+		body = bytes.NewReader(spec.Body)
+	}
+	req, err := http.NewRequest(method, spec.URL, body)
+	if err != nil {
+		rn.fail(ep, m, "request")
+		return
+	}
+	if spec.ContentType != "" {
+		req.Header.Set("Content-Type", spec.ContentType)
+	}
+	sent := time.Now()
+	resp, err := rn.r.opts.Client.Do(req)
+	if err != nil {
+		rn.fail(ep, m, "network")
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	end := time.Now()
+	m.reqs.Inc()
+	naive := end.Sub(sent)
+	corrected := naive
+	if !intended.IsZero() {
+		corrected = end.Sub(intended)
+	}
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		m.rejected.Inc()
+		rn.observe(ep, corrected, false)
+	case resp.StatusCode >= 500:
+		rn.err(ep, m, "http_5xx", corrected)
+	case resp.StatusCode >= 400:
+		rn.err(ep, m, "http_4xx", corrected)
+	default:
+		m.lat.ObserveDuration(corrected)
+		m.naive.ObserveDuration(naive)
+		if m.mLat != nil {
+			m.mLat.ObserveDuration(corrected)
+			m.mNaive.ObserveDuration(naive)
+		}
+		rn.observe(ep, corrected, true)
+	}
+}
+
+func (rn *run) fail(ep *Endpoint, m *epMeters, kind string) {
+	m.reqs.Inc()
+	rn.err(ep, m, kind, 0)
+}
+
+func (rn *run) err(ep *Endpoint, _ *epMeters, kind string, d time.Duration) {
+	rn.reg.Counter(MetricErrors, "endpoint", ep.Name, "kind", kind).Inc()
+	if mr := rn.r.opts.Registry; mr != nil {
+		mr.Counter(MetricErrors, "endpoint", ep.Name, "kind", kind, "mode", rn.mode).Inc()
+	}
+	rn.observe(ep, d, false)
+}
+
+func (rn *run) observe(ep *Endpoint, d time.Duration, ok bool) {
+	if obs := rn.r.opts.Observer; obs != nil {
+		obs(ep.Name, d, ok)
+	}
+}
+
+// Closed runs the closed-loop mode: workers concurrent loops, each
+// sending its next request the moment the previous response is read,
+// until d elapses (or ctx is canceled). It measures capacity at that
+// concurrency; latencies are service times, not user-visible waits.
+func (r *Runner) Closed(ctx context.Context, workers int, d time.Duration) (*Result, error) {
+	if workers <= 0 {
+		workers = 1
+	}
+	if d <= 0 {
+		return nil, fmt.Errorf("loadgen: closed-loop duration must be positive")
+	}
+	rn := r.newRun("closed")
+	start := time.Now()
+	deadline := start.Add(d)
+	var idx atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) && ctx.Err() == nil {
+				rn.do(idx.Add(1)-1, time.Time{})
+			}
+		}()
+	}
+	wg.Wait()
+	res := rn.result(time.Since(start), workers, 0)
+	return res, ctx.Err()
+}
+
+// Open runs the open-loop mode: a fixed arrival schedule of rate
+// requests per second for duration d, issued by up to inflight
+// concurrent senders pulling from the shared virtual schedule. Every
+// scheduled arrival is eventually sent even if the server falls behind
+// (the run extends past d until the backlog drains), and its latency
+// is charged from its intended send time.
+func (r *Runner) Open(ctx context.Context, rate float64, inflight int, d time.Duration) (*Result, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("loadgen: open-loop rate must be positive")
+	}
+	if d <= 0 {
+		return nil, fmt.Errorf("loadgen: open-loop duration must be positive")
+	}
+	if inflight <= 0 {
+		inflight = 256
+	}
+	total := uint64(float64(d) / float64(time.Second) * rate)
+	if total == 0 {
+		total = 1
+	}
+	rn := r.newRun("open")
+	interval := time.Duration(float64(time.Second) / rate)
+	start := time.Now()
+	var idx atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < inflight; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := idx.Add(1) - 1
+				if i >= total {
+					return
+				}
+				intended := start.Add(time.Duration(i) * interval)
+				if wait := time.Until(intended); wait > 0 {
+					select {
+					case <-time.After(wait):
+					case <-ctx.Done():
+						return
+					}
+				}
+				rn.do(i, intended)
+			}
+		}()
+	}
+	wg.Wait()
+	res := rn.result(time.Since(start), inflight, rate)
+	return res, ctx.Err()
+}
+
+// Sweep chains open-loop runs at each offered rate for step seconds
+// apiece, producing the throughput–latency curve. Results carry every
+// per-endpoint distribution; the condensed curve is in Points.
+func (r *Runner) Sweep(ctx context.Context, rates []float64, inflight int, step time.Duration) ([]SweepPoint, []*Result, error) {
+	var points []SweepPoint
+	var results []*Result
+	for _, rate := range rates {
+		res, err := r.Open(ctx, rate, inflight, step)
+		if err != nil {
+			return points, results, err
+		}
+		results = append(results, res)
+		points = append(points, SweepPoint{
+			OfferedRate: rate,
+			Throughput:  res.Throughput,
+			P50NS:       res.Overall.P50NS,
+			P99NS:       res.Overall.P99NS,
+			Errors:      res.Errors,
+			Rejected:    res.Rejected,
+		})
+	}
+	return points, results, nil
+}

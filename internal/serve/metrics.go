@@ -24,6 +24,11 @@ const (
 	MetricIngestBusyNS     = "serve_ingest_busy_ns"
 	MetricIngestNS         = "serve_ingest_ns"                  // histogram
 	MetricIngestByClass    = "serve_ingest_detections_by_class" // label: class
+	// MetricQueryNS is the query plane's server-observed latency
+	// histogram, labeled by endpoint (the route pattern) and cache
+	// outcome (hit/miss/revalidated). It is the server-side half of the
+	// knockload report: client-observed tails compare against it.
+	MetricQueryNS = "serve_query_ns"
 )
 
 // metrics holds the service's operational counters, all registered in
@@ -83,6 +88,14 @@ func (m *metrics) request(path string) {
 	m.reg.Counter(MetricRequests, "path", path).Inc()
 }
 
+// query records one answered query-plane request: full handler time
+// (queueing, cache lookup, render, serialization, write) under the
+// endpoint's route pattern and the cache outcome that produced the
+// response.
+func (m *metrics) query(endpoint, cache string, elapsed time.Duration) {
+	m.reg.Histogram(MetricQueryNS, "endpoint", endpoint, "cache", cache).ObserveDuration(elapsed)
+}
+
 func (m *metrics) rejected(plane string) {
 	m.reg.Counter(MetricRejected, "plane", plane).Inc()
 }
@@ -121,9 +134,26 @@ type MetricsSnapshot struct {
 	// Pipeline reports ingest-plane stage execution, keyed by stage
 	// name (parse, detect, infer, classify, commit, netlog).
 	Pipeline map[string]StageMetrics `json:"pipeline,omitempty"`
+	// Query reports server-observed query-plane latency per endpoint
+	// (route pattern), aggregated across cache outcomes, with the
+	// per-outcome response counts. Omitted until the first answered
+	// query so an idle snapshot's wire shape is unchanged.
+	Query map[string]QueryMetrics `json:"query,omitempty"`
 	// UnknownOSLabels tallies store records whose OS label maps to no
 	// known platform (they are excluded from per-OS aggregates).
 	UnknownOSLabels map[string]int `json:"unknown_os_labels,omitempty"`
+}
+
+// QueryMetrics reports one query endpoint's server-observed latency
+// distribution (interpolated quantiles over the log-scale histogram)
+// and the cache outcomes that produced its responses.
+type QueryMetrics struct {
+	Requests uint64            `json:"requests"`
+	Cache    map[string]uint64 `json:"cache,omitempty"` // hit/miss/revalidated → responses
+	P50NS    uint64            `json:"p50_ns"`
+	P90NS    uint64            `json:"p90_ns"`
+	P99NS    uint64            `json:"p99_ns"`
+	P999NS   uint64            `json:"p999_ns"`
 }
 
 // StageMetrics reports one pipeline stage's cumulative execution.
@@ -186,6 +216,34 @@ func (m *metrics) snapshot(cacheHits, cacheMisses, cacheRevalidated uint64) Metr
 				Runs:        n,
 				Items:       items[stage],
 				BusySeconds: time.Duration(busy[stage]).Seconds(),
+			}
+		}
+	}
+	if fam := m.reg.HistogramFamily(MetricQueryNS); len(fam) > 0 {
+		merged := make(map[string]telemetry.HistogramSnapshot)
+		counts := make(map[string]map[string]uint64)
+		for _, series := range fam {
+			endpoint, cache := series.Labels["endpoint"], series.Labels["cache"]
+			if endpoint == "" || series.Hist.Count == 0 {
+				continue
+			}
+			merged[endpoint] = merged[endpoint].Merge(series.Hist)
+			if counts[endpoint] == nil {
+				counts[endpoint] = make(map[string]uint64)
+			}
+			counts[endpoint][cache] += series.Hist.Count
+		}
+		for endpoint, hist := range merged {
+			if snap.Query == nil {
+				snap.Query = make(map[string]QueryMetrics, len(merged))
+			}
+			snap.Query[endpoint] = QueryMetrics{
+				Requests: hist.Count,
+				Cache:    counts[endpoint],
+				P50NS:    hist.Quantile(0.50),
+				P90NS:    hist.Quantile(0.90),
+				P99NS:    hist.Quantile(0.99),
+				P999NS:   hist.Quantile(0.999),
 			}
 		}
 	}

@@ -26,7 +26,7 @@ func TestEmptyServerSnapshotOmitsRequestMaps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, key := range []string{`"requests"`, `"rejected_429"`, `"pipeline"`} {
+	for _, key := range []string{`"requests"`, `"rejected_429"`, `"pipeline"`, `"query"`} {
 		if bytes.Contains(raw, []byte(key)) {
 			t.Errorf("empty-server snapshot renders %s: %s", key, raw)
 		}
@@ -122,6 +122,83 @@ func TestIngestTraceAgreesWithMetrics(t *testing.T) {
 	// per upload.
 	if m.Pipeline["detect"].Items != 42 {
 		t.Fatalf("detect items = %d, want 42", m.Pipeline["detect"].Items)
+	}
+}
+
+// TestQueryLatencyHistograms pins the query plane's server-observed
+// latency surface: per-endpoint serve_query_ns series labeled by the
+// route pattern (never the raw /v1/site/<domain> path) and the cache
+// outcome, aggregated into the snapshot's query section, and carried
+// through the Prometheus exposition.
+func TestQueryLatencyHistograms(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	srv := New(queryengine.New(serveStore(t)), Options{Registry: reg})
+	ts := newHTTPTestServer(t, srv)
+
+	var v any
+	getJSON(t, ts+"/v1/summary", &v) // miss
+	getJSON(t, ts+"/v1/summary", &v) // hit
+	getJSON(t, ts+"/v1/site/scanner.example", &v)
+
+	var m MetricsSnapshot
+	getJSON(t, ts+"/metrics", &m)
+	sum, ok := m.Query["/v1/summary"]
+	if !ok {
+		t.Fatalf("query section missing /v1/summary: %+v", m.Query)
+	}
+	if sum.Requests != 2 || sum.Cache["miss"] != 1 || sum.Cache["hit"] != 1 {
+		t.Fatalf("summary query metrics = %+v", sum)
+	}
+	if sum.P50NS == 0 || sum.P999NS < sum.P50NS {
+		t.Fatalf("summary quantiles implausible: %+v", sum)
+	}
+	site, ok := m.Query["/v1/site/{domain}"]
+	if !ok {
+		t.Fatalf("site latency must be keyed by route pattern, got %v", m.Query)
+	}
+	if site.Requests != 1 || site.Cache["miss"] != 1 {
+		t.Fatalf("site query metrics = %+v", site)
+	}
+	for key := range m.Query {
+		if strings.Contains(key, "scanner.example") {
+			t.Fatalf("raw path leaked into endpoint label: %v", m.Query)
+		}
+	}
+
+	// Ingesting a disjoint domain bumps the generation without touching
+	// the site entry's scope: the next site lookup revalidates.
+	body, err := os.ReadFile("testdata/threatmetrix.netlog.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts+"/v1/ingest?domain=other.example&os=Windows&crawl=live",
+		"application/jsonl", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+	getJSON(t, ts+"/v1/site/scanner.example", &v)
+	getJSON(t, ts+"/metrics", &m)
+	if got := m.Query["/v1/site/{domain}"].Cache["revalidated"]; got != 1 {
+		t.Fatalf("site revalidated count = %d, want 1 (%+v)", got, m.Query["/v1/site/{domain}"])
+	}
+
+	var prom strings.Builder
+	if err := reg.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE serve_query_ns histogram",
+		`serve_query_ns_bucket{cache="hit",endpoint="/v1/summary",le="`,
+		`serve_query_ns_count{cache="revalidated",endpoint="/v1/site/{domain}"}`,
+	} {
+		if !strings.Contains(prom.String(), want) {
+			t.Errorf("Prometheus exposition missing %q", want)
+		}
 	}
 }
 

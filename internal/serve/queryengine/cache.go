@@ -45,6 +45,30 @@ func NewCache(max int) *Cache {
 	return &Cache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
 }
 
+// Outcome classifies one cache lookup: a plain generation-current hit,
+// a hit served by revalidating the entry across generations, or a miss.
+// It doubles as the `cache` label value on the server's per-endpoint
+// latency histogram.
+type Outcome uint8
+
+const (
+	Miss Outcome = iota
+	Hit
+	Revalidated
+)
+
+// String renders the outcome as its metric label value.
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Revalidated:
+		return "revalidated"
+	default:
+		return "miss"
+	}
+}
+
 // Get returns the cached response for key and whether it is still
 // valid at generation gen. An entry rendered at an older generation is
 // revalidated through changed — the store's commit-scope journal
@@ -52,26 +76,36 @@ func NewCache(max int) *Cache {
 // scope; otherwise it is evicted and the call misses. The returned
 // slice is shared — callers must not modify it.
 func (c *Cache) Get(key string, gen uint64, changed func(since uint64) ([]store.CommitScope, bool)) ([]byte, bool) {
+	v, outcome := c.Lookup(key, gen, changed)
+	return v, outcome != Miss
+}
+
+// Lookup is Get with the lookup's classification: whether the entry
+// was current (Hit), fast-forwarded across generations its scope did
+// not intersect (Revalidated), or absent/evicted (Miss).
+func (c *Cache) Lookup(key string, gen uint64, changed func(since uint64) ([]store.CommitScope, bool)) ([]byte, Outcome) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
 		c.misses++
-		return nil, false
+		return nil, Miss
 	}
+	outcome := Hit
 	ent := el.Value.(*cacheEntry)
 	if ent.gen != gen {
 		if !c.revalidate(ent, gen, changed) {
 			c.ll.Remove(el)
 			delete(c.items, key)
 			c.misses++
-			return nil, false
+			return nil, Miss
 		}
 		c.revalidations++
+		outcome = Revalidated
 	}
 	c.hits++
 	c.ll.MoveToFront(el)
-	return ent.val, true
+	return ent.val, outcome
 }
 
 // revalidate decides whether an entry rendered at an older generation

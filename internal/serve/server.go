@@ -132,10 +132,10 @@ func New(eng *queryengine.Engine, opts Options) *Server {
 		ingests:   make(chan struct{}, opts.IngestConcurrency),
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/locals", s.query(s.handleLocals))
-	mux.HandleFunc("GET /v1/pages", s.query(s.handlePages))
-	mux.HandleFunc("GET /v1/site/{domain}", s.query(s.handleSite))
-	mux.HandleFunc("GET /v1/summary", s.query(s.handleSummary))
+	mux.HandleFunc("GET /v1/locals", s.query("/v1/locals", s.handleLocals))
+	mux.HandleFunc("GET /v1/pages", s.query("/v1/pages", s.handlePages))
+	mux.HandleFunc("GET /v1/site/{domain}", s.query("/v1/site/{domain}", s.handleSite))
+	mux.HandleFunc("GET /v1/summary", s.query("/v1/summary", s.handleSummary))
 	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
@@ -158,12 +158,15 @@ func (s *Server) Registry() *telemetry.Registry { return s.metrics.reg }
 func (s *Server) Close() { s.eng.Close() }
 
 // query wraps a query-plane endpoint with the plane's backpressure,
-// timeout, caching, and metrics. Handlers parse the request and return
-// the canonical cache key, the scope of the corpus the response
-// depends on, and a render closure; a nil render means the handler
-// already answered (bad request).
-func (s *Server) query(h func(w http.ResponseWriter, r *http.Request) (key string, scope queryengine.Scope, render func() (any, error))) http.HandlerFunc {
+// timeout, caching, and metrics. endpoint is the route pattern — the
+// low-cardinality label the per-endpoint latency histogram records
+// under (never the raw path, which embeds the domain for /v1/site).
+// Handlers parse the request and return the canonical cache key, the
+// scope of the corpus the response depends on, and a render closure; a
+// nil render means the handler already answered (bad request).
+func (s *Server) query(endpoint string, h func(w http.ResponseWriter, r *http.Request) (key string, scope queryengine.Scope, render func() (any, error))) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
 		s.metrics.request(r.URL.Path)
 		select {
 		case s.queries <- struct{}{}:
@@ -190,9 +193,10 @@ func (s *Server) query(h func(w http.ResponseWriter, r *http.Request) (key strin
 		// the entry look older than it may be — over-invalidation, never a
 		// stale hit.
 		gen := s.eng.Generation()
-		if body, ok := s.cache.Get(key, gen, s.eng.ChangedSince); ok {
+		if body, outcome := s.cache.Lookup(key, gen, s.eng.ChangedSince); outcome != queryengine.Miss {
 			s.metrics.cacheHit()
 			writeJSONBytes(w, body)
+			s.metrics.query(endpoint, outcome.String(), time.Since(start))
 			return
 		}
 		s.metrics.cacheMiss()
@@ -212,6 +216,7 @@ func (s *Server) query(h func(w http.ResponseWriter, r *http.Request) (key strin
 		}
 		s.cache.Put(key, body, gen, scope)
 		writeJSONBytes(w, body)
+		s.metrics.query(endpoint, queryengine.Miss.String(), time.Since(start))
 	}
 }
 

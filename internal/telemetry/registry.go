@@ -120,25 +120,64 @@ type HistogramSnapshot struct {
 	Buckets []Bucket `json:"buckets,omitempty"`
 }
 
-// Quantile returns an upper bound for the q-quantile (q in [0, 1]) of
-// the observed distribution — the inclusive upper edge of the bucket
-// where the cumulative count crosses q.
+// Quantile returns the q-quantile (q in [0, 1]) of the observed
+// distribution, linearly interpolated within the log-scale bucket where
+// the cumulative count crosses q. A bucket with inclusive upper bound
+// le spans (le>>1, le] — le>>1 is the previous power-of-two bound — and
+// the interpolated value assumes samples spread evenly across that
+// span. A cumulative count landing exactly on a bucket's last sample
+// returns the bucket's upper bound exactly (so Quantile(1) is the top
+// occupied bucket's bound, as before), the zero bucket always returns
+// 0, and the result is monotone non-decreasing in q.
 func (s HistogramSnapshot) Quantile(q float64) uint64 {
 	if s.Count == 0 {
 		return 0
 	}
-	target := uint64(math.Ceil(q * float64(s.Count)))
+	target := math.Ceil(q * float64(s.Count))
 	if target < 1 {
 		target = 1
 	}
-	var seen uint64
+	if max := float64(s.Count); target > max {
+		target = max
+	}
+	var seen float64
 	for _, b := range s.Buckets {
-		seen += b.N
-		if seen >= target {
-			return b.Le
+		n := float64(b.N)
+		if seen+n < target {
+			seen += n
+			continue
 		}
+		if b.Le == 0 {
+			return 0
+		}
+		lo := b.Le >> 1
+		frac := (target - seen) / n
+		return lo + uint64(math.Round(float64(b.Le-lo)*frac))
 	}
 	return s.Buckets[len(s.Buckets)-1].Le
+}
+
+// Merge returns the union of two snapshots of the same bucket layout:
+// counts and sums add, buckets combine by bound. Serving code uses it
+// to aggregate one endpoint's per-cache-outcome latency series into a
+// single distribution.
+func (s HistogramSnapshot) Merge(o HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{Count: s.Count + o.Count, Sum: s.Sum + o.Sum}
+	i, j := 0, 0
+	for i < len(s.Buckets) || j < len(o.Buckets) {
+		switch {
+		case j >= len(o.Buckets) || (i < len(s.Buckets) && s.Buckets[i].Le < o.Buckets[j].Le):
+			out.Buckets = append(out.Buckets, s.Buckets[i])
+			i++
+		case i >= len(s.Buckets) || o.Buckets[j].Le < s.Buckets[i].Le:
+			out.Buckets = append(out.Buckets, o.Buckets[j])
+			j++
+		default:
+			out.Buckets = append(out.Buckets, Bucket{Le: s.Buckets[i].Le, N: s.Buckets[i].N + o.Buckets[j].N})
+			i, j = i+1, j+1
+		}
+	}
+	return out
 }
 
 // metricKey canonicalizes a metric name plus label pairs into the
@@ -305,6 +344,30 @@ func (r *Registry) CounterLabels(name, labelKey string) map[string]uint64 {
 			out = map[string]uint64{}
 		}
 		out[lv] += c.Value()
+	}
+	return out
+}
+
+// LabeledHistogram is one series of a histogram family: its decoded
+// label set plus the snapshot at collection time.
+type LabeledHistogram struct {
+	Labels map[string]string
+	Hist   HistogramSnapshot
+}
+
+// HistogramFamily snapshots every histogram registered under name,
+// with labels decoded from the canonical key. The result is nil when
+// the family is empty; order is unspecified.
+func (r *Registry) HistogramFamily(name string) []LabeledHistogram {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []LabeledHistogram
+	for key, h := range r.hists {
+		n, labels := splitKey(key)
+		if n != name {
+			continue
+		}
+		out = append(out, LabeledHistogram{Labels: labels, Hist: h.Snapshot()})
 	}
 	return out
 }

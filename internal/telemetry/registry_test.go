@@ -78,8 +78,10 @@ func TestHistogramBuckets(t *testing.T) {
 			t.Fatalf("bucket le=%d n=%d, want %d", b.Le, b.N, want[b.Le])
 		}
 	}
-	if q := s.Quantile(0.5); q != 3 {
-		t.Fatalf("p50 = %d, want 3", q)
+	// The 3rd of 5 samples lands halfway through the le=3 bucket
+	// (span (1,3], 2 samples): 1 + 0.5*2 = 2 under interpolation.
+	if q := s.Quantile(0.5); q != 2 {
+		t.Fatalf("p50 = %d, want 2", q)
 	}
 	if q := s.Quantile(1); q != 1023 {
 		t.Fatalf("p100 = %d, want 1023", q)
@@ -163,5 +165,159 @@ func TestRegistryConcurrent(t *testing.T) {
 	}
 	if g := r.Gauge("inflight").Value(); g != 0 {
 		t.Fatalf("inflight gauge = %d, want 0 after drain", g)
+	}
+}
+
+// TestQuantileInterpolation pins the within-bucket linear
+// interpolation: quantiles are read off the bucket's (le>>1, le] span
+// proportionally to how far into the bucket the target sample falls,
+// not snapped to the upper bound.
+func TestQuantileInterpolation(t *testing.T) {
+	var h Histogram
+	// 4 samples, all in the le=7 bucket (span (3, 7]).
+	for i := 0; i < 4; i++ {
+		h.Observe(5)
+	}
+	s := h.Snapshot()
+	// Targets 1..4 of 4 interpolate to 3 + {1,2,3,4}/4 * 4 = 4,5,6,7.
+	for _, tc := range []struct {
+		q    float64
+		want uint64
+	}{{0.25, 4}, {0.5, 5}, {0.75, 6}, {1, 7}, {0, 4}} {
+		if got := s.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%v) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestQuantileBucketBoundary pins exact-boundary behavior: a
+// cumulative count landing on a bucket's last sample returns that
+// bucket's inclusive upper bound exactly, and the first sample of the
+// next bucket moves strictly into the next span.
+func TestQuantileBucketBoundary(t *testing.T) {
+	var h Histogram
+	h.Observe(1) // le=1
+	h.Observe(3) // le=3
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); got != 1 {
+		t.Errorf("p50 = %d, want the le=1 bound exactly", got)
+	}
+	if got := s.Quantile(1); got != 3 {
+		t.Errorf("p100 = %d, want the le=3 bound exactly", got)
+	}
+	// q beyond 1 clamps to the last sample rather than overshooting.
+	if got := s.Quantile(1.5); got != 3 {
+		t.Errorf("Quantile(1.5) = %d, want 3", got)
+	}
+}
+
+// TestQuantileMonotone sweeps a mixed histogram and asserts the
+// interpolated quantile never decreases as q grows.
+func TestQuantileMonotone(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 0, 1, 2, 3, 5, 9, 17, 90, 1000, 70000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	var prev uint64
+	for q := 0.0; q <= 1.0; q += 0.001 {
+		cur := s.Quantile(q)
+		if cur < prev {
+			t.Fatalf("Quantile(%v) = %d < previous %d", q, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+// TestHistogramSnapshotMerge merges two snapshots with overlapping and
+// disjoint buckets and checks the union quantiles come out of the
+// combined distribution.
+func TestHistogramSnapshotMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(1)
+	a.Observe(2)
+	b.Observe(2)
+	b.Observe(1000)
+	m := a.Snapshot().Merge(b.Snapshot())
+	if m.Count != 4 || m.Sum != 1005 {
+		t.Fatalf("merged count=%d sum=%d, want 4/1005", m.Count, m.Sum)
+	}
+	want := map[uint64]uint64{1: 1, 3: 2, 1023: 1}
+	if len(m.Buckets) != len(want) {
+		t.Fatalf("merged buckets = %+v, want %v", m.Buckets, want)
+	}
+	var prev uint64
+	for _, bk := range m.Buckets {
+		if bk.Le < prev {
+			t.Fatalf("merged buckets out of order: %+v", m.Buckets)
+		}
+		prev = bk.Le
+		if want[bk.Le] != bk.N {
+			t.Fatalf("merged bucket le=%d n=%d, want %d", bk.Le, bk.N, want[bk.Le])
+		}
+	}
+	if empty := (HistogramSnapshot{}).Merge(a.Snapshot()); empty.Count != 2 {
+		t.Fatalf("merge into empty lost samples: %+v", empty)
+	}
+}
+
+func TestHistogramFamily(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("lat_ns", "endpoint", "site", "cache", "hit").Observe(3)
+	r.Histogram("lat_ns", "endpoint", "site", "cache", "miss").Observe(9)
+	r.Histogram("lat_ns", "endpoint", "summary", "cache", "hit").Observe(5)
+	r.Histogram("other_ns").Observe(1)
+	fam := r.HistogramFamily("lat_ns")
+	if len(fam) != 3 {
+		t.Fatalf("family has %d series, want 3: %+v", len(fam), fam)
+	}
+	var total uint64
+	for _, s := range fam {
+		if s.Labels["endpoint"] == "" || s.Labels["cache"] == "" {
+			t.Fatalf("series lost labels: %+v", s)
+		}
+		total += s.Hist.Count
+	}
+	if total != 3 {
+		t.Fatalf("family observations = %d, want 3", total)
+	}
+	if r.HistogramFamily("absent") != nil {
+		t.Fatal("absent family must return nil")
+	}
+}
+
+// TestRegisterBuildInfo checks the standard build-identity gauge: one
+// series, constant 1, carrying version and goversion labels that also
+// survive the Prometheus exposition.
+func TestRegisterBuildInfo(t *testing.T) {
+	r := NewRegistry()
+	version := RegisterBuildInfo(r)
+	if version == "" {
+		t.Fatal("RegisterBuildInfo returned an empty version")
+	}
+	snap := r.Snapshot()
+	found := false
+	for k, v := range snap.Gauges {
+		if !strings.HasPrefix(k, MetricBuildInfo+"{") {
+			continue
+		}
+		found = true
+		if v != 1 {
+			t.Fatalf("%s = %d, want 1", k, v)
+		}
+		if !strings.Contains(k, "goversion=go") || !strings.Contains(k, "version="+version) {
+			t.Fatalf("build info labels missing from %s", k)
+		}
+	}
+	if !found {
+		t.Fatal("knock_build_info gauge not registered")
+	}
+	var prom strings.Builder
+	if err := r.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prom.String(), "# TYPE knock_build_info gauge") ||
+		!strings.Contains(prom.String(), `knock_build_info{goversion="`) {
+		t.Fatalf("Prometheus exposition lost build info:\n%s", prom.String())
 	}
 }

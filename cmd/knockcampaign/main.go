@@ -81,7 +81,7 @@ func main() {
 			fatal("creating trace file", "path", *traceOut, "err", err)
 		}
 		defer tf.Close()
-		tracer = telemetry.NewTracer(tf, telemetry.TracerOptions{})
+		tracer = telemetry.NewTracer(tf, telemetry.TracerOptions{Registry: telemetry.Default()})
 		spec.Tracer = tracer
 	}
 	if *statusAddr != "" {

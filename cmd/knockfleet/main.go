@@ -46,6 +46,7 @@ func main() {
 		resume       = flag.Bool("resume", false, "resume an interrupted fleet campaign in -out")
 		maxUpload    = flag.Int64("max-upload-bytes", 256<<20, "shard upload bound (wire bytes and decompressed stream)")
 		drain        = flag.Duration("drain", 3*time.Second, "keep answering done to worker polls this long after completion, so idle workers exit cleanly")
+		traceOut     = flag.String("trace-out", "", "write the coordinator's side of the campaign's distributed trace (campaign root, lease grants, control-plane spans) as JSONL to this path; assemble with worker traces via knocktrace -assemble")
 		logFormat    = flag.String("log-format", "text", "diagnostic log format: text or json")
 	)
 	flag.Parse()
@@ -63,6 +64,15 @@ func main() {
 	if *out == "" {
 		fatal("-out is required")
 	}
+	var tracer *telemetry.Tracer
+	if *traceOut != "" {
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			fatal("creating trace file", "path", *traceOut, "err", err)
+		}
+		defer tf.Close()
+		tracer = telemetry.NewTracer(tf, telemetry.TracerOptions{Registry: telemetry.Default()})
+	}
 	cfg := fleet.Config{
 		Name: *name, OutDir: *out,
 		Scale: *scale, Seed: *seed, RetainLogs: *retain,
@@ -71,6 +81,7 @@ func main() {
 		MaxUploadBytes: *maxUpload,
 		Health:         health.New(health.Options{}),
 		Metrics:        telemetry.Default(),
+		Tracer:         tracer,
 		Logger:         logger,
 	}
 	if *crawls != "" {
@@ -109,6 +120,13 @@ func main() {
 	srv.Close()
 	if err := c.Close(); err != nil {
 		fatal("closing coordinator", "err", err)
+	}
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			fatal("writing trace", "err", err)
+		}
+		logger.Info("trace written", "path", *traceOut,
+			"records", tracer.Written(), "dropped", tracer.Dropped())
 	}
 	for _, e := range m.Entries {
 		fmt.Printf("%-14s %-8s attempted=%-7d ok=%-7d failed=%-6d local=%-5d\n",

@@ -62,6 +62,7 @@ func main() {
 		ingestPath = flag.String("ingest", "", "NetLog JSONL file to drive POST /v1/ingest with (enables the ingest endpoint)")
 		seedLimit  = flag.Int("seed-limit", 256, "max domains to self-seed from /v1/pages for site lookups")
 		timeout    = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+		traceSeed  = flag.Uint64("trace-seed", 20210603, "seed for the deterministic per-request trace IDs sent as W3C traceparent headers")
 		statusAddr = flag.String("status-addr", "", "serve live /status, /healthz, and Prometheus /metrics for the run on this address")
 		logFormat  = flag.String("log-format", "text", "diagnostic log format: text or json")
 	)
@@ -115,8 +116,9 @@ func main() {
 	// progress; the observer bridges loadgen completions into it.
 	var leg *health.CrawlProgress
 	runner, err := loadgen.New(endpoints, loadgen.Options{
-		Timeout:  *timeout,
-		Registry: reg,
+		Timeout:   *timeout,
+		Registry:  reg,
+		TraceSeed: *traceSeed,
 		Observer: func(_ string, d time.Duration, ok bool) {
 			leg.VisitDone(-1, d, ok)
 		},

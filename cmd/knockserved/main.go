@@ -135,7 +135,7 @@ func main() {
 			fatal("creating trace file", "path", *traceOut, "err", err)
 		}
 		defer tf.Close()
-		tracer = telemetry.NewTracer(tf, telemetry.TracerOptions{})
+		tracer = telemetry.NewTracer(tf, telemetry.TracerOptions{Registry: telemetry.Default()})
 	}
 	eng := queryengine.New(st)
 	srv := serve.New(eng, serve.Options{

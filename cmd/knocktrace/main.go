@@ -12,6 +12,13 @@
 //	knocktrace -by os crawl.trace.jsonl          # per-OS rollup
 //	knocktrace -busy crawl.trace.jsonl           # per-stage busy seconds
 //
+// Trace files gzip-compress transparently (any .gz argument), and
+// multiple files assemble into cross-process trees by trace ID:
+//
+//	knocktrace -assemble coord.trace.jsonl worker-a.trace.jsonl worker-b.trace.jsonl
+//	knocktrace -assemble -waterfall top100k-2020/L/0000 coord.trace.jsonl worker-*.jsonl
+//	knocktrace -trace 4bf92f35 coord.trace.jsonl worker-*.jsonl   # one causal chain, by ID prefix
+//
 // The -busy output renders busy seconds exactly as knockserved's
 // /metrics pipeline section does, so the two agree byte-for-byte for
 // identical work.
@@ -40,6 +47,8 @@ func main() {
 		by        = flag.String("by", "", "roll up per group: os or crawl")
 		busy      = flag.Bool("busy", false, "print per-stage busy seconds (the /metrics agreement surface)")
 		asJSON    = flag.Bool("json", false, "print the stage summary and rollups as JSON (same aggregation as the text views)")
+		assemble  = flag.Bool("assemble", false, "merge all input files into cross-process trace trees by trace ID and print them")
+		traceID   = flag.String("trace", "", "print one trace's causal chain with span detail, by trace ID (unambiguous hex prefixes work)")
 	)
 	flag.Parse()
 	telemetry.RegisterBuildInfo(nil)
@@ -56,6 +65,24 @@ func main() {
 
 	w := os.Stdout
 	switch {
+	case *traceID != "":
+		t, ok := telemetry.FindTrace(telemetry.AssembleTraces(visits), *traceID)
+		if !ok {
+			fatalf("trace %q: not found, or the prefix is ambiguous", *traceID)
+		}
+		printTree(w, t, true)
+	case *assemble && *waterfall != "":
+		if !printTreeWaterfalls(w, telemetry.AssembleTraces(visits), *waterfall) {
+			fatalf("no assembled trace contains records of %q", *waterfall)
+		}
+	case *assemble:
+		trees := telemetry.AssembleTraces(visits)
+		if len(trees) == 0 {
+			fatalf("no traced records in %s (records predate trace IDs?)", strings.Join(flag.Args(), ", "))
+		}
+		for _, t := range trees {
+			printTree(w, t, false)
+		}
 	case *asJSON:
 		// The JSON view is the exact same Summarize aggregation the text
 		// views print — telemetry.TraceSummary.JSON keeps them in sync.
@@ -164,6 +191,112 @@ func printWaterfalls(w io.Writer, visits []telemetry.VisitRecord, domain string)
 		}
 	}
 	return found
+}
+
+// printTree renders one assembled cross-process trace: a stable header
+// line (records=, processes= — greppable by CI), the contributing
+// source files, and the span tree with per-node process attribution.
+// detail additionally prints each record's inner spans — the full
+// causal chain -trace asks for.
+func printTree(w io.Writer, t *telemetry.TraceTree, detail bool) {
+	fmt.Fprintf(w, "trace %s: records=%d processes=%d wall=%s\n",
+		t.ID, t.Records, t.Processes(), fmtNS(t.WallNS()))
+	for _, src := range t.Sources {
+		fmt.Fprintf(w, "  source %s\n", src)
+	}
+	for _, n := range t.Roots {
+		printNode(w, n, t.StartUS, 1, detail)
+	}
+}
+
+// printNode renders one trace node and recurses into its children.
+func printNode(w io.Writer, n *telemetry.TraceNode, baseUS int64, depth int, detail bool) {
+	v := n.Rec
+	op := "visit"
+	if len(v.Spans) > 0 {
+		op = v.Spans[0].Name
+	}
+	line := fmt.Sprintf("%s└─ %-8s %-28s", strings.Repeat("  ", depth), op, v.Domain)
+	line += fmt.Sprintf(" +%-9s %-9s %s", fmtNS((v.StartUS-baseUS)*1000), fmtNS(v.DurNS), v.Outcome)
+	if v.Source != "" {
+		line += "  src=" + v.Source
+	}
+	if len(v.SpanID) >= 8 {
+		line += "  span=" + v.SpanID[:8]
+	}
+	if n.Orphan {
+		line += "  [orphan: parent span not in any input]"
+	}
+	fmt.Fprintln(w, line)
+	if detail {
+		for _, sp := range v.Spans {
+			fmt.Fprintf(w, "%s   · %-10s %10s +%-10s items=%d\n",
+				strings.Repeat("  ", depth), sp.Name, fmtNS(sp.DurNS), fmtNS(sp.StartNS), sp.Items)
+		}
+	}
+	for _, c := range n.Children {
+		printNode(w, c, baseUS, depth+1, detail)
+	}
+}
+
+// printTreeWaterfalls renders a fleet-wide waterfall for every
+// assembled trace containing records of one domain (a site, or a lease
+// ID for control-plane traces): every record of the trace — whichever
+// process emitted it — on a shared time axis from the tree's start.
+func printTreeWaterfalls(w io.Writer, trees []*telemetry.TraceTree, domain string) bool {
+	const barWidth = 60
+	found := false
+	for _, t := range trees {
+		has := false
+		walkTree(t, func(n *telemetry.TraceNode) { has = has || n.Rec.Domain == domain })
+		if !has {
+			continue
+		}
+		found = true
+		fmt.Fprintf(w, "trace %s: records=%d processes=%d wall=%s\n",
+			t.ID, t.Records, t.Processes(), fmtNS(t.WallNS()))
+		total := t.WallNS()
+		if total <= 0 {
+			total = 1
+		}
+		walkTree(t, func(n *telemetry.TraceNode) {
+			v := n.Rec
+			op := "visit"
+			if len(v.Spans) > 0 {
+				op = v.Spans[0].Name
+			}
+			startNS := (v.StartUS - t.StartUS) * 1000
+			startCol := int(startNS * barWidth / total)
+			width := int(v.DurNS * barWidth / total)
+			if width < 1 {
+				width = 1
+			}
+			if startCol > barWidth-1 {
+				startCol = barWidth - 1
+			}
+			if startCol+width > barWidth {
+				width = barWidth - startCol
+			}
+			bar := strings.Repeat(" ", startCol) + strings.Repeat("█", width)
+			fmt.Fprintf(w, "  %-8s %-28s %10s +%-10s |%-*s| %s\n",
+				op, v.Domain, fmtNS(v.DurNS), fmtNS(startNS), barWidth, bar, v.Source)
+		})
+	}
+	return found
+}
+
+// walkTree visits every node of the tree, parents before children.
+func walkTree(t *telemetry.TraceTree, fn func(*telemetry.TraceNode)) {
+	var rec func(n *telemetry.TraceNode)
+	rec = func(n *telemetry.TraceNode) {
+		fn(n)
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	for _, r := range t.Roots {
+		rec(r)
+	}
 }
 
 // printGroups renders the per-OS or per-crawl rollup.

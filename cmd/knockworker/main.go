@@ -33,6 +33,7 @@ func main() {
 		workDir     = flag.String("workdir", "", "durable lease WAL directory; a restarted worker resumes half-crawled leases")
 		poll        = flag.Duration("poll", 0, "idle wait when all leases are held (0 = coordinator's suggestion)")
 		statusAddr  = flag.String("status-addr", "", "serve live /status, /healthz, and Prometheus /metrics on this address")
+		traceOut    = flag.String("trace-out", "", "write this worker's side of the campaign's distributed trace (per-lease and per-visit spans) as JSONL to this path; assemble with the coordinator's trace via knocktrace -assemble")
 		logFormat   = flag.String("log-format", "text", "diagnostic log format: text or json")
 	)
 	flag.Parse()
@@ -55,6 +56,16 @@ func main() {
 		Workers: *workers, WorkDir: *workDir,
 		PollInterval: *poll, Logger: logger,
 	}
+	var tracer *telemetry.Tracer
+	if *traceOut != "" {
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			fatal("creating trace file", "path", *traceOut, "err", err)
+		}
+		defer tf.Close()
+		tracer = telemetry.NewTracer(tf, telemetry.TracerOptions{Registry: telemetry.Default()})
+		cfg.Tracer = tracer
+	}
 	if *statusAddr != "" {
 		cfg.Health = health.New(health.Options{})
 		cfg.Health.SetReady(true)
@@ -70,6 +81,14 @@ func main() {
 	defer stop()
 	start := time.Now()
 	sum, err := fleet.RunWorker(ctx, cfg)
+	if tracer != nil {
+		if terr := tracer.Close(); terr != nil {
+			logger.Error("writing trace", "err", terr)
+		} else {
+			logger.Info("trace written", "path", *traceOut,
+				"records", tracer.Written(), "dropped", tracer.Dropped())
+		}
+	}
 	if err != nil && ctx.Err() == nil {
 		fatal("worker failed", "err", err)
 	}

@@ -284,6 +284,18 @@ func RunWorld(cfg Config, world *websim.World, dst *store.Store) (*Summary, erro
 				}
 				url := visitURL(tgt.URL, cfg.PagePath)
 				vt := cfg.Tracer.StartVisit(string(cfg.Crawl), cfg.OS.String(), tgt.Domain, url, tgt.Rank)
+				if vt != nil {
+					// Trace identity is derived, not random: the same
+					// (seed, crawl, OS, URL) always yields the same
+					// trace ID, so identically-seeded runs (and fleet
+					// reassignments of the same target) are
+					// trace-identical.
+					traceID := telemetry.DeriveTraceID(cfg.Seed, string(cfg.Crawl), cfg.OS.String(), url)
+					vt.SetSpanContext(telemetry.SpanContext{
+						TraceID: traceID,
+						SpanID:  telemetry.DeriveSpanID(traceID, "visit"),
+					}, telemetry.SpanID{})
+				}
 				var stepStart time.Time
 				if instr {
 					stepStart = time.Now()

@@ -12,6 +12,8 @@ import (
 	"net/url"
 	"strconv"
 	"time"
+
+	"github.com/knockandtalk/knockandtalk/internal/telemetry"
 )
 
 // ErrLeaseLost is returned by Renew when the coordinator no longer
@@ -47,6 +49,11 @@ func (c *Client) post(ctx context.Context, path string, q url.Values, body io.Re
 	if err != nil {
 		return 0, err
 	}
+	// Propagate the caller's span (the worker's per-lease span) as W3C
+	// trace context, so the coordinator's server-side spans join the
+	// same distributed trace. A context without a valid span injects
+	// nothing.
+	telemetry.InjectTraceContext(ctx, req.Header)
 	if gzipped {
 		req.Header.Set("Content-Encoding", "gzip")
 	}
@@ -154,6 +161,7 @@ func (c *Client) FleetStatus(ctx context.Context) (*FleetStatus, error) {
 	if err != nil {
 		return nil, err
 	}
+	telemetry.InjectTraceContext(ctx, req.Header)
 	resp, err := c.http().Do(req)
 	if err != nil {
 		return nil, err

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/knockandtalk/knockandtalk/internal/groundtruth"
@@ -54,6 +55,14 @@ type Config struct {
 	Health *health.Tracker
 	// Metrics, when non-nil, receives the fleet counters.
 	Metrics *telemetry.Registry
+	// Tracer, when non-nil, records the campaign's distributed trace:
+	// one deterministic campaign root span plus a server-side span per
+	// control-plane request (acquire grant, renew, complete), parented
+	// under the worker span carried in the request's W3C traceparent
+	// header. Workers writing their own trace files then share trace IDs
+	// with this coordinator, and knocktrace -assemble joins the files
+	// into one cross-process tree.
+	Tracer *telemetry.Tracer
 	// Logger, when non-nil, narrates lease transitions.
 	Logger *slog.Logger
 	// Now overrides the clock; tests inject a deterministic one.
@@ -152,6 +161,13 @@ type Coordinator struct {
 	mMerged    *telemetry.Counter
 	mDupes     *telemetry.Counter
 	mUploadB   *telemetry.Counter
+
+	// campaignTrace/campaignRoot identify the campaign's distributed
+	// trace; rpcSeq disambiguates repeated control-plane spans (renews,
+	// re-acquires) within this process's lifetime.
+	campaignTrace telemetry.TraceID
+	campaignRoot  telemetry.SpanID
+	rpcSeq        atomic.Uint64
 }
 
 func pageKey(crawl, os, url string) string   { return crawl + "|" + os + "|" + url }
@@ -218,6 +234,16 @@ func New(cfg Config) (*Coordinator, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The campaign trace is derived from (seed, crawl list) alone, so a
+	// resumed coordinator — and an identically-seeded re-run — produces
+	// the identical trace ID, and every lease's traceparent with it.
+	traceParts := make([]string, 0, len(cfg.Crawls)+1)
+	traceParts = append(traceParts, "fleet")
+	for _, cr := range cfg.Crawls {
+		traceParts = append(traceParts, string(cr))
+	}
+	c.campaignTrace = telemetry.DeriveTraceID(cfg.Seed, traceParts...)
+	c.campaignRoot = telemetry.DeriveSpanID(c.campaignTrace, "campaign")
 	for _, leg := range legsFor(cfg.Crawls) {
 		n, err := websim.TargetCount(leg.crawl, cfg.Scale)
 		if err != nil {
@@ -229,6 +255,13 @@ func New(cfg Config) (*Coordinator, error) {
 		c.legByName[legName(string(leg.crawl), leg.os.String())] = ls
 	}
 	for _, l := range leases {
+		// Each lease carries its own span under the campaign root; the
+		// worker that crawls it parents its lease trace here, so the
+		// assembled tree reads campaign → lease → worker → RPCs.
+		l.Traceparent = telemetry.SpanContext{
+			TraceID: c.campaignTrace,
+			SpanID:  telemetry.DeriveSpanID(c.campaignTrace, "lease/"+l.ID),
+		}.Traceparent()
 		st := &leaseState{Lease: l, leg: c.legByName[legName(l.Crawl, l.OS)]}
 		st.leg.leases = append(st.leg.leases, st)
 		c.leases = append(c.leases, st)
@@ -334,6 +367,26 @@ func New(cfg Config) (*Coordinator, error) {
 	c.mux.HandleFunc("/v1/fleet/status", c.handleStatus)
 	health.Mount(c.mux, c.tracker, c.reg)
 	c.tracker.SetReady(true)
+
+	// The campaign root anchors the cross-process tree: every
+	// control-plane span and worker lease span is (transitively) its
+	// child. Emitted once per coordinator life; a resumed coordinator
+	// re-emits the identical record and assembly dedupes on span ID.
+	if cfg.Tracer != nil {
+		name := cfg.Name
+		if name == "" {
+			name = "campaign"
+		}
+		cfg.Tracer.Emit(&telemetry.VisitRecord{
+			Crawl:   "fleet",
+			Domain:  name,
+			StartUS: cfg.Now().UnixMicro(),
+			Outcome: "ok",
+			TraceID: c.campaignTrace.String(),
+			SpanID:  c.campaignRoot.String(),
+			Spans:   []telemetry.Span{{Name: "campaign", Items: len(c.leases)}},
+		})
+	}
 
 	c.sweeping = true
 	go c.sweepLoop()
@@ -492,6 +545,71 @@ func (c *Coordinator) sweepLocked(now time.Time) {
 	}
 }
 
+// traceRPC records one server-side control-plane span into the
+// coordinator's trace sink: op ("acquire", "renew", "complete") over
+// lease ls, started at start. The span parents under the caller's W3C
+// traceparent when the request carried one; a stripped or absent
+// header degrades to the lease's own grant span as parent, keeping the
+// record inside the campaign trace rather than orphaning it. items is
+// the op's payload size (targets granted, visits reported, pages
+// merged). Safe without a Tracer (no-op).
+func (c *Coordinator) traceRPC(op string, ls *leaseState, h http.Header, start time.Time, outcome string, items int) {
+	if c.cfg.Tracer == nil {
+		return
+	}
+	trace, parent := c.campaignTrace, telemetry.SpanID{}
+	if sc, ok := telemetry.ExtractTraceContext(h); ok {
+		trace, parent = sc.TraceID, sc.SpanID
+	} else {
+		parent = telemetry.DeriveSpanID(trace, "lease/"+ls.ID)
+	}
+	dur := c.cfg.Now().Sub(start)
+	if dur < 0 {
+		dur = 0
+	}
+	span := telemetry.DeriveSpanID(trace, fmt.Sprintf("%s/%s#%d", op, ls.ID, c.rpcSeq.Add(1)))
+	c.cfg.Tracer.Emit(&telemetry.VisitRecord{
+		Crawl:    ls.Crawl,
+		OS:       ls.OS,
+		Domain:   ls.ID,
+		StartUS:  start.UnixMicro(),
+		DurNS:    dur.Nanoseconds(),
+		Outcome:  outcome,
+		TraceID:  trace.String(),
+		SpanID:   span.String(),
+		ParentID: parent.String(),
+		Spans:    []telemetry.Span{{Name: op, DurNS: dur.Nanoseconds(), Items: items}},
+	})
+}
+
+// traceGrant records the lease-grant span itself — the span whose ID
+// the lease's traceparent names — so worker lease traces always have a
+// recorded parent. A re-grant (reassignment after expiry) gets its own
+// span under the original grant, keeping every hand-off visible in the
+// assembled tree.
+func (c *Coordinator) traceGrant(ls *leaseState, start time.Time) {
+	if c.cfg.Tracer == nil {
+		return
+	}
+	span := telemetry.DeriveSpanID(c.campaignTrace, "lease/"+ls.ID)
+	parent := c.campaignRoot
+	if ls.acquires > 1 {
+		parent = span
+		span = telemetry.DeriveSpanID(c.campaignTrace, fmt.Sprintf("lease/%s#%d", ls.ID, ls.acquires))
+	}
+	c.cfg.Tracer.Emit(&telemetry.VisitRecord{
+		Crawl:    ls.Crawl,
+		OS:       ls.OS,
+		Domain:   ls.ID,
+		StartUS:  start.UnixMicro(),
+		Outcome:  "ok",
+		TraceID:  c.campaignTrace.String(),
+		SpanID:   span.String(),
+		ParentID: parent.String(),
+		Spans:    []telemetry.Span{{Name: "acquire", Items: ls.Targets()}},
+	})
+}
+
 func (c *Coordinator) logf(msg string, kv ...any) {
 	if c.cfg.Logger != nil {
 		c.cfg.Logger.Info(msg, kv...)
@@ -548,6 +666,7 @@ func (c *Coordinator) handleAcquire(w http.ResponseWriter, r *http.Request) {
 		c.workers[worker].lease = ls.ID
 		c.workers[worker].visited = 0
 		c.logf("lease acquired", "lease", ls.ID, "worker", worker, "targets", ls.Targets(), "acquires", ls.acquires)
+		c.traceGrant(ls, now)
 		resp.Lease = ls.Lease
 		break
 	}
@@ -611,6 +730,7 @@ func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
 			ls.reported = ls.Targets()
 		}
 	}
+	c.traceRPC("renew", ls, r.Header, now, "ok", visited)
 	writeJSON(w, RenewResponse{TTLSeconds: c.cfg.TTL.Seconds()})
 }
 
@@ -781,6 +901,7 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	}
 
 	resp := CompleteResponse{Merged: len(pages), Duplicates: dupes}
+	c.traceRPC("complete", ls, r.Header, now, "ok", len(pages))
 	if ls.state == leaseComplete {
 		// Late delivery from a previous holder: the merge above already
 		// absorbed anything fresh (normally nothing); the lease record

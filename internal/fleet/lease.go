@@ -51,6 +51,15 @@ type Lease struct {
 	// TTLSeconds is how long the holder has between renewals before the
 	// coordinator declares it dead and reassigns the lease.
 	TTLSeconds float64 `json:"ttl_seconds"`
+
+	// Traceparent carries the campaign trace's per-lease span in W3C
+	// form, so the worker's lease trace parents under the coordinator's
+	// campaign root. Coordinator→worker propagation rides the lease JSON
+	// (the control plane's response body); worker→coordinator rides the
+	// traceparent request header. Empty or malformed values cost
+	// nothing: the worker roots its own trace (propagation loss yields a
+	// well-formed standalone trace, never a broken one).
+	Traceparent string `json:"traceparent,omitempty"`
 }
 
 // Targets returns the number of visits the lease covers.

@@ -1,0 +1,226 @@
+package fleet
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/knockandtalk/knockandtalk/internal/telemetry"
+)
+
+func newTestTracer(t *testing.T, path string) *telemetry.Tracer {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return telemetry.NewTracer(f, telemetry.TracerOptions{})
+}
+
+// TestFleetDistributedTrace runs the golden campaign as a traced fleet:
+// a coordinator and two workers each write their own trace file, and
+// cross-process assembly must stitch them into one campaign tree
+// spanning all three processes — while the merged outputs stay
+// byte-identical to the single-process golden campaign.
+func TestFleetDistributedTrace(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	cfg := goldenConfig(t, dir)
+	coordPath := filepath.Join(dir, "coord.jsonl")
+	coordTracer := newTestTracer(t, coordPath)
+	cfg.Tracer = coordTracer
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	// Run the first lease on alpha and the second on beta directly, so
+	// both workers provably contribute records to the campaign trace;
+	// alpha then drains the rest of the campaign.
+	workerPaths := map[string]string{
+		"alpha": filepath.Join(dir, "alpha.jsonl"),
+		"beta":  filepath.Join(dir, "beta.jsonl"),
+	}
+	tracers := map[string]*telemetry.Tracer{}
+	for name, path := range workerPaths {
+		tracers[name] = newTestTracer(t, path)
+	}
+	for _, name := range []string{"alpha", "beta"} {
+		client := &Client{Base: srv.URL, Worker: name}
+		wcfg := WorkerConfig{Coordinator: srv.URL, Name: name, Tracer: tracers[name]}
+		lease, done, _, err := client.Acquire(ctx)
+		if err != nil || done || lease == nil {
+			t.Fatalf("%s acquire: lease=%v done=%v err=%v", name, lease, done, err)
+		}
+		if _, err := runLease(ctx, wcfg, client, lease, map[legKey]*cachedWorld{}, &WorkerSummary{}); err != nil {
+			t.Fatalf("%s lease %s: %v", name, lease.ID, err)
+		}
+	}
+	if _, err := RunWorker(ctx, WorkerConfig{Coordinator: srv.URL, Name: "alpha", Tracer: tracers["alpha"]}); err != nil {
+		t.Fatalf("draining worker: %v", err)
+	}
+
+	// Tracing must not perturb the science outputs.
+	assertGolden(t, c, dir)
+
+	for _, tr := range []*telemetry.Tracer{coordTracer, tracers["alpha"], tracers["beta"]} {
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Dropped() != 0 {
+			t.Fatalf("tracer dropped %d records", tr.Dropped())
+		}
+	}
+
+	visits, err := telemetry.ReadTraceFiles(coordPath, workerPaths["alpha"], workerPaths["beta"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	trees := telemetry.AssembleTraces(visits)
+
+	// The campaign trace ID is derived, not random: recompute it the way
+	// the coordinator does and look it up exactly.
+	parts := []string{"fleet"}
+	for _, cr := range cfg.Crawls {
+		parts = append(parts, string(cr))
+	}
+	campaignID := telemetry.DeriveTraceID(cfg.Seed, parts...).String()
+	tree, ok := telemetry.FindTrace(trees, campaignID)
+	if !ok {
+		t.Fatalf("campaign trace %s not assembled (have %d trees)", campaignID, len(trees))
+	}
+	if got := tree.Processes(); got < 3 {
+		t.Fatalf("campaign tree spans %d processes (%v), want >= 3", got, tree.Sources)
+	}
+	if len(tree.Roots) != 1 {
+		t.Fatalf("campaign tree has %d roots, want 1", len(tree.Roots))
+	}
+	root := tree.Roots[0]
+	if root.Orphan || root.Rec.ParentID != "" || root.Rec.Source != coordPath {
+		t.Fatalf("campaign root: %+v", root.Rec)
+	}
+	var orphans int
+	var walk func(n *telemetry.TraceNode)
+	walk = func(n *telemetry.TraceNode) {
+		if n.Orphan {
+			orphans++
+		}
+		for _, ch := range n.Children {
+			walk(ch)
+		}
+	}
+	for _, r := range tree.Roots {
+		walk(r)
+	}
+	if orphans != 0 {
+		t.Fatalf("campaign tree has %d orphan spans; full propagation must leave none", orphans)
+	}
+
+	// Per-visit traces are standalone roots whose IDs re-derive from
+	// (seed, crawl, OS, URL) — the determinism identically-seeded fleet
+	// runs rely on. Check every traced visit record in the worker files.
+	checked := 0
+	for _, v := range visits {
+		if v.URL == "" || v.TraceID == "" {
+			continue
+		}
+		want := telemetry.DeriveTraceID(cfg.Seed, v.Crawl, v.OS, v.URL)
+		if v.TraceID != want.String() {
+			t.Fatalf("visit %s trace ID %s, want derived %s", v.URL, v.TraceID, want)
+		}
+		if v.ParentID != "" {
+			t.Fatalf("visit %s is not a root: parent %s", v.URL, v.ParentID)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no per-visit traced records found")
+	}
+}
+
+// TestWorkerPropagationLoss strips the lease's traceparent before the
+// worker runs it: the worker must degrade to a well-formed root trace
+// derived from the lease identity — never a malformed or orphaned one.
+func TestWorkerPropagationLoss(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	c, err := New(goldenConfig(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	tracePath := filepath.Join(dir, "worker.jsonl")
+	tracer := newTestTracer(t, tracePath)
+	client := &Client{Base: srv.URL, Worker: "stripped"}
+	lease, done, _, err := client.Acquire(ctx)
+	if err != nil || done || lease == nil {
+		t.Fatalf("acquire: lease=%v done=%v err=%v", lease, done, err)
+	}
+	lease.Traceparent = "" // a middlebox ate the context
+	wcfg := WorkerConfig{Coordinator: srv.URL, Name: "stripped", Tracer: tracer}
+	if _, err := runLease(ctx, wcfg, client, lease, map[legKey]*cachedWorld{}, &WorkerSummary{}); err != nil {
+		t.Fatalf("lease %s: %v", lease.ID, err)
+	}
+	if err := tracer.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	visits, err := telemetry.ReadTraceFiles(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantID := telemetry.DeriveTraceID(lease.Seed, "lease", lease.ID).String()
+	tree, ok := telemetry.FindTrace(telemetry.AssembleTraces(visits), wantID)
+	if !ok {
+		t.Fatalf("self-rooted lease trace %s missing", wantID)
+	}
+	if len(tree.Roots) != 1 {
+		t.Fatalf("lease trace has %d roots, want 1", len(tree.Roots))
+	}
+	root := tree.Roots[0]
+	if root.Orphan {
+		t.Fatal("self-rooted lease span flagged orphan")
+	}
+	if root.Rec.Domain != lease.ID || root.Rec.ParentID != "" {
+		t.Fatalf("lease root record: %+v", root.Rec)
+	}
+	if root.Rec.SpanID != telemetry.DeriveSpanID(telemetry.DeriveTraceID(lease.Seed, "lease", lease.ID), "worker/stripped/"+lease.ID).String() {
+		t.Fatalf("lease root span ID %s not derived from lease identity", root.Rec.SpanID)
+	}
+	// A garbage traceparent degrades the same way an absent one does.
+	lease2, done, _, err := client.Acquire(ctx)
+	if err != nil || done || lease2 == nil {
+		t.Fatalf("second acquire: lease=%v done=%v err=%v", lease2, done, err)
+	}
+	lease2.Traceparent = "00-not-a-real-traceparent"
+	trace2Path := filepath.Join(dir, "worker2.jsonl")
+	tracer2 := newTestTracer(t, trace2Path)
+	wcfg2 := WorkerConfig{Coordinator: srv.URL, Name: "stripped", Tracer: tracer2}
+	if _, err := runLease(ctx, wcfg2, client, lease2, map[legKey]*cachedWorld{}, &WorkerSummary{}); err != nil {
+		t.Fatalf("lease %s: %v", lease2.ID, err)
+	}
+	if err := tracer2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	visits2, err := telemetry.ReadTraceFiles(trace2Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2 := telemetry.DeriveTraceID(lease2.Seed, "lease", lease2.ID).String()
+	tree2, ok := telemetry.FindTrace(telemetry.AssembleTraces(visits2), want2)
+	if !ok {
+		t.Fatalf("malformed traceparent did not degrade to the self-rooted trace %s", want2)
+	}
+	if len(tree2.Roots) != 1 || tree2.Roots[0].Orphan || tree2.Roots[0].Rec.ParentID != "" {
+		t.Fatalf("degraded lease trace malformed: %+v", tree2.Roots[0].Rec)
+	}
+}

@@ -35,6 +35,14 @@ type WorkerConfig struct {
 	// Health and Metrics instrument the worker's crawls as usual.
 	Health  *health.Tracker
 	Metrics *telemetry.Registry
+	// Tracer, when non-nil, records this worker's side of the campaign's
+	// distributed trace: one span per lease crawled (with crawl and
+	// upload child spans), parented under the coordinator's lease grant
+	// via the traceparent the lease carried, plus the usual per-visit
+	// traces from the crawler. The lease span also rides outbound renew
+	// and complete requests as a W3C traceparent header, so the
+	// coordinator's server-side spans parent under it.
+	Tracer *telemetry.Tracer
 	// Logger, when non-nil, narrates lease lifecycle.
 	Logger *slog.Logger
 	// PollInterval is the idle wait when everything is leased out;
@@ -149,7 +157,7 @@ func workerLogf(cfg WorkerConfig, msg string, kv ...any) {
 // runLease crawls one lease end to end — world bind, crawl with
 // heartbeats, shard upload — and reports whether its delivery finished
 // the whole campaign.
-func runLease(ctx context.Context, cfg WorkerConfig, client *Client, lease *Lease, worlds map[legKey]*cachedWorld, sum *WorkerSummary) (bool, error) {
+func runLease(ctx context.Context, cfg WorkerConfig, client *Client, lease *Lease, worlds map[legKey]*cachedWorld, sum *WorkerSummary) (fleetDone bool, err error) {
 	osv, err := hostenv.ParseOS(lease.OS)
 	if err != nil {
 		return false, fmt.Errorf("fleet: lease %s: %w", lease.ID, err)
@@ -189,6 +197,33 @@ func runLease(ctx context.Context, cfg WorkerConfig, client *Client, lease *Leas
 		st = store.New()
 	}
 
+	// This worker's lease span: parented under the coordinator's lease
+	// grant when the lease carried a W3C traceparent; a stripped or
+	// malformed value degrades to a root trace derived from the lease
+	// identity — propagation loss always yields a well-formed standalone
+	// trace, never a broken one. The span context rides the request
+	// context, so every renew and complete the client issues carries it
+	// as a traceparent header back to the coordinator.
+	var leaseParent telemetry.SpanID
+	leaseTrace := telemetry.DeriveTraceID(lease.Seed, "lease", lease.ID)
+	if sc, ok := telemetry.ParseTraceparent(lease.Traceparent); ok {
+		leaseTrace, leaseParent = sc.TraceID, sc.SpanID
+	}
+	leaseSC := telemetry.SpanContext{
+		TraceID: leaseTrace,
+		SpanID:  telemetry.DeriveSpanID(leaseTrace, "worker/"+cfg.Name+"/"+lease.ID),
+	}
+	ctx = telemetry.ContextWithSpan(ctx, leaseSC)
+	vt := cfg.Tracer.StartVisit(lease.Crawl, lease.OS, lease.ID, "", 0)
+	vt.SetSpanContext(leaseSC, leaseParent)
+	defer func() {
+		outcome := "ok"
+		if err != nil {
+			outcome = err.Error()
+		}
+		vt.End(outcome, st.NumPages())
+	}()
+
 	// Heartbeats: renew at TTL/3, reporting the store's page count —
 	// every visit commits exactly one page record, so the count is the
 	// progress. A lost lease does not stop the crawl: the range may have
@@ -226,7 +261,7 @@ func runLease(ctx context.Context, cfg WorkerConfig, client *Client, lease *Leas
 		Crawl: crawl, OS: osv, Scale: lease.Scale, Seed: lease.Seed,
 		Workers: cfg.Workers, RetainLogs: lease.RetainLogs,
 		NetProfile: lease.NetProfile,
-		Metrics:    cfg.Metrics, Health: cfg.Health,
+		Metrics:    cfg.Metrics, Health: cfg.Health, Tracer: cfg.Tracer,
 		// Resume skips visits recovered from the lease WAL; harmless on
 		// a fresh store.
 		Resume: true,
@@ -245,6 +280,7 @@ func runLease(ctx context.Context, cfg WorkerConfig, client *Client, lease *Leas
 		}
 		return false, fmt.Errorf("fleet: crawling lease %s: %w", lease.ID, err)
 	}
+	vt.Add("crawl", crawlStart, time.Since(crawlStart), csum.Attempted+csum.AlreadyDone)
 
 	// Upload the shard: canonical Save bytes, gzip on the wire. The
 	// upload is retried; if it cannot land, the lease is left to expire
@@ -286,6 +322,7 @@ func runLease(ctx context.Context, cfg WorkerConfig, client *Client, lease *Leas
 		case <-time.After(time.Duration(attempt+1) * 200 * time.Millisecond):
 		}
 	}
+	vt.Add("upload", uploadStart, time.Since(uploadStart), resp.Merged)
 	if lg != nil {
 		// The coordinator holds the merge durably; the lease WAL has
 		// nothing left to protect.

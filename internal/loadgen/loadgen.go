@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -84,6 +85,12 @@ type Options struct {
 	// reports a 2xx response). knockload feeds the health tracker's
 	// load leg through it.
 	Observer func(endpoint string, d time.Duration, ok bool)
+	// TraceSeed seeds the deterministic per-request trace IDs every
+	// request carries as a W3C traceparent header. The server joins
+	// them: its serve_query_ns exemplars and server-side request spans
+	// link back to individual load requests. Identically-seeded runs
+	// send identical trace IDs.
+	TraceSeed uint64
 }
 
 // Runner drives one endpoint mix against one service.
@@ -190,6 +197,13 @@ func (rn *run) do(i uint64, intended time.Time) {
 	if spec.ContentType != "" {
 		req.Header.Set("Content-Type", spec.ContentType)
 	}
+	// Every request carries its own deterministic trace context: the
+	// harness is the trace root, the server's request span its child.
+	trace := telemetry.DeriveTraceID(rn.r.opts.TraceSeed, "load", rn.mode, ep.Name, strconv.FormatUint(i, 10))
+	req.Header.Set(telemetry.TraceparentHeader, telemetry.SpanContext{
+		TraceID: trace,
+		SpanID:  telemetry.DeriveSpanID(trace, "request"),
+	}.Traceparent())
 	sent := time.Now()
 	resp, err := rn.r.opts.Client.Do(req)
 	if err != nil {

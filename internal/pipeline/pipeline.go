@@ -139,13 +139,14 @@ func NewStageMeters(reg *telemetry.Registry) *StageMeters {
 }
 
 // observe records one stage execution with its single measured elapsed
-// time.
-func (sm *StageMeters) observe(s Stage, items int, elapsed time.Duration) {
+// time. A non-empty traceID tags the latency bucket's exemplar, linking
+// the pipeline_stage_ns series back to the trace that produced it.
+func (sm *StageMeters) observe(s Stage, items int, elapsed time.Duration, traceID string) {
 	m := &sm.m[s]
 	m.runs.Inc()
 	m.items.Add(uint64(items))
 	m.busy.Add(uint64(elapsed))
-	m.ns.ObserveDuration(elapsed)
+	m.ns.ObserveDurationExemplar(elapsed, traceID)
 }
 
 // observe reports one finished stage to every configured observer. The
@@ -163,7 +164,7 @@ func (o *Options) observe(s Stage, items int, started time.Time) {
 		o.Trace.Add(s.String(), started, elapsed, items)
 	}
 	if o.Meters != nil {
-		o.Meters.observe(s, items, elapsed)
+		o.Meters.observe(s, items, elapsed, o.Trace.TraceIDString())
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"github.com/knockandtalk/knockandtalk/internal/pipeline"
 	"github.com/knockandtalk/knockandtalk/internal/report"
 	"github.com/knockandtalk/knockandtalk/internal/store"
+	"github.com/knockandtalk/knockandtalk/internal/telemetry"
 )
 
 // IngestResponse is the wire form of POST /v1/ingest: what the offline
@@ -97,7 +98,23 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 
 	// One trace record per upload, in the same form the crawler emits;
 	// the deferred End reports the final outcome whichever path returns.
+	// An uploader that propagated a W3C trace context parents the ingest
+	// record under its span; otherwise the ingest roots its own trace,
+	// derived from the visit identity exactly as the crawler derives it,
+	// so an ingest replay of a simulated visit shares its trace ID.
 	vt := s.opts.Tracer.StartVisit(crawl, osName, domain, url, rank)
+	if vt != nil {
+		traceID, parent := telemetry.TraceID{}, telemetry.SpanID{}
+		if sc, ok := telemetry.ExtractTraceContext(r.Header); ok {
+			traceID, parent = sc.TraceID, sc.SpanID
+		} else {
+			traceID = telemetry.DeriveTraceID(0, crawl, osName, url)
+		}
+		vt.SetSpanContext(telemetry.SpanContext{
+			TraceID: traceID,
+			SpanID:  telemetry.DeriveSpanID(traceID, "ingest:"+domain),
+		}, parent)
+	}
 	outcome := "ok"
 	log := &netlog.Log{}
 	defer func() {
@@ -153,7 +170,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// counters alike — the trace file and /metrics cannot disagree.
 	parseElapsed := time.Since(parseStart)
 	vt.Add("parse", parseStart, parseElapsed, log.Len())
-	s.metrics.stage("parse", log.Len(), parseElapsed)
+	s.metrics.stage("parse", log.Len(), parseElapsed, vt.TraceIDString())
 
 	// The offline pipeline, online: the same canonical detect →
 	// classify path the crawler and the examples run, with verdicts
@@ -197,12 +214,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	st.AddBatch(&batch)
 	commitElapsed := time.Since(commitStart)
 	vt.Add("commit", commitStart, commitElapsed, batch.Len())
-	s.metrics.stage("commit", batch.Len(), commitElapsed)
+	s.metrics.stage("commit", batch.Len(), commitElapsed, vt.TraceIDString())
 	if q.Get("retain") == "1" && len(out.Findings) > 0 {
 		nlStart := time.Now()
 		err := st.AddNetLog(crawl, osName, domain, log)
 		nlElapsed := time.Since(nlStart)
-		s.metrics.stage("netlog", 1, nlElapsed)
+		s.metrics.stage("netlog", 1, nlElapsed, vt.TraceIDString())
 		if err != nil {
 			// Retention is best-effort, as in the crawler; the records
 			// are committed regardless.

@@ -77,11 +77,12 @@ func newMetrics(reg *telemetry.Registry) *metrics {
 // elapsed time. The ingest handler's extra stages (parse, commit,
 // netlog) report through it with the same single measurement their
 // trace spans carry, so a trace file and /metrics agree on busy time.
-func (m *metrics) stage(name string, items int, elapsed time.Duration) {
+// A non-empty traceID tags the latency bucket's exemplar.
+func (m *metrics) stage(name string, items int, elapsed time.Duration, traceID string) {
 	m.reg.Counter(pipeline.MetricStageRuns, "stage", name).Inc()
 	m.reg.Counter(pipeline.MetricStageItems, "stage", name).Add(uint64(items))
 	m.reg.Counter(pipeline.MetricStageBusyNS, "stage", name).Add(uint64(elapsed))
-	m.reg.Histogram(pipeline.MetricStageNS, "stage", name).ObserveDuration(elapsed)
+	m.reg.Histogram(pipeline.MetricStageNS, "stage", name).ObserveDurationExemplar(elapsed, traceID)
 }
 
 func (m *metrics) request(path string) {
@@ -91,9 +92,10 @@ func (m *metrics) request(path string) {
 // query records one answered query-plane request: full handler time
 // (queueing, cache lookup, render, serialization, write) under the
 // endpoint's route pattern and the cache outcome that produced the
-// response.
-func (m *metrics) query(endpoint, cache string, elapsed time.Duration) {
-	m.reg.Histogram(MetricQueryNS, "endpoint", endpoint, "cache", cache).ObserveDuration(elapsed)
+// response. Requests that arrived with a trace context tag the latency
+// bucket's exemplar with their trace ID.
+func (m *metrics) query(endpoint, cache string, elapsed time.Duration, traceID string) {
+	m.reg.Histogram(MetricQueryNS, "endpoint", endpoint, "cache", cache).ObserveDurationExemplar(elapsed, traceID)
 }
 
 func (m *metrics) rejected(plane string) {

@@ -168,6 +168,23 @@ func (s *Server) query(endpoint string, h func(w http.ResponseWriter, r *http.Re
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		s.metrics.request(r.URL.Path)
+		// Requests arriving with a W3C trace context join the caller's
+		// trace: the handler records one server-side request span into
+		// the trace sink (child of the propagated span), and the latency
+		// histogram tags its bucket exemplar with the trace ID.
+		sc, traced := telemetry.ExtractTraceContext(r.Header)
+		var traceID string
+		outcome := "ok"
+		if traced {
+			traceID = sc.TraceID.String()
+			if vt := s.opts.Tracer.StartVisit("query", "serve", endpoint, r.URL.RequestURI(), 0); vt != nil {
+				vt.SetSpanContext(telemetry.SpanContext{
+					TraceID: sc.TraceID,
+					SpanID:  telemetry.DeriveSpanID(sc.TraceID, "serve:"+endpoint+":"+sc.SpanID.String()),
+				}, sc.SpanID)
+				defer func() { vt.End(outcome, 0) }()
+			}
+		}
 		select {
 		case s.queries <- struct{}{}:
 			s.metrics.queriesInflight.Add(1)
@@ -176,6 +193,7 @@ func (s *Server) query(endpoint string, h func(w http.ResponseWriter, r *http.Re
 				<-s.queries
 			}()
 		default:
+			outcome = "rejected"
 			s.reject(w, "query")
 			return
 		}
@@ -183,6 +201,7 @@ func (s *Server) query(endpoint string, h func(w http.ResponseWriter, r *http.Re
 		defer cancel()
 		key, scope, render := h(w, r.WithContext(ctx))
 		if render == nil { // handler already answered (bad request)
+			outcome = "bad_request"
 			return
 		}
 		// Response cache: canonical query key, scope-tagged. An entry
@@ -193,30 +212,33 @@ func (s *Server) query(endpoint string, h func(w http.ResponseWriter, r *http.Re
 		// the entry look older than it may be — over-invalidation, never a
 		// stale hit.
 		gen := s.eng.Generation()
-		if body, outcome := s.cache.Lookup(key, gen, s.eng.ChangedSince); outcome != queryengine.Miss {
+		if body, cacheOutcome := s.cache.Lookup(key, gen, s.eng.ChangedSince); cacheOutcome != queryengine.Miss {
 			s.metrics.cacheHit()
 			writeJSONBytes(w, body)
-			s.metrics.query(endpoint, outcome.String(), time.Since(start))
+			s.metrics.query(endpoint, cacheOutcome.String(), time.Since(start), traceID)
 			return
 		}
 		s.metrics.cacheMiss()
 		v, err := render()
 		if err != nil {
+			outcome = "error"
 			httpError(w, http.StatusBadRequest, err.Error())
 			return
 		}
 		if ctx.Err() != nil {
+			outcome = "timeout"
 			httpError(w, http.StatusServiceUnavailable, "query timed out")
 			return
 		}
 		body, err := json.Marshal(v)
 		if err != nil {
+			outcome = "error"
 			httpError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
 		s.cache.Put(key, body, gen, scope)
 		writeJSONBytes(w, body)
-		s.metrics.query(endpoint, queryengine.Miss.String(), time.Since(start))
+		s.metrics.query(endpoint, queryengine.Miss.String(), time.Since(start), traceID)
 	}
 }
 

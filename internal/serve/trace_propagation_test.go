@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+
+	"github.com/knockandtalk/knockandtalk/internal/serve/queryengine"
+	"github.com/knockandtalk/knockandtalk/internal/telemetry"
+)
+
+// TestServeTracePropagation pins the serving layer's side of W3C
+// context propagation: an uploader or querier that sends a traceparent
+// header gets its server-side work recorded as a child span in the
+// trace sink, and the query-latency histogram tags its bucket exemplar
+// with the caller's trace ID. Requests without the header still trace —
+// ingest roots a derived trace, queries go unrecorded.
+func TestServeTracePropagation(t *testing.T) {
+	var traceBuf bytes.Buffer
+	tr := telemetry.NewTracer(&traceBuf, telemetry.TracerOptions{})
+	reg := telemetry.NewRegistry()
+	srv := New(queryengine.New(serveStore(t)), Options{Tracer: tr, Registry: reg})
+	ts := newHTTPTestServer(t, srv)
+
+	body, err := os.ReadFile("testdata/threatmetrix.netlog.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	callerTrace := telemetry.DeriveTraceID(11, "caller")
+	caller := telemetry.SpanContext{
+		TraceID: callerTrace,
+		SpanID:  telemetry.DeriveSpanID(callerTrace, "upload"),
+	}
+
+	send := func(req *http.Request) {
+		t.Helper()
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s %s: status %d", req.Method, req.URL.Path, resp.StatusCode)
+		}
+	}
+
+	// Traced ingest: propagated context wins over derivation.
+	req, _ := http.NewRequest("POST", ts+"/v1/ingest?domain=traced.example&os=Windows&crawl=live", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/jsonl")
+	req.Header.Set(telemetry.TraceparentHeader, caller.Traceparent())
+	send(req)
+
+	// Untraced ingest: roots its own derived trace.
+	req, _ = http.NewRequest("POST", ts+"/v1/ingest?domain=plain.example&os=Linux&crawl=live", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/jsonl")
+	send(req)
+
+	// Traced query: a server-side request span joins the caller's trace.
+	req, _ = http.NewRequest("GET", ts+"/v1/summary", nil)
+	req.Header.Set(telemetry.TraceparentHeader, caller.Traceparent())
+	send(req)
+
+	// Untraced query: no request span (the sink only records joined
+	// traces on the query plane).
+	req, _ = http.NewRequest("GET", ts+"/v1/locals", nil)
+	send(req)
+
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	visits, err := telemetry.ReadTraces(&traceBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byDomain := map[string]telemetry.VisitRecord{}
+	for _, v := range visits {
+		byDomain[v.Domain] = v
+	}
+	if len(visits) != 3 {
+		t.Fatalf("trace records = %d (%v), want 3", len(visits), byDomain)
+	}
+
+	traced := byDomain["traced.example"]
+	if traced.TraceID != callerTrace.String() || traced.ParentID != caller.SpanID.String() {
+		t.Fatalf("traced ingest record: trace=%s parent=%s, want caller's", traced.TraceID, traced.ParentID)
+	}
+	plain := byDomain["plain.example"]
+	wantDerived := telemetry.DeriveTraceID(0, "live", "Linux", "https://plain.example/")
+	if plain.TraceID != wantDerived.String() || plain.ParentID != "" {
+		t.Fatalf("untraced ingest record: trace=%s parent=%s, want derived root %s", plain.TraceID, plain.ParentID, wantDerived)
+	}
+	query := byDomain["/v1/summary"]
+	if query.Crawl != "query" || query.TraceID != callerTrace.String() || query.ParentID != caller.SpanID.String() {
+		t.Fatalf("query request span: %+v", query)
+	}
+
+	// Assembled together, the caller's trace spans both planes.
+	for i := range visits {
+		visits[i].Source = "serve.jsonl"
+	}
+	tree, ok := telemetry.FindTrace(telemetry.AssembleTraces(visits), callerTrace.String())
+	if !ok || tree.Records != 2 {
+		t.Fatalf("caller trace tree: ok=%v %+v", ok, tree)
+	}
+
+	// The traced query left its trace ID as a bucket exemplar on the
+	// per-endpoint latency histogram.
+	var prom strings.Builder
+	if err := reg.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prom.String(), `# {trace_id="`+callerTrace.String()+`"}`) {
+		t.Fatalf("exposition lacks the query exemplar:\n%s", prom.String())
+	}
+	if _, err := telemetry.ParsePrometheus(strings.NewReader(prom.String())); err != nil {
+		t.Fatalf("exemplar-bearing exposition fails strict parse: %v", err)
+	}
+}

@@ -98,6 +98,14 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 			b.WriteString(promLabels(labels, "le", strconv.FormatUint(bk.Le, 10)))
 			b.WriteByte(' ')
 			b.WriteString(strconv.FormatUint(cum, 10))
+			if bk.ExemplarTraceID != "" {
+				// OpenMetrics exemplar: the bucket's most recent traced
+				// observation, linking the latency series to a trace ID.
+				b.WriteString(` # {trace_id="`)
+				b.WriteString(escapeLabelValue(bk.ExemplarTraceID))
+				b.WriteString(`"} `)
+				b.WriteString(strconv.FormatUint(bk.ExemplarValue, 10))
+			}
 			b.WriteByte('\n')
 		}
 		b.WriteString(name)
@@ -135,6 +143,9 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 			bw.WriteString(sr.text)
 		}
 	}
+	// OpenMetrics end-of-stream marker; classic 0.0.4 scrapers treat it
+	// as a comment, and the strict parser rejects content after it.
+	bw.WriteString("# EOF\n")
 	return bw.Flush()
 }
 

@@ -1,0 +1,149 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrometheusExemplarRoundTrip pins the exemplar path end to end:
+// an ObserveExemplar-tagged observation renders as an OpenMetrics
+// ` # {trace_id="..."} value` suffix on its bucket line, and the strict
+// parser recovers the label set and value from that exact output.
+func TestPrometheusExemplarRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	trace := DeriveTraceID(9, "exemplar").String()
+	h := reg.Histogram("serve_query_ns", "endpoint", "domains")
+	h.ObserveExemplar(1500, trace)
+	h.Observe(1600) // untraced observation in the same bucket keeps the exemplar
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	if !strings.Contains(text, `# {trace_id="`+trace+`"} 1500`) {
+		t.Fatalf("exposition lacks the exemplar suffix:\n%s", text)
+	}
+	if !strings.HasSuffix(text, "# EOF\n") {
+		t.Fatalf("exposition does not end with # EOF:\n%s", text)
+	}
+
+	doc, err := ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("own exposition does not parse: %v", err)
+	}
+	fam := doc.Families["serve_query_ns"]
+	if fam == nil {
+		t.Fatal("serve_query_ns family missing")
+	}
+	var found *PromExemplar
+	for _, s := range fam.Series {
+		if s.Exemplar != nil {
+			if found != nil {
+				t.Fatal("exemplar appeared on more than one bucket")
+			}
+			found = s.Exemplar
+			if !strings.HasSuffix(s.Name, "_bucket") {
+				t.Fatalf("exemplar on non-bucket series %s", s.Name)
+			}
+		}
+	}
+	if found == nil {
+		t.Fatal("parser dropped the exemplar")
+	}
+	if found.Labels["trace_id"] != trace {
+		t.Fatalf("exemplar trace_id = %q, want %q", found.Labels["trace_id"], trace)
+	}
+	if found.Value != 1500 {
+		t.Fatalf("exemplar value = %v, want 1500", found.Value)
+	}
+}
+
+// TestPrometheusParseExemplarLines exercises the parser against
+// hand-written exemplar forms beyond what our own writer emits.
+func TestPrometheusParseExemplarLines(t *testing.T) {
+	ok := []string{
+		// Counter exemplar with a timestamp (OpenMetrics allows both).
+		"# TYPE a counter\na 5 # {trace_id=\"4bf92f35\"} 1 1700000000\n",
+		// Exemplar label value containing an escaped newline and quote.
+		"# TYPE a counter\na 5 # {note=\"line\\nbreak \\\"q\\\"\"} 0.5\n",
+		// Empty exemplar label set.
+		"# TYPE a counter\na 5 # {} 2\n",
+		// Histogram bucket exemplar.
+		"# TYPE h histogram\nh_bucket{le=\"1\"} 1 # {trace_id=\"ab\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n",
+	}
+	for _, in := range ok {
+		if _, err := ParsePrometheus(strings.NewReader(in)); err != nil {
+			t.Errorf("rejected valid exemplar input %q: %v", in, err)
+		}
+	}
+	bad := []string{
+		// Exemplar on a gauge.
+		"# TYPE a gauge\na 5 # {trace_id=\"ab\"} 1\n",
+		// Exemplar on a histogram _count (buckets only).
+		"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1 # {trace_id=\"ab\"} 1\n",
+		// Missing label set after #.
+		"# TYPE a counter\na 5 # 1\n",
+		// Missing exemplar value.
+		"# TYPE a counter\na 5 # {trace_id=\"ab\"}\n",
+		// Garbage exemplar value.
+		"# TYPE a counter\na 5 # {trace_id=\"ab\"} xyz\n",
+		// Garbage exemplar timestamp.
+		"# TYPE a counter\na 5 # {trace_id=\"ab\"} 1 ts\n",
+	}
+	for _, in := range bad {
+		if _, err := ParsePrometheus(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted invalid exemplar input %q", in)
+		}
+	}
+}
+
+func TestPrometheusEOFStrictness(t *testing.T) {
+	if _, err := ParsePrometheus(strings.NewReader("# TYPE a counter\na 1\n# EOF\n")); err != nil {
+		t.Fatalf("terminated exposition rejected: %v", err)
+	}
+	// Blank lines after # EOF are tolerated; content is not.
+	if _, err := ParsePrometheus(strings.NewReader("# TYPE a counter\na 1\n# EOF\n\n")); err != nil {
+		t.Fatalf("blank line after # EOF rejected: %v", err)
+	}
+	for _, in := range []string{
+		"# TYPE a counter\na 1\n# EOF\nb 2\n",
+		"# TYPE a counter\na 1\n# EOF\n# HELP late comment\n",
+		"# EOF\n# TYPE a counter\na 1\n",
+	} {
+		if _, err := ParsePrometheus(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted content after # EOF: %q", in)
+		}
+	}
+}
+
+// TestPrometheusEscapedLabelValues pins that escaped newlines,
+// backslashes, and quotes in label values survive a write/parse round
+// trip — trace IDs never need this, but site keys can.
+func TestPrometheusEscapedLabelValues(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("weird", "key", "line\nbreak\\\"q").Add(3)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `key="line\nbreak\\\"q"`) {
+		t.Fatalf("label value not escaped:\n%s", b.String())
+	}
+	doc, err := ParsePrometheus(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := doc.Series("weird", "key", "line\nbreak\\\"q")
+	if s == nil {
+		t.Fatalf("escaped label value did not round trip:\n%s", b.String())
+	}
+	if s.Value != 3 {
+		t.Fatalf("value = %v, want 3", s.Value)
+	}
+	// A raw (unescaped) newline inside a label value is a parse error,
+	// not a silent truncation.
+	if _, err := ParsePrometheus(strings.NewReader("# TYPE a counter\na{k=\"x\n\"} 1\n")); err == nil {
+		t.Error("accepted raw newline inside a label value")
+	}
+}

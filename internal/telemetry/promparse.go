@@ -28,6 +28,17 @@ type PromSeries struct {
 	// series the registry renders) can be compared exactly even beyond
 	// float64 precision.
 	Raw string
+	// Exemplar is the series' OpenMetrics exemplar, when one followed
+	// the sample (`... # {trace_id="..."} value`).
+	Exemplar *PromExemplar
+}
+
+// PromExemplar is one OpenMetrics exemplar: its label set (for the
+// registry, a single trace_id) and the exemplified observation value.
+type PromExemplar struct {
+	Labels map[string]string
+	Value  float64
+	Raw    string
 }
 
 // PromFamily is one metric family: its declared type and every sample
@@ -122,6 +133,7 @@ func ParsePrometheus(r io.Reader) (*PromDoc, error) {
 		hist     histState
 		lineNo   int
 		lastFam  string
+		eofSeen  bool
 		seenOnce = map[string]bool{}
 	)
 	closeHistogram := func() error {
@@ -136,7 +148,15 @@ func ParsePrometheus(r io.Reader) (*PromDoc, error) {
 		if line == "" {
 			continue
 		}
+		if eofSeen {
+			return nil, fmt.Errorf("line %d: content after # EOF", lineNo)
+		}
 		if strings.HasPrefix(line, "#") {
+			if line == "# EOF" {
+				// OpenMetrics end-of-stream marker: nothing may follow.
+				eofSeen = true
+				continue
+			}
 			rest, ok := strings.CutPrefix(line, "# TYPE ")
 			if !ok {
 				continue // HELP and other comments
@@ -168,7 +188,7 @@ func ParsePrometheus(r io.Reader) (*PromDoc, error) {
 			hist = histState{}
 			continue
 		}
-		name, labels, raw, err := parsePromSample(line)
+		name, labels, raw, ex, err := parsePromSample(line)
 		if err != nil {
 			return nil, fmt.Errorf("line %d: %w", lineNo, err)
 		}
@@ -178,6 +198,11 @@ func ParsePrometheus(r io.Reader) (*PromDoc, error) {
 		}
 		if cur == nil {
 			return nil, fmt.Errorf("line %d: series %q before any TYPE line", lineNo, name)
+		}
+		// OpenMetrics permits exemplars on counters and histogram
+		// buckets only.
+		if ex != nil && (cur.Type == "gauge" || (cur.Type == "histogram" && name != cur.Name+"_bucket")) {
+			return nil, fmt.Errorf("line %d: exemplar on %s series %q", lineNo, cur.Type, name)
 		}
 		switch cur.Type {
 		case "counter", "gauge":
@@ -199,7 +224,7 @@ func ParsePrometheus(r io.Reader) (*PromDoc, error) {
 				return nil, fmt.Errorf("line %d: %w", lineNo, err)
 			}
 		}
-		cur.Series = append(cur.Series, PromSeries{Name: name, Labels: labels, Value: val, Raw: raw})
+		cur.Series = append(cur.Series, PromSeries{Name: name, Labels: labels, Value: val, Raw: raw, Exemplar: ex})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -301,16 +326,17 @@ func promCanonicalLabels(labels map[string]string, except string) string {
 	return b.String()
 }
 
-// parsePromSample parses one sample line: name, optional {labels}, and
-// the value text.
-func parsePromSample(line string) (string, map[string]string, string, error) {
+// parsePromSample parses one sample line: name, optional {labels}, the
+// value text, and an optional trailing OpenMetrics exemplar
+// (`# {labels} value`).
+func parsePromSample(line string) (string, map[string]string, string, *PromExemplar, error) {
 	i := strings.IndexAny(line, "{ ")
 	if i < 0 {
-		return "", nil, "", fmt.Errorf("malformed sample %q", line)
+		return "", nil, "", nil, fmt.Errorf("malformed sample %q", line)
 	}
 	name := line[:i]
 	if name == "" {
-		return "", nil, "", fmt.Errorf("malformed sample %q", line)
+		return "", nil, "", nil, fmt.Errorf("malformed sample %q", line)
 	}
 	var labels map[string]string
 	rest := line[i:]
@@ -318,14 +344,51 @@ func parsePromSample(line string) (string, map[string]string, string, error) {
 		var err error
 		labels, rest, err = parsePromLabels(rest[1:])
 		if err != nil {
-			return "", nil, "", err
+			return "", nil, "", nil, err
 		}
+	}
+	var ex *PromExemplar
+	// The labels are consumed, so the first '#' left in the line opens
+	// the exemplar.
+	if j := strings.IndexByte(rest, '#'); j >= 0 {
+		var err error
+		ex, err = parsePromExemplar(strings.TrimLeft(rest[j+1:], " \t"))
+		if err != nil {
+			return "", nil, "", nil, err
+		}
+		rest = rest[:j]
 	}
 	raw := strings.TrimSpace(rest)
 	if raw == "" || strings.ContainsAny(raw, " \t") {
-		return "", nil, "", fmt.Errorf("malformed sample value in %q", line)
+		return "", nil, "", nil, fmt.Errorf("malformed sample value in %q", line)
 	}
-	return name, labels, raw, nil
+	return name, labels, raw, ex, nil
+}
+
+// parsePromExemplar parses `{labels} value [timestamp]` — the text
+// after an exemplar's `#` separator.
+func parsePromExemplar(s string) (*PromExemplar, error) {
+	if !strings.HasPrefix(s, "{") {
+		return nil, fmt.Errorf("malformed exemplar near %q (missing label set)", s)
+	}
+	labels, rest, err := parsePromLabels(s[1:])
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 || len(fields) > 2 {
+		return nil, fmt.Errorf("malformed exemplar value near %q", rest)
+	}
+	val, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad exemplar value %q", fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			return nil, fmt.Errorf("bad exemplar timestamp %q", fields[1])
+		}
+	}
+	return &PromExemplar{Labels: labels, Value: val, Raw: fields[0]}, nil
 }
 
 // parsePromLabels parses `k="v",...}` (the opening brace already

@@ -67,6 +67,16 @@ type Histogram struct {
 	count   atomic.Uint64
 	sum     atomic.Uint64
 	buckets [histBuckets]atomic.Uint64
+	// exemplars holds the most recent traced observation per bucket —
+	// a pointer swap beside the three atomic adds, only on observations
+	// that carry a trace ID. Surfaced as OpenMetrics exemplars.
+	exemplars [histBuckets]atomic.Pointer[exemplar]
+}
+
+// exemplar pairs one observed value with the trace that produced it.
+type exemplar struct {
+	traceID string
+	value   uint64
 }
 
 // Observe records one sample.
@@ -85,6 +95,25 @@ func (h *Histogram) ObserveDuration(d time.Duration) {
 	h.Observe(uint64(d))
 }
 
+// ObserveExemplar records one sample and, when traceID is non-empty,
+// tags the sample's bucket with it as the bucket's most recent
+// exemplar. An empty traceID is exactly Observe.
+func (h *Histogram) ObserveExemplar(v uint64, traceID string) {
+	h.Observe(v)
+	if traceID != "" {
+		h.exemplars[bits.Len64(v)].Store(&exemplar{traceID: traceID, value: v})
+	}
+}
+
+// ObserveDurationExemplar records one duration sample tagged with the
+// trace that produced it; negative durations clamp to zero.
+func (h *Histogram) ObserveDurationExemplar(d time.Duration, traceID string) {
+	if d < 0 {
+		d = 0
+	}
+	h.ObserveExemplar(uint64(d), traceID)
+}
+
 // Count returns the number of samples observed.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
@@ -100,7 +129,12 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 			if i > 0 {
 				le = 1<<uint(i) - 1
 			}
-			s.Buckets = append(s.Buckets, Bucket{Le: le, N: n})
+			b := Bucket{Le: le, N: n}
+			if ex := h.exemplars[i].Load(); ex != nil {
+				b.ExemplarTraceID = ex.traceID
+				b.ExemplarValue = ex.value
+			}
+			s.Buckets = append(s.Buckets, b)
 		}
 	}
 	return s
@@ -111,6 +145,10 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 type Bucket struct {
 	Le uint64 `json:"le"`
 	N  uint64 `json:"n"`
+	// ExemplarTraceID/ExemplarValue carry the bucket's most recent
+	// traced observation (an OpenMetrics exemplar), when any.
+	ExemplarTraceID string `json:"exemplar_trace_id,omitempty"`
+	ExemplarValue   uint64 `json:"exemplar_value,omitempty"`
 }
 
 // HistogramSnapshot is the wire form of a histogram.
@@ -173,7 +211,14 @@ func (s HistogramSnapshot) Merge(o HistogramSnapshot) HistogramSnapshot {
 			out.Buckets = append(out.Buckets, o.Buckets[j])
 			j++
 		default:
-			out.Buckets = append(out.Buckets, Bucket{Le: s.Buckets[i].Le, N: s.Buckets[i].N + o.Buckets[j].N})
+			merged := Bucket{Le: s.Buckets[i].Le, N: s.Buckets[i].N + o.Buckets[j].N}
+			// Exemplars don't merge numerically: keep one of the two
+			// recents (s's when it has one).
+			merged.ExemplarTraceID, merged.ExemplarValue = s.Buckets[i].ExemplarTraceID, s.Buckets[i].ExemplarValue
+			if merged.ExemplarTraceID == "" {
+				merged.ExemplarTraceID, merged.ExemplarValue = o.Buckets[j].ExemplarTraceID, o.Buckets[j].ExemplarValue
+			}
+			out.Buckets = append(out.Buckets, merged)
 			i, j = i+1, j+1
 		}
 	}

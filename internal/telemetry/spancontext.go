@@ -1,0 +1,290 @@
+package telemetry
+
+// Distributed-trace identity: 128-bit trace IDs and 64-bit span IDs
+// with W3C Trace Context (traceparent/tracestate) wire form, carried
+// in-process via context.Context and across HTTP boundaries via
+// headers. IDs are derived, not random: in simulation every visit's
+// trace ID is a pure function of (seed, crawl, OS, URL), so two
+// identically-seeded fleet runs emit identical trace identities and a
+// traced crawl stays byte-reproducible.
+
+import (
+	"context"
+	"net/http"
+	"strings"
+)
+
+// TraceparentHeader and TracestateHeader are the W3C Trace Context
+// header names (HTTP header lookup is case-insensitive).
+const (
+	TraceparentHeader = "traceparent"
+	TracestateHeader  = "tracestate"
+)
+
+// TraceID is a 128-bit trace identity, rendered as 32 lowercase hex
+// digits. The all-zero value is invalid per W3C Trace Context.
+type TraceID [16]byte
+
+// IsZero reports whether the trace ID is the invalid all-zero value.
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// String renders the trace ID as 32 lowercase hex digits.
+func (id TraceID) String() string { return string(appendHex(nil, id[:])) }
+
+// SpanID is a 64-bit span identity, rendered as 16 lowercase hex
+// digits. The all-zero value is invalid per W3C Trace Context.
+type SpanID [8]byte
+
+// IsZero reports whether the span ID is the invalid all-zero value.
+func (id SpanID) IsZero() bool { return id == SpanID{} }
+
+// String renders the span ID as 16 lowercase hex digits.
+func (id SpanID) String() string { return string(appendHex(nil, id[:])) }
+
+// ParseTraceID parses 32 lowercase hex digits; the all-zero ID is
+// rejected.
+func ParseTraceID(s string) (TraceID, bool) {
+	var id TraceID
+	if len(s) != 32 || !decodeHex(id[:], s) || id.IsZero() {
+		return TraceID{}, false
+	}
+	return id, true
+}
+
+// ParseSpanID parses 16 lowercase hex digits; the all-zero ID is
+// rejected.
+func ParseSpanID(s string) (SpanID, bool) {
+	var id SpanID
+	if len(s) != 16 || !decodeHex(id[:], s) || id.IsZero() {
+		return SpanID{}, false
+	}
+	return id, true
+}
+
+func appendHex(b, src []byte) []byte {
+	for _, c := range src {
+		b = append(b, hexDigits[c>>4], hexDigits[c&0xF])
+	}
+	return b
+}
+
+func decodeHex(dst []byte, s string) bool {
+	for i := range dst {
+		hi, ok1 := hexVal(s[2*i])
+		lo, ok2 := hexVal(s[2*i+1])
+		if !ok1 || !ok2 {
+			return false
+		}
+		dst[i] = hi<<4 | lo
+	}
+	return true
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	return 0, false // uppercase is invalid in traceparent per W3C
+}
+
+// SpanContext is the propagated identity of one span: the trace it
+// belongs to, its own span ID, and the pass-through tracestate value
+// (vendor data we never interpret, only forward).
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	State   string
+}
+
+// Valid reports whether both IDs are non-zero.
+func (sc SpanContext) Valid() bool {
+	return !sc.TraceID.IsZero() && !sc.SpanID.IsZero()
+}
+
+// Traceparent renders the context in W3C wire form:
+// 00-<32 hex trace>-<16 hex span>-01 (version 00, sampled flag set).
+func (sc SpanContext) Traceparent() string {
+	b := make([]byte, 0, 55)
+	b = append(b, '0', '0', '-')
+	b = appendHex(b, sc.TraceID[:])
+	b = append(b, '-')
+	b = appendHex(b, sc.SpanID[:])
+	b = append(b, '-', '0', '1')
+	return string(b)
+}
+
+// ParseTraceparent parses a W3C traceparent value. Version ff and
+// all-zero IDs are rejected; versions above 00 are accepted if their
+// first four fields are well-formed (the spec's forward-compatibility
+// rule). Returns ok=false for anything malformed — callers treat that
+// as "no incoming context" and start a root trace.
+func ParseTraceparent(s string) (SpanContext, bool) {
+	if len(s) < 55 {
+		return SpanContext{}, false
+	}
+	ver := s[:2]
+	if _, ok := hexVal(ver[0]); !ok {
+		return SpanContext{}, false
+	}
+	if _, ok := hexVal(ver[1]); !ok {
+		return SpanContext{}, false
+	}
+	if ver == "ff" {
+		return SpanContext{}, false
+	}
+	if ver == "00" && len(s) != 55 {
+		return SpanContext{}, false
+	}
+	if len(s) > 55 && s[55] != '-' {
+		return SpanContext{}, false
+	}
+	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return SpanContext{}, false
+	}
+	var sc SpanContext
+	var ok bool
+	if sc.TraceID, ok = ParseTraceID(s[3:35]); !ok {
+		return SpanContext{}, false
+	}
+	if sc.SpanID, ok = ParseSpanID(s[36:52]); !ok {
+		return SpanContext{}, false
+	}
+	if _, ok := hexVal(s[53]); !ok {
+		return SpanContext{}, false
+	}
+	if _, ok := hexVal(s[54]); !ok {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+// spanCtxKey is the context.Context key for the active SpanContext.
+type spanCtxKey struct{}
+
+// ContextWithSpan returns a context carrying sc as the active span.
+func ContextWithSpan(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, sc)
+}
+
+// SpanFromContext returns the active span context, if any.
+func SpanFromContext(ctx context.Context) (SpanContext, bool) {
+	sc, ok := ctx.Value(spanCtxKey{}).(SpanContext)
+	return sc, ok && sc.Valid()
+}
+
+// InjectTraceContext writes the active span context from ctx into h as
+// traceparent (and tracestate when carried). A context without a valid
+// span leaves h untouched, so uninstrumented calls stay header-free.
+func InjectTraceContext(ctx context.Context, h http.Header) {
+	sc, ok := SpanFromContext(ctx)
+	if !ok {
+		return
+	}
+	h.Set(TraceparentHeader, sc.Traceparent())
+	if sc.State != "" {
+		h.Set(TracestateHeader, sc.State)
+	}
+}
+
+// ExtractTraceContext reads the W3C trace context from request
+// headers. Malformed or absent traceparent yields ok=false: the
+// receiver starts a root trace rather than fabricating parent links.
+func ExtractTraceContext(h http.Header) (SpanContext, bool) {
+	sc, ok := ParseTraceparent(strings.TrimSpace(h.Get(TraceparentHeader)))
+	if !ok {
+		return SpanContext{}, false
+	}
+	sc.State = h.Get(TracestateHeader)
+	return sc, true
+}
+
+// FNV-1a 64-bit constants — the same pure-hash family the simulator
+// uses for deterministic worlds, so trace identity needs no randomness.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	// Terminate each field so ("ab","c") and ("a","bc") hash apart.
+	h ^= 0x1f
+	h *= fnvPrime64
+	return h
+}
+
+func fnvUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v >> (8 * i) & 0xff
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche so trace
+// IDs derived from adjacent inputs do not share prefixes.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// DeriveTraceID deterministically derives a 128-bit trace ID from the
+// simulation seed and identity parts (crawl, OS, URL for visits; lease
+// or campaign identity for control-plane traces). The same inputs
+// always produce the same ID, which is what keeps identically-seeded
+// fleet runs trace-identical. The result is never the invalid all-zero
+// ID.
+func DeriveTraceID(seed uint64, parts ...string) TraceID {
+	h := fnvUint64(fnvOffset64, seed)
+	for _, p := range parts {
+		h = fnvString(h, p)
+	}
+	hi, lo := mix64(h), mix64(h^0x9e3779b97f4a7c15)
+	var id TraceID
+	putUint64(id[:8], hi)
+	putUint64(id[8:], lo)
+	if id.IsZero() {
+		id[15] = 1
+	}
+	return id
+}
+
+// DeriveSpanID deterministically derives a span ID within a trace from
+// a role name ("visit", "lease/<id>", "ingest", ...). Distinct names
+// yield distinct spans of the same trace; the result is never the
+// invalid all-zero ID.
+func DeriveSpanID(trace TraceID, name string) SpanID {
+	h := fnvUint64(fnvOffset64, readUint64(trace[:8]))
+	h = fnvUint64(h, readUint64(trace[8:]))
+	h = fnvString(h, name)
+	var id SpanID
+	putUint64(id[:], mix64(h))
+	if id.IsZero() {
+		id[7] = 1
+	}
+	return id
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (56 - 8*i))
+	}
+}
+
+func readUint64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}

@@ -1,0 +1,159 @@
+package telemetry
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	trace := DeriveTraceID(20210603, "fleet", "top100k-2020")
+	span := DeriveSpanID(trace, "campaign")
+	sc := SpanContext{TraceID: trace, SpanID: span}
+	header := sc.Traceparent()
+	if len(header) != 55 {
+		t.Fatalf("traceparent %q has length %d, want 55", header, len(header))
+	}
+	if header != strings.ToLower(header) {
+		t.Fatalf("traceparent %q is not lowercase", header)
+	}
+	if !strings.HasPrefix(header, "00-") || !strings.HasSuffix(header, "-01") {
+		t.Fatalf("traceparent %q missing version/flags framing", header)
+	}
+	back, ok := ParseTraceparent(header)
+	if !ok {
+		t.Fatalf("own traceparent %q does not parse", header)
+	}
+	if back.TraceID != trace || back.SpanID != span {
+		t.Fatalf("round trip changed identity: %+v vs %+v", back, sc)
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	valid := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	if _, ok := ParseTraceparent(valid); !ok {
+		t.Fatalf("W3C spec example rejected: %q", valid)
+	}
+	// Forward compatibility: a future version with extra fields parses
+	// as long as the version-00 prefix is well-formed.
+	if _, ok := ParseTraceparent(strings.Replace(valid, "00-", "42-", 1) + "-extrafield"); !ok {
+		t.Error("future version with extra field rejected")
+	}
+	bad := []string{
+		"",
+		"00",
+		valid[:54],                              // truncated
+		valid + "x",                             // version 00 with trailing junk
+		strings.Replace(valid, "00-", "ff-", 1), // version ff is forbidden
+		strings.ToUpper(valid),                  // uppercase hex
+		strings.Replace(valid, "-00f067", "_00f067", 1),           // wrong separator
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero trace
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", // zero span
+		"00-4bf92f3577b34da6a3ce929d0e0e473g-00f067aa0ba902b7-01", // non-hex
+	}
+	for _, s := range bad {
+		if _, ok := ParseTraceparent(s); ok {
+			t.Errorf("accepted invalid traceparent %q", s)
+		}
+	}
+}
+
+func TestParseIDsRejectInvalid(t *testing.T) {
+	if _, ok := ParseTraceID("4bf92f3577b34da6a3ce929d0e0e4736"); !ok {
+		t.Error("valid trace ID rejected")
+	}
+	for _, s := range []string{"", "abc", strings.Repeat("0", 32), strings.Repeat("A", 32), strings.Repeat("g", 32)} {
+		if _, ok := ParseTraceID(s); ok {
+			t.Errorf("accepted invalid trace ID %q", s)
+		}
+	}
+	if _, ok := ParseSpanID("00f067aa0ba902b7"); !ok {
+		t.Error("valid span ID rejected")
+	}
+	for _, s := range []string{"", "00f0", strings.Repeat("0", 16), strings.Repeat("F", 16)} {
+		if _, ok := ParseSpanID(s); ok {
+			t.Errorf("accepted invalid span ID %q", s)
+		}
+	}
+}
+
+// TestDeriveDeterminism pins the contract the fleet's cross-process
+// assembly depends on: identically-seeded derivations must collide
+// exactly, differently-seeded ones must not, and no derivation may
+// produce the (invalid) all-zero IDs.
+func TestDeriveDeterminism(t *testing.T) {
+	a := DeriveTraceID(7, "top100k-2020", "Windows", "https://ebay.com/")
+	b := DeriveTraceID(7, "top100k-2020", "Windows", "https://ebay.com/")
+	if a != b {
+		t.Fatal("identical inputs derived different trace IDs")
+	}
+	if a.IsZero() {
+		t.Fatal("derived trace ID is zero")
+	}
+	if DeriveTraceID(8, "top100k-2020", "Windows", "https://ebay.com/") == a {
+		t.Error("seed change did not change the trace ID")
+	}
+	if DeriveTraceID(7, "top100k-2020", "Windows", "https://ebay.com/x") == a {
+		t.Error("URL change did not change the trace ID")
+	}
+	// Field boundaries matter: ("ab","c") and ("a","bc") must differ.
+	if DeriveTraceID(7, "ab", "c") == DeriveTraceID(7, "a", "bc") {
+		t.Error("field terminator does not separate parts")
+	}
+	s1 := DeriveSpanID(a, "visit")
+	if s1 != DeriveSpanID(a, "visit") {
+		t.Fatal("identical inputs derived different span IDs")
+	}
+	if s1.IsZero() {
+		t.Fatal("derived span ID is zero")
+	}
+	if DeriveSpanID(a, "upload") == s1 {
+		t.Error("span name change did not change the span ID")
+	}
+}
+
+func TestContextAndHeaderPropagation(t *testing.T) {
+	trace := DeriveTraceID(1, "x")
+	sc := SpanContext{TraceID: trace, SpanID: DeriveSpanID(trace, "s"), State: "vendor=1"}
+
+	ctx := ContextWithSpan(context.Background(), sc)
+	got, ok := SpanFromContext(ctx)
+	if !ok || got != sc {
+		t.Fatalf("context round trip: %+v ok=%v", got, ok)
+	}
+	if _, ok := SpanFromContext(context.Background()); ok {
+		t.Fatal("empty context reports a span")
+	}
+
+	h := http.Header{}
+	InjectTraceContext(ctx, h)
+	if h.Get(TraceparentHeader) != sc.Traceparent() {
+		t.Fatalf("injected traceparent %q", h.Get(TraceparentHeader))
+	}
+	if h.Get(TracestateHeader) != "vendor=1" {
+		t.Fatalf("injected tracestate %q", h.Get(TracestateHeader))
+	}
+	back, ok := ExtractTraceContext(h)
+	if !ok || back.TraceID != sc.TraceID || back.SpanID != sc.SpanID || back.State != "vendor=1" {
+		t.Fatalf("extract round trip: %+v ok=%v", back, ok)
+	}
+
+	// A context without a valid span injects nothing.
+	empty := http.Header{}
+	InjectTraceContext(context.Background(), empty)
+	if len(empty) != 0 {
+		t.Fatalf("empty context injected headers: %v", empty)
+	}
+	// A stripped or mangled header extracts as absent, never as a
+	// malformed span.
+	for _, v := range []string{"", "garbage", "00-zz-zz-01"} {
+		h := http.Header{}
+		if v != "" {
+			h.Set(TraceparentHeader, v)
+		}
+		if _, ok := ExtractTraceContext(h); ok {
+			t.Errorf("extracted a span from %q", v)
+		}
+	}
+}

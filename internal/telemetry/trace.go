@@ -40,15 +40,35 @@ type VisitRecord struct {
 	// Outcome is "ok" or the load/ingest error string.
 	Outcome string `json:"outcome"`
 	// Events is the visit's telemetry volume (NetLog events).
-	Events int    `json:"events,omitempty"`
-	Spans  []Span `json:"spans,omitempty"`
+	Events int `json:"events,omitempty"`
+	// TraceID, SpanID, and ParentID place the record in a distributed
+	// trace: the 32-hex trace identity shared across processes, this
+	// record's own 16-hex span, and the 16-hex span that caused it
+	// (empty for a root). All three are optional — untraced records
+	// omit them, keeping the JSONL format backward-compatible.
+	TraceID  string `json:"trace_id,omitempty"`
+	SpanID   string `json:"span_id,omitempty"`
+	ParentID string `json:"parent_id,omitempty"`
+	Spans    []Span `json:"spans,omitempty"`
+	// Source is the file the record was read from, set by
+	// ReadTraceFiles so cross-process assembly can attribute spans to
+	// processes. Never serialized.
+	Source string `json:"-"`
 }
+
+// MetricTraceDropped counts visit records the trace sink discarded
+// because its writer queue was full (or the sink already closed).
+const MetricTraceDropped = "trace_dropped_records_total"
 
 // TracerOptions tune a Tracer; the zero value picks defaults.
 type TracerOptions struct {
 	// Buffer is the number of finished visit records queued for the
 	// writer goroutine before End starts dropping (default 1024).
 	Buffer int
+	// Registry, when set, mirrors the sink's dropped-record count into
+	// the MetricTraceDropped counter so drops surface on /metrics, not
+	// only through the health watchdog.
+	Registry *Registry
 }
 
 // Tracer is an append-only JSONL trace sink. Visits record spans
@@ -57,11 +77,12 @@ type TracerOptions struct {
 // when the writer cannot keep up, End drops the record and counts it
 // instead of stalling the crawl hot path.
 type Tracer struct {
-	ch      chan *VisitRecord
-	done    chan struct{}
-	dropped atomic.Uint64
-	written atomic.Uint64
-	werr    atomic.Pointer[error]
+	ch       chan *VisitRecord
+	done     chan struct{}
+	dropped  atomic.Uint64
+	written  atomic.Uint64
+	mDropped *Counter
+	werr     atomic.Pointer[error]
 	// closeMu guards the channel close against concurrent End sends
 	// (an in-flight ingest may finish while the server shuts the
 	// tracer down). End takes the read side — uncontended in steady
@@ -80,8 +101,20 @@ func NewTracer(w io.Writer, opts TracerOptions) *Tracer {
 		ch:   make(chan *VisitRecord, opts.Buffer),
 		done: make(chan struct{}),
 	}
+	if opts.Registry != nil {
+		t.mDropped = opts.Registry.Counter(MetricTraceDropped)
+	}
 	go t.run(w)
 	return t
+}
+
+// drop counts one discarded record in the sink's atomic and, when
+// wired, the registry counter.
+func (t *Tracer) drop() {
+	t.dropped.Add(1)
+	if t.mDropped != nil {
+		t.mDropped.Inc()
+	}
 }
 
 func (t *Tracer) run(w io.Writer) {
@@ -136,6 +169,18 @@ func appendVisitRecord(b []byte, rec *VisitRecord) []byte {
 	if rec.Events != 0 {
 		b = appendKey(b, "events")
 		b = strconv.AppendInt(b, int64(rec.Events), 10)
+	}
+	if rec.TraceID != "" {
+		b = appendKey(b, "trace_id")
+		b = appendJSONString(b, rec.TraceID)
+	}
+	if rec.SpanID != "" {
+		b = appendKey(b, "span_id")
+		b = appendJSONString(b, rec.SpanID)
+	}
+	if rec.ParentID != "" {
+		b = appendKey(b, "parent_id")
+		b = appendJSONString(b, rec.ParentID)
 	}
 	if len(rec.Spans) > 0 {
 		b = appendKey(b, "spans")
@@ -239,6 +284,27 @@ func appendJSONString(b []byte, s string) []byte {
 	return append(b, '"')
 }
 
+// Emit enqueues a caller-built record — the path for server-side
+// request spans whose timing was measured outside a VisitTrace (fleet
+// control-plane RPCs). Same bounded, drop-don't-stall queue as End;
+// nil-safe. The record must not be mutated after Emit.
+func (t *Tracer) Emit(rec *VisitRecord) {
+	if t == nil || rec == nil {
+		return
+	}
+	t.closeMu.RLock()
+	defer t.closeMu.RUnlock()
+	if t.closed {
+		t.drop()
+		return
+	}
+	select {
+	case t.ch <- rec:
+	default:
+		t.drop()
+	}
+}
+
 // StartVisit opens a per-visit trace. A nil Tracer returns a nil
 // VisitTrace, whose methods are all no-ops — call sites never branch on
 // whether tracing is enabled.
@@ -303,6 +369,7 @@ type VisitTrace struct {
 	t     *Tracer
 	start time.Time
 	rec   VisitRecord
+	sc    SpanContext
 	ended bool
 	// spanBuf backs rec.Spans up to a typical visit's span count
 	// (visit, parse, detect, infer, classify, netlog, commit), so
@@ -345,12 +412,48 @@ func (v *VisitTrace) End(outcome string, events int) {
 	t.closeMu.RLock()
 	defer t.closeMu.RUnlock()
 	if t.closed {
-		t.dropped.Add(1)
+		t.drop()
 		return
 	}
 	select {
 	case t.ch <- &v.rec:
 	default:
-		t.dropped.Add(1)
+		t.drop()
 	}
+}
+
+// SetSpanContext assigns the visit's distributed-trace identity: its
+// own span context plus the parent span that caused it (the zero
+// SpanID marks a root). Invalid contexts are ignored, so propagation
+// loss degrades to an untraced or root record, never a corrupt link.
+func (v *VisitTrace) SetSpanContext(sc SpanContext, parent SpanID) {
+	if v == nil || !sc.Valid() {
+		return
+	}
+	v.sc = sc
+	v.rec.TraceID = sc.TraceID.String()
+	v.rec.SpanID = sc.SpanID.String()
+	if parent.IsZero() {
+		v.rec.ParentID = ""
+	} else {
+		v.rec.ParentID = parent.String()
+	}
+}
+
+// SpanContext returns the visit's assigned span context (zero when the
+// visit is untraced or v is nil).
+func (v *VisitTrace) SpanContext() SpanContext {
+	if v == nil {
+		return SpanContext{}
+	}
+	return v.sc
+}
+
+// TraceIDString returns the visit's 32-hex trace ID, or "" when
+// untraced — the form histogram exemplars carry.
+func (v *VisitTrace) TraceIDString() string {
+	if v == nil {
+		return ""
+	}
+	return v.rec.TraceID
 }

@@ -27,6 +27,15 @@ func TestAppendVisitRecordMatchesEncodingJSON(t *testing.T) {
 		{Domain: "weird.example", URL: "tab\there\rline\x01sep\u2028and\u2029done",
 			StartUS: -7, DurNS: 0, Outcome: "ERR_\\BAD\xffUTF8",
 			Spans: []Span{{Name: "visit", StartNS: -5, DurNS: -3}}},
+		{Crawl: "top100k-2020", OS: "Windows", Domain: "traced.example",
+			StartUS: 1696000000000002, DurNS: 42, Outcome: "ok",
+			TraceID:  DeriveTraceID(1, "t").String(),
+			SpanID:   DeriveSpanID(DeriveTraceID(1, "t"), "visit").String(),
+			ParentID: DeriveSpanID(DeriveTraceID(1, "t"), "lease").String()},
+		// Root span: parent_id must omit, not render empty.
+		{Domain: "root.example", StartUS: 3, Outcome: "ok",
+			TraceID: DeriveTraceID(2, "r").String(),
+			SpanID:  DeriveSpanID(DeriveTraceID(2, "r"), "campaign").String()},
 	}
 	for _, rec := range records {
 		want, err := json.Marshal(rec)
@@ -157,6 +166,75 @@ func TestTracerDropsWhenSaturated(t *testing.T) {
 	if tr.Dropped() != dropped+1 {
 		t.Fatal("End after Close must count as a drop")
 	}
+}
+
+// TestTracerDropCounterExposition pins the satellite contract: every
+// drop the sink counts is mirrored into the registry's
+// trace_dropped_records_total counter and shows up in the Prometheus
+// exposition.
+func TestTracerDropCounterExposition(t *testing.T) {
+	reg := NewRegistry()
+	w := &blockingWriter{release: make(chan struct{})}
+	tr := NewTracer(w, TracerOptions{Buffer: 1, Registry: reg})
+	for i := 0; i < 8; i++ {
+		vt := tr.StartVisit("c", "os", "d", "u", i)
+		vt.End("ok", 0)
+	}
+	close(w.release)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Dropped() == 0 {
+		t.Fatal("test needs at least one drop")
+	}
+	if got := reg.CounterValue(MetricTraceDropped); got != tr.Dropped() {
+		t.Fatalf("registry counter = %d, tracer dropped = %d", got, tr.Dropped())
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "# TYPE trace_dropped_records_total counter\ntrace_dropped_records_total ") {
+		t.Fatalf("exposition lacks trace_dropped_records_total:\n%s", b.String())
+	}
+	doc, err := ParsePrometheus(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := doc.Series(MetricTraceDropped); s == nil || s.Value != float64(tr.Dropped()) {
+		t.Fatalf("parsed drop counter = %+v, want %d", s, tr.Dropped())
+	}
+}
+
+// TestTracerEmit covers the externally-timed record path the fleet
+// coordinator uses for its RPC spans.
+func TestTracerEmit(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, TracerOptions{})
+	trace := DeriveTraceID(5, "emit")
+	tr.Emit(&VisitRecord{
+		Crawl: "c", Domain: "lease-1", StartUS: 10, DurNS: 20, Outcome: "ok",
+		TraceID: trace.String(), SpanID: DeriveSpanID(trace, "renew").String(),
+		Spans: []Span{{Name: "renew", DurNS: 20, Items: 3}},
+	})
+	tr.Emit(nil) // nil record is a no-op, not a panic
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadTraces(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].TraceID != trace.String() || recs[0].Spans[0].Name != "renew" {
+		t.Fatalf("emitted records: %+v", recs)
+	}
+	// Emit after Close drops, and a nil tracer ignores Emit entirely.
+	tr.Emit(&VisitRecord{Domain: "late"})
+	if tr.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", tr.Dropped())
+	}
+	var nilTr *Tracer
+	nilTr.Emit(&VisitRecord{Domain: "x"})
 }
 
 func TestReadTracesLineErrors(t *testing.T) {

@@ -1,0 +1,192 @@
+package telemetry
+
+// Cross-process trace assembly: merge visit records from any number of
+// trace files (coordinator + workers + serve) into per-trace span
+// trees. Records join a tree by trace_id; parent_id links give the
+// causal structure. Assembly is forgiving where propagation is not:
+// a record whose parent span never appears in any input (a stripped
+// traceparent, a lost file) becomes an orphan root of its trace rather
+// than corrupting the tree.
+
+import "sort"
+
+// TraceNode is one record of an assembled trace with its causal
+// children.
+type TraceNode struct {
+	Rec      *VisitRecord
+	Children []*TraceNode
+	// Orphan marks a node that names a parent span absent from every
+	// input file; it renders as a root, flagged.
+	Orphan bool
+}
+
+// TraceTree is every record sharing one trace ID, assembled into
+// parent/child structure.
+type TraceTree struct {
+	ID    string
+	Roots []*TraceNode
+	// Records counts the nodes in the tree (after same-span dedup).
+	Records int
+	// Sources lists the distinct files the records came from, sorted —
+	// the tree's process span.
+	Sources []string
+	// StartUS/EndUS bound the tree's wall-clock window in Unix
+	// microseconds.
+	StartUS int64
+	EndUS   int64
+}
+
+// Processes reports how many distinct source files contributed.
+func (t *TraceTree) Processes() int { return len(t.Sources) }
+
+// WallNS is the tree's wall-clock window width in nanoseconds.
+func (t *TraceTree) WallNS() int64 { return (t.EndUS - t.StartUS) * 1000 }
+
+// AssembleTraces groups records by trace ID and links them into trees.
+// Records without a trace ID are skipped (untraced files assemble to
+// nothing); duplicate (trace, span) pairs keep the first record seen,
+// so replayed or double-read files stay stable. Trees sort by start
+// time then ID; children sort by start time then domain.
+func AssembleTraces(visits []VisitRecord) []*TraceTree {
+	type traceAcc struct {
+		tree   *TraceTree
+		nodes  []*TraceNode
+		bySpan map[string]*TraceNode
+	}
+	accs := map[string]*traceAcc{}
+	var order []string
+	for i := range visits {
+		v := &visits[i]
+		if v.TraceID == "" {
+			continue
+		}
+		acc := accs[v.TraceID]
+		if acc == nil {
+			acc = &traceAcc{
+				tree:   &TraceTree{ID: v.TraceID},
+				bySpan: map[string]*TraceNode{},
+			}
+			accs[v.TraceID] = acc
+			order = append(order, v.TraceID)
+		}
+		if v.SpanID != "" {
+			if _, dup := acc.bySpan[v.SpanID]; dup {
+				continue
+			}
+		}
+		n := &TraceNode{Rec: v}
+		acc.nodes = append(acc.nodes, n)
+		if v.SpanID != "" {
+			acc.bySpan[v.SpanID] = n
+		}
+	}
+	trees := make([]*TraceTree, 0, len(order))
+	for _, id := range order {
+		acc := accs[id]
+		t := acc.tree
+		sources := map[string]bool{}
+		for _, n := range acc.nodes {
+			v := n.Rec
+			t.Records++
+			if v.Source != "" {
+				sources[v.Source] = true
+			}
+			if t.Records == 1 || v.StartUS < t.StartUS {
+				t.StartUS = v.StartUS
+			}
+			if end := v.StartUS + v.DurNS/1000; end > t.EndUS {
+				t.EndUS = end
+			}
+			switch parent := acc.bySpan[v.ParentID]; {
+			case v.ParentID == "":
+				t.Roots = append(t.Roots, n)
+			case parent == nil || parent == n:
+				n.Orphan = true
+				t.Roots = append(t.Roots, n)
+			default:
+				parent.Children = append(parent.Children, n)
+			}
+		}
+		// Break parent cycles (corrupt or adversarial inputs): any node
+		// unreachable from a root is cut from its parent and promoted
+		// to an orphan root, so rendering always terminates.
+		reached := map[*TraceNode]bool{}
+		var mark func(n *TraceNode)
+		mark = func(n *TraceNode) {
+			if reached[n] {
+				return
+			}
+			reached[n] = true
+			for _, c := range n.Children {
+				mark(c)
+			}
+		}
+		for _, r := range t.Roots {
+			mark(r)
+		}
+		for _, n := range acc.nodes {
+			if reached[n] {
+				continue
+			}
+			if parent := acc.bySpan[n.Rec.ParentID]; parent != nil {
+				for i, c := range parent.Children {
+					if c == n {
+						parent.Children = append(parent.Children[:i], parent.Children[i+1:]...)
+						break
+					}
+				}
+			}
+			n.Orphan = true
+			t.Roots = append(t.Roots, n)
+			mark(n)
+		}
+		for src := range sources {
+			t.Sources = append(t.Sources, src)
+		}
+		sort.Strings(t.Sources)
+		sortNodes(t.Roots)
+		for _, n := range acc.nodes {
+			sortNodes(n.Children)
+		}
+		trees = append(trees, t)
+	}
+	sort.Slice(trees, func(i, j int) bool {
+		if trees[i].StartUS != trees[j].StartUS {
+			return trees[i].StartUS < trees[j].StartUS
+		}
+		return trees[i].ID < trees[j].ID
+	})
+	return trees
+}
+
+func sortNodes(nodes []*TraceNode) {
+	sort.Slice(nodes, func(i, j int) bool {
+		a, b := nodes[i].Rec, nodes[j].Rec
+		if a.StartUS != b.StartUS {
+			return a.StartUS < b.StartUS
+		}
+		if a.Domain != b.Domain {
+			return a.Domain < b.Domain
+		}
+		return a.SpanID < b.SpanID
+	})
+}
+
+// FindTrace returns the assembled tree whose ID equals or starts with
+// id (hex prefixes are fine as long as they are unambiguous). The
+// second result is false when no tree — or more than one — matches.
+func FindTrace(trees []*TraceTree, id string) (*TraceTree, bool) {
+	var found *TraceTree
+	for _, t := range trees {
+		if t.ID == id {
+			return t, true
+		}
+		if id != "" && len(id) < len(t.ID) && t.ID[:len(id)] == id {
+			if found != nil {
+				return nil, false
+			}
+			found = t
+		}
+	}
+	return found, found != nil
+}

@@ -1,0 +1,207 @@
+package telemetry
+
+import (
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// rec builds a traced record the way the fleet writes them: span names
+// are human-readable, IDs are derived hex strings.
+func assembleRec(trace TraceID, span, parent, source, domain string, startUS, durNS int64) VisitRecord {
+	r := VisitRecord{
+		Crawl: "top100k-2020", OS: "Windows", Domain: domain,
+		StartUS: startUS, DurNS: durNS, Outcome: "ok",
+		TraceID: trace.String(),
+		SpanID:  DeriveSpanID(trace, span).String(),
+		Source:  source,
+	}
+	if parent != "" {
+		r.ParentID = DeriveSpanID(trace, parent).String()
+	}
+	return r
+}
+
+func TestAssembleCrossProcessTree(t *testing.T) {
+	trace := DeriveTraceID(42, "fleet", "top100k-2020")
+	visits := []VisitRecord{
+		// Coordinator: campaign root, two lease grants, one renew RPC.
+		assembleRec(trace, "campaign", "", "coord.jsonl", "campaign", 100, 9000_000),
+		assembleRec(trace, "lease/L0", "campaign", "coord.jsonl", "L0", 200, 0),
+		assembleRec(trace, "lease/L1", "campaign", "coord.jsonl", "L1", 300, 0),
+		assembleRec(trace, "renew/L0#1", "worker/alpha/L0", "coord.jsonl", "L0", 2000, 1000),
+		// Worker alpha holds L0, worker beta holds L1.
+		assembleRec(trace, "worker/alpha/L0", "lease/L0", "alpha.jsonl", "L0", 400, 5000_000),
+		assembleRec(trace, "worker/beta/L1", "lease/L1", "beta.jsonl", "L1", 500, 4000_000),
+		// Untraced record (tracing off upstream): never joins a tree.
+		{Domain: "plain", StartUS: 1, Outcome: "ok", Source: "alpha.jsonl"},
+		// Duplicate delivery of the beta lease record: first wins.
+		assembleRec(trace, "worker/beta/L1", "lease/L1", "dup.jsonl", "L1", 500, 4000_000),
+	}
+	trees := AssembleTraces(visits)
+	if len(trees) != 1 {
+		t.Fatalf("got %d trees, want 1", len(trees))
+	}
+	tree := trees[0]
+	if tree.ID != trace.String() {
+		t.Fatalf("tree ID %s, want %s", tree.ID, trace)
+	}
+	if tree.Records != 6 {
+		t.Fatalf("tree has %d records, want 6 (dup deduped, untraced skipped)", tree.Records)
+	}
+	if got := tree.Processes(); got != 3 {
+		t.Fatalf("Processes() = %d (%v), want 3", got, tree.Sources)
+	}
+	if len(tree.Roots) != 1 || tree.Roots[0].Rec.Domain != "campaign" {
+		t.Fatalf("roots = %d, want the single campaign root", len(tree.Roots))
+	}
+	root := tree.Roots[0]
+	if len(root.Children) != 2 {
+		t.Fatalf("campaign has %d children, want 2 lease grants", len(root.Children))
+	}
+	// Children sort by start time: L0 grant then L1 grant.
+	l0 := root.Children[0]
+	if l0.Rec.Domain != "L0" || len(l0.Children) != 1 {
+		t.Fatalf("L0 grant children = %d", len(l0.Children))
+	}
+	alpha := l0.Children[0]
+	if alpha.Rec.Source != "alpha.jsonl" || len(alpha.Children) != 1 {
+		t.Fatalf("alpha lease span misplaced: %+v", alpha.Rec)
+	}
+	if alpha.Children[0].Rec.Source != "coord.jsonl" {
+		t.Fatal("renew RPC should hang under the worker span that issued it")
+	}
+	// The dedup kept the first-seen copy of the beta span.
+	beta := root.Children[1].Children[0]
+	if beta.Rec.Source != "beta.jsonl" {
+		t.Fatalf("dedup kept %s, want beta.jsonl", beta.Rec.Source)
+	}
+	if tree.StartUS != 100 {
+		t.Fatalf("tree StartUS = %d, want 100", tree.StartUS)
+	}
+	if wantEnd := int64(100 + 9000_000/1000); tree.EndUS != wantEnd {
+		t.Fatalf("tree EndUS = %d, want %d", tree.EndUS, wantEnd)
+	}
+}
+
+func TestAssembleOrphanAndCycle(t *testing.T) {
+	trace := DeriveTraceID(7, "x")
+	visits := []VisitRecord{
+		// Parent span exists nowhere: propagation was lost downstream.
+		assembleRec(trace, "child", "vanished", "w.jsonl", "orphaned", 50, 0),
+		// Two records that parent each other: corrupt input must not
+		// hang or vanish from the output.
+		assembleRec(trace, "cycA", "cycB", "w.jsonl", "cycA", 60, 0),
+		assembleRec(trace, "cycB", "cycA", "w.jsonl", "cycB", 70, 0),
+	}
+	trees := AssembleTraces(visits)
+	if len(trees) != 1 {
+		t.Fatalf("got %d trees", len(trees))
+	}
+	tree := trees[0]
+	if tree.Records != 3 {
+		t.Fatalf("records = %d, want 3", tree.Records)
+	}
+	total := 0
+	for _, r := range tree.Roots {
+		if !r.Orphan {
+			t.Errorf("root %s not flagged orphan", r.Rec.Domain)
+		}
+		total++
+		for _, c := range r.Children {
+			total++
+			if len(c.Children) != 0 {
+				t.Error("cycle not broken: grandchild present")
+			}
+		}
+	}
+	if total != 3 {
+		t.Fatalf("reachable nodes = %d, want all 3", total)
+	}
+}
+
+func TestFindTracePrefix(t *testing.T) {
+	a := DeriveTraceID(1, "a")
+	b := DeriveTraceID(1, "b")
+	trees := AssembleTraces([]VisitRecord{
+		assembleRec(a, "root", "", "f", "a", 1, 0),
+		assembleRec(b, "root", "", "f", "b", 2, 0),
+	})
+	if got, ok := FindTrace(trees, a.String()); !ok || got.ID != a.String() {
+		t.Fatal("exact ID lookup failed")
+	}
+	// An unambiguous prefix resolves; the empty string and a shared
+	// prefix (if any) must not.
+	if got, ok := FindTrace(trees, a.String()[:16]); !ok || got.ID != a.String() {
+		// 16 hex chars colliding between two derived IDs would be
+		// astronomically unlucky; treat as a real failure.
+		t.Fatal("unambiguous prefix lookup failed")
+	}
+	if _, ok := FindTrace(trees, ""); ok {
+		t.Fatal("empty prefix matched")
+	}
+	if _, ok := FindTrace(trees, "zzzz"); ok {
+		t.Fatal("non-matching prefix matched")
+	}
+}
+
+// TestReadTraceFilesGzip covers the knocktrace ingestion path for
+// rotated/compressed trace files: a .jsonl.gz input is transparently
+// decompressed and its records tagged with the source path.
+func TestReadTraceFilesGzip(t *testing.T) {
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "a.jsonl")
+	packed := filepath.Join(dir, "b.jsonl.gz")
+
+	trace := DeriveTraceID(3, "gz")
+	r1 := assembleRec(trace, "root", "", "", "one", 1, 0)
+	r2 := assembleRec(trace, "kid", "root", "", "two", 2, 0)
+
+	var line1, line2 []byte
+	line1 = append(appendVisitRecord(line1, &r1), '\n')
+	line2 = append(appendVisitRecord(line2, &r2), '\n')
+	if err := os.WriteFile(plain, line1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zw := gzip.NewWriter(f)
+	if _, err := zw.Write(line2); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	visits, err := ReadTraceFiles(plain, packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(visits) != 2 {
+		t.Fatalf("read %d records, want 2", len(visits))
+	}
+	bySrc := map[string]string{}
+	for _, v := range visits {
+		bySrc[v.Domain] = v.Source
+	}
+	if bySrc["one"] != plain || bySrc["two"] != packed {
+		t.Fatalf("sources = %v", bySrc)
+	}
+	trees := AssembleTraces(visits)
+	if len(trees) != 1 || trees[0].Processes() != 2 {
+		t.Fatalf("gzip + plain records did not assemble into one 2-process tree: %+v", trees)
+	}
+	// A corrupt gzip stream reports an error naming the file.
+	if err := os.WriteFile(filepath.Join(dir, "bad.jsonl.gz"), []byte("not gzip"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTraceFiles(filepath.Join(dir, "bad.jsonl.gz")); err == nil {
+		t.Fatal("corrupt gzip read did not error")
+	}
+}

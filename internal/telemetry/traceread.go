@@ -2,11 +2,13 @@ package telemetry
 
 import (
 	"bufio"
+	"compress/gzip"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
 	"sort"
+	"strings"
 	"time"
 )
 
@@ -35,22 +37,42 @@ func ReadTraces(r io.Reader) ([]VisitRecord, error) {
 	return out, nil
 }
 
-// ReadTraceFiles reads and concatenates one or more trace files.
+// ReadTraceFiles reads and concatenates one or more trace files,
+// tagging each record's Source with the file it came from (the
+// provenance cross-process assembly attributes spans by). Files ending
+// in .gz are transparently gunzipped, matching the gzip shard-upload
+// path workers use.
 func ReadTraceFiles(paths ...string) ([]VisitRecord, error) {
 	var out []VisitRecord
 	for _, path := range paths {
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, err
-		}
-		recs, err := ReadTraces(f)
-		f.Close()
+		recs, err := readTraceFile(path)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		for i := range recs {
+			recs[i].Source = path
 		}
 		out = append(out, recs...)
 	}
 	return out, nil
+}
+
+func readTraceFile(path string) ([]VisitRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, err
+		}
+		defer gz.Close()
+		r = gz
+	}
+	return ReadTraces(r)
 }
 
 // StageStats aggregates every span of one name across a trace.
